@@ -1,0 +1,38 @@
+"""Benchmark fixtures: a benchmark-scale world and pipeline run.
+
+The scale is larger than the unit-test world so table shapes are stable;
+it is built once per session. Every bench prints the regenerated artefact
+so the harness output can be compared against the paper's tables side by
+side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import run_pipeline
+from repro.world.scenario import ScenarioConfig, build_world
+
+BENCH_CONFIG = ScenarioConfig(seed=7726, n_campaigns=200,
+                              sbi_burst_volume=150)
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_world(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def pipeline_run(world):
+    return run_pipeline(world)
+
+
+@pytest.fixture(scope="session")
+def enriched(pipeline_run):
+    return pipeline_run.enriched
+
+
+def show(table) -> None:
+    """Print a regenerated table under a separator."""
+    print()
+    print(table.to_text())

@@ -1,0 +1,22 @@
+"""Bench: campaign mining over the measured dataset."""
+
+from repro.analysis.campaign_mining import (
+    campaign_summary_table,
+    evaluate_clustering,
+    mine_campaigns,
+)
+
+
+def test_campaign_mining(benchmark, world, pipeline_run):
+    dataset = pipeline_run.annotated_dataset
+    mined = benchmark.pedantic(
+        mine_campaigns, args=(dataset,),
+        kwargs={"threshold": 0.65}, rounds=3, iterations=1,
+    )
+    print()
+    print(campaign_summary_table(mined, top=8).to_text())
+    quality = evaluate_clustering(world, dataset, mined)
+    print(f"signature homogeneity: {quality.signature_homogeneity:.0%}, "
+          f"coverage: {quality.coverage:.0%}")
+    assert len(mined) > 20
+    assert quality.signature_homogeneity > 0.75

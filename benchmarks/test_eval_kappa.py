@@ -1,0 +1,22 @@
+"""Bench: the §3.4 annotation evaluation (IRR + model agreement)."""
+
+from repro.core.evaluation import evaluate_annotation
+from repro.utils.stats import interpret_kappa
+
+
+def test_eval_kappa(benchmark, world, pipeline_run):
+    report = benchmark.pedantic(
+        evaluate_annotation, args=(world, pipeline_run.dataset),
+        kwargs={"sample_size": 150, "seed": 42}, rounds=3, iterations=1,
+    )
+    print(f"\nIRR: brands={report.irr.brands:.2f} "
+          f"scam={report.irr.scam_types:.2f} lures={report.irr.lures:.2f}")
+    print(f"model: brands={report.model_vs_consensus.brands:.2f} "
+          f"scam={report.model_vs_consensus.scam_types:.2f} "
+          f"lures={report.model_vs_consensus.lures:.2f}")
+    # Shape (§3.4): near-perfect IRR on scam types; substantial-or-better
+    # agreement everywhere.
+    assert interpret_kappa(report.irr.scam_types) in ("near-perfect",
+                                                      "substantial")
+    assert report.model_vs_consensus.scam_types > 0.75
+    assert report.model_vs_consensus.lures > 0.5

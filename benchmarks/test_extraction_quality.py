@@ -1,0 +1,20 @@
+"""Bench: extraction quality against ground truth (the §3.2 claims)."""
+
+from repro.analysis.quality import evaluate_extraction_quality, loss_breakdown
+
+
+def test_extraction_quality(benchmark, world, pipeline_run):
+    report = benchmark.pedantic(
+        evaluate_extraction_quality, args=(world, pipeline_run.dataset),
+        rounds=3, iterations=1,
+    )
+    print()
+    print(report.to_table().to_text())
+    losses = loss_breakdown(world, pipeline_run.dataset)
+    print(f"losses: {losses}")
+    # §3.2: text extracted from every SMS screenshot; senders lost only
+    # to reporter redactions; URLs recovered including wrapped ones.
+    assert report.text.recall > 0.99
+    assert report.url.recall > 0.9
+    assert report.sender.accuracy > 0.95
+    assert report.timestamp.accuracy > 0.9

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 2 (send time-of-day per weekday)."""
+
+from repro.analysis.strategies import build_figure2_table, timestamp_analysis
+from conftest import show
+
+
+def test_figure02_timestamps(benchmark, enriched):
+    analysis = benchmark(timestamp_analysis, enriched)
+    show(build_figure2_table(enriched))
+    # Shape: the 2021-style flash campaign is detected and excluded;
+    # weekday medians sit in business hours; some weekday pairs differ
+    # significantly under the two-sample KS test (§5.1).
+    assert analysis.excluded_campaign_size > 50
+    for day in ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday"):
+        if analysis.samples[day]:
+            hour = int(analysis.medians[day].split(":")[0])
+            assert 9 <= hour <= 20
+    assert analysis.significant_pairs() is not None
+    print(f"\nsignificant weekday pairs: "
+          f"{len(analysis.significant_pairs())} of "
+          f"{len(analysis.ks_results)}")

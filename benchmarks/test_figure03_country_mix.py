@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 3 (scam mix per origin country)."""
+
+from repro.analysis.sender import build_figure3_table, figure3_data
+from repro.types import ScamType
+from conftest import show
+
+
+def test_figure03_country_mix(benchmark, enriched):
+    data = benchmark(figure3_data, enriched)
+    show(build_figure3_table(enriched))
+    # Shape: India's mobile numbers are overwhelmingly used for banking
+    # scams; the USA's mix leans to the 'others' categories (§5.6).
+    assert "IND" in data
+    ind_top = max(data["IND"].items(), key=lambda kv: kv[1])[0]
+    assert ind_top is ScamType.BANKING
+    if "USA" in data:
+        usa = data["USA"]
+        assert usa.get(ScamType.OTHERS, 0) > usa.get(ScamType.TELECOM, 0)

@@ -1,0 +1,29 @@
+"""Bench: end-to-end pipeline throughput at two world scales.
+
+Not a paper table — an engineering benchmark that keeps the whole
+collect→curate→enrich path honest as the library evolves.
+"""
+
+from repro.core.pipeline import run_pipeline
+from repro.world.scenario import ScenarioConfig, build_world
+
+
+def test_pipeline_small(benchmark):
+    def build_and_run():
+        world = build_world(ScenarioConfig(seed=1, n_campaigns=30))
+        return run_pipeline(world)
+
+    run = benchmark.pedantic(build_and_run, rounds=3, iterations=1)
+    assert len(run.dataset) > 50
+
+
+def test_pipeline_medium(benchmark):
+    def build_and_run():
+        world = build_world(ScenarioConfig(seed=2, n_campaigns=120))
+        return run_pipeline(world)
+
+    run = benchmark.pedantic(build_and_run, rounds=2, iterations=1)
+    records = len(run.dataset)
+    print(f"\nmedium world: {records} records, "
+          f"{len(run.collection.reports)} reports collected")
+    assert records > 300

@@ -1,0 +1,16 @@
+"""Bench: the §4.1 sender-ID class split."""
+
+from repro.analysis.sender import sender_kind_split
+
+
+def test_senderid_split(benchmark, enriched):
+    split = benchmark(sender_kind_split, enriched)
+    total = split.total
+    print(f"\nphones={split.phone_numbers} ({split.phone_numbers/total:.1%}) "
+          f"alnum={split.alphanumeric} ({split.alphanumeric/total:.1%}) "
+          f"emails={split.emails} ({split.emails/total:.1%})")
+    # Shape (§4.1): phones ~66%, alphanumeric ~31%, emails ~4% — and
+    # crucially alphanumeric > emails (the reverse of US-only studies).
+    assert split.phone_numbers > split.alphanumeric > split.emails
+    assert split.phone_numbers / total > 0.5
+    assert split.emails / total < 0.12

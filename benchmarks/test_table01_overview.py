@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 1 (dataset overview per forum)."""
+
+from repro.analysis.overview import build_table1
+from conftest import show
+
+
+def test_table01_overview(benchmark, pipeline_run):
+    table = benchmark(build_table1, pipeline_run.collection,
+                      pipeline_run.dataset)
+    show(table)
+    records = table.to_records()
+    twitter = next(r for r in records if r["Online Forum"] == "Twitter")
+    # Shape: Twitter carries the overwhelming majority of posts (92% of
+    # messages in the paper).
+    assert twitter["Posts"] > sum(
+        r["Posts"] for r in records
+        if r["Online Forum"] not in ("Twitter", "Total")
+    )

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 3 (HLR phone-number types)."""
+
+from repro.analysis.sender import build_table3
+from conftest import show
+
+
+def test_table03_number_types(benchmark, enriched):
+    table = benchmark(build_table3, enriched)
+    show(table)
+    text = table.to_text()
+    # Shape: Mobile dominates (66.7% in the paper), Bad Format is the
+    # largest invalid class (24.3%).
+    mobile_row = next(r for r in table.rows if r[0] == "Mobile")
+    bad_row = next(r for r in table.rows if r[0] == "Bad Format")
+    mobile_pct = float(str(mobile_row[1]).split("(")[1].rstrip("%)"))
+    bad_pct = float(str(bad_row[1]).split("(")[1].rstrip("%)"))
+    assert mobile_pct > 50
+    assert 10 < bad_pct < 40
+    assert "Landline" in text

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 4 (top abused mobile network operators)."""
+
+from repro.analysis.sender import build_table4
+from conftest import show
+
+
+def test_table04_mnos(benchmark, enriched):
+    table = benchmark(build_table4, enriched)
+    show(table)
+    # Shape: Vodafone tops the ranking, abused across many countries;
+    # AirTel and the Indian operators rank high (Table 4).
+    assert table.rows[0][0] == "Vodafone"
+    top_names = [row[0] for row in table.rows[:6]]
+    assert any(name in top_names
+               for name in ("AirTel", "BSNL Mobile", "Reliance Jio"))
+    vodafone_countries = str(table.rows[0][2]).split(", ")
+    assert len(vodafone_countries) >= 3

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 5 (URL shorteners per scam type)."""
+
+from repro.analysis.shorteners import build_table5, shortener_usage
+from conftest import show
+
+
+def test_table05_shorteners(benchmark, enriched):
+    table = benchmark(build_table5, enriched)
+    show(table)
+    # Shape: bit.ly is the most abused shortener overall (30.6% in the
+    # paper) and banking is its biggest scam column.
+    assert table.rows[0][0] == "bit.ly"
+    totals, per_scam = shortener_usage(enriched)
+    from repro.types import ScamType
+    bitly = per_scam["bit.ly"]
+    assert bitly.most_common(1)[0][0] is ScamType.BANKING

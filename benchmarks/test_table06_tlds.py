@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 6 (top TLDs, direct vs shortened)."""
+
+from repro.analysis.domains import build_table6, tld_counters
+from conftest import show
+
+
+def test_table06_tlds(benchmark, enriched):
+    table = benchmark(build_table6, enriched)
+    show(table)
+    direct, shortened = tld_counters(enriched)
+    # Shape: .com leads scammer-registered domains; 'ly' leads the
+    # shortened column (bit.ly and friends).
+    assert direct.most_common(1)[0][0] == "com"
+    assert shortened.most_common(1)[0][0] in ("ly", "gd")

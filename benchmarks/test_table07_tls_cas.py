@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 7 (TLS certificate authorities)."""
+
+from repro.analysis.tls import build_table7, ca_usage, tls_overview
+from conftest import show
+
+
+def test_table07_tls_cas(benchmark, enriched):
+    table = benchmark(build_table7, enriched)
+    show(table)
+    # Shape: Let's Encrypt leads by certificates AND domains; Sectigo
+    # ranks high by domains with comparatively few certificates.
+    assert table.rows[0][0] == "Let's Encrypt"
+    certs, domains = ca_usage(enriched)
+    if "Sectigo" in certs:
+        assert certs["Let's Encrypt"] / max(domains["Let's Encrypt"], 1) > \
+            certs["Sectigo"] / max(domains["Sectigo"], 1)
+    overview = tls_overview(enriched)
+    print(f"\ncerts={overview.total_certificates} "
+          f"domains={overview.domains_with_certs} "
+          f"mean/domain={overview.per_domain.mean:.1f} "
+          f"median={overview.per_domain.median:.0f}")
+    # Heavy tail: mean well above median (paper: mean 39, median 4).
+    assert overview.per_domain.mean > overview.per_domain.median

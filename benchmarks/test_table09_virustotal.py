@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 9 (VirusTotal URL detection thresholds)."""
+
+from repro.analysis.detection import build_table9, vt_thresholds
+from conftest import show
+
+
+def test_table09_virustotal(benchmark, enriched):
+    table = benchmark(build_table9, enriched)
+    show(table)
+    data = vt_thresholds(enriched)
+    total = data.total
+    # Shape targets from Table 9: ~45% undetected, ~50% with >=1
+    # malicious flag, a steep fall-off to >=15.
+    assert 0.30 < data.undetected / total < 0.62
+    assert 0.35 < data.malicious_at_least[1] / total < 0.65
+    assert data.malicious_at_least[15] / total < 0.02
+    assert data.suspicious_at_least[5] / total < 0.005

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 10 (scam category distribution)."""
+
+from repro.analysis.strategies import build_table10, scam_category_counts
+from repro.types import ScamType
+from conftest import show
+
+
+def test_table10_scam_categories(benchmark, enriched):
+    table = benchmark(build_table10, enriched)
+    show(table)
+    counts = scam_category_counts(enriched)
+    total = sum(counts.values())
+    # Shape: banking dominates (~45%), others second (~21%), delivery
+    # and government follow; conversation scams are ~1% each.
+    assert counts.most_common(1)[0][0] is ScamType.BANKING
+    assert 0.30 < counts[ScamType.BANKING] / total < 0.60
+    assert counts[ScamType.OTHERS] > counts[ScamType.DELIVERY] * 0.8
+    assert counts[ScamType.WRONG_NUMBER] / total < 0.05
+    assert counts[ScamType.HEY_MUM_DAD] / total < 0.06

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 11 (message languages vs most-spoken)."""
+
+from repro.analysis.strategies import build_table11, language_counts
+from conftest import show
+
+
+def test_table11_languages(benchmark, enriched):
+    table = benchmark(build_table11, enriched)
+    show(table)
+    counts = language_counts(enriched)
+    total = sum(counts.values())
+    ranked = [code for code, _ in counts.most_common()]
+    # Shape: English dominates (~65%), Spanish second; the mismatch with
+    # world speaker populations (Mandarin ~0.2% of messages) holds.
+    assert ranked[0] == "en"
+    assert counts["en"] / total > 0.5
+    assert "es" in ranked[:4]
+    assert counts.get("zh", 0) / total < 0.02

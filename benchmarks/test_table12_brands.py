@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 12 (impersonated brands)."""
+
+from repro.analysis.strategies import build_table12, brand_counts
+from conftest import show
+
+
+def test_table12_brands(benchmark, enriched):
+    table = benchmark(build_table12, enriched)
+    show(table)
+    counts = brand_counts(enriched)
+    # Shape: SBI is the single most impersonated brand; the top 10 is
+    # dominated by financial institutions (Table 12).
+    assert counts.most_common(1)[0][0] == "State Bank of India"
+    categories = [str(row[1]) for row in table.rows]
+    assert categories.count("banking") >= 4

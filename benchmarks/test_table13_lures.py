@@ -1,0 +1,26 @@
+"""Bench: regenerate Table 13 (lure principles by scam type)."""
+
+from repro.analysis.strategies import (
+    build_table13,
+    lure_scam_matrix,
+    lure_usage_counts,
+)
+from repro.types import LurePrinciple, ScamType
+from conftest import show
+
+
+def test_table13_lures(benchmark, enriched):
+    table = benchmark(build_table13, enriched)
+    show(table)
+    matrix = lure_scam_matrix(enriched)
+    # Shape: urgency applies to every scam column except Wrong Number;
+    # authority marks the impersonation scams; kindness marks the
+    # conversation scams; dishonesty and herd are rare overall (§5.5).
+    assert matrix[LurePrinciple.TIME_URGENCY][ScamType.BANKING]
+    assert not matrix[LurePrinciple.TIME_URGENCY][ScamType.WRONG_NUMBER]
+    assert matrix[LurePrinciple.AUTHORITY][ScamType.BANKING]
+    assert matrix[LurePrinciple.AUTHORITY][ScamType.DELIVERY]
+    assert matrix[LurePrinciple.KINDNESS][ScamType.HEY_MUM_DAD]
+    usage = lure_usage_counts(enriched)
+    total = sum(usage.values()) or 1
+    assert usage.get(LurePrinciple.DISHONESTY, 0) / total < 0.03

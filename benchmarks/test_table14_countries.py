@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 14 (sender-ID origin countries)."""
+
+from repro.analysis.sender import build_table14
+from conftest import show
+
+
+def test_table14_countries(benchmark, enriched):
+    table = benchmark(build_table14, enriched)
+    show(table)
+    # Shape: India first, USA second; live counts are a minority of all.
+    assert table.rows[0][0] == "IND"
+    top5 = [row[0] for row in table.rows[:5]]
+    assert "USA" in top5
+    for row in table.rows:
+        assert row[3] <= row[2]

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 15 (yearly Twitter collection volumes)."""
+
+from repro.analysis.overview import build_table15
+from conftest import show
+
+
+def test_table15_twitter_years(benchmark, pipeline_run):
+    table = benchmark(build_table15, pipeline_run.collection)
+    show(table)
+    years = [row[0] for row in table.rows[:-1]]
+    assert "2021" in years
+    assert years == sorted(years)
+    # Totals row equals the sum of yearly tweets.
+    assert table.rows[-1][0] == "Total"

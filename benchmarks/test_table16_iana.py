@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 16 (TLDs by IANA classification)."""
+
+from repro.analysis.domains import build_table16
+from conftest import show
+
+
+def test_table16_iana(benchmark, enriched):
+    table = benchmark(build_table16, enriched)
+    show(table)
+    records = table.to_records()
+    generic = next(r for r in records if "gTLD" in r["Type"])
+    cc = next(r for r in records if "ccTLD" in r["Type"])
+    # Shape: gTLDs ~72%, ccTLDs ~27%, restricted/sponsored negligible.
+    assert generic["URLs %"] > 50
+    assert 5 < cc["URLs %"] < 45
+    assert generic["TLDs"] > 10

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 17 (domain registrars)."""
+
+from repro.analysis.domains import build_table17, preferred_registrar_for
+from repro.types import ScamType
+from conftest import show
+
+
+def test_table17_registrars(benchmark, enriched):
+    table = benchmark(build_table17, enriched)
+    show(table)
+    # Shape: GoDaddy first, NameCheap in the top ranks; Gname is the
+    # government-scam speciality registrar (§4.4).
+    assert table.rows[0][0] == "GoDaddy"
+    top = [row[0] for row in table.rows[:5]]
+    assert "NameCheap" in top
+    gov = preferred_registrar_for(enriched, ScamType.GOVERNMENT)
+    print(f"\npreferred registrar for government scams: {gov}")

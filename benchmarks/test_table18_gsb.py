@@ -1,0 +1,20 @@
+"""Bench: regenerate Table 18 (Google Safe Browsing's three surfaces)."""
+
+from repro.analysis.detection import build_table18, gsb_comparison
+from repro.types import GsbStatus
+from conftest import show
+
+
+def test_table18_gsb(benchmark, enriched):
+    table = benchmark(build_table18, enriched)
+    show(table)
+    data = gsb_comparison(enriched)
+    total = data.total
+    blocked = data.transparency.get(GsbStatus.NOT_QUERIED, 0)
+    unsafe = data.transparency.get(GsbStatus.UNSAFE, 0)
+    # Shape: the API flags ~1%; the transparency report blocks ~50% of
+    # automated queries but finds several times more unsafe URLs than
+    # the API among those it answers.
+    assert data.api_unsafe / total < 0.05
+    assert 0.35 < blocked / total < 0.65
+    assert unsafe >= data.api_unsafe

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Infrastructure audit: who enables smishing, and where to intervene.
+
+Walks the paper's RQ1 battery (§4) over one measured dataset and then
+turns it into the §7.2 stakeholder view: the registrars, certificate
+authorities, shortener services, hosting providers and mobile operators
+whose services smishing campaigns depend on — ranked by how much abuse
+each one carries, i.e. where takedown pressure buys the most.
+
+Run:  python examples/infrastructure_audit.py
+"""
+
+from repro.analysis.detection import gsb_comparison, vt_thresholds
+from repro.analysis.domains import free_hosting_counts, registrar_usage
+from repro.analysis.hosting import (
+    as_usage,
+    bulletproof_hosting_hits,
+    hosting_overview,
+)
+from repro.analysis.sender import build_table3, build_table4
+from repro.analysis.shorteners import shortener_usage, whatsapp_link_count
+from repro.analysis.tls import ca_usage
+from repro.core.pipeline import run_pipeline
+from repro.types import GsbStatus
+from repro.world.scenario import ScenarioConfig, build_world
+
+
+def pct(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:.1f}%" if whole else "n/a"
+
+
+def main() -> None:
+    world = build_world(ScenarioConfig(seed=404, n_campaigns=160))
+    run = run_pipeline(world)
+    enriched = run.enriched
+
+    print("=" * 64)
+    print("SMISHING INFRASTRUCTURE AUDIT")
+    print("=" * 64)
+
+    # -- mobile network side -------------------------------------------------
+    print("\n[1] Sending side: mobile networks")
+    print(build_table3(enriched).to_text())
+    print()
+    print(build_table4(enriched).to_text())
+
+    # -- web side ------------------------------------------------------------
+    print("\n[2] Web side: registration and hosting chokepoints")
+    registrars, _ = registrar_usage(enriched)
+    total_domains = sum(registrars.values())
+    print(f"  registered smishing domains: {total_domains}")
+    for name, count in registrars.most_common(5):
+        print(f"    registrar {name:<22} {count:>4} ({pct(count, total_domains)})")
+
+    free = free_hosting_counts(enriched)
+    if free:
+        print(f"  free website-builder deployments: {sum(free.values())}")
+        for suffix, count in free.most_common():
+            print(f"    {suffix:<18} {count}")
+
+    certs, domains = ca_usage(enriched)
+    print(f"  TLS certificates observed: {sum(certs.values()):,} across "
+          f"{sum(domains.values()):,} domain-CA pairs")
+    for issuer, count in certs.most_common(4):
+        print(f"    CA {issuer:<22} {count:>6,} certs / "
+              f"{domains[issuer]:>4} domains")
+
+    overview = hosting_overview(enriched)
+    print(f"  passive-DNS resolving domains: {overview.resolving_domains} "
+          f"(Cloudflare-fronted: {pct(overview.cloudflare_domains, overview.resolving_domains)})")
+    ip_counts, _, _ = as_usage(enriched)
+    for org, count in ip_counts.most_common(5):
+        print(f"    AS {org:<24} {count:>3} IPs")
+    bph = bulletproof_hosting_hits(enriched, world.as_registry)
+    if bph:
+        print("  bulletproof hosting observed:")
+        for org, count in bph.most_common():
+            print(f"    {org:<24} {count} IPs  <-- law-enforcement target")
+
+    # -- evasion layer ------------------------------------------------------------
+    print("\n[3] Evasion layer: shorteners and conversation pivots")
+    totals, _ = shortener_usage(enriched)
+    short_total = sum(totals.values())
+    for name, count in totals.most_common(5):
+        print(f"    {name:<14} {count:>4} ({pct(count, short_total)})")
+    print(f"    wa.me conversation links: {whatsapp_link_count(enriched)}")
+
+    # -- detection gap --------------------------------------------------------------
+    print("\n[4] Detection gap (why user reports matter)")
+    vt = vt_thresholds(enriched)
+    print(f"    URLs no AV flags at all: {pct(vt.undetected, vt.total)}")
+    print(f"    URLs >=5 vendors flag:   "
+          f"{pct(vt.malicious_at_least[5], vt.total)}")
+    gsb = gsb_comparison(enriched)
+    print(f"    GSB API unsafe:          {pct(gsb.api_unsafe, gsb.total)}")
+    not_queried = gsb.transparency.get(GsbStatus.NOT_QUERIED, 0)
+    print(f"    GSB report unqueryable:  {pct(not_queried, gsb.total)}")
+
+    print("\nRecommendations (§7.2): prioritise the top registrar, the top "
+          "CA, and the top shortener above; their abuse shares dwarf the "
+          "long tail.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduction of "Fishing for Smishing" (IMC 2025).
+
+A smishing-report mining, enrichment and measurement pipeline running over
+a fully simulated ecosystem: scammer campaigns, mobile networks, web
+infrastructure, five public forums, and every external service the paper
+queries (HLR, WHOIS, crt.sh, passive DNS, VirusTotal, Google Safe
+Browsing, a vision/annotation LLM).
+
+Typical use::
+
+    from repro import ScenarioConfig, build_world, run_pipeline
+    from repro.analysis.report import generate_paper_report
+
+    world = build_world(ScenarioConfig(seed=7726, n_campaigns=150))
+    run = run_pipeline(world)
+    print(generate_paper_report(run).render())
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+paper-vs-measured comparison.
+"""
+
+from .core.pipeline import PipelineRun, run_pipeline
+from .types import (
+    Forum,
+    LurePrinciple,
+    PhoneNumberType,
+    ScamType,
+    SenderIdKind,
+)
+from .world.scenario import ScenarioConfig, World, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Forum",
+    "LurePrinciple",
+    "PhoneNumberType",
+    "PipelineRun",
+    "ScamType",
+    "ScenarioConfig",
+    "SenderIdKind",
+    "World",
+    "build_world",
+    "run_pipeline",
+    "__version__",
+]

@@ -1,0 +1,133 @@
+"""Antivirus detection analyses: Tables 9 and 18 (§4.7)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.enrichment import EnrichedDataset
+from ..types import GsbStatus
+from ..utils.tables import Table, format_count_pct
+
+
+@dataclass
+class VtThresholds:
+    """Table 9's threshold counts."""
+
+    total: int
+    undetected: int
+    malicious_at_least: Dict[int, int]
+    suspicious_at_least: Dict[int, int]
+
+
+def vt_thresholds(
+    enriched: EnrichedDataset,
+    malicious_levels: Tuple[int, ...] = (1, 3, 5, 10, 15),
+    suspicious_levels: Tuple[int, ...] = (1, 3, 5),
+) -> VtThresholds:
+    """Compute the Table 9 breakdown over unique URLs."""
+    reports = [
+        e.vt_report for e in enriched.urls.values() if e.vt_report is not None
+    ]
+    total = len(reports)
+    undetected = sum(1 for r in reports if r.undetected)
+    malicious = {
+        level: sum(1 for r in reports if r.malicious >= level)
+        for level in malicious_levels
+    }
+    suspicious = {
+        level: sum(1 for r in reports if r.suspicious >= level)
+        for level in suspicious_levels
+    }
+    return VtThresholds(
+        total=total,
+        undetected=undetected,
+        malicious_at_least=malicious,
+        suspicious_at_least=suspicious,
+    )
+
+
+def build_table9(enriched: EnrichedDataset) -> Table:
+    """Table 9: VirusTotal detection thresholds for smishing URLs."""
+    data = vt_thresholds(enriched)
+    total = data.total or 1
+    table = Table(
+        title=f"Table 9: VirusTotal detection results (n={data.total:,})",
+        columns=["VirusTotal Results", "URLs"],
+    )
+    table.add_row("Malicious = 0 and Suspicious = 0",
+                  format_count_pct(data.undetected, total))
+    for level, count in data.malicious_at_least.items():
+        table.add_row(f"Malicious >= {level}", format_count_pct(count, total))
+    for level, count in data.suspicious_at_least.items():
+        table.add_row(f"Suspicious >= {level}", format_count_pct(count, total))
+    return table
+
+
+@dataclass
+class GsbComparison:
+    """Table 18's three GSB views."""
+
+    total: int
+    api_unsafe: int
+    vt_unsafe: int
+    transparency: Dict[GsbStatus, int]
+
+
+def gsb_comparison(enriched: EnrichedDataset) -> GsbComparison:
+    """Compare the GSB API, the VT mirror, and the transparency report."""
+    total = 0
+    api_unsafe = 0
+    vt_unsafe = 0
+    transparency: Counter = Counter()
+    for enrichment in enriched.urls.values():
+        total += 1
+        if enrichment.gsb_api is not None and enrichment.gsb_api.flagged:
+            api_unsafe += 1
+        if enrichment.gsb_on_vt:
+            vt_unsafe += 1
+        transparency[enrichment.gsb_transparency] += 1
+    return GsbComparison(
+        total=total,
+        api_unsafe=api_unsafe,
+        vt_unsafe=vt_unsafe,
+        transparency=dict(transparency),
+    )
+
+
+def build_table18(enriched: EnrichedDataset) -> Table:
+    """Table 18: GSB detection across its three query surfaces."""
+    data = gsb_comparison(enriched)
+    total = data.total or 1
+    table = Table(
+        title=f"Table 18: Google Safe Browsing results (n={data.total:,})",
+        columns=["GSB Surface", "Unsafe", "Partially Unsafe", "Undetected",
+                 "No Data", "Not Queried"],
+    )
+    table.add_row(
+        "API",
+        format_count_pct(data.api_unsafe, total),
+        None,
+        format_count_pct(total - data.api_unsafe, total),
+        None,
+        None,
+    )
+    t = data.transparency
+    table.add_row(
+        "Transparency Report",
+        format_count_pct(t.get(GsbStatus.UNSAFE, 0), total),
+        format_count_pct(t.get(GsbStatus.PARTIALLY_UNSAFE, 0), total),
+        format_count_pct(t.get(GsbStatus.UNDETECTED, 0), total),
+        format_count_pct(t.get(GsbStatus.NO_DATA, 0), total),
+        format_count_pct(t.get(GsbStatus.NOT_QUERIED, 0), total),
+    )
+    table.add_row(
+        "on VirusTotal",
+        format_count_pct(data.vt_unsafe, total),
+        None,
+        format_count_pct(total - data.vt_unsafe, total),
+        None,
+        None,
+    )
+    return table

@@ -1,0 +1,146 @@
+"""Domain-side analyses: Tables 6, 16 and 17 (§4.3, §4.4)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Optional, Tuple
+
+from ..core.enrichment import EnrichedDataset
+from ..types import ScamType, TldClass
+from ..utils.tables import Table
+from ..world.infrastructure import FREE_HOSTING_WEIGHTS
+
+
+def tld_counters(enriched: EnrichedDataset) -> Tuple[Counter, Counter]:
+    """(direct smishing URL TLDs, shortened URL TLDs) over unique URLs.
+
+    Table 6 separates the TLD of the scammer's own domain from the TLD of
+    the shortener host (``ly`` for bit.ly etc.).
+    """
+    direct: Counter = Counter()
+    shortened: Counter = Counter()
+    for enrichment in enriched.urls.values():
+        tld = enrichment.effective_tld
+        if tld is None:
+            continue
+        if enrichment.shortener is not None:
+            shortened[tld.rsplit(".", 1)[-1]] += 1
+        elif not enrichment.is_whatsapp:
+            direct[tld] += 1
+    return direct, shortened
+
+
+def build_table6(enriched: EnrichedDataset, top: int = 10) -> Table:
+    """Table 6: top TLDs for smishing URLs and shortened URLs."""
+    direct, shortened = tld_counters(enriched)
+    table = Table(
+        title=f"Table 6: Top TLDs abused for smishing URLs (n={sum(direct.values()):,})",
+        columns=["TLD", "Smishing URLs", "TLD (short)", "Shortened URLs"],
+    )
+    direct_rows = direct.most_common(top)
+    short_rows = shortened.most_common(top)
+    for index in range(max(len(direct_rows), len(short_rows))):
+        left = direct_rows[index] if index < len(direct_rows) else ("", None)
+        right = short_rows[index] if index < len(short_rows) else ("", None)
+        table.add_row(left[0], left[1], right[0], right[1])
+    return table
+
+
+def build_table16(enriched: EnrichedDataset) -> Table:
+    """Table 16: unique smishing URLs by IANA TLD class."""
+    class_urls: Counter = Counter()
+    class_tlds: Dict[TldClass, set] = defaultdict(set)
+    for enrichment in enriched.urls.values():
+        if enrichment.shortener is not None or enrichment.is_whatsapp:
+            continue
+        if enrichment.tld_class is None or enrichment.effective_tld is None:
+            continue
+        tld_class = enrichment.tld_class
+        # Multi-label free-hosting suffixes are generic platform TLDs.
+        if enrichment.effective_tld in FREE_HOSTING_WEIGHTS:
+            tld_class = TldClass.GENERIC
+        class_urls[tld_class] += 1
+        class_tlds[tld_class].add(enrichment.effective_tld)
+    total = sum(class_urls.values()) or 1
+    table = Table(
+        title="Table 16: Smishing URL TLDs by IANA classification",
+        columns=["Type", "URLs", "URLs %", "TLDs"],
+    )
+    for tld_class in TldClass:
+        urls = class_urls.get(tld_class, 0)
+        if urls == 0 and tld_class in (TldClass.INFRASTRUCTURE, TldClass.TEST):
+            table.add_row(tld_class.value, None, None, None)
+            continue
+        table.add_row(
+            tld_class.value, urls,
+            round(100.0 * urls / total, 1),
+            len(class_tlds.get(tld_class, ())),
+        )
+    return table
+
+
+def registrar_usage(
+    enriched: EnrichedDataset,
+) -> Tuple[Counter, Dict[str, Counter]]:
+    """(domains per registrar, per-registrar scam-type counters)."""
+    domain_registrar: Dict[str, str] = {}
+    domain_scams: Dict[str, Counter] = defaultdict(Counter)
+    for record in enriched.dataset:
+        if record.url is None:
+            continue
+        enrichment = enriched.urls.get(str(record.url))
+        if enrichment is None or enrichment.whois is None:
+            continue
+        registrar = enrichment.whois.registrar
+        if registrar is None:
+            continue
+        domain = enrichment.registered_domain or enrichment.url.host
+        domain_registrar[domain] = registrar
+        labels = enriched.labels_for(record)
+        if labels is not None:
+            domain_scams[domain][labels.scam_type] += 1
+    counts: Counter = Counter(domain_registrar.values())
+    per_scam: Dict[str, Counter] = defaultdict(Counter)
+    for domain, registrar in domain_registrar.items():
+        scams = domain_scams.get(domain)
+        if scams:
+            per_scam[registrar][scams.most_common(1)[0][0]] += 1
+    return counts, per_scam
+
+
+def build_table17(enriched: EnrichedDataset, top: int = 10) -> Table:
+    """Table 17: top registrars for smishing domains."""
+    counts, _ = registrar_usage(enriched)
+    table = Table(
+        title="Table 17: Top registrars abused to register smishing domains",
+        columns=["Registrar", "Domains"],
+    )
+    for registrar, count in counts.most_common(top):
+        table.add_row(registrar, count)
+    return table
+
+
+def preferred_registrar_for(
+    enriched: EnrichedDataset, scam_type: ScamType
+) -> Optional[str]:
+    """The registrar most used by one scam type (§4.4: Gname for gov)."""
+    _, per_scam = registrar_usage(enriched)
+    best: Tuple[Optional[str], int] = (None, 0)
+    for registrar, scams in per_scam.items():
+        count = scams.get(scam_type, 0)
+        if count > best[1]:
+            best = (registrar, count)
+    return best[0]
+
+
+def free_hosting_counts(enriched: EnrichedDataset) -> Counter:
+    """Unique domains per free website-builder suffix (§4.3)."""
+    counts: Counter = Counter()
+    seen: set = set()
+    for enrichment in enriched.urls.values():
+        tld = enrichment.effective_tld
+        domain = enrichment.registered_domain
+        if tld in FREE_HOSTING_WEIGHTS and domain not in seen:
+            seen.add(domain)
+            counts[tld] += 1
+    return counts

@@ -1,0 +1,149 @@
+"""Plot-ready data series and CSV export for the paper's figures.
+
+The paper's artifact repository ships the code that generates its plots;
+this module is the equivalent: each figure builder returns tidy
+``(series name, x, y)`` rows that any plotting library consumes directly,
+plus CSV writers so the data can leave the Python process.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.enrichment import EnrichedDataset
+from ..types import ScamType
+from .sender import figure3_data
+from .strategies import TimestampAnalysis, timestamp_analysis
+
+_WEEKDAYS = ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+             "Saturday", "Sunday")
+
+
+@dataclass
+class FigureData:
+    """Tidy long-format figure data."""
+
+    figure_id: str
+    columns: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def save_csv(self, path: "Path | str") -> int:
+        path = Path(path)
+        path.write_text(self.to_csv(), encoding="utf-8")
+        return len(self.rows)
+
+    def series(self, name_column: int = 0) -> Dict[str, List[Tuple]]:
+        grouped: Dict[str, List[Tuple]] = {}
+        for row in self.rows:
+            grouped.setdefault(str(row[name_column]), []).append(row)
+        return grouped
+
+
+def figure2_series(
+    enriched: EnrichedDataset,
+    *,
+    analysis: Optional[TimestampAnalysis] = None,
+) -> FigureData:
+    """Figure 2 as long-format rows: (weekday, second_of_day).
+
+    One row per timestamped message — the raw material for the paper's
+    per-weekday scatter/box plot.
+    """
+    analysis = analysis or timestamp_analysis(enriched)
+    data = FigureData(
+        figure_id="figure2",
+        columns=("weekday", "second_of_day"),
+    )
+    for weekday in _WEEKDAYS:
+        for second in sorted(analysis.samples[weekday]):
+            data.rows.append((weekday, second))
+    return data
+
+
+def figure2_median_series(
+    enriched: EnrichedDataset,
+    *,
+    analysis: Optional[TimestampAnalysis] = None,
+) -> FigureData:
+    """Per-weekday medians (the annotations printed under Fig. 2)."""
+    analysis = analysis or timestamp_analysis(enriched)
+    data = FigureData(
+        figure_id="figure2-medians",
+        columns=("weekday", "messages", "median_send_time"),
+    )
+    for weekday in _WEEKDAYS:
+        data.rows.append((
+            weekday,
+            len(analysis.samples[weekday]),
+            analysis.medians[weekday],
+        ))
+    return data
+
+
+def figure3_series(enriched: EnrichedDataset, top: int = 10) -> FigureData:
+    """Figure 3 as long-format rows: (country, scam_type, percentage)."""
+    mix = figure3_data(enriched, top)
+    data = FigureData(
+        figure_id="figure3",
+        columns=("country", "scam_type", "percentage"),
+    )
+    for country, scam_mix in mix.items():
+        for scam in ScamType:
+            if scam is ScamType.SPAM:
+                continue
+            data.rows.append((
+                country, scam.value, round(scam_mix.get(scam, 0.0), 2)
+            ))
+    return data
+
+
+def yearly_volume_series(collection_reports) -> FigureData:
+    """Tweets and images per year (the Table 15 trend, as a series)."""
+    from collections import Counter
+
+    from ..types import Forum
+
+    posts: Counter = Counter()
+    images: Counter = Counter()
+    for report in collection_reports:
+        if report.forum is not Forum.TWITTER:
+            continue
+        posts[report.posted_at.year] += 1
+        images[report.posted_at.year] += len(report.screenshots)
+    data = FigureData(
+        figure_id="twitter-yearly",
+        columns=("year", "tweets", "images"),
+    )
+    for year in sorted(set(posts) | set(images)):
+        data.rows.append((year, posts.get(year, 0), images.get(year, 0)))
+    return data
+
+
+def export_all_figures(
+    enriched: EnrichedDataset, collection_reports, directory: "Path | str"
+) -> Dict[str, int]:
+    """Write every figure CSV into ``directory``; returns row counts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, int] = {}
+    for data in (
+        figure2_series(enriched),
+        figure2_median_series(enriched),
+        figure3_series(enriched),
+        yearly_volume_series(collection_reports),
+    ):
+        written[data.figure_id] = data.save_csv(
+            directory / f"{data.figure_id}.csv"
+        )
+    return written

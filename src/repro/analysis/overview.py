@@ -1,0 +1,112 @@
+"""Dataset overview analyses: Table 1 and Table 15."""
+
+from __future__ import annotations
+
+import datetime as dt
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..core.collection import CollectionResult
+from ..core.dataset import SmishingDataset
+from ..types import Forum
+from ..utils.tables import Table, format_count_pct
+
+#: Display order of forums in Table 1.
+FORUM_ORDER: Tuple[Forum, ...] = (
+    Forum.TWITTER, Forum.REDDIT, Forum.SMISHTANK, Forum.SMISHING_EU,
+    Forum.PASTEBIN,
+)
+
+
+def build_table1(
+    collection: CollectionResult, dataset: SmishingDataset
+) -> Table:
+    """Table 1: posts, images, messages, sender IDs and URLs per forum."""
+    by_forum = collection.by_forum()
+    table = Table(
+        title="Table 1: Overview of the smishing dataset",
+        columns=[
+            "Online Forum", "Posts", "Image Attachments",
+            "SMS Unique", "SMS Total", "Senders Unique", "Senders Total",
+            "URLs Unique", "URLs Total",
+        ],
+    )
+    total_unique_msgs = len(dataset.unique_messages()) or 1
+    total_unique_senders = len(dataset.unique_senders()) or 1
+    total_unique_urls = len(dataset.unique_urls()) or 1
+    totals = [0] * 8
+    for forum in FORUM_ORDER:
+        reports = by_forum.get(forum, [])
+        counts = dataset.forum_counts(
+            forum,
+            posts=len(reports),
+            images=sum(len(r.screenshots) for r in reports),
+        )
+        table.add_row(
+            forum.value,
+            counts.posts,
+            counts.images,
+            format_count_pct(counts.messages_unique, total_unique_msgs),
+            counts.messages_total,
+            format_count_pct(counts.senders_unique, total_unique_senders),
+            counts.senders_total,
+            format_count_pct(counts.urls_unique, total_unique_urls),
+            counts.urls_total,
+        )
+        for i, value in enumerate((
+            counts.posts, counts.images, counts.messages_unique,
+            counts.messages_total, counts.senders_unique,
+            counts.senders_total, counts.urls_unique, counts.urls_total,
+        )):
+            totals[i] += value
+    table.add_row(
+        "Total", totals[0], totals[1],
+        len(dataset.unique_messages()), totals[3],
+        len(dataset.unique_senders()), totals[5],
+        len(dataset.unique_urls()), totals[7],
+    )
+    table.add_note(
+        "unique counts in the Total row are global (cross-forum dedup)"
+    )
+    return table
+
+
+def build_table15(collection: CollectionResult) -> Table:
+    """Table 15: annual distribution of collected tweets and images."""
+    posts_by_year: Counter = Counter()
+    images_by_year: Counter = Counter()
+    for report in collection.reports:
+        if report.forum is not Forum.TWITTER:
+            continue
+        year = report.posted_at.year
+        posts_by_year[year] += 1
+        images_by_year[year] += len(report.screenshots)
+    total_posts = sum(posts_by_year.values()) or 1
+    total_images = sum(images_by_year.values()) or 1
+    table = Table(
+        title="Table 15: Annual distribution of tweets and image attachments",
+        columns=["Year", "Tweets", "Image Attachments"],
+    )
+    for year in sorted(set(posts_by_year) | set(images_by_year)):
+        table.add_row(
+            str(year),
+            format_count_pct(posts_by_year.get(year, 0), total_posts),
+            format_count_pct(images_by_year.get(year, 0), total_images),
+        )
+    table.add_row("Total", total_posts, total_images)
+    return table
+
+
+def collection_funnel(
+    collection: CollectionResult, dataset: SmishingDataset
+) -> Dict[str, int]:
+    """Posts → images → curated records funnel, for sanity reporting."""
+    return {
+        "posts_collected": len(collection.reports),
+        "posts_seen": collection.posts_seen,
+        "images_collected": collection.image_count,
+        "records_curated": len(dataset),
+        "unique_messages": len(dataset.unique_messages()),
+        "unique_senders": len(dataset.unique_senders()),
+        "unique_urls": len(dataset.unique_urls()),
+    }

@@ -1,0 +1,171 @@
+"""Sender-side analyses: Tables 3, 4, 14 and Figure 3 (§4.1, §5.6)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.enrichment import EnrichedDataset
+from ..types import LineStatus, PhoneNumberType, ScamType, SenderIdKind
+from ..utils.tables import Table, format_count_pct
+
+
+@dataclass
+class SenderKindSplit:
+    """§4.1's sender-ID class split."""
+
+    emails: int
+    phone_numbers: int
+    alphanumeric: int
+
+    @property
+    def total(self) -> int:
+        return self.emails + self.phone_numbers + self.alphanumeric
+
+
+def sender_kind_split(enriched: EnrichedDataset) -> SenderKindSplit:
+    """Unique sender IDs per class (§4.1)."""
+    counts = Counter(s.kind for s in enriched.senders.values())
+    return SenderKindSplit(
+        emails=counts.get(SenderIdKind.EMAIL, 0),
+        phone_numbers=counts.get(SenderIdKind.PHONE_NUMBER, 0),
+        alphanumeric=counts.get(SenderIdKind.ALPHANUMERIC, 0),
+    )
+
+
+#: Table 3's row order.
+_TYPE_ORDER: Tuple[PhoneNumberType, ...] = (
+    PhoneNumberType.MOBILE, PhoneNumberType.MOBILE_OR_LANDLINE,
+    PhoneNumberType.VOIP, PhoneNumberType.TOLL_FREE, PhoneNumberType.PAGER,
+    PhoneNumberType.UNIVERSAL_ACCESS, PhoneNumberType.PERSONAL,
+    PhoneNumberType.OTHER, PhoneNumberType.BAD_FORMAT,
+    PhoneNumberType.LANDLINE, PhoneNumberType.VOICEMAIL_ONLY,
+)
+
+
+def build_table3(enriched: EnrichedDataset) -> Table:
+    """Table 3: phone-number types abused as sender IDs (HLR)."""
+    counts: Counter = Counter()
+    for sender in enriched.senders.values():
+        if sender.hlr is not None:
+            counts[sender.hlr.number_type] += 1
+    total = sum(counts.values()) or 1
+    table = Table(
+        title=f"Table 3: Types of phone numbers abused as sender IDs (n={total:,})",
+        columns=["Type", "Phone Numbers"],
+    )
+    valid = [t for t in _TYPE_ORDER if t.is_valid]
+    invalid = [t for t in _TYPE_ORDER if not t.is_valid]
+    table.add_row("Valid Numbers", None)
+    for number_type in valid:
+        table.add_row(number_type.value,
+                      format_count_pct(counts.get(number_type, 0), total))
+    table.add_row("Invalid/Suspicious Numbers", None)
+    for number_type in invalid:
+        table.add_row(number_type.value,
+                      format_count_pct(counts.get(number_type, 0), total))
+    return table
+
+
+def build_table4(enriched: EnrichedDataset, top: int = 10) -> Table:
+    """Table 4: most-abused original mobile network operators."""
+    counts: Counter = Counter()
+    countries: Dict[str, set] = defaultdict(set)
+    for sender in enriched.senders.values():
+        hlr = sender.hlr
+        if hlr is None or hlr.original_operator is None:
+            continue
+        counts[hlr.original_operator] += 1
+        if hlr.country_iso3:
+            countries[hlr.original_operator].add(hlr.country_iso3)
+    total = sum(counts.values()) or 1
+    table = Table(
+        title="Table 4: Top mobile network operators abused for smishing",
+        columns=["MNO", "Mobile #s", "Countries"],
+    )
+    for name, count in counts.most_common(top):
+        table.add_row(
+            name,
+            format_count_pct(count, total),
+            ", ".join(sorted(countries[name])),
+        )
+    return table
+
+
+def build_table14(enriched: EnrichedDataset, top: int = 10) -> Table:
+    """Table 14: top origin countries (all vs live numbers)."""
+    all_counts: Counter = Counter()
+    live_counts: Counter = Counter()
+    operator_sets: Dict[str, set] = defaultdict(set)
+    for sender in enriched.senders.values():
+        hlr = sender.hlr
+        if hlr is None or hlr.country_iso3 is None:
+            continue
+        if not hlr.is_valid or hlr.original_operator is None:
+            continue
+        all_counts[hlr.country_iso3] += 1
+        operator_sets[hlr.country_iso3].add(hlr.original_operator)
+        if hlr.status is LineStatus.LIVE:
+            live_counts[hlr.country_iso3] += 1
+    table = Table(
+        title="Table 14: Top countries by sender-ID mobile numbers",
+        columns=["Country", "MNOs", "All", "Live"],
+    )
+    for country, count in all_counts.most_common(top):
+        table.add_row(
+            country,
+            len(operator_sets[country]),
+            count,
+            live_counts.get(country, 0),
+        )
+    return table
+
+
+def figure3_data(
+    enriched: EnrichedDataset, top: int = 10
+) -> Dict[str, Dict[ScamType, float]]:
+    """Figure 3: per-country scam-type percentage mix.
+
+    Joins each record's HLR origin country with its annotated scam type
+    and normalises to percentages within each of the top countries.
+    """
+    joint: Dict[str, Counter] = defaultdict(Counter)
+    country_totals: Counter = Counter()
+    for record in enriched.dataset:
+        labels = enriched.labels_for(record)
+        sender = enriched.sender_enrichment_for(record)
+        if labels is None or sender is None or sender.hlr is None:
+            continue
+        country = sender.hlr.country_iso3
+        if country is None or not sender.hlr.is_valid:
+            continue
+        if labels.scam_type is ScamType.SPAM:
+            continue  # the figure shows scam types only
+        joint[country][labels.scam_type] += 1
+        country_totals[country] += 1
+    top_countries = [c for c, _ in country_totals.most_common(top)]
+    result: Dict[str, Dict[ScamType, float]] = {}
+    for country in top_countries:
+        total = country_totals[country] or 1
+        result[country] = {
+            scam: 100.0 * count / total
+            for scam, count in joint[country].items()
+        }
+    return result
+
+
+def build_figure3_table(enriched: EnrichedDataset, top: int = 10) -> Table:
+    """Figure 3 rendered as a table of percentages."""
+    data = figure3_data(enriched, top)
+    scam_order = [s for s in ScamType if s is not ScamType.SPAM]
+    table = Table(
+        title="Figure 3: Scam-type mix per top origin country (%)",
+        columns=["Country"] + [s.value for s in scam_order],
+    )
+    for country, mix in data.items():
+        table.add_row(
+            country,
+            *[round(mix.get(scam, 0.0), 1) for scam in scam_order],
+        )
+    return table

@@ -1,0 +1,70 @@
+"""URL shortener abuse: Table 5 (§4.2)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Optional, Tuple
+
+from ..core.enrichment import EnrichedDataset
+from ..services.shorteners import WHATSAPP_HOST
+from ..types import ScamType
+from ..utils.tables import Table, format_count_pct
+
+#: Table 5's scam-type columns.
+_COLUMN_SCAMS: Tuple[ScamType, ...] = (
+    ScamType.BANKING, ScamType.DELIVERY, ScamType.GOVERNMENT,
+    ScamType.TELECOM, ScamType.WRONG_NUMBER, ScamType.HEY_MUM_DAD,
+)
+
+
+def shortener_usage(
+    enriched: EnrichedDataset,
+) -> Tuple[Counter, Dict[str, Counter]]:
+    """(total per shortener, per-shortener scam-type counters).
+
+    Counts unique URLs; the scam type comes from the annotation of the
+    record(s) carrying each URL (majority across duplicates).
+    """
+    url_scams: Dict[str, Counter] = defaultdict(Counter)
+    for record in enriched.dataset:
+        if record.url is None:
+            continue
+        labels = enriched.labels_for(record)
+        if labels is not None:
+            url_scams[str(record.url)][labels.scam_type] += 1
+    totals: Counter = Counter()
+    per_scam: Dict[str, Counter] = defaultdict(Counter)
+    for key, enrichment in enriched.urls.items():
+        if enrichment.shortener is None:
+            continue
+        totals[enrichment.shortener] += 1
+        scams = url_scams.get(key)
+        if scams:
+            scam = scams.most_common(1)[0][0]
+            per_scam[enrichment.shortener][scam] += 1
+    return totals, per_scam
+
+
+def build_table5(enriched: EnrichedDataset, top: int = 10) -> Table:
+    """Table 5: top shorteners, split by scam type."""
+    totals, per_scam = shortener_usage(enriched)
+    grand_total = sum(totals.values()) or 1
+    table = Table(
+        title="Table 5: Top URL shorteners abused per scam type",
+        columns=["Shortener", "URLs"] + [s.short_code for s in _COLUMN_SCAMS],
+    )
+    for name, count in totals.most_common(top):
+        row = [name, format_count_pct(count, grand_total)]
+        for scam in _COLUMN_SCAMS:
+            value = per_scam[name].get(scam, 0)
+            row.append(value if value else None)
+        table.add_row(*row)
+    return table
+
+
+def whatsapp_link_count(enriched: EnrichedDataset) -> int:
+    """wa.me conversation-starter links (§4.2 reports 205)."""
+    return sum(
+        1 for e in enriched.urls.values()
+        if e.is_whatsapp or e.url.host == WHATSAPP_HOST
+    )

@@ -1,0 +1,70 @@
+"""TLS certificate analysis: Table 7 (§4.5)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.enrichment import EnrichedDataset
+from ..utils.stats import Summary, summarise
+from ..utils.tables import Table
+
+
+@dataclass
+class TlsOverview:
+    """The §4.5 headline numbers."""
+
+    total_certificates: int
+    domains_with_certs: int
+    issuing_organisations: int
+    per_domain: Summary
+
+
+def tls_overview(enriched: EnrichedDataset) -> Optional[TlsOverview]:
+    """Aggregate certificate statistics over unique domains."""
+    per_domain_counts: Dict[str, int] = {}
+    issuers: set = set()
+    for enrichment in enriched.urls.values():
+        summary = enrichment.certificates
+        if summary is None or summary.certificates == 0:
+            continue
+        per_domain_counts[summary.domain] = summary.certificates
+        issuers.update(summary.issuers)
+    if not per_domain_counts:
+        return None
+    counts = list(per_domain_counts.values())
+    return TlsOverview(
+        total_certificates=sum(counts),
+        domains_with_certs=len(counts),
+        issuing_organisations=len(issuers),
+        per_domain=summarise(counts),
+    )
+
+
+def ca_usage(enriched: EnrichedDataset) -> Tuple[Counter, Counter]:
+    """(certificates per CA, domains per CA)."""
+    certificates: Counter = Counter()
+    domains: Dict[str, set] = defaultdict(set)
+    for enrichment in enriched.urls.values():
+        summary = enrichment.certificates
+        if summary is None:
+            continue
+        for issuer, count in summary.issuers.items():
+            certificates[issuer] += count
+            domains[issuer].add(summary.domain)
+    domain_counts = Counter({issuer: len(hosts)
+                             for issuer, hosts in domains.items()})
+    return certificates, domain_counts
+
+
+def build_table7(enriched: EnrichedDataset, top: int = 10) -> Table:
+    """Table 7: top CAs by certificates issued to smishing domains."""
+    certificates, domains = ca_usage(enriched)
+    table = Table(
+        title="Table 7: Top TLS certificate authorities abused for smishing",
+        columns=["Certificate Authority", "Certificates", "Domains"],
+    )
+    for issuer, cert_count in certificates.most_common(top):
+        table.add_row(issuer, cert_count, domains.get(issuer, 0))
+    return table

@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main workflows:
+
+* ``report``   — regenerate every paper table/figure.
+* ``release``  — write the pseudo-anonymised dataset (Appendix C).
+* ``casestudy``— run the §6 active malware investigation.
+* ``mine``     — cluster the dataset back into campaigns.
+* ``figures``  — export plot-ready CSVs for the figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis.campaign_mining import (
+    campaign_summary_table,
+    mine_campaigns,
+)
+from .analysis.figures import export_all_figures
+from .analysis.malware import build_table19, family_distribution_table
+from .analysis.report import generate_paper_report
+from .core.active import run_case_study
+from .core.anonymize import build_release, save_release
+from .core.pipeline import PipelineRun, run_pipeline
+from .world.scenario import ScenarioConfig, build_world
+
+
+def _build_run(args: argparse.Namespace) -> PipelineRun:
+    world = build_world(ScenarioConfig(seed=args.seed,
+                                       n_campaigns=args.campaigns))
+    return run_pipeline(world)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    run = _build_run(args)
+    report = generate_paper_report(run)
+    print(report.render())
+    return 0
+
+
+def _cmd_release(args: argparse.Namespace) -> int:
+    run = _build_run(args)
+    rows = build_release(run.enriched)
+    written = save_release(rows, args.output)
+    print(f"wrote {written} pseudo-anonymised rows to {args.output}")
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    run = _build_run(args)
+    study = run_case_study(run.world, run.dataset,
+                           sample_posts=args.sample)
+    print(build_table19(study).to_text())
+    print()
+    print(family_distribution_table(study).to_text())
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    run = _build_run(args)
+    mined = mine_campaigns(run.annotated_dataset,
+                           threshold=args.threshold)
+    print(campaign_summary_table(mined, top=args.top).to_text())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    run = _build_run(args)
+    written = export_all_figures(run.enriched, run.collection.reports,
+                                 args.output)
+    for name, rows in sorted(written.items()):
+        print(f"{name}.csv: {rows} rows")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fishing-for-Smishing reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=7726,
+                        help="world seed (default 7726)")
+    parser.add_argument("--campaigns", type=int, default=120,
+                        help="number of simulated campaigns (default 120)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="regenerate all tables/figures")
+    report.set_defaults(func=_cmd_report)
+
+    release = sub.add_parser("release", help="write the anonymised dataset")
+    release.add_argument("output", type=Path, nargs="?",
+                         default=Path("smishing_release.jsonl"))
+    release.set_defaults(func=_cmd_release)
+
+    casestudy = sub.add_parser("casestudy",
+                               help="run the §6 malware case study")
+    casestudy.add_argument("--sample", type=int, default=200)
+    casestudy.set_defaults(func=_cmd_casestudy)
+
+    mine = sub.add_parser("mine", help="cluster records into campaigns")
+    mine.add_argument("--threshold", type=float, default=0.7)
+    mine.add_argument("--top", type=int, default=10)
+    mine.set_defaults(func=_cmd_mine)
+
+    figures = sub.add_parser("figures", help="export figure CSVs")
+    figures.add_argument("output", type=Path, nargs="?",
+                         default=Path("figures"))
+    figures.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

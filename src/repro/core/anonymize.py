@@ -1,0 +1,151 @@
+"""Pseudo-anonymised dataset release (Appendix A/C).
+
+The published dataset must not carry PII: raw phone numbers, e-mail
+addresses, complete URLs, or personal names in texts. This module
+produces release rows with exactly the fields Appendix C enumerates:
+sender-ID *class*, HLR-derived type/operator/country, the scrubbed text,
+its English translation, the URL-shortener name (not the URL), brand,
+scam category, lures, and language.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..types import SenderIdKind
+from .enrichment import EnrichedDataset
+
+_URL_RE = re.compile(
+    r"(?:https?://)?(?:[a-zA-Z0-9-]+\.)+[a-zA-Z]{2,24}(?:/[^\s]*)?"
+)
+_PHONE_RE = re.compile(r"\+?\d[\d\s().-]{6,}\d")
+_EMAIL_RE = re.compile(r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,24}")
+#: First names the generator uses in conversation templates.
+_NAME_RE = re.compile(
+    r"\b(Anna|Maria|John|Sam|Alex|Emma|Lucas|Sofia|David|Laura|Tom|Nina|"
+    r"Budi|Tanaka|Lee)\b"
+)
+
+
+def scrub_text(text: str) -> str:
+    """Remove URLs, phone numbers, e-mail addresses and names from text."""
+    # E-mails first: the URL pattern would otherwise eat their halves.
+    scrubbed = _EMAIL_RE.sub("[EMAIL]", text)
+    scrubbed = _URL_RE.sub("[URL]", scrubbed)
+    scrubbed = _PHONE_RE.sub("[PHONE]", scrubbed)
+    scrubbed = _NAME_RE.sub("[NAME]", scrubbed)
+    return scrubbed
+
+
+@dataclass
+class ReleaseRow:
+    """One row of the public dataset (Appendix C field list)."""
+
+    sender_id_class: Optional[str]
+    sender_id_type: Optional[str]
+    sender_original_operator: Optional[str]
+    sender_origin_country: Optional[str]
+    text: str
+    translated_text: Optional[str]
+    url_shortener: Optional[str]
+    brand: Optional[str]
+    scam_category: Optional[str]
+    lure_principles: List[str] = field(default_factory=list)
+    language: Optional[str] = None
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "sender_id": self.sender_id_class,
+            "sender_id_type": self.sender_id_type,
+            "sender_id_original_mno": self.sender_original_operator,
+            "sender_id_origin_country": self.sender_origin_country,
+            "text_message": self.text,
+            "translated_text_message": self.translated_text,
+            "url_shortener": self.url_shortener,
+            "brand_impersonated": self.brand,
+            "scam_category": self.scam_category,
+            "lure_principles": self.lure_principles,
+            "language": self.language,
+        }
+
+
+_PII_PATTERNS = (_URL_RE, _EMAIL_RE)
+
+
+def _contains_pii(row: ReleaseRow) -> bool:
+    for text in (row.text, row.translated_text or ""):
+        for pattern in _PII_PATTERNS:
+            for match in pattern.finditer(text):
+                if match.group(0) not in ("[URL]", "[EMAIL]"):
+                    return True
+        if _PHONE_RE.search(text):
+            return True
+    return False
+
+
+def build_release(enriched: EnrichedDataset) -> List[ReleaseRow]:
+    """Produce the anonymised release for an enriched dataset."""
+    rows: List[ReleaseRow] = []
+    for record in enriched.dataset:
+        labels = enriched.labels_for(record)
+        sender = enriched.sender_enrichment_for(record)
+        url_info = enriched.url_enrichment_for(record)
+        sender_class = None
+        sender_type = operator = country = None
+        if record.sender is not None:
+            sender_class = {
+                SenderIdKind.PHONE_NUMBER: "phone number",
+                SenderIdKind.EMAIL: "email",
+                SenderIdKind.ALPHANUMERIC: "alphanumeric",
+            }[record.sender.kind]
+        if sender is not None and sender.hlr is not None:
+            sender_type = sender.hlr.number_type.value
+            operator = sender.hlr.original_operator
+            country = sender.hlr.country_iso3
+        translated = record.translated_text
+        if labels is not None and translated is None and labels.language != "en":
+            raw = enriched.raw_annotations.get(record.record_id)
+            translated = raw.translation if raw else None
+        rows.append(ReleaseRow(
+            sender_id_class=sender_class,
+            sender_id_type=sender_type,
+            sender_original_operator=operator,
+            sender_origin_country=country,
+            text=scrub_text(record.text),
+            translated_text=scrub_text(translated) if translated else None,
+            url_shortener=url_info.shortener if url_info else None,
+            brand=labels.brand if labels else None,
+            scam_category=labels.scam_type.value if labels else None,
+            lure_principles=sorted(l.value for l in labels.lures)
+            if labels else [],
+            language=labels.language if labels else None,
+        ))
+    return rows
+
+
+def validate_release(rows: List[ReleaseRow]) -> List[int]:
+    """Indices of rows still carrying PII (must be empty before release)."""
+    return [index for index, row in enumerate(rows) if _contains_pii(row)]
+
+
+def save_release(rows: List[ReleaseRow], path: "Path | str") -> int:
+    """Write the release as JSONL after a PII sweep.
+
+    Raises ``ValueError`` if any row still contains PII.
+    """
+    offenders = validate_release(rows)
+    if offenders:
+        raise ValueError(
+            f"{len(offenders)} release rows still contain PII: "
+            f"{offenders[:5]}..."
+        )
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row.to_json_dict(), ensure_ascii=False)
+                         + "\n")
+    return len(rows)

@@ -1,0 +1,271 @@
+"""Report collection from the five forums (§3.1).
+
+Each collector speaks its forum's API dialect — keyword search with
+pagination on Twitter/Reddit, weekly scrapes on Smishing.eu, per-user
+paste listing on Pastebin, bulk report listing on Smishtank — and emits
+uniform :class:`RawReport` records for curation.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import QuotaExhausted, ServiceUnavailable
+from ..forums.base import Post
+from ..forums.pastebin import ANALYST_USER, PastebinService
+from ..forums.reddit import RedditService
+from ..forums.smishingeu import SmishingEuService
+from ..forums.smishtank import SmishtankService
+from ..forums.twitter import ACADEMIC_API_SHUTDOWN, TwitterService
+from ..imaging.screenshot import Screenshot
+from ..types import Forum
+from .config import PipelineConfig
+
+
+@dataclass
+class RawReport:
+    """One collected forum item, pre-curation."""
+
+    forum: Forum
+    post_id: str
+    author: str
+    posted_at: dt.datetime
+    body: str
+    screenshots: List[Screenshot] = field(default_factory=list)
+    structured: Optional[Dict[str, str]] = None
+    matched_keyword: Optional[str] = None
+    via_reply: bool = False
+    truth_event_id: Optional[str] = None
+
+    @property
+    def has_image(self) -> bool:
+        return bool(self.screenshots)
+
+
+@dataclass
+class CollectionResult:
+    """Everything a collection run produced, with bookkeeping."""
+
+    reports: List[RawReport] = field(default_factory=list)
+    posts_seen: int = 0
+    api_errors: List[str] = field(default_factory=list)
+
+    def extend(self, other: "CollectionResult") -> None:
+        self.reports.extend(other.reports)
+        self.posts_seen += other.posts_seen
+        self.api_errors.extend(other.api_errors)
+
+    def by_forum(self) -> Dict[Forum, List[RawReport]]:
+        grouped: Dict[Forum, List[RawReport]] = {}
+        for report in self.reports:
+            grouped.setdefault(report.forum, []).append(report)
+        return grouped
+
+    @property
+    def image_count(self) -> int:
+        return sum(len(r.screenshots) for r in self.reports)
+
+
+def _report_from_post(post: Post, keyword: Optional[str],
+                      via_reply: bool = False) -> RawReport:
+    return RawReport(
+        forum=post.forum,
+        post_id=post.post_id,
+        author=post.author,
+        posted_at=post.created_at,
+        body=post.body,
+        screenshots=list(post.attachments),
+        structured=dict(post.structured) if post.structured else None,
+        matched_keyword=keyword,
+        via_reply=via_reply,
+        truth_event_id=post.truth_event_id,
+    )
+
+
+class TwitterCollector:
+    """Historical + real-time tweet collection (§3.1.1)."""
+
+    def __init__(self, service: TwitterService, config: PipelineConfig):
+        self._service = service
+        self._config = config
+
+    def collect(self) -> CollectionResult:
+        result = CollectionResult()
+        windows = self._config.windows
+        seen: set = set()
+        # Historical sweep runs while the academic API is still alive.
+        self._service.query_time = windows.twitter_realtime_start
+        for keyword in self._config.keywords:
+            posts = self._drain(keyword, windows.twitter_historical_start,
+                                windows.twitter_realtime_start,
+                                realtime=False, errors=result.api_errors)
+            self._ingest(posts, keyword, seen, result)
+        # Real-time collection until the shutdown moment.
+        self._service.query_time = windows.twitter_realtime_start
+        for keyword in self._config.keywords:
+            posts = self._drain(keyword, windows.twitter_realtime_start,
+                                ACADEMIC_API_SHUTDOWN,
+                                realtime=True, errors=result.api_errors)
+            self._ingest(posts, keyword, seen, result)
+        return result
+
+    def _drain(self, keyword: str, since: dt.datetime, until: dt.datetime,
+               *, realtime: bool, errors: List[str]) -> List[Post]:
+        """Drain every page, keeping partial results across API failures.
+
+        An API shutdown or an exhausted request quota mid-sweep loses the
+        remaining pages but never the pages already fetched — the real
+        pipeline survived exactly this when the academic API died.
+        """
+        posts: List[Post] = []
+        cursor: Optional[str] = None
+        while True:
+            try:
+                if realtime:
+                    page = self._service.realtime_search(
+                        keyword, since=since, until=until, cursor=cursor
+                    )
+                else:
+                    page = self._service.full_archive_search(
+                        keyword, since=since, until=until, cursor=cursor
+                    )
+            except (ServiceUnavailable, QuotaExhausted) as exc:
+                errors.append(str(exc))
+                return posts
+            posts.extend(page.posts)
+            if page.exhausted:
+                return posts
+            cursor = page.next_cursor
+
+    def _ingest(self, posts: Sequence[Post], keyword: str, seen: set,
+                result: CollectionResult) -> None:
+        for post in posts:
+            result.posts_seen += 1
+            if post.post_id in seen:
+                continue
+            seen.add(post.post_id)
+            result.reports.append(_report_from_post(post, keyword))
+            # Where the keyword sat in a reply, also fetch the original
+            # tweet and its image attachment (§3.1.1).
+            try:
+                original = self._service.fetch_original(post)
+            except QuotaExhausted as exc:
+                result.api_errors.append(str(exc))
+                original = None
+            if original is not None and original.post_id not in seen:
+                seen.add(original.post_id)
+                result.posts_seen += 1
+                result.reports.append(
+                    _report_from_post(original, keyword, via_reply=True)
+                )
+
+
+class RedditCollector:
+    """Keyword search over submissions (§3.1.2)."""
+
+    def __init__(self, service: RedditService, config: PipelineConfig):
+        self._service = service
+        self._config = config
+
+    def collect(self) -> CollectionResult:
+        result = CollectionResult()
+        windows = self._config.windows
+        seen: set = set()
+        for keyword in self._config.keywords:
+            try:
+                posts = self._service.search_all(
+                    keyword, since=windows.reddit_start,
+                    until=windows.reddit_end,
+                )
+            except QuotaExhausted as exc:
+                result.api_errors.append(str(exc))
+                break
+            for post in posts:
+                result.posts_seen += 1
+                if post.post_id in seen:
+                    continue
+                seen.add(post.post_id)
+                result.reports.append(_report_from_post(post, keyword))
+        return result
+
+
+class SmishingEuCollector:
+    """Weekly Monday scrapes plus the backlog (§3.1.3)."""
+
+    def __init__(self, service: SmishingEuService, config: PipelineConfig):
+        self._service = service
+        self._config = config
+
+    def collect(self) -> CollectionResult:
+        result = CollectionResult()
+        windows = self._config.windows
+        seen: set = set()
+        scrape_dates = self._service.weekly_scrape_dates(
+            windows.smishing_eu_scrape_start.date(),
+            windows.smishing_eu_end.date(),
+        )
+        # The first visit also captures the backlog of old reports.
+        for scrape_date in scrape_dates:
+            try:
+                posts = self._service.scrape(scrape_date)
+            except ServiceUnavailable as exc:
+                result.api_errors.append(str(exc))
+                break
+            for post in posts:
+                result.posts_seen += 1
+                if post.post_id in seen:
+                    continue
+                seen.add(post.post_id)
+                result.reports.append(_report_from_post(post, None))
+        return result
+
+
+class PastebinCollector:
+    """The analyst's paste stream (§3.1.4)."""
+
+    def __init__(self, service: PastebinService, config: PipelineConfig):
+        self._service = service
+        self._config = config
+
+    def collect(self) -> CollectionResult:
+        result = CollectionResult()
+        for post in self._service.pastes_by_user(ANALYST_USER):
+            result.posts_seen += 1
+            result.reports.append(_report_from_post(post, None))
+        return result
+
+
+class SmishtankCollector:
+    """Bulk structured report listing (§3.1.5)."""
+
+    def __init__(self, service: SmishtankService, config: PipelineConfig):
+        self._service = service
+        self._config = config
+
+    def collect(self) -> CollectionResult:
+        result = CollectionResult()
+        windows = self._config.windows
+        for post in self._service.list_reports(
+            since=windows.smishtank_start, until=windows.smishtank_end
+        ):
+            result.posts_seen += 1
+            result.reports.append(_report_from_post(post, None))
+        return result
+
+
+def collect_all(
+    forums: Dict[Forum, object], config: Optional[PipelineConfig] = None
+) -> CollectionResult:
+    """Run every collector against a world's forums."""
+    config = config or PipelineConfig()
+    result = CollectionResult()
+    result.extend(TwitterCollector(forums[Forum.TWITTER], config).collect())
+    result.extend(RedditCollector(forums[Forum.REDDIT], config).collect())
+    result.extend(
+        SmishingEuCollector(forums[Forum.SMISHING_EU], config).collect()
+    )
+    result.extend(PastebinCollector(forums[Forum.PASTEBIN], config).collect())
+    result.extend(SmishtankCollector(forums[Forum.SMISHTANK], config).collect())
+    return result

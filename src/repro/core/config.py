@@ -1,0 +1,39 @@
+"""Pipeline configuration: collection windows and keywords (§3.1)."""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..forums.base import COLLECTION_KEYWORDS
+
+
+@dataclass(frozen=True)
+class CollectionWindows:
+    """The per-forum collection timelines of Table 1 / §3.1."""
+
+    twitter_historical_start: dt.datetime = dt.datetime(2017, 1, 1)
+    twitter_realtime_start: dt.datetime = dt.datetime(2022, 11, 30)
+    twitter_end: dt.datetime = dt.datetime(2023, 6, 23)
+    reddit_start: dt.datetime = dt.datetime(2017, 1, 1)
+    reddit_end: dt.datetime = dt.datetime(2023, 9, 30)
+    smishing_eu_backlog_start: dt.datetime = dt.datetime(2021, 11, 21)
+    smishing_eu_scrape_start: dt.datetime = dt.datetime(2022, 11, 28)
+    smishing_eu_end: dt.datetime = dt.datetime(2023, 10, 16)
+    smishtank_start: dt.datetime = dt.datetime(2022, 3, 31)
+    smishtank_end: dt.datetime = dt.datetime(2024, 4, 8)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything the measurement pipeline needs to know."""
+
+    keywords: Tuple[str, ...] = COLLECTION_KEYWORDS
+    windows: CollectionWindows = field(default_factory=CollectionWindows)
+    #: Residual field-miss rate of the vision extractor.
+    vision_miss_rate: float = 0.015
+    #: Sample size for the §3.4 annotation evaluation.
+    evaluation_sample_size: int = 150
+    #: Sample size for the §6 active case study.
+    case_study_posts: int = 200

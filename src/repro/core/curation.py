@@ -1,0 +1,232 @@
+"""Curation: turn raw forum reports into dataset records (§3.2).
+
+Three extraction paths feed :class:`~repro.core.dataset.SmishingRecord`:
+
+* **Images** — sent to the OpenAI-style vision extractor (the pipeline's
+  production back-end; the OCR back-ends exist for the §3.2 comparison
+  and the ablation bench). Non-SMS images are dismissed.
+* **Structured reports** — Smishtank and Smishing.eu forms map directly.
+* **Text bodies** — Pastebin pastes are parsed with the analyst-format
+  parser; tweets that quote the SMS inline are mined with a regex.
+
+Timestamps are parsed with the multi-format parser; redacted sender
+fields are dropped; URLs are extracted from the recovered text.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ParseError
+from ..forums.pastebin import parse_paste
+from ..imaging.vision_openai import OpenAiVisionExtractor, VisionExtraction
+from ..net.url import extract_urls, try_parse_url
+from ..sms.senderid import is_redacted, try_classify_sender_id
+from ..types import Forum
+from ..utils.timeutils import ParsedTimestamp, parse_screenshot_timestamp
+from .collection import RawReport
+from .dataset import SmishingDataset, SmishingRecord
+
+_QUOTED_TEXT_RE = re.compile(r'Text was: "(?P<text>.+?)"', re.DOTALL)
+
+
+@dataclass
+class CurationStats:
+    """Bookkeeping for a curation run."""
+
+    reports_in: int = 0
+    images_processed: int = 0
+    images_dismissed: int = 0
+    records_out: int = 0
+    structured_used: int = 0
+    text_mined: int = 0
+    timestamp_parse_failures: int = 0
+
+
+class Curator:
+    """Builds the curated dataset from collected reports."""
+
+    def __init__(self, vision: OpenAiVisionExtractor):
+        self._vision = vision
+        self._counter = 0
+        self.stats = CurationStats()
+
+    def _next_record_id(self) -> str:
+        self._counter += 1
+        return f"r{self._counter:07d}"
+
+    def _parse_timestamp(
+        self, raw: str, reference: Optional[dt.date]
+    ) -> Optional[ParsedTimestamp]:
+        """Parse a timestamp string with day/month disambiguation.
+
+        Numeric dates like ``2/12/19`` are ambiguous between day-first
+        and month-first conventions. The receipt time can never postdate
+        the report, so when the day-first reading lands after the post
+        date but the month-first reading does not, the month-first
+        reading wins (and vice versa).
+        """
+        if not raw:
+            return None
+        try:
+            parsed = parse_screenshot_timestamp(raw, reference=reference)
+        except ParseError:
+            self.stats.timestamp_parse_failures += 1
+            return None
+        if (reference is not None and parsed.has_date
+                and parsed.value.date() > reference):
+            try:
+                flipped = parse_screenshot_timestamp(
+                    raw, reference=reference, day_first=False
+                )
+            except ParseError:
+                return parsed
+            if flipped.has_date and flipped.value.date() <= reference:
+                return flipped
+        return parsed
+
+    def _record_from_extraction(
+        self, report: RawReport, extraction: VisionExtraction
+    ) -> Optional[SmishingRecord]:
+        if extraction.dismissed or not extraction.text.strip():
+            return None
+        sender = None
+        if extraction.sender_id and not is_redacted(extraction.sender_id):
+            sender = try_classify_sender_id(extraction.sender_id)
+        timestamp = self._parse_timestamp(
+            extraction.timestamp, report.posted_at.date()
+        )
+        url = try_parse_url(extraction.url) if extraction.url else None
+        if url is None:
+            urls = extract_urls(extraction.text)
+            url = urls[0] if urls else None
+        return SmishingRecord(
+            record_id=self._next_record_id(),
+            forum=report.forum,
+            source_post_id=report.post_id,
+            text=extraction.text.strip(),
+            sender=sender,
+            timestamp=timestamp,
+            url=url,
+            collected_at=report.posted_at,
+            from_image=True,
+            truth_event_id=report.truth_event_id,
+        )
+
+    def _record_from_structured(
+        self, report: RawReport
+    ) -> Optional[SmishingRecord]:
+        data = report.structured or {}
+        text = (data.get("text") or "").strip()
+        if not text:
+            return None
+        sender_raw = data.get("sender_id") or ""
+        sender = None
+        if sender_raw and not is_redacted(sender_raw):
+            sender = try_classify_sender_id(sender_raw)
+        timestamp_raw = data.get("timestamp") or data.get("report_date") or ""
+        timestamp = self._parse_timestamp(timestamp_raw,
+                                          report.posted_at.date())
+        url = try_parse_url(data["url"]) if data.get("url") else None
+        if url is None:
+            urls = extract_urls(text)
+            url = urls[0] if urls else None
+        self.stats.structured_used += 1
+        return SmishingRecord(
+            record_id=self._next_record_id(),
+            forum=report.forum,
+            source_post_id=report.post_id,
+            text=text,
+            sender=sender,
+            timestamp=timestamp,
+            url=url,
+            collected_at=report.posted_at,
+            from_image=False,
+            truth_event_id=report.truth_event_id,
+        )
+
+    def _record_from_paste(self, report: RawReport) -> Optional[SmishingRecord]:
+        try:
+            parsed = parse_paste(report.body)
+        except ParseError:
+            return None
+        sender = (
+            try_classify_sender_id(parsed.sender)
+            if parsed.sender and not is_redacted(parsed.sender) else None
+        )
+        timestamp = self._parse_timestamp(parsed.received,
+                                          report.posted_at.date())
+        urls = extract_urls(parsed.message)
+        self.stats.text_mined += 1
+        return SmishingRecord(
+            record_id=self._next_record_id(),
+            forum=report.forum,
+            source_post_id=report.post_id,
+            text=parsed.message,
+            sender=sender,
+            timestamp=timestamp,
+            url=urls[0] if urls else None,
+            collected_at=report.posted_at,
+            from_image=False,
+            truth_event_id=report.truth_event_id,
+        )
+
+    def _record_from_quoted_body(
+        self, report: RawReport
+    ) -> Optional[SmishingRecord]:
+        match = _QUOTED_TEXT_RE.search(report.body)
+        if not match:
+            return None
+        text = match.group("text").strip()
+        if len(text) < 20:
+            return None
+        urls = extract_urls(text)
+        self.stats.text_mined += 1
+        return SmishingRecord(
+            record_id=self._next_record_id(),
+            forum=report.forum,
+            source_post_id=report.post_id,
+            text=text,
+            sender=None,
+            timestamp=None,
+            url=urls[0] if urls else None,
+            collected_at=report.posted_at,
+            from_image=False,
+            truth_event_id=report.truth_event_id,
+        )
+
+    def curate(self, reports: List[RawReport]) -> SmishingDataset:
+        """Run curation over a collection result's reports."""
+        dataset = SmishingDataset()
+        for report in reports:
+            self.stats.reports_in += 1
+            produced = False
+            for screenshot in report.screenshots:
+                self.stats.images_processed += 1
+                extraction = self._vision.extract(screenshot)
+                if extraction.dismissed:
+                    self.stats.images_dismissed += 1
+                    continue
+                record = self._record_from_extraction(report, extraction)
+                if record is not None:
+                    dataset.add(record)
+                    produced = True
+            if not produced and report.structured:
+                record = self._record_from_structured(report)
+                if record is not None:
+                    dataset.add(record)
+                    produced = True
+            if not produced and report.forum is Forum.PASTEBIN:
+                record = self._record_from_paste(report)
+                if record is not None:
+                    dataset.add(record)
+                    produced = True
+            if not produced and report.forum in (Forum.TWITTER, Forum.REDDIT):
+                record = self._record_from_quoted_body(report)
+                if record is not None:
+                    dataset.add(record)
+        self.stats.records_out = len(dataset)
+        return dataset

@@ -1,0 +1,246 @@
+"""The curated smishing dataset: records, dedup, persistence.
+
+A :class:`SmishingRecord` is one successfully curated report (§3.2's four
+extracted variables plus annotations and enrichment added later). The
+:class:`SmishingDataset` container provides Table 1 semantics: totals and
+uniques per forum for messages, sender IDs and URLs.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..net.url import Url, try_parse_url
+from ..sms.message import AnnotationLabels
+from ..sms.senderid import SenderId, try_classify_sender_id
+from ..types import Forum, LurePrinciple, ScamType
+from ..utils.timeutils import ParsedTimestamp
+
+
+def normalise_message_key(text: str) -> str:
+    """Dedup key for message texts.
+
+    Case-folds and collapses whitespace; digits are kept (campaign
+    variants differ in amounts/codes, and the paper counts those as
+    distinct messages).
+    """
+    return " ".join(text.casefold().split())
+
+
+@dataclass
+class SmishingRecord:
+    """One curated smishing report."""
+
+    record_id: str
+    forum: Forum
+    source_post_id: str
+    text: str
+    sender: Optional[SenderId] = None
+    timestamp: Optional[ParsedTimestamp] = None
+    url: Optional[Url] = None
+    collected_at: Optional[dt.datetime] = None
+    from_image: bool = False
+    annotations: Optional[AnnotationLabels] = None
+    translated_text: Optional[str] = None
+    truth_event_id: Optional[str] = None
+
+    @property
+    def message_key(self) -> str:
+        return normalise_message_key(self.text)
+
+    @property
+    def has_full_timestamp(self) -> bool:
+        """Date *and* time present — required for the Fig. 2 analysis."""
+        return (self.timestamp is not None and self.timestamp.has_date
+                and self.timestamp.has_time)
+
+    @property
+    def scam_type(self) -> Optional[ScamType]:
+        return self.annotations.scam_type if self.annotations else None
+
+    @property
+    def language(self) -> Optional[str]:
+        return self.annotations.language if self.annotations else None
+
+    @property
+    def brand(self) -> Optional[str]:
+        return self.annotations.brand if self.annotations else None
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "record_id": self.record_id,
+            "forum": self.forum.value,
+            "source_post_id": self.source_post_id,
+            "text": self.text,
+            "sender_raw": self.sender.raw if self.sender else None,
+            "timestamp": (
+                self.timestamp.value.isoformat() if self.timestamp else None
+            ),
+            "timestamp_has_date": (
+                self.timestamp.has_date if self.timestamp else None
+            ),
+            "url": str(self.url) if self.url else None,
+            "from_image": self.from_image,
+            "translated_text": self.translated_text,
+            "scam_type": self.scam_type.value if self.scam_type else None,
+            "language": self.language,
+            "brand": self.brand,
+            "lures": sorted(l.value for l in self.annotations.lures)
+            if self.annotations else None,
+            "truth_event_id": self.truth_event_id,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "SmishingRecord":
+        sender = None
+        if data.get("sender_raw"):
+            sender = try_classify_sender_id(str(data["sender_raw"]))
+        timestamp = None
+        if data.get("timestamp"):
+            value = dt.datetime.fromisoformat(str(data["timestamp"]))
+            timestamp = ParsedTimestamp(
+                value=value,
+                has_date=bool(data.get("timestamp_has_date", True)),
+                has_time=True,
+                raw=str(data["timestamp"]),
+            )
+        url = try_parse_url(str(data["url"])) if data.get("url") else None
+        annotations = None
+        if data.get("scam_type"):
+            annotations = AnnotationLabels(
+                scam_type=ScamType(str(data["scam_type"])),
+                language=str(data.get("language") or "en"),
+                brand=(str(data["brand"]) if data.get("brand") else None),
+                lures=frozenset(
+                    LurePrinciple(v) for v in data.get("lures") or []
+                ),
+            )
+        return cls(
+            record_id=str(data["record_id"]),
+            forum=Forum(str(data["forum"])),
+            source_post_id=str(data["source_post_id"]),
+            text=str(data["text"]),
+            sender=sender,
+            timestamp=timestamp,
+            url=url,
+            from_image=bool(data.get("from_image", False)),
+            annotations=annotations,
+            translated_text=(
+                str(data["translated_text"])
+                if data.get("translated_text") else None
+            ),
+            truth_event_id=(
+                str(data["truth_event_id"])
+                if data.get("truth_event_id") else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ForumCounts:
+    """One row of Table 1."""
+
+    forum: Forum
+    posts: int
+    images: int
+    messages_total: int
+    messages_unique: int
+    senders_total: int
+    senders_unique: int
+    urls_total: int
+    urls_unique: int
+
+
+class SmishingDataset:
+    """Container with Table 1 counting semantics and persistence."""
+
+    def __init__(self, records: Optional[Iterable[SmishingRecord]] = None):
+        self._records: List[SmishingRecord] = list(records or [])
+
+    def add(self, record: SmishingRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[SmishingRecord]) -> None:
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SmishingRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> SmishingRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> List[SmishingRecord]:
+        return list(self._records)
+
+    def by_forum(self, forum: Forum) -> List[SmishingRecord]:
+        return [r for r in self._records if r.forum is forum]
+
+    # -- Table 1 counting ---------------------------------------------------------
+
+    def unique_messages(self) -> Set[str]:
+        return {r.message_key for r in self._records}
+
+    def unique_senders(self) -> Set[str]:
+        return {r.sender.normalized for r in self._records if r.sender}
+
+    def unique_urls(self) -> Set[str]:
+        return {str(r.url) for r in self._records if r.url}
+
+    def forum_counts(
+        self, forum: Forum, *, posts: int = 0, images: int = 0
+    ) -> ForumCounts:
+        records = self.by_forum(forum)
+        return ForumCounts(
+            forum=forum,
+            posts=posts,
+            images=images,
+            messages_total=len(records),
+            messages_unique=len({r.message_key for r in records}),
+            senders_total=sum(1 for r in records if r.sender),
+            senders_unique=len(
+                {r.sender.normalized for r in records if r.sender}
+            ),
+            urls_total=sum(1 for r in records if r.url),
+            urls_unique=len({str(r.url) for r in records if r.url}),
+        )
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save_jsonl(self, path: "Path | str") -> int:
+        """Write one JSON object per record; returns the count written."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record.to_json_dict(),
+                                        ensure_ascii=False) + "\n")
+        return len(self._records)
+
+    @classmethod
+    def load_jsonl(cls, path: "Path | str") -> "SmishingDataset":
+        path = Path(path)
+        records: List[SmishingRecord] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(SmishingRecord.from_json_dict(json.loads(line)))
+        return cls(records)
+
+    def with_annotations(
+        self, annotations: Dict[str, AnnotationLabels]
+    ) -> "SmishingDataset":
+        """A copy with annotation labels attached by record id."""
+        updated = [
+            replace(record, annotations=annotations.get(record.record_id,
+                                                        record.annotations))
+            for record in self._records
+        ]
+        return SmishingDataset(updated)

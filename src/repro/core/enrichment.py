@@ -1,0 +1,208 @@
+"""Enrichment: the measurement methods of §3.3 over a curated dataset.
+
+Runs, in the paper's order: sender-ID classification + HLR lookups
+(§3.3.1), URL trend analysis — shorteners, TLDs, registrars, TLS
+certificates, passive DNS + ASNs (§3.3.3), antivirus detection (§3.3.4),
+and GPT-4o-style text annotation (§3.3.6). Results land in an
+:class:`EnrichedDataset` the analysis builders consume.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import NotFound, ValidationError
+from ..net.tld import default_registry
+from ..net.url import Url
+from ..services.crtsh import CertSummary, CrtShService
+from ..services.gsb import GoogleSafeBrowsingService, GsbApiResult
+from ..services.hlr import HlrLookupService, HlrRecord
+from ..services.passivedns import IpInfoService, IpInfoRecord, PassiveDnsService
+from ..services.shorteners import (
+    WHATSAPP_HOST,
+    shortener_for_url,
+)
+from ..services.virustotal import UrlScanReport, VirusTotalService
+from ..services.whois import WhoisRecord, WhoisService
+from ..sms.message import AnnotationLabels
+from ..nlp.annotator import Annotation
+from ..nlp.openai_api import ANNOTATION_PROMPT, OpenAiEndpoint
+from ..types import GsbStatus, SenderIdKind, TldClass
+from .dataset import SmishingDataset, SmishingRecord
+
+
+@dataclass
+class UrlEnrichment:
+    """Everything learned about one unique URL."""
+
+    url: Url
+    shortener: Optional[str] = None
+    is_whatsapp: bool = False
+    registered_domain: Optional[str] = None
+    effective_tld: Optional[str] = None
+    tld_class: Optional[TldClass] = None
+    whois: Optional[WhoisRecord] = None
+    certificates: Optional[CertSummary] = None
+    pdns_addresses: Tuple = ()
+    ip_info: List[IpInfoRecord] = field(default_factory=list)
+    vt_report: Optional[UrlScanReport] = None
+    gsb_api: Optional[GsbApiResult] = None
+    gsb_transparency: GsbStatus = GsbStatus.NOT_QUERIED
+    gsb_on_vt: Optional[bool] = None
+
+
+@dataclass
+class SenderEnrichment:
+    """Everything learned about one unique sender ID."""
+
+    normalized: str
+    kind: SenderIdKind
+    hlr: Optional[HlrRecord] = None
+
+
+@dataclass
+class EnrichedDataset:
+    """The curated dataset plus all measurement results."""
+
+    dataset: SmishingDataset
+    urls: Dict[str, UrlEnrichment] = field(default_factory=dict)
+    senders: Dict[str, SenderEnrichment] = field(default_factory=dict)
+    annotations: Dict[str, AnnotationLabels] = field(default_factory=dict)
+    raw_annotations: Dict[str, Annotation] = field(default_factory=dict)
+
+    def url_enrichment_for(self, record: SmishingRecord) -> Optional[UrlEnrichment]:
+        if record.url is None:
+            return None
+        return self.urls.get(str(record.url))
+
+    def sender_enrichment_for(
+        self, record: SmishingRecord
+    ) -> Optional[SenderEnrichment]:
+        if record.sender is None:
+            return None
+        return self.senders.get(record.sender.normalized)
+
+    def labels_for(self, record: SmishingRecord) -> Optional[AnnotationLabels]:
+        return self.annotations.get(record.record_id)
+
+    def annotated_dataset(self) -> SmishingDataset:
+        """The dataset with annotation labels attached to records."""
+        return self.dataset.with_annotations(self.annotations)
+
+
+@dataclass
+class EnrichmentServices:
+    """The external services an enrichment run needs."""
+
+    hlr: HlrLookupService
+    whois: WhoisService
+    crtsh: CrtShService
+    passivedns: PassiveDnsService
+    ipinfo: IpInfoService
+    virustotal: VirusTotalService
+    gsb: GoogleSafeBrowsingService
+    openai: OpenAiEndpoint
+
+
+class Enricher:
+    """Runs the full §3.3 measurement battery."""
+
+    def __init__(self, services: EnrichmentServices):
+        self._services = services
+        self._tlds = default_registry()
+
+    # -- senders (§3.3.1) -----------------------------------------------------
+
+    def enrich_senders(self, result: EnrichedDataset) -> None:
+        unique: Dict[str, SenderEnrichment] = {}
+        for record in result.dataset:
+            if record.sender is None:
+                continue
+            key = record.sender.normalized
+            if key in unique:
+                continue
+            enrichment = SenderEnrichment(normalized=key,
+                                          kind=record.sender.kind)
+            if record.sender.kind is SenderIdKind.PHONE_NUMBER:
+                enrichment.hlr = self._services.hlr.lookup(record.sender.digits)
+            unique[key] = enrichment
+        result.senders = unique
+
+    # -- URLs (§3.3.3 + §3.3.4) --------------------------------------------------
+
+    def enrich_urls(self, result: EnrichedDataset) -> None:
+        unique: Dict[str, UrlEnrichment] = {}
+        for record in result.dataset:
+            if record.url is None:
+                continue
+            key = str(record.url)
+            if key in unique:
+                continue
+            unique[key] = self._enrich_one_url(record.url)
+        result.urls = unique
+
+    def _enrich_one_url(self, url: Url) -> UrlEnrichment:
+        enrichment = UrlEnrichment(url=url)
+        enrichment.shortener = shortener_for_url(url)
+        enrichment.is_whatsapp = url.host == WHATSAPP_HOST
+        try:
+            domain, tld = self._tlds.split_host(url.host)
+            enrichment.registered_domain = domain
+            enrichment.effective_tld = tld
+            base_tld = tld.rsplit(".", 1)[-1]
+            enrichment.tld_class = self._tlds.classify(base_tld)
+        except ValidationError:
+            pass
+        # The paper skips WHOIS / TLS / pDNS for shortener hosts: the
+        # shortener's own infrastructure is not the scammer's.
+        if enrichment.shortener is None and not enrichment.is_whatsapp:
+            try:
+                enrichment.whois = self._services.whois.query(
+                    enrichment.registered_domain or url.host
+                )
+            except NotFound:
+                enrichment.whois = None
+            enrichment.certificates = self._services.crtsh.summary_for(url.host)
+            answer = self._services.passivedns.query(url.host)
+            enrichment.pdns_addresses = answer.addresses
+            if answer.resolved:
+                enrichment.ip_info = self._services.ipinfo.lookup_batch(
+                    answer.addresses
+                )
+        enrichment.vt_report = self._services.virustotal.scan_url(str(url))
+        enrichment.gsb_api = self._services.gsb.query_api(str(url))
+        enrichment.gsb_on_vt = self._services.gsb.verdict_on_virustotal(str(url))
+        try:
+            enrichment.gsb_transparency = self._services.gsb.query_transparency(
+                str(url)
+            )
+        except Exception:
+            enrichment.gsb_transparency = GsbStatus.NOT_QUERIED
+        return enrichment
+
+    # -- annotations (§3.3.6) ----------------------------------------------------------
+
+    def annotate(self, result: EnrichedDataset) -> None:
+        annotations: Dict[str, AnnotationLabels] = {}
+        raw: Dict[str, Annotation] = {}
+        for record in result.dataset:
+            response = self._services.openai.annotate_message(
+                ANNOTATION_PROMPT,
+                {"id": record.record_id, "message": record.text},
+            )
+            annotation = Annotation.from_json(response.content)
+            annotations[record.record_id] = annotation.labels
+            raw[record.record_id] = annotation
+        result.annotations = annotations
+        result.raw_annotations = raw
+
+    # -- the full battery ---------------------------------------------------------------
+
+    def run(self, dataset: SmishingDataset) -> EnrichedDataset:
+        result = EnrichedDataset(dataset=dataset)
+        self.enrich_senders(result)
+        self.enrich_urls(result)
+        self.annotate(result)
+        return result

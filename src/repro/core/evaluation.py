@@ -1,0 +1,196 @@
+"""Annotation evaluation (§3.4): IRR and model-vs-human agreement.
+
+The paper samples 150 messages, has two authors label scam category,
+impersonated brand and lures, computes Cohen's kappa between them
+(IRR: brands 0.82, scam types 0.94, lures 0.85), builds a consensus
+ground truth, and then scores GPT-4o against it (brands 0.85, scam types
+0.93, lures 0.70).
+
+Here the "authors" are simulated annotators: they read the ground-truth
+labels (they are careful humans) but err at calibrated per-property
+rates; the consensus resolves their disagreements back to ground truth,
+and the model is the real rule-based annotator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..nlp.annotator import MessageAnnotator
+from ..sms.message import AnnotationLabels, SmishingEvent
+from ..types import LurePrinciple, ScamType
+from ..utils.stats import cohens_kappa, multilabel_kappa
+from ..world.scenario import World
+from .dataset import SmishingDataset, SmishingRecord
+
+
+@dataclass(frozen=True)
+class AnnotatorProfile:
+    """Error rates of one (simulated) human annotator."""
+
+    name: str
+    scam_error: float = 0.02
+    brand_error: float = 0.08
+    lure_flip: float = 0.035
+
+
+class SimulatedHumanAnnotator:
+    """A careful human: ground truth with calibrated slips."""
+
+    def __init__(self, profile: AnnotatorProfile, rng: random.Random):
+        self._profile = profile
+        self._rng = rng
+
+    @property
+    def name(self) -> str:
+        return self._profile.name
+
+    def annotate(self, truth: AnnotationLabels) -> AnnotationLabels:
+        scam = truth.scam_type
+        if self._rng.random() < self._profile.scam_error:
+            # Humans confuse adjacent categories, not random ones.
+            confusions = {
+                ScamType.BANKING: ScamType.OTHERS,
+                ScamType.DELIVERY: ScamType.GOVERNMENT,
+                ScamType.GOVERNMENT: ScamType.BANKING,
+                ScamType.TELECOM: ScamType.SPAM,
+                ScamType.OTHERS: ScamType.SPAM,
+                ScamType.SPAM: ScamType.OTHERS,
+                ScamType.WRONG_NUMBER: ScamType.OTHERS,
+                ScamType.HEY_MUM_DAD: ScamType.WRONG_NUMBER,
+            }
+            scam = confusions[scam]
+        brand = truth.brand
+        if self._rng.random() < self._profile.brand_error:
+            brand = None if brand is not None else "Unknown"
+        lures = set(truth.lures)
+        for lure in LurePrinciple:
+            if self._rng.random() < self._profile.lure_flip:
+                if lure in lures:
+                    lures.discard(lure)
+                else:
+                    lures.add(lure)
+        return AnnotationLabels(
+            scam_type=scam, language=truth.language, brand=brand,
+            lures=frozenset(lures),
+        )
+
+
+@dataclass
+class KappaTriple:
+    """Agreement over the three annotated properties."""
+
+    brands: float
+    scam_types: float
+    lures: float
+
+
+@dataclass
+class EvaluationReport:
+    """The §3.4 numbers."""
+
+    sample_size: int
+    english_sample_size: int
+    irr: KappaTriple
+    model_vs_consensus: KappaTriple
+
+
+def _truth_labels(world: World, record: SmishingRecord) -> Optional[AnnotationLabels]:
+    if record.truth_event_id is None:
+        return None
+    event = world.event(record.truth_event_id)
+    if event is None:
+        return None
+    return AnnotationLabels(
+        scam_type=event.scam_type,
+        language=event.language,
+        brand=event.brand,
+        lures=event.lures,
+    )
+
+
+def _kappas(
+    a: Sequence[AnnotationLabels], b: Sequence[AnnotationLabels]
+) -> KappaTriple:
+    return KappaTriple(
+        brands=cohens_kappa([x.brand for x in a], [x.brand for x in b]),
+        scam_types=cohens_kappa(
+            [x.scam_type for x in a], [x.scam_type for x in b]
+        ),
+        lures=multilabel_kappa(
+            [x.lures for x in a], [x.lures for x in b], list(LurePrinciple)
+        ),
+    )
+
+
+def evaluate_annotation(
+    world: World,
+    dataset: SmishingDataset,
+    *,
+    sample_size: int = 150,
+    seed: int = 42,
+    annotator: Optional[MessageAnnotator] = None,
+) -> EvaluationReport:
+    """Run the full §3.4 protocol on a curated dataset."""
+    rng = random.Random(seed)
+    candidates = [
+        record for record in dataset
+        if record.truth_event_id is not None
+        and world.event(record.truth_event_id) is not None
+    ]
+    if not candidates:
+        raise ValueError("dataset has no records linked to ground truth")
+    sample = candidates if len(candidates) <= sample_size else rng.sample(
+        candidates, sample_size
+    )
+    truths = [_truth_labels(world, record) for record in sample]
+
+    human_a = SimulatedHumanAnnotator(
+        AnnotatorProfile("author-1"), random.Random(seed + 1)
+    )
+    human_b = SimulatedHumanAnnotator(
+        AnnotatorProfile("author-2", scam_error=0.025, brand_error=0.09,
+                         lure_flip=0.04),
+        random.Random(seed + 2),
+    )
+    labels_a = [human_a.annotate(t) for t in truths]
+    labels_b = [human_b.annotate(t) for t in truths]
+
+    # IRR is computed on English texts only (the annotators' common
+    # language, §3.4).
+    english_indices = [
+        i for i, t in enumerate(truths) if t.language == "en"
+    ]
+    irr = _kappas(
+        [labels_a[i] for i in english_indices],
+        [labels_b[i] for i in english_indices],
+    )
+
+    # Consensus: where the authors agree keep the label, else resolve by
+    # discussion — which lands on the truth.
+    consensus: List[AnnotationLabels] = []
+    for truth, la, lb in zip(truths, labels_a, labels_b):
+        consensus.append(AnnotationLabels(
+            scam_type=la.scam_type if la.scam_type == lb.scam_type
+            else truth.scam_type,
+            language=truth.language,
+            brand=la.brand if la.brand == lb.brand else truth.brand,
+            lures=(la.lures if la.lures == lb.lures else truth.lures),
+        ))
+
+    annotator = annotator or MessageAnnotator(
+        brands=world.brands, templates=world.templates
+    )
+    model_labels = [
+        annotator.annotate(record.record_id, record.text).labels
+        for record in sample
+    ]
+    model = _kappas(model_labels, consensus)
+    return EvaluationReport(
+        sample_size=len(sample),
+        english_sample_size=len(english_indices),
+        irr=irr,
+        model_vs_consensus=model,
+    )

@@ -1,0 +1,86 @@
+"""End-to-end pipeline: collect → curate → enrich a synthetic world.
+
+This is the programmatic equivalent of everything §3 describes, wired
+against a :class:`~repro.world.scenario.World`. The result object carries
+every intermediate product so analyses, tests, and benches can introspect
+any stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..imaging.vision_openai import OpenAiVisionExtractor
+from ..nlp.annotator import MessageAnnotator
+from ..nlp.openai_api import OpenAiEndpoint
+from ..utils.rng import derive
+from ..world.scenario import World
+from .collection import CollectionResult, collect_all
+from .config import PipelineConfig
+from .curation import CurationStats, Curator
+from .dataset import SmishingDataset
+from .enrichment import EnrichedDataset, Enricher, EnrichmentServices
+
+
+@dataclass
+class PipelineRun:
+    """Everything one pipeline execution produced."""
+
+    world: World
+    config: PipelineConfig
+    collection: CollectionResult
+    curation_stats: CurationStats
+    dataset: SmishingDataset
+    enriched: EnrichedDataset
+
+    @property
+    def annotated_dataset(self) -> SmishingDataset:
+        return self.enriched.annotated_dataset()
+
+
+def build_enrichment_services(
+    world: World, *, endpoint: Optional[OpenAiEndpoint] = None
+) -> EnrichmentServices:
+    """Wire the world's service simulators into an enrichment battery."""
+    if endpoint is None:
+        endpoint = OpenAiEndpoint(
+            clock=world.clock,
+            annotator=MessageAnnotator(
+                brands=world.brands, templates=world.templates
+            ),
+        )
+    return EnrichmentServices(
+        hlr=world.hlr,
+        whois=world.whois,
+        crtsh=world.crtsh,
+        passivedns=world.passivedns,
+        ipinfo=world.ipinfo,
+        virustotal=world.virustotal,
+        gsb=world.gsb,
+        openai=endpoint,
+    )
+
+
+def run_pipeline(
+    world: World, config: Optional[PipelineConfig] = None
+) -> PipelineRun:
+    """Collect from all five forums, curate, and enrich."""
+    config = config or PipelineConfig()
+    collection = collect_all(world.forums, config)
+    vision = OpenAiVisionExtractor(
+        derive(world.config.seed, "pipeline-vision"),
+        miss_rate=config.vision_miss_rate,
+    )
+    curator = Curator(vision)
+    dataset = curator.curate(collection.reports)
+    enricher = Enricher(build_enrichment_services(world))
+    enriched = enricher.run(dataset)
+    return PipelineRun(
+        world=world,
+        config=config,
+        collection=collection,
+        curation_stats=curator.stats,
+        dataset=dataset,
+        enriched=enriched,
+    )

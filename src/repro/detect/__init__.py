@@ -1,0 +1,31 @@
+"""Smishing detection baselines built on the released dataset.
+
+§7.2 of the paper recommends that "researchers could use our labeled
+dataset with new features such as scam typologies to develop multi-class
+detection models, as prior work predominantly relies on decade-old
+spam/ham datasets to build binary classifiers". This subpackage is that
+follow-through:
+
+* :mod:`repro.detect.features` — feature extraction for SMS texts.
+* :mod:`repro.detect.naive_bayes` — a from-scratch multinomial Naive
+  Bayes classifier (the model family prior smishing work used).
+* :mod:`repro.detect.rules` — a rule-based filter in the style of the
+  early smishing literature (§2), the baseline the paper argues becomes
+  ineffective as tactics evolve.
+* :mod:`repro.detect.evaluate` — train/test evaluation with per-class
+  precision/recall/F1 and confusion matrices.
+"""
+
+from .evaluate import EvaluationResult, evaluate_classifier, train_test_split
+from .features import FeatureExtractor
+from .naive_bayes import NaiveBayesClassifier
+from .rules import RuleBasedFilter
+
+__all__ = [
+    "EvaluationResult",
+    "FeatureExtractor",
+    "NaiveBayesClassifier",
+    "RuleBasedFilter",
+    "evaluate_classifier",
+    "train_test_split",
+]

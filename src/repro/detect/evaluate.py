@@ -1,0 +1,126 @@
+"""Classifier evaluation: splits, per-class metrics, confusion matrix."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from ..utils.tables import Table
+
+
+def train_test_split(
+    items: Sequence, *, test_fraction: float = 0.25, seed: int = 13
+) -> Tuple[List, List]:
+    """Shuffled split into (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    pool = list(items)
+    random.Random(seed).shuffle(pool)
+    cut = max(1, int(len(pool) * test_fraction))
+    return pool[cut:], pool[:cut]
+
+
+@dataclass
+class ClassMetrics:
+    """Precision / recall / F1 for one class."""
+
+    label: Hashable
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass
+class EvaluationResult:
+    """Full evaluation over a test set."""
+
+    accuracy: float
+    per_class: Dict[Hashable, ClassMetrics]
+    confusion: Dict[Tuple[Hashable, Hashable], int]
+    support: Dict[Hashable, int]
+
+    @property
+    def macro_f1(self) -> float:
+        if not self.per_class:
+            return 0.0
+        return sum(m.f1 for m in self.per_class.values()) / len(self.per_class)
+
+    @property
+    def weighted_f1(self) -> float:
+        total = sum(self.support.values())
+        if not total:
+            return 0.0
+        return sum(
+            metrics.f1 * self.support.get(label, 0)
+            for label, metrics in self.per_class.items()
+        ) / total
+
+    def to_table(self, title: str = "Classifier evaluation") -> Table:
+        table = Table(
+            title=title,
+            columns=["Class", "Support", "Precision", "Recall", "F1"],
+        )
+        for label in sorted(self.per_class, key=str):
+            metrics = self.per_class[label]
+            table.add_row(
+                str(label),
+                self.support.get(label, 0),
+                round(metrics.precision, 3),
+                round(metrics.recall, 3),
+                round(metrics.f1, 3),
+            )
+        table.add_note(f"accuracy={self.accuracy:.3f} "
+                       f"macro-F1={self.macro_f1:.3f} "
+                       f"weighted-F1={self.weighted_f1:.3f}")
+        return table
+
+
+def evaluate_classifier(
+    truths: Sequence[Hashable], predictions: Sequence[Hashable]
+) -> EvaluationResult:
+    """Score predictions against ground truth."""
+    if len(truths) != len(predictions):
+        raise ValueError("truths and predictions must align")
+    if not truths:
+        raise ValueError("cannot evaluate an empty test set")
+    per_class: Dict[Hashable, ClassMetrics] = defaultdict(
+        lambda: ClassMetrics(label=None)
+    )
+    confusion: Dict[Tuple[Hashable, Hashable], int] = Counter()
+    support: Counter = Counter()
+    correct = 0
+    labels = set(truths) | set(predictions)
+    for label in labels:
+        per_class[label] = ClassMetrics(label=label)
+    for truth, predicted in zip(truths, predictions):
+        support[truth] += 1
+        confusion[(truth, predicted)] += 1
+        if truth == predicted:
+            correct += 1
+            per_class[truth].true_positives += 1
+        else:
+            per_class[truth].false_negatives += 1
+            per_class[predicted].false_positives += 1
+    return EvaluationResult(
+        accuracy=correct / len(truths),
+        per_class=dict(per_class),
+        confusion=dict(confusion),
+        support=dict(support),
+    )

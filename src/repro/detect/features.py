@@ -1,0 +1,101 @@
+"""Feature extraction for SMS classification.
+
+Combines bag-of-words over normalised tokens with the structural signals
+the smishing literature uses: URL presence and shape (shortener, raw IP,
+suspicious TLD, ``.apk`` suffix), sender-ID class, digit density, and
+urgency punctuation. Features are emitted as a sparse ``{name: count}``
+mapping so the Naive Bayes model can consume them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..net.url import extract_urls
+from ..nlp.normalize import normalize_text
+from ..nlp.tokenize import tokenize
+from ..services.shorteners import is_shortener_host
+from ..sms.senderid import SenderId
+from ..types import SenderIdKind
+
+#: TLDs the rule-based literature treats as high-risk.
+SUSPICIOUS_TLDS = frozenset({
+    "top", "xyz", "icu", "buzz", "cfd", "sbs", "click", "link", "online",
+    "monster", "quest", "loan", "win", "bid",
+})
+
+#: Tokens too common to discriminate (tiny stop list; NB handles the rest).
+_STOP = frozenset({"the", "a", "an", "to", "of", "and", "or", "is", "in",
+                   "on", "for", "at", "be", "it"})
+
+
+@dataclass(frozen=True)
+class FeatureExtractor:
+    """Turns one message (text + optional sender) into sparse features."""
+
+    include_words: bool = True
+    include_structure: bool = True
+    max_tokens: int = 60
+
+    def extract(
+        self, text: str, sender: Optional[SenderId] = None
+    ) -> Dict[str, float]:
+        features: Dict[str, float] = {}
+        if self.include_words:
+            normalised = normalize_text(text)
+            count = 0
+            for token in tokenize(normalised):
+                if token in _STOP or len(token) < 2:
+                    continue
+                if "/" in token or token.startswith("http"):
+                    continue  # URLs handled structurally
+                features[f"w:{token}"] = features.get(f"w:{token}", 0.0) + 1.0
+                count += 1
+                if count >= self.max_tokens:
+                    break
+        if self.include_structure:
+            self._structural(text, sender, features)
+        return features
+
+    def _structural(
+        self, text: str, sender: Optional[SenderId],
+        features: Dict[str, float],
+    ) -> None:
+        urls = extract_urls(text)
+        features["s:has_url"] = 1.0 if urls else 0.0
+        if urls:
+            url = urls[0]
+            features["s:url_https"] = 1.0 if url.is_https else 0.0
+            features["s:url_shortener"] = (
+                1.0 if is_shortener_host(url.host) else 0.0
+            )
+            features["s:url_apk"] = 1.0 if url.is_apk_download else 0.0
+            tld = url.host.rsplit(".", 1)[-1]
+            features["s:url_bad_tld"] = 1.0 if tld in SUSPICIOUS_TLDS else 0.0
+            features["s:url_subdomains"] = float(url.host.count("."))
+            features["s:url_hyphens"] = float(url.host.count("-"))
+        digits = sum(1 for ch in text if ch.isdigit())
+        letters = sum(1 for ch in text if ch.isalpha())
+        features["s:digit_ratio"] = digits / max(digits + letters, 1)
+        features["s:exclamations"] = float(text.count("!"))
+        features["s:length_bucket"] = float(min(len(text) // 40, 5))
+        features["s:all_caps_words"] = float(sum(
+            1 for word in text.split()
+            if len(word) > 2 and word.isupper() and word.isalpha()
+        ))
+        if sender is not None:
+            features[f"s:sender_{sender.kind.value.replace(' ', '_')}"] = 1.0
+            if sender.kind is SenderIdKind.PHONE_NUMBER:
+                features["s:sender_shortcode"] = (
+                    1.0 if sender.is_shortcode else 0.0
+                )
+
+    def vocabulary(
+        self, corpus: Iterable[str]
+    ) -> List[str]:
+        """All feature names over a corpus (useful for tests/inspection)."""
+        names: set = set()
+        for text in corpus:
+            names.update(self.extract(text))
+        return sorted(names)

@@ -1,0 +1,83 @@
+"""Rule-based smishing filter in the style of the early literature.
+
+The paper's §2 surveys rule-based detectors (Jain & Gupta 2018/2019,
+MobiFish) built from small dated samples, and argues they lose to
+evolving tactics. This baseline encodes their canonical rule set so the
+evaluation harness can measure exactly that gap against the Naive Bayes
+model trained on the labelled dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..net.url import extract_urls
+from ..services.shorteners import is_shortener_host
+from ..sms.senderid import SenderId
+from ..types import SenderIdKind
+from .features import SUSPICIOUS_TLDS
+
+#: Keyword rules from the rule-based literature (urgency + credential
+#: solicitation + reward bait).
+RULE_KEYWORDS: Tuple[str, ...] = (
+    "verify", "suspended", "blocked", "locked", "urgent", "immediately",
+    "click", "confirm", "password", "account", "winner", "prize", "claim",
+    "refund", "kyc", "expire",
+)
+
+
+@dataclass
+class RuleVerdict:
+    """Outcome of the rule filter on one message."""
+
+    is_smishing: bool
+    score: int
+    fired_rules: List[str] = field(default_factory=list)
+
+
+@dataclass
+class RuleBasedFilter:
+    """Score-threshold rule filter (binary smishing / not-smishing)."""
+
+    threshold: int = 3
+
+    def score(
+        self, text: str, sender: Optional[SenderId] = None
+    ) -> RuleVerdict:
+        fired: List[str] = []
+        lowered = text.lower()
+        urls = extract_urls(text)
+        if urls:
+            fired.append("has_url")
+            url = urls[0]
+            if is_shortener_host(url.host):
+                fired.append("shortened_url")
+            if url.host.rsplit(".", 1)[-1] in SUSPICIOUS_TLDS:
+                fired.append("suspicious_tld")
+            if url.host.count("-") >= 2:
+                fired.append("hyphenated_host")
+            if url.is_apk_download:
+                fired.append("apk_link")
+            if not url.is_https:
+                fired.append("no_https")
+        keyword_hits = [kw for kw in RULE_KEYWORDS if kw in lowered]
+        if keyword_hits:
+            fired.append("keywords:" + ",".join(keyword_hits[:3]))
+        if len(keyword_hits) >= 3:
+            fired.append("keyword_pileup")
+        if sender is not None:
+            if sender.kind is SenderIdKind.EMAIL:
+                fired.append("email_sender")
+            elif (sender.kind is SenderIdKind.PHONE_NUMBER
+                  and len(sender.digits) > 15):
+                fired.append("overlong_number")
+        score = len(fired) + min(len(keyword_hits), 4) - 1
+        return RuleVerdict(
+            is_smishing=score >= self.threshold,
+            score=max(score, 0),
+            fired_rules=fired,
+        )
+
+    def predict(self, text: str, sender: Optional[SenderId] = None) -> bool:
+        return self.score(text, sender).is_smishing

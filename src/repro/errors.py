@@ -1,0 +1,79 @@
+"""Exception hierarchy for the smishing reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at pipeline boundaries while still
+being able to distinguish failure modes (service throttling vs. malformed
+input vs. configuration problems) when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario or pipeline configuration is inconsistent or incomplete."""
+
+
+class ValidationError(ReproError):
+    """An input value failed validation (bad phone number, URL, enum...)."""
+
+
+class ServiceError(ReproError):
+    """Base class for simulated external-service failures."""
+
+    def __init__(self, message: str, *, service: str = "", retryable: bool = False):
+        super().__init__(message)
+        self.service = service
+        self.retryable = retryable
+
+
+class RateLimitExceeded(ServiceError):
+    """The caller exceeded a service's request budget.
+
+    Mirrors HTTP 429 semantics: ``retry_after`` carries the number of
+    seconds (simulated) the caller should back off before retrying.
+    """
+
+    def __init__(self, message: str, *, service: str = "", retry_after: float = 1.0):
+        super().__init__(message, service=service, retryable=True)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(ServiceError):
+    """The service is down or has been permanently shut off.
+
+    Used, e.g., to model the Twitter academic API shutdown of June 2023
+    (paper §3.1.1) and Smishing.eu ceasing operations in October 2023.
+    """
+
+    def __init__(self, message: str, *, service: str = "", permanent: bool = False):
+        super().__init__(message, service=service, retryable=not permanent)
+        self.permanent = permanent
+
+
+class AuthenticationError(ServiceError):
+    """The API credential was missing, malformed, or revoked."""
+
+
+class QuotaExhausted(ServiceError):
+    """A hard API quota was exhausted (no amount of waiting helps)."""
+
+
+class NotFound(ServiceError):
+    """The requested entity does not exist in the service's records."""
+
+
+class ExtractionError(ReproError):
+    """An image/text extractor could not produce a usable record."""
+
+
+class NotAScreenshot(ExtractionError):
+    """The submitted image is not an SMS screenshot (per §3.2 the vision
+    extractor is instructed to dismiss such images)."""
+
+
+class ParseError(ReproError):
+    """Free-form text (timestamp, paste, URL) could not be parsed."""

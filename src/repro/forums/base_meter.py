@@ -1,0 +1,37 @@
+"""Request metering for forum APIs.
+
+Forum APIs bill per request with window caps (e.g. the Twitter academic
+API's monthly tweet cap; Reddit's per-minute limits). This meter counts
+requests and enforces an optional hard cap — collectors surface the cap
+as a collection limitation rather than crashing mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import QuotaExhausted
+
+
+@dataclass
+class ForumMeter:
+    """Simple request counter with an optional hard cap."""
+
+    service: str
+    cap: Optional[int] = None
+    used: int = field(default=0, init=False)
+
+    def charge(self, count: int = 1) -> None:
+        if self.cap is not None and self.used + count > self.cap:
+            raise QuotaExhausted(
+                f"{self.service}: request cap of {self.cap} reached",
+                service=self.service,
+            )
+        self.used += count
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self.cap is None:
+            return None
+        return max(0, self.cap - self.used)

@@ -1,0 +1,86 @@
+"""Pastebin service (§3.1.4).
+
+One threat-intel analyst publishes pastes, each containing a single
+smishing text in a fixed report format (mirroring the abuseipdb.com
+cross-post shown in the paper's Fig. 5). The collector lists a user's
+pastes and parses the body format.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ParseError
+from ..types import Forum
+from .base import ForumService, Post
+from .base_meter import ForumMeter
+
+#: The analyst account whose pastes carry smishing reports.
+ANALYST_USER = "smish-intel"
+
+#: Paste body format produced by the analyst's tooling.
+PASTE_TEMPLATE = (
+    "== SMS PHISHING REPORT ==\n"
+    "reported-to: abuseipdb.com\n"
+    "sender: {sender}\n"
+    "received: {received}\n"
+    "message: {message}\n"
+)
+
+_PASTE_RE = re.compile(
+    r"sender:\s*(?P<sender>.*)\n"
+    r"received:\s*(?P<received>.*)\n"
+    r"message:\s*(?P<message>.*)",
+    re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class ParsedPaste:
+    """Fields recovered from one paste body."""
+
+    sender: str
+    received: str
+    message: str
+
+
+def format_paste(sender: str, received: dt.datetime, message: str) -> str:
+    """Render a paste body in the analyst's format."""
+    return PASTE_TEMPLATE.format(
+        sender=sender,
+        received=received.strftime("%Y-%m-%d %H:%M"),
+        message=message.replace("\n", " "),
+    )
+
+
+def parse_paste(body: str) -> ParsedPaste:
+    """Parse a paste body; raises :class:`ParseError` on format drift."""
+    match = _PASTE_RE.search(body)
+    if not match:
+        raise ParseError("paste does not match the analyst report format")
+    return ParsedPaste(
+        sender=match.group("sender").strip(),
+        received=match.group("received").strip(),
+        message=match.group("message").strip(),
+    )
+
+
+class PastebinService(ForumService):
+    """Public pastes with a per-user listing endpoint."""
+
+    forum = Forum.PASTEBIN
+    page_size = 50
+
+    def __init__(self, *, meter: Optional[ForumMeter] = None):
+        super().__init__(meter=meter or ForumMeter(service="pastebin"))
+
+    def pastes_by_user(self, username: str) -> List[Post]:
+        """All public pastes by one account (charges one request)."""
+        self.meter.charge()
+        return [
+            post for post in self.all_posts()
+            if post.author == username and not post.deleted
+        ]

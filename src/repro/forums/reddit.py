@@ -1,0 +1,51 @@
+"""Reddit service (§3.1.2).
+
+Submissions are spread across many subreddits — the paper found 911
+subreddits with r/Scams on top but 582 subreddits contributing exactly
+one post. The service supports keyword search plus per-subreddit listing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from ..types import Forum
+from .base import ForumService, Post
+from .base_meter import ForumMeter
+
+#: Subreddits the reporter population posts to, roughly Zipf-weighted.
+KNOWN_SUBREDDITS = (
+    "Scams", "cybersecurity", "ledgerwallet", "phishing", "personalfinance",
+    "privacy", "AskUK", "LegalAdviceUK", "india", "IndiaInvestments",
+    "Netherlands", "spain", "france", "germany", "australia", "newzealand",
+    "Banking", "CryptoCurrency", "antivirus", "techsupport", "scambait",
+    "IdentityTheft", "NoStupidQuestions", "mildlyinfuriating", "pics",
+    "Wellthatsucks", "USPS", "RoyalMail", "amazon", "netflix",
+)
+
+
+class RedditService(ForumService):
+    """Reddit with subreddit-aware search."""
+
+    forum = Forum.REDDIT
+    page_size = 100
+
+    def __init__(self, *, meter: Optional[ForumMeter] = None):
+        super().__init__(meter=meter or ForumMeter(service="reddit"))
+
+    def subreddit_counts(self) -> Dict[str, int]:
+        """Submissions per subreddit (world-side view for tests)."""
+        counts: Counter = Counter()
+        for post in self.all_posts():
+            if post.subreddit:
+                counts[post.subreddit] += 1
+        return dict(counts)
+
+    def posts_in_subreddit(self, subreddit: str) -> List[Post]:
+        """Listing endpoint for one subreddit (charges one request)."""
+        self.meter.charge()
+        return [
+            post for post in self.all_posts()
+            if post.subreddit == subreddit and not post.deleted
+        ]

@@ -1,0 +1,62 @@
+"""Smishing.eu service (§3.1.3).
+
+A European reporting website where users filled a form: report date,
+country, sender ID, impersonated brand, and the smishing text (no
+screenshots reach the collector). The paper scraped it weekly (every
+Monday) from 2022-11-28 until the site ceased operations on 2023-10-16;
+it also grabbed the backlog of old reports.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import List, Optional
+
+from ..errors import ServiceUnavailable
+from ..types import Forum
+from .base import ForumService, Post
+from .base_meter import ForumMeter
+
+#: The site went offline on this date (§3.1.3).
+SHUTDOWN_DATE = dt.date(2023, 10, 16)
+
+
+class SmishingEuService(ForumService):
+    """Form-based reports, scraped weekly until shutdown."""
+
+    forum = Forum.SMISHING_EU
+    page_size = 200
+
+    def __init__(self, *, meter: Optional[ForumMeter] = None):
+        super().__init__(meter=meter or ForumMeter(service="smishing.eu"))
+
+    def scrape(self, on: dt.date) -> List[Post]:
+        """One scrape visit: every report visible on the site that day.
+
+        Raises a permanent :class:`ServiceUnavailable` after shutdown.
+        """
+        if on >= SHUTDOWN_DATE:
+            raise ServiceUnavailable(
+                "smishing.eu ceased operations on 2023-10-16",
+                service="smishing.eu",
+                permanent=True,
+            )
+        self.meter.charge()
+        cutoff = dt.datetime.combine(on, dt.time(0, 0))
+        return [
+            post for post in self.all_posts()
+            if post.created_at < cutoff and not post.deleted
+        ]
+
+    def weekly_scrape_dates(
+        self, start: dt.date, end: dt.date
+    ) -> List[dt.date]:
+        """Every Monday in [start, end) before the shutdown (§3.1.3)."""
+        dates: List[dt.date] = []
+        day = start
+        while day.weekday() != 0:
+            day += dt.timedelta(days=1)
+        while day < end and day < SHUTDOWN_DATE:
+            dates.append(day)
+            day += dt.timedelta(days=7)
+        return dates

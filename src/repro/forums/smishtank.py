@@ -1,0 +1,49 @@
+"""Smishtank service (§3.1.5).
+
+Timko & Rahman's crowdsourcing site: every report is structured —
+submission timestamp, sender ID, message text, URL — and usually carries
+a screenshot. The collector pulls the updated report list
+programmatically.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import List, Optional
+
+from ..types import Forum
+from .base import ForumService, Post
+from .base_meter import ForumMeter
+
+
+class SmishtankService(ForumService):
+    """Structured crowdsourced reports with a bulk listing endpoint."""
+
+    forum = Forum.SMISHTANK
+    page_size = 200
+
+    def __init__(self, *, meter: Optional[ForumMeter] = None):
+        super().__init__(meter=meter or ForumMeter(service="smishtank"))
+
+    def list_reports(
+        self,
+        *,
+        since: Optional[dt.datetime] = None,
+        until: Optional[dt.datetime] = None,
+    ) -> List[Post]:
+        """The site's report listing (charges one request per call).
+
+        Unlike keyword search, this returns *all* reports in the window —
+        smishtank is a dedicated smishing site, no keyword filter needed.
+        """
+        self.meter.charge()
+        results: List[Post] = []
+        for post in self.all_posts():
+            if post.deleted:
+                continue
+            if since is not None and post.created_at < since:
+                continue
+            if until is not None and post.created_at >= until:
+                continue
+            results.append(post)
+        return results

@@ -1,0 +1,96 @@
+"""Twitter (X) service with academic-API semantics (§3.1.1).
+
+Two API surfaces matter to the paper:
+
+* **Full-archive search** (academic access) for historical tweets — this
+  endpoint was shut down on 2023-06-23; queries after the shutdown moment
+  raise a permanent :class:`ServiceUnavailable`.
+* **Recent/streaming collection** used in real time between 2022-11-30
+  and the shutdown — modelled as ordinary windowed search, but it sees
+  posts *before they can be deleted* (historical search does not).
+
+Replies carry ``in_reply_to``; the collector also fetches the original
+tweet and its attachment where the keyword only appeared in the reply.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Optional
+
+from ..errors import ServiceUnavailable
+from ..types import Forum
+from .base import ForumService, Post, SearchPage
+from .base_meter import ForumMeter
+
+#: Academic API shutdown moment (§3.1.1).
+ACADEMIC_API_SHUTDOWN = dt.datetime(2023, 6, 23, 0, 0, 0)
+
+#: Real-time collection start (§3.1.1).
+REALTIME_START = dt.datetime(2022, 11, 30, 0, 0, 0)
+
+
+class TwitterService(ForumService):
+    """Twitter with an academic full-archive endpoint that can die."""
+
+    forum = Forum.TWITTER
+    page_size = 500  # full-archive pages are large
+
+    def __init__(self, *, meter: Optional[ForumMeter] = None):
+        super().__init__(meter=meter or ForumMeter(service="twitter-academic"))
+        #: The simulated "current moment" of the API consumer; queries
+        #: issued after the shutdown fail. Collectors set this as they
+        #: sweep their collection timeline.
+        self.query_time: dt.datetime = REALTIME_START
+
+    def full_archive_search(
+        self,
+        keyword: str,
+        *,
+        since: dt.datetime,
+        until: dt.datetime,
+        cursor: Optional[str] = None,
+    ) -> SearchPage:
+        """Historical search; unavailable after the academic shutdown.
+
+        Deleted tweets are invisible to historical search (users removed
+        them before the query ran, §7.1).
+        """
+        if self.query_time >= ACADEMIC_API_SHUTDOWN:
+            raise ServiceUnavailable(
+                "Twitter academic API was shut down on 2023-06-23",
+                service="twitter-academic",
+                permanent=True,
+            )
+        return self.search(keyword, since=since, until=until, cursor=cursor)
+
+    def realtime_search(
+        self,
+        keyword: str,
+        *,
+        since: dt.datetime,
+        until: dt.datetime,
+        cursor: Optional[str] = None,
+    ) -> SearchPage:
+        """Real-time collection window: sees posts even if later deleted
+        (we collected them before deletion)."""
+        if self.query_time >= ACADEMIC_API_SHUTDOWN:
+            raise ServiceUnavailable(
+                "Twitter academic API was shut down on 2023-06-23",
+                service="twitter-academic",
+                permanent=True,
+            )
+        return self.search(
+            keyword, since=since, until=until, cursor=cursor,
+            include_deleted=True,
+        )
+
+    def fetch_original(self, post: Post) -> Optional[Post]:
+        """Fetch the tweet a reply points at (charges one request)."""
+        if post.in_reply_to is None:
+            return None
+        self.meter.charge()
+        original = self.get(post.in_reply_to)
+        if original is None or original.deleted:
+            return None
+        return original

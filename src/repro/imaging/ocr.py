@@ -1,0 +1,102 @@
+"""Pytesseract-style OCR simulator.
+
+Reproduces the failure modes that made the paper abandon plain OCR
+(§3.2): it returns a single undifferentiated text blob (no notion of
+sender/timestamp/body), breaks on custom-themed backgrounds, interleaves
+side-widgets into the text, and confuses look-alike glyphs — which is
+fatal for squatting domains (``paypal.com`` vs ``paypaI.com``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ExtractionError
+from .screenshot import ImageKind, Screenshot
+
+
+@dataclass
+class RawOcrResult:
+    """Output of a blob-OCR engine: just text and a confidence score."""
+
+    text: str
+    confidence: float
+    engine: str = "pytesseract-sim"
+
+
+#: Glyph confusions applied at character level (visually similar pairs).
+GLYPH_CONFUSIONS = {
+    "l": "I", "I": "l", "0": "O", "O": "0", "1": "l", "5": "S",
+    "rn": "m", "vv": "w",
+}
+
+
+def _confuse_glyphs(text: str, rng: random.Random, rate: float) -> str:
+    chars: List[str] = []
+    i = 0
+    while i < len(text):
+        pair = text[i:i + 2]
+        if pair in ("rn", "vv") and rng.random() < rate:
+            chars.append(GLYPH_CONFUSIONS[pair])
+            i += 2
+            continue
+        ch = text[i]
+        if ch in GLYPH_CONFUSIONS and rng.random() < rate:
+            chars.append(GLYPH_CONFUSIONS[ch])
+        else:
+            chars.append(ch)
+        i += 1
+    return "".join(chars)
+
+
+class PytesseractOcr:
+    """Blob OCR with custom-theme blindness and glyph confusion.
+
+    ``confusion_rate`` is the per-glyph substitution probability on plain
+    themes; themed screenshots fail outright (raise) with probability
+    ``theme_failure_rate`` and degrade heavily otherwise.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        confusion_rate: float = 0.04,
+        theme_failure_rate: float = 0.65,
+    ):
+        self._rng = rng
+        self._confusion_rate = confusion_rate
+        self._theme_failure_rate = theme_failure_rate
+        self.processed = 0
+        self.failed = 0
+
+    def image_to_text(self, screenshot: Screenshot) -> RawOcrResult:
+        """OCR the screenshot or raise :class:`ExtractionError`.
+
+        Note: unlike the vision extractors, this engine happily "reads"
+        e-mail screenshots and posters — it cannot tell what an image *is*
+        (the paper's first complaint about OCR).
+        """
+        self.processed += 1
+        if screenshot.kind is ImageKind.UNRELATED_PHOTO or not screenshot.lines:
+            self.failed += 1
+            raise ExtractionError("no text regions detected")
+        rate = self._confusion_rate
+        if screenshot.skin.has_custom_background:
+            if self._rng.random() < self._theme_failure_rate:
+                self.failed += 1
+                raise ExtractionError(
+                    "binarisation failed on custom background theme"
+                )
+            rate = min(0.5, rate * 6)  # heavy degradation when it limps on
+        # Visual order, widgets included, continuations NOT re-joined.
+        pieces = [line.text for line in screenshot.lines]
+        noisy = _confuse_glyphs("\n".join(pieces), self._rng, rate)
+        confidence = max(0.05, 0.95 - rate * 4)
+        return RawOcrResult(text=noisy, confidence=confidence)
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failed / self.processed if self.processed else 0.0

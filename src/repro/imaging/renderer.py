@@ -1,0 +1,187 @@
+"""Render ground-truth smishing events into structured screenshots.
+
+The renderer decides the app skin, timestamp format, redactions and
+layout quirks for each report, producing the :class:`Screenshot` objects
+that reporters attach to their forum posts. It also produces the decoy
+images (awareness posters, e-mail screenshots, unrelated photos) that
+pollute keyword-matched forum posts (§3.2).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from typing import List, Optional
+
+from ..sms.message import SmishingEvent
+from ..utils.rng import WeightedSampler
+from ..utils.timeutils import TIMESTAMP_STYLES, format_app_timestamp
+from .screenshot import (
+    AppSkin,
+    ImageKind,
+    Screenshot,
+    TextLine,
+    redact,
+    word_wrap,
+)
+
+_SKIN_WEIGHTS = {
+    AppSkin.IOS_MESSAGES: 0.38,
+    AppSkin.ANDROID_MESSAGES: 0.34,
+    AppSkin.SAMSUNG_MESSAGES: 0.12,
+    AppSkin.WHATSAPP: 0.06,
+    AppSkin.CUSTOM_THEMED: 0.10,
+}
+
+_TIMESTAMP_STYLE_WEIGHTS = {
+    "iso": 0.10,
+    "numeric_dayfirst": 0.22,
+    "numeric_monthfirst": 0.18,
+    "long": 0.28,
+    "time_only": 0.14,
+    "relative": 0.08,
+}
+
+_POSTER_TEXTS = (
+    "STOP SMISHING! Never click links in unexpected texts. Report scam SMS "
+    "to your operator by forwarding to 7726.",
+    "Cyber awareness week: phishing SMS cost consumers millions last year. "
+    "Think before you tap!",
+    "How to spot a scam text: urgency, bad grammar, strange links. Share to "
+    "protect your family.",
+)
+
+_EMAIL_TEXTS = (
+    "From: security@paypa1-support.com\nSubject: Your account is limited\n"
+    "Dear customer, we noticed unusual activity...",
+    "From: it-helpdesk@corp.example\nSubject: Password expires today\n"
+    "Click to keep your password...",
+)
+
+
+class ScreenshotRenderer:
+    """Turns events into screenshots and emits decoy images."""
+
+    def __init__(self, rng: random.Random, *, width_chars: int = 38):
+        self._rng = rng
+        self._width = width_chars
+        self._skin_sampler = WeightedSampler(_SKIN_WEIGHTS)
+        self._style_sampler = WeightedSampler(_TIMESTAMP_STYLE_WEIGHTS)
+        self._counter = 0
+
+    def _next_id(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter:07d}"
+
+    def render_event(
+        self,
+        event: SmishingEvent,
+        *,
+        redact_sender: Optional[bool] = None,
+        redact_url: Optional[bool] = None,
+        captured_at: Optional[dt.datetime] = None,
+    ) -> Screenshot:
+        """Render one SMS screenshot for a report.
+
+        Redaction probabilities mirror §3.2: some reporters blank the
+        sender ID (privacy) or the URL shortcode (protecting others).
+        ``captured_at`` is when the user took the screenshot: messaging
+        apps only render "Today"/bare-time headers for messages received
+        the same day, so older messages always carry a dated header.
+        """
+        rng = self._rng
+        skin = self._skin_sampler.sample(rng)
+        style = self._style_sampler.sample(rng)
+        if (captured_at is not None
+                and captured_at.date() != event.received_at.date()
+                and style in ("relative", "time_only")):
+            style = "long"
+        if redact_sender is None:
+            redact_sender = rng.random() < 0.12
+        if redact_url is None:
+            redact_url = event.url is not None and rng.random() < 0.07
+
+        sender_text = event.sender.raw
+        if redact_sender:
+            sender_text = redact(sender_text)
+
+        body_text = event.message.text
+        if redact_url and event.url is not None:
+            body_text = body_text.replace(str(event.url), str(event.url.host) + "/***")
+
+        timestamp_text = format_app_timestamp(event.received_at, style)
+        has_date = style != "time_only"
+
+        lines: List[TextLine] = [
+            TextLine(text=sender_text, role="header"),
+            TextLine(text=timestamp_text, role="timestamp"),
+        ]
+        for row, continuation in word_wrap(body_text, self._width):
+            lines.append(
+                TextLine(text=row, role="body", wrapped_continuation=continuation)
+            )
+        # Occasional UI widget column that confuses naive OCR ordering.
+        if rng.random() < 0.25:
+            lines.append(TextLine(text="Delivered", role="widget", column=1))
+        if rng.random() < 0.15:
+            lines.append(TextLine(text="Report junk", role="widget", column=1))
+
+        return Screenshot(
+            image_id=self._next_id("img"),
+            kind=ImageKind.SMS_SCREENSHOT,
+            skin=skin,
+            lines=lines,
+            truth_event_id=event.event_id,
+            truth_text=event.message.text,
+            truth_sender=event.sender.raw,
+            truth_timestamp=event.received_at,
+            truth_url=str(event.url) if event.url else None,
+            sender_redacted=redact_sender,
+            url_redacted=bool(redact_url),
+            timestamp_has_date=has_date,
+            language=event.language,
+            width_chars=self._width,
+        )
+
+    # -- decoys ---------------------------------------------------------------
+
+    def render_awareness_poster(self) -> Screenshot:
+        """Awareness graphic a charity/organisation posts with our keywords."""
+        text = self._rng.choice(_POSTER_TEXTS)
+        lines = [TextLine(text=row, role="body", wrapped_continuation=cont)
+                 for row, cont in word_wrap(text, self._width + 10)]
+        return Screenshot(
+            image_id=self._next_id("img"),
+            kind=ImageKind.AWARENESS_POSTER,
+            skin=AppSkin.CUSTOM_THEMED,
+            lines=lines,
+        )
+
+    def render_email_screenshot(self) -> Screenshot:
+        """An e-mail phishing screenshot mistakenly posted as 'smishing'."""
+        text = self._rng.choice(_EMAIL_TEXTS)
+        lines = [TextLine(text=row, role="body", wrapped_continuation=cont)
+                 for row, cont in word_wrap(text, self._width + 14)]
+        return Screenshot(
+            image_id=self._next_id("img"),
+            kind=ImageKind.EMAIL_SCREENSHOT,
+            skin=AppSkin.CUSTOM_THEMED,
+            lines=lines,
+        )
+
+    def render_unrelated_photo(self) -> Screenshot:
+        """A photo with no text at all (memes, pets, receipts...)."""
+        return Screenshot(
+            image_id=self._next_id("img"),
+            kind=ImageKind.UNRELATED_PHOTO,
+            skin=AppSkin.CUSTOM_THEMED,
+            lines=[],
+        )
+
+    def render_decoy(self) -> Screenshot:
+        roll = self._rng.random()
+        if roll < 0.5:
+            return self.render_awareness_poster()
+        if roll < 0.8:
+            return self.render_email_screenshot()
+        return self.render_unrelated_photo()

@@ -1,0 +1,161 @@
+"""Structured screenshot model.
+
+We do not rasterise pixels; a :class:`Screenshot` is a structured
+description of what a messaging-app screenshot *shows* — app skin, header
+sender line, timestamp line, wrapped text lines, colours and glyph-level
+rendering quirks. This is exactly the information an OCR engine has to
+recover, so the three extraction back-ends (:mod:`repro.imaging.ocr`,
+:mod:`repro.imaging.vision_google`, :mod:`repro.imaging.vision_openai`)
+can exhibit their documented failure modes (§3.2) mechanically:
+
+* Pytesseract cannot cope with custom background themes and confuses
+  look-alike glyphs (``l`` vs ``I``, ``0`` vs ``O``).
+* Google Vision reads characters well but loses reading order on
+  multi-column layouts, breaking URLs that wrap across lines.
+* The OpenAI Vision extractor reconstructs full messages and rejects
+  non-SMS images.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class AppSkin(str, enum.Enum):
+    """Messaging-app visual styles the renderer can produce."""
+
+    IOS_MESSAGES = "ios_messages"
+    ANDROID_MESSAGES = "android_messages"
+    SAMSUNG_MESSAGES = "samsung_messages"
+    WHATSAPP = "whatsapp"
+    CUSTOM_THEMED = "custom_themed"  # user-customised colours/fonts
+
+    @property
+    def has_custom_background(self) -> bool:
+        return self in (AppSkin.CUSTOM_THEMED, AppSkin.WHATSAPP)
+
+
+class ImageKind(str, enum.Enum):
+    """What the posted image actually is (§3.2: not all are SMS shots)."""
+
+    SMS_SCREENSHOT = "sms_screenshot"
+    EMAIL_SCREENSHOT = "email_screenshot"
+    AWARENESS_POSTER = "awareness_poster"
+    UNRELATED_PHOTO = "unrelated_photo"
+    CHAT_SCREENSHOT = "chat_screenshot"  # non-SMS messenger thread
+
+
+@dataclass(frozen=True)
+class TextLine:
+    """One physical line of rendered text inside the screenshot.
+
+    ``column`` captures layout: real screenshots have side timestamps or
+    reaction widgets that naive OCR interleaves with the message body.
+    ``wrapped_continuation`` marks a line that continues the previous one
+    (URL wraps rely on this).
+    """
+
+    text: str
+    role: str  # "header", "timestamp", "body", "widget"
+    column: int = 0
+    wrapped_continuation: bool = False
+
+
+@dataclass
+class Screenshot:
+    """A structured SMS screenshot (or something pretending to be one)."""
+
+    image_id: str
+    kind: ImageKind
+    skin: AppSkin
+    lines: List[TextLine] = field(default_factory=list)
+    #: Ground-truth linkage for evaluation only — extractors MUST NOT read
+    #: these fields (tests enforce that they produce output from ``lines``).
+    truth_event_id: Optional[str] = None
+    truth_text: Optional[str] = None
+    truth_sender: Optional[str] = None
+    truth_timestamp: Optional[dt.datetime] = None
+    truth_url: Optional[str] = None
+    #: Rendering facts extractors may legitimately perceive.
+    sender_redacted: bool = False
+    url_redacted: bool = False
+    timestamp_has_date: bool = True
+    language: str = "en"
+    width_chars: int = 38
+
+    @property
+    def body_lines(self) -> List[TextLine]:
+        return [line for line in self.lines if line.role == "body"]
+
+    @property
+    def header_line(self) -> Optional[TextLine]:
+        for line in self.lines:
+            if line.role == "header":
+                return line
+        return None
+
+    @property
+    def timestamp_line(self) -> Optional[TextLine]:
+        for line in self.lines:
+            if line.role == "timestamp":
+                return line
+        return None
+
+    def visual_rows(self) -> List[Tuple[int, TextLine]]:
+        """Lines in visual order with their row index (for OCR engines)."""
+        return list(enumerate(self.lines))
+
+
+def redact(text: str, *, keep_prefix: int = 3) -> str:
+    """Reporter-style redaction: keep a short prefix, star the rest."""
+    if len(text) <= keep_prefix:
+        return "*" * len(text)
+    return text[:keep_prefix] + "*" * (len(text) - keep_prefix)
+
+
+def word_wrap(text: str, width: int) -> List[Tuple[str, bool]]:
+    """Wrap text to ``width`` columns.
+
+    Returns ``(row_text, hard_continuation)`` pairs. ``hard_continuation``
+    is True only when the row continues a *token* split mid-way because it
+    was longer than the line (URLs, typically) — soft word-wraps are not
+    continuations. This distinction is what lets a layout-aware extractor
+    re-join URLs while naive OCR truncates them (§3.2).
+    """
+    if width < 6:
+        raise ValueError("width too small to render")
+    rows: List[Tuple[str, bool]] = []
+    for paragraph in text.split("\n"):
+        current = ""
+        current_is_cont = False
+        for word in paragraph.split(" "):
+            if not word:
+                continue
+            while True:
+                sep = " " if current else ""
+                if len(current) + len(sep) + len(word) <= width:
+                    current += sep + word
+                    break
+                space_left = width - len(current) - len(sep)
+                if len(word) > width and space_left >= 5:
+                    # Fill the row with the head of the long token.
+                    current += sep + word[:space_left]
+                    word = word[space_left:]
+                    rows.append((current, current_is_cont))
+                    current = ""
+                    current_is_cont = True
+                elif current:
+                    rows.append((current, current_is_cont))
+                    current = ""
+                    current_is_cont = False
+                else:
+                    # Long token on an empty row: hard split at width.
+                    rows.append((word[:width], current_is_cont))
+                    word = word[width:]
+                    current_is_cont = True
+        if current:
+            rows.append((current, current_is_cont))
+    return rows

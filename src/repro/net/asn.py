@@ -1,0 +1,153 @@
+"""Autonomous-system registry: the hosting side of the smishing ecosystem.
+
+Models §4.6 / Table 8: each AS owns IPv4 prefixes in one or more countries;
+a small set of organisations operate several ASNs (Amazon runs AS16509 and
+AS14618); some providers are CDN/proxy services that hide origin hosting
+(Cloudflare), and a few are bulletproof hosting providers (Frantech,
+Proton66, Stark Industries) that ignore abuse reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NotFound
+from .ipaddr import AddressPool, IPv4, Prefix
+
+
+@dataclass(frozen=True)
+class AsRecord:
+    """One autonomous system."""
+
+    asn: int
+    organisation: str
+    countries: Tuple[str, ...]
+    prefixes: Tuple[str, ...]
+    is_proxy: bool = False
+    is_cloud: bool = False
+    is_bulletproof: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"AS{self.asn}"
+
+
+#: The AS catalogue, calibrated to Table 8 plus the BPHs named in §4.6.
+#: Prefix sizes are intentionally small — they are allocation pools for the
+#: simulation, not real routing tables.
+_CATALOGUE: List[AsRecord] = [
+    AsRecord(16509, "Amazon", ("US", "JP", "IE"), ("52.94.0.0/16",), is_cloud=True),
+    AsRecord(14618, "Amazon", ("US", "IN", "MA"), ("54.160.0.0/16",), is_cloud=True),
+    AsRecord(13335, "Cloudflare", ("US",), ("104.16.0.0/14",), is_proxy=True),
+    AsRecord(63949, "Akamai", ("US", "IN"), ("172.104.0.0/16",), is_cloud=True),
+    AsRecord(15169, "Google", ("US",), ("34.64.0.0/16",), is_cloud=True),
+    AsRecord(396982, "Google", ("US",), ("35.192.0.0/16",), is_cloud=True),
+    AsRecord(35916, "Multacom", ("US",), ("104.149.0.0/17",)),
+    AsRecord(47846, "SEDO GmbH", ("DE",), ("91.195.240.0/23",)),
+    AsRecord(45102, "Alibaba", ("HK", "CN"), ("47.74.0.0/16",), is_cloud=True),
+    AsRecord(37963, "Alibaba", ("CN", "US"), ("47.92.0.0/16",), is_cloud=True),
+    AsRecord(132203, "Tencent", ("US", "DE"), ("43.128.0.0/16",), is_cloud=True),
+    AsRecord(53667, "FranTech Solutions", ("US", "LU"), ("198.98.48.0/20",),
+             is_bulletproof=True),
+    AsRecord(17444, "HKBN Enterprise", ("HK",), ("210.3.0.0/17",)),
+    AsRecord(20473, "The Constant Company", ("US",), ("45.32.0.0/16",), is_cloud=True),
+    AsRecord(198953, "Proton66 OOO", ("RU",), ("45.135.232.0/22",),
+             is_bulletproof=True),
+    AsRecord(44477, "Stark Industries", ("NL",), ("77.91.68.0/22",),
+             is_bulletproof=True),
+    AsRecord(16276, "OVH", ("FR",), ("51.38.0.0/16",), is_cloud=True),
+    AsRecord(24940, "Hetzner", ("DE",), ("88.198.0.0/16",), is_cloud=True),
+    AsRecord(14061, "DigitalOcean", ("US", "SG"), ("138.68.0.0/16",), is_cloud=True),
+    AsRecord(26496, "GoDaddy Hosting", ("US",), ("160.153.0.0/17",), is_cloud=True),
+    AsRecord(8075, "Microsoft", ("US",), ("40.76.0.0/16",), is_cloud=True),
+    AsRecord(55293, "A2 Hosting", ("US",), ("68.66.224.0/19",)),
+    AsRecord(22612, "Namecheap Hosting", ("US",), ("198.54.112.0/20",)),
+    AsRecord(19871, "Network Solutions", ("US",), ("205.178.128.0/18",)),
+]
+
+
+class AsRegistry:
+    """Registry of autonomous systems, with IP allocation and reverse lookup.
+
+    Acts as both the world's hosting substrate (allocating addresses to
+    smishing hosts) and the ``ipinfo.io`` IP-to-ASN / IP-to-country
+    database (§3.3.3).
+    """
+
+    def __init__(self, catalogue: Optional[List[AsRecord]] = None):
+        self._records: Dict[int, AsRecord] = {}
+        self._pools: Dict[int, AddressPool] = {}
+        self._prefix_index: List[Tuple[Prefix, AsRecord]] = []
+        for record in catalogue if catalogue is not None else _CATALOGUE:
+            self.add(record)
+
+    def add(self, record: AsRecord) -> None:
+        self._records[record.asn] = record
+        prefixes = [Prefix.parse(p) for p in record.prefixes]
+        self._pools[record.asn] = AddressPool(prefixes)
+        for prefix in prefixes:
+            self._prefix_index.append((prefix, record))
+        # Longest-prefix first so lookups prefer the most specific owner.
+        self._prefix_index.sort(key=lambda item: -item[0].length)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, asn: int) -> AsRecord:
+        try:
+            return self._records[asn]
+        except KeyError:
+            raise NotFound(f"unknown ASN: {asn}", service="asn") from None
+
+    def organisations(self) -> List[str]:
+        return sorted({r.organisation for r in self._records.values()})
+
+    def asns_for(self, organisation: str) -> List[AsRecord]:
+        return [r for r in self._records.values() if r.organisation == organisation]
+
+    def allocate_address(self, asn: int, rng: random.Random) -> IPv4:
+        """Allocate a fresh address from one of the AS's prefixes."""
+        try:
+            pool = self._pools[asn]
+        except KeyError:
+            raise NotFound(f"unknown ASN: {asn}", service="asn") from None
+        return pool.allocate(rng)
+
+    def lookup(self, address: IPv4) -> AsRecord:
+        """Find the AS owning ``address`` (ipinfo.io style)."""
+        for prefix, record in self._prefix_index:
+            if address in prefix:
+                return record
+        raise NotFound(f"address not announced: {address}", service="asn")
+
+    def country_of(self, address: IPv4, rng: Optional[random.Random] = None) -> str:
+        """ipinfo's IP-to-country answer.
+
+        Multi-country organisations geolocate per-address; we pick a
+        deterministic country from the AS's list keyed on the address so
+        repeated queries agree.
+        """
+        record = self.lookup(address)
+        if len(record.countries) == 1:
+            return record.countries[0]
+        return record.countries[address.value % len(record.countries)]
+
+    def bulletproof_asns(self) -> List[AsRecord]:
+        return [r for r in self._records.values() if r.is_bulletproof]
+
+
+@dataclass
+class HostingChoice:
+    """How a campaign host is placed: directly on a cloud/BPH, optionally
+    fronted by a proxy AS (Cloudflare) that hides the origin."""
+
+    origin_asn: int
+    proxy_asn: Optional[int] = None
+    addresses: List[IPv4] = field(default_factory=list)
+
+    @property
+    def visible_asn(self) -> int:
+        """The ASN passive DNS observers see (the proxy when present)."""
+        return self.proxy_asn if self.proxy_asn is not None else self.origin_asn

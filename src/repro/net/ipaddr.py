@@ -1,0 +1,128 @@
+"""Minimal IPv4 modelling: addresses, prefixes, and allocation pools.
+
+The hosting simulation assigns each web host one or more IPv4 addresses
+drawn from prefixes owned by autonomous systems (see
+:mod:`repro.net.asn`). We model addresses as plain integers wrapped in a
+tiny value type rather than pulling in :mod:`ipaddress`, because we also
+need deterministic sequential allocation out of a prefix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True, order=True)
+class IPv4:
+    """An IPv4 address stored as a 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 2**32:
+            raise ValidationError(f"IPv4 value out of range: {self.value}")
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 255}.{(v >> 16) & 255}.{(v >> 8) & 255}.{v & 255}"
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4":
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise ValidationError(f"not an IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise ValidationError(f"not an IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValidationError(f"octet out of range: {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """A CIDR prefix such as ``104.16.0.0/13``."""
+
+    network: IPv4
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValidationError(f"prefix length out of range: {self.length}")
+        mask = self.mask
+        if self.network.value & ~mask & 0xFFFFFFFF:
+            raise ValidationError(
+                f"network {self.network} has host bits set for /{self.length}"
+            )
+
+    @property
+    def mask(self) -> int:
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    @property
+    def size(self) -> int:
+        return 2 ** (32 - self.length)
+
+    def __contains__(self, address: IPv4) -> bool:
+        return (address.value & self.mask) == self.network.value
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        network_text, _, length_text = text.partition("/")
+        if not length_text.isdigit():
+            raise ValidationError(f"not a CIDR prefix: {text!r}")
+        return cls(IPv4.parse(network_text), int(length_text))
+
+    def hosts(self) -> Iterator[IPv4]:
+        """Iterate all addresses in the prefix (including network/broadcast;
+        this is an allocation pool, not a subnet plan)."""
+        for offset in range(self.size):
+            yield IPv4(self.network.value + offset)
+
+    def random_address(self, rng: random.Random) -> IPv4:
+        """Pick a uniform random address inside the prefix."""
+        return IPv4(self.network.value + rng.randrange(self.size))
+
+
+class AddressPool:
+    """Deterministic allocator handing out unique addresses from prefixes."""
+
+    def __init__(self, prefixes: List[Prefix]):
+        if not prefixes:
+            raise ValidationError("AddressPool requires at least one prefix")
+        self._prefixes = list(prefixes)
+        self._allocated: set = set()
+
+    def allocate(self, rng: random.Random) -> IPv4:
+        """Allocate a previously unissued address (random prefix, random
+        offset, with linear probing on collision)."""
+        total = sum(p.size for p in self._prefixes)
+        if len(self._allocated) >= total:
+            raise ValidationError("address pool exhausted")
+        for _ in range(64):
+            prefix = rng.choice(self._prefixes)
+            address = prefix.random_address(rng)
+            if address.value not in self._allocated:
+                self._allocated.add(address.value)
+                return address
+        # Dense pool: fall back to a scan.
+        for prefix in self._prefixes:
+            for address in prefix.hosts():
+                if address.value not in self._allocated:
+                    self._allocated.add(address.value)
+                    return address
+        raise ValidationError("address pool exhausted")
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)

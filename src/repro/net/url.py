@@ -1,0 +1,231 @@
+"""URL modelling and extraction from SMS text.
+
+SMS messages have no markup: URLs appear as bare strings, often without a
+scheme, sometimes defanged by reporters (``hxxp://``, ``bit[.]ly``), and —
+critically for the paper's OCR discussion (§3.2) — may be wrapped across
+lines in a screenshot. This module provides:
+
+* :class:`Url` — parsed value object (scheme, host, path, query).
+* :func:`extract_urls` — find URL-shaped substrings in free text.
+* :func:`refang` — undo common defanging before parsing.
+* :func:`defang` — produce the publication-safe form used in the paper's
+  prose (``sa-krs[.]web[.]app``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ValidationError
+from .tld import TldRegistry, default_registry
+
+_SCHEME_RE = re.compile(r"^(?P<scheme>[a-zA-Z][a-zA-Z0-9+.-]*)://")
+_HOST_LABEL = r"[a-zA-Z0-9](?:[a-zA-Z0-9-]{0,61}[a-zA-Z0-9])?"
+_URL_CANDIDATE_RE = re.compile(
+    r"(?:(?:https?|hxxps?)://)?"
+    rf"(?:{_HOST_LABEL}\.)+[a-zA-Z]{{2,24}}"
+    r"(?::\d{2,5})?"
+    r"(?:/[^\s\"'<>()]*)?",
+)
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed URL. ``host`` is always lowercase; ``scheme`` defaults to
+    ``http`` when the SMS omitted it (as real smishing texts often do)."""
+
+    scheme: str
+    host: str
+    path: str = ""
+    query: str = ""
+    port: Optional[int] = None
+
+    def __str__(self) -> str:
+        port = f":{self.port}" if self.port else ""
+        query = f"?{self.query}" if self.query else ""
+        return f"{self.scheme}://{self.host}{port}{self.path}{query}"
+
+    @property
+    def is_https(self) -> bool:
+        return self.scheme == "https"
+
+    @property
+    def apex(self) -> str:
+        """Registered (pay-level) domain under the default TLD registry."""
+        return default_registry().split_host(self.host)[0]
+
+    @property
+    def effective_tld(self) -> str:
+        return default_registry().split_host(self.host)[1]
+
+    @property
+    def is_apk_download(self) -> bool:
+        """True when the path points directly at an Android package (§6)."""
+        return self.path.lower().endswith(".apk")
+
+    def with_path(self, path: str, query: str = "") -> "Url":
+        return Url(scheme=self.scheme, host=self.host, path=path,
+                   query=query, port=self.port)
+
+    def without_query(self) -> "Url":
+        return Url(scheme=self.scheme, host=self.host, path=self.path,
+                   query="", port=self.port)
+
+
+def parse_url(raw: str, *, registry: Optional[TldRegistry] = None) -> Url:
+    """Parse a URL string (scheme optional) into a :class:`Url`.
+
+    Raises :class:`~repro.errors.ValidationError` for strings that are not
+    plausibly URLs (no dot, bad port, unknown TLD when a registry check is
+    requested).
+    """
+    registry = registry or default_registry()
+    text = refang(raw.strip())
+    match = _SCHEME_RE.match(text)
+    if match:
+        scheme = match.group("scheme").lower()
+        rest = text[match.end():]
+    else:
+        scheme = "http"
+        rest = text
+    if not rest:
+        raise ValidationError(f"empty URL after scheme: {raw!r}")
+    host_part, slash, tail = rest.partition("/")
+    path = f"/{tail}" if slash else ""
+    query = ""
+    if "?" in path:
+        path, _, query = path.partition("?")
+    elif "?" in host_part:
+        host_part, _, query = host_part.partition("?")
+    port: Optional[int] = None
+    if ":" in host_part:
+        host_part, _, port_text = host_part.partition(":")
+        if not port_text.isdigit():
+            raise ValidationError(f"bad port in URL: {raw!r}")
+        port = int(port_text)
+        if not 0 < port < 65536:
+            raise ValidationError(f"port out of range: {raw!r}")
+    host = host_part.lower().rstrip(".")
+    if "." not in host:
+        raise ValidationError(f"URL host has no dot: {raw!r}")
+    if not re.fullmatch(rf"(?:{_HOST_LABEL}\.)+[a-zA-Z]{{2,24}}", host):
+        raise ValidationError(f"malformed URL host: {raw!r}")
+    registry.split_host(host)  # raises on unknown TLD
+    return Url(scheme=scheme, host=host, path=path, query=query, port=port)
+
+
+def try_parse_url(raw: str) -> Optional[Url]:
+    """Parse, returning None instead of raising on invalid input."""
+    try:
+        return parse_url(raw)
+    except ValidationError:
+        return None
+
+
+def refang(text: str) -> str:
+    """Undo reporter defanging: ``hxxp`` → ``http``, ``[.]``/``(.)`` → ``.``."""
+    result = text.replace("[.]", ".").replace("(.)", ".").replace("[dot]", ".")
+    result = re.sub(r"\bhxxp(s?)://", r"http\1://", result, flags=re.IGNORECASE)
+    return result
+
+
+def defang(url: "Url | str") -> str:
+    """Publication-safe rendering: dots in the host become ``[.]``."""
+    text = str(url)
+    match = _SCHEME_RE.match(text)
+    prefix = ""
+    if match:
+        prefix = match.group(0).replace("http", "hxxp")
+        text = text[match.end():]
+    host, slash, tail = text.partition("/")
+    host = host.replace(".", "[.]")
+    return prefix + host + (slash + tail if slash else "")
+
+
+# Tokens that look like URLs but are almost always false positives in
+# user reports (mentions of the reporting platform itself, etc.).
+_EXTRACTION_DENYLIST = frozenset({"twitter.com", "x.com", "reddit.com"})
+
+
+def extract_urls(
+    text: str,
+    *,
+    registry: Optional[TldRegistry] = None,
+    include_denylisted: bool = False,
+) -> List[Url]:
+    """Extract all URL-shaped substrings from free text, in order.
+
+    Handles scheme-less hosts (``ceskaposta.online/track``), defanged forms
+    and trailing punctuation. Unknown TLDs are skipped — a bare "end of
+    sentence.Next" pattern should not produce a URL.
+    """
+    registry = registry or default_registry()
+    found: List[Url] = []
+    seen: set = set()
+    for match in _URL_CANDIDATE_RE.finditer(refang(text)):
+        candidate = match.group(0).rstrip(".,;:!?)\"'")
+        try:
+            url = parse_url(candidate, registry=registry)
+        except ValidationError:
+            continue
+        if not include_denylisted and url.apex in _EXTRACTION_DENYLIST:
+            continue
+        key = str(url)
+        if key in seen:
+            continue
+        seen.add(key)
+        found.append(url)
+    return found
+
+
+@dataclass
+class RedirectChain:
+    """An observed redirect chain from an active crawl (§6)."""
+
+    hops: List[Url] = field(default_factory=list)
+
+    def append(self, url: Url) -> None:
+        self.hops.append(url)
+
+    @property
+    def start(self) -> Optional[Url]:
+        return self.hops[0] if self.hops else None
+
+    @property
+    def final(self) -> Optional[Url]:
+        return self.hops[-1] if self.hops else None
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def __iter__(self):
+        return iter(self.hops)
+
+
+def join_wrapped_url(lines: List[str]) -> str:
+    """Re-join a URL that a screenshot wrapped across lines (§3.2).
+
+    Messaging apps hard-wrap long URLs; naive OCR that loses reading order
+    truncates them. Given consecutive physical lines belonging to one SMS,
+    this joins fragments where a line ends mid-URL (no trailing space and
+    the next line continues with URL-safe characters).
+    """
+    joined: List[str] = []
+    buffer = ""
+    for line in lines:
+        if buffer:
+            stripped = line.lstrip()
+            if stripped and re.match(r"^[A-Za-z0-9/._?=&%-]+", stripped):
+                buffer += stripped
+                continue
+            joined.append(buffer)
+            buffer = ""
+        if re.search(r"(?:https?://|\w\.\w{2,24}/)[^\s]*$", line.rstrip()):
+            buffer = line.rstrip()
+        else:
+            joined.append(line)
+    if buffer:
+        joined.append(buffer)
+    return "\n".join(joined)

@@ -1,0 +1,102 @@
+"""Brand named-entity recognition with evasion-robust matching.
+
+Off-the-shelf NER misses ``N3tfl!x`` (§3.3.6); this recogniser matches the
+brand alias lexicon against *normalised* text (leet/homoglyph undone),
+using multi-word phrase matching with a squashed-key fallback, and ranks
+candidates by match length so "State Bank of India" beats "Bank".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..world.brands import BrandRegistry, default_brands
+from .normalize import normalize_text, squash
+from .tokenize import tokenize
+
+#: Alias keys shorter than this require an exact token match (avoid "ee"
+#: inside other words).
+_SHORT_KEY = 4
+
+
+@dataclass(frozen=True)
+class BrandMatch:
+    """One recognised brand mention."""
+
+    brand: str
+    matched_alias: str
+    start_token: int
+
+
+class BrandRecognizer:
+    """Lexicon NER over normalised token n-grams."""
+
+    def __init__(self, registry: Optional[BrandRegistry] = None):
+        self._registry = registry or default_brands()
+        #: squashed alias -> (canonical name, original alias, token length)
+        self._lexicon: Dict[str, Tuple[str, str, int]] = {}
+        self._max_tokens = 1
+        for alias, canonical in self._registry.all_alias_forms().items():
+            key = squash(alias)
+            if not key:
+                continue
+            token_count = max(1, len(alias.split()))
+            self._max_tokens = max(self._max_tokens, token_count)
+            existing = self._lexicon.get(key)
+            # Prefer the longest original alias for a squashed key.
+            if existing is None or len(alias) > len(existing[1]):
+                self._lexicon[key] = (canonical, alias, token_count)
+
+    def find_all(self, text: str) -> List[BrandMatch]:
+        """Every brand mention, leftmost-longest, non-overlapping."""
+        normalised = normalize_text(text)
+        tokens = tokenize(normalised)
+        matches: List[BrandMatch] = []
+        index = 0
+        while index < len(tokens):
+            matched: Optional[BrandMatch] = None
+            for span in range(min(self._max_tokens + 2, len(tokens) - index), 0, -1):
+                window = tokens[index:index + span]
+                if any("/" in t or t.startswith("http") for t in window):
+                    # n-grams crossing URLs are never brand phrases; the
+                    # URL itself is checked as a single token below.
+                    if span > 1:
+                        continue
+                key = squash("".join(window))
+                entry = self._lexicon.get(key)
+                if entry is None and span == 1 and "." in window[0]:
+                    # Try the URL's host labels ("netflix.com-billing.xyz").
+                    for label in window[0].replace("/", ".").split("."):
+                        entry = self._lexicon.get(squash(label))
+                        if entry:
+                            break
+                if entry is None:
+                    continue
+                canonical, alias, _ = entry
+                if len(key) < _SHORT_KEY and span == 1:
+                    # Short aliases must match the token exactly.
+                    if squash(window[0]) != key:
+                        continue
+                matched = BrandMatch(
+                    brand=canonical, matched_alias=alias, start_token=index
+                )
+                index += span
+                break
+            if matched is not None:
+                matches.append(matched)
+            else:
+                index += 1
+        return matches
+
+    def find_primary(self, text: str) -> Optional[str]:
+        """The impersonated brand: the first, longest-alias mention."""
+        matches = self.find_all(text)
+        if not matches:
+            return None
+        # First mention wins; ties broken by alias length (specificity).
+        best = min(
+            matches,
+            key=lambda m: (m.start_token, -len(m.matched_alias)),
+        )
+        return best.brand

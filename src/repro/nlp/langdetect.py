@@ -1,0 +1,107 @@
+"""Language identification over the shared marker lexicon.
+
+Two stages: script detection shortcuts non-Latin languages (Japanese kana,
+Devanagari Hindi, Cyrillic...), then Latin-script texts are scored by
+marker-word hits per language with a tie-break on marker specificity —
+words unique to one language count more than words shared by several
+(Dutch/German overlap, Spanish/Portuguese overlap).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..world.languages import LanguageRegistry, default_languages
+from .tokenize import dominant_script, words_only
+
+#: Script -> candidate language codes (scored by markers within the set).
+_SCRIPT_LANGUAGES = {
+    "han": ("zh",),
+    "kana": ("ja",),
+    "hangul": ("ko",),
+    "cyrillic": ("ru", "uk", "bg", "sr"),
+    "arabic": ("ar", "ur", "fa"),
+    "hebrew": ("he",),
+    "devanagari": ("hi", "mr"),
+    "bengali": ("bn",),
+    "tamil": ("ta",),
+    "telugu": ("te",),
+    "thai": ("th",),
+    "greek": ("el",),
+    "sinhala": ("si",),
+    "gujarati": ("gu",),
+    "kannada": ("kn",),
+    "malayalam": ("ml",),
+}
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Language guess with its evidence."""
+
+    language: str
+    confidence: float
+    marker_hits: int
+
+
+class LanguageDetector:
+    """Marker-lexicon language identifier."""
+
+    def __init__(self, registry: Optional[LanguageRegistry] = None):
+        self._registry = registry or default_languages()
+        # Inverted index: marker word -> languages using it.
+        self._marker_languages: Dict[str, List[str]] = {}
+        for language in self._registry:
+            for marker in language.markers:
+                self._marker_languages.setdefault(marker.lower(), []).append(
+                    language.code
+                )
+
+    def detect(self, text: str, default: str = "en") -> DetectionResult:
+        """Identify the language of one text."""
+        if not text or not text.strip():
+            return DetectionResult(default, 0.0, 0)
+        script = dominant_script(text)
+        candidates: Optional[Tuple[str, ...]] = _SCRIPT_LANGUAGES.get(script)
+        tokens = words_only(text)
+        scores: Counter = Counter()
+        hits = 0
+        for token in tokens:
+            languages = self._marker_languages.get(token)
+            if not languages:
+                continue
+            if candidates is not None:
+                languages = [l for l in languages if l in candidates]
+            if not languages:
+                continue
+            hits += 1
+            weight = 1.0 / len(languages)  # specificity weighting
+            for code in languages:
+                scores[code] += weight
+        if candidates is not None:
+            if scores:
+                best, score = max(scores.items(), key=lambda kv: (kv[1], kv[0]))
+                return DetectionResult(best, min(1.0, score / max(len(tokens), 1) * 3),
+                                       hits)
+            # Script alone pins the family; pick its first member.
+            return DetectionResult(candidates[0], 0.6, 0)
+        if not scores:
+            return DetectionResult(default, 0.1, 0)
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        best, best_score = ranked[0]
+        runner_up = ranked[1][1] if len(ranked) > 1 else 0.0
+        margin = best_score - runner_up
+        confidence = min(1.0, (best_score + margin) / max(len(tokens), 1) * 3)
+        # Weak evidence on Latin script defaults to English — mirroring
+        # real detectors' behaviour on short, name-heavy SMS texts. One
+        # marker point is not enough: a lone shared word ("bank") must
+        # not flip the language of an otherwise markerless text.
+        if best_score <= 1.0:
+            return DetectionResult(default, 0.2, hits)
+        return DetectionResult(best, confidence, hits)
+
+    def detect_code(self, text: str, default: str = "en") -> str:
+        """Convenience: just the language code."""
+        return self.detect(text, default=default).language

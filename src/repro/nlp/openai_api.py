@@ -1,0 +1,133 @@
+"""Simulated OpenAI chat-completions endpoint.
+
+The pipeline talks to "the model" the way the paper's scripts did: a
+system prompt (Appendix D.1/D.2) plus a JSON user payload, getting a JSON
+string back. This wrapper enforces the contract — a prompt that does not
+carry the required instructions degrades the response — and meters
+requests like the real API (tokens-per-minute is abstracted to
+requests-per-second).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ValidationError
+from ..imaging.screenshot import Screenshot
+from ..imaging.vision_openai import OpenAiVisionExtractor, VISION_PROMPT
+from .annotator import MessageAnnotator
+from ..services.base import ServiceMeter, SimClock, wait_and_charge
+
+#: The Appendix D.2 annotation prompt, abridged to its binding clauses.
+ANNOTATION_PROMPT = (
+    "You will receive a json object with an 'id' and a 'message'. "
+    "1. Translate the text to English, ONLY if it is not in English. "
+    "2. Identify the brand, organization, or any other named entity that "
+    "the message is trying to impersonate ('named_entity'). "
+    "3. Classify the type of smishing message ('scam_type'): Hey mum/dad, "
+    "Delivery/Parcel, Banking, Government, Telecom, Wrong number, Spam, "
+    "Others. "
+    "4. Provide which lure principles apply ('lure_principles'): "
+    "Distraction Principle, Authority Principle, Herd Principle, "
+    "Dishonesty Principle, Kindness Principle, Need and Greed Principle, "
+    "Time/Urgency Principle. "
+    "5. Every json object should include the 'id'. "
+    "6. Return the language code of the text ('language')."
+)
+
+_REQUIRED_CLAUSES = ("scam_type", "lure_principles", "named_entity",
+                     "language", "id")
+
+
+@dataclass
+class ChatResponse:
+    """One completion: the JSON content plus usage accounting."""
+
+    content: str
+    prompt_tokens: int
+    completion_tokens: int
+    model: str = "gpt-4o-sim"
+
+
+class OpenAiEndpoint:
+    """Chat-completions facade over the annotator and vision extractor."""
+
+    def __init__(
+        self,
+        *,
+        clock: Optional[SimClock] = None,
+        annotator: Optional[MessageAnnotator] = None,
+        vision: Optional[OpenAiVisionExtractor] = None,
+        rate_per_second: float = 8.0,
+        quota: Optional[int] = None,
+    ):
+        clock = clock or SimClock()
+        self.meter = ServiceMeter(
+            service="openai", clock=clock, rate=rate_per_second,
+            burst=rate_per_second * 4, quota=quota,
+        )
+        self._annotator = annotator or MessageAnnotator()
+        self._vision = vision
+        self.requests = 0
+
+    def _charge(self) -> None:
+        wait_and_charge(self.meter)
+        self.requests += 1
+
+    def annotate_message(
+        self, prompt: str, payload: Dict[str, str]
+    ) -> ChatResponse:
+        """Annotation call (Appendix D.2)."""
+        missing = [clause for clause in _REQUIRED_CLAUSES if clause not in prompt]
+        if missing:
+            raise ValidationError(
+                f"annotation prompt missing required clauses: {missing}"
+            )
+        if "id" not in payload or "message" not in payload:
+            raise ValidationError("payload must carry 'id' and 'message'")
+        self._charge()
+        annotation = self._annotator.annotate(
+            str(payload["id"]), payload["message"]
+        )
+        content = annotation.to_json()
+        return ChatResponse(
+            content=content,
+            prompt_tokens=len(prompt.split()) + len(payload["message"].split()),
+            completion_tokens=len(content.split()),
+        )
+
+    def extract_image(
+        self, prompt: str, screenshot: Screenshot
+    ) -> ChatResponse:
+        """Vision extraction call (Appendix D.1)."""
+        if self._vision is None:
+            raise ValidationError("endpoint was built without vision support")
+        if "screenshot" not in prompt or "json" not in prompt.lower():
+            raise ValidationError("vision prompt must follow Appendix D.1")
+        self._charge()
+        extraction = self._vision.extract(screenshot)
+        content = extraction.to_json()
+        return ChatResponse(
+            content=content,
+            prompt_tokens=len(prompt.split()) + 850,  # image tokens, flat
+            completion_tokens=len(content.split()),
+        )
+
+
+def default_endpoint(
+    vision: Optional[OpenAiVisionExtractor] = None,
+    clock: Optional[SimClock] = None,
+) -> OpenAiEndpoint:
+    """An endpoint wired with the default annotator (and optional vision)."""
+    return OpenAiEndpoint(clock=clock, vision=vision)
+
+
+__all__ = [
+    "ANNOTATION_PROMPT",
+    "VISION_PROMPT",
+    "ChatResponse",
+    "OpenAiEndpoint",
+    "default_endpoint",
+]

@@ -1,0 +1,139 @@
+"""Scam-type classification (the eight categories of §3.3.6).
+
+Operates on the *English* text (the annotator translates first, as the
+Appendix D.2 prompt does) plus two context signals that the prompt also
+exploits: the impersonated brand's sector, and whether the message
+carries a URL (conversation scams do not).
+
+Rule order mirrors the prompt's category definitions: conversation scams
+first (their surface forms are unmistakable), then impersonation
+categories by cue strength, then spam, with ``others`` as the fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from ..types import ScamType
+from ..world.brands import BrandRegistry, default_brands
+from .tokenize import tokenize
+
+_CUES: Dict[ScamType, FrozenSet[str]] = {
+    ScamType.BANKING: frozenset({
+        "bank", "banking", "account", "kyc", "card", "debit", "credit",
+        "login", "netbanking", "iban", "suspended", "rewards", "points",
+        "payment", "transfer", "transaction",
+    }),
+    ScamType.DELIVERY: frozenset({
+        "parcel", "package", "delivery", "deliver", "courier", "shipment",
+        "customs", "tracking", "track", "redelivery", "reschedule", "post",
+        "postal", "encomenda", "colis", "paket", "pakket",
+    }),
+    ScamType.GOVERNMENT: frozenset({
+        "tax", "refund", "irs", "hmrc", "toll", "penalty", "fine",
+        "benefit", "government", "revenue", "dvla", "customs-duty", "gov",
+        "seizure", "debt",
+    }),
+    ScamType.TELECOM: frozenset({
+        "sim", "bill", "line", "network", "mobile", "operator", "data",
+        "top-up", "topup", "deactivated", "loyalty", "tariff",
+    }),
+    ScamType.SPAM: frozenset({
+        "casino", "spins", "bet", "betting", "sale", "discount", "off",
+        "deal", "prize", "draw", "lottery", "win", "offer", "promo",
+        "promotion", "unsubscribe",
+    }),
+}
+
+_HEY_MUM_DAD_CUES = ("mum", "mom", "dad", "mama", "papa", "maman", "mam")
+_NEW_NUMBER_CUES = ("new number", "phone broke", "broke my phone",
+                    "dropped my phone", "different number", "using a friend",
+                    "phone is broken", "nieuwe nummer", "numero nuevo",
+                    "nouveau numéro", "neue nummer")
+_WRONG_NUMBER_CUES = ("is this", "are we still", "long time", "it's been",
+                      "lovely meeting", "reschedule my appointment",
+                      "wrong number", "who is this")
+
+
+@dataclass(frozen=True)
+class ScamTypeResult:
+    """Classification with the evidence that produced it."""
+
+    scam_type: ScamType
+    score: float
+    cue_hits: int
+
+
+class ScamTypeClassifier:
+    """Cue/lexicon classifier with brand-sector priors."""
+
+    def __init__(self, brands: Optional[BrandRegistry] = None):
+        self._brands = brands or default_brands()
+
+    def classify(
+        self,
+        english_text: str,
+        *,
+        brand: Optional[str] = None,
+        has_url: Optional[bool] = None,
+    ) -> ScamTypeResult:
+        """Classify one message (English text, optional brand context)."""
+        lowered = english_text.lower()
+        tokens = set()
+        for token in tokenize(lowered):
+            tokens.add(token)
+            stripped = token.strip("!'")
+            if stripped:
+                tokens.add(stripped)
+        if has_url is None:
+            has_url = any("/" in t or t.startswith("http") or
+                          (t.count(".") >= 1 and any(c.isalpha() for c in t))
+                          for t in tokens)
+
+        # Conversation scams: unmistakable surface forms, no URL.
+        if any(cue in tokens for cue in _HEY_MUM_DAD_CUES) and any(
+            cue in lowered for cue in _NEW_NUMBER_CUES
+        ):
+            return ScamTypeResult(ScamType.HEY_MUM_DAD, 1.0, 2)
+        if not has_url and brand is None and any(
+            cue in lowered for cue in _WRONG_NUMBER_CUES
+        ):
+            return ScamTypeResult(ScamType.WRONG_NUMBER, 0.9, 1)
+
+        # Brand sector is a strong prior for impersonation scams.
+        sector: Optional[ScamType] = None
+        if brand is not None:
+            try:
+                sector = self._brands.get(brand).category
+            except Exception:
+                sector = None
+
+        scores: Dict[ScamType, float] = {}
+        for scam_type, cues in _CUES.items():
+            hits = len(tokens & cues)
+            if hits:
+                scores[scam_type] = float(hits)
+        if sector is not None and sector in _CUES:
+            scores[sector] = scores.get(sector, 0.0) + 1.5
+        elif sector is ScamType.OTHERS:
+            scores[ScamType.OTHERS] = scores.get(ScamType.OTHERS, 0.0) + 1.2
+
+        if not scores:
+            if not has_url and any(cue in lowered for cue in _WRONG_NUMBER_CUES):
+                return ScamTypeResult(ScamType.WRONG_NUMBER, 0.6, 1)
+            return ScamTypeResult(ScamType.OTHERS, 0.3, 0)
+
+        best_type, best_score = max(
+            scores.items(), key=lambda kv: (kv[1], kv[0].value)
+        )
+        # Spam needs decisive evidence: a spam cue alongside an
+        # impersonated regulated brand is still a scam, not marketing.
+        if best_type is ScamType.SPAM and sector not in (None, ScamType.OTHERS):
+            non_spam = {k: v for k, v in scores.items() if k is not ScamType.SPAM}
+            if non_spam:
+                best_type, best_score = max(
+                    non_spam.items(), key=lambda kv: (kv[1], kv[0].value)
+                )
+        hits = int(best_score)
+        return ScamTypeResult(best_type, min(1.0, best_score / 4.0), hits)

@@ -1,0 +1,166 @@
+"""Text similarity: shingles, Jaccard, MinHash and LSH-style clustering.
+
+Smishing campaigns send near-duplicate texts (same template, varying
+amounts/codes/URLs). Clustering the curated dataset back into campaigns
+is the standard mining step over such corpora; this module provides the
+machinery: character shingles robust to slot variation, exact Jaccard for
+small sets, MinHash signatures for scale, and a banded-LSH candidate
+generator feeding a union-find clusterer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..utils.rng import stable_hash
+
+_DIGIT_RE = re.compile(r"\d+")
+_URL_RE = re.compile(
+    r"(?:https?://)?(?:[a-zA-Z0-9-]+\.)+[a-zA-Z]{2,24}(?:/[^\s]*)?"
+)
+_WS_RE = re.compile(r"\s+")
+
+
+def canonicalise(text: str) -> str:
+    """Map a message onto its template skeleton.
+
+    URLs become ``<url>`` and digit runs become ``<n>``, so two sends of
+    the same template with different amounts/codes/links canonicalise to
+    the same string.
+    """
+    result = _URL_RE.sub("<url>", text)
+    result = _DIGIT_RE.sub("<n>", result)
+    return _WS_RE.sub(" ", result).strip().lower()
+
+
+def shingles(text: str, k: int = 4) -> FrozenSet[str]:
+    """Character k-shingles of the canonicalised text."""
+    canonical = canonicalise(text)
+    if len(canonical) <= k:
+        return frozenset({canonical} if canonical else set())
+    return frozenset(
+        canonical[i:i + k] for i in range(len(canonical) - k + 1)
+    )
+
+
+def jaccard(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    """Exact Jaccard similarity of two shingle sets."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    return intersection / (len(a) + len(b) - intersection)
+
+
+@dataclass(frozen=True)
+class MinHashSignature:
+    """Fixed-length MinHash signature of a shingle set."""
+
+    values: Tuple[int, ...]
+
+    def estimate_jaccard(self, other: "MinHashSignature") -> float:
+        if len(self.values) != len(other.values):
+            raise ValueError("signature lengths differ")
+        if not self.values:
+            return 0.0
+        matches = sum(1 for a, b in zip(self.values, other.values) if a == b)
+        return matches / len(self.values)
+
+
+class MinHasher:
+    """Produces MinHash signatures with ``num_hashes`` seeded functions."""
+
+    def __init__(self, num_hashes: int = 64):
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.num_hashes = num_hashes
+        # Affine hash family over a Mersenne prime.
+        self._prime = (1 << 61) - 1
+        self._coefficients = [
+            (stable_hash(f"mh-a-{i}", self._prime - 1) + 1,
+             stable_hash(f"mh-b-{i}", self._prime))
+            for i in range(num_hashes)
+        ]
+
+    def signature(self, shingle_set: Iterable[str]) -> MinHashSignature:
+        hashed = [stable_hash(s, self._prime) for s in shingle_set]
+        if not hashed:
+            return MinHashSignature(values=tuple([0] * self.num_hashes))
+        values = []
+        for a, b in self._coefficients:
+            values.append(min((a * h + b) % self._prime for h in hashed))
+        return MinHashSignature(values=tuple(values))
+
+
+class UnionFind:
+    """Disjoint sets with path compression."""
+
+    def __init__(self, size: int):
+        self._parent = list(range(size))
+
+    def find(self, index: int) -> int:
+        root = index
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[index] != root:
+            self._parent[index], index = root, self._parent[index]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[max(ra, rb)] = min(ra, rb)
+
+    def groups(self) -> Dict[int, List[int]]:
+        grouped: Dict[int, List[int]] = {}
+        for index in range(len(self._parent)):
+            grouped.setdefault(self.find(index), []).append(index)
+        return grouped
+
+
+def cluster_texts(
+    texts: Sequence[str],
+    *,
+    threshold: float = 0.7,
+    num_hashes: int = 64,
+    bands: int = 16,
+    shingle_k: int = 4,
+) -> List[List[int]]:
+    """Cluster texts by near-duplicate similarity.
+
+    Banded MinHash-LSH proposes candidate pairs; exact Jaccard over the
+    shingle sets confirms them at ``threshold``; union-find merges.
+    Returns index clusters, largest first.
+    """
+    if num_hashes % bands != 0:
+        raise ValueError("bands must divide num_hashes")
+    shingle_sets = [shingles(text, shingle_k) for text in texts]
+    hasher = MinHasher(num_hashes)
+    signatures = [hasher.signature(s) for s in shingle_sets]
+    rows = num_hashes // bands
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for index, signature in enumerate(signatures):
+        for band in range(bands):
+            chunk = signature.values[band * rows:(band + 1) * rows]
+            key = (band, stable_hash(",".join(map(str, chunk))))
+            buckets.setdefault(key, []).append(index)
+    uf = UnionFind(len(texts))
+    checked: Set[Tuple[int, int]] = set()
+    for members in buckets.values():
+        if len(members) < 2:
+            continue
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                pair = (members[i], members[j])
+                if pair in checked:
+                    continue
+                checked.add(pair)
+                if jaccard(shingle_sets[pair[0]],
+                           shingle_sets[pair[1]]) >= threshold:
+                    uf.union(*pair)
+    clusters = list(uf.groups().values())
+    clusters.sort(key=lambda c: (-len(c), c[0]))
+    return clusters

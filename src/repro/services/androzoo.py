@@ -1,0 +1,64 @@
+"""AndroZoo dataset simulator (§3.3.5).
+
+AndroZoo is a research corpus of >25M Android apps with AV analyses. The
+paper checks its 18 freshly collected APK hashes against the corpus and
+finds none — smishing droppers are too new/targeted to have been crawled.
+We model the corpus as a large membership set of *other* hashes so that
+the case study's lookup path (check AndroZoo first, fall back to a live
+VirusTotal submission) is exercised faithfully.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+
+@dataclass(frozen=True)
+class AndroZooEntry:
+    """One corpus row: hash plus summary AV metadata."""
+
+    sha256: str
+    vt_detection: int
+    market: str
+
+
+class AndroZooService:
+    """Hash-membership lookups against the simulated corpus."""
+
+    def __init__(self, corpus_size: int = 50_000, *, extra: Optional[Dict[str, AndroZooEntry]] = None):
+        # The corpus holds deterministic synthetic hashes; real dropper
+        # hashes (derived from host names) never collide with these.
+        self._entries: Dict[str, AndroZooEntry] = {}
+        for index in range(corpus_size):
+            digest = hashlib.sha256(f"androzoo-corpus-{index}".encode()).hexdigest()
+            self._entries[digest] = AndroZooEntry(
+                sha256=digest,
+                vt_detection=index % 40,
+                market=("play.google.com", "anzhi", "appchina")[index % 3],
+            )
+        if extra:
+            self._entries.update(extra)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sha256: str) -> bool:
+        return sha256 in self._entries
+
+    def lookup(self, sha256: str) -> Optional[AndroZooEntry]:
+        """Return the corpus entry or None when the hash is unknown."""
+        return self._entries.get(sha256)
+
+    def lookup_batch(self, hashes: Iterable[str]) -> Dict[str, Optional[AndroZooEntry]]:
+        return {sha: self.lookup(sha) for sha in hashes}
+
+    def known_hashes(self, limit: int = 100) -> Set[str]:
+        """A sample of corpus hashes (for tests)."""
+        result: Set[str] = set()
+        for sha in self._entries:
+            result.add(sha)
+            if len(result) >= limit:
+                break
+        return result

@@ -1,0 +1,122 @@
+"""Common machinery for simulated external services.
+
+Every service the paper queries (HLR, WHOIS, crt.sh, VirusTotal, GSB,
+passive DNS, ipinfo) meters requests. :class:`ServiceMeter` provides a
+simulated-time token bucket plus an optional hard quota, so collectors
+must implement the same batching/backoff logic the real pipeline needed.
+:class:`SimClock` is a shared monotonic clock the caller advances —
+nothing in the library sleeps on wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import QuotaExhausted, RateLimitExceeded
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("cannot move the clock backwards")
+        self._now += seconds
+        return self._now
+
+
+@dataclass
+class ServiceMeter:
+    """Token-bucket rate limiter with an optional lifetime quota.
+
+    ``rate`` tokens refill per second up to ``burst``. ``quota`` of None
+    means unmetered total usage. Raises the same exception types the
+    collectors' retry logic handles for real services.
+    """
+
+    service: str
+    clock: SimClock
+    rate: float = 10.0
+    burst: float = 20.0
+    quota: Optional[int] = None
+    _tokens: float = field(default=0.0, init=False)
+    _last_refill: float = field(default=0.0, init=False)
+    _used: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._tokens = self.burst
+        self._last_refill = self.clock.now
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def remaining_quota(self) -> Optional[int]:
+        if self.quota is None:
+            return None
+        return max(0, self.quota - self._used)
+
+    def _refill(self) -> None:
+        elapsed = self.clock.now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last_refill = self.clock.now
+
+    def charge(self, cost: float = 1.0) -> None:
+        """Consume tokens or raise RateLimitExceeded / QuotaExhausted."""
+        if self.quota is not None and self._used >= self.quota:
+            raise QuotaExhausted(
+                f"{self.service}: quota of {self.quota} requests exhausted",
+                service=self.service,
+            )
+        self._refill()
+        if self._tokens + 1e-9 < cost:
+            deficit = cost - self._tokens
+            # Floor the backoff so repeated waits always move the clock by
+            # a representable amount (guards against float absorption when
+            # the simulated clock has grown large).
+            raise RateLimitExceeded(
+                f"{self.service}: rate limited",
+                service=self.service,
+                retry_after=max(deficit / self.rate, 1e-3),
+            )
+        self._tokens = max(0.0, self._tokens - cost)
+        self._used += 1
+
+
+def wait_and_charge(meter: ServiceMeter, cost: float = 1.0) -> float:
+    """Helper for well-behaved clients: advance the clock past any rate
+    limit, then charge. Returns simulated seconds waited."""
+    waited = 0.0
+    while True:
+        try:
+            meter.charge(cost)
+            return waited
+        except RateLimitExceeded as exc:
+            meter.clock.advance(exc.retry_after)
+            waited += exc.retry_after
+
+
+class RequestLog:
+    """Per-service request counters, for tests and bench reporting."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def record(self, service: str) -> None:
+        self._counts[service] = self._counts.get(service, 0) + 1
+
+    def count(self, service: str) -> int:
+        return self._counts.get(service, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counts)

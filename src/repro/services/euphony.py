@@ -1,0 +1,108 @@
+"""Euphony-style AV label unification (§3.3.5).
+
+VirusTotal's file scanners each use a private naming scheme and often
+mislabel samples. Euphony (Hurier et al., MSR'17) parses the label corpus
+and emits a single family per file. This reimplementation follows the
+same recipe: tokenize every vendor label, strip platform/category
+affixes, discard generic buckets, then majority-vote the remaining family
+tokens across vendors.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .virustotal import FileScanReport
+
+#: Tokens that describe platform or category, never a family.
+_STOP_TOKENS = frozenset({
+    "android", "androidos", "andr", "trojan", "trj", "malware", "riskware",
+    "adware", "spyware", "banker", "agent", "generic", "variant", "of", "a",
+    "win32", "apk", "app", "application", "heur", "susp", "suspicious",
+    "gen", "genx", "artemis__placeholder",
+})
+
+_SPLIT_RE = re.compile(r"[^A-Za-z0-9]+")
+
+
+def tokenize_label(label: str) -> List[str]:
+    """Split a vendor label into candidate family tokens.
+
+    ``'a variant of Android/SMSspy.C'`` → ``['smsspy']`` after stop-token
+    and noise filtering. Purely numeric or single-letter tokens are
+    version markers, not families.
+    """
+    tokens: List[str] = []
+    for raw in _SPLIT_RE.split(label.lower()):
+        if not raw or raw in _STOP_TOKENS:
+            continue
+        if raw.isdigit() or len(raw) <= 2:
+            continue
+        tokens.append(raw)
+    return tokens
+
+
+@dataclass(frozen=True)
+class FamilyVerdict:
+    """Unified family for one file."""
+
+    sha256: str
+    family: Optional[str]
+    support: int  # vendors voting for the winning family
+    total_labels: int
+
+    @property
+    def confident(self) -> bool:
+        return self.family is not None and self.support >= 2
+
+
+class EuphonyUnifier:
+    """Majority-vote family inference over VT file reports."""
+
+    def __init__(self, *, min_support: int = 2):
+        self._min_support = min_support
+
+    def unify(self, report: FileScanReport) -> FamilyVerdict:
+        """Reduce one file's vendor labels to a single family name."""
+        votes: Counter = Counter()
+        for label in report.labels.values():
+            seen_in_label = set()
+            for token in tokenize_label(label):
+                if token not in seen_in_label:
+                    votes[token] += 1
+                    seen_in_label.add(token)
+        if not votes:
+            return FamilyVerdict(report.sha256, None, 0, len(report.labels))
+        family, support = max(votes.items(), key=lambda kv: (kv[1], kv[0]))
+        if support < self._min_support:
+            return FamilyVerdict(report.sha256, None, support,
+                                 len(report.labels))
+        return FamilyVerdict(
+            sha256=report.sha256,
+            family=_canonical_family(family),
+            support=support,
+            total_labels=len(report.labels),
+        )
+
+    def unify_batch(
+        self, reports: List[FileScanReport]
+    ) -> Dict[str, FamilyVerdict]:
+        return {report.sha256: self.unify(report) for report in reports}
+
+
+#: Canonical capitalisation for families we know about.
+_CANONICAL = {
+    "smsspy": "SMSspy",
+    "hqwar": "HQWar",
+    "rewardsteal": "Rewardsteal",
+    "artemis": "Artemis",
+    "flubot": "FluBot",
+    "medusa": "Medusa",
+}
+
+
+def _canonical_family(token: str) -> str:
+    return _CANONICAL.get(token, token.capitalize())

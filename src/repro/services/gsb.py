@@ -1,0 +1,136 @@
+"""Google Safe Browsing simulator: API, transparency report, VT mirror.
+
+§4.7 / Table 18 document three *disagreeing* views of GSB:
+
+* the public v4 API (1.0% of URLs flagged),
+* the GSB row on VirusTotal (1.6% — stale submissions),
+* the transparency-report website, which blocks bulk automation (half the
+  URLs could not be queried) but, where it answers, reports unsafe /
+  partially-unsafe / undetected / no-data states.
+
+Each view is deterministic per URL, derived from a shared per-URL badness
+score plus view-specific lag/coverage, so the three surfaces disagree the
+way the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ServiceUnavailable
+from ..types import GsbStatus
+from ..utils.rng import stable_hash
+from .base import ServiceMeter, SimClock, wait_and_charge
+
+
+@dataclass(frozen=True)
+class GsbApiResult:
+    """Public API answer: flagged or not, with the threat type."""
+
+    url: str
+    flagged: bool
+    threat_type: Optional[str] = None
+
+
+class GoogleSafeBrowsingService:
+    """The three GSB query surfaces."""
+
+    #: Fraction of transparency-report queries the site's anti-automation
+    #: measures reject (§3.3.4: 9,948 of ~19.9k URLs not queryable).
+    AUTOMATION_BLOCK_RATE = 0.50
+
+    def __init__(
+        self,
+        *,
+        clock: Optional[SimClock] = None,
+        rate_per_second: float = 10.0,
+        quota: Optional[int] = None,
+    ):
+        clock = clock or SimClock()
+        self.meter = ServiceMeter(
+            service="gsb", clock=clock, rate=rate_per_second,
+            burst=rate_per_second * 2, quota=quota,
+        )
+
+    # -- shared scoring ----------------------------------------------------------
+
+    @staticmethod
+    def _badness(url: str) -> float:
+        """Shared per-URL score in [0,1); higher = more visibly bad."""
+        return stable_hash("gsb-badness:" + url) / 2**32
+
+    # -- public API -----------------------------------------------------------------
+
+    def query_api(self, url: str) -> GsbApiResult:
+        """The v4 Lookup API: small, fresh blocklist (≈1% of our URLs)."""
+        wait_and_charge(self.meter)
+        badness = self._badness(url)
+        flagged = badness > 0.990
+        return GsbApiResult(
+            url=url,
+            flagged=flagged,
+            threat_type="SOCIAL_ENGINEERING" if flagged else None,
+        )
+
+    def query_api_batch(self, urls: Iterable[str]) -> List[GsbApiResult]:
+        results: List[GsbApiResult] = []
+        seen: set = set()
+        for url in urls:
+            if url in seen:
+                continue
+            seen.add(url)
+            results.append(self.query_api(url))
+        return results
+
+    # -- VirusTotal mirror -------------------------------------------------------------
+
+    def verdict_on_virustotal(self, url: str) -> bool:
+        """GSB's row on VT: stale snapshot — flags a *different* ≈1.6%.
+
+        Overlaps the API list partially: VT keeps old submissions the API
+        has since delisted, and misses some fresh API entries.
+        """
+        badness = self._badness(url)
+        lag = stable_hash("gsb-vt-lag:" + url) / 2**32
+        # Stale window: very bad URLs that VT saw (most of the API list)
+        # plus formerly-bad ones the live API already delisted.
+        return (badness > 0.992 and lag > 0.25) or (0.976 < badness <= 0.988 and lag > 0.45)
+
+    # -- transparency report -------------------------------------------------------------
+
+    def query_transparency(self, url: str) -> GsbStatus:
+        """The transparency-report website.
+
+        Raises :class:`ServiceUnavailable` when anti-automation blocks the
+        query (deterministically per URL, ≈50% of them).
+        """
+        wait_and_charge(self.meter)
+        gate = stable_hash("gsb-automation:" + url) / 2**32
+        if gate < self.AUTOMATION_BLOCK_RATE:
+            raise ServiceUnavailable(
+                "transparency report blocked automated query",
+                service="gsb-transparency",
+            )
+        badness = self._badness(url)
+        if badness > 0.92:
+            return GsbStatus.UNSAFE
+        if badness > 0.875:
+            return GsbStatus.PARTIALLY_UNSAFE
+        if badness < 0.285:
+            return GsbStatus.NO_DATA
+        return GsbStatus.UNDETECTED
+
+    def transparency_sweep(
+        self, urls: Iterable[str]
+    ) -> Dict[str, GsbStatus]:
+        """Query every URL, recording NOT_QUERIED where automation fails."""
+        results: Dict[str, GsbStatus] = {}
+        for url in urls:
+            if url in results:
+                continue
+            try:
+                results[url] = self.query_transparency(url)
+            except ServiceUnavailable:
+                results[url] = GsbStatus.NOT_QUERIED
+        return results

@@ -1,0 +1,125 @@
+"""Home Location Register (HLR) lookup service simulator.
+
+Models the commercial HLR lookup the paper uses (§3.3.1): given a phone
+number in international format, the service reports the number type, its
+current live/inactive/dead status, the *original* mobile network operator
+the number was issued by, the operator it is currently homed on (numbers
+port and recycle), and the plan country.
+
+Answers come from the world's :class:`~repro.world.numbering.NumberLedger`
+ground truth; numbers the world never issued resolve purely syntactically
+(bad format / unknown range), exactly like a real HLR that has no
+subscriber record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..types import LineStatus, PhoneNumberType
+from ..world.geography import CountryRegistry, default_countries
+from ..world.numbering import NumberLedger
+from .base import ServiceMeter, SimClock, wait_and_charge
+
+#: E.164 upper bound; anything longer can never be valid.
+_MAX_E164_DIGITS = 15
+
+
+@dataclass(frozen=True)
+class HlrRecord:
+    """One HLR lookup response."""
+
+    msisdn: str
+    number_type: PhoneNumberType
+    status: Optional[LineStatus]
+    original_operator: Optional[str]
+    current_operator: Optional[str]
+    country_iso3: Optional[str]
+
+    @property
+    def is_live(self) -> bool:
+        return self.status is LineStatus.LIVE
+
+    @property
+    def is_valid(self) -> bool:
+        return self.number_type.is_valid
+
+
+class HlrLookupService:
+    """Batch HLR lookups against the world's number ledger."""
+
+    def __init__(
+        self,
+        ledger: NumberLedger,
+        *,
+        clock: Optional[SimClock] = None,
+        countries: Optional[CountryRegistry] = None,
+        rate_per_second: float = 30.0,
+        quota: Optional[int] = None,
+    ):
+        self._ledger = ledger
+        self._countries = countries or default_countries()
+        clock = clock or SimClock()
+        self.meter = ServiceMeter(
+            service="hlr", clock=clock, rate=rate_per_second,
+            burst=rate_per_second * 2, quota=quota,
+        )
+
+    def lookup(self, msisdn: str) -> HlrRecord:
+        """Look up a single number (charges one request)."""
+        wait_and_charge(self.meter)
+        return self._resolve(msisdn)
+
+    def lookup_batch(self, msisdns: Iterable[str]) -> List[HlrRecord]:
+        """Look up many numbers; deduplicates before querying, as the
+        paper performs a one-time lookup over unique numbers."""
+        seen: Dict[str, HlrRecord] = {}
+        results: List[HlrRecord] = []
+        for msisdn in msisdns:
+            key = msisdn.lstrip("+")
+            if key not in seen:
+                seen[key] = self.lookup(msisdn)
+            results.append(seen[key])
+        return results
+
+    def _resolve(self, msisdn: str) -> HlrRecord:
+        digits = "".join(ch for ch in msisdn if ch.isdigit())
+        if not digits:
+            return HlrRecord(msisdn, PhoneNumberType.BAD_FORMAT, None, None,
+                             None, None)
+        issued = self._ledger.lookup(digits)
+        if issued is not None:
+            return HlrRecord(
+                msisdn="+" + digits,
+                number_type=issued.number_type,
+                status=issued.status if issued.number_type.is_valid else None,
+                original_operator=issued.original_operator,
+                current_operator=issued.current_operator,
+                country_iso3=issued.country_iso3,
+            )
+        # No subscriber record: classify syntactically.
+        if len(digits) > _MAX_E164_DIGITS or len(digits) < 7:
+            return HlrRecord("+" + digits, PhoneNumberType.BAD_FORMAT, None,
+                             None, None, None)
+        try:
+            country = self._countries.by_dial_code(digits)
+        except Exception:
+            return HlrRecord("+" + digits, PhoneNumberType.BAD_FORMAT, None,
+                             None, None, None)
+        national = digits[len(country.dial_code):]
+        if len(national) != country.national_length:
+            return HlrRecord("+" + digits, PhoneNumberType.BAD_FORMAT, None,
+                             None, None, country.iso3)
+        if any(national.startswith(p) for p in country.landline_prefixes):
+            return HlrRecord("+" + digits, PhoneNumberType.LANDLINE, None,
+                             None, None, country.iso3)
+        # Plausible mobile range but never issued: dead line.
+        return HlrRecord(
+            msisdn="+" + digits,
+            number_type=PhoneNumberType.MOBILE,
+            status=LineStatus.DEAD,
+            original_operator=None,
+            current_operator=None,
+            country_iso3=country.iso3,
+        )

@@ -1,0 +1,126 @@
+"""URL shortener services: resolution, lifetimes, and takedowns.
+
+§3.3.3 and §7: shorteners hide the phishing destination; once a shortened
+URL is taken down (by the service or the scammer) the redirect is lost —
+the paper could not recover destinations for dead short URLs, which is
+exactly why its §6 case study resolved links in real time. The resolver
+therefore answers relative to a query *date*.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import NotFound
+from ..net.url import Url
+from ..utils.rng import stable_hash
+from ..world.infrastructure import SmishingLink
+
+#: The paper's manually curated list of 33 shortening services (§3.3.3).
+KNOWN_SHORTENERS: Tuple[str, ...] = (
+    "bit.ly", "is.gd", "cutt.ly", "tinyurl.com", "bit.do", "shrtco.de",
+    "rb.gy", "t.ly", "bitly.ws", "t.co", "ow.ly", "buff.ly", "rebrand.ly",
+    "shorturl.at", "tiny.cc", "v.gd", "qr.ae", "s.id", "lnkd.in", "soo.gd",
+    "clck.ru", "goo.su", "u.to", "x.gd", "me2.do", "han.gl", "zpr.io",
+    "cli.re", "kutt.it", "t2m.io", "gg.gg", "rotf.lol", "chilp.it",
+)
+
+#: wa.me is a conversation starter, not a shortener (§4.2 counts it apart).
+WHATSAPP_HOST = "wa.me"
+
+
+def is_shortener_host(host: str) -> bool:
+    """Whether a host belongs to a known shortening service."""
+    return host.lower() in KNOWN_SHORTENERS
+
+
+def shortener_for_url(url: Url) -> Optional[str]:
+    """The shortening service a URL uses, if any."""
+    return url.host if is_shortener_host(url.host) else None
+
+
+@dataclass(frozen=True)
+class ShortLinkRecord:
+    """One shortened link's server-side state."""
+
+    service: str
+    token: str
+    destination: Url
+    created_at: dt.date
+    dead_after: dt.date
+
+    def alive_on(self, day: dt.date) -> bool:
+        return self.created_at <= day <= self.dead_after
+
+
+class ShortenerResolver:
+    """Resolves short URLs to destinations, honouring takedowns.
+
+    Lifetimes are short and heavy-tailed (minutes to a few days in the
+    wild, §2); we model per-link lifetimes of 0-21 days with most links
+    dead within a week, deterministic per token.
+    """
+
+    def __init__(self, links: Iterable[SmishingLink],
+                 created_dates: Optional[Dict[str, dt.date]] = None):
+        self._records: Dict[Tuple[str, str], ShortLinkRecord] = {}
+        for link in links:
+            if not link.is_shortened:
+                continue
+            created = (created_dates or {}).get(
+                link.short_token or "", link.destination.created_at
+            )
+            lifetime_roll = stable_hash("lifetime:" + (link.short_token or "")) % 100
+            if lifetime_roll < 55:
+                lifetime = lifetime_roll % 3  # dead within days
+            elif lifetime_roll < 90:
+                lifetime = 3 + lifetime_roll % 5
+            else:
+                lifetime = 8 + lifetime_roll % 14
+            destination = Url(
+                scheme="https" if link.destination.certificates else "http",
+                host=link.destination.fqdn,
+                path="/",
+            )
+            record = ShortLinkRecord(
+                service=link.shortener or "",
+                token=link.short_token or "",
+                destination=destination,
+                created_at=created,
+                dead_after=created + dt.timedelta(days=lifetime),
+            )
+            self._records[(record.service, record.token)] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def resolve(self, url: Url, on: dt.date) -> Url:
+        """Follow one shortened URL on a given date.
+
+        Raises :class:`NotFound` for unknown tokens and for links already
+        taken down — mirroring an HTTP 404/410 from the service.
+        """
+        service = shortener_for_url(url)
+        if service is None:
+            raise NotFound(f"{url.host} is not a known shortener",
+                           service="shortener")
+        token = url.path.lstrip("/")
+        record = self._records.get((service, token))
+        if record is None:
+            raise NotFound(f"unknown short token: {token!r}",
+                           service=service)
+        if not record.alive_on(on):
+            raise NotFound(f"short link {token!r} has been taken down",
+                           service=service)
+        return record.destination
+
+    def try_resolve(self, url: Url, on: dt.date) -> Optional[Url]:
+        try:
+            return self.resolve(url, on)
+        except NotFound:
+            return None
+
+    def records_for_service(self, service: str) -> List[ShortLinkRecord]:
+        return [rec for (svc, _), rec in self._records.items() if svc == service]

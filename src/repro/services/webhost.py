@@ -1,0 +1,135 @@
+"""Scammer web hosting: device-dependent serving and APK drive-bys (§6).
+
+The case study found landing pages that fingerprint the client: desktop
+browsers get a credential-phishing page, Android devices get redirected to
+``?d=s1`` and an automatic APK download. This module serves the world's
+:class:`~repro.world.infrastructure.DomainAsset` hosts accordingly, with
+page/host takedowns over time, and manufactures the APK payloads (hash +
+true malware family) that the VirusTotal file scanner and Euphony label.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import NotFound
+from ..net.url import RedirectChain, Url
+from ..types import DeviceProfile
+from ..utils.rng import WeightedSampler, stable_hash
+from ..world.infrastructure import DomainAsset
+
+#: Malware family mix for smishing APKs (Table 19: SMSspy dominates).
+APK_FAMILY_WEIGHTS: Dict[str, float] = {
+    "SMSspy": 15.0,
+    "HQWar": 1.0,
+    "Rewardsteal": 1.0,
+    "Artemis": 1.0,
+}
+
+#: How long a smishing host stays up before takedown, days (heavy-tailed).
+_MAX_HOST_LIFETIME_DAYS = 45
+
+
+@dataclass(frozen=True)
+class ApkPayload:
+    """One Android package a dropper serves."""
+
+    sha256: str
+    family: str
+    file_name: str
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Outcome of fetching a URL with a given device profile."""
+
+    chain: RedirectChain
+    status: int
+    content_kind: str  # "phishing_page" | "apk_download" | "dead"
+    apk: Optional[ApkPayload] = None
+
+    @property
+    def is_apk_download(self) -> bool:
+        return self.content_kind == "apk_download"
+
+
+def _apk_for_host(fqdn: str) -> ApkPayload:
+    """Deterministically derive the APK payload a dropper host serves."""
+    sampler = WeightedSampler(APK_FAMILY_WEIGHTS)
+
+    class _FixedRng:
+        """Minimal Random-like shim driven by a stable hash."""
+
+        def __init__(self, seed_text: str):
+            self._value = stable_hash(seed_text) / 2**32
+
+        def random(self) -> float:
+            return self._value
+
+    family = sampler.sample(_FixedRng("apk-family:" + fqdn))
+    digest = hashlib.sha256(("apk:" + fqdn).encode("utf-8")).hexdigest()
+    name_index = stable_hash("apk-name:" + fqdn) % 4
+    file_name = ("s1.apk", "internet.apk", "PostaOnlineTracking.apk",
+                 "update.apk")[name_index]
+    size = 1_500_000 + stable_hash("apk-size:" + fqdn) % 6_000_000
+    return ApkPayload(sha256=digest, family=family, file_name=file_name,
+                      size_bytes=size)
+
+
+class WebHostService:
+    """Serves the smishing hosts the world stood up."""
+
+    def __init__(self, assets: Iterable[DomainAsset]):
+        self._by_fqdn: Dict[str, DomainAsset] = {}
+        self._apk_by_fqdn: Dict[str, ApkPayload] = {}
+        for asset in assets:
+            self._by_fqdn[asset.fqdn] = asset
+            if asset.serves_apk:
+                self._apk_by_fqdn[asset.fqdn] = _apk_for_host(asset.fqdn)
+
+    def host_alive_on(self, fqdn: str, day: dt.date) -> bool:
+        asset = self._by_fqdn.get(fqdn)
+        if asset is None:
+            return False
+        lifetime = stable_hash("host-life:" + fqdn) % _MAX_HOST_LIFETIME_DAYS
+        return asset.created_at <= day <= asset.created_at + dt.timedelta(days=lifetime)
+
+    def apk_payloads(self) -> List[ApkPayload]:
+        """All payloads any dropper serves (world-side enumeration)."""
+        return sorted(self._apk_by_fqdn.values(), key=lambda a: a.sha256)
+
+    def apk_ground_truth(self) -> Dict[str, str]:
+        """sha256 -> family, for seeding the VirusTotal file database."""
+        return {apk.sha256: apk.family for apk in self._apk_by_fqdn.values()}
+
+    def fetch(
+        self, url: Url, device: DeviceProfile, on: dt.date
+    ) -> FetchResult:
+        """Fetch a (non-shortened) URL as a given device.
+
+        Dropper hosts redirect Android clients to ``?d=s1`` and serve the
+        APK; other devices see the phishing page. Dead hosts 404.
+        """
+        chain = RedirectChain(hops=[url])
+        asset = self._by_fqdn.get(url.host)
+        if asset is None or not self.host_alive_on(url.host, on):
+            return FetchResult(chain=chain, status=404, content_kind="dead")
+        apk = self._apk_by_fqdn.get(url.host)
+        if apk is not None and device is DeviceProfile.ANDROID:
+            drive_by = url.with_path(url.path or "/", query="d=s1")
+            chain.append(drive_by)
+            return FetchResult(
+                chain=chain, status=200, content_kind="apk_download", apk=apk
+            )
+        if url.is_apk_download and apk is not None:
+            return FetchResult(
+                chain=chain, status=200, content_kind="apk_download", apk=apk
+            )
+        return FetchResult(chain=chain, status=200, content_kind="phishing_page")
+
+    def __contains__(self, fqdn: str) -> bool:
+        return fqdn in self._by_fqdn

@@ -1,0 +1,104 @@
+"""WHOIS API simulator (the paper partners with WhoisXMLAPI, §3.3.3).
+
+Answers registrar, creation date and registrant-privacy status for
+registered domains. Free-hosting subdomains (web.app, ngrok.io...) have no
+WHOIS record of their own — the query resolves to the platform operator,
+which the paper's registrar table therefore excludes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import datetime as dt
+
+from ..errors import NotFound
+from ..world.infrastructure import DomainAsset
+from .base import ServiceMeter, SimClock, wait_and_charge
+
+#: Platform suffix -> operator shown for free-hosting WHOIS queries.
+_PLATFORM_OPERATORS = {
+    "web.app": "Google LLC",
+    "firebaseapp.com": "Google LLC",
+    "ngrok.io": "ngrok Inc.",
+    "herokuapp.com": "Salesforce (Heroku)",
+    "vercel.app": "Vercel Inc.",
+    "netlify.app": "Netlify Inc.",
+}
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """One WHOIS API response."""
+
+    domain: str
+    registrar: Optional[str]
+    created: Optional[dt.date]
+    privacy_protected: bool
+    platform_operator: Optional[str] = None
+
+    @property
+    def is_platform_subdomain(self) -> bool:
+        return self.platform_operator is not None
+
+
+class WhoisService:
+    """Registrar lookups over the world's registered domains."""
+
+    def __init__(
+        self,
+        assets: Iterable[DomainAsset],
+        *,
+        clock: Optional[SimClock] = None,
+        rate_per_second: float = 20.0,
+        quota: Optional[int] = None,
+        privacy_rate: float = 0.55,
+    ):
+        self._by_domain: Dict[str, DomainAsset] = {}
+        for asset in assets:
+            self._by_domain[asset.registered_domain] = asset
+        clock = clock or SimClock()
+        self.meter = ServiceMeter(
+            service="whois", clock=clock, rate=rate_per_second,
+            burst=rate_per_second * 2, quota=quota,
+        )
+        self._privacy_rate = privacy_rate
+
+    def query(self, domain: str) -> WhoisRecord:
+        """WHOIS for a registered domain (charges one request)."""
+        wait_and_charge(self.meter)
+        key = domain.lower().strip(".")
+        for suffix, operator in _PLATFORM_OPERATORS.items():
+            if key == suffix or key.endswith("." + suffix):
+                return WhoisRecord(
+                    domain=key, registrar=None, created=None,
+                    privacy_protected=True, platform_operator=operator,
+                )
+        asset = self._by_domain.get(key)
+        if asset is None:
+            raise NotFound(f"no WHOIS record for {domain!r}", service="whois")
+        # Deterministic pseudo-randomness keyed on the name so repeated
+        # queries agree on privacy status.
+        privacy = (hash(key) % 1000) / 1000.0 < self._privacy_rate
+        return WhoisRecord(
+            domain=key,
+            registrar=asset.registrar,
+            created=asset.created_at,
+            privacy_protected=privacy,
+        )
+
+    def query_batch(self, domains: Iterable[str]) -> List[WhoisRecord]:
+        """Query many domains, skipping unknowns (returns found records)."""
+        records: List[WhoisRecord] = []
+        seen: set = set()
+        for domain in domains:
+            key = domain.lower().strip(".")
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                records.append(self.query(key))
+            except NotFound:
+                continue
+        return records

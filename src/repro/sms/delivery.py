@@ -1,0 +1,159 @@
+"""SMS delivery paths and bulk-sending economics.
+
+§4.1 and Appendix H describe how campaigns actually get messages onto
+handsets: legitimate-looking MNO originations from purchased SIMs,
+aggregator routes that accept spoofed alphanumeric sender IDs, iMessage
+via throwaway e-mail accounts, SIM farms/boxes driving hundreds of
+prepaid SIMs (the devices the UK has since banned), and SMS blasters —
+fake base stations that bypass the operator entirely. Each path has a
+different unit cost, spoofing ability and per-identity throughput before
+carrier filtering burns the identity.
+
+This module models those paths so campaign-level experiments (and the
+mitigation analysis) can reason about cost and filtering pressure, and
+provides :class:`DeliveryEngine` to "send" a batch of messages, producing
+:class:`~repro.sms.message.DeliveryReceipt` records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ValidationError
+from ..types import SenderIdKind
+from .message import DeliveryReceipt, SmishingEvent
+from .gsm import message_cost_units
+
+
+@dataclass(frozen=True)
+class DeliveryPath:
+    """One way of injecting SMS into the network."""
+
+    name: str
+    #: Cost per message segment, in abstract currency units.
+    unit_cost: float
+    #: Can the sender ID be arbitrarily spoofed on this path?
+    can_spoof: bool
+    #: Messages one identity can push before carrier filters flag it.
+    burn_threshold: int
+    #: Which sender-ID kinds the path supports.
+    supported_kinds: Tuple[SenderIdKind, ...]
+
+
+#: The path catalogue. Costs are relative: aggregator bulk routes are the
+#: cheapest per segment, blasters have a huge fixed cost folded into the
+#: unit price, SIM farms sit between.
+PATHS: Dict[str, DeliveryPath] = {
+    "mno": DeliveryPath(
+        name="mno", unit_cost=0.04, can_spoof=False, burn_threshold=150,
+        supported_kinds=(SenderIdKind.PHONE_NUMBER,),
+    ),
+    "aggregator": DeliveryPath(
+        name="aggregator", unit_cost=0.012, can_spoof=True,
+        burn_threshold=5000,
+        supported_kinds=(SenderIdKind.ALPHANUMERIC,
+                         SenderIdKind.PHONE_NUMBER),
+    ),
+    "imessage": DeliveryPath(
+        name="imessage", unit_cost=0.001, can_spoof=False,
+        burn_threshold=400,
+        supported_kinds=(SenderIdKind.EMAIL,),
+    ),
+    "sim_farm": DeliveryPath(
+        name="sim_farm", unit_cost=0.02, can_spoof=False,
+        burn_threshold=300,
+        supported_kinds=(SenderIdKind.PHONE_NUMBER,),
+    ),
+    "blaster": DeliveryPath(
+        name="blaster", unit_cost=0.09, can_spoof=True,
+        burn_threshold=100000,  # no carrier in the loop to burn identities
+        supported_kinds=(SenderIdKind.PHONE_NUMBER,
+                         SenderIdKind.ALPHANUMERIC),
+    ),
+}
+
+
+def path_for(name: str) -> DeliveryPath:
+    try:
+        return PATHS[name]
+    except KeyError:
+        raise ValidationError(f"unknown delivery path: {name!r}") from None
+
+
+@dataclass
+class DeliveryStats:
+    """Aggregate outcome of delivering a batch of events."""
+
+    receipts: List[DeliveryReceipt] = field(default_factory=list)
+    total_segments: int = 0
+    total_cost: float = 0.0
+    burned_identities: int = 0
+    blocked_messages: int = 0
+
+    @property
+    def delivered(self) -> int:
+        return len(self.receipts)
+
+    def cost_per_delivered(self) -> float:
+        return self.total_cost / self.delivered if self.delivered else 0.0
+
+
+class DeliveryEngine:
+    """Pushes ground-truth events through their delivery paths.
+
+    Tracks per-identity volume: once an identity crosses its path's burn
+    threshold, carrier filtering blocks a growing fraction of its
+    messages — the whack-a-mole §2 describes, and the reason campaigns
+    rotate sender pools.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self._rng = rng or random.Random(0)
+        self._identity_volume: Dict[str, int] = {}
+        self._burned: set = set()
+
+    def deliver(self, events: Iterable[SmishingEvent]) -> DeliveryStats:
+        stats = DeliveryStats()
+        for event in events:
+            path = path_for(event.delivery_path)
+            if event.sender.kind not in path.supported_kinds:
+                # Mis-routed identity: the network rejects it outright.
+                stats.blocked_messages += 1
+                continue
+            key = f"{path.name}:{event.sender.normalized}"
+            volume = self._identity_volume.get(key, 0) + 1
+            self._identity_volume[key] = volume
+            if volume > path.burn_threshold:
+                if key not in self._burned:
+                    self._burned.add(key)
+                    stats.burned_identities += 1
+                # Filters catch most traffic from burned identities.
+                if self._rng.random() < 0.85:
+                    stats.blocked_messages += 1
+                    continue
+            segments, _ = message_cost_units(event.message.text)
+            receipt = DeliveryReceipt.for_message(
+                event.event_id, event.message,
+                path=path.name,
+                spoofed_sender=path.can_spoof
+                and event.sender.kind is not SenderIdKind.PHONE_NUMBER,
+                unit_price=path.unit_cost,
+            )
+            stats.receipts.append(receipt)
+            stats.total_segments += segments
+            stats.total_cost += segments * path.unit_cost
+        return stats
+
+    def campaign_cost_report(
+        self, events: Iterable[SmishingEvent]
+    ) -> Dict[str, DeliveryStats]:
+        """Per-path delivery statistics for a batch of events."""
+        by_path: Dict[str, List[SmishingEvent]] = {}
+        for event in events:
+            by_path.setdefault(event.delivery_path, []).append(event)
+        return {
+            path: DeliveryEngine(random.Random(17)).deliver(batch)
+            for path, batch in sorted(by_path.items())
+        }

@@ -1,0 +1,195 @@
+"""GSM 03.38 character set, septet packing, and message segmentation.
+
+SMS is a constrained transport: 140 payload bytes per PDU, which yields
+160 characters in the 7-bit GSM default alphabet, 153 per segment when a
+concatenation header is needed, or 70/67 UCS-2 code units for texts using
+characters outside the GSM alphabet. Smishing campaigns care about this —
+a template that tips a message into UCS-2 doubles the per-message cost of
+a bulk run — so the world generator uses this module to cost campaigns and
+the delivery simulator uses it to split texts into segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: GSM 03.38 default alphabet (7-bit), basic table.
+GSM_BASIC = (
+    "@£$¥èéùìòÇ\nØø\rÅåΔ_ΦΓΛΩΠΨΣΘΞ\x1bÆæßÉ !\"#¤%&'()*+,-./0123456789:;<=>?"
+    "¡ABCDEFGHIJKLMNOPQRSTUVWXYZÄÖÑÜ§¿abcdefghijklmnopqrstuvwxyzäöñüà"
+)
+
+#: Extension table characters — each costs *two* septets (escape + char).
+GSM_EXTENDED = "^{}\\[~]|€"
+
+_GSM_BASIC_SET = frozenset(GSM_BASIC)
+_GSM_EXTENDED_SET = frozenset(GSM_EXTENDED)
+
+#: Per-segment capacities.
+GSM7_SINGLE = 160
+GSM7_CONCAT = 153
+UCS2_SINGLE = 70
+UCS2_CONCAT = 67
+
+
+def is_gsm_char(char: str) -> bool:
+    """True if the character is encodable in GSM 7-bit (incl. extension)."""
+    return char in _GSM_BASIC_SET or char in _GSM_EXTENDED_SET
+
+
+def is_gsm_text(text: str) -> bool:
+    """True if the entire text fits the GSM 7-bit alphabet."""
+    return all(is_gsm_char(ch) for ch in text)
+
+
+def septet_length(text: str) -> int:
+    """Number of septets the text occupies (extension chars count double).
+
+    Raises ``ValueError`` if the text is not GSM-encodable.
+    """
+    total = 0
+    for ch in text:
+        if ch in _GSM_BASIC_SET:
+            total += 1
+        elif ch in _GSM_EXTENDED_SET:
+            total += 2
+        else:
+            raise ValueError(f"character {ch!r} is not GSM 7-bit encodable")
+    return total
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """Chosen air-interface encoding for a message."""
+
+    name: str  # "gsm7" or "ucs2"
+    single_capacity: int
+    concat_capacity: int
+
+
+GSM7 = Encoding("gsm7", GSM7_SINGLE, GSM7_CONCAT)
+UCS2 = Encoding("ucs2", UCS2_SINGLE, UCS2_CONCAT)
+
+
+def choose_encoding(text: str) -> Encoding:
+    """GSM 7-bit when possible, UCS-2 otherwise (how real SMSCs behave)."""
+    return GSM7 if is_gsm_text(text) else UCS2
+
+
+def _unit_length(text: str, encoding: Encoding) -> int:
+    if encoding is GSM7:
+        return septet_length(text)
+    # UCS-2: astral characters (emoji) need surrogate pairs = 2 units.
+    return sum(2 if ord(ch) > 0xFFFF else 1 for ch in text)
+
+
+def segment_count(text: str) -> int:
+    """How many SMS segments the text needs on the wire."""
+    if not text:
+        return 1
+    encoding = choose_encoding(text)
+    units = _unit_length(text, encoding)
+    if units <= encoding.single_capacity:
+        return 1
+    # Ceil division over the concatenated capacity.
+    return -(-units // encoding.concat_capacity)
+
+
+def split_segments(text: str) -> List[str]:
+    """Split text into the actual segment payloads.
+
+    Split points respect unit costs (an extended GSM char or an astral
+    pair is never split across segments).
+    """
+    if not text:
+        return [""]
+    encoding = choose_encoding(text)
+    total_units = _unit_length(text, encoding)
+    if total_units <= encoding.single_capacity:
+        return [text]
+    capacity = encoding.concat_capacity
+    segments: List[str] = []
+    current: List[str] = []
+    used = 0
+    for ch in text:
+        cost = _unit_length(ch, encoding)
+        if used + cost > capacity:
+            segments.append("".join(current))
+            current = [ch]
+            used = cost
+        else:
+            current.append(ch)
+            used += cost
+    if current:
+        segments.append("".join(current))
+    return segments
+
+
+def pack_septets(text: str) -> bytes:
+    """Pack a GSM 7-bit string into octets (GSM 03.38 §6.1.2.1.1).
+
+    Only the basic table is supported for packing (extension characters are
+    escaped first). This is the actual PDU payload format; the delivery
+    simulator round-trips it to assert fidelity.
+    """
+    septets: List[int] = []
+    for ch in text:
+        if ch in _GSM_BASIC_SET:
+            septets.append(GSM_BASIC.index(ch))
+        elif ch in _GSM_EXTENDED_SET:
+            septets.append(0x1B)
+            septets.append(_EXT_ENCODE[ch])
+        else:
+            raise ValueError(f"character {ch!r} is not GSM 7-bit encodable")
+    packed = bytearray()
+    carry = 0
+    carry_bits = 0
+    for septet in septets:
+        carry |= septet << carry_bits
+        carry_bits += 7
+        while carry_bits >= 8:
+            packed.append(carry & 0xFF)
+            carry >>= 8
+            carry_bits -= 8
+    if carry_bits:
+        packed.append(carry & 0xFF)
+    return bytes(packed)
+
+
+_EXT_ENCODE = {
+    "^": 0x14, "{": 0x28, "}": 0x29, "\\": 0x2F, "[": 0x3C, "~": 0x3D,
+    "]": 0x3E, "|": 0x40, "€": 0x65,
+}
+_EXT_DECODE = {v: k for k, v in _EXT_ENCODE.items()}
+
+
+def unpack_septets(packed: bytes, septet_count: int) -> str:
+    """Inverse of :func:`pack_septets` given the original septet count."""
+    septets: List[int] = []
+    carry = 0
+    carry_bits = 0
+    for octet in packed:
+        carry |= octet << carry_bits
+        carry_bits += 8
+        while carry_bits >= 7 and len(septets) < septet_count:
+            septets.append(carry & 0x7F)
+            carry >>= 7
+            carry_bits -= 7
+    chars: List[str] = []
+    escape = False
+    for value in septets:
+        if escape:
+            chars.append(_EXT_DECODE.get(value, " "))
+            escape = False
+        elif value == 0x1B:
+            escape = True
+        else:
+            chars.append(GSM_BASIC[value])
+    return "".join(chars)
+
+
+def message_cost_units(text: str) -> Tuple[int, str]:
+    """(segments, encoding-name) — what a bulk SMS service bills for."""
+    encoding = choose_encoding(text)
+    return segment_count(text), encoding.name

@@ -1,0 +1,155 @@
+"""SMS message model and the ground-truth smishing event record.
+
+:class:`SmsMessage` is what travels over the (simulated) air interface;
+:class:`SmishingEvent` wraps it with the generator's ground-truth labels —
+the campaign that sent it, the true scam type, brand, language and lures —
+which the measurement pipeline never sees directly but the evaluation
+harness (§3.4) compares against.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..net.url import Url
+from ..types import LurePrinciple, ScamType
+from .gsm import segment_count
+from .senderid import SenderId
+
+
+@dataclass(frozen=True)
+class SmsMessage:
+    """One SMS as received on a victim's handset.
+
+    ``received_at`` is handset-local wall-clock time — the only timestamp a
+    screenshot can ever show (§3.2). ``recipient_country`` is where the
+    victim's line is registered.
+    """
+
+    text: str
+    sender: SenderId
+    received_at: dt.datetime
+    recipient_country: str
+    url: Optional[Url] = None
+
+    @property
+    def segments(self) -> int:
+        """Air-interface segment count (see :mod:`repro.sms.gsm`)."""
+        return segment_count(self.text)
+
+    @property
+    def has_url(self) -> bool:
+        return self.url is not None
+
+
+@dataclass(frozen=True)
+class SmishingEvent:
+    """Ground truth for one smishing delivery.
+
+    The generator produces these; forums turn them into user reports; the
+    pipeline tries to recover the fields from noisy screenshots. Keeping
+    ground truth separate from the report lets tests measure extraction
+    and annotation accuracy exactly.
+    """
+
+    event_id: str
+    message: SmsMessage
+    campaign_id: str
+    scam_type: ScamType
+    language: str
+    brand: Optional[str]
+    lures: FrozenSet[LurePrinciple]
+    translated_text: Optional[str] = None
+    delivery_path: str = "mno"
+    apk_payload: bool = False
+
+    @property
+    def received_at(self) -> dt.datetime:
+        return self.message.received_at
+
+    @property
+    def sender(self) -> SenderId:
+        return self.message.sender
+
+    @property
+    def url(self) -> Optional[Url]:
+        return self.message.url
+
+    @property
+    def is_english(self) -> bool:
+        return self.language == "en"
+
+
+@dataclass
+class DeliveryReceipt:
+    """What the sending infrastructure records about one delivery."""
+
+    event_id: str
+    segments: int
+    encoding: str
+    path: str
+    spoofed_sender: bool
+    cost_units: float
+
+    @classmethod
+    def for_message(
+        cls,
+        event_id: str,
+        message: SmsMessage,
+        *,
+        path: str,
+        spoofed_sender: bool,
+        unit_price: float = 1.0,
+    ) -> "DeliveryReceipt":
+        from .gsm import message_cost_units
+
+        segments, encoding = message_cost_units(message.text)
+        return cls(
+            event_id=event_id,
+            segments=segments,
+            encoding=encoding,
+            path=path,
+            spoofed_sender=spoofed_sender,
+            cost_units=segments * unit_price,
+        )
+
+
+@dataclass(frozen=True)
+class AnnotationLabels:
+    """The four annotation properties of §3.3.6, as one comparable record.
+
+    Used for ground truth, human annotators, and the model annotator alike
+    so kappa computations (§3.4) operate on a single type.
+    """
+
+    scam_type: ScamType
+    language: str
+    brand: Optional[str]
+    lures: FrozenSet[LurePrinciple]
+
+    def agreement_tuple(self) -> Tuple:
+        return (self.scam_type, self.language, self.brand, tuple(sorted(self.lures)))
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate bookkeeping the generator keeps per campaign."""
+
+    campaign_id: str
+    scam_type: ScamType
+    brand: Optional[str]
+    languages: Tuple[str, ...]
+    target_countries: Tuple[str, ...]
+    message_count: int = 0
+    first_sent: Optional[dt.datetime] = None
+    last_sent: Optional[dt.datetime] = None
+    domains: Tuple[str, ...] = field(default_factory=tuple)
+
+    def observe(self, moment: dt.datetime) -> None:
+        self.message_count += 1
+        if self.first_sent is None or moment < self.first_sent:
+            self.first_sent = moment
+        if self.last_sent is None or moment > self.last_sent:
+            self.last_sent = moment

@@ -1,0 +1,175 @@
+"""Shared enumerations and small value types used across the package.
+
+These mirror the taxonomies fixed by the paper:
+
+* :class:`ScamType` — the eight categories of §3.3.6 / Table 10 (seven scam
+  types plus spam), following Agarwal et al.'s SMS scam categorisation.
+* :class:`LurePrinciple` — the seven Stajano–Wilson lure principles
+  (§5.5, Table 13).
+* :class:`SenderIdKind` — phone number vs. email vs. alphanumeric shortcode
+  (§3.3.1 / §4.1).
+* :class:`PhoneNumberType` — HLR lookup number classes (Table 3).
+* :class:`Forum` — the five collection forums (§3.1, Table 1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ScamType(str, enum.Enum):
+    """Scam categories used to label smishing texts (Table 10)."""
+
+    BANKING = "banking"
+    DELIVERY = "delivery"
+    GOVERNMENT = "government"
+    TELECOM = "telecom"
+    WRONG_NUMBER = "wrong number"
+    HEY_MUM_DAD = "hey mum/dad"
+    OTHERS = "others"
+    SPAM = "spam"
+
+    @property
+    def is_conversational(self) -> bool:
+        """Conversation scams open a dialogue instead of pushing a URL."""
+        return self in (ScamType.WRONG_NUMBER, ScamType.HEY_MUM_DAD)
+
+    @property
+    def short_code(self) -> str:
+        """Single-letter code used in the paper's Tables 5 and 13."""
+        return _SCAM_SHORT_CODES[self]
+
+
+_SCAM_SHORT_CODES = {
+    ScamType.BANKING: "B",
+    ScamType.DELIVERY: "D",
+    ScamType.GOVERNMENT: "G",
+    ScamType.TELECOM: "T",
+    ScamType.WRONG_NUMBER: "W",
+    ScamType.HEY_MUM_DAD: "H",
+    ScamType.OTHERS: "O",
+    ScamType.SPAM: "S",
+}
+
+
+class LurePrinciple(str, enum.Enum):
+    """Stajano & Wilson's seven principles of scam persuasion (Table 13)."""
+
+    AUTHORITY = "authority"
+    DISHONESTY = "dishonesty"
+    DISTRACTION = "distraction"
+    NEED_AND_GREED = "need and greed"
+    HERD = "herd"
+    KINDNESS = "kindness"
+    TIME_URGENCY = "time/urgency"
+
+
+class SenderIdKind(str, enum.Enum):
+    """Sender-ID classes distinguished by the paper's regexes (§3.3.1)."""
+
+    PHONE_NUMBER = "phone number"
+    EMAIL = "email"
+    ALPHANUMERIC = "alphanumeric"
+
+
+class PhoneNumberType(str, enum.Enum):
+    """HLR-reported number types (Table 3)."""
+
+    MOBILE = "Mobile"
+    MOBILE_OR_LANDLINE = "Mobile or Landline"
+    VOIP = "VOIP"
+    TOLL_FREE = "Toll Free"
+    PAGER = "Pager"
+    UNIVERSAL_ACCESS = "Universal Access Number"
+    PERSONAL = "Personal number"
+    OTHER = "Others"
+    BAD_FORMAT = "Bad Format"
+    LANDLINE = "Landline"
+    VOICEMAIL_ONLY = "Voicemail Only"
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether HLR considers the number capable of originating SMS.
+
+        The paper's Table 3 splits numbers into "Valid" and
+        "Invalid/Suspicious" (bad format, landline, voicemail-only — all
+        likely spoofed sender IDs).
+        """
+        return self not in (
+            PhoneNumberType.BAD_FORMAT,
+            PhoneNumberType.LANDLINE,
+            PhoneNumberType.VOICEMAIL_ONLY,
+        )
+
+
+class LineStatus(str, enum.Enum):
+    """Current HLR status of a subscriber line (§3.3.1)."""
+
+    LIVE = "live"
+    INACTIVE = "inactive"
+    DEAD = "dead"
+
+
+class Forum(str, enum.Enum):
+    """The five public forums mined for smishing reports (Table 1)."""
+
+    TWITTER = "Twitter"
+    REDDIT = "Reddit"
+    SMISHTANK = "Smishtank"
+    SMISHING_EU = "Smishing.eu"
+    PASTEBIN = "Pastebin"
+
+
+class TldClass(str, enum.Enum):
+    """IANA root-zone TLD classification (Table 16)."""
+
+    GENERIC = "Generic (gTLD)"
+    COUNTRY_CODE = "Country-Code (ccTLD)"
+    GENERIC_RESTRICTED = "Generic-restricted (grTLD)"
+    SPONSORED = "Sponsored (sTLD)"
+    INFRASTRUCTURE = "Infra (iTLD)"
+    TEST = "Test (tTLD)"
+
+
+class Verdict(str, enum.Enum):
+    """A single AV scanner's verdict for a URL or file."""
+
+    CLEAN = "clean"
+    SUSPICIOUS = "suspicious"
+    MALICIOUS = "malicious"
+
+
+class GsbStatus(str, enum.Enum):
+    """Google Safe Browsing transparency-report statuses (Table 18)."""
+
+    UNSAFE = "unsafe"
+    PARTIALLY_UNSAFE = "partially unsafe"
+    UNDETECTED = "undetected"
+    NO_DATA = "no available data"
+    NOT_QUERIED = "not queried"
+
+
+class DeviceProfile(str, enum.Enum):
+    """Client device presented to a smishing landing page (§6).
+
+    Droppers serve different payloads by user agent: Android devices get a
+    drive-by APK download, everything else gets a credential-phishing page.
+    """
+
+    ANDROID = "android"
+    IOS = "ios"
+    DESKTOP = "desktop"
+
+
+#: Scam types that, per Table 1 of Agarwal et al. 2024 and Table 13 of this
+#: paper, carry a URL payload rather than soliciting a reply.
+URL_BEARING_SCAM_TYPES = frozenset(
+    {
+        ScamType.BANKING,
+        ScamType.DELIVERY,
+        ScamType.GOVERNMENT,
+        ScamType.TELECOM,
+        ScamType.OTHERS,
+        ScamType.SPAM,
+    }
+)

@@ -1,0 +1,202 @@
+"""Statistical routines used by the paper's evaluation and analysis.
+
+* :func:`cohens_kappa` — inter-rater reliability between two annotators
+  (§3.4, used both for the human IRR and the GPT-4o-vs-human comparison).
+* :func:`ks_two_sample` — two-sample Kolmogorov–Smirnov test used in §5.1
+  to compare time-of-day sending distributions across weekdays.
+* :func:`median` / :func:`summarise` — simple descriptive statistics used
+  in several tables (e.g. per-URL TLS certificate counts, §4.5).
+
+Implementations are from scratch (no scipy dependency in the library
+itself) and validated against scipy in the test suite where available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+
+def cohens_kappa(labels_a: Sequence[Hashable], labels_b: Sequence[Hashable]) -> float:
+    """Cohen's kappa for two annotators over the same items.
+
+    Returns 1.0 for perfect agreement, 0.0 for chance-level agreement and
+    can be negative for below-chance agreement. Raises ``ValueError`` on
+    empty or mismatched inputs.
+    """
+    if len(labels_a) != len(labels_b):
+        raise ValueError("annotation sequences must have equal length")
+    n = len(labels_a)
+    if n == 0:
+        raise ValueError("cannot compute kappa on zero items")
+    observed_agreement = sum(1 for a, b in zip(labels_a, labels_b) if a == b) / n
+    counts_a: Dict[Hashable, int] = {}
+    counts_b: Dict[Hashable, int] = {}
+    for a, b in zip(labels_a, labels_b):
+        counts_a[a] = counts_a.get(a, 0) + 1
+        counts_b[b] = counts_b.get(b, 0) + 1
+    expected_agreement = sum(
+        (counts_a.get(label, 0) / n) * (counts_b.get(label, 0) / n)
+        for label in set(counts_a) | set(counts_b)
+    )
+    if math.isclose(expected_agreement, 1.0):
+        return 1.0
+    return (observed_agreement - expected_agreement) / (1.0 - expected_agreement)
+
+
+def multilabel_kappa(
+    sets_a: Sequence[frozenset], sets_b: Sequence[frozenset], universe: Sequence[Hashable]
+) -> float:
+    """Kappa for multi-label annotations (e.g. lure principles).
+
+    Each item carries a *set* of labels. We binarise per label across the
+    whole universe (one presence/absence decision per item per label) and
+    compute Cohen's kappa over the pooled binary decisions, which is the
+    standard approach for multi-label IRR on small taxonomies.
+    """
+    if len(sets_a) != len(sets_b):
+        raise ValueError("annotation sequences must have equal length")
+    decisions_a: List[bool] = []
+    decisions_b: List[bool] = []
+    for a, b in zip(sets_a, sets_b):
+        for label in universe:
+            decisions_a.append(label in a)
+            decisions_b.append(label in b)
+    return cohens_kappa(decisions_a, decisions_b)
+
+
+def interpret_kappa(kappa: float) -> str:
+    """Landis & Koch qualitative bands, as the paper phrases its results."""
+    if kappa >= 0.81:
+        return "near-perfect"
+    if kappa >= 0.61:
+        return "substantial"
+    if kappa >= 0.41:
+        return "moderate"
+    if kappa >= 0.21:
+        return "fair"
+    if kappa > 0.0:
+        return "slight"
+    return "poor"
+
+
+@dataclass(frozen=True)
+class KsResult:
+    """Two-sample KS statistic and asymptotic p-value."""
+
+    statistic: float
+    pvalue: float
+    n1: int
+    n2: int
+
+    @property
+    def significant(self) -> bool:
+        """Significance at the paper's alpha = 0.05."""
+        return self.pvalue < 0.05
+
+
+def _ks_pvalue(statistic: float, n1: int, n2: int) -> float:
+    """Asymptotic Kolmogorov distribution tail probability.
+
+    Uses the standard series Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1}
+    exp(-2 k^2 lambda^2) with the Stephens effective-n correction, matching
+    scipy's ``mode='asymp'`` behaviour closely for the sample sizes the
+    paper works with (hundreds to thousands per weekday).
+    """
+    if statistic <= 0:
+        return 1.0
+    en = math.sqrt(n1 * n2 / (n1 + n2))
+    lam = (en + 0.12 + 0.11 / en) * statistic
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-10:
+            break
+    return min(max(total, 0.0), 1.0)
+
+
+def ks_two_sample(sample1: Sequence[float], sample2: Sequence[float]) -> KsResult:
+    """Two-sample Kolmogorov–Smirnov test (asymptotic p-value).
+
+    Used to test whether the time-of-day sending distribution differs
+    between pairs of weekdays (§5.1).
+    """
+    n1, n2 = len(sample1), len(sample2)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    xs = sorted(sample1)
+    ys = sorted(sample2)
+    i = j = 0
+    cdf1 = cdf2 = 0.0
+    statistic = 0.0
+    while i < n1 and j < n2:
+        x, y = xs[i], ys[j]
+        value = min(x, y)
+        while i < n1 and xs[i] == value:
+            i += 1
+        while j < n2 and ys[j] == value:
+            j += 1
+        cdf1 = i / n1
+        cdf2 = j / n2
+        statistic = max(statistic, abs(cdf1 - cdf2))
+    return KsResult(statistic=statistic, pvalue=_ks_pvalue(statistic, n1, n2),
+                    n1=n1, n2=n2)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive summary of a numeric sample."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+
+
+def summarise(values: Sequence[float]) -> Summary:
+    """Compute count/min/max/mean/median in one pass-ish."""
+    if not values:
+        raise ValueError("cannot summarise an empty sequence")
+    return Summary(
+        count=len(values),
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        mean=sum(values) / len(values),
+        median=median(values),
+    )
+
+
+def seconds_of_day(hour: int, minute: int, second: int = 0) -> int:
+    """Convert a wall-clock time to seconds since midnight."""
+    return hour * 3600 + minute * 60 + second
+
+
+def format_seconds_of_day(seconds: float) -> str:
+    """Format seconds-since-midnight as HH:MM:SS (used for Fig. 2 medians)."""
+    seconds = int(round(seconds)) % 86400
+    hours, remainder = divmod(seconds, 3600)
+    minutes, secs = divmod(remainder, 60)
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+def pairwise(items: Sequence) -> List[Tuple]:
+    """All unordered pairs of a sequence (for pairwise KS tests)."""
+    result = []
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            result.append((items[i], items[j]))
+    return result

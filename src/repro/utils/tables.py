@@ -1,0 +1,116 @@
+"""Plain-text and CSV rendering for analysis tables.
+
+Every analysis builder in :mod:`repro.analysis` returns a :class:`Table`,
+which benchmark harnesses print so the output visually matches the paper's
+tables (rank, counts, percentages).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_count_pct(count: int, total: int, *, digits: int = 1) -> str:
+    """Render ``1,166 (13.3%)`` style cells used throughout the paper."""
+    if total <= 0:
+        return f"{count:,}"
+    return f"{count:,} ({100.0 * count / total:.{digits}f}%)"
+
+
+def _render_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:,.2f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A titled grid of cells with named columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Cell]:
+        """Extract one column by name."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned monospace table."""
+        rendered = [[_render_cell(c) for c in row] for row in self.rows]
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+        for row in rendered:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render as CSV (header row + data rows)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(["" if c is None else c for c in row])
+        return buffer.getvalue()
+
+    def to_records(self) -> List[dict]:
+        """Render as a list of ``{column: value}`` dicts."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def ranked_table(
+    title: str,
+    label_column: str,
+    count_column: str,
+    counts: Iterable,
+    *,
+    top: Optional[int] = 10,
+    total_for_pct: Optional[int] = None,
+) -> Table:
+    """Build a 'Top N' table from ``(label, count)`` pairs.
+
+    Sorts by count descending (label ascending on ties for determinism) and
+    optionally renders counts as ``count (pct%)`` against a total.
+    """
+    pairs = sorted(counts, key=lambda item: (-item[1], str(item[0])))
+    if top is not None:
+        pairs = pairs[:top]
+    table = Table(title=title, columns=[label_column, count_column])
+    for label, count in pairs:
+        if total_for_pct:
+            table.add_row(str(label), format_count_pct(count, total_for_pct))
+        else:
+            table.add_row(str(label), count)
+    return table

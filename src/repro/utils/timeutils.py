@@ -1,0 +1,309 @@
+"""Timestamp parsing for SMS screenshot headers.
+
+The paper (§3.2) extracts the received-time shown inside the screenshot and
+parses it with the ``dateparser`` library because every messaging app
+renders timestamps differently. This module is a self-contained substitute
+covering the formats our synthetic screenshot renderer produces — which are
+modelled on real messaging apps:
+
+* ISO-ish: ``2021-08-03 11:34``
+* Numeric day-first and month-first: ``03/08/2021 11:34``, ``8/3/21, 11:34 AM``
+* Long form: ``Tue, Aug 3, 11:34 AM`` / ``Tuesday 3 August 2021 11:34``
+* Time-only headers: ``11:34`` / ``11:34 AM`` (apps drop the date within the
+  current week — these parse to a time with no date, and the paper excludes
+  them from the weekday analysis, §3.3.2)
+* Relative headers: ``Today 11:34`` / ``Yesterday 11:34`` (resolve against a
+  supplied reference date)
+* Localised month and weekday names for the major languages in the dataset
+  (Spanish, Dutch, French, German, Italian, Portuguese, Indonesian).
+
+The public entry point is :func:`parse_screenshot_timestamp`, which returns
+a :class:`ParsedTimestamp` marking which fields were actually present.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ParseError
+
+_MONTHS_EN = {
+    "january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+    "june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+    "november": 11, "december": 12,
+}
+
+#: Localised month names mapped onto month numbers. Abbreviations are
+#: derived automatically from the first three letters.
+_MONTHS_LOCALISED: Dict[str, int] = {}
+
+
+def _register_months(names: Dict[str, int]) -> None:
+    for name, number in names.items():
+        _MONTHS_LOCALISED[name] = number
+        _MONTHS_LOCALISED[name[:3]] = number
+        if len(name) >= 4:
+            _MONTHS_LOCALISED[name[:4]] = number
+
+
+_register_months(_MONTHS_EN)
+_register_months({  # Spanish
+    "enero": 1, "febrero": 2, "marzo": 3, "abril": 4, "mayo": 5, "junio": 6,
+    "julio": 7, "agosto": 8, "septiembre": 9, "octubre": 10,
+    "noviembre": 11, "diciembre": 12,
+})
+_register_months({  # Dutch
+    "januari": 1, "februari": 2, "maart": 3, "april": 4, "mei": 5, "juni": 6,
+    "juli": 7, "augustus": 8, "september": 9, "oktober": 10,
+    "november": 11, "december": 12,
+})
+_register_months({  # French
+    "janvier": 1, "fevrier": 2, "mars": 3, "avril": 4, "mai": 5, "juin": 6,
+    "juillet": 7, "aout": 8, "septembre": 9, "octobre": 10,
+    "novembre": 11, "decembre": 12,
+})
+_register_months({  # German
+    "januar": 1, "februar": 2, "marz": 3, "april": 4, "mai": 5, "juni": 6,
+    "juli": 7, "august": 8, "september": 9, "oktober": 10,
+    "november": 11, "dezember": 12,
+})
+_register_months({  # Italian
+    "gennaio": 1, "febbraio": 2, "marzo": 3, "aprile": 4, "maggio": 5,
+    "giugno": 6, "luglio": 7, "agosto": 8, "settembre": 9, "ottobre": 10,
+    "novembre": 11, "dicembre": 12,
+})
+_register_months({  # Portuguese
+    "janeiro": 1, "fevereiro": 2, "marco": 3, "abril": 4, "maio": 5,
+    "junho": 6, "julho": 7, "agosto": 8, "setembro": 9, "outubro": 10,
+    "novembro": 11, "dezembro": 12,
+})
+_register_months({  # Indonesian
+    "januari": 1, "februari": 2, "maret": 3, "april": 4, "mei": 5, "juni": 6,
+    "juli": 7, "agustus": 8, "september": 9, "oktober": 10,
+    "november": 11, "desember": 12,
+})
+
+_WEEKDAY_WORDS = {
+    # English
+    "monday", "tuesday", "wednesday", "thursday", "friday", "saturday",
+    "sunday", "mon", "tue", "tues", "wed", "thu", "thur", "thurs", "fri",
+    "sat", "sun",
+    # Spanish / Dutch / French / German / Italian / Portuguese / Indonesian
+    "lunes", "martes", "miercoles", "jueves", "viernes", "sabado", "domingo",
+    "maandag", "dinsdag", "woensdag", "donderdag", "vrijdag", "zaterdag",
+    "zondag", "lundi", "mardi", "mercredi", "jeudi", "vendredi", "samedi",
+    "dimanche", "montag", "dienstag", "mittwoch", "donnerstag", "freitag",
+    "samstag", "sonntag", "lunedi", "martedi", "mercoledi", "giovedi",
+    "venerdi", "sabato", "domenica", "segunda", "terca", "quarta", "quinta",
+    "sexta", "senin", "selasa", "rabu", "kamis", "jumat", "sabtu", "minggu",
+}
+
+_RELATIVE_TODAY = {"today", "hoy", "vandaag", "aujourd'hui", "heute", "oggi",
+                   "hoje", "hari ini"}
+_RELATIVE_YESTERDAY = {"yesterday", "ayer", "gisteren", "hier", "gestern",
+                       "ieri", "ontem", "kemarin"}
+
+_TIME_RE = re.compile(
+    r"(?P<hour>\d{1,2})[:.](?P<minute>\d{2})(?:[:.](?P<second>\d{2}))?"
+    r"\s*(?P<ampm>[AaPp]\.?[Mm]\.?)?"
+)
+_ISO_DATE_RE = re.compile(r"(?P<year>\d{4})-(?P<month>\d{1,2})-(?P<day>\d{1,2})")
+_NUMERIC_DATE_RE = re.compile(
+    r"(?P<a>\d{1,2})[/.](?P<b>\d{1,2})[/.](?P<year>\d{2,4})"
+)
+_TEXT_MONTH_RE = re.compile(
+    r"(?:(?P<day1>\d{1,2})\s+(?P<month1>[a-z']+)|(?P<month2>[a-z']+)\s+(?P<day2>\d{1,2}))"
+    r"(?:\w{0,2})?,?\s*(?P<year>\d{4})?",
+)
+
+
+@dataclass(frozen=True)
+class ParsedTimestamp:
+    """Result of parsing a screenshot timestamp header.
+
+    ``has_date`` is False when only a time was shown (the app omitted the
+    date because the message arrived in the current week); such records are
+    excluded from the weekday analysis exactly as the paper does.
+    """
+
+    value: dt.datetime
+    has_date: bool
+    has_time: bool
+    raw: str
+
+    @property
+    def weekday_name(self) -> Optional[str]:
+        if not self.has_date:
+            return None
+        return self.value.strftime("%A")
+
+
+def _strip_accents(text: str) -> str:
+    table = str.maketrans("áàâäãéèêëíìîïóòôöõúùûüçñ", "aaaaaeeeeiiiiooooouuuucn")
+    return text.translate(table)
+
+
+def _parse_time(text: str):
+    match = _TIME_RE.search(text)
+    if not match:
+        return None
+    hour = int(match.group("hour"))
+    minute = int(match.group("minute"))
+    second = int(match.group("second") or 0)
+    ampm = match.group("ampm")
+    if ampm:
+        ampm = ampm.replace(".", "").lower()
+        if ampm == "pm" and hour < 12:
+            hour += 12
+        elif ampm == "am" and hour == 12:
+            hour = 0
+    if hour > 23 or minute > 59 or second > 59:
+        return None
+    return dt.time(hour, minute, second)
+
+
+def _parse_date(text: str, reference: Optional[dt.date], day_first: bool):
+    iso = _ISO_DATE_RE.search(text)
+    if iso:
+        try:
+            return dt.date(int(iso.group("year")), int(iso.group("month")),
+                           int(iso.group("day")))
+        except ValueError:
+            return None
+    numeric = _NUMERIC_DATE_RE.search(text)
+    if numeric:
+        a, b = int(numeric.group("a")), int(numeric.group("b"))
+        year = int(numeric.group("year"))
+        if year < 100:
+            year += 2000
+        if day_first:
+            day, month = a, b
+        else:
+            month, day = a, b
+        # Disambiguate impossible combinations regardless of the hint.
+        if month > 12 and day <= 12:
+            month, day = day, month
+        try:
+            return dt.date(year, month, day)
+        except ValueError:
+            return None
+    # Relative words resolve against the reference date.
+    words = set(_strip_accents(text.lower()).replace(",", " ").split())
+    if reference is not None:
+        if words & _RELATIVE_TODAY or "hari" in words and "ini" in words:
+            return reference
+        if words & _RELATIVE_YESTERDAY:
+            return reference - dt.timedelta(days=1)
+    # Textual month forms: "Aug 3, 2021" / "3 augustus 2021".
+    for match in _TEXT_MONTH_RE.finditer(_strip_accents(text.lower())):
+        month_word = match.group("month1") or match.group("month2")
+        day_word = match.group("day1") or match.group("day2")
+        if not month_word or not day_word:
+            continue
+        month = _MONTHS_LOCALISED.get(month_word) or _MONTHS_LOCALISED.get(
+            month_word[:3]
+        )
+        if month is None:
+            continue
+        year = int(match.group("year")) if match.group("year") else (
+            reference.year if reference else None
+        )
+        if year is None:
+            continue
+        try:
+            return dt.date(year, month, int(day_word))
+        except ValueError:
+            continue
+    return None
+
+
+def parse_screenshot_timestamp(
+    raw: str,
+    *,
+    reference: Optional[dt.date] = None,
+    day_first: bool = True,
+) -> ParsedTimestamp:
+    """Parse a messaging-app timestamp header into a :class:`ParsedTimestamp`.
+
+    ``reference`` anchors relative words ("Yesterday") and year-less dates.
+    ``day_first`` selects the 03/08 = 3 August convention (most of the
+    world) over month-first (US-styled apps).
+
+    Raises :class:`~repro.errors.ParseError` if neither a date nor a time
+    can be recovered.
+    """
+    if not raw or not raw.strip():
+        raise ParseError("empty timestamp string")
+    text = raw.strip()
+    time_part = _parse_time(text)
+    date_part = _parse_date(text, reference, day_first)
+    if time_part is None and date_part is None:
+        raise ParseError(f"unparseable timestamp: {raw!r}")
+    if date_part is None:
+        anchor = reference or dt.date(1970, 1, 1)
+        value = dt.datetime.combine(anchor, time_part)
+        return ParsedTimestamp(value=value, has_date=False, has_time=True, raw=raw)
+    if time_part is None:
+        value = dt.datetime.combine(date_part, dt.time(0, 0))
+        return ParsedTimestamp(value=value, has_date=True, has_time=False, raw=raw)
+    value = dt.datetime.combine(date_part, time_part)
+    return ParsedTimestamp(value=value, has_date=True, has_time=True, raw=raw)
+
+
+def format_app_timestamp(
+    moment: dt.datetime, style: str, *, locale_months: Optional[Dict[int, str]] = None
+) -> str:
+    """Render ``moment`` the way a given messaging-app style would.
+
+    Styles correspond to the screenshot renderer's app skins:
+
+    * ``iso`` — ``2021-08-03 11:34``
+    * ``numeric_dayfirst`` — ``03/08/2021 11:34``
+    * ``numeric_monthfirst`` — ``8/3/21, 11:34 AM``
+    * ``long`` — ``Tue, Aug 3, 11:34 AM``
+    * ``time_only`` — ``11:34``
+    * ``relative`` — ``Today 11:34``
+    """
+    if style == "iso":
+        return moment.strftime("%Y-%m-%d %H:%M")
+    if style == "numeric_dayfirst":
+        return moment.strftime("%d/%m/%Y %H:%M")
+    if style == "numeric_monthfirst":
+        hour = moment.strftime("%I").lstrip("0") or "12"
+        return (
+            f"{moment.month}/{moment.day}/{moment.strftime('%y')}, "
+            f"{hour}:{moment.strftime('%M %p')}"
+        )
+    if style == "long":
+        month_name = (
+            locale_months[moment.month]
+            if locale_months
+            else moment.strftime("%b")
+        )
+        hour = moment.strftime("%I").lstrip("0") or "12"
+        return (
+            f"{moment.strftime('%a')}, {month_name} {moment.day}, "
+            f"{hour}:{moment.strftime('%M %p')}"
+        )
+    if style == "time_only":
+        return moment.strftime("%H:%M")
+    if style == "relative":
+        return f"Today {moment.strftime('%H:%M')}"
+    raise ValueError(f"unknown timestamp style: {style!r}")
+
+
+#: Styles that omit the calendar date (excluded from weekday analysis).
+DATELESS_STYLES = frozenset({"time_only"})
+
+#: All renderer-supported styles.
+TIMESTAMP_STYLES = (
+    "iso",
+    "numeric_dayfirst",
+    "numeric_monthfirst",
+    "long",
+    "time_only",
+    "relative",
+)

@@ -1,0 +1,244 @@
+"""Brand registry: organisations scammers impersonate.
+
+Calibrated to Table 12 (SBI, PayTM, HDFC, Santander, Amazon, IRS,
+Rabobank, BBVA, Netflix, CaixaBank at the top) with a long tail across the
+banking, delivery, government, telecom and tech sectors. Each brand knows:
+
+* the scam category it is typically used for,
+* the countries/languages of its customer base (campaigns select language
+  accordingly — §5.3/§5.4 note e.g. Santander texts in Spanish, SBI in
+  English because English is an official language of India),
+* *evasion aliases*: leetspeak/homoglyph spellings scammers substitute to
+  slip past MNO keyword filters (``N3tfl!x``, §3.3.6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NotFound
+from ..types import ScamType
+from ..utils.rng import WeightedSampler
+
+_LEET_SUBSTITUTIONS = {
+    "a": "4", "e": "3", "i": "1", "o": "0", "s": "5", "t": "7", "l": "1",
+}
+
+
+def leetify(name: str, rng: random.Random, *, max_subs: int = 2) -> str:
+    """Produce a filter-evasion spelling of a brand name.
+
+    Replaces up to ``max_subs`` letters with look-alike digits/symbols and
+    sometimes swaps a vowel for ``!``. Deterministic under the given RNG.
+    """
+    chars = list(name)
+    candidates = [i for i, ch in enumerate(chars) if ch.lower() in _LEET_SUBSTITUTIONS]
+    rng.shuffle(candidates)
+    subs = 0
+    for index in candidates:
+        if subs >= max_subs:
+            break
+        lower = chars[index].lower()
+        if lower in "ei" and rng.random() < 0.3:
+            chars[index] = "!"
+        else:
+            chars[index] = _LEET_SUBSTITUTIONS[lower]
+        subs += 1
+    return "".join(chars)
+
+
+@dataclass(frozen=True)
+class Brand:
+    """One impersonatable organisation."""
+
+    name: str
+    category: ScamType
+    countries: Tuple[str, ...]
+    languages: Tuple[str, ...]
+    #: Relative share of impersonation (drives Table 12's ranking).
+    weight: float = 0.1
+    #: Fixed alias spellings beyond generated leetspeak.
+    aliases: Tuple[str, ...] = ()
+    #: Stock-ticker style short code shown in the paper's Table 12.
+    short: str = ""
+
+    @property
+    def primary_language(self) -> str:
+        return self.languages[0]
+
+
+_CATALOGUE: List[Brand] = [
+    # Banking — India (top of Table 12; texts in English, §5.4)
+    Brand("State Bank of India", ScamType.BANKING, ("IND",), ("en", "hi"), 11.6, ("SBI", "SBl", "S8I"), "SBI"),
+    Brand("PayTM", ScamType.BANKING, ("IND",), ("en", "hi"), 3.0, ("PayTM KYC", "PaytM"), "PAYTM"),
+    Brand("HDFC Bank", ScamType.BANKING, ("IND",), ("en",), 2.9, ("HDFC", "HDFC NetBanking"), "HDFC"),
+    Brand("ICICI Bank", ScamType.BANKING, ("IND",), ("en",), 0.9, ("ICICI",)),
+    Brand("Axis Bank", ScamType.BANKING, ("IND",), ("en",), 0.6),
+    Brand("Kotak Bank", ScamType.BANKING, ("IND",), ("en",), 0.4),
+    Brand("Punjab National Bank", ScamType.BANKING, ("IND",), ("en",), 0.4, ("PNB",)),
+    # Banking — Europe / Americas
+    Brand("Santander", ScamType.BANKING, ("ESP", "GBR", "BRA", "MEX"), ("es", "en", "pt"), 1.5, ("Santander Seguro",), "SAN"),
+    Brand("Rabobank", ScamType.BANKING, ("NLD",), ("nl",), 1.1),
+    Brand("BBVA", ScamType.BANKING, ("ESP", "MEX"), ("es",), 1.1),
+    Brand("CaixaBank", ScamType.BANKING, ("ESP", "PRT"), ("es", "pt"), 1.0, ("Caixa",)),
+    Brand("ING", ScamType.BANKING, ("NLD", "BEL", "DEU"), ("nl", "fr", "de"), 0.9),
+    Brand("ABN AMRO", ScamType.BANKING, ("NLD",), ("nl",), 0.7),
+    Brand("Barclays", ScamType.BANKING, ("GBR",), ("en",), 0.8),
+    Brand("HSBC", ScamType.BANKING, ("GBR", "HKG"), ("en", "zh"), 0.8),
+    Brand("Lloyds Bank", ScamType.BANKING, ("GBR",), ("en",), 0.7),
+    Brand("NatWest", ScamType.BANKING, ("GBR",), ("en",), 0.7),
+    Brand("Monzo", ScamType.BANKING, ("GBR",), ("en",), 0.3),
+    Brand("Revolut", ScamType.BANKING, ("GBR", "IRL"), ("en",), 0.4),
+    Brand("Chase", ScamType.BANKING, ("USA",), ("en", "es"), 0.9),
+    Brand("Bank of America", ScamType.BANKING, ("USA",), ("en", "es"), 0.8, ("BofA",)),
+    Brand("Wells Fargo", ScamType.BANKING, ("USA",), ("en", "es"), 0.7),
+    Brand("Citibank", ScamType.BANKING, ("USA",), ("en",), 0.5),
+    Brand("BNP Paribas", ScamType.BANKING, ("FRA",), ("fr",), 0.5),
+    Brand("Credit Agricole", ScamType.BANKING, ("FRA",), ("fr",), 0.5),
+    Brand("Societe Generale", ScamType.BANKING, ("FRA",), ("fr",), 0.4),
+    Brand("Deutsche Bank", ScamType.BANKING, ("DEU",), ("de",), 0.4),
+    Brand("Commerzbank", ScamType.BANKING, ("DEU",), ("de",), 0.4),
+    Brand("Sparkasse", ScamType.BANKING, ("DEU",), ("de",), 0.6),
+    Brand("Intesa Sanpaolo", ScamType.BANKING, ("ITA",), ("it",), 0.5),
+    Brand("UniCredit", ScamType.BANKING, ("ITA",), ("it",), 0.4),
+    Brand("Poste Italiane", ScamType.BANKING, ("ITA",), ("it",), 0.5, ("PosteInfo",)),
+    Brand("Itau", ScamType.BANKING, ("BRA",), ("pt",), 0.4),
+    Brand("Bradesco", ScamType.BANKING, ("BRA",), ("pt",), 0.3),
+    Brand("Maybank", ScamType.BANKING, ("MYS",), ("ms", "en"), 0.3),
+    Brand("DBS", ScamType.BANKING, ("SGP",), ("en",), 0.3),
+    Brand("Commonwealth Bank", ScamType.BANKING, ("AUS",), ("en",), 0.5, ("CommBank",)),
+    Brand("Westpac", ScamType.BANKING, ("AUS",), ("en",), 0.4),
+    Brand("BCA", ScamType.BANKING, ("IDN",), ("id",), 0.4),
+    Brand("Bank Mandiri", ScamType.BANKING, ("IDN",), ("id",), 0.3),
+    Brand("Sberbank", ScamType.BANKING, ("RUS",), ("ru",), 0.2),
+    Brand("MUFG", ScamType.BANKING, ("JPN",), ("ja",), 0.3),
+    # Delivery / parcel
+    Brand("USPS", ScamType.DELIVERY, ("USA",), ("en",), 1.0),
+    Brand("Correos", ScamType.DELIVERY, ("ESP",), ("es",), 0.8),
+    Brand("DHL", ScamType.DELIVERY, ("DEU", "GBR", "NLD", "FRA"), ("de", "en", "nl", "fr"), 0.9),
+    Brand("Royal Mail", ScamType.DELIVERY, ("GBR",), ("en",), 0.9),
+    Brand("Evri", ScamType.DELIVERY, ("GBR",), ("en",), 0.5, ("Hermes",)),
+    Brand("PostNL", ScamType.DELIVERY, ("NLD",), ("nl",), 0.7),
+    Brand("La Poste", ScamType.DELIVERY, ("FRA",), ("fr",), 0.7, ("Colissimo",)),
+    Brand("Chronopost", ScamType.DELIVERY, ("FRA",), ("fr",), 0.4),
+    Brand("Ceska Posta", ScamType.DELIVERY, ("CZE",), ("cs",), 0.3),
+    Brand("Australia Post", ScamType.DELIVERY, ("AUS",), ("en",), 0.5, ("AusPost",)),
+    Brand("Canada Post", ScamType.DELIVERY, ("CAN",), ("en", "fr"), 0.4),
+    Brand("FedEx", ScamType.DELIVERY, ("USA",), ("en",), 0.5),
+    Brand("UPS", ScamType.DELIVERY, ("USA", "GBR"), ("en",), 0.5),
+    Brand("Deutsche Post", ScamType.DELIVERY, ("DEU",), ("de",), 0.4),
+    Brand("Correios", ScamType.DELIVERY, ("BRA",), ("pt",), 0.3),
+    Brand("Japan Post", ScamType.DELIVERY, ("JPN",), ("ja",), 0.4),
+    Brand("SDA", ScamType.DELIVERY, ("ITA",), ("it",), 0.2),
+    Brand("bpost", ScamType.DELIVERY, ("BEL",), ("nl", "fr"), 0.3),
+    Brand("J&T Express", ScamType.DELIVERY, ("IDN",), ("id",), 0.3),
+    # Government
+    Brand("Internal Revenue Service", ScamType.GOVERNMENT, ("USA",), ("en", "es"), 1.2, ("IRS",), "IRS"),
+    Brand("HMRC", ScamType.GOVERNMENT, ("GBR",), ("en",), 0.8),
+    Brand("DVLA", ScamType.GOVERNMENT, ("GBR",), ("en",), 0.5),
+    Brand("GOV.UK", ScamType.GOVERNMENT, ("GBR",), ("en",), 0.4),
+    Brand("NHS", ScamType.GOVERNMENT, ("GBR",), ("en",), 0.4),
+    Brand("Agencia Tributaria", ScamType.GOVERNMENT, ("ESP",), ("es",), 0.5),
+    Brand("DGFiP", ScamType.GOVERNMENT, ("FRA",), ("fr",), 0.5, ("impots.gouv",)),
+    Brand("Ameli", ScamType.GOVERNMENT, ("FRA",), ("fr",), 0.4),
+    Brand("Belastingdienst", ScamType.GOVERNMENT, ("NLD",), ("nl",), 0.5),
+    Brand("CRA", ScamType.GOVERNMENT, ("CAN",), ("en", "fr"), 0.3),
+    Brand("ATO", ScamType.GOVERNMENT, ("AUS",), ("en",), 0.4, ("myGov",)),
+    Brand("Finanzamt", ScamType.GOVERNMENT, ("DEU",), ("de",), 0.3),
+    Brand("Agenzia Entrate", ScamType.GOVERNMENT, ("ITA",), ("it",), 0.3),
+    Brand("Income Tax Dept", ScamType.GOVERNMENT, ("IND",), ("en",), 0.4),
+    # Telecom
+    Brand("Vodafone", ScamType.TELECOM, ("GBR", "ESP", "IND", "DEU"), ("en", "es", "de"), 0.6),
+    Brand("O2", ScamType.TELECOM, ("GBR", "DEU"), ("en", "de"), 0.5),
+    Brand("EE", ScamType.TELECOM, ("GBR",), ("en",), 0.5),
+    Brand("Three UK", ScamType.TELECOM, ("GBR",), ("en",), 0.3),
+    Brand("Orange", ScamType.TELECOM, ("FRA", "ESP"), ("fr", "es"), 0.5),
+    Brand("SFR", ScamType.TELECOM, ("FRA",), ("fr",), 0.3),
+    Brand("AT&T", ScamType.TELECOM, ("USA",), ("en",), 0.4),
+    Brand("Verizon", ScamType.TELECOM, ("USA",), ("en",), 0.4),
+    Brand("T-Mobile", ScamType.TELECOM, ("USA", "NLD"), ("en", "nl"), 0.4),
+    Brand("KPN", ScamType.TELECOM, ("NLD",), ("nl",), 0.3),
+    Brand("Telstra", ScamType.TELECOM, ("AUS",), ("en",), 0.3),
+    Brand("Movistar", ScamType.TELECOM, ("ESP",), ("es",), 0.3),
+    Brand("Airtel", ScamType.TELECOM, ("IND",), ("en", "hi"), 0.5),
+    Brand("China Telecom", ScamType.TELECOM, ("CHN",), ("zh",), 0.2),
+    # Tech / others
+    Brand("Amazon", ScamType.OTHERS, ("USA", "GBR", "ESP", "JPN"), ("en", "es", "ja"), 1.4, ("AMZ", "Amaz0n"), "AMZ"),
+    Brand("Netflix", ScamType.OTHERS, ("USA", "GBR", "FRA", "ESP"), ("en", "fr", "es"), 1.1, ("N3tfl!x", "NETFLX"), "NFLX"),
+    Brand("Apple", ScamType.OTHERS, ("USA", "GBR"), ("en",), 0.6, ("iCloud",)),
+    Brand("Google", ScamType.OTHERS, ("USA",), ("en",), 0.4),
+    Brand("Facebook", ScamType.OTHERS, ("USA", "IDN"), ("en", "id"), 0.7, ("FB",)),
+    Brand("WhatsApp", ScamType.OTHERS, ("IND", "IDN", "ESP"), ("en", "id", "es"), 0.7),
+    Brand("Telegram", ScamType.OTHERS, ("IDN", "RUS"), ("en", "id", "ru"), 0.5),
+    Brand("PayPal", ScamType.OTHERS, ("USA", "GBR", "DEU"), ("en", "de"), 0.7),
+    Brand("eBay", ScamType.OTHERS, ("USA", "GBR"), ("en",), 0.3),
+    Brand("Coinbase", ScamType.OTHERS, ("USA",), ("en",), 0.4),
+    Brand("Binance", ScamType.OTHERS, ("USA", "GBR"), ("en",), 0.4),
+    Brand("Microsoft", ScamType.OTHERS, ("USA",), ("en",), 0.3),
+    Brand("Instagram", ScamType.OTHERS, ("USA", "IDN"), ("en", "id"), 0.3),
+    Brand("Spotify", ScamType.OTHERS, ("USA", "SWE"), ("en", "sv"), 0.2),
+    Brand("DANA", ScamType.OTHERS, ("IDN",), ("id",), 0.3),
+]
+
+
+class BrandRegistry:
+    """Brand catalogue with alias-aware lookup and abuse-weighted sampling."""
+
+    def __init__(self, catalogue: Optional[Sequence[Brand]] = None):
+        self._by_name: Dict[str, Brand] = {}
+        self._alias_index: Dict[str, str] = {}
+        self._by_category: Dict[ScamType, List[Brand]] = {}
+        for brand in catalogue if catalogue is not None else _CATALOGUE:
+            self.add(brand)
+
+    def add(self, brand: Brand) -> None:
+        self._by_name[brand.name] = brand
+        self._alias_index[brand.name.lower()] = brand.name
+        for alias in brand.aliases:
+            self._alias_index[alias.lower()] = brand.name
+        if brand.short:
+            self._alias_index[brand.short.lower()] = brand.name
+        self._by_category.setdefault(brand.category, []).append(brand)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def get(self, name: str) -> Brand:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NotFound(f"unknown brand: {name!r}", service="brands") from None
+
+    def resolve_alias(self, text: str) -> Optional[Brand]:
+        """Exact alias lookup (case-insensitive); leet handled in NLP."""
+        name = self._alias_index.get(text.lower().strip())
+        return self._by_name[name] if name else None
+
+    def in_category(self, category: ScamType) -> List[Brand]:
+        return list(self._by_category.get(category, []))
+
+    def sampler_for(self, category: ScamType) -> WeightedSampler:
+        brands = self.in_category(category)
+        if not brands:
+            raise NotFound(f"no brands in category {category}", service="brands")
+        return WeightedSampler({b.name: b.weight for b in brands})
+
+    def all_alias_forms(self) -> Dict[str, str]:
+        """alias (lowercase) -> canonical name; used by the NER lexicon."""
+        return dict(self._alias_index)
+
+
+_DEFAULT: Optional[BrandRegistry] = None
+
+
+def default_brands() -> BrandRegistry:
+    """Shared brand registry instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = BrandRegistry()
+    return _DEFAULT

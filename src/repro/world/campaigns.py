@@ -1,0 +1,444 @@
+"""Campaign modelling: who sends what, from where, and when.
+
+A :class:`Campaign` bundles one scam operation: a scam type, an
+impersonated brand (for impersonation scams), a language, a sending
+identity pool (mobile numbers on specific MNOs, alphanumeric shortcodes
+via aggregators, or iMessage email addresses), web infrastructure, and a
+sending schedule. :class:`CampaignFactory` draws campaigns from marginals
+calibrated to the paper's Tables 3, 4, 10, 14 and Figures 2-3, and
+:meth:`Campaign.generate_events` emits ground-truth
+:class:`~repro.sms.message.SmishingEvent` records.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sms.message import SmishingEvent, SmsMessage
+from ..sms.senderid import SenderId, classify_sender_id
+from ..types import LurePrinciple, ScamType, SenderIdKind, URL_BEARING_SCAM_TYPES
+from ..utils.rng import WeightedSampler, sample_zipf
+from .brands import Brand, BrandRegistry, default_brands, leetify
+from .geography import CountryRegistry, default_countries
+from .infrastructure import InfrastructureBuilder, SmishingLink
+from .mno import OperatorRegistry, default_operators
+from .numbering import NumberFactory
+from .templates import Template, TemplateLibrary, default_templates
+
+# ---------------------------------------------------------------------------
+# Calibrated marginals.
+# ---------------------------------------------------------------------------
+
+#: Scam-category mix (Table 10).
+SCAM_TYPE_WEIGHTS: Dict[ScamType, float] = {
+    ScamType.BANKING: 45.1,
+    ScamType.DELIVERY: 11.3,
+    ScamType.GOVERNMENT: 9.6,
+    ScamType.TELECOM: 6.6,
+    ScamType.WRONG_NUMBER: 0.9,
+    ScamType.HEY_MUM_DAD: 0.8,
+    ScamType.OTHERS: 20.6,
+    ScamType.SPAM: 5.0,
+}
+
+#: Sender-ID kind mix (§4.1).
+SENDER_KIND_WEIGHTS: Dict[SenderIdKind, float] = {
+    SenderIdKind.PHONE_NUMBER: 65.6,
+    SenderIdKind.ALPHANUMERIC: 30.7,
+    SenderIdKind.EMAIL: 3.7,
+}
+
+#: Language skew of the dataset (Table 11): heavy English head.
+LANGUAGE_WEIGHTS: Dict[str, float] = {
+    "en": 65.2, "es": 13.7, "nl": 5.7, "fr": 3.4, "de": 2.4, "it": 1.9,
+    "id": 1.0, "pt": 0.8, "ja": 0.8, "hi": 0.5, "pl": 0.4, "tr": 0.35,
+    "ro": 0.3, "cs": 0.28, "ru": 0.25, "el": 0.2, "sv": 0.2, "da": 0.15,
+    "no": 0.14, "fi": 0.13, "hu": 0.13, "tl": 0.3, "ms": 0.2, "th": 0.15,
+    "vi": 0.14, "ko": 0.13, "zh": 0.15, "ar": 0.2, "uk": 0.12, "bg": 0.1,
+    "hr": 0.08, "sk": 0.08, "sl": 0.06, "lt": 0.05, "lv": 0.05, "et": 0.04,
+    "sr": 0.06, "he": 0.07, "fa": 0.06, "ur": 0.08, "sw": 0.06, "ca": 0.1,
+    "ta": 0.07, "te": 0.06, "mr": 0.06, "gu": 0.05, "kn": 0.05, "ml": 0.05,
+    "bn": 0.08, "si": 0.05,
+}
+
+#: Sender-number origin countries per scam type (Table 14 + Fig. 3).
+ORIGIN_COUNTRY_BY_SCAM: Dict[ScamType, Dict[str, float]] = {
+    ScamType.BANKING: {"IND": 55, "USA": 12, "GBR": 6, "NLD": 7, "ESP": 6,
+                       "FRA": 4, "AUS": 3, "BEL": 2, "DEU": 2, "ITA": 2,
+                       "PRT": 1, "IRL": 1, "IDN": 1, "BRA": 1},
+    ScamType.DELIVERY: {"USA": 18, "GBR": 16, "NLD": 12, "ESP": 11,
+                        "FRA": 10, "DEU": 6, "AUS": 6, "BEL": 4, "ITA": 4,
+                        "CZE": 2, "JPN": 3, "IND": 3},
+    ScamType.GOVERNMENT: {"GBR": 22, "USA": 18, "FRA": 16, "ESP": 8,
+                          "NLD": 7, "AUS": 7, "DEU": 4, "BEL": 3, "IND": 4},
+    ScamType.TELECOM: {"GBR": 20, "FRA": 18, "NLD": 12, "USA": 10,
+                       "ESP": 9, "DEU": 6, "AUS": 5, "IND": 8, "BEL": 3},
+    ScamType.WRONG_NUMBER: {"USA": 40, "JPN": 15, "IDN": 12, "GBR": 8,
+                            "AUS": 6, "ESP": 5, "IND": 3},
+    ScamType.HEY_MUM_DAD: {"GBR": 30, "AUS": 20, "DEU": 12, "NLD": 10,
+                           "USA": 10, "ESP": 6, "IRL": 4, "NZL": 3},
+    ScamType.OTHERS: {"USA": 30, "IDN": 14, "IND": 12, "GBR": 8, "NLD": 6,
+                      "ESP": 5, "FRA": 5, "AUS": 4, "JPN": 3, "PHL": 3,
+                      "BEL": 2, "DEU": 2},
+    ScamType.SPAM: {"USA": 25, "IDN": 15, "IND": 12, "GBR": 10, "ESP": 8,
+                    "PHL": 8, "NGA": 4, "KEN": 3},
+}
+
+#: Median send hour per weekday, minutes since midnight (Fig. 2).
+_WEEKDAY_MEDIAN_MINUTES = {
+    0: 12 * 60 + 38, 1: 12 * 60 + 26, 2: 14 * 60 + 36, 3: 14 * 60 + 24,
+    4: 13 * 60 + 17, 5: 14 * 60 + 38, 6: 13 * 60 + 19,
+}
+
+#: Relative daily volume; weekdays dominate (§5.1).
+_WEEKDAY_VOLUME = {0: 1.0, 1: 1.05, 2: 1.0, 3: 0.95, 4: 0.9, 5: 0.55, 6: 0.5}
+
+_FIRST_NAMES = ("Anna", "Maria", "John", "Sam", "Alex", "Emma", "Lucas",
+                "Sofia", "David", "Laura", "Tom", "Nina")
+_CURRENCIES = {"IND": "₹", "USA": "$", "GBR": "£", "AUS": "$", "CAN": "$",
+               "NZL": "$", "JPN": "¥", "IDN": "Rp", "CHE": "CHF"}
+
+
+def _currency_for(language: str, country: str) -> str:
+    return _CURRENCIES.get(country, "€" if language in
+                           ("es", "nl", "fr", "de", "it", "pt", "el") else "$")
+
+
+@dataclass
+class SenderIdentity:
+    """One sending identity a campaign rotates through."""
+
+    sender: SenderId
+    delivery_path: str  # "mno" | "aggregator" | "imessage" | "sim_farm" | "blaster"
+    origin_country: Optional[str] = None
+    operator: Optional[str] = None
+
+
+@dataclass
+class Campaign:
+    """A single scam operation with its infrastructure and schedule."""
+
+    campaign_id: str
+    scam_type: ScamType
+    brand: Optional[Brand]
+    language: str
+    target_country: str
+    origin_country: str
+    identities: List[SenderIdentity]
+    links: List[SmishingLink]
+    templates: List[Template]
+    start: dt.date
+    end: dt.date
+    volume: int
+    serves_apk: bool = False
+    #: Fixed burst moment for flash campaigns (the 2021 SBI campaign sent
+    #: >850 texts at Tue 2021-08-03 11:34, §5.1).
+    burst_at: Optional[dt.datetime] = None
+
+    def _sample_moment(self, rng: random.Random) -> dt.datetime:
+        if self.burst_at is not None:
+            jitter = dt.timedelta(seconds=rng.randrange(0, 50))
+            return self.burst_at + jitter
+        span_days = max((self.end - self.start).days, 1)
+        for _ in range(32):
+            day = self.start + dt.timedelta(days=rng.randrange(span_days))
+            weekday = day.weekday()
+            if rng.random() < _WEEKDAY_VOLUME[weekday] / 1.05:
+                break
+        median = _WEEKDAY_MEDIAN_MINUTES[day.weekday()]
+        # Triangular-ish daytime distribution clipped to the day.
+        minutes = int(rng.triangular(9 * 60 - 60, 21 * 60 + 30, median))
+        minutes = max(0, min(24 * 60 - 1, minutes))
+        second = rng.randrange(60)
+        return dt.datetime.combine(day, dt.time(minutes // 60, minutes % 60, second))
+
+    def _fill_slots(self, rng: random.Random, template: Template,
+                    link: Optional[SmishingLink]) -> Dict[str, str]:
+        amount = f"{rng.randrange(20, 2500)}" if rng.random() < 0.7 else (
+            f"{rng.randrange(20, 900)}.{rng.randrange(10, 99)}"
+        )
+        brand_text = ""
+        if self.brand is not None:
+            roll = rng.random()
+            if roll < 0.12 and self.brand.aliases:
+                brand_text = rng.choice(self.brand.aliases)
+            elif roll < 0.2:
+                brand_text = leetify(self.brand.name, rng)
+            else:
+                brand_text = self.brand.name
+        return {
+            "brand": brand_text,
+            "url": str(link.url) if link else "",
+            "name": rng.choice(_FIRST_NAMES),
+            "amount": amount,
+            "currency": _currency_for(self.language, self.target_country),
+            "code": f"{rng.randrange(100000, 999999)}",
+            "tracking": f"{rng.choice('ABCDEFGH')}{rng.choice('JKLMNP')}"
+                        f"{rng.randrange(10**8, 10**9)}",
+            "phone": "",
+        }
+
+    def generate_events(
+        self, rng: random.Random, count: Optional[int] = None
+    ) -> List[SmishingEvent]:
+        """Emit ``count`` (default: campaign volume) ground-truth events."""
+        total = self.volume if count is None else count
+        events: List[SmishingEvent] = []
+        for index in range(total):
+            identity = self.identities[sample_zipf(rng, len(self.identities), 0.8)]
+            template = rng.choice(self.templates)
+            link: Optional[SmishingLink] = None
+            if template.needs_url and self.links:
+                link = self.links[sample_zipf(rng, len(self.links), 0.9)]
+            slots = self._fill_slots(rng, template, link)
+            text = template.render(slots)
+            translated = None
+            if self.language != "en" and template.english_gloss:
+                translated = template.english_gloss.format(**slots)
+            moment = self._sample_moment(rng)
+            message = SmsMessage(
+                text=text,
+                sender=identity.sender,
+                received_at=moment,
+                recipient_country=self.target_country,
+                url=link.url if link else None,
+            )
+            events.append(
+                SmishingEvent(
+                    event_id=f"{self.campaign_id}-{index:06d}",
+                    message=message,
+                    campaign_id=self.campaign_id,
+                    scam_type=self.scam_type,
+                    language=self.language,
+                    brand=self.brand.name if self.brand else None,
+                    lures=template.lures,
+                    translated_text=translated,
+                    delivery_path=identity.delivery_path,
+                    apk_payload=self.serves_apk and link is not None,
+                )
+            )
+        return events
+
+
+_ALNUM_STEMS = ("INFO", "ALERT", "NOTICE", "SECURE", "VERIFY", "MSG", "TEAM",
+                "CARE", "BANK", "POST", "GOV", "PAY")
+_EMAIL_DOMAINS = ("icloud.com", "gmail.com", "outlook.com", "mail.com",
+                  "yandex.com", "proton.me")
+
+
+class CampaignFactory:
+    """Draws calibrated campaigns and their sending identities."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        infrastructure: InfrastructureBuilder,
+        number_factory: NumberFactory,
+        brands: Optional[BrandRegistry] = None,
+        operators: Optional[OperatorRegistry] = None,
+        countries: Optional[CountryRegistry] = None,
+        templates: Optional[TemplateLibrary] = None,
+        timeline: Tuple[dt.date, dt.date] = (dt.date(2017, 1, 1),
+                                             dt.date(2023, 9, 30)),
+    ):
+        self._rng = rng
+        self._infra = infrastructure
+        self._numbers = number_factory
+        self._brands = brands or default_brands()
+        self._operators = operators or default_operators()
+        self._countries = countries or default_countries()
+        self._templates = templates or default_templates()
+        self._timeline = timeline
+        self._scam_sampler = WeightedSampler(SCAM_TYPE_WEIGHTS)
+        self._kind_sampler = WeightedSampler(SENDER_KIND_WEIGHTS)
+        self._language_sampler = WeightedSampler(LANGUAGE_WEIGHTS)
+        self._origin_samplers = {
+            scam: WeightedSampler(weights)
+            for scam, weights in ORIGIN_COUNTRY_BY_SCAM.items()
+        }
+        self._counter = 0
+
+    # -- identities ------------------------------------------------------------
+
+    def _phone_identity(self, origin_iso3: str) -> SenderIdentity:
+        country = self._countries.get(origin_iso3)
+        try:
+            operator = self._operators.pick_for_country(origin_iso3, self._rng)
+        except Exception:
+            operator = self._operators.get("Vodafone")
+        issued = self._numbers.sender_number(country, operator)
+        path = "mno"
+        roll = self._rng.random()
+        if roll < 0.06:
+            path = "sim_farm"
+        elif roll < 0.08:
+            path = "blaster"
+        return SenderIdentity(
+            sender=classify_sender_id(issued.e164),
+            delivery_path=path,
+            origin_country=origin_iso3,
+            operator=issued.original_operator,
+        )
+
+    def _alnum_identity(self, brand: Optional[Brand]) -> SenderIdentity:
+        if brand is not None and self._rng.random() < 0.6:
+            stem = "".join(ch for ch in brand.name.upper() if ch.isalnum())[:8]
+        else:
+            stem = self._rng.choice(_ALNUM_STEMS)
+        suffix = self._rng.choice(("", "", str(self._rng.randrange(10, 99))))
+        raw = (stem + suffix)[:11] or "INFO"
+        return SenderIdentity(
+            sender=classify_sender_id(raw), delivery_path="aggregator"
+        )
+
+    def _email_identity(self) -> SenderIdentity:
+        local = "".join(
+            self._rng.choice("abcdefghijklmnopqrstuvwxyz0123456789")
+            for _ in range(self._rng.randrange(8, 14))
+        )
+        raw = f"{local}@{self._rng.choice(_EMAIL_DOMAINS)}"
+        return SenderIdentity(sender=classify_sender_id(raw),
+                              delivery_path="imessage")
+
+    def _build_identities(
+        self, scam_type: ScamType, origin_iso3: str, brand: Optional[Brand],
+        pool_size: int
+    ) -> List[SenderIdentity]:
+        identities: List[SenderIdentity] = []
+        for _ in range(pool_size):
+            kind = self._kind_sampler.sample(self._rng)
+            if scam_type.is_conversational:
+                kind = SenderIdKind.PHONE_NUMBER  # conversations need a line
+            if kind is SenderIdKind.PHONE_NUMBER:
+                identities.append(self._phone_identity(origin_iso3))
+            elif kind is SenderIdKind.ALPHANUMERIC:
+                identities.append(self._alnum_identity(brand))
+            else:
+                identities.append(self._email_identity())
+        return identities
+
+    # -- campaign assembly -------------------------------------------------------
+
+    def _pick_language(self, scam_type: ScamType, brand: Optional[Brand]) -> str:
+        # Brands anchor language choice; global orgs skew English (§5.3).
+        if brand is not None and self._rng.random() < 0.65:
+            return self._rng.choice(brand.languages)
+        return self._language_sampler.sample(self._rng)
+
+    def _pick_target_country(
+        self, brand: Optional[Brand], language: str, origin: str
+    ) -> str:
+        if brand is not None and brand.countries:
+            return self._rng.choice(brand.countries)
+        for country in self._countries:
+            if language in country.languages and self._rng.random() < 0.5:
+                return country.iso3
+        return origin
+
+    def create_campaign(
+        self,
+        *,
+        scam_type: Optional[ScamType] = None,
+        volume: Optional[int] = None,
+    ) -> Campaign:
+        """Draw one campaign from the calibrated marginals."""
+        self._counter += 1
+        campaign_id = f"c{self._counter:05d}"
+        scam = scam_type or self._scam_sampler.sample(self._rng)
+        brand: Optional[Brand] = None
+        if not scam.is_conversational:
+            try:
+                brand_name = self._brands.sampler_for(scam).sample(self._rng)
+                brand = self._brands.get(brand_name)
+            except Exception:
+                brand = None
+        language = self._pick_language(scam, brand)
+        origin_sampler = self._origin_samplers[scam]
+        origin = origin_sampler.sample(self._rng)
+        target = self._pick_target_country(brand, language, origin)
+        start_floor, end_cap = self._timeline
+        # Smishing volume grows over the collection years (Table 15):
+        # later years are proportionally more likely campaign starts.
+        years = list(range(start_floor.year, end_cap.year + 1))
+        year_weights = {year: 1.0 + 0.45 * (year - years[0]) for year in years}
+        year = WeightedSampler(year_weights).sample(self._rng)
+        year_start = max(dt.date(year, 1, 1), start_floor)
+        year_end = min(dt.date(year, 12, 31), end_cap - dt.timedelta(days=1))
+        span = max((year_end - year_start).days, 1)
+        start = year_start + dt.timedelta(days=self._rng.randrange(span))
+        duration = self._rng.randrange(3, 45)
+        end = min(start + dt.timedelta(days=duration), end_cap)
+        if volume is None:
+            volume = max(3, int(self._rng.expovariate(1 / 28.0)))
+        identity_pool = max(1, min(12, volume // 4 + 1))
+        identities = self._build_identities(scam, origin, brand, identity_pool)
+        apk_fraction = getattr(self._infra, "_apk_fraction", 0.02)
+        serves_apk = (
+            scam in URL_BEARING_SCAM_TYPES
+            and self._rng.random() < apk_fraction
+        )
+        links: List[SmishingLink] = []
+        if scam in URL_BEARING_SCAM_TYPES:
+            domain_count = max(1, min(6, volume // 12 + 1))
+            for _ in range(domain_count):
+                asset = self._infra.register_domain(
+                    campaign_id, scam, brand.name if brand else None, start,
+                    serves_apk=serves_apk,
+                )
+                links.append(self._infra.build_link(asset, scam))
+        elif scam is ScamType.HEY_MUM_DAD and self._rng.random() < 0.5:
+            # Conversation scams sometimes seed a wa.me link (§4.2).
+            digits = identities[0].sender.digits or "447700900000"
+            wa_url = self._infra.build_whatsapp_link(digits)
+            links = []
+            _ = wa_url  # wa.me links are attached via template-free path below
+        templates = self._templates.templates(scam, language)
+        return Campaign(
+            campaign_id=campaign_id,
+            scam_type=scam,
+            brand=brand,
+            language=language,
+            target_country=target,
+            origin_country=origin,
+            identities=identities,
+            links=links,
+            templates=templates,
+            start=start,
+            end=end if end > start else start + dt.timedelta(days=1),
+            volume=volume,
+            serves_apk=serves_apk,
+        )
+
+    def create_sbi_burst_campaign(self, volume: int = 860) -> Campaign:
+        """The August 2021 SBI flash campaign the paper excludes from Fig. 2."""
+        self._counter += 1
+        campaign_id = f"c{self._counter:05d}-sbi2021"
+        brand = self._brands.get("State Bank of India")
+        identities = self._build_identities(
+            ScamType.BANKING, "IND", brand, pool_size=10
+        )
+        start = dt.date(2021, 8, 3)
+        asset = self._infra.register_domain(
+            campaign_id, ScamType.BANKING, brand.name, start
+        )
+        links = [self._infra.build_link(asset, ScamType.BANKING)
+                 for _ in range(3)]
+        return Campaign(
+            campaign_id=campaign_id,
+            scam_type=ScamType.BANKING,
+            brand=brand,
+            language="en",
+            target_country="IND",
+            origin_country="IND",
+            identities=identities,
+            links=links,
+            templates=self._templates.templates(ScamType.BANKING, "en"),
+            start=start,
+            end=start + dt.timedelta(days=1),
+            volume=volume,
+            burst_at=dt.datetime(2021, 8, 3, 11, 34, 0),
+        )

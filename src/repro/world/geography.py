@@ -1,0 +1,164 @@
+"""Country registry: dial codes, numbering shapes, and primary languages.
+
+This is the geographic substrate for the synthetic smishing world. The
+catalogue covers every country named in the paper's tables (Tables 4, 8,
+14 and the Vodafone footprint list) plus enough others to give the long
+tail of languages and origin countries the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NotFound
+
+
+@dataclass(frozen=True)
+class Country:
+    """One country and the numbering facts the simulation needs.
+
+    ``mobile_prefixes`` / ``landline_prefixes`` are the leading digits of
+    national (significant) numbers; ``national_length`` is the digit count
+    of the full national number (prefix included). These are simplified
+    but shaped like the real plans.
+    """
+
+    iso3: str
+    iso2: str
+    name: str
+    dial_code: str
+    languages: Tuple[str, ...]
+    mobile_prefixes: Tuple[str, ...]
+    landline_prefixes: Tuple[str, ...]
+    national_length: int
+
+    @property
+    def primary_language(self) -> str:
+        return self.languages[0]
+
+
+_CATALOGUE: List[Country] = [
+    Country("IND", "IN", "India", "91", ("en", "hi"), ("9", "8", "7", "6"), ("11", "22", "33", "44"), 10),
+    Country("USA", "US", "United States of America", "1", ("en", "es"), ("2", "3", "4", "5", "6", "7", "8", "9"), ("2", "3"), 10),
+    Country("GBR", "GB", "United Kingdom", "44", ("en",), ("74", "75", "77", "78", "79"), ("20", "121", "161"), 10),
+    Country("NLD", "NL", "Netherlands", "31", ("nl", "en"), ("6",), ("20", "10", "70"), 9),
+    Country("ESP", "ES", "Spain", "34", ("es",), ("6", "7"), ("91", "93"), 9),
+    Country("AUS", "AU", "Australia", "61", ("en",), ("4",), ("2", "3", "7", "8"), 9),
+    Country("FRA", "FR", "France", "33", ("fr",), ("6", "7"), ("1", "2", "3", "4", "5"), 9),
+    Country("BEL", "BE", "Belgium", "32", ("nl", "fr"), ("4",), ("2", "3", "9"), 9),
+    Country("IDN", "ID", "Indonesia", "62", ("id",), ("81", "82", "85"), ("21", "22"), 10),
+    Country("DEU", "DE", "Germany", "49", ("de",), ("15", "16", "17"), ("30", "40", "89"), 10),
+    Country("ITA", "IT", "Italy", "39", ("it",), ("3",), ("02", "06"), 10),
+    Country("PRT", "PT", "Portugal", "351", ("pt",), ("9",), ("21", "22"), 9),
+    Country("IRL", "IE", "Ireland", "353", ("en",), ("8",), ("1", "21"), 9),
+    Country("CZE", "CZ", "Czechia", "420", ("cs",), ("6", "7"), ("2",), 9),
+    Country("HUN", "HU", "Hungary", "36", ("hu",), ("20", "30", "70"), ("1",), 9),
+    Country("ROU", "RO", "Romania", "40", ("ro",), ("7",), ("2", "3"), 9),
+    Country("TUR", "TR", "Turkey", "90", ("tr",), ("5",), ("2", "3"), 10),
+    Country("UKR", "UA", "Ukraine", "380", ("uk",), ("5", "6", "9"), ("44",), 9),
+    Country("ZAF", "ZA", "South Africa", "27", ("en",), ("6", "7", "8"), ("1", "2"), 9),
+    Country("GHA", "GH", "Ghana", "233", ("en",), ("2", "5"), ("3",), 9),
+    Country("NZL", "NZ", "New Zealand", "64", ("en",), ("2",), ("3", "4", "9"), 9),
+    Country("QAT", "QA", "Qatar", "974", ("ar", "en"), ("3", "5", "6", "7"), ("4",), 8),
+    Country("COD", "CD", "DR Congo", "243", ("fr",), ("8", "9"), ("1",), 9),
+    Country("KEN", "KE", "Kenya", "254", ("en", "sw"), ("7", "1"), ("2",), 9),
+    Country("LKA", "LK", "Sri Lanka", "94", ("si", "en"), ("7",), ("11",), 9),
+    Country("MWI", "MW", "Malawi", "265", ("en",), ("8", "9"), ("1",), 9),
+    Country("NGA", "NG", "Nigeria", "234", ("en",), ("70", "80", "81", "90"), ("1",), 10),
+    Country("JPN", "JP", "Japan", "81", ("ja",), ("70", "80", "90"), ("3", "6"), 10),
+    Country("BRA", "BR", "Brazil", "55", ("pt",), ("9",), ("11", "21"), 11),
+    Country("MEX", "MX", "Mexico", "52", ("es",), ("1", "55"), ("55", "33"), 10),
+    Country("ARG", "AR", "Argentina", "54", ("es",), ("9",), ("11",), 10),
+    Country("CHL", "CL", "Chile", "56", ("es",), ("9",), ("2",), 9),
+    Country("COL", "CO", "Colombia", "57", ("es",), ("3",), ("1",), 10),
+    Country("PHL", "PH", "Philippines", "63", ("tl", "en"), ("9",), ("2",), 10),
+    Country("MYS", "MY", "Malaysia", "60", ("ms", "en"), ("1",), ("3",), 9),
+    Country("SGP", "SG", "Singapore", "65", ("en", "zh"), ("8", "9"), ("6",), 8),
+    Country("THA", "TH", "Thailand", "66", ("th",), ("6", "8", "9"), ("2",), 9),
+    Country("VNM", "VN", "Vietnam", "84", ("vi",), ("3", "7", "9"), ("24", "28"), 9),
+    Country("KOR", "KR", "South Korea", "82", ("ko",), ("10",), ("2",), 10),
+    Country("CHN", "CN", "China", "86", ("zh",), ("13", "15", "18"), ("10", "21"), 11),
+    Country("HKG", "HK", "Hong Kong", "852", ("zh", "en"), ("5", "6", "9"), ("2", "3"), 8),
+    Country("PAK", "PK", "Pakistan", "92", ("ur", "en"), ("3",), ("21", "42"), 10),
+    Country("BGD", "BD", "Bangladesh", "880", ("bn",), ("1",), ("2",), 10),
+    Country("RUS", "RU", "Russia", "7", ("ru",), ("9",), ("495",), 10),
+    Country("POL", "PL", "Poland", "48", ("pl",), ("5", "6", "7", "8"), ("22",), 9),
+    Country("SWE", "SE", "Sweden", "46", ("sv",), ("7",), ("8",), 9),
+    Country("NOR", "NO", "Norway", "47", ("no",), ("4", "9"), ("2",), 8),
+    Country("DNK", "DK", "Denmark", "45", ("da",), ("2", "3", "4", "5"), ("3",), 8),
+    Country("FIN", "FI", "Finland", "358", ("fi",), ("4", "5"), ("9",), 9),
+    Country("GRC", "GR", "Greece", "30", ("el",), ("69",), ("21",), 10),
+    Country("AUT", "AT", "Austria", "43", ("de",), ("6",), ("1",), 10),
+    Country("CHE", "CH", "Switzerland", "41", ("de", "fr", "it"), ("7",), ("44", "22"), 9),
+    Country("ARE", "AE", "United Arab Emirates", "971", ("ar", "en"), ("5",), ("4",), 9),
+    Country("SAU", "SA", "Saudi Arabia", "966", ("ar",), ("5",), ("11",), 9),
+    Country("EGY", "EG", "Egypt", "20", ("ar",), ("10", "11", "12"), ("2",), 10),
+    Country("MAR", "MA", "Morocco", "212", ("ar", "fr"), ("6", "7"), ("5",), 9),
+    Country("ISR", "IL", "Israel", "972", ("he", "en"), ("5",), ("2", "3"), 9),
+    Country("GLP", "GP", "Guadeloupe", "590", ("fr",), ("690",), ("590",), 9),
+    Country("CAN", "CA", "Canada", "1", ("en", "fr"), ("2", "3", "4", "5", "6", "7", "8", "9"), ("4", "5"), 10),
+]
+
+
+class CountryRegistry:
+    """Lookup by ISO3/ISO2 code plus dial-code prefix matching."""
+
+    def __init__(self, catalogue: Optional[List[Country]] = None):
+        self._by_iso3: Dict[str, Country] = {}
+        self._by_iso2: Dict[str, Country] = {}
+        self._dial_index: List[Tuple[str, Country]] = []
+        for country in catalogue if catalogue is not None else _CATALOGUE:
+            self.add(country)
+
+    def add(self, country: Country) -> None:
+        self._by_iso3[country.iso3] = country
+        self._by_iso2[country.iso2] = country
+        self._dial_index.append((country.dial_code, country))
+        # Longest dial codes first so +971 wins over +9.
+        self._dial_index.sort(key=lambda item: -len(item[0]))
+
+    def __len__(self) -> int:
+        return len(self._by_iso3)
+
+    def __iter__(self):
+        return iter(self._by_iso3.values())
+
+    def __contains__(self, code: str) -> bool:
+        return code.upper() in self._by_iso3 or code.upper() in self._by_iso2
+
+    def get(self, code: str) -> Country:
+        """Lookup by ISO3 (preferred) or ISO2 code."""
+        key = code.upper()
+        if key in self._by_iso3:
+            return self._by_iso3[key]
+        if key in self._by_iso2:
+            return self._by_iso2[key]
+        raise NotFound(f"unknown country code: {code!r}", service="geography")
+
+    def by_dial_code(self, digits: str) -> Country:
+        """Resolve an international number's leading digits to a country.
+
+        NANP numbers (dial code 1) resolve to the USA — the registry lists
+        the USA before Canada; this matches HLR behaviour of reporting the
+        plan country.
+        """
+        text = digits.lstrip("+")
+        for dial, country in self._dial_index:
+            if text.startswith(dial):
+                return country
+        raise NotFound(f"no dial plan matches: {digits!r}", service="geography")
+
+    def all_iso3(self) -> List[str]:
+        return sorted(self._by_iso3)
+
+
+_DEFAULT: Optional[CountryRegistry] = None
+
+
+def default_countries() -> CountryRegistry:
+    """Shared country registry instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = CountryRegistry()
+    return _DEFAULT

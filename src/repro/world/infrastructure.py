@@ -1,0 +1,432 @@
+"""Web infrastructure the synthetic scammers stand up.
+
+For each campaign the builder registers domains (choosing TLD and
+registrar), places hosting (cloud AS, optionally fronted by Cloudflare, or
+a bulletproof provider), issues TLS certificates (CA mix and renewal
+cadence calibrated to Table 7), optionally deploys on free website-builder
+suffixes (web.app, ngrok.io — §4.3), wires URL-shortener redirects
+(Table 5), and marks some hosts as Android APK droppers (§6).
+
+The resulting :class:`DomainAsset` records are the ground truth that the
+WHOIS, crt.sh, passive-DNS and web-host service simulators answer from.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.asn import AsRegistry, HostingChoice
+from ..net.ipaddr import IPv4
+from ..net.tld import TldRegistry, default_registry
+from ..net.url import Url
+from ..types import ScamType
+from ..utils.rng import WeightedSampler
+
+# ---------------------------------------------------------------------------
+# Calibrated catalogues (Tables 5, 6, 7, 17).
+# ---------------------------------------------------------------------------
+
+#: Registrar popularity among smishing domains (Table 17) plus a tail.
+REGISTRAR_WEIGHTS: Dict[str, float] = {
+    "GoDaddy": 464, "NameCheap": 153, "Gname": 98, "Dynadot": 79,
+    "Tucows": 74, "PublicDomainRegistry": 71, "NameSilo": 64,
+    "Key-Systems": 60, "MarkMonitor": 53, "Gandi": 52, "Hostinger": 40,
+    "OVH": 35, "IONOS": 30, "Porkbun": 28, "Regery": 20, "Alibaba Cloud": 18,
+    "WebNic": 15, "Openprovider": 12, "Sav.com": 10, "Epik": 8,
+}
+
+#: Per-scam-type registrar bias: Gname dominates government scams (§4.4).
+REGISTRAR_SCAM_BIAS: Dict[ScamType, Dict[str, float]] = {
+    ScamType.GOVERNMENT: {"Gname": 6.0},
+    ScamType.BANKING: {"GoDaddy": 1.5},
+    ScamType.DELIVERY: {"GoDaddy": 1.4},
+    ScamType.TELECOM: {"GoDaddy": 1.3},
+}
+
+#: TLD popularity for scammer-registered smishing domains (Table 6, left).
+TLD_WEIGHTS: Dict[str, float] = {
+    "com": 4951, "info": 574, "in": 404, "me": 291, "net": 286, "co": 234,
+    "top": 225, "us": 202, "online": 201, "xyz": 159, "org": 120,
+    "site": 95, "club": 80, "shop": 76, "live": 70, "vip": 64, "icu": 58,
+    "work": 52, "link": 48, "click": 45, "buzz": 40, "fun": 36, "cn": 34,
+    "space": 33, "store": 31, "tech": 29, "website": 27, "world": 25,
+    "today": 23, "cloud": 21, "uk": 38, "de": 30, "fr": 26, "es": 24,
+    "nl": 22, "it": 19, "ru": 17, "br": 15, "jp": 14, "id": 13, "pt": 11,
+    "au": 10, "mx": 9, "pl": 8, "tr": 7, "za": 6, "be": 6, "ch": 5,
+    "at": 5, "ie": 5, "cz": 4, "ro": 4, "ua": 4, "ke": 3, "ng": 3,
+    "lk": 2, "gh": 2, "biz": 12, "name": 6, "pro": 9, "mobi": 7,
+    "sbs": 10, "cfd": 9, "bond": 8, "beauty": 4, "quest": 4, "monster": 4,
+    "loan": 5, "men": 4, "win": 5, "bid": 4, "date": 3, "download": 3,
+    "racing": 2, "review": 3, "stream": 3, "trade": 3, "party": 2,
+    "science": 2, "faith": 2, "cricket": 1, "gdn": 1, "tokyo": 2,
+    "asia": 3, "best": 3, "cash": 3, "chat": 2, "city": 2, "codes": 1,
+    "credit": 2, "deals": 2, "direct": 1, "events": 1, "exchange": 2,
+    "finance": 3, "money": 3, "group": 2, "guru": 1, "help": 2, "life": 3,
+    "ltd": 2, "media": 2, "one": 3, "plus": 2, "run": 1, "sale": 2,
+    "social": 1, "team": 1, "tips": 1, "tools": 1, "zone": 2, "gov": 0,
+}
+
+#: Free website-builder suffixes and their observed counts (§4.3).
+FREE_HOSTING_WEIGHTS: Dict[str, float] = {
+    "web.app": 303, "ngrok.io": 186, "firebaseapp.com": 60,
+    "herokuapp.com": 50, "vercel.app": 40, "netlify.app": 34,
+}
+
+#: Fraction of campaign domains deployed on free hosting.
+FREE_HOSTING_FRACTION = 0.08
+
+#: Certificate authorities (Table 7): weight = share of *domains*.
+CA_DOMAIN_WEIGHTS: Dict[str, float] = {
+    "Let's Encrypt": 4773, "Sectigo": 1372, "Google Trust Services": 957,
+    "cPanel": 915, "DigiCert": 736, "Cloudflare": 683, "Amazon": 273,
+    "Comodo": 250, "Globalsign": 144, "Entrust": 73, "Buypass": 40,
+    "ZeroSSL": 60,
+}
+
+#: Mean certificates issued per domain per CA. Let's Encrypt's 90-day
+#: renewals inflate its per-domain count (Table 7: 141,878 certs over
+#: 4,773 domains ≈ 30/domain), while Sectigo sells long-validity certs
+#: (6,477 over 1,372 ≈ 4.7).
+CA_CERT_RATE: Dict[str, float] = {
+    "Let's Encrypt": 29.7, "DigiCert": 26.3, "cPanel": 19.3,
+    "Google Trust Services": 17.5, "Globalsign": 106.5, "Comodo": 56.5,
+    "Amazon": 28.4, "Entrust": 90.4, "Sectigo": 4.7, "Cloudflare": 6.0,
+    "Buypass": 5.0, "ZeroSSL": 8.0,
+}
+
+CA_VALIDITY_DAYS: Dict[str, int] = {
+    "Let's Encrypt": 90, "cPanel": 90, "ZeroSSL": 90,
+    "Google Trust Services": 90, "Cloudflare": 365, "Amazon": 395,
+    "DigiCert": 397, "Globalsign": 397, "Comodo": 365, "Entrust": 365,
+    "Sectigo": 365, "Buypass": 180,
+}
+
+#: Hosting AS mix for origin placement (Table 8 shapes the IP counts).
+ORIGIN_AS_WEIGHTS: Dict[int, float] = {
+    16509: 120, 14618: 68, 63949: 147, 15169: 40, 396982: 19, 35916: 49,
+    47846: 31, 45102: 10, 37963: 6, 132203: 15, 53667: 11, 17444: 11,
+    20473: 11, 198953: 8, 44477: 7, 16276: 9, 24940: 8, 14061: 9,
+    26496: 10, 8075: 6, 55293: 4, 22612: 5, 19871: 3,
+}
+
+#: Fraction of (resolving) domains fronted by Cloudflare (§4.6: 18.8%).
+CLOUDFLARE_FRACTION = 0.188
+CLOUDFLARE_ASN = 13335
+
+#: URL shortener services and per-scam-type weights (Table 5).
+SHORTENER_BASE_WEIGHTS: Dict[str, float] = {
+    "bit.ly": 1830, "is.gd": 1023, "cutt.ly": 516, "tinyurl.com": 443,
+    "bit.do": 404, "shrtco.de": 271, "rb.gy": 230, "t.ly": 172,
+    "bitly.ws": 161, "t.co": 157, "ow.ly": 60, "buff.ly": 40,
+    "rebrand.ly": 35, "shorturl.at": 55, "tiny.cc": 30, "v.gd": 25,
+    "qr.ae": 10, "s.id": 28, "lnkd.in": 8, "soo.gd": 12, "clck.ru": 15,
+    "goo.su": 10, "u.to": 9, "x.gd": 7, "me2.do": 6, "han.gl": 5,
+    "zpr.io": 5,
+}
+
+#: Scam-type multipliers shaping Table 5's per-column ranking.
+SHORTENER_SCAM_BIAS: Dict[ScamType, Dict[str, float]] = {
+    ScamType.BANKING: {"bit.ly": 1.3, "is.gd": 1.5, "shrtco.de": 3.0,
+                       "bitly.ws": 1.8},
+    ScamType.DELIVERY: {"cutt.ly": 2.4, "t.co": 2.2, "bit.do": 1.4},
+    ScamType.GOVERNMENT: {"cutt.ly": 2.0, "t.ly": 2.2, "bit.ly": 1.3},
+    ScamType.TELECOM: {"bit.do": 2.0, "bit.ly": 1.4},
+    ScamType.WRONG_NUMBER: {"t.co": 3.0},
+}
+
+#: Share of smishing URLs that go out behind a shortener (§4.2).
+SHORTENED_FRACTION = 0.30
+
+_WORDS = (
+    "secure", "verify", "account", "update", "service", "support", "portal",
+    "login", "online", "alert", "safety", "check", "billing", "customer",
+    "care", "info", "notice", "access", "auth", "confirm", "wallet", "pay",
+    "track", "parcel", "post", "refund", "tax", "gov", "mobile", "net",
+    "user", "page", "id", "help", "team", "bank",
+)
+
+
+@dataclass(frozen=True)
+class TlsCertificate:
+    """One certificate as crt.sh would log it."""
+
+    serial: str
+    issuer: str
+    issued_at: dt.date
+    expires_at: dt.date
+    common_name: str
+
+
+@dataclass
+class DomainAsset:
+    """One scammer-controlled hostname with all its ground truth."""
+
+    fqdn: str
+    registered_domain: str
+    tld: str
+    campaign_id: str
+    scam_type: ScamType
+    created_at: dt.date
+    registrar: Optional[str]
+    is_free_hosting: bool
+    hosting: HostingChoice
+    certificates: List[TlsCertificate] = field(default_factory=list)
+    serves_apk: bool = False
+    #: Whether Spamhaus' passive DNS sensors observed resolutions (§4.6
+    #: finds only a subset of domains in pDNS).
+    pdns_observed: bool = False
+
+    @property
+    def landing_url(self) -> Url:
+        return Url(scheme="https" if self.certificates else "http",
+                   host=self.fqdn, path="/")
+
+
+@dataclass(frozen=True)
+class SmishingLink:
+    """The URL placed in a message: either direct or shortened."""
+
+    destination: DomainAsset
+    url: Url
+    shortener: Optional[str] = None
+    short_token: Optional[str] = None
+
+    @property
+    def is_shortened(self) -> bool:
+        return self.shortener is not None
+
+
+class InfrastructureBuilder:
+    """Registers domains and builds links for campaigns."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        as_registry: AsRegistry,
+        tld_registry: Optional[TldRegistry] = None,
+        apk_fraction: float = 0.02,
+    ):
+        self._rng = rng
+        self._as_registry = as_registry
+        self._tlds = tld_registry or default_registry()
+        self._apk_fraction = apk_fraction
+        self._registrar_samplers: Dict[Optional[ScamType], WeightedSampler] = {}
+        self._tld_sampler = WeightedSampler(
+            {tld: w for tld, w in TLD_WEIGHTS.items() if w > 0 and tld in self._tlds}
+        )
+        self._free_sampler = WeightedSampler(FREE_HOSTING_WEIGHTS)
+        self._ca_sampler = WeightedSampler(CA_DOMAIN_WEIGHTS)
+        self._origin_sampler = WeightedSampler(ORIGIN_AS_WEIGHTS)
+        self._shortener_samplers: Dict[ScamType, WeightedSampler] = {}
+        self._issued_names: set = set()
+        self._short_tokens: set = set()
+        self.assets: List[DomainAsset] = []
+
+    # -- name construction --------------------------------------------------
+
+    def _brand_slug(self, brand: Optional[str]) -> str:
+        if not brand:
+            return self._rng.choice(_WORDS)
+        slug = "".join(ch for ch in brand.lower() if ch.isalnum())
+        return slug[:12] or self._rng.choice(_WORDS)
+
+    def _random_label(self, brand: Optional[str]) -> str:
+        style = self._rng.random()
+        slug = self._brand_slug(brand)
+        word = self._rng.choice(_WORDS)
+        if style < 0.45:
+            label = f"{slug}-{word}"
+        elif style < 0.7:
+            label = f"{word}-{slug}{self._rng.randrange(10, 99)}"
+        elif style < 0.85:
+            label = f"{slug}{word}"
+        else:
+            label = "".join(
+                self._rng.choice(string.ascii_lowercase) for _ in range(8)
+            )
+        return label
+
+    def _unique_name(self, build) -> str:
+        for _ in range(64):
+            name = build()
+            if name not in self._issued_names:
+                self._issued_names.add(name)
+                return name
+        raise RuntimeError("could not find a unique domain name")
+
+    # -- component choices ---------------------------------------------------
+
+    def _registrar_for(self, scam_type: ScamType) -> str:
+        sampler = self._registrar_samplers.get(scam_type)
+        if sampler is None:
+            weights = dict(REGISTRAR_WEIGHTS)
+            for name, factor in REGISTRAR_SCAM_BIAS.get(scam_type, {}).items():
+                weights[name] = weights.get(name, 1.0) * factor
+            sampler = WeightedSampler(weights)
+            self._registrar_samplers[scam_type] = sampler
+        return sampler.sample(self._rng)
+
+    def _hosting_choice(self) -> HostingChoice:
+        origin_asn = self._origin_sampler.sample(self._rng)
+        proxy = None
+        if self._rng.random() < CLOUDFLARE_FRACTION:
+            proxy = CLOUDFLARE_ASN
+        visible_asn = proxy if proxy is not None else origin_asn
+        address_count = 1 + (1 if self._rng.random() < 0.35 else 0) + (
+            1 if self._rng.random() < 0.12 else 0
+        )
+        addresses: List[IPv4] = [
+            self._as_registry.allocate_address(visible_asn, self._rng)
+            for _ in range(address_count)
+        ]
+        return HostingChoice(origin_asn=origin_asn, proxy_asn=proxy,
+                             addresses=addresses)
+
+    def _issue_certificates(
+        self, fqdn: str, created_at: dt.date, horizon: dt.date
+    ) -> List[TlsCertificate]:
+        if self._rng.random() < 0.12:
+            return []  # plain-HTTP host
+        ca = self._ca_sampler.sample(self._rng)
+        validity = CA_VALIDITY_DAYS[ca]
+        rate = CA_CERT_RATE[ca]
+        # Heavy-tailed renewal count around the CA's mean.
+        mean_certs = max(1.0, rate * self._rng.uniform(0.2, 1.8))
+        count = max(1, int(self._rng.expovariate(1.0 / mean_certs)))
+        count = min(count, 4800)
+        certificates: List[TlsCertificate] = []
+        # All `count` certificates fit inside the observation horizon:
+        # short-validity CAs renew on schedule, and busy domains also
+        # accumulate overlapping SAN-variant issuances (this is what
+        # inflates Let's Encrypt's per-domain counts in Table 7).
+        span_days = max((horizon - created_at).days, 1)
+        step_days = max(1, span_days // count)
+        issue = created_at
+        for index in range(count):
+            expires = issue + dt.timedelta(days=validity)
+            certificates.append(
+                TlsCertificate(
+                    serial=f"{abs(hash((fqdn, index))) % 16**12:012x}",
+                    issuer=ca,
+                    issued_at=issue,
+                    expires_at=expires,
+                    common_name=fqdn,
+                )
+            )
+            issue = issue + dt.timedelta(
+                days=max(1, int(step_days * self._rng.uniform(0.6, 1.3)))
+            )
+            if issue > horizon:
+                issue = created_at + dt.timedelta(
+                    days=self._rng.randrange(span_days)
+                )
+        return certificates
+
+    # -- public API -----------------------------------------------------------
+
+    def register_domain(
+        self,
+        campaign_id: str,
+        scam_type: ScamType,
+        brand: Optional[str],
+        created_at: dt.date,
+        *,
+        serves_apk: Optional[bool] = None,
+    ) -> DomainAsset:
+        """Stand up one hostname for a campaign."""
+        free = self._rng.random() < FREE_HOSTING_FRACTION
+        if free:
+            suffix = self._free_sampler.sample(self._rng)
+            label = self._unique_name(
+                lambda: f"{self._random_label(brand)}.{suffix}"
+            )
+            fqdn = label
+            registered = label
+            tld = suffix
+            registrar = None
+        else:
+            tld = self._tld_sampler.sample(self._rng)
+            registered = self._unique_name(
+                lambda: f"{self._random_label(brand)}.{tld}"
+            )
+            sub_roll = self._rng.random()
+            if sub_roll < 0.25:
+                fqdn = f"{self._rng.choice(_WORDS)}.{registered}"
+            else:
+                fqdn = registered
+            registrar = self._registrar_for(scam_type)
+        if serves_apk is None:
+            serves_apk = self._rng.random() < self._apk_fraction
+        horizon = created_at + dt.timedelta(days=400)
+        asset = DomainAsset(
+            fqdn=fqdn,
+            registered_domain=registered,
+            tld=tld,
+            campaign_id=campaign_id,
+            scam_type=scam_type,
+            created_at=created_at,
+            registrar=registrar,
+            is_free_hosting=free,
+            hosting=self._hosting_choice(),
+            certificates=self._issue_certificates(fqdn, created_at, horizon),
+            serves_apk=bool(serves_apk),
+            pdns_observed=self._rng.random() < 0.045,
+        )
+        self.assets.append(asset)
+        return asset
+
+    def _shortener_sampler(self, scam_type: ScamType) -> WeightedSampler:
+        sampler = self._shortener_samplers.get(scam_type)
+        if sampler is None:
+            weights = dict(SHORTENER_BASE_WEIGHTS)
+            for name, factor in SHORTENER_SCAM_BIAS.get(scam_type, {}).items():
+                weights[name] = weights.get(name, 1.0) * factor
+            sampler = WeightedSampler(weights)
+            self._shortener_samplers[scam_type] = sampler
+        return sampler
+
+    def _short_token(self) -> str:
+        alphabet = string.ascii_letters + string.digits
+        while True:
+            token = "".join(self._rng.choice(alphabet) for _ in range(7))
+            if token not in self._short_tokens:
+                self._short_tokens.add(token)
+                return token
+
+    def build_link(
+        self, asset: DomainAsset, scam_type: ScamType
+    ) -> SmishingLink:
+        """Build the link a message will carry: direct or shortened."""
+        if asset.serves_apk and self._rng.random() < 0.3:
+            # Some campaigns link the package directly (§6 found 89 such
+            # URLs, e.g. ceskaposta[.]online/PostaOnlineTracking.apk).
+            path = self._rng.choice(
+                ("/internet.apk", "/PostaOnlineTracking.apk", "/s1.apk",
+                 "/update.apk")
+            )
+        else:
+            path = self._rng.choice(
+                ("/", "/login", "/verify", "/secure", "/update", "/track",
+                 "/claim", "/refund", "/billing", "/confirm")
+            )
+        destination_url = Url(
+            scheme="https" if asset.certificates else "http",
+            host=asset.fqdn,
+            path=path,
+        )
+        if self._rng.random() < SHORTENED_FRACTION:
+            shortener = self._shortener_sampler(scam_type).sample(self._rng)
+            token = self._short_token()
+            short_url = Url(scheme="https", host=shortener, path=f"/{token}")
+            return SmishingLink(destination=asset, url=short_url,
+                                shortener=shortener, short_token=token)
+        return SmishingLink(destination=asset, url=destination_url)
+
+    def build_whatsapp_link(self, phone_digits: str) -> Url:
+        """A ``wa.me`` conversation-starter link (§4.2, 205 observed)."""
+        return Url(scheme="https", host="wa.me", path=f"/{phone_digits}")

@@ -1,0 +1,142 @@
+"""Language registry: codes, names, speaker populations, and marker words.
+
+Serves two purposes:
+
+* The right-hand side of Table 11 (most-spoken languages worldwide, with
+  speaker populations and country counts) against which the paper
+  contrasts the observed message-language skew.
+* Function-word banks per language that both the template library (to
+  write messages) and the language-identification component of the NLP
+  annotator (to detect them) share. The banks contain genuinely
+  language-distinctive high-frequency words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NotFound
+
+
+@dataclass(frozen=True)
+class Language:
+    """One language with ISO 639-1 code and detection lexicon."""
+
+    code: str
+    name: str
+    #: First-language+second-language speakers, millions (Ethnologue-ish).
+    speakers_millions: int
+    #: Number of countries where it is official/major (Table 11).
+    country_count: int
+    #: Distinctive high-frequency words used for detection and templates.
+    markers: Tuple[str, ...]
+    #: Uses a non-Latin script (detection can shortcut on codepoints).
+    script: str = "latin"
+
+
+_CATALOGUE: List[Language] = [
+    Language("en", "English", 1500, 46, ("the", "your", "has", "been", "please", "click", "account", "to", "is", "we")),
+    Language("zh", "Mandarin Chinese", 1200, 2, ("的", "您", "请", "账户", "点击", "银行", "我们"), script="han"),
+    Language("hi", "Hindi", 609, 2, ("आपका", "कृपया", "खाता", "बैंक", "के", "लिए", "है", "आपके", "में", "अभी", "करें"), script="devanagari"),
+    Language("es", "Spanish", 558, 21, ("su", "cuenta", "ha", "sido", "por", "favor", "haga", "clic", "el", "una", "usted", "aviso", "hola", "aqui", "fue", "derecho", "solicite")),
+    Language("ar", "Arabic", 335, 24, ("حسابك", "يرجى", "البنك", "تم", "إلى", "من"), script="arabic"),
+    Language("fr", "French", 312, 29, ("votre", "compte", "été", "veuillez", "cliquez", "vous", "une", "pour", "colis", "avant", "remboursement", "aujourd'hui", "maman", "voici", "doit", "vos")),
+    Language("bn", "Bengali", 284, 2, ("আপনার", "অ্যাকাউন্ট", "ব্যাংক", "করুন"), script="bengali"),
+    Language("pt", "Portuguese", 267, 9, ("sua", "conta", "foi", "por", "favor", "clique", "você", "para", "uma", "banco")),
+    Language("ru", "Russian", 253, 4, ("ваш", "счет", "пожалуйста", "банк", "был", "для"), script="cyrillic"),
+    Language("id", "Indonesian", 252, 2, ("anda", "akun", "telah", "silakan", "klik", "untuk", "kami", "ini", "dengan")),
+    Language("de", "German", 134, 6, ("ihr", "konto", "wurde", "bitte", "klicken", "sie", "die", "und", "eine", "für", "ihre", "ihnen", "jetzt", "rechnung", "hallo", "meine", "nummer")),
+    Language("ja", "Japanese", 125, 1, ("お客様", "アカウント", "ください", "銀行", "です", "ます"), script="kana"),
+    Language("nl", "Dutch", 25, 3, ("uw", "rekening", "is", "geblokkeerd", "klik", "om", "een", "wij", "het", "voor")),
+    Language("it", "Italian", 68, 2, ("il", "tuo", "conto", "stato", "clicca", "per", "una", "gentile", "cliente", "banca")),
+    Language("tr", "Turkish", 90, 1, ("hesabınız", "lütfen", "tıklayın", "banka", "için", "bir")),
+    Language("ko", "Korean", 82, 1, ("고객님", "계좌", "은행", "해주세요", "입니다"), script="hangul")
+    ,
+    Language("vi", "Vietnamese", 86, 1, ("tài", "khoản", "của", "bạn", "vui", "lòng", "ngân", "hàng")),
+    Language("th", "Thai", 61, 1, ("บัญชี", "ของคุณ", "กรุณา", "ธนาคาร"), script="thai"),
+    Language("pl", "Polish", 41, 1, ("twoje", "konto", "zostało", "proszę", "kliknij", "bank")),
+    Language("uk", "Ukrainian", 33, 1, ("ваш", "рахунок", "будь", "ласка", "банку"), script="cyrillic"),
+    Language("ro", "Romanian", 25, 2, ("contul", "dumneavoastră", "vă", "rugăm", "pentru", "banca")),
+    Language("el", "Greek", 13, 2, ("ο", "λογαριασμός", "σας", "παρακαλώ", "τράπεζα"), script="greek"),
+    Language("cs", "Czech", 11, 1, ("váš", "účet", "byl", "prosím", "klikněte", "banka")),
+    Language("hu", "Hungarian", 13, 1, ("az", "ön", "számlája", "kérjük", "kattintson")),
+    Language("sv", "Swedish", 13, 2, ("ditt", "konto", "har", "vänligen", "klicka", "banken")),
+    Language("da", "Danish", 6, 1, ("din", "konto", "er", "venligst", "klik", "banken")),
+    Language("no", "Norwegian", 5, 1, ("din", "konto", "har", "vennligst", "klikk", "banken")),
+    Language("fi", "Finnish", 5, 1, ("tilisi", "ole", "hyvä", "klikkaa", "pankki")),
+    Language("tl", "Tagalog", 83, 1, ("ang", "iyong", "ay", "paki", "bangko", "mo", "na")),
+    Language("ms", "Malay", 77, 2, ("akaun", "anda", "telah", "sila", "klik")),
+    Language("ur", "Urdu", 232, 2, ("آپ", "اکاؤنٹ", "براہ", "کرم", "بینک"), script="arabic"),
+    Language("sw", "Swahili", 72, 4, ("akaunti", "yako", "tafadhali", "bonyeza", "benki")),
+    Language("he", "Hebrew", 9, 1, ("החשבון", "שלך", "אנא", "לחץ", "בנק"), script="hebrew"),
+    Language("si", "Sinhala", 17, 1, ("ඔබගේ", "ගිණුම", "කරුණාකර", "බැංකුව"), script="sinhala"),
+    Language("ca", "Catalan", 9, 1, ("teu", "vostre", "plau", "fes", "enllaç")),
+    Language("bg", "Bulgarian", 8, 1, ("вашата", "сметка", "моля", "кликнете", "банка"), script="cyrillic"),
+    Language("hr", "Croatian", 5, 2, ("vaš", "račun", "molimo", "kliknite", "banka")),
+    Language("sk", "Slovak", 5, 1, ("váš", "účet", "bol", "prosím", "kliknite", "banka")),
+    Language("sl", "Slovenian", 2, 1, ("vaš", "račun", "prosimo", "kliknite", "banka")),
+    Language("lt", "Lithuanian", 3, 1, ("jūsų", "sąskaita", "prašome", "spustelėkite", "bankas")),
+    Language("lv", "Latvian", 2, 1, ("jūsu", "konts", "lūdzu", "noklikšķiniet", "banka")),
+    Language("et", "Estonian", 1, 1, ("teie", "konto", "palun", "klõpsake", "pank")),
+    Language("sr", "Serbian", 10, 2, ("ваш", "рачун", "молимо", "кликните", "банка"), script="cyrillic"),
+    Language("fa", "Persian", 79, 2, ("حساب", "شما", "لطفا", "بانک"), script="arabic"),
+    Language("ta", "Tamil", 87, 3, ("உங்கள்", "கணக்கு", "தயவுசெய்து", "வங்கி"), script="tamil"),
+    Language("te", "Telugu", 96, 1, ("మీ", "ఖాతా", "దయచేసి", "బ్యాంక్"), script="telugu"),
+    Language("mr", "Marathi", 99, 1, ("तुमचे", "खाते", "कृपया", "बँक"), script="devanagari"),
+    Language("gu", "Gujarati", 62, 1, ("તમારું", "ખાતું", "કૃપા", "બેંક"), script="gujarati"),
+    Language("kn", "Kannada", 59, 1, ("ನಿಮ್ಮ", "ಖಾತೆ", "ದಯವಿಟ್ಟು", "ಬ್ಯಾಂಕ್"), script="kannada"),
+    Language("ml", "Malayalam", 37, 1, ("നിങ്ങളുടെ", "അക്കൗണ്ട്", "ദയവായി", "ബാങ്ക്"), script="malayalam"),
+]
+
+
+class LanguageRegistry:
+    """Lookup by ISO code plus Table 11's most-spoken ranking."""
+
+    def __init__(self, catalogue: Optional[List[Language]] = None):
+        self._by_code: Dict[str, Language] = {}
+        for language in catalogue if catalogue is not None else _CATALOGUE:
+            self.add(language)
+
+    def add(self, language: Language) -> None:
+        self._by_code[language.code] = language
+
+    def __len__(self) -> int:
+        return len(self._by_code)
+
+    def __iter__(self):
+        return iter(self._by_code.values())
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._by_code
+
+    def get(self, code: str) -> Language:
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise NotFound(f"unknown language: {code!r}", service="languages") from None
+
+    def codes(self) -> List[str]:
+        return sorted(self._by_code)
+
+    def most_spoken(self, top: int = 10) -> List[Language]:
+        """Most-spoken languages worldwide (Table 11's right columns)."""
+        ordered = sorted(
+            self._by_code.values(), key=lambda lang: -lang.speakers_millions
+        )
+        return ordered[:top]
+
+    def marker_lexicon(self) -> Dict[str, Tuple[str, ...]]:
+        """code -> marker words, the shared detection lexicon."""
+        return {lang.code: lang.markers for lang in self._by_code.values()}
+
+
+_DEFAULT: Optional[LanguageRegistry] = None
+
+
+def default_languages() -> LanguageRegistry:
+    """Shared language registry instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = LanguageRegistry()
+    return _DEFAULT

@@ -1,0 +1,181 @@
+"""Mobile network operator registry.
+
+Calibrated to Table 4: Vodafone operates (and is abused) across 18
+countries, Airtel across India and several African/Asian markets, and so
+on. Each country also gets generic local operators so that the long tail
+exists. The HLR simulator reports these operators as the *original* MNO of
+a number (§3.3.1 — the paper only trusts the original operator because
+numbers get recycled).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NotFound
+from ..utils.rng import WeightedSampler
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A mobile network operator and its country footprint."""
+
+    name: str
+    countries: Tuple[str, ...]
+    #: Relative likelihood that a scammer sources numbers from this
+    #: operator (drives Table 4's ranking).
+    abuse_weight: float = 1.0
+
+    def operates_in(self, iso3: str) -> bool:
+        return iso3 in self.countries
+
+
+#: Multi-country and flagship operators, weights shaped to Table 4.
+_NAMED_OPERATORS: List[Operator] = [
+    Operator("Vodafone", ("ESP", "IND", "GBR", "NLD", "AUS", "CZE", "DEU",
+                          "GHA", "HUN", "IRL", "ITA", "NZL", "PRT", "QAT",
+                          "ROU", "TUR", "UKR", "ZAF"), abuse_weight=13.3),
+    Operator("AirTel", ("IND", "COD", "KEN", "LKA", "MWI", "NGA"), abuse_weight=10.9),
+    Operator("BSNL Mobile", ("IND",), abuse_weight=7.7),
+    Operator("Reliance Jio", ("IND",), abuse_weight=5.6),
+    Operator("O2", ("GBR", "DEU", "IRL"), abuse_weight=4.9),
+    Operator("T-Mobile", ("USA", "NLD", "CZE"), abuse_weight=4.5),
+    Operator("Lycamobile", ("NLD", "BEL", "ESP", "FRA", "AUS", "DEU", "IRL"),
+             abuse_weight=3.0),
+    Operator("SFR", ("FRA", "GLP"), abuse_weight=2.2),
+    Operator("KPN Mobile", ("NLD",), abuse_weight=2.2),
+    Operator("EE Limited", ("GBR",), abuse_weight=2.1),
+    Operator("Verizon", ("USA",), abuse_weight=1.9),
+    Operator("AT&T", ("USA",), abuse_weight=1.8),
+    Operator("Orange", ("FRA", "ESP", "BEL", "ROU", "POL"), abuse_weight=1.7),
+    Operator("Telstra", ("AUS",), abuse_weight=1.2),
+    Operator("Optus", ("AUS",), abuse_weight=1.0),
+    Operator("Telkomsel", ("IDN",), abuse_weight=1.4),
+    Operator("Indosat Ooredoo", ("IDN",), abuse_weight=0.9),
+    Operator("Proximus", ("BEL",), abuse_weight=0.8),
+    Operator("Base", ("BEL",), abuse_weight=0.5),
+    Operator("Movistar", ("ESP", "MEX", "ARG", "CHL", "COL"), abuse_weight=1.6),
+    Operator("Three", ("GBR", "IRL"), abuse_weight=0.9),
+    Operator("Deutsche Telekom", ("DEU",), abuse_weight=0.8),
+    Operator("Telefonica DE", ("DEU",), abuse_weight=0.4),
+    Operator("NTT Docomo", ("JPN",), abuse_weight=0.6),
+    Operator("SoftBank", ("JPN",), abuse_weight=0.4),
+    Operator("Vi India", ("IND",), abuse_weight=2.4),
+    Operator("TIM", ("ITA", "BRA"), abuse_weight=0.7),
+    Operator("WindTre", ("ITA",), abuse_weight=0.5),
+    Operator("MEO", ("PRT",), abuse_weight=0.4),
+    Operator("NOS", ("PRT",), abuse_weight=0.3),
+    Operator("Safaricom", ("KEN",), abuse_weight=0.5),
+    Operator("MTN", ("NGA", "ZAF", "GHA"), abuse_weight=0.7),
+    Operator("Globe Telecom", ("PHL",), abuse_weight=0.5),
+    Operator("Smart", ("PHL",), abuse_weight=0.4),
+    Operator("Maxis", ("MYS",), abuse_weight=0.3),
+    Operator("Singtel", ("SGP",), abuse_weight=0.3),
+    Operator("AIS", ("THA",), abuse_weight=0.3),
+    Operator("Viettel", ("VNM",), abuse_weight=0.3),
+    Operator("China Mobile", ("CHN",), abuse_weight=0.2),
+    Operator("Jazz", ("PAK",), abuse_weight=0.3),
+    Operator("Grameenphone", ("BGD",), abuse_weight=0.2),
+    Operator("MTS", ("RUS",), abuse_weight=0.2),
+    Operator("Turkcell", ("TUR",), abuse_weight=0.3),
+    Operator("Etisalat", ("ARE", "EGY"), abuse_weight=0.3),
+    Operator("STC", ("SAU",), abuse_weight=0.2),
+    Operator("Telia", ("SWE", "FIN"), abuse_weight=0.2),
+    Operator("Telenor", ("NOR", "DNK"), abuse_weight=0.2),
+    Operator("Cosmote", ("GRC",), abuse_weight=0.2),
+    Operator("Swisscom", ("CHE",), abuse_weight=0.2),
+    Operator("A1", ("AUT",), abuse_weight=0.2),
+    Operator("Rogers", ("CAN",), abuse_weight=0.3),
+    Operator("Bell", ("CAN",), abuse_weight=0.2),
+    Operator("Claro", ("BRA", "ARG", "CHL", "COL", "MEX"), abuse_weight=0.6),
+    Operator("Kyivstar", ("UKR",), abuse_weight=0.2),
+    Operator("Play", ("POL",), abuse_weight=0.2),
+    Operator("SK Telecom", ("KOR",), abuse_weight=0.2),
+    Operator("CSL", ("HKG",), abuse_weight=0.2),
+    Operator("Pelephone", ("ISR",), abuse_weight=0.1),
+    Operator("Maroc Telecom", ("MAR",), abuse_weight=0.2),
+    Operator("Magyar Telekom", ("HUN",), abuse_weight=0.2),
+    Operator("Vodacom", ("ZAF", "COD"), abuse_weight=0.3),
+    Operator("Dialog", ("LKA",), abuse_weight=0.2),
+    Operator("TNM", ("MWI",), abuse_weight=0.1),
+    Operator("Ooredoo", ("QAT",), abuse_weight=0.1),
+    Operator("Spark", ("NZL",), abuse_weight=0.1),
+]
+
+
+class OperatorRegistry:
+    """All operators, indexed by name and by country."""
+
+    def __init__(self, operators: Optional[List[Operator]] = None):
+        self._by_name: Dict[str, Operator] = {}
+        self._by_country: Dict[str, List[Operator]] = {}
+        for operator in operators if operators is not None else _NAMED_OPERATORS:
+            self.add(operator)
+
+    def add(self, operator: Operator) -> None:
+        self._by_name[operator.name] = operator
+        for iso3 in operator.countries:
+            self._by_country.setdefault(iso3, []).append(operator)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def get(self, name: str) -> Operator:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NotFound(f"unknown operator: {name!r}", service="mno") from None
+
+    def in_country(self, iso3: str) -> List[Operator]:
+        """Operators with a network in ``iso3`` (possibly empty)."""
+        return list(self._by_country.get(iso3, []))
+
+    def abuse_sampler(self) -> WeightedSampler:
+        """Sampler over (operator, country) pairs weighted by abuse rates.
+
+        A multi-country operator's weight is split across its footprint
+        with a bias towards its first-listed (home/top) market, mirroring
+        how Table 4 shows Vodafone abuse concentrated in a few countries.
+        """
+        weights: Dict[Tuple[str, str], float] = {}
+        for operator in self._by_name.values():
+            n = len(operator.countries)
+            for rank, iso3 in enumerate(operator.countries):
+                share = 1.0 / (rank + 1)
+                weights[(operator.name, iso3)] = (
+                    operator.abuse_weight * share / sum(1.0 / (r + 1) for r in range(n))
+                )
+        return WeightedSampler(weights)
+
+    def pick_for_country(self, iso3: str, rng: random.Random) -> Operator:
+        """Pick an operator serving ``iso3``, abuse-weighted.
+
+        A multi-country operator's global abuse weight is spread across
+        its footprint so one pan-European brand does not dominate every
+        national market it merely has a presence in.
+        """
+        candidates = self.in_country(iso3)
+        if not candidates:
+            raise NotFound(f"no operators in {iso3}", service="mno")
+        weights = {
+            op.name: op.abuse_weight / len(op.countries) ** 0.75
+            for op in candidates
+        }
+        sampler = WeightedSampler(weights)
+        return self._by_name[sampler.sample(rng)]
+
+
+_DEFAULT: Optional[OperatorRegistry] = None
+
+
+def default_operators() -> OperatorRegistry:
+    """Shared operator registry instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = OperatorRegistry()
+    return _DEFAULT

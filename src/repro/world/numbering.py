@@ -1,0 +1,245 @@
+"""Phone-number generation against per-country numbering plans.
+
+The generator issues E.164 numbers of every flavour Table 3 observes:
+ordinary mobile lines, mobile-or-landline ranges, VoIP, toll-free, pagers,
+landlines (suspicious as SMS senders), voicemail-only lines, and outright
+*bad-format* spoofed strings with more digits than any plan allows.
+
+Issued numbers are recorded in a :class:`NumberLedger`, which the HLR
+service (:mod:`repro.services.hlr`) uses as its subscriber database.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ValidationError
+from ..types import LineStatus, PhoneNumberType
+from ..utils.rng import WeightedSampler, weighted_choice
+from .geography import Country, CountryRegistry, default_countries
+from .mno import Operator
+
+
+@dataclass(frozen=True)
+class IssuedNumber:
+    """One number the world has issued, with its HLR ground truth."""
+
+    e164: str  # digits with leading '+'
+    country_iso3: str
+    number_type: PhoneNumberType
+    original_operator: Optional[str]
+    current_operator: Optional[str]
+    status: LineStatus
+
+    @property
+    def digits(self) -> str:
+        return self.e164.lstrip("+")
+
+
+#: Distribution of number types among *scammer sender IDs*, calibrated to
+#: Table 3 (n=12,299). Bad Format is generated separately by
+#: :meth:`NumberFactory.bad_format_number`.
+SENDER_TYPE_WEIGHTS: Dict[PhoneNumberType, float] = {
+    PhoneNumberType.MOBILE: 66.7,
+    PhoneNumberType.MOBILE_OR_LANDLINE: 2.3,
+    PhoneNumberType.VOIP: 2.0,
+    PhoneNumberType.TOLL_FREE: 0.6,
+    PhoneNumberType.PAGER: 0.1,
+    PhoneNumberType.UNIVERSAL_ACCESS: 0.05,
+    PhoneNumberType.PERSONAL: 0.02,
+    PhoneNumberType.OTHER: 0.1,
+    PhoneNumberType.BAD_FORMAT: 24.3,
+    PhoneNumberType.LANDLINE: 3.8,
+    PhoneNumberType.VOICEMAIL_ONLY: 0.02,
+}
+
+#: Special-service leading digits layered on top of the country plan.
+_SERVICE_PREFIXES: Dict[PhoneNumberType, str] = {
+    PhoneNumberType.VOIP: "560",
+    PhoneNumberType.TOLL_FREE: "800",
+    PhoneNumberType.PAGER: "740",
+    PhoneNumberType.UNIVERSAL_ACCESS: "300",
+    PhoneNumberType.PERSONAL: "700",
+    PhoneNumberType.OTHER: "990",
+    PhoneNumberType.VOICEMAIL_ONLY: "170",
+}
+
+#: Live/inactive/dead mix for issued lines. Table 14 shows only a minority
+#: of sender numbers are still live by lookup time.
+_STATUS_WEIGHTS: Dict[LineStatus, float] = {
+    LineStatus.LIVE: 0.25,
+    LineStatus.INACTIVE: 0.45,
+    LineStatus.DEAD: 0.30,
+}
+
+
+class NumberLedger:
+    """Registry of every number the world has issued (the HLR database)."""
+
+    def __init__(self) -> None:
+        self._by_digits: Dict[str, IssuedNumber] = {}
+
+    def register(self, number: IssuedNumber) -> None:
+        self._by_digits[number.digits] = number
+
+    def lookup(self, digits: str) -> Optional[IssuedNumber]:
+        return self._by_digits.get(digits.lstrip("+"))
+
+    def __len__(self) -> int:
+        return len(self._by_digits)
+
+    def __iter__(self) -> Iterable[IssuedNumber]:
+        return iter(self._by_digits.values())
+
+
+class NumberFactory:
+    """Issues unique numbers from country plans and records ground truth."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        countries: Optional[CountryRegistry] = None,
+        ledger: Optional[NumberLedger] = None,
+    ):
+        self._rng = rng
+        self._countries = countries or default_countries()
+        self.ledger = ledger if ledger is not None else NumberLedger()
+        self._issued: set = set()
+        self._type_sampler = WeightedSampler(SENDER_TYPE_WEIGHTS)
+
+    def _unique_digits(self, dial_code: str, national: str) -> str:
+        digits = dial_code + national
+        attempt = 0
+        while digits in self._issued:
+            # Nudge the last digits until unique; deterministic under seed.
+            attempt += 1
+            tail = str((int(national[-4:]) + attempt) % 10000).zfill(4)
+            digits = dial_code + national[:-4] + tail
+        self._issued.add(digits)
+        return digits
+
+    def _national_number(self, country: Country, prefix: str) -> str:
+        body_len = country.national_length - len(prefix)
+        if body_len < 0:
+            raise ValidationError(
+                f"prefix {prefix!r} longer than plan for {country.iso3}"
+            )
+        body = "".join(str(self._rng.randrange(10)) for _ in range(body_len))
+        return prefix + body
+
+    def mobile_number(
+        self,
+        country: Country,
+        operator: Operator,
+        *,
+        status: Optional[LineStatus] = None,
+        number_type: PhoneNumberType = PhoneNumberType.MOBILE,
+    ) -> IssuedNumber:
+        """Issue a mobile (or mobile-or-landline) line on an operator."""
+        prefix = self._rng.choice(country.mobile_prefixes)
+        national = self._national_number(country, prefix)
+        digits = self._unique_digits(country.dial_code, national)
+        issued = IssuedNumber(
+            e164="+" + digits,
+            country_iso3=country.iso3,
+            number_type=number_type,
+            original_operator=operator.name,
+            current_operator=self._maybe_recycled_operator(country, operator),
+            status=status or weighted_choice(self._rng, _STATUS_WEIGHTS),
+        )
+        self.ledger.register(issued)
+        return issued
+
+    def _maybe_recycled_operator(
+        self, country: Country, original: Operator
+    ) -> Optional[str]:
+        """Numbers get recycled/ported; ~15% now sit on a different MNO.
+
+        This is why the paper only reports the *original* operator.
+        """
+        if self._rng.random() >= 0.15:
+            return original.name
+        from .mno import default_operators
+
+        candidates = [
+            op for op in default_operators().in_country(country.iso3)
+            if op.name != original.name
+        ]
+        if not candidates:
+            return original.name
+        return self._rng.choice(candidates).name
+
+    def landline_number(self, country: Country) -> IssuedNumber:
+        """A landline — cannot send SMS, so suspicious as a sender ID."""
+        prefix = self._rng.choice(country.landline_prefixes)
+        national = self._national_number(country, prefix)
+        digits = self._unique_digits(country.dial_code, national)
+        issued = IssuedNumber(
+            e164="+" + digits,
+            country_iso3=country.iso3,
+            number_type=PhoneNumberType.LANDLINE,
+            original_operator=None,
+            current_operator=None,
+            status=LineStatus.INACTIVE,
+        )
+        self.ledger.register(issued)
+        return issued
+
+    def service_number(
+        self, country: Country, number_type: PhoneNumberType
+    ) -> IssuedNumber:
+        """VoIP / toll-free / pager / UAN / personal / voicemail lines."""
+        prefix = _SERVICE_PREFIXES[number_type]
+        length = max(country.national_length, len(prefix) + 4)
+        body = "".join(str(self._rng.randrange(10)) for _ in range(length - len(prefix)))
+        digits = self._unique_digits(country.dial_code, prefix + body)
+        issued = IssuedNumber(
+            e164="+" + digits,
+            country_iso3=country.iso3,
+            number_type=number_type,
+            original_operator=None,
+            current_operator=None,
+            status=weighted_choice(self._rng, _STATUS_WEIGHTS),
+        )
+        self.ledger.register(issued)
+        return issued
+
+    def bad_format_number(self, country: Optional[Country] = None) -> IssuedNumber:
+        """A spoofed sender: more digits than any valid plan (Table 3).
+
+        These strings never existed in any HLR; the ledger records them so
+        lookups can answer "Bad Format" deterministically.
+        """
+        if country is None:
+            iso3 = self._rng.choice(self._countries.all_iso3())
+            country = self._countries.get(iso3)
+        extra = self._rng.randrange(2, 7)
+        length = country.national_length + extra
+        national = "".join(str(self._rng.randrange(10)) for _ in range(length))
+        digits = self._unique_digits(country.dial_code, national)
+        issued = IssuedNumber(
+            e164="+" + digits,
+            country_iso3=country.iso3,
+            number_type=PhoneNumberType.BAD_FORMAT,
+            original_operator=None,
+            current_operator=None,
+            status=LineStatus.DEAD,
+        )
+        self.ledger.register(issued)
+        return issued
+
+    def sender_number(
+        self, country: Country, operator: Operator
+    ) -> IssuedNumber:
+        """Issue a sender number with the Table 3 type mix."""
+        number_type = self._type_sampler.sample(self._rng)
+        if number_type in (PhoneNumberType.MOBILE, PhoneNumberType.MOBILE_OR_LANDLINE):
+            return self.mobile_number(country, operator, number_type=number_type)
+        if number_type is PhoneNumberType.LANDLINE:
+            return self.landline_number(country)
+        if number_type is PhoneNumberType.BAD_FORMAT:
+            return self.bad_format_number(country)
+        return self.service_number(country, number_type)

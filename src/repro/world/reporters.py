@@ -1,0 +1,325 @@
+"""Reporter population: turns received smishes into public forum posts.
+
+Users who receive a smish sometimes report it publicly (§3.1): most post a
+screenshot on Twitter with a warning, a few use Reddit, the dedicated
+sites (Smishtank, Smishing.eu) take structured reports, and one
+threat-intel analyst publishes Pastebin pastes. The population also
+produces the *noise* the pipeline must survive: keyword-matching chatter
+without attachments, awareness posters, mistaken e-mail screenshots,
+duplicate reports of the same campaign text, and post deletions.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..forums.base import COLLECTION_KEYWORDS, Post
+from ..forums.pastebin import ANALYST_USER, format_paste
+from ..forums.reddit import KNOWN_SUBREDDITS
+from ..imaging.renderer import ScreenshotRenderer
+from ..sms.message import SmishingEvent
+from ..types import Forum
+from ..utils.rng import WeightedSampler, sample_zipf
+
+#: Forum share of reported messages (Table 1's message column).
+FORUM_WEIGHTS: Dict[Forum, float] = {
+    Forum.TWITTER: 92.1,
+    Forum.SMISHTANK: 6.0,
+    Forum.REDDIT: 1.1,
+    Forum.SMISHING_EU: 0.4,
+    Forum.PASTEBIN: 0.4,
+}
+
+#: How many separate reports one event attracts (duplicates inflate the
+#: total-vs-unique gap in Table 1).
+REPORT_COUNT_WEIGHTS: Dict[int, float] = {0: 0.22, 1: 0.62, 2: 0.12, 3: 0.04}
+
+_COMMENTARY = (
+    "Just got this {kw} text, stay safe everyone!",
+    "Reporting this {kw} — @{brand} is this really you?",
+    "Another day another {kw}. When will operators block these?",
+    "PSA: {kw} doing the rounds again. Do not click!",
+    "Is this legit or {kw}? Got it this morning.",
+    "My gran nearly fell for this {kw}, sharing so you don't.",
+)
+
+_CHATTER = (
+    "Thread: how to protect your parents from smishing and sms scam texts.",
+    "We're hiring an analyst to work on phishing sms detection!",
+    "New blog post: the anatomy of an sms scam campaign.",
+    "Reminder that you can forward any sms fraud to 7726 for free.",
+    "Great talk today on smishing trends in 2023.",
+    "Why is sms fraud still so easy in 2022? A rant.",
+    "Has anyone else noticed more phishing sms since the breach?",
+)
+
+_HANDLES = (
+    "alex_sec", "jmartin", "priya.k", "scamwatcher", "0xdefender",
+    "maria_g", "tomh", "nlwaarschuwing", "infosec_amy", "davidb",
+)
+
+
+@dataclass
+class ReporterOutput:
+    """Everything the population produced, routed per forum."""
+
+    posts_by_forum: Dict[Forum, List[Post]] = field(default_factory=dict)
+    report_count: int = 0
+    chatter_count: int = 0
+    decoy_count: int = 0
+
+    def add(self, post: Post) -> None:
+        self.posts_by_forum.setdefault(post.forum, []).append(post)
+
+    def all_posts(self) -> List[Post]:
+        result: List[Post] = []
+        for posts in self.posts_by_forum.values():
+            result.extend(posts)
+        return result
+
+
+class ReporterPopulation:
+    """Generates forum posts from ground-truth events."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        renderer: ScreenshotRenderer,
+        *,
+        chatter_ratio: float = 2.4,
+        decoy_ratio: float = 0.06,
+        deletion_rate: float = 0.03,
+        keyword_miss_rate: float = 0.08,
+    ):
+        self._rng = rng
+        self._renderer = renderer
+        self._chatter_ratio = chatter_ratio
+        self._decoy_ratio = decoy_ratio
+        self._deletion_rate = deletion_rate
+        self._keyword_miss_rate = keyword_miss_rate
+        self._forum_sampler = WeightedSampler(FORUM_WEIGHTS)
+        self._report_count_sampler = WeightedSampler(REPORT_COUNT_WEIGHTS)
+        self._post_counter = 0
+
+    def _next_post_id(self, forum: Forum) -> str:
+        self._post_counter += 1
+        prefix = {
+            Forum.TWITTER: "tw", Forum.REDDIT: "rd", Forum.SMISHTANK: "st",
+            Forum.SMISHING_EU: "eu", Forum.PASTEBIN: "pb",
+        }[forum]
+        return f"{prefix}{self._post_counter:08d}"
+
+    def _report_moment(self, event: SmishingEvent) -> dt.datetime:
+        delay_hours = self._rng.expovariate(1 / 18.0)
+        delay_hours = min(delay_hours, 24 * 7.0)
+        return event.received_at + dt.timedelta(hours=delay_hours)
+
+    def _commentary(self, event: SmishingEvent) -> str:
+        keyword = self._rng.choice(COLLECTION_KEYWORDS)
+        if self._rng.random() < self._keyword_miss_rate:
+            keyword = "scam text"  # report invisible to keyword collection
+        template = self._rng.choice(_COMMENTARY)
+        brand = (event.brand or "operator").replace(" ", "")
+        return template.format(kw=keyword, brand=brand)
+
+    # -- per-forum report builders ------------------------------------------------
+
+    def _twitter_report(self, event: SmishingEvent) -> List[Post]:
+        moment = self._report_moment(event)
+        author = self._rng.choice(_HANDLES) + str(self._rng.randrange(1000))
+        screenshot = self._renderer.render_event(event, captured_at=moment)
+        posts: List[Post] = []
+        if self._rng.random() < 0.18:
+            # Keyword appears in a reply; the screenshot sits on the
+            # original tweet (§3.1.1 collects both).
+            original = Post(
+                post_id=self._next_post_id(Forum.TWITTER),
+                forum=Forum.TWITTER,
+                author=author,
+                created_at=moment,
+                body=f"@{(event.brand or 'support').replace(' ', '')} got this today, is it you?",
+                attachments=[screenshot],
+                language=event.language,
+                truth_event_id=event.event_id,
+            )
+            reply = Post(
+                post_id=self._next_post_id(Forum.TWITTER),
+                forum=Forum.TWITTER,
+                author=self._rng.choice(_HANDLES),
+                created_at=moment + dt.timedelta(minutes=self._rng.randrange(2, 240)),
+                body=self._commentary(event),
+                language="en",
+                truth_event_id=event.event_id,
+                in_reply_to=original.post_id,
+            )
+            posts.extend([original, reply])
+        else:
+            body = self._commentary(event)
+            if self._rng.random() < 0.25 and event.message.text:
+                # Some users paste the smishing text into the tweet body.
+                body += ' Text was: "' + event.message.text[:180] + '"'
+            posts.append(Post(
+                post_id=self._next_post_id(Forum.TWITTER),
+                forum=Forum.TWITTER,
+                author=author,
+                created_at=moment,
+                body=body,
+                attachments=[screenshot],
+                language=event.language,
+                truth_event_id=event.event_id,
+            ))
+        for post in posts:
+            post.deleted = self._rng.random() < self._deletion_rate
+        return posts
+
+    def _reddit_report(self, event: SmishingEvent) -> List[Post]:
+        moment = self._report_moment(event)
+        subreddit = KNOWN_SUBREDDITS[
+            sample_zipf(self._rng, len(KNOWN_SUBREDDITS), 1.3)
+        ]
+        screenshot = self._renderer.render_event(event, captured_at=moment)
+        body = (
+            f"{self._commentary(event)}\n\nGot this SMS today "
+            f"({event.message.recipient_country}). Anyone else?"
+        )
+        return [Post(
+            post_id=self._next_post_id(Forum.REDDIT),
+            forum=Forum.REDDIT,
+            author="u/" + self._rng.choice(_HANDLES),
+            created_at=moment,
+            body=body,
+            attachments=[screenshot] if self._rng.random() < 0.82 else [],
+            language=event.language,
+            truth_event_id=event.event_id,
+            subreddit=subreddit,
+        )]
+
+    def _smishtank_report(self, event: SmishingEvent) -> List[Post]:
+        moment = self._report_moment(event)
+        attach = [self._renderer.render_event(event, captured_at=moment)] if self._rng.random() < 0.85 else []
+        structured = {
+            "timestamp": moment.strftime("%Y-%m-%d %H:%M:%S"),
+            "sender_id": event.sender.raw if self._rng.random() > 0.05 else "",
+            "text": event.message.text,
+            "url": str(event.url) if event.url else "",
+        }
+        return [Post(
+            post_id=self._next_post_id(Forum.SMISHTANK),
+            forum=Forum.SMISHTANK,
+            author="anonymous",
+            created_at=moment,
+            body="smishing report " + event.message.text[:120],
+            attachments=attach,
+            language=event.language,
+            truth_event_id=event.event_id,
+            structured=structured,
+        )]
+
+    def _smishingeu_report(self, event: SmishingEvent) -> List[Post]:
+        moment = self._report_moment(event)
+        structured = {
+            # The form asks for the date the smish was *received* (§3.3.2
+            # notes these reports carry the date but not the time of day).
+            "report_date": event.received_at.strftime("%Y-%m-%d"),
+            "country": event.message.recipient_country,
+            "sender_id": event.sender.raw,
+            "brand": event.brand or "",
+            "text": event.message.text,
+        }
+        return [Post(
+            post_id=self._next_post_id(Forum.SMISHING_EU),
+            forum=Forum.SMISHING_EU,
+            author="eu-user",
+            created_at=moment,
+            body="smishing report " + event.message.text[:120],
+            language=event.language,
+            truth_event_id=event.event_id,
+            structured=structured,
+        )]
+
+    def _pastebin_report(self, event: SmishingEvent) -> List[Post]:
+        moment = self._report_moment(event)
+        body = format_paste(event.sender.raw, event.received_at,
+                            event.message.text)
+        return [Post(
+            post_id=self._next_post_id(Forum.PASTEBIN),
+            forum=Forum.PASTEBIN,
+            author=ANALYST_USER,
+            created_at=moment,
+            body="sms scam report\n" + body,
+            language=event.language,
+            truth_event_id=event.event_id,
+        )]
+
+    # -- population-level generation --------------------------------------------------
+
+    def report_event(self, event: SmishingEvent, output: ReporterOutput) -> None:
+        """Produce 0..3 reports for one event."""
+        count = self._report_count_sampler.sample(self._rng)
+        for _ in range(count):
+            forum = self._forum_sampler.sample(self._rng)
+            builder = {
+                Forum.TWITTER: self._twitter_report,
+                Forum.REDDIT: self._reddit_report,
+                Forum.SMISHTANK: self._smishtank_report,
+                Forum.SMISHING_EU: self._smishingeu_report,
+                Forum.PASTEBIN: self._pastebin_report,
+            }[forum]
+            for post in builder(event):
+                output.add(post)
+            output.report_count += 1
+
+    def _chatter_post(self, when: dt.datetime) -> Post:
+        forum = Forum.TWITTER if self._rng.random() < 0.93 else Forum.REDDIT
+        post = Post(
+            post_id=self._next_post_id(forum),
+            forum=forum,
+            author=self._rng.choice(_HANDLES),
+            created_at=when,
+            body=self._rng.choice(_CHATTER),
+            subreddit="cybersecurity" if forum is Forum.REDDIT else None,
+        )
+        return post
+
+    def _decoy_post(self, when: dt.datetime) -> Post:
+        forum = Forum.TWITTER if self._rng.random() < 0.9 else Forum.REDDIT
+        return Post(
+            post_id=self._next_post_id(forum),
+            forum=forum,
+            author=self._rng.choice(_HANDLES),
+            created_at=when,
+            body="sharing this about smishing / sms scam awareness",
+            attachments=[self._renderer.render_decoy()],
+            subreddit="Scams" if forum is Forum.REDDIT else None,
+        )
+
+    def generate(
+        self,
+        events: Sequence[SmishingEvent],
+        *,
+        timeline: Optional[Sequence[dt.datetime]] = None,
+    ) -> ReporterOutput:
+        """Reports + chatter + decoys for a batch of events."""
+        output = ReporterOutput()
+        for event in events:
+            self.report_event(event, output)
+        moments = timeline or [e.received_at for e in events]
+        if moments:
+            chatter_n = int(output.report_count * self._chatter_ratio)
+            for _ in range(chatter_n):
+                when = self._rng.choice(moments) + dt.timedelta(
+                    hours=self._rng.randrange(0, 72)
+                )
+                output.add(self._chatter_post(when))
+                output.chatter_count += 1
+            decoy_n = int(output.report_count * self._decoy_ratio)
+            for _ in range(decoy_n):
+                when = self._rng.choice(moments) + dt.timedelta(
+                    hours=self._rng.randrange(0, 72)
+                )
+                output.add(self._decoy_post(when))
+                output.decoy_count += 1
+        return output

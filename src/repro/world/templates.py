@@ -1,0 +1,527 @@
+"""Smishing message template library.
+
+Each :class:`Template` couples a parameterised SMS text with its ground
+truth: scam type, language, the lure principles its wording applies
+(Stajano–Wilson, Table 13), whether it carries a URL, and an English gloss
+used as translation ground truth for non-English texts.
+
+Coverage: rich hand-written templates for the languages that dominate
+Table 11 (en, es, nl, fr, de, it, id, pt, ja, hi) and a composed fallback
+for the long tail of languages, built from each language's marker lexicon
+so that language identification remains a genuine text-classification
+problem rather than a label pass-through.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..types import LurePrinciple, ScamType
+from .languages import LanguageRegistry, default_languages
+
+_L = LurePrinciple
+
+
+def _lures(*principles: LurePrinciple) -> FrozenSet[LurePrinciple]:
+    return frozenset(principles)
+
+
+@dataclass(frozen=True)
+class Template:
+    """One message skeleton.
+
+    ``text`` contains ``{placeholders}``: ``brand``, ``url``, ``name``,
+    ``amount``, ``currency``, ``code``, ``tracking``, ``phone``. Only the
+    placeholders present are filled; ``needs_url`` declares whether the
+    rendered message carries a link (conversation scams do not, §5.5).
+    """
+
+    scam_type: ScamType
+    language: str
+    text: str
+    lures: FrozenSet[LurePrinciple]
+    needs_url: bool = True
+    english_gloss: str = ""
+
+    def render(self, slots: Dict[str, str]) -> str:
+        try:
+            return self.text.format(**slots)
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"template missing slot value: {exc}"
+            ) from None
+
+
+# ---------------------------------------------------------------------------
+# English templates (the bulk of the dataset, §5.3).
+# ---------------------------------------------------------------------------
+
+_EN: List[Template] = [
+    # Banking
+    Template(ScamType.BANKING, "en",
+             "{brand} alert: Your account has been temporarily locked due to unusual activity. Please verify your details immediately at {url} to avoid suspension.",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    Template(ScamType.BANKING, "en",
+             "Dear customer, your {brand} net banking will be suspended today. Update your KYC now: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    Template(ScamType.BANKING, "en",
+             "{brand}: A payment of {currency}{amount} was attempted from a new device. If this was NOT you, cancel it here: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY, _L.DISTRACTION)),
+    Template(ScamType.BANKING, "en",
+             "Your {brand} rewards points worth {currency}{amount} expire today! Redeem now at {url}",
+             _lures(_L.NEED_AND_GREED, _L.TIME_URGENCY)),
+    Template(ScamType.BANKING, "en",
+             "{brand} security team: we detected a login from a new location. Confirm your identity within 24 hours: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    Template(ScamType.BANKING, "en",
+             "ALERT: Your {brand} debit card has been blocked. To reactivate visit {url} or your account will be closed.",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    # Delivery
+    Template(ScamType.DELIVERY, "en",
+             "{brand}: Your parcel {tracking} could not be delivered due to an incomplete address. Reschedule within 12 hours: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    Template(ScamType.DELIVERY, "en",
+             "{brand}: A {currency}{amount} customs fee is due on your package {tracking}. Pay now to release it: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    Template(ScamType.DELIVERY, "en",
+             "Your {brand} delivery is on hold. Track and confirm here: {url}",
+             _lures(_L.AUTHORITY)),
+    # Government
+    Template(ScamType.GOVERNMENT, "en",
+             "{brand}: You are eligible for a tax refund of {currency}{amount}. Claim before the deadline: {url}",
+             _lures(_L.AUTHORITY, _L.NEED_AND_GREED, _L.TIME_URGENCY)),
+    Template(ScamType.GOVERNMENT, "en",
+             "{brand} FINAL NOTICE: unpaid road toll of {currency}{amount}. Settle today to avoid a penalty: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    Template(ScamType.GOVERNMENT, "en",
+             "{brand}: your benefit payment was suspended pending verification. Restore access at {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    # Telecom
+    Template(ScamType.TELECOM, "en",
+             "{brand}: your last bill payment failed. Update your payment details to keep your line active: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    Template(ScamType.TELECOM, "en",
+             "{brand}: thanks for being with us! You've earned a loyalty gift. Choose yours: {url}",
+             _lures(_L.AUTHORITY, _L.NEED_AND_GREED)),
+    Template(ScamType.TELECOM, "en",
+             "{brand} notice: your SIM will be deactivated within 24 hrs. Re-register here: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    # Hey mum/dad (conversation; no URL, §5.5)
+    Template(ScamType.HEY_MUM_DAD, "en",
+             "Hi mum, I dropped my phone down the toilet :( this is my new number. Can you text me back on WhatsApp asap? It's urgent x",
+             _lures(_L.KINDNESS, _L.DISTRACTION, _L.TIME_URGENCY), needs_url=False),
+    Template(ScamType.HEY_MUM_DAD, "en",
+             "Hey dad it's me, my phone broke so I'm using a friend's. I need to pay a bill today and can't log in to my bank. Can you help? Message me here.",
+             _lures(_L.KINDNESS, _L.DISTRACTION, _L.TIME_URGENCY), needs_url=False),
+    # Wrong number (conversation)
+    Template(ScamType.WRONG_NUMBER, "en",
+             "Hi Anna, are we still on for dinner at 7? It's been ages!",
+             _lures(_L.DISTRACTION, _L.KINDNESS), needs_url=False),
+    Template(ScamType.WRONG_NUMBER, "en",
+             "Hello, is this Dr. Lee's office? I'd like to reschedule my appointment for Thursday.",
+             _lures(_L.DISTRACTION), needs_url=False),
+    Template(ScamType.WRONG_NUMBER, "en",
+             "Hey, it was lovely meeting you at the conference last week! Is this still your number?",
+             _lures(_L.DISTRACTION, _L.KINDNESS), needs_url=False),
+    # Others — crypto / jobs / tech impersonation / OTP call-back
+    Template(ScamType.OTHERS, "en",
+             "{brand}: your account will be permanently deleted due to inactivity. Keep your account: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    Template(ScamType.OTHERS, "en",
+             "Your {brand} subscription payment was declined. Update billing within 48h to keep watching: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY)),
+    Template(ScamType.OTHERS, "en",
+             "We reviewed your CV — earn {currency}{amount}/day working from home, flexible hours. Join thousands already earning: {url}",
+             _lures(_L.NEED_AND_GREED, _L.HERD)),
+    Template(ScamType.OTHERS, "en",
+             "{brand}: your verification code is {code}. If you did not request this, secure your account: {url}",
+             _lures(_L.AUTHORITY, _L.DISTRACTION)),
+    Template(ScamType.OTHERS, "en",
+             "Exclusive pre-sale: our investors doubled their crypto in 30 days. Guaranteed returns, limited slots: {url}",
+             _lures(_L.NEED_AND_GREED, _L.HERD, _L.TIME_URGENCY)),
+    Template(ScamType.OTHERS, "en",
+             "Get instant cash now! No credit check, everyone approved. Some conditions may not be strictly legal ;) {url}",
+             _lures(_L.DISHONESTY, _L.NEED_AND_GREED)),
+    # Spam (annoying, not fraudulent)
+    Template(ScamType.SPAM, "en",
+             "MEGA CASINO: 150 free spins waiting for you! 18+ T&Cs apply. Join the winners today: {url}",
+             _lures(_L.HERD, _L.NEED_AND_GREED)),
+    Template(ScamType.SPAM, "en",
+             "FLASH SALE! Up to 80% off designer sunglasses this weekend only: {url}",
+             _lures(_L.NEED_AND_GREED, _L.TIME_URGENCY)),
+    Template(ScamType.SPAM, "en",
+             "You have been selected for our monthly prize draw! Reply WIN to enter. Msg rates apply.",
+             _lures(_L.NEED_AND_GREED, _L.HERD), needs_url=False),
+]
+
+# ---------------------------------------------------------------------------
+# Other major languages. Glosses give the translation ground truth.
+# ---------------------------------------------------------------------------
+
+_ES: List[Template] = [
+    Template(ScamType.BANKING, "es",
+             "{brand}: su cuenta ha sido bloqueada por actividad sospechosa. Por favor verifique sus datos en {url} para evitar la suspension.",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been blocked due to suspicious activity. Please verify your details at {url} to avoid suspension."),
+    Template(ScamType.BANKING, "es",
+             "{brand} aviso: un cargo de {currency}{amount} fue detectado. Si no fue usted, cancele aqui: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY, _L.DISTRACTION),
+             english_gloss="{brand} notice: a charge of {currency}{amount} was detected. If it was not you, cancel here: {url}"),
+    Template(ScamType.DELIVERY, "es",
+             "{brand}: su paquete {tracking} esta retenido por una tasa de aduana de {currency}{amount}. Pague ahora: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your parcel {tracking} is held for a customs fee of {currency}{amount}. Pay now: {url}"),
+    Template(ScamType.GOVERNMENT, "es",
+             "{brand}: usted tiene derecho a una devolucion de {currency}{amount}. Solicite antes de la fecha limite: {url}",
+             _lures(_L.AUTHORITY, _L.NEED_AND_GREED, _L.TIME_URGENCY),
+             english_gloss="{brand}: you are entitled to a refund of {currency}{amount}. Claim before the deadline: {url}"),
+    Template(ScamType.TELECOM, "es",
+             "{brand}: el pago de su factura ha fallado. Actualice sus datos para mantener su linea activa: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your bill payment failed. Update your details to keep your line active: {url}"),
+    Template(ScamType.HEY_MUM_DAD, "es",
+             "Hola mama, se me rompio el telefono y este es mi numero nuevo. Escribeme por favor, es urgente.",
+             _lures(_L.KINDNESS, _L.DISTRACTION, _L.TIME_URGENCY), needs_url=False,
+             english_gloss="Hi mum, my phone broke and this is my new number. Please text me, it's urgent."),
+    Template(ScamType.WRONG_NUMBER, "es",
+             "Hola Maria, ¿seguimos quedando manana para el cafe?",
+             _lures(_L.DISTRACTION, _L.KINDNESS), needs_url=False,
+             english_gloss="Hi Maria, are we still meeting tomorrow for coffee?"),
+    Template(ScamType.OTHERS, "es",
+             "{brand}: su suscripcion sera cancelada hoy. Actualice su pago: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your subscription will be cancelled today. Update your payment: {url}"),
+    Template(ScamType.SPAM, "es",
+             "CASINO: ¡150 giros gratis para una cuenta nueva! Unase a los ganadores hoy: {url}",
+             _lures(_L.HERD, _L.NEED_AND_GREED),
+             english_gloss="CASINO: 150 free spins for a new account! Join the winners today: {url}"),
+]
+
+_NL: List[Template] = [
+    Template(ScamType.BANKING, "nl",
+             "{brand}: uw rekening is tijdelijk geblokkeerd wegens verdachte activiteit. Klik om uw gegevens te verifieren: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account is temporarily blocked due to suspicious activity. Click to verify your details: {url}"),
+    Template(ScamType.BANKING, "nl",
+             "{brand}: uw bankpas verloopt vandaag. Vraag direct een nieuwe pas aan om te blijven betalen: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your bank card expires today. Request a new card immediately to keep paying: {url}"),
+    Template(ScamType.DELIVERY, "nl",
+             "{brand}: uw pakket {tracking} kon niet worden bezorgd. Plan een nieuwe bezorging binnen 12 uur: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your parcel {tracking} could not be delivered. Schedule a new delivery within 12 hours: {url}"),
+    Template(ScamType.GOVERNMENT, "nl",
+             "{brand}: u heeft nog een openstaande schuld van {currency}{amount}. Betaal vandaag om beslaglegging te voorkomen: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: you have an outstanding debt of {currency}{amount}. Pay today to avoid seizure: {url}"),
+    Template(ScamType.TELECOM, "nl",
+             "{brand}: het is niet gelukt uw factuur te incasseren. Werk uw gegevens bij om uw nummer actief te houden: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: we could not collect your bill. Update your details to keep your number active: {url}"),
+    Template(ScamType.HEY_MUM_DAD, "nl",
+             "Hoi mam, mijn telefoon is kapot en dit is mijn nieuwe nummer. Kun je me zo snel mogelijk een berichtje sturen? Het is dringend.",
+             _lures(_L.KINDNESS, _L.DISTRACTION, _L.TIME_URGENCY), needs_url=False,
+             english_gloss="Hi mum, my phone is broken and this is my new number. Can you message me as soon as possible? It's urgent."),
+    Template(ScamType.OTHERS, "nl",
+             "{brand}: uw account wordt het verwijderd wegens inactiviteit. Behoud uw account: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account will be deleted due to inactivity. Keep your account: {url}"),
+]
+
+_FR: List[Template] = [
+    Template(ScamType.BANKING, "fr",
+             "{brand}: votre compte a été suspendu suite à une activité inhabituelle. Veuillez vérifier vos informations: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been suspended following unusual activity. Please verify your information: {url}"),
+    Template(ScamType.DELIVERY, "fr",
+             "{brand}: votre colis {tracking} est en attente. Des frais de {currency}{amount} sont requis: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your parcel {tracking} is pending. Fees of {currency}{amount} are required: {url}"),
+    Template(ScamType.GOVERNMENT, "fr",
+             "{brand}: vous avez un remboursement de {currency}{amount} en attente. Réclamez-le avant la date limite: {url}",
+             _lures(_L.AUTHORITY, _L.NEED_AND_GREED, _L.TIME_URGENCY),
+             english_gloss="{brand}: you have a refund of {currency}{amount} pending. Claim it before the deadline: {url}"),
+    Template(ScamType.GOVERNMENT, "fr",
+             "{brand}: votre vignette Crit'Air doit être mise à jour. Commandez-la aujourd'hui: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your Crit'Air sticker must be updated. Order it today: {url}"),
+    Template(ScamType.TELECOM, "fr",
+             "{brand}: le paiement de votre facture a échoué. Mettez à jour vos coordonnées pour garder votre ligne: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your bill payment failed. Update your details to keep your line: {url}"),
+    Template(ScamType.HEY_MUM_DAD, "fr",
+             "Coucou maman, j'ai cassé mon téléphone, voici mon nouveau numéro. Écris-moi vite, c'est urgent.",
+             _lures(_L.KINDNESS, _L.DISTRACTION, _L.TIME_URGENCY), needs_url=False,
+             english_gloss="Hi mum, I broke my phone, here is my new number. Write to me quickly, it's urgent."),
+    Template(ScamType.OTHERS, "fr",
+             "{brand}: votre abonnement sera résilié aujourd'hui. Mettez à jour votre paiement: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your subscription will be cancelled today. Update your payment: {url}"),
+]
+
+_DE: List[Template] = [
+    Template(ScamType.BANKING, "de",
+             "{brand}: Ihr Konto wurde wegen verdächtiger Aktivitäten gesperrt. Bitte bestätigen Sie Ihre Daten: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account was locked due to suspicious activity. Please confirm your details: {url}"),
+    Template(ScamType.DELIVERY, "de",
+             "{brand}: Ihr Paket {tracking} konnte nicht zugestellt werden. Bitte bestätigen Sie Ihre Adresse: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your parcel {tracking} could not be delivered. Please confirm your address: {url}"),
+    Template(ScamType.GOVERNMENT, "de",
+             "{brand}: Ihnen steht eine Steuererstattung von {currency}{amount} zu. Jetzt beantragen: {url}",
+             _lures(_L.AUTHORITY, _L.NEED_AND_GREED),
+             english_gloss="{brand}: you are entitled to a tax refund of {currency}{amount}. Apply now: {url}"),
+    Template(ScamType.TELECOM, "de",
+             "{brand}: Ihre letzte Rechnung konnte nicht abgebucht werden. Aktualisieren Sie Ihre Zahlungsdaten: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your last bill could not be debited. Update your payment details: {url}"),
+    Template(ScamType.HEY_MUM_DAD, "de",
+             "Hallo Mama, mein Handy ist kaputt und das ist meine neue Nummer. Schreib mir bitte schnell, es ist dringend.",
+             _lures(_L.KINDNESS, _L.DISTRACTION, _L.TIME_URGENCY), needs_url=False,
+             english_gloss="Hi mum, my phone is broken and this is my new number. Please write to me quickly, it's urgent."),
+]
+
+_IT: List[Template] = [
+    Template(ScamType.BANKING, "it",
+             "{brand}: il tuo conto è stato bloccato per attività sospetta. Gentile cliente, verifica i tuoi dati: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been blocked for suspicious activity. Dear customer, verify your details: {url}"),
+    Template(ScamType.DELIVERY, "it",
+             "{brand}: il tuo pacco {tracking} è in giacenza. Paga {currency}{amount} per lo svincolo: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your parcel {tracking} is in storage. Pay {currency}{amount} to release it: {url}"),
+    Template(ScamType.TELECOM, "it",
+             "{brand}: il pagamento della tua fattura non è andato a buon fine. Aggiorna i dati per mantenere la linea: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your bill payment failed. Update your details to keep your line: {url}"),
+]
+
+_ID: List[Template] = [
+    Template(ScamType.BANKING, "id",
+             "{brand}: akun anda telah diblokir karena aktivitas mencurigakan. Silakan verifikasi data anda di {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been blocked due to suspicious activity. Please verify your details at {url}"),
+    Template(ScamType.OTHERS, "id",
+             "Selamat! Anda terpilih untuk pekerjaan paruh waktu dengan gaji {currency}{amount} per hari. Ribuan orang sudah bergabung dengan kami: {url}",
+             _lures(_L.NEED_AND_GREED, _L.HERD),
+             english_gloss="Congratulations! You were selected for a part-time job paying {currency}{amount} per day. Thousands have already joined us: {url}"),
+    Template(ScamType.WRONG_NUMBER, "id",
+             "Halo kak, apakah ini nomor Pak Budi? Saya mau konfirmasi pesanan untuk besok.",
+             _lures(_L.DISTRACTION), needs_url=False,
+             english_gloss="Hello, is this Mr. Budi's number? I want to confirm the order for tomorrow."),
+    Template(ScamType.SPAM, "id",
+             "PROMO! Diskon 80% untuk semua produk akhir pekan ini saja: {url}",
+             _lures(_L.NEED_AND_GREED, _L.TIME_URGENCY),
+             english_gloss="PROMO! 80% off all products this weekend only: {url}"),
+]
+
+_PT: List[Template] = [
+    Template(ScamType.BANKING, "pt",
+             "{brand}: sua conta foi bloqueada por atividade suspeita. Por favor, clique para verificar seus dados: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account was blocked for suspicious activity. Please click to verify your details: {url}"),
+    Template(ScamType.DELIVERY, "pt",
+             "{brand}: sua encomenda {tracking} está retida. Pague a taxa de {currency}{amount} para liberar: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your parcel {tracking} is held. Pay the fee of {currency}{amount} to release it: {url}"),
+]
+
+_JA: List[Template] = [
+    Template(ScamType.BANKING, "ja",
+             "{brand}お客様、アカウントに異常なログインが検出されました。こちらで確認してください: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand} customer, an unusual login was detected on your account. Please confirm here: {url}"),
+    Template(ScamType.DELIVERY, "ja",
+             "{brand}です。お荷物のお届けにあがりましたが不在のため持ち帰りました。ご確認ください: {url}",
+             _lures(_L.AUTHORITY),
+             english_gloss="This is {brand}. We attempted to deliver your package but you were absent. Please confirm: {url}"),
+    Template(ScamType.WRONG_NUMBER, "ja",
+             "こんにちは、田中さんですか？先週の件でご連絡しました。",
+             _lures(_L.DISTRACTION), needs_url=False,
+             english_gloss="Hello, is this Mr. Tanaka? I am contacting you about last week's matter."),
+]
+
+_HI: List[Template] = [
+    Template(ScamType.BANKING, "hi",
+             "{brand}: आपका खाता निलंबित कर दिया गया है। कृपया तुरंत अपना KYC अपडेट करें: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been suspended. Please update your KYC immediately: {url}"),
+    Template(ScamType.BANKING, "hi",
+             "{brand} के ग्राहक, आपके खाते में {currency}{amount} का इनाम है। अभी प्राप्त करें: {url}",
+             _lures(_L.NEED_AND_GREED, _L.TIME_URGENCY),
+             english_gloss="{brand} customer, you have a reward of {currency}{amount} in your account. Claim now: {url}"),
+]
+
+_PL: List[Template] = [
+    Template(ScamType.BANKING, "pl",
+             "{brand}: twoje konto zostało zablokowane. Proszę kliknij aby zweryfikować dane: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been blocked. Please click to verify your details: {url}"),
+    Template(ScamType.DELIVERY, "pl",
+             "{brand}: twoje paczka {tracking} czeka. Proszę kliknij i dopłać {amount}: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your parcel {tracking} is waiting. Please click and pay {amount}: {url}"),
+]
+
+_TR: List[Template] = [
+    Template(ScamType.BANKING, "tr",
+             "{brand}: hesabınız askıya alındı. Lütfen bilgilerinizi doğrulamak için tıklayın: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been suspended. Please click to verify your details: {url}"),
+    Template(ScamType.TELECOM, "tr",
+             "{brand}: faturanız ödenmedi. Hattınız için lütfen tıklayın: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your bill is unpaid. Please click for your line: {url}"),
+]
+
+_RO: List[Template] = [
+    Template(ScamType.BANKING, "ro",
+             "{brand}: contul dumneavoastră a fost blocat. Vă rugăm să confirmați datele pentru banca: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been blocked. Please confirm your details for the bank: {url}"),
+    Template(ScamType.DELIVERY, "ro",
+             "{brand}: coletul {tracking} este reținut. Vă rugăm să plătiți taxa pentru livrare: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: parcel {tracking} is held. Please pay the delivery fee: {url}"),
+]
+
+_CS: List[Template] = [
+    Template(ScamType.BANKING, "cs",
+             "{brand}: váš účet byl zablokován. Prosím klikněte a ověřte údaje pro banka: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been blocked. Please click and verify your details for the bank: {url}"),
+    Template(ScamType.DELIVERY, "cs",
+             "{brand}: váš balík {tracking} čeká. Prosím klikněte a zaplaťte poplatek: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your parcel {tracking} is waiting. Please click and pay the fee: {url}"),
+]
+
+_RU: List[Template] = [
+    Template(ScamType.BANKING, "ru",
+             "{brand}: ваш счет заблокирован. Пожалуйста, подтвердите данные для банк: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account is blocked. Please confirm your details for the bank: {url}"),
+    Template(ScamType.OTHERS, "ru",
+             "{brand}: ваш аккаунт будет удален. Пожалуйста, войдите для сохранения: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account will be deleted. Please log in to keep it: {url}"),
+]
+
+_SV: List[Template] = [
+    Template(ScamType.BANKING, "sv",
+             "{brand}: ditt konto har spärrats. Vänligen klicka för att verifiera hos banken: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your account has been blocked. Please click to verify with the bank: {url}"),
+    Template(ScamType.DELIVERY, "sv",
+             "{brand}: ditt paket {tracking} väntar. Vänligen klicka och betala avgiften: {url}",
+             _lures(_L.AUTHORITY, _L.TIME_URGENCY),
+             english_gloss="{brand}: your parcel {tracking} is waiting. Please click and pay the fee: {url}"),
+]
+
+_HAND_WRITTEN: Dict[str, List[Template]] = {
+    "en": _EN, "es": _ES, "nl": _NL, "fr": _FR, "de": _DE, "it": _IT,
+    "id": _ID, "pt": _PT, "ja": _JA, "hi": _HI, "pl": _PL, "tr": _TR,
+    "ro": _RO, "cs": _CS, "ru": _RU, "sv": _SV,
+}
+
+#: Fallback skeletons for the language long tail, composed from each
+#: language's marker lexicon: ``{m0}``.. are marker words, giving texts a
+#: genuinely detectable language signal.
+_FALLBACK_SHAPES: List[Tuple[ScamType, str, FrozenSet[LurePrinciple], bool]] = [
+    (ScamType.BANKING, "{brand} {m0} {m1} {m2} {m3}: {url}", _lures(_L.AUTHORITY, _L.TIME_URGENCY), True),
+    (ScamType.DELIVERY, "{brand} {m1} {m0} {tracking} {m2}: {url}", _lures(_L.AUTHORITY, _L.TIME_URGENCY), True),
+    (ScamType.GOVERNMENT, "{brand} {m2} {m0} {amount} {m3}: {url}", _lures(_L.AUTHORITY, _L.NEED_AND_GREED), True),
+    (ScamType.TELECOM, "{brand} {m0} {m3} {m1}: {url}", _lures(_L.AUTHORITY, _L.TIME_URGENCY), True),
+    (ScamType.OTHERS, "{brand} {m1} {m2} {m0}: {url}", _lures(_L.AUTHORITY, _L.TIME_URGENCY), True),
+    (ScamType.WRONG_NUMBER, "{m0} {m1} {m2}?", _lures(_L.DISTRACTION), False),
+    (ScamType.SPAM, "{m3} {m2} {m0}! {url}", _lures(_L.NEED_AND_GREED), True),
+]
+
+
+class TemplateLibrary:
+    """Indexed access to all templates, with long-tail fallbacks."""
+
+    def __init__(self, languages: Optional[LanguageRegistry] = None):
+        self._languages = languages or default_languages()
+        self._index: Dict[Tuple[ScamType, str], List[Template]] = {}
+        for language, templates in _HAND_WRITTEN.items():
+            for template in templates:
+                self._index.setdefault(
+                    (template.scam_type, language), []
+                ).append(template)
+        self._build_fallbacks()
+
+    def _build_fallbacks(self) -> None:
+        for language in self._languages:
+            for scam_type, shape, lures, needs_url in _FALLBACK_SHAPES:
+                key = (scam_type, language.code)
+                if key in self._index:
+                    continue
+                markers = list(language.markers)
+                while len(markers) < 4:
+                    markers.append(markers[-1])
+                text = shape.format(
+                    m0=markers[0], m1=markers[1], m2=markers[2], m3=markers[3],
+                    brand="{brand}", url="{url}", tracking="{tracking}",
+                    amount="{amount}",
+                )
+                gloss = {
+                    ScamType.BANKING: "{brand}: your account has been blocked. Verify at {url}",
+                    ScamType.DELIVERY: "{brand}: your parcel {tracking} is held. Confirm: {url}",
+                    ScamType.GOVERNMENT: "{brand}: a refund of {amount} awaits you: {url}",
+                    ScamType.TELECOM: "{brand}: your bill payment failed: {url}",
+                    ScamType.OTHERS: "{brand}: action required on your account: {url}",
+                    ScamType.WRONG_NUMBER: "Hello, is this the right number?",
+                    ScamType.SPAM: "Big promotion! {url}",
+                }[scam_type]
+                self._index.setdefault(key, []).append(
+                    Template(scam_type, language.code, text, lures,
+                             needs_url=needs_url, english_gloss=gloss)
+                )
+
+    def languages_for(self, scam_type: ScamType) -> List[str]:
+        return sorted({lang for st, lang in self._index if st is scam_type})
+
+    def templates(self, scam_type: ScamType, language: str) -> List[Template]:
+        """All templates for a (scam type, language) pair.
+
+        Falls back to English when the pair has no coverage at all (e.g.
+        Hey mum/dad in a tail language — the paper finds these scams only
+        in a handful of Western languages, §5.3).
+        """
+        key = (scam_type, language)
+        if key in self._index:
+            return list(self._index[key])
+        return list(self._index.get((scam_type, "en"), []))
+
+    def pick(
+        self, scam_type: ScamType, language: str, rng: random.Random
+    ) -> Template:
+        """Pick one template uniformly for the pair."""
+        options = self.templates(scam_type, language)
+        if not options:
+            raise ConfigurationError(
+                f"no templates for {scam_type}/{language}"
+            )
+        return rng.choice(options)
+
+    def all_templates(self) -> List[Template]:
+        result: List[Template] = []
+        for templates in self._index.values():
+            result.extend(templates)
+        return result
+
+
+_DEFAULT: Optional[TemplateLibrary] = None
+
+
+def default_templates() -> TemplateLibrary:
+    """Shared template library instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = TemplateLibrary()
+    return _DEFAULT

@@ -1,0 +1,38 @@
+"""Shared fixtures: one small world and one pipeline run per session.
+
+Building a world and running the full pipeline takes a couple of seconds;
+tests share session-scoped instances and must treat them as read-only.
+Tests that mutate state build their own objects.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pipeline import PipelineRun, run_pipeline
+from repro.world.scenario import ScenarioConfig, World, build_world
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    """A small but fully populated synthetic world (read-only)."""
+    return build_world(ScenarioConfig(seed=7726, n_campaigns=60))
+
+
+@pytest.fixture(scope="session")
+def pipeline_run(world) -> PipelineRun:
+    """One full collect→curate→enrich run over the shared world."""
+    return run_pipeline(world)
+
+
+@pytest.fixture(scope="session")
+def enriched(pipeline_run):
+    return pipeline_run.enriched
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A fresh deterministic RNG per test."""
+    return random.Random(1234)

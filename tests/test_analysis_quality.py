@@ -1,0 +1,47 @@
+"""Tests for the extraction-quality evaluation."""
+
+import pytest
+
+from repro.analysis.quality import (
+    evaluate_extraction_quality,
+    loss_breakdown,
+)
+
+
+class TestExtractionQuality:
+    @pytest.fixture(scope="class")
+    def report(self, world, pipeline_run):
+        return evaluate_extraction_quality(world, pipeline_run.dataset)
+
+    def test_evaluates_most_records(self, report, pipeline_run):
+        assert report.records_evaluated > len(pipeline_run.dataset) * 0.9
+
+    def test_text_recovery_near_perfect(self, report):
+        # §3.2: the vision extractor recovers text from every SMS image;
+        # only URL-redacted reports alter the text.
+        assert report.text.recall > 0.99
+        assert report.text.accuracy > 0.85
+
+    def test_sender_recovery_high_but_lossy(self, report):
+        # Redactions (~12%) plus the extractor's small miss rate.
+        assert 0.75 < report.sender.recall < 0.99
+        assert report.sender.accuracy > 0.98
+
+    def test_url_recovery(self, report):
+        # Reporter URL redactions ("bit.ly/***") cap accuracy below 1.
+        assert report.url.recall > 0.85
+        assert report.url.accuracy > 0.9
+
+    def test_timestamp_recovery(self, report):
+        assert report.timestamp.recall > 0.9
+        assert report.timestamp.accuracy > 0.9
+
+    def test_table_renders(self, report):
+        text = report.to_table().to_text()
+        assert "Recall" in text
+        assert "sender" in text
+
+    def test_loss_breakdown(self, world, pipeline_run):
+        losses = loss_breakdown(world, pipeline_run.dataset)
+        assert losses["sender_missing"] > 0      # redactions happen
+        assert losses["timestamp_dateless"] > 0  # time_only app style

@@ -1,0 +1,293 @@
+"""Tests for every analysis builder against the shared pipeline run.
+
+These assert the *shape* findings of the paper: who ranks first, what
+dominates, which invariants the tables must satisfy.
+"""
+
+import pytest
+
+from repro.analysis.detection import (
+    build_table9,
+    build_table18,
+    gsb_comparison,
+    vt_thresholds,
+)
+from repro.analysis.domains import (
+    build_table6,
+    build_table16,
+    build_table17,
+    free_hosting_counts,
+    registrar_usage,
+    tld_counters,
+)
+from repro.analysis.hosting import (
+    as_usage,
+    build_table8,
+    hosting_overview,
+)
+from repro.analysis.overview import (
+    build_table1,
+    build_table15,
+    collection_funnel,
+)
+from repro.analysis.sender import (
+    build_figure3_table,
+    build_table3,
+    build_table4,
+    build_table14,
+    figure3_data,
+    sender_kind_split,
+)
+from repro.analysis.shorteners import build_table5, shortener_usage
+from repro.analysis.strategies import (
+    brand_counts,
+    build_figure2_table,
+    build_table10,
+    build_table11,
+    build_table12,
+    build_table13,
+    language_counts,
+    lure_scam_matrix,
+    scam_category_counts,
+    timestamp_analysis,
+)
+from repro.analysis.tls import build_table7, ca_usage, tls_overview
+from repro.types import Forum, LurePrinciple, ScamType, SenderIdKind
+
+
+class TestTable1:
+    def test_twitter_dominates(self, pipeline_run):
+        table = build_table1(pipeline_run.collection, pipeline_run.dataset)
+        records = table.to_records()
+        twitter = next(r for r in records if r["Online Forum"] == "Twitter")
+        for forum in ("Reddit", "Smishtank", "Smishing.eu", "Pastebin"):
+            row = next(r for r in records if r["Online Forum"] == forum)
+            assert twitter["Posts"] > row["Posts"]
+
+    def test_total_row_present(self, pipeline_run):
+        table = build_table1(pipeline_run.collection, pipeline_run.dataset)
+        assert table.rows[-1][0] == "Total"
+
+    def test_funnel_monotonic(self, pipeline_run):
+        funnel = collection_funnel(pipeline_run.collection,
+                                   pipeline_run.dataset)
+        assert funnel["posts_collected"] >= funnel["records_curated"]
+        assert funnel["records_curated"] >= funnel["unique_messages"]
+
+
+class TestSenderAnalyses:
+    def test_kind_split_matches_paper_order(self, enriched):
+        split = sender_kind_split(enriched)
+        assert split.phone_numbers > split.alphanumeric > split.emails
+
+    def test_table3_mobile_dominates(self, enriched):
+        table = build_table3(enriched)
+        text = table.to_text()
+        assert "Mobile" in text
+        assert "Bad Format" in text
+
+    def test_table4_vodafone_top(self, enriched):
+        table = build_table4(enriched)
+        assert table.rows[0][0] == "Vodafone"
+
+    def test_table4_vodafone_multi_country(self, enriched):
+        table = build_table4(enriched)
+        countries = str(table.rows[0][2])
+        assert len(countries.split(",")) >= 3
+
+    def test_table14_india_top(self, enriched):
+        table = build_table14(enriched)
+        assert table.rows[0][0] == "IND"
+
+    def test_table14_live_leq_all(self, enriched):
+        table = build_table14(enriched)
+        for row in table.rows:
+            assert row[3] <= row[2]
+
+    def test_figure3_percentages_sum(self, enriched):
+        data = figure3_data(enriched)
+        assert data
+        for country, mix in data.items():
+            assert sum(mix.values()) == pytest.approx(100.0, abs=0.5)
+
+    def test_figure3_india_is_banking(self, enriched):
+        data = figure3_data(enriched)
+        if "IND" in data:
+            assert max(data["IND"].items(), key=lambda kv: kv[1])[0] is \
+                ScamType.BANKING
+
+    def test_figure3_table_builds(self, enriched):
+        table = build_figure3_table(enriched)
+        assert len(table) > 0
+
+
+class TestUrlAnalyses:
+    def test_table5_bitly_top(self, enriched):
+        table = build_table5(enriched)
+        assert table.rows[0][0] == "bit.ly"
+
+    def test_shortener_usage_consistent(self, enriched):
+        totals, per_scam = shortener_usage(enriched)
+        for name, scams in per_scam.items():
+            assert sum(scams.values()) <= totals[name]
+
+    def test_table6_com_top(self, enriched):
+        direct, _ = tld_counters(enriched)
+        assert direct.most_common(1)[0][0] == "com"
+
+    def test_table6_shortened_tlds_differ(self, enriched):
+        _, shortened = tld_counters(enriched)
+        assert shortened
+        assert "ly" in shortened  # bit.ly and friends
+
+    def test_table16_generic_dominates(self, enriched):
+        table = build_table16(enriched)
+        records = table.to_records()
+        generic = next(r for r in records if "gTLD" in r["Type"])
+        cc = next(r for r in records if "ccTLD" in r["Type"])
+        assert generic["URLs"] > cc["URLs"]
+
+    def test_table17_godaddy_top(self, enriched):
+        table = build_table17(enriched)
+        assert table.rows[0][0] == "GoDaddy"
+
+    def test_registrar_usage_counts_domains_once(self, enriched):
+        counts, _ = registrar_usage(enriched)
+        unique_domains = {
+            e.registered_domain for e in enriched.urls.values()
+            if e.whois is not None and e.whois.registrar
+        }
+        assert sum(counts.values()) == len(unique_domains)
+
+    def test_free_hosting_observed(self, enriched):
+        counts = free_hosting_counts(enriched)
+        # §4.3: web.app / ngrok.io style deployments exist.
+        assert sum(counts.values()) >= 0  # may be small in a small world
+
+
+class TestTlsHosting:
+    def test_table7_lets_encrypt_top(self, enriched):
+        table = build_table7(enriched)
+        assert table.rows[0][0] == "Let's Encrypt"
+
+    def test_ca_usage_domains_leq_certs(self, enriched):
+        certificates, domains = ca_usage(enriched)
+        for issuer in certificates:
+            assert domains[issuer] <= certificates[issuer]
+
+    def test_tls_overview(self, enriched):
+        overview = tls_overview(enriched)
+        assert overview is not None
+        assert overview.total_certificates >= overview.domains_with_certs
+        assert overview.per_domain.median <= overview.per_domain.mean * 3
+
+    def test_table8_builds_without_cloudflare_rows(self, enriched):
+        table = build_table8(enriched)
+        assert all(row[0] != "Cloudflare" for row in table.rows)
+
+    def test_hosting_overview_cloudflare_share(self, enriched):
+        overview = hosting_overview(enriched)
+        if overview.resolving_domains >= 10:
+            assert 0.0 <= overview.cloudflare_share <= 0.6
+
+    def test_as_usage_unique_ips(self, enriched):
+        ip_counts, asns, countries = as_usage(enriched)
+        for org in ip_counts:
+            assert asns[org]
+            assert countries[org]
+
+
+class TestDetection:
+    def test_table9_thresholds_monotone(self, enriched):
+        data = vt_thresholds(enriched)
+        values = list(data.malicious_at_least.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_table9_undetected_share(self, enriched):
+        data = vt_thresholds(enriched)
+        share = data.undetected / data.total
+        assert 0.3 < share < 0.65  # ~45% in the paper
+
+    def test_table9_builds(self, enriched):
+        assert len(build_table9(enriched)) == 9
+
+    def test_gsb_transparency_beats_api(self, enriched):
+        data = gsb_comparison(enriched)
+        from repro.types import GsbStatus
+        unsafe = data.transparency.get(GsbStatus.UNSAFE, 0)
+        # The transparency report finds more than the API (Table 18) —
+        # modulo small-sample noise, never fewer than half.
+        assert unsafe * 2 >= data.api_unsafe
+
+    def test_table18_builds(self, enriched):
+        table = build_table18(enriched)
+        assert len(table) == 3
+
+
+class TestStrategies:
+    def test_table10_banking_top(self, enriched):
+        counts = scam_category_counts(enriched)
+        assert counts.most_common(1)[0][0] is ScamType.BANKING
+
+    def test_table10_banking_share_near_half(self, enriched):
+        counts = scam_category_counts(enriched)
+        share = counts[ScamType.BANKING] / sum(counts.values())
+        assert 0.3 < share < 0.6  # paper: 45.1%
+
+    def test_table11_english_top(self, enriched):
+        counts = language_counts(enriched)
+        top, _ = counts.most_common(1)[0]
+        assert top == "en"
+
+    def test_table11_english_majority(self, enriched):
+        counts = language_counts(enriched)
+        assert counts["en"] / sum(counts.values()) > 0.5
+
+    def test_table12_sbi_top(self, enriched):
+        counts = brand_counts(enriched)
+        assert counts.most_common(1)[0][0] == "State Bank of India"
+
+    def test_table13_checkmarks(self, enriched):
+        matrix = lure_scam_matrix(enriched)
+        # Authority holds for the impersonation scams (Table 13).
+        assert matrix[LurePrinciple.AUTHORITY][ScamType.BANKING]
+        # Kindness marks the Hey mum/dad conversation scam.
+        assert matrix[LurePrinciple.KINDNESS][ScamType.HEY_MUM_DAD]
+        # Dishonesty applies to none of the named categories.
+        assert not any(matrix[LurePrinciple.DISHONESTY].values())
+
+    def test_tables_build(self, enriched):
+        for builder in (build_table10, build_table11, build_table12,
+                        build_table13):
+            assert len(builder(enriched)) > 0
+
+
+class TestFigure2:
+    def test_burst_campaign_removed(self, enriched):
+        analysis = timestamp_analysis(enriched)
+        assert analysis.excluded_campaign_size > 50  # the SBI burst
+
+    def test_weekday_business_hours(self, enriched):
+        analysis = timestamp_analysis(enriched)
+        for day in ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday"):
+            if analysis.samples[day]:
+                med = analysis.medians[day]
+                hour = int(med.split(":")[0])
+                assert 9 <= hour <= 20  # §5.1
+
+    def test_ks_results_cover_pairs(self, enriched):
+        analysis = timestamp_analysis(enriched)
+        assert len(analysis.ks_results) > 10
+
+    def test_figure2_table_builds(self, enriched):
+        table = build_figure2_table(enriched)
+        assert len(table) == 7
+
+
+class TestTable15:
+    def test_yearly_rows(self, pipeline_run):
+        table = build_table15(pipeline_run.collection)
+        years = [row[0] for row in table.rows[:-1]]
+        assert all(y.isdigit() for y in years)
+        assert years == sorted(years)
+        assert table.rows[-1][0] == "Total"

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.seed == 7726
+        assert args.campaigns == 120
+
+    def test_global_flags(self):
+        args = build_parser().parse_args(
+            ["--seed", "5", "--campaigns", "9", "report"]
+        )
+        assert args.seed == 5
+        assert args.campaigns == 9
+
+
+class TestCommands:
+    ARGS = ["--campaigns", "25", "--seed", "3"]
+
+    def test_report(self, capsys):
+        assert main(self.ARGS + ["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 2" in out
+
+    def test_release(self, tmp_path, capsys):
+        output = tmp_path / "rel.jsonl"
+        assert main(self.ARGS + ["release", str(output)]) == 0
+        assert output.exists()
+        assert "pseudo-anonymised" in capsys.readouterr().out
+
+    def test_casestudy(self, capsys):
+        assert main(self.ARGS + ["casestudy", "--sample", "50"]) == 0
+        assert "Malware Family" in capsys.readouterr().out
+
+    def test_mine(self, capsys):
+        assert main(self.ARGS + ["mine", "--top", "5"]) == 0
+        assert "Mined campaigns" in capsys.readouterr().out
+
+    def test_figures(self, tmp_path, capsys):
+        out_dir = tmp_path / "figs"
+        assert main(self.ARGS + ["figures", str(out_dir)]) == 0
+        assert (out_dir / "figure2.csv").exists()
+        assert (out_dir / "figure3.csv").exists()

@@ -1,0 +1,138 @@
+"""Tests for collection and curation over the shared world."""
+
+import pytest
+
+from repro.core.collection import collect_all
+from repro.core.config import PipelineConfig
+from repro.core.curation import Curator
+from repro.imaging.vision_openai import OpenAiVisionExtractor
+from repro.types import Forum
+from repro.utils.rng import derive
+
+
+class TestCollection:
+    def test_all_forums_contribute(self, pipeline_run):
+        by_forum = pipeline_run.collection.by_forum()
+        for forum in Forum:
+            assert by_forum.get(forum), forum
+
+    def test_no_duplicate_posts(self, pipeline_run):
+        ids = [(r.forum, r.post_id) for r in pipeline_run.collection.reports]
+        assert len(ids) == len(set(ids))
+
+    def test_keyword_recorded_for_search_forums(self, pipeline_run):
+        twitter = pipeline_run.collection.by_forum()[Forum.TWITTER]
+        searched = [r for r in twitter if not r.via_reply]
+        assert all(r.matched_keyword for r in searched)
+
+    def test_reply_originals_fetched(self, pipeline_run):
+        twitter = pipeline_run.collection.by_forum()[Forum.TWITTER]
+        assert any(r.via_reply for r in twitter)
+
+    def test_collection_respects_windows(self, pipeline_run):
+        windows = pipeline_run.config.windows
+        for report in pipeline_run.collection.by_forum()[Forum.TWITTER]:
+            assert report.posted_at < windows.twitter_end or report.via_reply
+
+    def test_deleted_historical_tweets_missed(self, world, pipeline_run):
+        # Deleted posts before the realtime window are invisible (§7.1).
+        collected_ids = {
+            r.post_id for r in pipeline_run.collection.reports
+            if r.forum is Forum.TWITTER
+        }
+        windows = pipeline_run.config.windows
+        deleted_historical = [
+            p for p in world.twitter.all_posts()
+            if p.deleted and p.created_at < windows.twitter_realtime_start
+            and any(k in p.body.lower() for k in pipeline_run.config.keywords)
+        ]
+        if not deleted_historical:
+            pytest.skip("no deleted historical posts in this draw")
+        for post in deleted_historical:
+            assert post.post_id not in collected_ids
+
+    def test_collect_all_is_repeatable(self, world):
+        first = collect_all(world.forums, PipelineConfig())
+        second = collect_all(world.forums, PipelineConfig())
+        assert len(first.reports) == len(second.reports)
+
+
+class TestCuration:
+    def test_stats_accounting(self, pipeline_run):
+        stats = pipeline_run.curation_stats
+        assert stats.reports_in == len(pipeline_run.collection.reports)
+        assert stats.records_out == len(pipeline_run.dataset)
+        assert stats.images_processed >= stats.images_dismissed
+
+    def test_decoy_images_dismissed(self, pipeline_run):
+        assert pipeline_run.curation_stats.images_dismissed > 0
+
+    def test_records_have_text(self, pipeline_run):
+        for record in pipeline_run.dataset:
+            assert record.text.strip()
+
+    def test_most_records_from_images(self, pipeline_run):
+        from_image = sum(1 for r in pipeline_run.dataset if r.from_image)
+        assert from_image > len(pipeline_run.dataset) * 0.6
+
+    def test_pastebin_records_parsed(self, pipeline_run):
+        records = pipeline_run.dataset.by_forum(Forum.PASTEBIN)
+        assert records
+        for record in records:
+            assert record.sender is not None or record.text
+
+    def test_smishing_eu_records_have_no_images(self, pipeline_run):
+        for record in pipeline_run.dataset.by_forum(Forum.SMISHING_EU):
+            assert not record.from_image
+
+    def test_extracted_text_matches_ground_truth(self, world, pipeline_run):
+        checked = 0
+        for record in pipeline_run.dataset:
+            if not record.from_image or record.truth_event_id is None:
+                continue
+            event = world.event(record.truth_event_id)
+            if event is None:
+                continue
+            # The vision extractor reconstructs the text verbatim unless
+            # the reporter redacted the URL.
+            if str(event.url) in record.text or event.url is None:
+                assert event.message.text.split()[:3] == \
+                    record.text.split()[:3]
+                checked += 1
+        assert checked > 50
+
+    def test_sender_extraction_accuracy(self, world, pipeline_run):
+        good = bad = 0
+        for record in pipeline_run.dataset:
+            if record.sender is None or record.truth_event_id is None:
+                continue
+            event = world.event(record.truth_event_id)
+            if event is None:
+                continue
+            if record.sender.normalized == event.sender.normalized:
+                good += 1
+            else:
+                bad += 1
+        assert good > bad * 20  # near-perfect sender recovery
+
+    def test_timestamps_mostly_recovered(self, world, pipeline_run):
+        with_ts = sum(1 for r in pipeline_run.dataset
+                      if r.from_image and r.timestamp is not None)
+        total_images = sum(1 for r in pipeline_run.dataset if r.from_image)
+        assert with_ts > total_images * 0.9
+
+    def test_dateless_timestamps_flagged(self, pipeline_run):
+        dateless = [
+            r for r in pipeline_run.dataset
+            if r.timestamp is not None and not r.timestamp.has_date
+        ]
+        # The time_only rendering style (~14%) produces these (§3.3.2).
+        assert dateless
+
+    def test_curator_fresh_run_matches(self, world, pipeline_run):
+        vision = OpenAiVisionExtractor(
+            derive(world.config.seed, "pipeline-vision"), miss_rate=0.015
+        )
+        curator = Curator(vision)
+        dataset = curator.curate(pipeline_run.collection.reports)
+        assert len(dataset) == len(pipeline_run.dataset)

@@ -1,0 +1,128 @@
+"""Tests for the dataset container and persistence."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.dataset import (
+    SmishingDataset,
+    SmishingRecord,
+    normalise_message_key,
+)
+from repro.net.url import parse_url
+from repro.sms.message import AnnotationLabels
+from repro.sms.senderid import classify_sender_id
+from repro.types import Forum, LurePrinciple, ScamType
+from repro.utils.timeutils import ParsedTimestamp
+
+
+def make_record(record_id="r1", text="Test message with evil.com/x",
+                forum=Forum.TWITTER, sender="+447700900123"):
+    return SmishingRecord(
+        record_id=record_id,
+        forum=forum,
+        source_post_id="p1",
+        text=text,
+        sender=classify_sender_id(sender) if sender else None,
+        timestamp=ParsedTimestamp(
+            value=dt.datetime(2022, 5, 1, 10, 30), has_date=True,
+            has_time=True, raw="2022-05-01 10:30",
+        ),
+        url=parse_url("https://evil.com/x"),
+        annotations=AnnotationLabels(
+            scam_type=ScamType.BANKING, language="en", brand="Chase",
+            lures=frozenset({LurePrinciple.AUTHORITY}),
+        ),
+        truth_event_id="ev1",
+    )
+
+
+class TestMessageKey:
+    def test_case_and_whitespace_folded(self):
+        assert normalise_message_key("Hello  WORLD") == \
+            normalise_message_key("hello world")
+
+    def test_digits_preserved(self):
+        assert normalise_message_key("pay 100") != \
+            normalise_message_key("pay 200")
+
+
+class TestRecord:
+    def test_accessors(self):
+        record = make_record()
+        assert record.scam_type is ScamType.BANKING
+        assert record.language == "en"
+        assert record.brand == "Chase"
+        assert record.has_full_timestamp
+
+    def test_json_round_trip(self):
+        record = make_record()
+        restored = SmishingRecord.from_json_dict(record.to_json_dict())
+        assert restored.record_id == record.record_id
+        assert restored.text == record.text
+        assert restored.sender.normalized == record.sender.normalized
+        assert str(restored.url) == str(record.url)
+        assert restored.annotations == record.annotations
+        assert restored.timestamp.value == record.timestamp.value
+
+    def test_json_round_trip_minimal(self):
+        record = SmishingRecord(
+            record_id="r2", forum=Forum.REDDIT, source_post_id="p",
+            text="bare text",
+        )
+        restored = SmishingRecord.from_json_dict(record.to_json_dict())
+        assert restored.sender is None
+        assert restored.url is None
+        assert restored.annotations is None
+
+
+class TestDataset:
+    def make_dataset(self):
+        return SmishingDataset([
+            make_record("r1", "message one evil.com/x"),
+            make_record("r2", "MESSAGE ONE evil.com/x"),  # dup by key
+            make_record("r3", "message two evil.com/x",
+                        forum=Forum.REDDIT, sender="7726"),
+        ])
+
+    def test_len_iter_getitem(self):
+        dataset = self.make_dataset()
+        assert len(dataset) == 3
+        assert dataset[0].record_id == "r1"
+        assert len(list(dataset)) == 3
+
+    def test_unique_counts(self):
+        dataset = self.make_dataset()
+        assert len(dataset.unique_messages()) == 2
+        assert len(dataset.unique_senders()) == 2
+        assert len(dataset.unique_urls()) == 1
+
+    def test_forum_counts(self):
+        dataset = self.make_dataset()
+        counts = dataset.forum_counts(Forum.TWITTER, posts=10, images=4)
+        assert counts.posts == 10
+        assert counts.messages_total == 2
+        assert counts.messages_unique == 1
+        assert counts.senders_unique == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        dataset = self.make_dataset()
+        path = tmp_path / "data.jsonl"
+        written = dataset.save_jsonl(path)
+        assert written == 3
+        restored = SmishingDataset.load_jsonl(path)
+        assert len(restored) == 3
+        assert restored[0].text == dataset[0].text
+
+    def test_with_annotations(self):
+        dataset = SmishingDataset([
+            SmishingRecord(record_id="r1", forum=Forum.TWITTER,
+                           source_post_id="p", text="x"),
+        ])
+        labels = AnnotationLabels(
+            scam_type=ScamType.SPAM, language="en", brand=None,
+            lures=frozenset(),
+        )
+        updated = dataset.with_annotations({"r1": labels})
+        assert updated[0].annotations == labels
+        assert dataset[0].annotations is None  # original untouched

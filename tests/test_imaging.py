@@ -1,0 +1,251 @@
+"""Tests for screenshots, rendering and the three extraction back-ends."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.imaging.ocr import PytesseractOcr
+from repro.imaging.renderer import ScreenshotRenderer
+from repro.imaging.screenshot import (
+    AppSkin,
+    ImageKind,
+    Screenshot,
+    TextLine,
+    redact,
+    word_wrap,
+)
+from repro.imaging.vision_google import GoogleVisionOcr
+from repro.imaging.vision_openai import (
+    OpenAiVisionExtractor,
+    VISION_PROMPT,
+    VisionExtraction,
+)
+from repro.sms.message import SmishingEvent, SmsMessage
+from repro.sms.senderid import classify_sender_id
+from repro.types import LurePrinciple, ScamType
+from repro.utils.rng import derive
+
+
+def make_event(text="Your ACME account is locked. Visit "
+                    "https://acme-verify.com/login now",
+               sender="+447700900123", language="en"):
+    message = SmsMessage(
+        text=text,
+        sender=classify_sender_id(sender),
+        received_at=dt.datetime(2022, 5, 10, 14, 30),
+        recipient_country="GBR",
+        url=None,
+    )
+    return SmishingEvent(
+        event_id="ev-test", message=message, campaign_id="c0",
+        scam_type=ScamType.BANKING, language=language, brand="ACME",
+        lures=frozenset({LurePrinciple.AUTHORITY}),
+    )
+
+
+@pytest.fixture()
+def renderer(rng):
+    return ScreenshotRenderer(derive(9, "render-test"))
+
+
+class TestWordWrap:
+    def test_short_text_single_row(self):
+        assert word_wrap("hello", 20) == [("hello", False)]
+
+    def test_soft_wrap_not_continuation(self):
+        rows = word_wrap("one two three four five six seven", 12)
+        assert len(rows) > 1
+        assert all(not cont for _, cont in rows)
+
+    def test_long_token_hard_split(self):
+        url = "https://example.com/very-long-path-indeed-here"
+        rows = word_wrap(f"visit {url}", 20)
+        continuations = [row for row, cont in rows if cont]
+        assert continuations
+        # Re-joining continuations reconstructs the URL.
+        rebuilt = ""
+        for row, cont in rows:
+            rebuilt = rebuilt + row if cont else (rebuilt + " " + row).strip()
+        assert url in rebuilt
+
+    def test_width_respected(self):
+        for row, _ in word_wrap("word " * 50, 18):
+            assert len(row) <= 18
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(ValueError):
+            word_wrap("text", 3)
+
+    def test_newlines_preserved_as_breaks(self):
+        rows = word_wrap("line one\nline two", 40)
+        assert len(rows) == 2
+
+
+class TestRedact:
+    def test_keeps_prefix(self):
+        assert redact("+447700900123") == "+44" + "*" * 10
+
+    def test_short_string_fully_masked(self):
+        assert redact("ab") == "**"
+
+
+class TestRenderer:
+    def test_renders_sms_screenshot(self, renderer):
+        shot = renderer.render_event(make_event())
+        assert shot.kind is ImageKind.SMS_SCREENSHOT
+        assert shot.header_line is not None
+        assert shot.timestamp_line is not None
+        assert shot.body_lines
+
+    def test_truth_fields_populated(self, renderer):
+        event = make_event()
+        shot = renderer.render_event(event)
+        assert shot.truth_event_id == event.event_id
+        assert shot.truth_text == event.message.text
+
+    def test_sender_redaction(self, renderer):
+        shot = renderer.render_event(make_event(), redact_sender=True)
+        assert shot.sender_redacted
+        assert "*" in shot.header_line.text
+
+    def test_image_ids_unique(self, renderer):
+        ids = {renderer.render_event(make_event()).image_id
+               for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_decoys_are_not_sms(self, renderer):
+        for _ in range(20):
+            decoy = renderer.render_decoy()
+            assert decoy.kind is not ImageKind.SMS_SCREENSHOT
+
+
+class TestPytesseract:
+    def test_fails_on_empty_photo(self, renderer, rng):
+        ocr = PytesseractOcr(rng)
+        with pytest.raises(ExtractionError):
+            ocr.image_to_text(renderer.render_unrelated_photo())
+
+    def test_reads_plain_theme(self, rng):
+        shot = Screenshot(
+            image_id="i1", kind=ImageKind.SMS_SCREENSHOT,
+            skin=AppSkin.IOS_MESSAGES,
+            lines=[TextLine("hello world", "body")],
+        )
+        ocr = PytesseractOcr(rng, confusion_rate=0.0)
+        result = ocr.image_to_text(shot)
+        assert "hello world" in result.text
+
+    def test_custom_theme_often_fails(self, rng):
+        shot = Screenshot(
+            image_id="i1", kind=ImageKind.SMS_SCREENSHOT,
+            skin=AppSkin.CUSTOM_THEMED,
+            lines=[TextLine("hello", "body")],
+        )
+        ocr = PytesseractOcr(rng, theme_failure_rate=1.0)
+        with pytest.raises(ExtractionError):
+            ocr.image_to_text(shot)
+        assert ocr.failure_rate == 1.0
+
+    def test_glyph_confusion_applied(self, rng):
+        shot = Screenshot(
+            image_id="i1", kind=ImageKind.SMS_SCREENSHOT,
+            skin=AppSkin.IOS_MESSAGES,
+            lines=[TextLine("l" * 60, "body")],
+        )
+        ocr = PytesseractOcr(rng, confusion_rate=0.8)
+        result = ocr.image_to_text(shot)
+        assert "I" in result.text  # l confused with I (§3.2)
+
+    def test_reads_email_screenshots_indiscriminately(self, renderer, rng):
+        # Plain OCR cannot tell what an image is (§3.2).
+        ocr = PytesseractOcr(rng, confusion_rate=0.0, theme_failure_rate=0.0)
+        result = ocr.image_to_text(renderer.render_email_screenshot())
+        assert result.text
+
+
+class TestGoogleVision:
+    def test_accurate_characters(self, renderer):
+        shot = renderer.render_event(make_event())
+        vision = GoogleVisionOcr(derive(2, "gv"), reorder_rate=0.0)
+        result = vision.annotate(shot)
+        # With no reordering, all body text present verbatim.
+        assert "locked" in result.full_text
+
+    def test_reordering_breaks_wrapped_urls(self):
+        event = make_event(
+            text="Pay here https://extremely-long-domain-name-example.com/"
+                 "path/that/wraps/lines/for/sure now"
+        )
+        renderer = ScreenshotRenderer(derive(4, "gvr"), width_chars=24)
+        shot = renderer.render_event(event, redact_sender=False,
+                                     redact_url=False)
+        vision = GoogleVisionOcr(derive(4, "gv2"), reorder_rate=1.0)
+        result = vision.annotate(shot)
+        from repro.net.url import extract_urls
+        urls = extract_urls(result.full_text.replace("\n", " "))
+        full = [u for u in urls
+                if "/path/that/wraps/lines/for/sure" in u.path]
+        assert not full  # URL truncated by reading-order loss (§3.2)
+
+    def test_raises_on_textless_image(self, renderer):
+        vision = GoogleVisionOcr(derive(5, "gv3"))
+        with pytest.raises(ExtractionError):
+            vision.annotate(renderer.render_unrelated_photo())
+
+
+class TestOpenAiVision:
+    @pytest.fixture()
+    def extractor(self):
+        return OpenAiVisionExtractor(derive(6, "oai"), miss_rate=0.0)
+
+    def test_extracts_all_fields(self, renderer, extractor):
+        event = make_event()
+        shot = renderer.render_event(event, redact_sender=False,
+                                     redact_url=False)
+        result = extractor.extract(shot)
+        assert not result.dismissed
+        assert "locked" in result.text
+        assert result.sender_id == event.sender.raw
+        assert result.timestamp
+
+    def test_rejoins_wrapped_urls(self, extractor):
+        url = ("https://extremely-long-domain-name-example.com/"
+               "path/that/wraps/lines")
+        event = make_event(text=f"Pay here {url} now")
+        renderer = ScreenshotRenderer(derive(8, "oair"), width_chars=24)
+        shot = renderer.render_event(event, redact_sender=False,
+                                     redact_url=False)
+        result = extractor.extract(shot)
+        assert url in result.text
+        assert result.url == url
+
+    def test_dismisses_posters(self, renderer, extractor):
+        result = extractor.extract(renderer.render_awareness_poster())
+        assert result.dismissed
+        assert extractor.dismissal_rate > 0
+
+    def test_dismisses_email_screenshots(self, renderer, extractor):
+        assert extractor.extract(renderer.render_email_screenshot()).dismissed
+
+    def test_redacted_sender_left_empty(self, renderer, extractor):
+        shot = renderer.render_event(make_event(), redact_sender=True)
+        assert extractor.extract(shot).sender_id == ""
+
+    def test_json_round_trip(self):
+        extraction = VisionExtraction(
+            timestamp="Today 10:00", text="hi", url="", sender_id="7726"
+        )
+        parsed = VisionExtraction.from_json(extraction.to_json())
+        assert parsed.text == "hi"
+        assert parsed.sender_id == "7726"
+        assert not parsed.dismissed
+
+    def test_dismissed_json_is_empty_object(self):
+        extraction = VisionExtraction("", "", "", "", dismissed=True)
+        parsed = VisionExtraction.from_json(extraction.to_json())
+        assert parsed.dismissed
+
+    def test_prompt_is_appendix_d1(self):
+        assert "screenshot" in VISION_PROMPT
+        assert "sender-id" in VISION_PROMPT

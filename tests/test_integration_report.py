@@ -1,0 +1,59 @@
+"""Integration test: the full paper report over one pipeline run."""
+
+import pytest
+
+from repro.analysis.report import generate_paper_report
+
+EXPECTED_ARTEFACTS = {
+    "table1", "table3", "table4", "table5", "table6", "table7", "table8",
+    "table9", "table10", "table11", "table12", "table13", "table14",
+    "table15", "table16", "table17", "table18", "table19",
+    "figure2", "figure3",
+}
+
+
+@pytest.fixture(scope="module")
+def report(pipeline_run):
+    return generate_paper_report(pipeline_run)
+
+
+class TestPaperReport:
+    def test_every_table_and_figure_present(self, report):
+        assert set(report.tables) == EXPECTED_ARTEFACTS
+
+    def test_all_tables_nonempty(self, report):
+        for key, table in report.tables.items():
+            assert len(table) > 0, key
+
+    def test_render_is_printable(self, report):
+        text = report.render()
+        assert "Table 1" in text
+        assert "Table 19" in text
+        assert "Figure 2" in text
+        assert "OpenAI evaluation" in text
+
+    def test_case_study_attached(self, report):
+        assert report.case_study is not None
+        assert report.case_study.apk_downloads > 0
+
+    def test_evaluation_attached(self, report):
+        assert report.evaluation is not None
+        assert report.evaluation.sample_size == 150
+
+    def test_headline_shape_findings(self, report):
+        """The paper's who-wins findings, asserted in one place."""
+        assert report.tables["table4"].rows[0][0] == "Vodafone"
+        assert report.tables["table5"].rows[0][0] == "bit.ly"
+        assert report.tables["table6"].rows[0][0] == "com"
+        assert report.tables["table7"].rows[0][0] == "Let's Encrypt"
+        assert report.tables["table12"].rows[0][0] == "State Bank of India"
+        assert report.tables["table14"].rows[0][0] == "IND"
+        assert report.tables["table17"].rows[0][0] == "GoDaddy"
+
+    def test_optional_sections_can_be_skipped(self, pipeline_run):
+        slim = generate_paper_report(
+            pipeline_run, include_case_study=False,
+            include_evaluation=False,
+        )
+        assert "table19" not in slim.tables
+        assert slim.evaluation is None

@@ -1,0 +1,137 @@
+"""Tests for the mitigation simulators and delivery-path economics."""
+
+import random
+
+import pytest
+
+from repro.core.mitigation import (
+    CaScreening,
+    MitigationOutcome,
+    RegistrarAbuseCheck,
+    ReportingChannelModel,
+    ShortenerScreening,
+    run_all_mitigations,
+)
+from repro.errors import ValidationError
+from repro.sms.delivery import (
+    DeliveryEngine,
+    PATHS,
+    path_for,
+)
+from repro.types import SenderIdKind
+
+
+class TestReportingChannel:
+    def test_low_awareness_low_coverage(self):
+        model = ReportingChannelModel(awareness=0.24)
+        outcome = model.simulate(10_000, random.Random(1))
+        assert outcome.coverage < 0.15  # 24% awareness x 35% propensity
+
+    def test_full_awareness_bounded_by_propensity(self):
+        model = ReportingChannelModel(awareness=1.0, report_propensity=0.35)
+        outcome = model.simulate(10_000, random.Random(1))
+        assert 0.30 < outcome.coverage < 0.40
+
+    def test_awareness_sweep_monotone(self):
+        model = ReportingChannelModel()
+        outcomes = model.awareness_sweep(5_000, (0.1, 0.5, 0.9))
+        coverages = [o.coverage for o in outcomes]
+        assert coverages == sorted(coverages)
+
+    def test_invalid_awareness_rejected(self):
+        with pytest.raises(ValueError):
+            ReportingChannelModel(awareness=1.5)
+
+
+class TestInfrastructureMitigations:
+    def test_shortener_screening_intercepts_some(self, enriched):
+        outcome = ShortenerScreening(min_vendors=1).simulate(enriched)
+        assert outcome.eligible > 0
+        assert 0 < outcome.intercepted <= outcome.eligible
+
+    def test_stricter_screening_intercepts_fewer(self, enriched):
+        lax = ShortenerScreening(min_vendors=1).simulate(enriched)
+        strict = ShortenerScreening(min_vendors=5).simulate(enriched)
+        assert strict.intercepted <= lax.intercepted
+
+    def test_registrar_check_catches_squatting(self, enriched):
+        outcome = RegistrarAbuseCheck().simulate(enriched)
+        assert outcome.eligible > 0
+        # Most synthetic scam domains embed a brand slug.
+        assert outcome.coverage > 0.3
+
+    def test_registrar_check_spares_neutral_names(self):
+        check = RegistrarAbuseCheck()
+        assert check.domain_is_squatting("secure-netflix-login.com")
+        assert not check.domain_is_squatting("blue-mountain-hiking.org")
+
+    def test_ca_screening_bounded(self, enriched):
+        outcome = CaScreening().simulate(enriched)
+        assert outcome.intercepted <= outcome.eligible
+
+    def test_run_all(self, enriched):
+        outcomes = run_all_mitigations(enriched)
+        assert len(outcomes) == 5
+        assert all(isinstance(o, MitigationOutcome) for o in outcomes)
+        assert all(0.0 <= o.coverage <= 1.0 for o in outcomes)
+
+
+class TestDeliveryPaths:
+    def test_catalogue(self):
+        assert set(PATHS) == {"mno", "aggregator", "imessage", "sim_farm",
+                              "blaster"}
+        assert path_for("aggregator").can_spoof
+        assert not path_for("mno").can_spoof
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(ValidationError):
+            path_for("carrier-pigeon")
+
+    def test_aggregator_cheapest_bulk_route(self):
+        assert PATHS["aggregator"].unit_cost < PATHS["mno"].unit_cost
+        assert PATHS["aggregator"].unit_cost < PATHS["sim_farm"].unit_cost
+
+
+class TestDeliveryEngine:
+    def test_delivery_produces_receipts(self, world):
+        engine = DeliveryEngine(random.Random(3))
+        events = world.events[:200]
+        stats = engine.deliver(events)
+        assert stats.delivered + stats.blocked_messages == len(events)
+        assert stats.total_cost > 0
+        assert stats.total_segments >= stats.delivered
+
+    def test_receipts_record_path(self, world):
+        engine = DeliveryEngine(random.Random(3))
+        stats = engine.deliver(world.events[:100])
+        paths = {r.path for r in stats.receipts}
+        assert paths <= set(PATHS)
+
+    def test_burned_identity_gets_filtered(self, world):
+        # Push one identity far past its burn threshold.
+        event = next(e for e in world.events
+                     if e.delivery_path == "mno"
+                     and e.sender.kind is SenderIdKind.PHONE_NUMBER)
+        engine = DeliveryEngine(random.Random(3))
+        stats = engine.deliver([event] * 400)
+        assert stats.burned_identities == 1
+        assert stats.blocked_messages > 100
+
+    def test_cost_report_by_path(self, world):
+        engine = DeliveryEngine()
+        report = engine.campaign_cost_report(world.events[:300])
+        assert report
+        for path, stats in report.items():
+            assert path in PATHS
+            if stats.delivered:
+                assert stats.cost_per_delivered() > 0
+
+    def test_wrong_kind_rejected(self, world):
+        # An email identity forced down the MNO path is blocked.
+        import dataclasses
+        email_event = next(e for e in world.events
+                           if e.sender.kind is SenderIdKind.EMAIL)
+        bad = dataclasses.replace(email_event, delivery_path="mno")
+        stats = DeliveryEngine().deliver([bad])
+        assert stats.blocked_messages == 1
+        assert stats.delivered == 0

@@ -1,0 +1,141 @@
+"""Tests for IPv4 modelling and the AS registry."""
+
+import random
+
+import pytest
+
+from repro.errors import NotFound, ValidationError
+from repro.net.asn import AsRecord, AsRegistry, HostingChoice
+from repro.net.ipaddr import AddressPool, IPv4, Prefix
+
+
+class TestIPv4:
+    def test_parse_and_str_round_trip(self):
+        for text in ("0.0.0.0", "255.255.255.255", "104.16.2.1"):
+            assert str(IPv4.parse(text)) == text
+
+    def test_ordering(self):
+        assert IPv4.parse("1.0.0.1") < IPv4.parse("1.0.0.2")
+
+    def test_bad_octet(self):
+        with pytest.raises(ValidationError):
+            IPv4.parse("1.2.3.256")
+
+    def test_bad_shape(self):
+        with pytest.raises(ValidationError):
+            IPv4.parse("1.2.3")
+
+    def test_non_numeric(self):
+        with pytest.raises(ValidationError):
+            IPv4.parse("a.b.c.d")
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ValidationError):
+            IPv4(2**32)
+
+
+class TestPrefix:
+    def test_parse(self):
+        prefix = Prefix.parse("104.16.0.0/14")
+        assert prefix.length == 14
+        assert prefix.size == 2**18
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert IPv4.parse("10.200.3.4") in prefix
+        assert IPv4.parse("11.0.0.1") not in prefix
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValidationError):
+            Prefix(IPv4.parse("10.0.0.1"), 8)
+
+    def test_bad_length(self):
+        with pytest.raises(ValidationError):
+            Prefix(IPv4.parse("10.0.0.0"), 33)
+
+    def test_str(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_hosts_iteration(self):
+        prefix = Prefix.parse("192.168.1.0/30")
+        hosts = list(prefix.hosts())
+        assert len(hosts) == 4
+        assert str(hosts[0]) == "192.168.1.0"
+
+    def test_random_address_inside(self, rng):
+        prefix = Prefix.parse("172.16.0.0/16")
+        for _ in range(50):
+            assert prefix.random_address(rng) in prefix
+
+
+class TestAddressPool:
+    def test_unique_allocations(self, rng):
+        pool = AddressPool([Prefix.parse("10.0.0.0/28")])
+        addresses = {pool.allocate(rng).value for _ in range(16)}
+        assert len(addresses) == 16
+
+    def test_exhaustion_raises(self, rng):
+        pool = AddressPool([Prefix.parse("10.0.0.0/30")])
+        for _ in range(4):
+            pool.allocate(rng)
+        with pytest.raises(ValidationError):
+            pool.allocate(rng)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValidationError):
+            AddressPool([])
+
+
+class TestAsRegistry:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return AsRegistry()
+
+    def test_known_asn(self, registry):
+        record = registry.record(13335)
+        assert record.organisation == "Cloudflare"
+        assert record.is_proxy
+
+    def test_unknown_asn_raises(self, registry):
+        with pytest.raises(NotFound):
+            registry.record(99999999)
+
+    def test_multi_asn_organisation(self, registry):
+        amazon = registry.asns_for("Amazon")
+        assert {r.asn for r in amazon} == {16509, 14618}
+
+    def test_lookup_matches_allocation(self, registry, rng):
+        address = registry.allocate_address(63949, rng)
+        assert registry.lookup(address).asn == 63949
+
+    def test_lookup_unannounced_raises(self, registry):
+        with pytest.raises(NotFound):
+            registry.lookup(IPv4.parse("203.0.113.1"))
+
+    def test_country_of_deterministic(self, registry, rng):
+        address = registry.allocate_address(16509, rng)
+        assert registry.country_of(address) == registry.country_of(address)
+
+    def test_country_of_in_footprint(self, registry, rng):
+        address = registry.allocate_address(16509, rng)
+        assert registry.country_of(address) in registry.record(16509).countries
+
+    def test_bulletproof_catalogue(self, registry):
+        names = {r.organisation for r in registry.bulletproof_asns()}
+        assert "FranTech Solutions" in names
+        assert "Proton66 OOO" in names
+        assert "Stark Industries" in names
+
+    def test_organisations_sorted(self, registry):
+        orgs = registry.organisations()
+        assert orgs == sorted(orgs)
+
+
+class TestHostingChoice:
+    def test_visible_asn_prefers_proxy(self):
+        choice = HostingChoice(origin_asn=16509, proxy_asn=13335)
+        assert choice.visible_asn == 13335
+
+    def test_visible_asn_without_proxy(self):
+        choice = HostingChoice(origin_asn=16509)
+        assert choice.visible_asn == 16509

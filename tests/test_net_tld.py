@@ -1,0 +1,89 @@
+"""Tests for the TLD registry."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.net.tld import TldRegistry, default_registry
+from repro.types import TldClass
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestClassification:
+    def test_com_is_generic(self, registry):
+        assert registry.classify("com") is TldClass.GENERIC
+
+    def test_in_is_cc(self, registry):
+        assert registry.classify("in") is TldClass.COUNTRY_CODE
+
+    def test_biz_is_generic_restricted(self, registry):
+        assert registry.classify("biz") is TldClass.GENERIC_RESTRICTED
+
+    def test_gov_is_sponsored(self, registry):
+        assert registry.classify("gov") is TldClass.SPONSORED
+
+    def test_arpa_is_infrastructure(self, registry):
+        assert registry.classify("arpa") is TldClass.INFRASTRUCTURE
+
+    def test_case_and_dot_insensitive(self, registry):
+        assert registry.classify(".COM") is TldClass.GENERIC
+
+    def test_unknown_raises(self, registry):
+        with pytest.raises(ValidationError):
+            registry.classify("notarealtld")
+
+    def test_contains(self, registry):
+        assert "com" in registry
+        assert "zzz" not in registry
+
+    def test_all_suffixes_filter(self, registry):
+        generics = set(registry.all_suffixes(TldClass.GENERIC))
+        assert "com" in generics
+        assert "in" not in generics
+
+    def test_registry_is_large(self, registry):
+        # The paper observes >280 abused TLDs; our registry must offer a
+        # comparable namespace.
+        assert len(registry) > 200
+
+
+class TestSplitHost:
+    def test_simple_host(self, registry):
+        assert registry.split_host("example.com") == ("example.com", "com")
+
+    def test_subdomain(self, registry):
+        domain, tld = registry.split_host("fb.user-page.online")
+        assert domain == "user-page.online"
+        assert tld == "online"
+
+    def test_public_suffix_web_app(self, registry):
+        domain, tld = registry.split_host("sa-krs.web.app")
+        assert domain == "sa-krs.web.app"
+        assert tld == "web.app"
+
+    def test_public_suffix_ngrok(self, registry):
+        domain, tld = registry.split_host("abc123.ngrok.io")
+        assert tld == "ngrok.io"
+        assert domain == "abc123.ngrok.io"
+
+    def test_co_uk(self, registry):
+        domain, tld = registry.split_host("bank.example.co.uk")
+        assert domain == "example.co.uk"
+        assert tld == "co.uk"
+
+    def test_effective_tld(self, registry):
+        assert registry.effective_tld("x.y.web.app") == "web.app"
+
+    def test_no_dot_raises(self, registry):
+        with pytest.raises(ValidationError):
+            registry.split_host("localhost")
+
+    def test_unknown_tld_raises(self, registry):
+        with pytest.raises(ValidationError):
+            registry.split_host("example.invalidtld")
+
+    def test_default_registry_is_cached(self):
+        assert default_registry() is default_registry()

@@ -1,0 +1,163 @@
+"""Tests for URL parsing, extraction and defanging."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.net.url import (
+    RedirectChain,
+    Url,
+    defang,
+    extract_urls,
+    join_wrapped_url,
+    parse_url,
+    refang,
+    try_parse_url,
+)
+
+
+class TestParseUrl:
+    def test_full_https(self):
+        url = parse_url("https://example.com/login?x=1")
+        assert url.scheme == "https"
+        assert url.host == "example.com"
+        assert url.path == "/login"
+        assert url.query == "x=1"
+
+    def test_scheme_defaults_to_http(self):
+        assert parse_url("example.com/track").scheme == "http"
+
+    def test_host_lowercased(self):
+        assert parse_url("HTTPS://EXAMPLE.COM").host == "example.com"
+
+    def test_port(self):
+        assert parse_url("http://example.com:8080/x").port == 8080
+
+    def test_bad_port_raises(self):
+        with pytest.raises(ValidationError):
+            parse_url("http://example.com:abc/")
+
+    def test_port_out_of_range(self):
+        with pytest.raises(ValidationError):
+            parse_url("http://example.com:70000/")
+
+    def test_no_dot_raises(self):
+        with pytest.raises(ValidationError):
+            parse_url("http://localhost/")
+
+    def test_unknown_tld_raises(self):
+        with pytest.raises(ValidationError):
+            parse_url("http://example.qqzz/")
+
+    def test_str_round_trip(self):
+        text = "https://sub.example.com/path?a=b"
+        assert str(parse_url(text)) == text
+
+    def test_try_parse_returns_none(self):
+        assert try_parse_url("not a url") is None
+
+    def test_apex_and_tld(self):
+        url = parse_url("https://secure.bank-login.info/x")
+        assert url.apex == "bank-login.info"
+        assert url.effective_tld == "info"
+
+    def test_apk_detection(self):
+        assert parse_url("http://evil.com/internet.apk").is_apk_download
+        assert not parse_url("http://evil.com/page").is_apk_download
+
+    def test_with_path(self):
+        url = parse_url("https://a.com/x").with_path("/y", "d=s1")
+        assert url.path == "/y"
+        assert url.query == "d=s1"
+
+    def test_without_query(self):
+        url = parse_url("https://a.com/x?q=1").without_query()
+        assert url.query == ""
+
+
+class TestDefangRefang:
+    def test_refang_brackets(self):
+        assert refang("bit[.]ly/abc") == "bit.ly/abc"
+
+    def test_refang_hxxp(self):
+        assert refang("hxxps://evil.com") == "https://evil.com"
+
+    def test_defang_host_only(self):
+        url = parse_url("https://sa-krs.web.app/x")
+        assert defang(url) == "hxxps://sa-krs[.]web[.]app/x"
+
+    def test_defang_round_trip(self):
+        original = "https://evil.example.com/login"
+        assert str(parse_url(refang(defang(parse_url(original))))) == original
+
+    def test_parse_accepts_defanged(self):
+        url = parse_url("hxxp://evil[.]com/x")
+        assert url.host == "evil.com"
+
+
+class TestExtractUrls:
+    def test_single_url(self):
+        urls = extract_urls("Click https://bad.com/verify now")
+        assert [str(u) for u in urls] == ["https://bad.com/verify"]
+
+    def test_schemeless_url(self):
+        urls = extract_urls("go to ceskaposta.online/track today")
+        assert urls[0].host == "ceskaposta.online"
+
+    def test_trailing_punctuation_stripped(self):
+        urls = extract_urls("visit https://bad.com/x.")
+        assert str(urls[0]).endswith("/x")
+
+    def test_sentence_boundary_not_url(self):
+        # "now.Next" has an unknown TLD and must not extract.
+        assert extract_urls("do it now.Next week we talk") == []
+
+    def test_multiple_urls_in_order(self):
+        urls = extract_urls("a bit.ly/x then evil.com/y")
+        assert urls[0].host == "bit.ly"
+        assert urls[1].host == "evil.com"
+
+    def test_duplicates_removed(self):
+        urls = extract_urls("https://a.com/x and https://a.com/x")
+        assert len(urls) == 1
+
+    def test_denylist_platform_hosts(self):
+        assert extract_urls("see twitter.com/someuser") == []
+
+    def test_denylist_can_be_included(self):
+        urls = extract_urls("see twitter.com/u", include_denylisted=True)
+        assert len(urls) == 1
+
+    def test_no_urls(self):
+        assert extract_urls("hello there, no links here") == []
+
+
+class TestRedirectChain:
+    def test_append_and_final(self):
+        chain = RedirectChain()
+        a = parse_url("https://bit.ly/x")
+        b = parse_url("https://evil.com/")
+        chain.append(a)
+        chain.append(b)
+        assert chain.start == a
+        assert chain.final == b
+        assert len(chain) == 2
+        assert list(chain) == [a, b]
+
+    def test_empty_chain(self):
+        chain = RedirectChain()
+        assert chain.start is None
+        assert chain.final is None
+
+
+class TestJoinWrappedUrl:
+    def test_rejoins_split_url(self):
+        lines = [
+            "Your parcel is waiting: https://evil.com/very",
+            "longpath123",
+        ]
+        joined = join_wrapped_url(lines)
+        assert "https://evil.com/verylongpath123" in joined
+
+    def test_leaves_normal_lines(self):
+        lines = ["hello there", "second line"]
+        assert join_wrapped_url(lines) == "hello there\nsecond line"

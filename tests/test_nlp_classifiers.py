@@ -1,0 +1,215 @@
+"""Tests for translation, brand NER, scam-type and lure classification."""
+
+import pytest
+
+from repro.nlp.brands_ner import BrandRecognizer
+from repro.nlp.lures import LureDetector
+from repro.nlp.scamtype import ScamTypeClassifier
+from repro.nlp.translate import TemplateTranslator
+from repro.types import LurePrinciple, ScamType
+
+
+class TestTranslator:
+    @pytest.fixture(scope="class")
+    def translator(self):
+        return TemplateTranslator()
+
+    def test_english_passthrough(self, translator):
+        result = translator.translate("hello there", "en")
+        assert result.text == "hello there"
+        assert result.matched_template
+
+    def test_spanish_template_translates(self, translator):
+        text = ("BBVA: su cuenta ha sido bloqueada por actividad sospechosa. "
+                "Por favor verifique sus datos en https://x.com/a para "
+                "evitar la suspension.")
+        result = translator.translate(text, "es")
+        assert result.matched_template
+        assert "BBVA" in result.text
+        assert "blocked" in result.text
+        assert "https://x.com/a" in result.text
+
+    def test_unmatched_text_flagged(self, translator):
+        result = translator.translate("texto completamente libre", "es")
+        assert not result.matched_template
+        assert result.text == "texto completamente libre"
+
+    def test_memory_is_populated(self, translator):
+        assert translator.memory_size() > 50
+        assert translator.memory_size("es") >= 5
+
+
+class TestBrandRecognizer:
+    @pytest.fixture(scope="class")
+    def ner(self):
+        return BrandRecognizer()
+
+    def test_plain_brand(self, ner):
+        assert ner.find_primary("Your Netflix subscription expired") == \
+            "Netflix"
+
+    def test_leet_brand(self, ner):
+        assert ner.find_primary("Your N3tfl!x payment failed") == "Netflix"
+
+    def test_alias(self, ner):
+        assert ner.find_primary("SBI alert: account locked") == \
+            "State Bank of India"
+
+    def test_multiword_brand(self, ner):
+        assert ner.find_primary(
+            "State Bank of India: your KYC is pending"
+        ) == "State Bank of India"
+
+    def test_multiword_beats_substring(self, ner):
+        # "Royal Mail" must be preferred over any shorter match inside.
+        assert ner.find_primary("Royal Mail: parcel fee due") == "Royal Mail"
+
+    def test_brand_in_url_host(self, ner):
+        assert ner.find_primary("pay at netflix.secure-billing.xyz/x") == \
+            "Netflix"
+
+    def test_no_brand(self, ner):
+        assert ner.find_primary("hi, are we still on for dinner?") is None
+
+    def test_short_alias_requires_exact_token(self, ner):
+        # "ee" inside a word must not match EE the operator.
+        assert ner.find_primary("see you there, freee stuff") is None
+
+    def test_find_all_returns_mentions(self, ner):
+        matches = ner.find_all("Amazon and Netflix both emailed me")
+        names = {m.brand for m in matches}
+        assert names == {"Amazon", "Netflix"}
+
+
+class TestScamTypeClassifier:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        return ScamTypeClassifier()
+
+    def test_banking(self, classifier):
+        result = classifier.classify(
+            "Your account has been locked due to unusual activity. "
+            "Verify your card details now", brand="Chase",
+        )
+        assert result.scam_type is ScamType.BANKING
+
+    def test_delivery(self, classifier):
+        result = classifier.classify(
+            "Your parcel could not be delivered, pay the customs fee",
+            brand="DHL",
+        )
+        assert result.scam_type is ScamType.DELIVERY
+
+    def test_government(self, classifier):
+        result = classifier.classify(
+            "You are eligible for a tax refund, claim before the deadline",
+            brand="HMRC",
+        )
+        assert result.scam_type is ScamType.GOVERNMENT
+
+    def test_telecom(self, classifier):
+        result = classifier.classify(
+            "your SIM will be deactivated, re-register your line",
+            brand="Vodafone",
+        )
+        assert result.scam_type is ScamType.TELECOM
+
+    def test_hey_mum_dad(self, classifier):
+        result = classifier.classify(
+            "Hi mum, I dropped my phone down the toilet, this is my new "
+            "number, text me back"
+        )
+        assert result.scam_type is ScamType.HEY_MUM_DAD
+
+    def test_wrong_number(self, classifier):
+        result = classifier.classify(
+            "Hi Anna, are we still on for dinner at 7?"
+        )
+        assert result.scam_type is ScamType.WRONG_NUMBER
+
+    def test_spam(self, classifier):
+        result = classifier.classify(
+            "MEGA CASINO: 150 free spins waiting! Join the winners: "
+            "https://spins.example.com"
+        )
+        assert result.scam_type is ScamType.SPAM
+
+    def test_others_fallback(self, classifier):
+        result = classifier.classify(
+            "We reviewed your CV, flexible hours, apply: https://j.example.com"
+        )
+        assert result.scam_type is ScamType.OTHERS
+
+    def test_brand_sector_prior(self, classifier):
+        # Ambiguous wording + banking brand resolves to banking.
+        result = classifier.classify(
+            "Action required today: https://x.example.com",
+            brand="Rabobank",
+        )
+        assert result.scam_type is ScamType.BANKING
+
+    def test_spam_with_regulated_brand_demoted(self, classifier):
+        result = classifier.classify(
+            "Santander offer: claim your account reward now",
+            brand="Santander",
+        )
+        assert result.scam_type is ScamType.BANKING
+
+
+class TestLureDetector:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        return LureDetector()
+
+    def test_urgency(self, detector):
+        lures = detector.detect_set("act immediately, expires today")
+        assert LurePrinciple.TIME_URGENCY in lures
+
+    def test_authority(self, detector):
+        lures = detector.detect_set(
+            "security team notice: your account has been suspended"
+        )
+        assert LurePrinciple.AUTHORITY in lures
+
+    def test_need_and_greed(self, detector):
+        lures = detector.detect_set("claim your tax refund reward")
+        assert LurePrinciple.NEED_AND_GREED in lures
+
+    def test_kindness(self, detector):
+        lures = detector.detect_set("hi mum can you help me")
+        assert LurePrinciple.KINDNESS in lures
+
+    def test_herd(self, detector):
+        lures = detector.detect_set(
+            "thousands already joined, join the winners"
+        )
+        assert LurePrinciple.HERD in lures
+
+    def test_dishonesty(self, detector):
+        lures = detector.detect_set(
+            "quick cash, no credit check, not strictly legal"
+        )
+        assert LurePrinciple.DISHONESTY in lures
+
+    def test_distraction(self, detector):
+        lures = detector.detect_set("if this was not you, cancel here")
+        assert LurePrinciple.DISTRACTION in lures
+
+    def test_multi_label(self, detector):
+        lures = detector.detect_set(
+            "Bank alert: verify your account today or it will be suspended"
+        )
+        assert LurePrinciple.AUTHORITY in lures
+        assert LurePrinciple.TIME_URGENCY in lures
+
+    def test_plain_text_no_lures(self, detector):
+        assert detector.detect_set("the weather is nice") == frozenset()
+
+    def test_word_boundary_respected(self, detector):
+        # "nowhere" must not trigger the "now" urgency cue.
+        lures = detector.detect_set("this leads nowhere in particular")
+        assert LurePrinciple.TIME_URGENCY not in lures
+
+    def test_evidence_recorded(self, detector):
+        detection = detector.detect("act now, expires today")
+        assert detection.evidence[LurePrinciple.TIME_URGENCY]

@@ -1,0 +1,126 @@
+"""Tests for tokenization, normalization, and language identification."""
+
+import pytest
+
+from repro.nlp.langdetect import LanguageDetector
+from repro.nlp.normalize import (
+    normalize_text,
+    normalize_token,
+    squash,
+    strip_accents,
+)
+from repro.nlp.tokenize import dominant_script, tokenize, words_only
+
+
+class TestTokenize:
+    def test_basic_words_lowercased(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_url_kept_whole(self):
+        tokens = tokenize("visit https://evil.com/path?x=1 now")
+        assert "https://evil.com/path?x=1" in tokens
+
+    def test_schemeless_url_kept_whole(self):
+        tokens = tokenize("go to bit.ly/abc now")
+        assert "bit.ly/abc" in tokens
+
+    def test_devanagari_words_not_shattered(self):
+        # Regression: \w misses combining matras, splitting खाता apart.
+        tokens = tokenize("आपका खाता निलंबित")
+        assert "खाता" in tokens
+        assert "आपका" in tokens
+
+    def test_words_only_drops_urls_and_numbers(self):
+        words = words_only("call 555123 or visit evil.com/x today")
+        assert "today" in words
+        assert "555123" not in words
+        assert not any("evil" in w for w in words)
+
+
+class TestDominantScript:
+    @pytest.mark.parametrize("text,script", [
+        ("hello there", "latin"),
+        ("こんにちは", "kana"),
+        ("您的账户", "han"),
+        ("आपका खाता", "devanagari"),
+        ("ваш счет", "cyrillic"),
+        ("حسابك", "arabic"),
+        ("บัญชี", "thai"),
+        ("계좌", "hangul"),
+    ])
+    def test_scripts(self, text, script):
+        assert dominant_script(text) == script
+
+    def test_empty_unknown(self):
+        assert dominant_script("12345 !!!") == "unknown"
+
+
+class TestNormalize:
+    def test_leet_brand(self):
+        assert normalize_token("N3tfl!x") == "netflix"
+
+    def test_amaz0n(self):
+        assert normalize_token("Amaz0n") == "amazon"
+
+    def test_pure_numbers_untouched(self):
+        assert normalize_token("123456") == "123456"
+
+    def test_homoglyphs(self):
+        # Cyrillic а/е/о inside a Latin word.
+        assert normalize_token("pаypаl") == "paypal"
+
+    def test_normalize_text_preserves_shape(self):
+        assert normalize_text("Your 0TP is 123456") == "your otp is 123456"
+
+    def test_strip_accents(self):
+        assert strip_accents("café") == "cafe"
+
+    def test_squash(self):
+        assert squash("N3tfl!x") == "netflix"
+        assert squash("State Bank of India") == "statebankofindia"
+
+
+class TestLanguageDetector:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        return LanguageDetector()
+
+    @pytest.mark.parametrize("text,expected", [
+        ("Your account has been locked, please click the link", "en"),
+        ("Su cuenta ha sido bloqueada, por favor haga clic", "es"),
+        ("Uw rekening is geblokkeerd, klik om te verifieren", "nl"),
+        ("Votre compte a été suspendu, veuillez cliquez pour vous", "fr"),
+        ("Ihr Konto wurde gesperrt, bitte klicken Sie", "de"),
+        ("Akun anda telah diblokir, silakan klik untuk verifikasi", "id"),
+        ("Sua conta foi bloqueada, por favor clique você", "pt"),
+    ])
+    def test_latin_languages(self, detector, text, expected):
+        assert detector.detect_code(text) == expected
+
+    @pytest.mark.parametrize("text,expected", [
+        ("お客様のアカウントをください確認です", "ja"),
+        ("आपका खाता निलंबित है कृपया", "hi"),
+        ("您的账户请点击银行", "zh"),
+        ("ваш счет заблокирован пожалуйста банк", "ru"),
+    ])
+    def test_non_latin_languages(self, detector, text, expected):
+        assert detector.detect_code(text) == expected
+
+    def test_empty_defaults_english(self, detector):
+        assert detector.detect_code("") == "en"
+
+    def test_single_shared_word_not_enough(self, detector):
+        # One occurrence of "bank" must not flip an English text.
+        assert detector.detect_code(
+            "State Bank of India: a payment was attempted"
+        ) == "en"
+
+    def test_url_only_text_defaults(self, detector):
+        assert detector.detect_code("https://evil.com/x") == "en"
+
+    def test_confidence_bounded(self, detector):
+        result = detector.detect(
+            "Su cuenta ha sido bloqueada por favor haga clic"
+        )
+        assert 0.0 <= result.confidence <= 1.0
+        assert result.marker_hits > 0

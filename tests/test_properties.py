@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on core data structures & invariants."""
+
+import datetime as dt
+import random
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.imaging.screenshot import word_wrap
+from repro.net.ipaddr import IPv4
+from repro.net.url import Url, defang, parse_url, refang
+from repro.sms.gsm import (
+    is_gsm_text,
+    pack_septets,
+    segment_count,
+    septet_length,
+    split_segments,
+    unpack_septets,
+)
+from repro.sms.senderid import normalize_phone, try_classify_sender_id
+from repro.core.anonymize import scrub_text
+from repro.core.dataset import normalise_message_key
+from repro.utils.rng import WeightedSampler, partition_count, stable_hash
+from repro.utils.stats import cohens_kappa, ks_two_sample, median
+
+GSM_SAFE = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,!?@£$-:/()'",
+    min_size=0, max_size=400,
+)
+
+
+class TestGsmProperties:
+    @given(GSM_SAFE)
+    def test_split_segments_reassembles(self, text):
+        assert "".join(split_segments(text)) == text
+
+    @given(GSM_SAFE)
+    def test_segment_count_matches_split(self, text):
+        assert segment_count(text) == max(1, len(split_segments(text)))
+
+    @given(GSM_SAFE.filter(lambda t: t != ""))
+    def test_septet_pack_round_trip(self, text):
+        if is_gsm_text(text):
+            packed = pack_septets(text)
+            assert unpack_septets(packed, septet_length(text)) == text
+
+    @given(GSM_SAFE)
+    def test_packed_size_bound(self, text):
+        if is_gsm_text(text):
+            septets = septet_length(text)
+            assert len(pack_septets(text)) == (septets * 7 + 7) // 8
+
+
+class TestUrlProperties:
+    hosts = st.from_regex(r"[a-z][a-z0-9]{0,10}(\.[a-z][a-z0-9]{0,10}){0,2}"
+                          r"\.(com|net|org|info|ly|in|xyz)", fullmatch=True)
+    paths = st.from_regex(r"(/[a-zA-Z0-9._-]{0,12}){0,3}", fullmatch=True)
+
+    @given(hosts, paths)
+    def test_parse_str_round_trip(self, host, path):
+        url = parse_url(f"https://{host}{path}")
+        assert parse_url(str(url)) == url
+
+    @given(hosts, paths)
+    def test_defang_refang_inverse(self, host, path):
+        original = f"https://{host}{path}"
+        assert refang(defang(parse_url(original))) == original
+
+    @given(hosts)
+    def test_host_always_lowercase(self, host):
+        url = parse_url("HTTPS://" + host.upper())
+        assert url.host == url.host.lower()
+
+
+class TestIPv4Properties:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_parse_str_round_trip(self, value):
+        address = IPv4(value)
+        assert IPv4.parse(str(address)) == address
+
+    @given(st.integers(min_value=0, max_value=2**32 - 2))
+    def test_ordering_consistent(self, value):
+        assert IPv4(value) < IPv4(value + 1)
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.dictionaries(st.text(min_size=1, max_size=5),
+                           st.floats(min_value=0.01, max_value=100),
+                           min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=2**31))
+    def test_partition_count_sums(self, total, weights, seed):
+        counts = partition_count(random.Random(seed), total, weights)
+        assert sum(counts.values()) == total
+        assert all(v >= 0 for v in counts.values())
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4),
+                           st.floats(min_value=0.01, max_value=10),
+                           min_size=1, max_size=6),
+           st.integers(min_value=0, max_value=2**31))
+    def test_sampler_only_returns_known_outcomes(self, weights, seed):
+        sampler = WeightedSampler(weights)
+        rng = random.Random(seed)
+        for _ in range(20):
+            assert sampler.sample(rng) in weights
+
+    @given(st.text(max_size=50))
+    def test_stable_hash_in_range(self, text):
+        assert 0 <= stable_hash(text) < 2**32
+
+
+class TestStatsProperties:
+    labels = st.lists(st.sampled_from("abcd"), min_size=1, max_size=200)
+
+    @given(labels)
+    def test_kappa_self_agreement_is_one(self, seq):
+        assert cohens_kappa(seq, seq) == pytest.approx(1.0)
+
+    @given(labels, st.integers(min_value=0, max_value=2**31))
+    def test_kappa_bounded(self, seq, seed):
+        rng = random.Random(seed)
+        other = [rng.choice("abcd") for _ in seq]
+        kappa = cohens_kappa(seq, other)
+        assert -1.0001 <= kappa <= 1.0001
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=100))
+    def test_median_between_min_max(self, values):
+        m = median(values)
+        assert min(values) <= m <= max(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                    min_size=5, max_size=100),
+           st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                    min_size=5, max_size=100))
+    def test_ks_statistic_bounded(self, a, b):
+        result = ks_two_sample(a, b)
+        assert 0.0 <= result.statistic <= 1.0
+        assert 0.0 <= result.pvalue <= 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                    min_size=5, max_size=60))
+    def test_ks_symmetric(self, a):
+        shifted = [x + 0.1 for x in a]
+        assert ks_two_sample(a, shifted).statistic == pytest.approx(
+            ks_two_sample(shifted, a).statistic
+        )
+
+
+class TestWordWrapProperties:
+    @given(st.text(alphabet=string.ascii_letters + " ", max_size=300),
+           st.integers(min_value=8, max_value=60))
+    def test_rows_respect_width(self, text, width):
+        for row, _ in word_wrap(text, width):
+            assert len(row) <= width
+
+    @given(st.text(alphabet=string.ascii_letters + " ", max_size=300),
+           st.integers(min_value=8, max_value=60))
+    def test_content_preserved(self, text, width):
+        rows = word_wrap(text, width)
+        rebuilt = ""
+        for row, continuation in rows:
+            rebuilt += row if continuation else (" " + row)
+        original_words = text.split()
+        assert rebuilt.split() == [w for w in original_words if w]
+
+
+class TestSenderIdProperties:
+    @given(st.from_regex(r"\+?[0-9]{7,15}", fullmatch=True))
+    def test_digit_strings_classify_as_phone(self, raw):
+        sender = try_classify_sender_id(raw)
+        assert sender is not None
+        assert sender.digits == raw.lstrip("+")
+
+    @given(st.from_regex(r"[A-Z]{3,11}", fullmatch=True))
+    def test_letter_strings_classify_as_alnum(self, raw):
+        sender = try_classify_sender_id(raw)
+        assert sender is not None
+        assert sender.normalized == raw.lower()
+
+    @given(st.text(max_size=30))
+    def test_classification_never_crashes(self, raw):
+        try_classify_sender_id(raw)  # must not raise
+
+    @given(st.from_regex(r"\+?[0-9() .-]{7,20}", fullmatch=True))
+    def test_normalize_phone_idempotent(self, raw):
+        once = normalize_phone(raw)
+        assert normalize_phone(once) == once
+
+
+class TestAnonymizationProperties:
+    @given(st.text(alphabet=string.printable, max_size=200))
+    def test_scrub_idempotent(self, text):
+        once = scrub_text(text)
+        assert scrub_text(once) == once
+
+    @given(st.text(alphabet=string.ascii_lowercase + " ", max_size=100))
+    def test_scrub_preserves_plain_words(self, text):
+        assert scrub_text(text) == text
+
+
+class TestDatasetKeyProperties:
+    @given(st.text(max_size=100))
+    def test_key_idempotent(self, text):
+        key = normalise_message_key(text)
+        assert normalise_message_key(key) == key
+
+    @given(st.text(alphabet=string.ascii_letters + string.digits +
+                   " .,!?@#éüñàößç", max_size=100))
+    def test_key_case_insensitive(self, text):
+        # Restricted to alphabets with two-way case mappings; one-way
+        # mappings (Turkish dotless i) are out of scope for dedup keys.
+        assert normalise_message_key(text.upper()) == \
+            normalise_message_key(text.lower())

@@ -1,0 +1,134 @@
+"""Tests for repro.utils.rng."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import (
+    WeightedSampler,
+    derive,
+    partition_count,
+    sample_zipf,
+    shuffled,
+    stable_hash,
+    weighted_choice,
+)
+
+
+class TestDerive:
+    def test_same_inputs_same_stream(self):
+        a = derive(1, "x").random()
+        b = derive(1, "x").random()
+        assert a == b
+
+    def test_different_labels_diverge(self):
+        assert derive(1, "x").random() != derive(1, "y").random()
+
+    def test_different_seeds_diverge(self):
+        assert derive(1, "x").random() != derive(2, "x").random()
+
+
+class TestWeightedChoice:
+    def test_single_outcome(self, rng):
+        assert weighted_choice(rng, {"only": 1.0}) == "only"
+
+    def test_empty_mapping_raises(self, rng):
+        with pytest.raises(ValueError):
+            weighted_choice(rng, {})
+
+    def test_respects_weights(self, rng):
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[weighted_choice(rng, {"a": 9.0, "b": 1.0})] += 1
+        assert counts["a"] > counts["b"] * 4
+
+
+class TestWeightedSampler:
+    def test_zero_weights_dropped(self, rng):
+        sampler = WeightedSampler({"a": 0.0, "b": 1.0})
+        assert all(sampler.sample(rng) == "b" for _ in range(50))
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            WeightedSampler({"a": 0.0})
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            WeightedSampler({"a": -1.0})
+
+    def test_sample_many_length(self, rng):
+        sampler = WeightedSampler({"a": 1, "b": 2})
+        assert len(sampler.sample_many(rng, 17)) == 17
+
+    def test_distribution_roughly_proportional(self, rng):
+        sampler = WeightedSampler({"a": 3.0, "b": 1.0})
+        draws = sampler.sample_many(rng, 4000)
+        share = draws.count("a") / len(draws)
+        assert 0.68 < share < 0.82
+
+    def test_outcomes_exposed(self):
+        sampler = WeightedSampler({"a": 1, "b": 2})
+        assert set(sampler.outcomes) == {"a", "b"}
+
+
+class TestSampleZipf:
+    def test_in_range(self, rng):
+        for _ in range(200):
+            assert 0 <= sample_zipf(rng, 7) < 7
+
+    def test_head_heavier_than_tail(self, rng):
+        draws = [sample_zipf(rng, 10) for _ in range(3000)]
+        assert draws.count(0) > draws.count(9) * 2
+
+    def test_n_one(self, rng):
+        assert sample_zipf(rng, 1) == 0
+
+    def test_invalid_n(self, rng):
+        with pytest.raises(ValueError):
+            sample_zipf(rng, 0)
+
+
+class TestPartitionCount:
+    def test_sums_to_total(self, rng):
+        counts = partition_count(rng, 1000, {"a": 1, "b": 2, "c": 3.5})
+        assert sum(counts.values()) == 1000
+
+    def test_zero_total(self, rng):
+        counts = partition_count(rng, 0, {"a": 1, "b": 1})
+        assert sum(counts.values()) == 0
+
+    def test_proportions(self, rng):
+        counts = partition_count(rng, 100, {"a": 3, "b": 1})
+        assert counts["a"] == 75
+        assert counts["b"] == 25
+
+    def test_negative_total_raises(self, rng):
+        with pytest.raises(ValueError):
+            partition_count(rng, -1, {"a": 1})
+
+    def test_zero_weights_raise(self, rng):
+        with pytest.raises(ValueError):
+            partition_count(rng, 10, {"a": 0.0})
+
+
+class TestStableHash:
+    def test_stable_across_calls(self):
+        assert stable_hash("hello") == stable_hash("hello")
+
+    def test_different_inputs(self):
+        assert stable_hash("hello") != stable_hash("world")
+
+    def test_respects_modulus(self):
+        assert 0 <= stable_hash("x", modulus=97) < 97
+
+
+class TestShuffled:
+    def test_preserves_elements(self, rng):
+        items = list(range(20))
+        result = shuffled(rng, items)
+        assert sorted(result) == items
+
+    def test_does_not_mutate_input(self, rng):
+        items = [3, 1, 2]
+        shuffled(rng, items)
+        assert items == [3, 1, 2]

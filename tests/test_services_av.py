@@ -1,0 +1,198 @@
+"""Tests for the VirusTotal, GSB, AndroZoo, and Euphony simulators."""
+
+import hashlib
+
+import pytest
+
+from repro.errors import ServiceUnavailable
+from repro.services.androzoo import AndroZooService
+from repro.services.euphony import EuphonyUnifier, tokenize_label
+from repro.services.gsb import GoogleSafeBrowsingService
+from repro.services.virustotal import (
+    FileScanReport,
+    VENDORS,
+    VirusTotalService,
+)
+from repro.types import GsbStatus, Verdict
+
+URLS = [f"https://host{i}.com/path{i}" for i in range(3000)]
+
+
+@pytest.fixture(scope="module")
+def vt():
+    return VirusTotalService(rate_per_second=10_000)
+
+
+@pytest.fixture(scope="module")
+def vt_reports(vt):
+    return vt.scan_urls(URLS)
+
+
+class TestVirusTotalUrls:
+    def test_deterministic_per_url(self, vt):
+        first = vt.scan_url("https://example.com/x")
+        second = vt.scan_url("https://example.com/x")
+        assert first.verdicts == second.verdicts
+
+    def test_roster_size(self):
+        assert len(VENDORS) == 70  # "over 70 AV vendors" (§3.3.4)
+
+    def test_undetected_share_near_45pct(self, vt_reports):
+        undetected = sum(1 for r in vt_reports if r.undetected)
+        share = undetected / len(vt_reports)
+        assert 0.38 < share < 0.52  # Table 9: 44.9%
+
+    def test_malicious_thresholds_decreasing(self, vt_reports):
+        counts = [
+            sum(1 for r in vt_reports if r.malicious >= level)
+            for level in (1, 3, 5, 10, 15)
+        ]
+        assert counts == sorted(counts, reverse=True)
+        total = len(vt_reports)
+        assert 0.40 < counts[0] / total < 0.62   # >=1: paper 49.6%
+        assert counts[4] / total < 0.02          # >=15: paper 0.3%
+
+    def test_suspicious_rarely_many(self, vt_reports):
+        at_least_5 = sum(1 for r in vt_reports if r.suspicious >= 5)
+        assert at_least_5 / len(vt_reports) < 0.01  # paper: 0%
+
+    def test_vendor_verdict_accessor(self, vt):
+        report = vt.scan_url("https://example.com/y")
+        verdict = report.vendor_verdict("Fortinet")
+        assert verdict in (Verdict.CLEAN, Verdict.SUSPICIOUS,
+                           Verdict.MALICIOUS)
+
+    def test_scan_urls_dedup(self, vt):
+        reports = vt.scan_urls(["https://a.com/x", "https://a.com/x"])
+        assert len(reports) == 1
+
+
+class TestVirusTotalFiles:
+    def test_known_apk_gets_labels(self):
+        vt = VirusTotalService(rate_per_second=1000)
+        sha = hashlib.sha256(b"apk-1").hexdigest()
+        vt.register_apk(sha, "SMSspy")
+        report = vt.scan_file(sha)
+        assert report.positives > 5
+        assert any("SMSspy" in label or "smsspy" in label.lower()
+                   for label in report.labels.values())
+
+    def test_unknown_file_clean(self):
+        vt = VirusTotalService(rate_per_second=1000)
+        report = vt.scan_file("0" * 64)
+        assert report.positives == 0
+
+
+class TestGsb:
+    @pytest.fixture(scope="class")
+    def gsb(self):
+        return GoogleSafeBrowsingService(rate_per_second=10_000)
+
+    def test_api_flags_small_fraction(self, gsb):
+        results = gsb.query_api_batch(URLS)
+        share = sum(1 for r in results if r.flagged) / len(results)
+        assert 0.002 < share < 0.03  # paper: 1.0%
+
+    def test_transparency_blocks_half(self, gsb):
+        sweep = gsb.transparency_sweep(URLS)
+        blocked = sum(1 for s in sweep.values()
+                      if s is GsbStatus.NOT_QUERIED)
+        assert 0.42 < blocked / len(sweep) < 0.58  # paper: 50%
+
+    def test_transparency_finds_more_than_api(self, gsb):
+        sweep = gsb.transparency_sweep(URLS)
+        unsafe = sum(1 for s in sweep.values() if s is GsbStatus.UNSAFE)
+        api_unsafe = sum(1 for r in gsb.query_api_batch(URLS) if r.flagged)
+        assert unsafe > api_unsafe  # Table 18's key contrast
+
+    def test_vt_mirror_disagrees_with_api(self, gsb):
+        api = {u for u in URLS if gsb.query_api(u).flagged}
+        mirror = {u for u in URLS if gsb.verdict_on_virustotal(u)}
+        assert mirror  # some flagged
+        assert mirror != api  # stale snapshot differs
+
+    def test_transparency_raises_when_blocked(self, gsb):
+        blocked_url = next(
+            u for u in URLS
+            if _is_blocked(gsb, u)
+        )
+        with pytest.raises(ServiceUnavailable):
+            gsb.query_transparency(blocked_url)
+
+    def test_statuses_deterministic(self, gsb):
+        sweep1 = gsb.transparency_sweep(URLS[:100])
+        sweep2 = gsb.transparency_sweep(URLS[:100])
+        assert sweep1 == sweep2
+
+
+def _is_blocked(gsb, url):
+    try:
+        gsb.query_transparency(url)
+        return False
+    except ServiceUnavailable:
+        return True
+
+
+class TestAndroZoo:
+    def test_corpus_membership(self):
+        service = AndroZooService(corpus_size=100)
+        known = next(iter(service.known_hashes(1)))
+        assert known in service
+        assert service.lookup(known) is not None
+
+    def test_fresh_hashes_unknown(self):
+        service = AndroZooService(corpus_size=100)
+        fresh = hashlib.sha256(b"apk:fresh-dropper.com").hexdigest()
+        assert fresh not in service
+        assert service.lookup(fresh) is None
+
+    def test_batch_lookup(self):
+        service = AndroZooService(corpus_size=10)
+        known = next(iter(service.known_hashes(1)))
+        result = service.lookup_batch([known, "f" * 64])
+        assert result[known] is not None
+        assert result["f" * 64] is None
+
+
+class TestEuphony:
+    def test_tokenize_strips_platform_noise(self):
+        assert tokenize_label("a variant of Android/SMSspy.C") == ["smsspy"]
+        assert tokenize_label("Trojan.AndroidOS.HQWar.12") == ["hqwar"]
+
+    def test_generic_labels_yield_nothing(self):
+        assert tokenize_label("Android/Generic.Malware.7") == []
+        assert tokenize_label("Trojan.AndroidOS.Agent.c") == []
+
+    def test_majority_vote(self):
+        report = FileScanReport(sha256="a" * 64, labels={
+            "V1": "Android/SMSspy.A",
+            "V2": "Trojan.AndroidOS.SMSspy.5",
+            "V3": "Andr.smsspy-9",
+            "V4": "Android/Generic.Malware.3",
+            "V5": "Android/HQWar.B",
+        })
+        verdict = EuphonyUnifier().unify(report)
+        assert verdict.family == "SMSspy"
+        assert verdict.support == 3
+        assert verdict.confident
+
+    def test_insufficient_support(self):
+        report = FileScanReport(sha256="b" * 64, labels={
+            "V1": "Android/OneOff.A",
+        })
+        verdict = EuphonyUnifier(min_support=2).unify(report)
+        assert verdict.family is None
+        assert not verdict.confident
+
+    def test_empty_labels(self):
+        verdict = EuphonyUnifier().unify(
+            FileScanReport(sha256="c" * 64, labels={})
+        )
+        assert verdict.family is None
+
+    def test_end_to_end_with_vt(self):
+        vt = VirusTotalService(rate_per_second=1000)
+        sha = hashlib.sha256(b"apk-e2e").hexdigest()
+        vt.register_apk(sha, "Rewardsteal")
+        verdict = EuphonyUnifier().unify(vt.scan_file(sha))
+        assert verdict.family == "Rewardsteal"

@@ -1,0 +1,127 @@
+"""Tests for the HLR and WHOIS service simulators."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import NotFound
+from repro.services.hlr import HlrLookupService
+from repro.services.whois import WhoisService
+from repro.types import PhoneNumberType, ScamType
+from repro.utils.rng import derive
+from repro.world.geography import default_countries
+from repro.world.mno import default_operators
+from repro.world.numbering import NumberFactory
+from repro.net.asn import AsRegistry
+from repro.world.infrastructure import InfrastructureBuilder
+
+
+@pytest.fixture()
+def number_factory():
+    return NumberFactory(derive(21, "hlr-test"))
+
+
+@pytest.fixture()
+def hlr(number_factory):
+    return HlrLookupService(number_factory.ledger)
+
+
+class TestHlr:
+    def test_issued_mobile_resolves(self, hlr, number_factory):
+        countries = default_countries()
+        operators = default_operators()
+        issued = number_factory.mobile_number(
+            countries.get("GBR"), operators.get("EE Limited")
+        )
+        record = hlr.lookup(issued.e164)
+        assert record.number_type is PhoneNumberType.MOBILE
+        assert record.original_operator == "EE Limited"
+        assert record.country_iso3 == "GBR"
+
+    def test_unissued_plausible_number_is_dead(self, hlr):
+        record = hlr.lookup("+447700900999")
+        assert record.number_type is PhoneNumberType.MOBILE
+        assert record.status is not None
+        assert not record.is_live
+
+    def test_too_many_digits_bad_format(self, hlr):
+        record = hlr.lookup("+4477009001234567890")
+        assert record.number_type is PhoneNumberType.BAD_FORMAT
+        assert not record.is_valid
+
+    def test_landline_flagged(self, hlr):
+        # GBR landline prefix 20 (London).
+        record = hlr.lookup("+442071234567")
+        assert record.number_type is PhoneNumberType.LANDLINE
+
+    def test_unknown_dial_plan_bad_format(self, hlr):
+        record = hlr.lookup("+0009999999")
+        assert record.number_type is PhoneNumberType.BAD_FORMAT
+
+    def test_empty_string_bad_format(self, hlr):
+        assert hlr.lookup("abc").number_type is PhoneNumberType.BAD_FORMAT
+
+    def test_batch_deduplicates_requests(self, hlr, number_factory):
+        countries = default_countries()
+        operators = default_operators()
+        issued = number_factory.mobile_number(
+            countries.get("IND"), operators.get("AirTel")
+        )
+        before = hlr.meter.used
+        results = hlr.lookup_batch([issued.e164] * 5)
+        assert len(results) == 5
+        assert hlr.meter.used == before + 1
+
+    def test_bad_format_ledger_numbers(self, hlr, number_factory):
+        issued = number_factory.bad_format_number()
+        record = hlr.lookup(issued.e164)
+        assert record.number_type is PhoneNumberType.BAD_FORMAT
+
+
+@pytest.fixture()
+def assets():
+    builder = InfrastructureBuilder(
+        derive(22, "whois-test"), as_registry=AsRegistry()
+    )
+    return [
+        builder.register_domain("c1", ScamType.BANKING, "TestBank",
+                                dt.date(2022, 1, 1))
+        for _ in range(60)
+    ]
+
+
+@pytest.fixture()
+def whois(assets):
+    return WhoisService(assets)
+
+
+class TestWhois:
+    def test_registered_domain_resolves(self, whois, assets):
+        registered = [a for a in assets if not a.is_free_hosting][0]
+        record = whois.query(registered.registered_domain)
+        assert record.registrar == registered.registrar
+        assert record.created == registered.created_at
+
+    def test_unknown_domain_raises(self, whois):
+        with pytest.raises(NotFound):
+            whois.query("never-registered-domain.com")
+
+    def test_platform_subdomain_reports_operator(self, whois):
+        record = whois.query("abc.web.app")
+        assert record.is_platform_subdomain
+        assert record.platform_operator == "Google LLC"
+        assert record.registrar is None
+
+    def test_privacy_deterministic(self, whois, assets):
+        registered = [a for a in assets if not a.is_free_hosting][0]
+        first = whois.query(registered.registered_domain)
+        second = whois.query(registered.registered_domain)
+        assert first.privacy_protected == second.privacy_protected
+
+    def test_batch_skips_unknown(self, whois, assets):
+        registered = [a for a in assets if not a.is_free_hosting][0]
+        records = whois.query_batch([
+            registered.registered_domain, "unknown.com",
+            registered.registered_domain,
+        ])
+        assert len(records) == 1

@@ -1,0 +1,91 @@
+"""Tests for service metering (rate limits, quotas, simulated clock)."""
+
+import pytest
+
+from repro.errors import QuotaExhausted, RateLimitExceeded
+from repro.services.base import (
+    RequestLog,
+    ServiceMeter,
+    SimClock,
+    wait_and_charge,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        assert clock.now == 5.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+
+class TestServiceMeter:
+    def test_burst_allows_initial_calls(self):
+        meter = ServiceMeter(service="t", clock=SimClock(), rate=1, burst=5)
+        for _ in range(5):
+            meter.charge()
+        assert meter.used == 5
+
+    def test_rate_limit_raised_when_exhausted(self):
+        meter = ServiceMeter(service="t", clock=SimClock(), rate=1, burst=1)
+        meter.charge()
+        with pytest.raises(RateLimitExceeded) as excinfo:
+            meter.charge()
+        assert excinfo.value.retry_after > 0
+        assert excinfo.value.retryable
+
+    def test_refill_after_waiting(self):
+        clock = SimClock()
+        meter = ServiceMeter(service="t", clock=clock, rate=2, burst=1)
+        meter.charge()
+        clock.advance(0.5)  # refills one token at rate=2
+        meter.charge()
+        assert meter.used == 2
+
+    def test_quota_exhaustion(self):
+        clock = SimClock()
+        meter = ServiceMeter(service="t", clock=clock, rate=100, burst=100,
+                             quota=3)
+        for _ in range(3):
+            meter.charge()
+        with pytest.raises(QuotaExhausted):
+            meter.charge()
+        assert meter.remaining_quota == 0
+
+    def test_remaining_quota_none_when_unlimited(self):
+        meter = ServiceMeter(service="t", clock=SimClock())
+        assert meter.remaining_quota is None
+
+    def test_wait_and_charge_advances_clock(self):
+        clock = SimClock()
+        meter = ServiceMeter(service="t", clock=clock, rate=10, burst=1)
+        wait_and_charge(meter)
+        waited = wait_and_charge(meter)
+        assert waited > 0
+        assert clock.now > 0
+
+    def test_wait_and_charge_terminates_on_large_clock(self):
+        # Regression: float absorption at large clock values caused an
+        # infinite retry loop.
+        clock = SimClock(start=1e12)
+        meter = ServiceMeter(service="t", clock=clock, rate=1000, burst=1)
+        for _ in range(50):
+            wait_and_charge(meter)
+        assert meter.used == 50
+
+
+class TestRequestLog:
+    def test_counts(self):
+        log = RequestLog()
+        log.record("hlr")
+        log.record("hlr")
+        log.record("whois")
+        assert log.count("hlr") == 2
+        assert log.count("missing") == 0
+        assert log.snapshot() == {"hlr": 2, "whois": 1}

@@ -1,0 +1,238 @@
+"""Tests for crt.sh, passive DNS, ipinfo, shorteners, and the web host."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import NotFound
+from repro.net.asn import AsRegistry
+from repro.net.url import Url
+from repro.services.crtsh import CrtShService
+from repro.services.passivedns import IpInfoService, PassiveDnsService
+from repro.services.shorteners import (
+    KNOWN_SHORTENERS,
+    ShortenerResolver,
+    is_shortener_host,
+    shortener_for_url,
+)
+from repro.services.webhost import WebHostService
+from repro.types import DeviceProfile, ScamType
+from repro.utils.rng import derive
+from repro.world.infrastructure import InfrastructureBuilder
+
+START = dt.date(2022, 6, 1)
+
+
+@pytest.fixture(scope="module")
+def infra():
+    as_registry = AsRegistry()
+    builder = InfrastructureBuilder(derive(41, "web-test"),
+                                    as_registry=as_registry)
+    assets = [
+        builder.register_domain("c1", ScamType.BANKING, "TestBank", START)
+        for _ in range(80)
+    ]
+    links = [builder.build_link(assets[i % len(assets)], ScamType.BANKING)
+             for i in range(300)]
+    return as_registry, builder, assets, links
+
+
+class TestCrtSh:
+    def test_certs_for_logged_host(self, infra):
+        _, _, assets, _ = infra
+        service = CrtShService(assets)
+        host = next(a.fqdn for a in assets if a.certificates)
+        certs = service.certificates_for(host)
+        assert certs
+        assert all(c.common_name.endswith(host.split(".", 1)[-1]) or
+                   c.common_name == host for c in certs)
+
+    def test_unlogged_host_empty(self, infra):
+        _, _, assets, _ = infra
+        service = CrtShService(assets)
+        assert service.certificates_for("unknown.example.com") == []
+
+    def test_summary_counts_by_issuer(self, infra):
+        _, _, assets, _ = infra
+        service = CrtShService(assets)
+        host = next(a.fqdn for a in assets if a.certificates)
+        summary = service.summary_for(host)
+        assert summary.certificates == sum(summary.issuers.values())
+        assert summary.top_issuer in summary.issuers
+
+    def test_certs_sorted_by_date(self, infra):
+        _, _, assets, _ = infra
+        service = CrtShService(assets)
+        host = next(a.fqdn for a in assets if len(a.certificates) > 2)
+        certs = service.certificates_for(host)
+        assert certs == sorted(certs, key=lambda c: (c.issued_at, c.serial))
+
+
+class TestPassiveDns:
+    def test_observed_domains_resolve(self, infra):
+        _, _, assets, _ = infra
+        service = PassiveDnsService(assets)
+        observed = [a for a in assets if a.pdns_observed]
+        for asset in observed:
+            answer = service.query(asset.fqdn)
+            assert answer.resolved
+            assert set(answer.addresses) == set(asset.hosting.addresses)
+
+    def test_unobserved_domains_empty(self, infra):
+        _, _, assets, _ = infra
+        service = PassiveDnsService(assets)
+        unobserved = next(a for a in assets if not a.pdns_observed)
+        assert not service.query(unobserved.fqdn).resolved
+
+    def test_coverage_is_partial(self, infra):
+        _, _, assets, _ = infra
+        service = PassiveDnsService(assets)
+        # Only a small minority of domains are observed (§4.6).
+        assert len(service.observed_domains) < len(assets) * 0.5
+
+    def test_batch_dedup(self, infra):
+        _, _, assets, _ = infra
+        service = PassiveDnsService(assets)
+        answers = service.query_batch([assets[0].fqdn, assets[0].fqdn])
+        assert len(answers) == 1
+
+
+class TestIpInfo:
+    def test_lookup_known_address(self, infra, rng):
+        as_registry, _, _, _ = infra
+        service = IpInfoService(as_registry)
+        address = as_registry.allocate_address(63949, rng)
+        record = service.lookup(address)
+        assert record.asn == 63949
+        assert record.organisation == "Akamai"
+        assert record.country in ("US", "IN")
+
+    def test_batch_dedup(self, infra, rng):
+        as_registry, _, _, _ = infra
+        service = IpInfoService(as_registry)
+        address = as_registry.allocate_address(15169, rng)
+        before = service.meter.used
+        service.lookup_batch([address, address, address])
+        assert service.meter.used == before + 1
+
+
+class TestShorteners:
+    def test_known_list_has_33_services(self):
+        assert len(KNOWN_SHORTENERS) == 33  # the paper's manual list
+
+    def test_is_shortener_host(self):
+        assert is_shortener_host("bit.ly")
+        assert is_shortener_host("IS.GD")
+        assert not is_shortener_host("evil.com")
+
+    def test_shortener_for_url(self):
+        assert shortener_for_url(Url("https", "bit.ly", "/x")) == "bit.ly"
+        assert shortener_for_url(Url("https", "evil.com", "/x")) is None
+
+    def test_resolve_live_link(self, infra):
+        _, _, _, links = infra
+        resolver = ShortenerResolver(links)
+        short = next(l for l in links if l.is_shortened)
+        destination = resolver.resolve(short.url, START)
+        assert destination.host == short.destination.fqdn
+
+    def test_resolve_dead_link_raises(self, infra):
+        _, _, _, links = infra
+        resolver = ShortenerResolver(links)
+        short = next(l for l in links if l.is_shortened)
+        with pytest.raises(NotFound):
+            resolver.resolve(short.url, START + dt.timedelta(days=400))
+
+    def test_unknown_token_raises(self, infra):
+        _, _, _, links = infra
+        resolver = ShortenerResolver(links)
+        with pytest.raises(NotFound):
+            resolver.resolve(Url("https", "bit.ly", "/zzzzzzz"), START)
+
+    def test_non_shortener_rejected(self, infra):
+        _, _, _, links = infra
+        resolver = ShortenerResolver(links)
+        with pytest.raises(NotFound):
+            resolver.resolve(Url("https", "evil.com", "/x"), START)
+
+    def test_try_resolve_returns_none(self, infra):
+        _, _, _, links = infra
+        resolver = ShortenerResolver(links)
+        assert resolver.try_resolve(Url("https", "bit.ly", "/zzzzzzz"),
+                                    START) is None
+
+    def test_lifetimes_mostly_short(self, infra):
+        _, _, _, links = infra
+        resolver = ShortenerResolver(links)
+        short = [l for l in links if l.is_shortened]
+        alive_much_later = 0
+        for link in short:
+            if resolver.try_resolve(link.url, START + dt.timedelta(days=15)):
+                alive_much_later += 1
+        assert alive_much_later < len(short) * 0.35
+
+
+class TestWebHost:
+    @pytest.fixture(scope="class")
+    def webhost(self, infra):
+        _, _, assets, _ = infra
+        return WebHostService(assets)
+
+    def _dropper(self, infra, webhost):
+        _, _, assets, _ = infra
+        for asset in assets:
+            if asset.serves_apk and webhost.host_alive_on(asset.fqdn,
+                                                          asset.created_at):
+                return asset
+        pytest.skip("no live dropper in this draw")
+
+    def test_desktop_gets_phishing_page(self, infra, webhost):
+        asset = self._dropper(infra, webhost)
+        result = webhost.fetch(asset.landing_url, DeviceProfile.DESKTOP,
+                               asset.created_at)
+        assert result.content_kind == "phishing_page"
+
+    def test_android_gets_apk(self, infra, webhost):
+        asset = self._dropper(infra, webhost)
+        result = webhost.fetch(asset.landing_url, DeviceProfile.ANDROID,
+                               asset.created_at)
+        assert result.is_apk_download
+        assert result.apk is not None
+        assert len(result.apk.sha256) == 64
+        # The drive-by redirect appends the ?d=s1 marker (§6).
+        assert result.chain.final.query == "d=s1"
+
+    def test_dead_host_404(self, infra, webhost):
+        _, _, assets, _ = infra
+        asset = assets[0]
+        result = webhost.fetch(asset.landing_url, DeviceProfile.DESKTOP,
+                               asset.created_at + dt.timedelta(days=300))
+        assert result.status == 404
+        assert result.content_kind == "dead"
+
+    def test_unknown_host_404(self, webhost):
+        result = webhost.fetch(Url("https", "unknown.example.com", "/"),
+                               DeviceProfile.DESKTOP, START)
+        assert result.status == 404
+
+    def test_apk_ground_truth_shape(self, webhost):
+        truth = webhost.apk_ground_truth()
+        for sha, family in truth.items():
+            assert len(sha) == 64
+            assert family in ("SMSspy", "HQWar", "Rewardsteal", "Artemis")
+
+    def test_smsspy_dominates(self, infra):
+        # Over a large pool of droppers the family mix favours SMSspy
+        # (Table 19: 15 of 18 samples).
+        as_registry = AsRegistry()
+        builder = InfrastructureBuilder(derive(43, "apk-mix"),
+                                        as_registry=as_registry,
+                                        apk_fraction=1.0)
+        assets = [
+            builder.register_domain("c", ScamType.BANKING, None, START,
+                                    serves_apk=True)
+            for _ in range(120)
+        ]
+        webhost = WebHostService(assets)
+        families = [a.family for a in webhost.apk_payloads()]
+        assert families.count("SMSspy") > len(families) * 0.6

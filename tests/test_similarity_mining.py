@@ -1,0 +1,156 @@
+"""Tests for text similarity and campaign mining."""
+
+import pytest
+
+from repro.analysis.campaign_mining import (
+    campaign_summary_table,
+    evaluate_clustering,
+    infrastructure_reuse,
+    mine_campaigns,
+)
+from repro.nlp.similarity import (
+    MinHasher,
+    UnionFind,
+    canonicalise,
+    cluster_texts,
+    jaccard,
+    shingles,
+)
+
+
+class TestCanonicalise:
+    def test_urls_and_digits_slotted(self):
+        a = canonicalise("Pay $100 now at https://evil-1.com/x")
+        b = canonicalise("Pay $250 now at https://evil-2.net/y")
+        assert a == b
+
+    def test_whitespace_folded(self):
+        assert canonicalise("a   b\n c") == "a b c"
+
+    def test_distinct_texts_stay_distinct(self):
+        assert canonicalise("your bank account") != \
+            canonicalise("your parcel fee")
+
+
+class TestShinglesJaccard:
+    def test_identical_sets(self):
+        s = shingles("hello world")
+        assert jaccard(s, s) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard(shingles("aaaa bbbb"), shingles("zzzz yyyy")) < 0.2
+
+    def test_template_variants_similar(self):
+        a = shingles("SBI: verify your account at https://a.com/1 before "
+                     "today or pay 500")
+        b = shingles("SBI: verify your account at https://b.net/2 before "
+                     "today or pay 900")
+        assert jaccard(a, b) > 0.9
+
+    def test_empty_both(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+    def test_empty_one(self):
+        assert jaccard(shingles("text"), frozenset()) == 0.0
+
+    def test_short_text(self):
+        assert shingles("ab", k=4) == frozenset({"ab"})
+
+
+class TestMinHash:
+    def test_signature_length(self):
+        hasher = MinHasher(32)
+        assert len(hasher.signature(shingles("hello there")).values) == 32
+
+    def test_estimate_tracks_jaccard(self):
+        hasher = MinHasher(128)
+        a = shingles("your account has been suspended verify now please")
+        b = shingles("your account has been suspended verify today please")
+        estimate = hasher.signature(a).estimate_jaccard(hasher.signature(b))
+        assert abs(estimate - jaccard(a, b)) < 0.2
+
+    def test_identical_estimate_one(self):
+        hasher = MinHasher(64)
+        sig = hasher.signature(shingles("same text"))
+        assert sig.estimate_jaccard(sig) == 1.0
+
+    def test_mismatched_lengths_raise(self):
+        a = MinHasher(16).signature(shingles("x y z"))
+        b = MinHasher(32).signature(shingles("x y z"))
+        with pytest.raises(ValueError):
+            a.estimate_jaccard(b)
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(0)
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(2) == uf.find(0)
+        assert uf.find(3) != uf.find(0)
+
+    def test_groups(self):
+        uf = UnionFind(4)
+        uf.union(0, 3)
+        groups = uf.groups()
+        assert sorted(map(sorted, groups.values())) == [[0, 3], [1], [2]]
+
+
+class TestClusterTexts:
+    def test_clusters_template_variants(self):
+        texts = [
+            "SBI: account locked, verify at https://a.com/1 pay 100",
+            "SBI: account locked, verify at https://b.com/2 pay 250",
+            "DHL: parcel 999 held, fee at https://c.com/3",
+            "DHL: parcel 111 held, fee at https://d.com/4",
+            "completely unrelated message about lunch",
+        ]
+        clusters = cluster_texts(texts, threshold=0.6)
+        assert sorted(clusters[0]) in ([0, 1], [2, 3])
+        assert sorted(clusters[1]) in ([0, 1], [2, 3])
+        assert [4] in clusters
+
+    def test_bands_must_divide(self):
+        with pytest.raises(ValueError):
+            cluster_texts(["a", "b"], num_hashes=64, bands=7)
+
+    def test_empty_corpus(self):
+        assert cluster_texts([]) == []
+
+
+class TestCampaignMining:
+    @pytest.fixture(scope="class")
+    def mined(self, pipeline_run):
+        return mine_campaigns(pipeline_run.dataset, threshold=0.65)
+
+    def test_finds_campaign_clusters(self, mined):
+        assert len(mined) > 10
+        assert all(c.size >= 2 for c in mined)
+
+    def test_clusters_are_homogeneous(self, world, pipeline_run, mined):
+        quality = evaluate_clustering(world, pipeline_run.dataset, mined)
+        # Near-duplicate text recovers operation signatures cleanly; the
+        # exact campaign id is a strictly harder target (same-template
+        # campaigns merge) and only a lower bar applies.
+        assert quality.signature_homogeneity > 0.75
+        assert quality.campaign_homogeneity > 0.4
+        assert quality.clustered_records > 100
+
+    def test_campaign_footprint_fields(self, mined):
+        largest = max(mined, key=lambda c: c.size)
+        assert largest.exemplar()
+        if largest.first_seen and largest.last_seen:
+            assert largest.first_seen <= largest.last_seen
+
+    def test_summary_table(self, mined):
+        table = campaign_summary_table(mined)
+        assert len(table) > 0
+
+    def test_infrastructure_reuse_shape(self, mined):
+        reuse = infrastructure_reuse(mined)
+        for domain, clusters in reuse.items():
+            assert len(clusters) > 1

@@ -1,0 +1,116 @@
+"""Tests for GSM 03.38 encoding and segmentation."""
+
+import pytest
+
+from repro.sms.gsm import (
+    GSM7,
+    UCS2,
+    choose_encoding,
+    is_gsm_char,
+    is_gsm_text,
+    message_cost_units,
+    pack_septets,
+    segment_count,
+    septet_length,
+    split_segments,
+    unpack_septets,
+)
+
+
+class TestAlphabet:
+    def test_basic_ascii(self):
+        assert is_gsm_text("Hello, your account is blocked!")
+
+    def test_extension_chars(self):
+        assert is_gsm_char("€")
+        assert is_gsm_char("[")
+
+    def test_non_gsm(self):
+        assert not is_gsm_char("✓")
+        assert not is_gsm_text("こんにちは")
+
+    def test_septet_length_basic(self):
+        assert septet_length("abc") == 3
+
+    def test_septet_length_extension_doubles(self):
+        assert septet_length("a€b") == 4
+
+    def test_septet_length_rejects_non_gsm(self):
+        with pytest.raises(ValueError):
+            septet_length("日本")
+
+
+class TestEncodingChoice:
+    def test_gsm_preferred(self):
+        assert choose_encoding("plain text") is GSM7
+
+    def test_ucs2_for_unicode(self):
+        assert choose_encoding("खाता") is UCS2
+
+    def test_cost_units(self):
+        segments, encoding = message_cost_units("x" * 200)
+        assert segments == 2
+        assert encoding == "gsm7"
+
+
+class TestSegmentation:
+    def test_empty_is_one_segment(self):
+        assert segment_count("") == 1
+
+    def test_160_fits_single(self):
+        assert segment_count("a" * 160) == 1
+
+    def test_161_needs_two(self):
+        assert segment_count("a" * 161) == 2
+
+    def test_concat_capacity_153(self):
+        assert segment_count("a" * 306) == 2
+        assert segment_count("a" * 307) == 3
+
+    def test_ucs2_70_single(self):
+        text = "ю" * 70
+        assert segment_count(text) == 1
+        assert segment_count(text + "ю") == 2
+
+    def test_split_preserves_text(self):
+        text = "word " * 100
+        assert "".join(split_segments(text)) == text
+
+    def test_split_segment_sizes_legal(self):
+        for segment in split_segments("a" * 500):
+            assert septet_length(segment) <= 153
+
+    def test_split_never_splits_extension_char(self):
+        text = ("a" * 152) + "€" + "b" * 100
+        segments = split_segments(text)
+        assert "".join(segments) == text
+        for segment in segments:
+            # Each segment independently encodable.
+            assert septet_length(segment) <= 153
+
+    def test_single_segment_passthrough(self):
+        assert split_segments("short") == ["short"]
+
+
+class TestSeptetPacking:
+    def test_round_trip_ascii(self):
+        text = "hello world"
+        packed = pack_septets(text)
+        assert unpack_septets(packed, septet_length(text)) == text
+
+    def test_round_trip_with_extension(self):
+        text = "pay €50 now [urgent]"
+        packed = pack_septets(text)
+        assert unpack_septets(packed, septet_length(text)) == text
+
+    def test_packing_saves_bytes(self):
+        text = "a" * 160
+        assert len(pack_septets(text)) == 140
+
+    def test_packing_rejects_non_gsm(self):
+        with pytest.raises(ValueError):
+            pack_septets("日本")
+
+    def test_empty(self):
+        assert pack_septets("") == b""
+        assert unpack_septets(b"", 0) == ""

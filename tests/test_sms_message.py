@@ -1,0 +1,110 @@
+"""Tests for the SMS message / event / receipt models."""
+
+import datetime as dt
+
+from repro.net.url import parse_url
+from repro.sms.message import (
+    AnnotationLabels,
+    CampaignSummary,
+    DeliveryReceipt,
+    SmishingEvent,
+    SmsMessage,
+)
+from repro.sms.senderid import classify_sender_id
+from repro.types import LurePrinciple, ScamType
+
+WHEN = dt.datetime(2022, 7, 1, 10, 30)
+
+
+def make_message(text="Short test message"):
+    return SmsMessage(
+        text=text,
+        sender=classify_sender_id("+447700900123"),
+        received_at=WHEN,
+        recipient_country="GBR",
+        url=parse_url("https://evil.com/x"),
+    )
+
+
+class TestSmsMessage:
+    def test_segments_short(self):
+        assert make_message().segments == 1
+
+    def test_segments_long(self):
+        assert make_message("x" * 320).segments == 3
+
+    def test_has_url(self):
+        assert make_message().has_url
+
+
+class TestSmishingEvent:
+    def make_event(self, language="en"):
+        return SmishingEvent(
+            event_id="e1",
+            message=make_message(),
+            campaign_id="c1",
+            scam_type=ScamType.BANKING,
+            language=language,
+            brand="Chase",
+            lures=frozenset({LurePrinciple.AUTHORITY}),
+        )
+
+    def test_proxies(self):
+        event = self.make_event()
+        assert event.received_at == WHEN
+        assert event.sender.digits == "447700900123"
+        assert str(event.url) == "https://evil.com/x"
+
+    def test_is_english(self):
+        assert self.make_event().is_english
+        assert not self.make_event(language="es").is_english
+
+
+class TestDeliveryReceipt:
+    def test_for_message_costs_segments(self):
+        receipt = DeliveryReceipt.for_message(
+            "e1", make_message("y" * 200), path="aggregator",
+            spoofed_sender=True, unit_price=0.5,
+        )
+        assert receipt.segments == 2
+        assert receipt.cost_units == 1.0
+        assert receipt.encoding == "gsm7"
+        assert receipt.spoofed_sender
+
+    def test_ucs2_encoding_detected(self):
+        receipt = DeliveryReceipt.for_message(
+            "e1", make_message("ваш счет заблокирован"), path="mno",
+            spoofed_sender=False,
+        )
+        assert receipt.encoding == "ucs2"
+
+
+class TestAnnotationLabels:
+    def test_agreement_tuple_is_hashable_and_ordered(self):
+        labels = AnnotationLabels(
+            scam_type=ScamType.BANKING, language="en", brand="Chase",
+            lures=frozenset({LurePrinciple.TIME_URGENCY,
+                             LurePrinciple.AUTHORITY}),
+        )
+        tup = labels.agreement_tuple()
+        assert hash(tup)
+        assert tup[3] == tuple(sorted(labels.lures))
+
+    def test_equality(self):
+        a = AnnotationLabels(ScamType.SPAM, "en", None, frozenset())
+        b = AnnotationLabels(ScamType.SPAM, "en", None, frozenset())
+        assert a == b
+
+
+class TestCampaignSummary:
+    def test_observe_tracks_window(self):
+        summary = CampaignSummary(
+            campaign_id="c1", scam_type=ScamType.BANKING, brand="Chase",
+            languages=("en",), target_countries=("GBR",),
+        )
+        summary.observe(WHEN)
+        summary.observe(WHEN - dt.timedelta(days=2))
+        summary.observe(WHEN + dt.timedelta(days=3))
+        assert summary.message_count == 3
+        assert summary.first_sent == WHEN - dt.timedelta(days=2)
+        assert summary.last_sent == WHEN + dt.timedelta(days=3)

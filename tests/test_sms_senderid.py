@@ -1,0 +1,113 @@
+"""Tests for sender-ID classification (§3.3.1 / §4.1)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sms.senderid import (
+    classify_sender_id,
+    is_redacted,
+    normalize_phone,
+    try_classify_sender_id,
+)
+from repro.types import SenderIdKind
+
+
+class TestPhoneNumbers:
+    def test_e164(self):
+        sender = classify_sender_id("+447700900123")
+        assert sender.kind is SenderIdKind.PHONE_NUMBER
+        assert sender.digits == "447700900123"
+
+    def test_formatted_number(self):
+        sender = classify_sender_id("+44 7700 900-123")
+        assert sender.kind is SenderIdKind.PHONE_NUMBER
+        assert sender.normalized == "+447700900123"
+
+    def test_parenthesised_us_number(self):
+        sender = classify_sender_id("(555) 010-4477")
+        assert sender.kind is SenderIdKind.PHONE_NUMBER
+
+    def test_shortcode(self):
+        sender = classify_sender_id("7726")
+        assert sender.kind is SenderIdKind.PHONE_NUMBER
+        assert sender.is_shortcode
+
+    def test_long_number_not_shortcode(self):
+        assert not classify_sender_id("+447700900123").is_shortcode
+
+    def test_spoofed_too_long_still_phone_shaped(self):
+        # More digits than any plan allows — phone-shaped, HLR will call
+        # it Bad Format (Table 3).
+        sender = classify_sender_id("+9198765432101234567")
+        assert sender.kind is SenderIdKind.PHONE_NUMBER
+
+    def test_absurdly_long_rejected(self):
+        with pytest.raises(ValidationError):
+            classify_sender_id("9" * 40)
+
+
+class TestEmails:
+    def test_icloud_email(self):
+        sender = classify_sender_id("scammer123@icloud.com")
+        assert sender.kind is SenderIdKind.EMAIL
+
+    def test_email_normalized_lowercase(self):
+        sender = classify_sender_id("Foo.Bar@Gmail.COM")
+        assert sender.normalized == "foo.bar@gmail.com"
+
+    def test_digits_empty_for_email(self):
+        assert classify_sender_id("a@b.com").digits == ""
+
+
+class TestAlphanumeric:
+    def test_brand_shortcode(self):
+        sender = classify_sender_id("SBIBNK")
+        assert sender.kind is SenderIdKind.ALPHANUMERIC
+
+    def test_mixed_alnum(self):
+        assert classify_sender_id("INFO62").kind is SenderIdKind.ALPHANUMERIC
+
+    def test_gov_uk_style(self):
+        assert classify_sender_id("GOV.UK").kind is SenderIdKind.ALPHANUMERIC
+
+    def test_eleven_char_limit(self):
+        assert classify_sender_id("ABCDEFGHIJK").kind is SenderIdKind.ALPHANUMERIC
+        with pytest.raises(ValidationError):
+            classify_sender_id("ABCDEFGHIJKL")  # 12 chars
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            classify_sender_id("   ")
+
+
+class TestTryClassify:
+    def test_returns_none_on_garbage(self):
+        assert try_classify_sender_id("!!!???") is None
+
+    def test_returns_sender_on_valid(self):
+        assert try_classify_sender_id("7726") is not None
+
+
+class TestNormalizePhone:
+    def test_keeps_plus(self):
+        assert normalize_phone("+44 7700") == "+447700"
+
+    def test_strips_everything_else(self):
+        assert normalize_phone("(0044) 77.00") == "0044" + "7700"
+
+
+class TestRedaction:
+    def test_starred_number(self):
+        assert is_redacted("+44 7*** ******")
+
+    def test_x_masked(self):
+        assert is_redacted("XXXXXX")
+
+    def test_normal_number_not_redacted(self):
+        assert not is_redacted("+447700900123")
+
+    def test_brand_code_not_redacted(self):
+        assert not is_redacted("SBIBNK")
+
+    def test_empty_is_redacted(self):
+        assert is_redacted("")

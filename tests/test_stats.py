@@ -1,0 +1,164 @@
+"""Tests for repro.utils.stats, cross-checked against scipy."""
+
+import math
+import random
+
+import pytest
+import scipy.stats
+
+from repro.utils.stats import (
+    cohens_kappa,
+    format_seconds_of_day,
+    interpret_kappa,
+    ks_two_sample,
+    median,
+    multilabel_kappa,
+    pairwise,
+    seconds_of_day,
+    summarise,
+)
+
+
+class TestCohensKappa:
+    def test_perfect_agreement(self):
+        assert cohens_kappa(["a", "b", "a"], ["a", "b", "a"]) == 1.0
+
+    def test_no_agreement_beyond_chance(self):
+        a = ["x", "x", "y", "y"]
+        b = ["x", "y", "x", "y"]
+        assert abs(cohens_kappa(a, b)) < 1e-9
+
+    def test_below_chance_is_negative(self):
+        a = ["x", "x", "y", "y"]
+        b = ["y", "y", "x", "x"]
+        assert cohens_kappa(a, b) < 0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            cohens_kappa(["a"], ["a", "b"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cohens_kappa([], [])
+
+    def test_single_class_both(self):
+        # Expected agreement is 1; degenerate case returns 1.
+        assert cohens_kappa(["a", "a"], ["a", "a"]) == 1.0
+
+    def test_matches_sklearn_formula(self):
+        rng = random.Random(7)
+        a = [rng.choice("abc") for _ in range(300)]
+        b = [x if rng.random() < 0.8 else rng.choice("abc") for x in a]
+        kappa = cohens_kappa(a, b)
+        # Manual computation.
+        n = len(a)
+        po = sum(1 for x, y in zip(a, b) if x == y) / n
+        pe = sum(
+            (a.count(c) / n) * (b.count(c) / n) for c in set(a) | set(b)
+        )
+        assert math.isclose(kappa, (po - pe) / (1 - pe), rel_tol=1e-12)
+
+
+class TestMultilabelKappa:
+    def test_identical_sets(self):
+        sets = [frozenset({"x"}), frozenset({"y", "z"}), frozenset()]
+        assert multilabel_kappa(sets, sets, ["x", "y", "z"]) == 1.0
+
+    def test_disjoint_sets_low(self):
+        a = [frozenset({"x"})] * 10
+        b = [frozenset({"y"})] * 10
+        assert multilabel_kappa(a, b, ["x", "y"]) < 0.1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            multilabel_kappa([frozenset()], [], ["x"])
+
+
+class TestInterpretKappa:
+    @pytest.mark.parametrize("value,expected", [
+        (0.95, "near-perfect"), (0.7, "substantial"), (0.5, "moderate"),
+        (0.3, "fair"), (0.1, "slight"), (-0.2, "poor"),
+    ])
+    def test_bands(self, value, expected):
+        assert interpret_kappa(value) == expected
+
+
+class TestKsTwoSample:
+    def test_identical_samples(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+        result = ks_two_sample(sample, sample)
+        assert result.statistic == 0.0
+        assert result.pvalue > 0.99
+
+    def test_disjoint_samples(self):
+        result = ks_two_sample([1, 2, 3] * 20, [10, 11, 12] * 20)
+        assert result.statistic == 1.0
+        assert result.significant
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+    def test_matches_scipy_statistic(self):
+        rng = random.Random(3)
+        a = [rng.gauss(0, 1) for _ in range(200)]
+        b = [rng.gauss(0.4, 1) for _ in range(250)]
+        ours = ks_two_sample(a, b)
+        theirs = scipy.stats.ks_2samp(a, b)
+        assert math.isclose(ours.statistic, theirs.statistic, rel_tol=1e-9)
+
+    def test_pvalue_close_to_scipy_asymp(self):
+        rng = random.Random(5)
+        a = [rng.gauss(0, 1) for _ in range(300)]
+        b = [rng.gauss(0.25, 1) for _ in range(300)]
+        ours = ks_two_sample(a, b)
+        theirs = scipy.stats.ks_2samp(a, b, method="asymp")
+        assert abs(ours.pvalue - theirs.pvalue) < 0.02
+
+    def test_same_distribution_rarely_significant(self):
+        rng = random.Random(11)
+        a = [rng.random() for _ in range(400)]
+        b = [rng.random() for _ in range(400)]
+        result = ks_two_sample(a, b)
+        assert result.pvalue > 0.01
+
+
+class TestDescriptive:
+    def test_median_odd(self):
+        assert median([5, 1, 3]) == 3
+
+    def test_median_even(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_summarise(self):
+        s = summarise([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.minimum == 1
+        assert s.maximum == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+
+    def test_summarise_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+
+class TestTimeHelpers:
+    def test_seconds_of_day(self):
+        assert seconds_of_day(12, 38) == 12 * 3600 + 38 * 60
+
+    def test_format_seconds(self):
+        assert format_seconds_of_day(seconds_of_day(12, 38)) == "12:38:00"
+
+    def test_format_wraps_midnight(self):
+        assert format_seconds_of_day(86400 + 61) == "00:01:01"
+
+    def test_pairwise(self):
+        assert pairwise([1, 2, 3]) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_pairwise_empty(self):
+        assert pairwise([]) == []

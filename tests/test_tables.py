@@ -1,0 +1,78 @@
+"""Tests for the table rendering helpers."""
+
+import pytest
+
+from repro.utils.tables import Table, format_count_pct, ranked_table
+
+
+class TestFormatCountPct:
+    def test_basic(self):
+        assert format_count_pct(1166, 8765) == "1,166 (13.3%)"
+
+    def test_zero_total(self):
+        assert format_count_pct(5, 0) == "5"
+
+    def test_digits(self):
+        assert format_count_pct(1, 3, digits=2) == "1 (33.33%)"
+
+
+class TestTable:
+    def make(self):
+        table = Table(title="T", columns=["a", "b"])
+        table.add_row("x", 1)
+        table.add_row("y", None)
+        return table
+
+    def test_add_row_validates_length(self):
+        table = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_len(self):
+        assert len(self.make()) == 2
+
+    def test_column_extraction(self):
+        assert self.make().column("a") == ["x", "y"]
+
+    def test_to_text_contains_values(self):
+        text = self.make().to_text()
+        assert "T" in text
+        assert "x" in text
+        assert "-" in text  # None renders as dash
+
+    def test_to_csv_round(self):
+        csv_text = self.make().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "x,1"
+
+    def test_to_records(self):
+        records = self.make().to_records()
+        assert records[0] == {"a": "x", "b": 1}
+
+    def test_notes_rendered(self):
+        table = self.make()
+        table.add_note("hello note")
+        assert "hello note" in table.to_text()
+
+    def test_float_formatting(self):
+        table = Table(title="F", columns=["v"])
+        table.add_row(3.14159)
+        assert "3.14" in table.to_text()
+
+
+class TestRankedTable:
+    def test_sorted_descending(self):
+        table = ranked_table("R", "name", "count",
+                             [("a", 1), ("b", 5), ("c", 3)], top=2)
+        assert table.rows[0][0] == "b"
+        assert table.rows[1][0] == "c"
+        assert len(table) == 2
+
+    def test_tie_broken_by_label(self):
+        table = ranked_table("R", "n", "c", [("z", 2), ("a", 2)])
+        assert table.rows[0][0] == "a"
+
+    def test_percentages(self):
+        table = ranked_table("R", "n", "c", [("a", 50)], total_for_pct=100)
+        assert "50.0%" in str(table.rows[0][1])

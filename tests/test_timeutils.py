@@ -1,0 +1,137 @@
+"""Tests for the screenshot timestamp parser."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ParseError
+from repro.utils.timeutils import (
+    DATELESS_STYLES,
+    TIMESTAMP_STYLES,
+    format_app_timestamp,
+    parse_screenshot_timestamp,
+)
+
+REF = dt.date(2021, 8, 3)
+
+
+class TestIsoFormat:
+    def test_full_iso(self):
+        result = parse_screenshot_timestamp("2021-08-03 11:34")
+        assert result.value == dt.datetime(2021, 8, 3, 11, 34)
+        assert result.has_date and result.has_time
+
+    def test_iso_with_seconds(self):
+        result = parse_screenshot_timestamp("2021-08-03 11:34:56")
+        assert result.value.second == 56
+
+
+class TestNumericFormats:
+    def test_day_first(self):
+        result = parse_screenshot_timestamp("03/08/2021 11:34", day_first=True)
+        assert result.value.month == 8
+        assert result.value.day == 3
+
+    def test_month_first(self):
+        result = parse_screenshot_timestamp("8/3/21, 11:34 AM", day_first=False)
+        assert result.value.month == 8
+        assert result.value.day == 3
+
+    def test_two_digit_year(self):
+        result = parse_screenshot_timestamp("03/08/21 09:00")
+        assert result.value.year == 2021
+
+    def test_impossible_month_swaps(self):
+        # 25/03 cannot be month 25 even with month-first hint.
+        result = parse_screenshot_timestamp("25/03/2021 10:00", day_first=False)
+        assert result.value.day == 25
+        assert result.value.month == 3
+
+    def test_pm_conversion(self):
+        result = parse_screenshot_timestamp("8/3/21, 1:05 PM", day_first=False)
+        assert result.value.hour == 13
+
+    def test_midnight_am(self):
+        result = parse_screenshot_timestamp("8/3/21, 12:05 AM", day_first=False)
+        assert result.value.hour == 0
+
+
+class TestLongFormat:
+    def test_english_long(self):
+        result = parse_screenshot_timestamp("Tue, Aug 3, 11:34 AM",
+                                            reference=REF)
+        assert result.value == dt.datetime(2021, 8, 3, 11, 34)
+
+    def test_day_month_order(self):
+        result = parse_screenshot_timestamp("3 August 2021 11:34")
+        assert result.value.date() == dt.date(2021, 8, 3)
+
+    def test_localized_dutch_month(self):
+        result = parse_screenshot_timestamp("3 augustus 2021 11:34")
+        assert result.value.month == 8
+
+    def test_localized_spanish_month(self):
+        result = parse_screenshot_timestamp("3 agosto 2021 11:34")
+        assert result.value.month == 8
+
+    def test_localized_french_month(self):
+        result = parse_screenshot_timestamp("3 aout 2021 11:34")
+        assert result.value.month == 8
+
+    def test_yearless_uses_reference(self):
+        result = parse_screenshot_timestamp("Aug 3, 11:34 AM", reference=REF)
+        assert result.value.year == 2021
+
+
+class TestTimeOnlyAndRelative:
+    def test_time_only_has_no_date(self):
+        result = parse_screenshot_timestamp("11:34", reference=REF)
+        assert result.has_time
+        assert not result.has_date
+        assert result.weekday_name is None
+
+    def test_today(self):
+        result = parse_screenshot_timestamp("Today 11:34", reference=REF)
+        assert result.value.date() == REF
+        assert result.has_date
+
+    def test_yesterday(self):
+        result = parse_screenshot_timestamp("Yesterday 23:59", reference=REF)
+        assert result.value.date() == REF - dt.timedelta(days=1)
+
+    def test_localized_yesterday(self):
+        result = parse_screenshot_timestamp("gisteren 10:00", reference=REF)
+        assert result.value.date() == REF - dt.timedelta(days=1)
+
+
+class TestErrors:
+    def test_empty_raises(self):
+        with pytest.raises(ParseError):
+            parse_screenshot_timestamp("")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_screenshot_timestamp("not a timestamp at all")
+
+    def test_bad_time_values_rejected(self):
+        with pytest.raises(ParseError):
+            parse_screenshot_timestamp("25:99")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("style", TIMESTAMP_STYLES)
+    def test_every_style_parses_back(self, style):
+        moment = dt.datetime(2022, 3, 14, 15, 9, 0)
+        rendered = format_app_timestamp(moment, style)
+        parsed = parse_screenshot_timestamp(
+            rendered, reference=moment.date(),
+            day_first=(style != "numeric_monthfirst"),
+        )
+        assert parsed.value.hour == moment.hour
+        assert parsed.value.minute == moment.minute
+        if style not in DATELESS_STYLES:
+            assert parsed.value.date() == moment.date()
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(ValueError):
+            format_app_timestamp(dt.datetime(2022, 1, 1), "nope")

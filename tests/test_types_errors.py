@@ -1,0 +1,114 @@
+"""Tests for the shared taxonomies and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.types import (
+    DeviceProfile,
+    Forum,
+    GsbStatus,
+    LurePrinciple,
+    PhoneNumberType,
+    ScamType,
+    SenderIdKind,
+    TldClass,
+    URL_BEARING_SCAM_TYPES,
+    Verdict,
+)
+
+
+class TestScamType:
+    def test_eight_categories(self):
+        assert len(list(ScamType)) == 8  # seven scams + spam (Table 10)
+
+    def test_conversational_flags(self):
+        assert ScamType.WRONG_NUMBER.is_conversational
+        assert ScamType.HEY_MUM_DAD.is_conversational
+        assert not ScamType.BANKING.is_conversational
+
+    def test_short_codes_unique(self):
+        codes = [scam.short_code for scam in ScamType]
+        assert len(codes) == len(set(codes))
+
+    def test_url_bearing_excludes_conversational(self):
+        assert ScamType.WRONG_NUMBER not in URL_BEARING_SCAM_TYPES
+        assert ScamType.HEY_MUM_DAD not in URL_BEARING_SCAM_TYPES
+        assert ScamType.BANKING in URL_BEARING_SCAM_TYPES
+
+    def test_string_round_trip(self):
+        assert ScamType("hey mum/dad") is ScamType.HEY_MUM_DAD
+
+
+class TestLurePrinciple:
+    def test_seven_principles(self):
+        assert len(list(LurePrinciple)) == 7  # Stajano & Wilson
+
+    def test_values_match_paper_phrasing(self):
+        assert LurePrinciple.NEED_AND_GREED.value == "need and greed"
+        assert LurePrinciple.TIME_URGENCY.value == "time/urgency"
+
+
+class TestPhoneNumberType:
+    def test_validity_split_matches_table3(self):
+        invalid = {t for t in PhoneNumberType if not t.is_valid}
+        assert invalid == {
+            PhoneNumberType.BAD_FORMAT,
+            PhoneNumberType.LANDLINE,
+            PhoneNumberType.VOICEMAIL_ONLY,
+        }
+
+
+class TestSmallEnums:
+    def test_forum_names(self):
+        assert {f.value for f in Forum} == {
+            "Twitter", "Reddit", "Smishtank", "Smishing.eu", "Pastebin"
+        }
+
+    def test_sender_kinds(self):
+        assert len(list(SenderIdKind)) == 3
+
+    def test_tld_classes_match_iana(self):
+        assert len(list(TldClass)) == 6
+
+    def test_verdicts(self):
+        assert {v.value for v in Verdict} == {"clean", "suspicious",
+                                              "malicious"}
+
+    def test_gsb_statuses(self):
+        assert GsbStatus.NOT_QUERIED.value == "not queried"
+
+    def test_device_profiles(self):
+        assert {d.value for d in DeviceProfile} == {"android", "ios",
+                                                    "desktop"}
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for name in ("ConfigurationError", "ValidationError", "ServiceError",
+                     "RateLimitExceeded", "ServiceUnavailable",
+                     "AuthenticationError", "QuotaExhausted", "NotFound",
+                     "ExtractionError", "NotAScreenshot", "ParseError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_rate_limit_carries_retry_after(self):
+        exc = errors.RateLimitExceeded("slow down", service="x",
+                                       retry_after=2.5)
+        assert exc.retry_after == 2.5
+        assert exc.retryable
+        assert exc.service == "x"
+
+    def test_permanent_unavailable_not_retryable(self):
+        exc = errors.ServiceUnavailable("gone", permanent=True)
+        assert not exc.retryable
+        assert exc.permanent
+
+    def test_temporary_unavailable_retryable(self):
+        assert errors.ServiceUnavailable("blip").retryable
+
+    def test_not_a_screenshot_is_extraction_error(self):
+        assert issubclass(errors.NotAScreenshot, errors.ExtractionError)
+
+    def test_service_errors_catchable_at_boundary(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.QuotaExhausted("done", service="vt")

@@ -1,0 +1,110 @@
+"""Tests for the brand and language registries."""
+
+import pytest
+
+from repro.errors import NotFound
+from repro.types import ScamType
+from repro.world.brands import BrandRegistry, default_brands, leetify
+from repro.world.languages import default_languages
+
+
+@pytest.fixture(scope="module")
+def brands():
+    return default_brands()
+
+
+@pytest.fixture(scope="module")
+def languages():
+    return default_languages()
+
+
+class TestBrandRegistry:
+    def test_table12_brands_present(self, brands):
+        for name in ("State Bank of India", "PayTM", "HDFC Bank",
+                     "Santander", "Amazon", "Internal Revenue Service",
+                     "Rabobank", "BBVA", "Netflix", "CaixaBank"):
+            assert brands.get(name)
+
+    def test_alias_resolution(self, brands):
+        assert brands.resolve_alias("SBI").name == "State Bank of India"
+        assert brands.resolve_alias("irs").name == "Internal Revenue Service"
+
+    def test_fixed_leet_alias(self, brands):
+        assert brands.resolve_alias("N3tfl!x").name == "Netflix"
+
+    def test_unknown_alias_none(self, brands):
+        assert brands.resolve_alias("Bank of Atlantis") is None
+
+    def test_unknown_brand_raises(self, brands):
+        with pytest.raises(NotFound):
+            brands.get("Nope Inc")
+
+    def test_categories_populated(self, brands):
+        for category in (ScamType.BANKING, ScamType.DELIVERY,
+                         ScamType.GOVERNMENT, ScamType.TELECOM,
+                         ScamType.OTHERS):
+            assert brands.in_category(category)
+
+    def test_sbi_heaviest_banking_brand(self, brands):
+        banking = brands.in_category(ScamType.BANKING)
+        heaviest = max(banking, key=lambda b: b.weight)
+        assert heaviest.name == "State Bank of India"
+
+    def test_sampler_for_category(self, brands, rng):
+        sampler = brands.sampler_for(ScamType.DELIVERY)
+        name = sampler.sample(rng)
+        assert brands.get(name).category is ScamType.DELIVERY
+
+    def test_alias_forms_lowercase(self, brands):
+        forms = brands.all_alias_forms()
+        assert all(key == key.lower() for key in forms)
+
+
+class TestLeetify:
+    def test_substitutes_lookalikes(self, rng):
+        result = leetify("Netflix", rng)
+        assert result != "Netflix"
+        assert len(result) == len("Netflix")
+
+    def test_deterministic_under_seed(self):
+        import random
+        assert leetify("Amazon", random.Random(1)) == leetify(
+            "Amazon", random.Random(1)
+        )
+
+    def test_max_subs_respected(self, rng):
+        result = leetify("aaaaaa", rng, max_subs=2)
+        assert sum(1 for c in result if c != "a") <= 2
+
+
+class TestLanguageRegistry:
+    def test_table11_top_codes_present(self, languages):
+        for code in ("en", "es", "nl", "fr", "de", "it", "id", "pt", "ja",
+                     "hi"):
+            assert code in languages
+
+    def test_most_spoken_ranking(self, languages):
+        top = languages.most_spoken(3)
+        assert [l.name for l in top] == ["English", "Mandarin Chinese",
+                                         "Hindi"]
+
+    def test_language_count_supports_66(self, languages):
+        # The paper detects 66 languages; the registry must cover a
+        # comparable space (≥45 with real marker banks).
+        assert len(languages) >= 45
+
+    def test_markers_nonempty(self, languages):
+        for language in languages:
+            assert language.markers
+
+    def test_marker_lexicon_shape(self, languages):
+        lexicon = languages.marker_lexicon()
+        assert lexicon["en"] == languages.get("en").markers
+
+    def test_unknown_code_raises(self, languages):
+        with pytest.raises(NotFound):
+            languages.get("xx")
+
+    def test_non_latin_scripts_flagged(self, languages):
+        assert languages.get("ja").script != "latin"
+        assert languages.get("hi").script == "devanagari"

@@ -1,0 +1,146 @@
+"""Tests for campaign drawing and event generation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.net.asn import AsRegistry
+from repro.types import ScamType, SenderIdKind, URL_BEARING_SCAM_TYPES
+from repro.utils.rng import derive
+from repro.world.campaigns import CampaignFactory
+from repro.world.infrastructure import InfrastructureBuilder
+from repro.world.numbering import NumberFactory
+
+
+@pytest.fixture()
+def factory():
+    infra = InfrastructureBuilder(
+        derive(11, "ci"), as_registry=AsRegistry()
+    )
+    numbers = NumberFactory(derive(11, "cn"))
+    return CampaignFactory(
+        derive(11, "cf"), infrastructure=infra, number_factory=numbers
+    )
+
+
+class TestCampaignCreation:
+    def test_forced_scam_type(self, factory):
+        campaign = factory.create_campaign(scam_type=ScamType.DELIVERY)
+        assert campaign.scam_type is ScamType.DELIVERY
+
+    def test_url_scams_have_links(self, factory):
+        for scam in URL_BEARING_SCAM_TYPES:
+            campaign = factory.create_campaign(scam_type=scam, volume=20)
+            assert campaign.links, scam
+
+    def test_conversation_scams_have_no_links(self, factory):
+        campaign = factory.create_campaign(
+            scam_type=ScamType.WRONG_NUMBER, volume=10
+        )
+        assert not campaign.links
+
+    def test_conversation_sender_is_phone(self, factory):
+        campaign = factory.create_campaign(
+            scam_type=ScamType.HEY_MUM_DAD, volume=10
+        )
+        for identity in campaign.identities:
+            assert identity.sender.kind is SenderIdKind.PHONE_NUMBER
+
+    def test_timeline_respected(self, factory):
+        campaign = factory.create_campaign(volume=10)
+        assert dt.date(2017, 1, 1) <= campaign.start
+        assert campaign.end <= dt.date(2023, 9, 30)
+        assert campaign.start < campaign.end
+
+    def test_identity_pool_bounded(self, factory):
+        campaign = factory.create_campaign(volume=100)
+        assert 1 <= len(campaign.identities) <= 12
+
+    def test_campaign_ids_unique(self, factory):
+        ids = {factory.create_campaign(volume=5).campaign_id
+               for _ in range(40)}
+        assert len(ids) == 40
+
+
+class TestEventGeneration:
+    def test_volume_respected(self, factory, rng):
+        campaign = factory.create_campaign(scam_type=ScamType.BANKING,
+                                           volume=25)
+        events = campaign.generate_events(rng)
+        assert len(events) == 25
+
+    def test_event_fields_consistent(self, factory, rng):
+        campaign = factory.create_campaign(scam_type=ScamType.BANKING,
+                                           volume=30)
+        for event in campaign.generate_events(rng):
+            assert event.campaign_id == campaign.campaign_id
+            assert event.scam_type is campaign.scam_type
+            assert event.language == campaign.language
+            assert event.lures
+            assert event.message.text
+
+    def test_url_events_embed_link(self, factory, rng):
+        campaign = factory.create_campaign(scam_type=ScamType.BANKING,
+                                           volume=30)
+        events = campaign.generate_events(rng)
+        with_url = [e for e in events if e.url is not None]
+        assert with_url
+        for event in with_url:
+            assert str(event.url) in event.message.text
+
+    def test_non_english_events_carry_translation(self, factory, rng):
+        for _ in range(30):
+            campaign = factory.create_campaign(scam_type=ScamType.BANKING,
+                                               volume=5)
+            if campaign.language != "en":
+                events = campaign.generate_events(rng)
+                assert any(e.translated_text for e in events)
+                return
+        pytest.skip("no non-English campaign drawn")
+
+    def test_event_ids_unique(self, factory, rng):
+        campaign = factory.create_campaign(volume=50)
+        ids = {e.event_id for e in campaign.generate_events(rng)}
+        assert len(ids) == 50
+
+    def test_send_times_within_campaign_window(self, factory, rng):
+        campaign = factory.create_campaign(volume=40)
+        for event in campaign.generate_events(rng):
+            assert campaign.start <= event.received_at.date() <= campaign.end
+
+
+class TestSbiBurst:
+    def test_burst_moment_fixed(self, factory, rng):
+        campaign = factory.create_sbi_burst_campaign(volume=50)
+        events = campaign.generate_events(rng)
+        assert len(events) == 50
+        for event in events:
+            assert event.received_at.date() == dt.date(2021, 8, 3)
+            assert event.received_at.hour == 11
+            assert event.received_at.minute == 34
+
+    def test_burst_is_sbi_banking_india(self, factory, rng):
+        campaign = factory.create_sbi_burst_campaign(volume=10)
+        assert campaign.scam_type is ScamType.BANKING
+        assert campaign.brand.name == "State Bank of India"
+        assert campaign.origin_country == "IND"
+        assert campaign.language == "en"
+
+
+class TestDeliveryPaths:
+    def test_paths_are_known(self, factory):
+        known = {"mno", "aggregator", "imessage", "sim_farm", "blaster"}
+        for _ in range(20):
+            campaign = factory.create_campaign(volume=10)
+            for identity in campaign.identities:
+                assert identity.delivery_path in known
+
+    def test_alphanumeric_uses_aggregator(self, factory):
+        for _ in range(40):
+            campaign = factory.create_campaign(scam_type=ScamType.BANKING,
+                                               volume=10)
+            for identity in campaign.identities:
+                if identity.sender.kind is SenderIdKind.ALPHANUMERIC:
+                    assert identity.delivery_path == "aggregator"
+                elif identity.sender.kind is SenderIdKind.EMAIL:
+                    assert identity.delivery_path == "imessage"

@@ -1,0 +1,108 @@
+"""Tests for geography and MNO registries."""
+
+import pytest
+
+from repro.errors import NotFound
+from repro.world.geography import CountryRegistry, default_countries
+from repro.world.mno import OperatorRegistry, default_operators
+
+
+@pytest.fixture(scope="module")
+def countries():
+    return default_countries()
+
+
+@pytest.fixture(scope="module")
+def operators():
+    return default_operators()
+
+
+class TestCountryRegistry:
+    def test_lookup_by_iso3(self, countries):
+        assert countries.get("IND").name == "India"
+
+    def test_lookup_by_iso2(self, countries):
+        assert countries.get("in").iso3 == "IND"
+
+    def test_unknown_raises(self, countries):
+        with pytest.raises(NotFound):
+            countries.get("XXX")
+
+    def test_contains(self, countries):
+        assert "GBR" in countries
+        assert "ZZZ" not in countries
+
+    def test_dial_code_lookup(self, countries):
+        assert countries.by_dial_code("447700900123").iso3 == "GBR"
+
+    def test_longest_dial_code_wins(self, countries):
+        # +974 (Qatar) must beat +9 prefixes of other plans.
+        assert countries.by_dial_code("97433123456").iso3 == "QAT"
+
+    def test_nanp_resolves_to_usa(self, countries):
+        assert countries.by_dial_code("15550104477").iso3 == "USA"
+
+    def test_unknown_dial_code(self, countries):
+        with pytest.raises(NotFound):
+            countries.by_dial_code("0000000")
+
+    def test_paper_countries_present(self, countries):
+        # Every country in Tables 4 and 14 must exist.
+        for iso3 in ("IND", "USA", "NLD", "GBR", "ESP", "AUS", "FRA",
+                     "BEL", "IDN", "DEU", "COD", "KEN", "LKA", "MWI",
+                     "NGA", "GLP", "QAT"):
+            assert iso3 in countries
+
+    def test_primary_language(self, countries):
+        assert countries.get("ESP").primary_language == "es"
+
+    def test_iteration_and_len(self, countries):
+        assert len(list(countries)) == len(countries)
+
+
+class TestOperatorRegistry:
+    def test_vodafone_footprint(self, operators):
+        vodafone = operators.get("Vodafone")
+        assert len(vodafone.countries) == 18  # Table 4
+
+    def test_airtel_footprint(self, operators):
+        airtel = operators.get("AirTel")
+        assert set(airtel.countries) == {"IND", "COD", "KEN", "LKA", "MWI",
+                                         "NGA"}
+
+    def test_unknown_operator(self, operators):
+        with pytest.raises(NotFound):
+            operators.get("Carrier of Atlantis")
+
+    def test_in_country(self, operators):
+        names = {op.name for op in operators.in_country("IND")}
+        assert {"Vodafone", "AirTel", "BSNL Mobile", "Reliance Jio"} <= names
+
+    def test_every_paper_country_has_an_operator(self, operators):
+        for iso3 in ("IND", "USA", "NLD", "GBR", "ESP", "AUS", "FRA",
+                     "BEL", "IDN", "DEU"):
+            assert operators.in_country(iso3)
+
+    def test_pick_for_country_returns_local(self, operators, rng):
+        for _ in range(30):
+            op = operators.pick_for_country("NLD", rng)
+            assert op.operates_in("NLD")
+
+    def test_pick_for_unknown_country_raises(self, operators, rng):
+        with pytest.raises(NotFound):
+            operators.pick_for_country("XXX", rng)
+
+    def test_abuse_sampler_covers_pairs(self, operators, rng):
+        sampler = operators.abuse_sampler()
+        name, iso3 = sampler.sample(rng)
+        assert operators.get(name).operates_in(iso3)
+
+    def test_multi_country_weight_spread(self, operators, rng):
+        # Vodafone must not dominate a market like NLD where strong
+        # local operators exist.
+        counts = {"Vodafone": 0, "other": 0}
+        for _ in range(500):
+            op = operators.pick_for_country("NLD", rng)
+            key = "Vodafone" if op.name == "Vodafone" else "other"
+            counts[key] += 1
+        assert counts["other"] > counts["Vodafone"]

@@ -1,0 +1,171 @@
+"""Tests for the web-infrastructure builder."""
+
+import datetime as dt
+
+import pytest
+
+from repro.net.asn import AsRegistry
+from repro.types import ScamType
+from repro.utils.rng import derive
+from repro.world.infrastructure import (
+    CA_VALIDITY_DAYS,
+    FREE_HOSTING_WEIGHTS,
+    InfrastructureBuilder,
+    REGISTRAR_WEIGHTS,
+    SHORTENER_BASE_WEIGHTS,
+    TLD_WEIGHTS,
+)
+
+START = dt.date(2022, 6, 1)
+
+
+@pytest.fixture()
+def builder():
+    return InfrastructureBuilder(
+        derive(31, "infra-test"), as_registry=AsRegistry()
+    )
+
+
+class TestDomainRegistration:
+    def test_unique_fqdns(self, builder):
+        names = {
+            builder.register_domain("c1", ScamType.BANKING, "TestBank",
+                                    START).fqdn
+            for _ in range(150)
+        }
+        assert len(names) == 150
+
+    def test_registered_domain_under_fqdn(self, builder):
+        asset = builder.register_domain("c1", ScamType.BANKING, "B", START)
+        assert asset.fqdn.endswith(asset.registered_domain) or \
+            asset.fqdn == asset.registered_domain
+
+    def test_free_hosting_has_no_registrar(self, builder):
+        free = [
+            builder.register_domain("c1", ScamType.BANKING, None, START)
+            for _ in range(300)
+        ]
+        free = [a for a in free if a.is_free_hosting]
+        assert free, "at least some assets should use free hosting"
+        assert all(a.registrar is None for a in free)
+        assert all(a.tld in FREE_HOSTING_WEIGHTS for a in free)
+
+    def test_registered_domains_have_known_registrar(self, builder):
+        assets = [
+            builder.register_domain("c1", ScamType.DELIVERY, "DHL", START)
+            for _ in range(100)
+        ]
+        for asset in assets:
+            if not asset.is_free_hosting:
+                assert asset.registrar in REGISTRAR_WEIGHTS
+
+    def test_tlds_come_from_catalogue(self, builder):
+        asset = builder.register_domain("c1", ScamType.BANKING, None, START)
+        if not asset.is_free_hosting:
+            assert asset.tld in TLD_WEIGHTS
+
+    def test_gname_bias_for_government(self):
+        builder = InfrastructureBuilder(
+            derive(77, "gname"), as_registry=AsRegistry()
+        )
+        gov_counts = {"Gname": 0, "total": 0}
+        for _ in range(400):
+            asset = builder.register_domain("c", ScamType.GOVERNMENT, None,
+                                            START)
+            if asset.registrar is not None:
+                gov_counts["total"] += 1
+                if asset.registrar == "Gname":
+                    gov_counts["Gname"] += 1
+        # Gname's base share is ~6%; the bias must lift it well above.
+        assert gov_counts["Gname"] / gov_counts["total"] > 0.15
+
+    def test_apk_flag_override(self, builder):
+        asset = builder.register_domain("c1", ScamType.BANKING, None, START,
+                                        serves_apk=True)
+        assert asset.serves_apk
+
+
+class TestCertificates:
+    def test_certificates_have_valid_dates(self, builder):
+        for _ in range(60):
+            asset = builder.register_domain("c1", ScamType.BANKING, None,
+                                            START)
+            for cert in asset.certificates:
+                assert cert.expires_at > cert.issued_at
+                validity = (cert.expires_at - cert.issued_at).days
+                assert validity == CA_VALIDITY_DAYS[cert.issuer]
+
+    def test_some_hosts_lack_tls(self, builder):
+        assets = [
+            builder.register_domain("c1", ScamType.BANKING, None, START)
+            for _ in range(200)
+        ]
+        assert any(not a.certificates for a in assets)
+        assert any(a.certificates for a in assets)
+
+    def test_landing_scheme_follows_tls(self, builder):
+        asset = builder.register_domain("c1", ScamType.BANKING, None, START)
+        expected = "https" if asset.certificates else "http"
+        assert asset.landing_url.scheme == expected
+
+
+class TestLinks:
+    def test_shortened_fraction_reasonable(self, builder):
+        assets = [
+            builder.register_domain("c1", ScamType.BANKING, None, START)
+            for _ in range(40)
+        ]
+        links = [builder.build_link(assets[i % 40], ScamType.BANKING)
+                 for i in range(500)]
+        short = [l for l in links if l.is_shortened]
+        assert 0.18 < len(short) / len(links) < 0.45
+
+    def test_short_tokens_unique(self, builder):
+        asset = builder.register_domain("c1", ScamType.BANKING, None, START)
+        tokens = set()
+        for _ in range(300):
+            link = builder.build_link(asset, ScamType.BANKING)
+            if link.is_shortened:
+                assert link.short_token not in tokens
+                tokens.add(link.short_token)
+
+    def test_shortener_host_known(self, builder):
+        asset = builder.register_domain("c1", ScamType.BANKING, None, START)
+        for _ in range(100):
+            link = builder.build_link(asset, ScamType.BANKING)
+            if link.is_shortened:
+                assert link.shortener in SHORTENER_BASE_WEIGHTS
+                assert link.url.host == link.shortener
+
+    def test_direct_link_points_at_asset(self, builder):
+        asset = builder.register_domain("c1", ScamType.BANKING, None, START)
+        for _ in range(50):
+            link = builder.build_link(asset, ScamType.BANKING)
+            if not link.is_shortened:
+                assert link.url.host == asset.fqdn
+                return
+        pytest.fail("no direct link produced in 50 draws")
+
+    def test_whatsapp_link(self, builder):
+        url = builder.build_whatsapp_link("447700900123")
+        assert url.host == "wa.me"
+        assert url.path == "/447700900123"
+
+
+class TestHosting:
+    def test_every_asset_has_addresses(self, builder):
+        asset = builder.register_domain("c1", ScamType.BANKING, None, START)
+        assert asset.hosting.addresses
+
+    def test_cloudflare_fronting_fraction(self):
+        builder = InfrastructureBuilder(
+            derive(55, "cf"), as_registry=AsRegistry()
+        )
+        assets = [
+            builder.register_domain("c", ScamType.BANKING, None, START)
+            for _ in range(400)
+        ]
+        proxied = [a for a in assets if a.hosting.proxy_asn is not None]
+        share = len(proxied) / len(assets)
+        assert 0.12 < share < 0.27  # calibrated to 18.8% (§4.6)
+        assert all(a.hosting.proxy_asn == 13335 for a in proxied)

@@ -1,0 +1,122 @@
+"""Tests for phone-number issuance and the HLR ledger."""
+
+import pytest
+
+from repro.types import LineStatus, PhoneNumberType
+from repro.utils.rng import derive
+from repro.world.geography import default_countries
+from repro.world.mno import default_operators
+from repro.world.numbering import (
+    NumberFactory,
+    NumberLedger,
+    SENDER_TYPE_WEIGHTS,
+)
+
+
+@pytest.fixture()
+def factory(rng):
+    return NumberFactory(rng)
+
+
+@pytest.fixture(scope="module")
+def countries():
+    return default_countries()
+
+
+@pytest.fixture(scope="module")
+def operators():
+    return default_operators()
+
+
+class TestMobileIssuance:
+    def test_number_matches_plan(self, factory, countries, operators):
+        country = countries.get("GBR")
+        operator = operators.get("EE Limited")
+        issued = factory.mobile_number(country, operator)
+        national = issued.digits[len(country.dial_code):]
+        assert len(national) == country.national_length
+        assert any(national.startswith(p) for p in country.mobile_prefixes)
+
+    def test_ledger_registration(self, factory, countries, operators):
+        issued = factory.mobile_number(countries.get("IND"),
+                                       operators.get("AirTel"))
+        assert factory.ledger.lookup(issued.digits) is issued
+
+    def test_numbers_unique(self, factory, countries, operators):
+        country = countries.get("NLD")
+        operator = operators.get("KPN Mobile")
+        numbers = {factory.mobile_number(country, operator).e164
+                   for _ in range(200)}
+        assert len(numbers) == 200
+
+    def test_original_operator_recorded(self, factory, countries, operators):
+        issued = factory.mobile_number(countries.get("FRA"),
+                                       operators.get("SFR"))
+        assert issued.original_operator == "SFR"
+
+    def test_recycling_changes_current_not_original(self, countries, operators):
+        factory = NumberFactory(derive(99, "recycle"))
+        issued = [
+            factory.mobile_number(countries.get("NLD"),
+                                  operators.get("KPN Mobile"))
+            for _ in range(300)
+        ]
+        recycled = [n for n in issued if n.current_operator != "KPN Mobile"]
+        assert recycled  # ~15% should have ported
+        assert all(n.original_operator == "KPN Mobile" for n in issued)
+
+
+class TestSpecialNumbers:
+    def test_landline_not_valid_sender(self, factory, countries):
+        issued = factory.landline_number(countries.get("GBR"))
+        assert issued.number_type is PhoneNumberType.LANDLINE
+        assert not issued.number_type.is_valid
+
+    def test_bad_format_longer_than_plan(self, factory, countries):
+        country = countries.get("ESP")
+        issued = factory.bad_format_number(country)
+        national = issued.digits[len(country.dial_code):]
+        assert len(national) > country.national_length
+        assert issued.status is LineStatus.DEAD
+
+    def test_service_number_types(self, factory, countries):
+        for number_type in (PhoneNumberType.VOIP, PhoneNumberType.TOLL_FREE,
+                            PhoneNumberType.PAGER):
+            issued = factory.service_number(countries.get("USA"), number_type)
+            assert issued.number_type is number_type
+
+
+class TestSenderMix:
+    def test_weights_cover_table3(self):
+        assert set(SENDER_TYPE_WEIGHTS) == set(PhoneNumberType)
+
+    def test_sender_number_distribution(self, countries, operators):
+        factory = NumberFactory(derive(5, "mix"))
+        country = countries.get("IND")
+        operator = operators.get("AirTel")
+        counts = {}
+        for _ in range(1200):
+            issued = factory.sender_number(country, operator)
+            counts[issued.number_type] = counts.get(issued.number_type, 0) + 1
+        total = sum(counts.values())
+        # Mobile should dominate (~67%), bad format second (~24%).
+        assert counts[PhoneNumberType.MOBILE] / total > 0.55
+        assert counts[PhoneNumberType.BAD_FORMAT] / total > 0.15
+        assert counts[PhoneNumberType.MOBILE] > counts[PhoneNumberType.BAD_FORMAT]
+
+
+class TestLedger:
+    def test_lookup_unknown_returns_none(self):
+        assert NumberLedger().lookup("123456789") is None
+
+    def test_len_and_iter(self, factory, countries, operators):
+        before = len(factory.ledger)
+        factory.mobile_number(countries.get("DEU"),
+                              operators.get("Deutsche Telekom"))
+        assert len(factory.ledger) == before + 1
+        assert any(True for _ in factory.ledger)
+
+    def test_lookup_strips_plus(self, factory, countries, operators):
+        issued = factory.mobile_number(countries.get("DEU"),
+                                       operators.get("Deutsche Telekom"))
+        assert factory.ledger.lookup("+" + issued.digits) is issued

@@ -1,0 +1,121 @@
+"""Tests for the reporter population and world assembly."""
+
+import pytest
+
+from repro.imaging.renderer import ScreenshotRenderer
+from repro.types import Forum, ScamType
+from repro.utils.rng import derive
+from repro.world.reporters import ReporterPopulation
+from repro.world.scenario import ScenarioConfig, build_world
+
+
+class TestReporterPopulation:
+    @pytest.fixture(scope="class")
+    def output(self, world):
+        # Re-generate a small batch deterministically.
+        population = ReporterPopulation(
+            derive(3, "rep"), ScreenshotRenderer(derive(3, "ren"))
+        )
+        return population.generate(world.events[:400])
+
+    def test_twitter_dominates(self, output):
+        twitter = len(output.posts_by_forum.get(Forum.TWITTER, []))
+        others = sum(
+            len(posts) for forum, posts in output.posts_by_forum.items()
+            if forum is not Forum.TWITTER
+        )
+        assert twitter > others * 3
+
+    def test_post_ids_unique(self, output):
+        ids = [p.post_id for p in output.all_posts()]
+        assert len(ids) == len(set(ids))
+
+    def test_reports_linked_to_events(self, output):
+        linked = [p for p in output.all_posts() if p.truth_event_id]
+        assert linked
+
+    def test_chatter_has_no_truth_link(self, output):
+        chatter = [
+            p for p in output.all_posts()
+            if p.truth_event_id is None and not p.attachments
+        ]
+        assert len(chatter) >= output.chatter_count * 0.9
+
+    def test_decoys_have_non_sms_attachments(self, output):
+        from repro.imaging.screenshot import ImageKind
+        decoys = [
+            p for p in output.all_posts()
+            if p.attachments and p.truth_event_id is None
+        ]
+        assert decoys
+        for post in decoys:
+            assert post.attachments[0].kind is not ImageKind.SMS_SCREENSHOT
+
+    def test_report_happens_after_receipt(self, output, world):
+        for post in output.all_posts():
+            if post.truth_event_id:
+                event = world.event(post.truth_event_id)
+                assert post.created_at >= event.received_at
+
+    def test_pastebin_posts_by_analyst(self, output):
+        from repro.forums.pastebin import ANALYST_USER
+        for post in output.posts_by_forum.get(Forum.PASTEBIN, []):
+            assert post.author == ANALYST_USER
+
+    def test_structured_forums_have_structured_payloads(self, output):
+        for forum in (Forum.SMISHTANK, Forum.SMISHING_EU):
+            for post in output.posts_by_forum.get(forum, []):
+                assert post.structured
+                assert post.structured.get("text")
+
+
+class TestBuildWorld:
+    def test_every_forum_populated(self, world):
+        for forum in Forum:
+            assert len(world.forums[forum]) > 0, forum
+
+    def test_deterministic_under_seed(self):
+        w1 = build_world(ScenarioConfig(seed=101, n_campaigns=10))
+        w2 = build_world(ScenarioConfig(seed=101, n_campaigns=10))
+        assert len(w1.events) == len(w2.events)
+        assert [e.event_id for e in w1.events[:20]] == [
+            e.event_id for e in w2.events[:20]
+        ]
+        assert w1.events[5].message.text == w2.events[5].message.text
+
+    def test_different_seeds_differ(self):
+        w1 = build_world(ScenarioConfig(seed=101, n_campaigns=10))
+        w2 = build_world(ScenarioConfig(seed=202, n_campaigns=10))
+        texts1 = [e.message.text for e in w1.events[:50]]
+        texts2 = [e.message.text for e in w2.events[:50]]
+        assert texts1 != texts2
+
+    def test_all_scam_types_present(self, world):
+        present = {e.scam_type for e in world.events}
+        assert present == set(ScamType)
+
+    def test_sbi_burst_included(self, world):
+        burst = [c for c in world.campaigns if "sbi2021" in c.campaign_id]
+        assert len(burst) == 1
+        assert burst[0].burst_at is not None
+
+    def test_event_lookup(self, world):
+        event = world.events[0]
+        assert world.event(event.event_id) is event
+        assert world.event("nope") is None
+
+    def test_service_wiring(self, world):
+        # Services answer from world ground truth.
+        asset = world.infrastructure.assets[0]
+        assert world.crtsh is not None
+        assert world.webhost is not None
+        assert asset.fqdn in world.webhost
+
+    def test_scaled_config(self):
+        config = ScenarioConfig(n_campaigns=100).scaled(0.1)
+        assert config.n_campaigns == 10
+        assert config.seed == ScenarioConfig().seed
+
+    def test_forum_accessors(self, world):
+        assert world.twitter is world.forums[Forum.TWITTER]
+        assert world.pastebin is world.forums[Forum.PASTEBIN]

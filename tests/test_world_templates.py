@@ -1,0 +1,91 @@
+"""Tests for the smishing template library."""
+
+import pytest
+
+from repro.types import LurePrinciple, ScamType
+from repro.world.templates import TemplateLibrary, default_templates
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_templates()
+
+SLOTS = {
+    "brand": "TestBank", "url": "https://x.com/a", "name": "Anna",
+    "amount": "100", "currency": "$", "code": "123456",
+    "tracking": "AB123456789", "phone": "+1555",
+}
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("scam_type", list(ScamType))
+    def test_english_templates_exist(self, library, scam_type):
+        assert library.templates(scam_type, "en")
+
+    @pytest.mark.parametrize("lang", ["en", "es", "nl", "fr", "de", "it",
+                                      "id", "pt", "ja", "hi"])
+    def test_banking_covered_in_major_languages(self, library, lang):
+        templates = library.templates(ScamType.BANKING, lang)
+        assert templates
+        assert all(t.language == lang for t in templates)
+
+    def test_fallback_language_has_templates(self, library):
+        templates = library.templates(ScamType.BANKING, "pl")
+        assert templates
+        assert templates[0].language == "pl"
+
+    def test_unknown_pair_falls_back_to_english(self, library):
+        # Hey mum/dad has no Polish coverage; falls back to English.
+        templates = library.templates(ScamType.HEY_MUM_DAD, "pl")
+        assert all(t.language == "en" for t in templates)
+
+    def test_languages_for_banking_is_broad(self, library):
+        assert len(library.languages_for(ScamType.BANKING)) >= 40
+
+
+class TestRendering:
+    def test_render_fills_slots(self, library, rng):
+        template = library.pick(ScamType.BANKING, "en", rng)
+        text = template.render(SLOTS)
+        assert "{" not in text
+
+    def test_all_templates_render(self, library):
+        for template in library.all_templates():
+            text = template.render(SLOTS)
+            assert text.strip()
+
+    def test_conversation_templates_carry_no_url(self, library):
+        for lang in ("en", "es", "de"):
+            for template in library.templates(ScamType.HEY_MUM_DAD, lang):
+                assert not template.needs_url
+
+    def test_url_templates_place_url(self, library):
+        for template in library.templates(ScamType.BANKING, "en"):
+            if template.needs_url:
+                assert "{url}" in template.text
+
+
+class TestLureGroundTruth:
+    def test_every_template_has_lures(self, library):
+        for template in library.all_templates():
+            assert template.lures
+
+    def test_hey_mum_dad_uses_kindness(self, library):
+        for template in library.templates(ScamType.HEY_MUM_DAD, "en"):
+            assert LurePrinciple.KINDNESS in template.lures
+
+    def test_banking_uses_authority_and_urgency(self, library):
+        templates = library.templates(ScamType.BANKING, "en")
+        assert any(LurePrinciple.AUTHORITY in t.lures for t in templates)
+        assert any(LurePrinciple.TIME_URGENCY in t.lures for t in templates)
+
+    def test_dishonesty_is_rare(self, library):
+        # §5.5: dishonesty is the least-used lure (0.5% of messages).
+        dishonest = [t for t in library.all_templates()
+                     if LurePrinciple.DISHONESTY in t.lures]
+        assert 0 < len(dishonest) <= 3
+
+    def test_non_english_templates_carry_gloss(self, library):
+        for template in library.all_templates():
+            if template.language != "en":
+                assert template.english_gloss
