@@ -4,17 +4,32 @@ The scale is larger than the unit-test world so table shapes are stable;
 it is built once per session. Every bench prints the regenerated artefact
 so the harness output can be compared against the paper's tables side by
 side.
+
+The pipeline run is observed: its telemetry (spans, per-service
+request/retry/backoff counters, meter snapshots) is dumped at session
+end to a JSON artifact — ``benchmarks/artifacts/bench_metrics.json`` by
+default, override the directory with ``REPRO_BENCH_ARTIFACTS`` — so the
+perf trajectory across PRs can be charted from CI output.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.core.pipeline import run_pipeline
+from repro.obs import Telemetry
 from repro.world.scenario import ScenarioConfig, build_world
 
 BENCH_CONFIG = ScenarioConfig(seed=7726, n_campaigns=200,
                               sbi_burst_volume=150)
+
+#: Telemetry of the session's pipeline run (if any bench requested it)
+#: plus the benchmarks that ran, for the session-end artifact dump.
+_SESSION = {"telemetry": None, "benchmarks": []}
 
 
 @pytest.fixture(scope="session")
@@ -24,12 +39,38 @@ def world():
 
 @pytest.fixture(scope="session")
 def pipeline_run(world):
-    return run_pipeline(world)
+    telemetry = Telemetry.create(clock=world.clock)
+    run = run_pipeline(world, telemetry=telemetry)
+    _SESSION["telemetry"] = telemetry
+    return run
 
 
 @pytest.fixture(scope="session")
 def enriched(pipeline_run):
     return pipeline_run.enriched
+
+
+@pytest.fixture(autouse=True)
+def _record_benchmark(request):
+    _SESSION["benchmarks"].append(request.node.nodeid)
+    yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    telemetry = _SESSION["telemetry"]
+    if telemetry is None:
+        return
+    out_dir = Path(os.environ.get("REPRO_BENCH_ARTIFACTS",
+                                  str(Path(__file__).parent / "artifacts")))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    artifact = {
+        "config": {"seed": BENCH_CONFIG.seed,
+                   "n_campaigns": BENCH_CONFIG.n_campaigns},
+        "benchmarks": _SESSION["benchmarks"],
+        "telemetry": telemetry.to_dict(),
+    }
+    path = out_dir / "bench_metrics.json"
+    path.write_text(json.dumps(artifact, indent=2, default=str))
 
 
 def show(table) -> None:

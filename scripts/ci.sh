@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests plus an observability smoke test.
+#
+# Usage: scripts/ci.sh
+# The smoke test runs the full pipeline at the default scale with
+# telemetry enabled and asserts the trace JSON carries spans for every
+# forum and enrichment service.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests
+
+echo "== observability smoke test =="
+trace="$(mktemp -t repro-trace-XXXXXX.json)"
+trap 'rm -f "$trace"' EXIT
+python -m repro stats --seed 7 --quiet --trace-out "$trace" > /dev/null
+python - "$trace" <<'PY'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+names = {span["name"] for span in trace["spans"]}
+forums = {"collect/Twitter", "collect/Reddit", "collect/Smishing.eu",
+          "collect/Pastebin", "collect/Smishtank"}
+services = {"enrich/hlr", "enrich/whois", "enrich/crtsh",
+            "enrich/spamhaus-pdns", "enrich/ipinfo", "enrich/virustotal",
+            "enrich/gsb", "enrich/openai"}
+missing = (forums | services) - names
+assert not missing, f"missing spans: {sorted(missing)}"
+counters = {c["name"] for c in trace["metrics"]["counters"]}
+assert {"service.requests", "service.retries",
+        "service.backoff_seconds"} <= counters, sorted(counters)
+print(f"smoke ok: {len(trace['spans'])} spans, "
+      f"{len(trace['metrics']['counters'])} counters")
+PY
+echo "ci ok"

@@ -7,6 +7,12 @@ Commands mirror the library's main workflows:
 * ``casestudy``— run the §6 active malware investigation.
 * ``mine``     — cluster the dataset back into campaigns.
 * ``figures``  — export plot-ready CSVs for the figures.
+* ``stats``    — run the pipeline and print its telemetry (spans,
+  per-service request/retry/backoff counters, run counters).
+
+Every command accepts ``--trace-out PATH`` to dump the run's full trace
+and metrics as JSON, and emits stage-level progress lines on stderr
+(suppress with ``--quiet``) so long runs are not mute.
 """
 
 from __future__ import annotations
@@ -26,20 +32,40 @@ from .analysis.report import generate_paper_report
 from .core.active import run_case_study
 from .core.anonymize import build_release, save_release
 from .core.pipeline import PipelineRun, run_pipeline
+from .obs import Telemetry, stderr_sink
 from .world.scenario import ScenarioConfig, build_world
 
 
 def _build_run(args: argparse.Namespace) -> PipelineRun:
     world = build_world(ScenarioConfig(seed=args.seed,
                                        n_campaigns=args.campaigns))
-    return run_pipeline(world)
+    progress = None if args.quiet else stderr_sink
+    telemetry = Telemetry.create(clock=world.clock, progress=progress)
+    return run_pipeline(world, telemetry=telemetry)
+
+
+def _write_trace(args: argparse.Namespace, run: PipelineRun) -> int:
+    """Dump the run's trace + metrics JSON when ``--trace-out`` was given.
+
+    Returns the command exit code: 0 normally, 1 when the dump path is
+    unwritable (the run itself already succeeded, so fail cleanly)."""
+    if args.trace_out is None:
+        return 0
+    try:
+        run.telemetry.write_json(args.trace_out)
+    except OSError as exc:
+        print(f"repro: error: cannot write trace to {args.trace_out}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     run = _build_run(args)
     report = generate_paper_report(run)
     print(report.render())
-    return 0
+    return _write_trace(args, run)
 
 
 def _cmd_release(args: argparse.Namespace) -> int:
@@ -47,7 +73,7 @@ def _cmd_release(args: argparse.Namespace) -> int:
     rows = build_release(run.enriched)
     written = save_release(rows, args.output)
     print(f"wrote {written} pseudo-anonymised rows to {args.output}")
-    return 0
+    return _write_trace(args, run)
 
 
 def _cmd_casestudy(args: argparse.Namespace) -> int:
@@ -57,7 +83,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     print(build_table19(study).to_text())
     print()
     print(family_distribution_table(study).to_text())
-    return 0
+    return _write_trace(args, run)
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -65,7 +91,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     mined = mine_campaigns(run.annotated_dataset,
                            threshold=args.threshold)
     print(campaign_summary_table(mined, top=args.top).to_text())
-    return 0
+    return _write_trace(args, run)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -74,7 +100,32 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                                  args.output)
     for name, rows in sorted(written.items()):
         print(f"{name}.csv: {rows} rows")
-    return 0
+    return _write_trace(args, run)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    run = _build_run(args)
+    dataset = run.dataset
+    print(f"seed={args.seed} campaigns={args.campaigns} "
+          f"reports={len(run.collection.reports)} records={len(dataset)} "
+          f"limitations={len(run.collection.limitations)}")
+    print()
+    print(run.telemetry.summary())
+    return _write_trace(args, run)
+
+
+def _add_run_options(sub: argparse.ArgumentParser) -> None:
+    """Run-shaping flags accepted after the subcommand too (``repro stats
+    --seed 7``); SUPPRESS keeps root-level values when absent."""
+    sub.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                     help="world seed")
+    sub.add_argument("--campaigns", type=int, default=argparse.SUPPRESS,
+                     help="number of simulated campaigns")
+    sub.add_argument("--trace-out", type=Path, default=argparse.SUPPRESS,
+                     help="write the run's trace + metrics JSON here")
+    sub.add_argument("--quiet", action="store_true",
+                     default=argparse.SUPPRESS,
+                     help="suppress stage progress lines on stderr")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,30 +137,45 @@ def build_parser() -> argparse.ArgumentParser:
                         help="world seed (default 7726)")
     parser.add_argument("--campaigns", type=int, default=120,
                         help="number of simulated campaigns (default 120)")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        help="write the run's trace + metrics JSON here")
+    parser.add_argument("--quiet", action="store_true", default=False,
+                        help="suppress stage progress lines on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser("report", help="regenerate all tables/figures")
     report.set_defaults(func=_cmd_report)
+    _add_run_options(report)
 
     release = sub.add_parser("release", help="write the anonymised dataset")
     release.add_argument("output", type=Path, nargs="?",
                          default=Path("smishing_release.jsonl"))
     release.set_defaults(func=_cmd_release)
+    _add_run_options(release)
 
     casestudy = sub.add_parser("casestudy",
                                help="run the §6 malware case study")
     casestudy.add_argument("--sample", type=int, default=200)
     casestudy.set_defaults(func=_cmd_casestudy)
+    _add_run_options(casestudy)
 
     mine = sub.add_parser("mine", help="cluster records into campaigns")
     mine.add_argument("--threshold", type=float, default=0.7)
     mine.add_argument("--top", type=int, default=10)
     mine.set_defaults(func=_cmd_mine)
+    _add_run_options(mine)
 
     figures = sub.add_parser("figures", help="export figure CSVs")
     figures.add_argument("output", type=Path, nargs="?",
                          default=Path("figures"))
     figures.set_defaults(func=_cmd_figures)
+    _add_run_options(figures)
+
+    stats = sub.add_parser(
+        "stats", help="run the pipeline and print its telemetry"
+    )
+    stats.set_defaults(func=_cmd_stats)
+    _add_run_options(stats)
     return parser
 
 

@@ -12,7 +12,7 @@ import datetime as dt
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import QuotaExhausted, ServiceUnavailable
+from ..errors import QuotaExhausted, ServiceError, ServiceUnavailable
 from ..forums.base import Post
 from ..forums.pastebin import ANALYST_USER, PastebinService
 from ..forums.reddit import RedditService
@@ -20,6 +20,7 @@ from ..forums.smishingeu import SmishingEuService
 from ..forums.smishtank import SmishtankService
 from ..forums.twitter import ACADEMIC_API_SHUTDOWN, TwitterService
 from ..imaging.screenshot import Screenshot
+from ..obs import Telemetry, ensure_telemetry
 from ..types import Forum
 from .config import PipelineConfig
 
@@ -44,6 +45,27 @@ class RawReport:
         return bool(self.screenshots)
 
 
+@dataclass(frozen=True)
+class CollectionLimitation:
+    """One structured coverage loss: a cap, quota, or outage hit mid-run.
+
+    The paper treats collection-coverage accounting (caps hit, posts
+    forgone, API shutdowns) as a research result in itself, so each
+    swallowed ``QuotaExhausted``/``ServiceUnavailable`` becomes one of
+    these instead of only a log string. ``posts_forgone`` is the
+    remaining-post estimate at the moment the limit hit (posts the forum
+    held that this run had not yet seen) — an upper bound, since later
+    keywords could have re-found already-seen posts.
+    """
+
+    forum: Forum
+    service: str
+    kind: str  # "quota" | "unavailable"
+    detail: str
+    simulated_at: Optional[dt.datetime] = None
+    posts_forgone: int = 0
+
+
 @dataclass
 class CollectionResult:
     """Everything a collection run produced, with bookkeeping."""
@@ -51,11 +73,32 @@ class CollectionResult:
     reports: List[RawReport] = field(default_factory=list)
     posts_seen: int = 0
     api_errors: List[str] = field(default_factory=list)
+    limitations: List[CollectionLimitation] = field(default_factory=list)
 
     def extend(self, other: "CollectionResult") -> None:
         self.reports.extend(other.reports)
         self.posts_seen += other.posts_seen
         self.api_errors.extend(other.api_errors)
+        self.limitations.extend(other.limitations)
+
+    def record_limitation(
+        self,
+        forum: Forum,
+        exc: ServiceError,
+        *,
+        simulated_at: Optional[dt.datetime] = None,
+        posts_forgone: int = 0,
+    ) -> None:
+        """File one limitation both as a string (legacy) and structured."""
+        self.api_errors.append(str(exc))
+        self.limitations.append(CollectionLimitation(
+            forum=forum,
+            service=exc.service or forum.value,
+            kind="quota" if isinstance(exc, QuotaExhausted) else "unavailable",
+            detail=str(exc),
+            simulated_at=simulated_at,
+            posts_forgone=posts_forgone,
+        ))
 
     def by_forum(self) -> Dict[Forum, List[RawReport]]:
         grouped: Dict[Forum, List[RawReport]] = {}
@@ -100,24 +143,25 @@ class TwitterCollector:
         for keyword in self._config.keywords:
             posts = self._drain(keyword, windows.twitter_historical_start,
                                 windows.twitter_realtime_start,
-                                realtime=False, errors=result.api_errors)
+                                realtime=False, result=result)
             self._ingest(posts, keyword, seen, result)
         # Real-time collection until the shutdown moment.
         self._service.query_time = windows.twitter_realtime_start
         for keyword in self._config.keywords:
             posts = self._drain(keyword, windows.twitter_realtime_start,
                                 ACADEMIC_API_SHUTDOWN,
-                                realtime=True, errors=result.api_errors)
+                                realtime=True, result=result)
             self._ingest(posts, keyword, seen, result)
         return result
 
     def _drain(self, keyword: str, since: dt.datetime, until: dt.datetime,
-               *, realtime: bool, errors: List[str]) -> List[Post]:
+               *, realtime: bool, result: CollectionResult) -> List[Post]:
         """Drain every page, keeping partial results across API failures.
 
         An API shutdown or an exhausted request quota mid-sweep loses the
         remaining pages but never the pages already fetched — the real
-        pipeline survived exactly this when the academic API died.
+        pipeline survived exactly this when the academic API died. Each
+        failure is filed as a structured limitation, not just a string.
         """
         posts: List[Post] = []
         cursor: Optional[str] = None
@@ -132,7 +176,13 @@ class TwitterCollector:
                         keyword, since=since, until=until, cursor=cursor
                     )
             except (ServiceUnavailable, QuotaExhausted) as exc:
-                errors.append(str(exc))
+                result.record_limitation(
+                    Forum.TWITTER, exc,
+                    simulated_at=getattr(self._service, "query_time", None),
+                    posts_forgone=max(
+                        0, len(self._service) - result.posts_seen - len(posts)
+                    ),
+                )
                 return posts
             posts.extend(page.posts)
             if page.exhausted:
@@ -152,7 +202,10 @@ class TwitterCollector:
             try:
                 original = self._service.fetch_original(post)
             except QuotaExhausted as exc:
-                result.api_errors.append(str(exc))
+                result.record_limitation(
+                    Forum.TWITTER, exc,
+                    simulated_at=getattr(self._service, "query_time", None),
+                )
                 original = None
             if original is not None and original.post_id not in seen:
                 seen.add(original.post_id)
@@ -180,7 +233,13 @@ class RedditCollector:
                     until=windows.reddit_end,
                 )
             except QuotaExhausted as exc:
-                result.api_errors.append(str(exc))
+                result.record_limitation(
+                    Forum.REDDIT, exc,
+                    simulated_at=windows.reddit_end,
+                    posts_forgone=max(
+                        0, len(self._service) - result.posts_seen
+                    ),
+                )
                 break
             for post in posts:
                 result.posts_seen += 1
@@ -210,8 +269,14 @@ class SmishingEuCollector:
         for scrape_date in scrape_dates:
             try:
                 posts = self._service.scrape(scrape_date)
-            except ServiceUnavailable as exc:
-                result.api_errors.append(str(exc))
+            except (ServiceUnavailable, QuotaExhausted) as exc:
+                result.record_limitation(
+                    Forum.SMISHING_EU, exc,
+                    simulated_at=dt.datetime.combine(scrape_date, dt.time()),
+                    posts_forgone=max(
+                        0, len(self._service) - result.posts_seen
+                    ),
+                )
                 break
             for post in posts:
                 result.posts_seen += 1
@@ -231,7 +296,15 @@ class PastebinCollector:
 
     def collect(self) -> CollectionResult:
         result = CollectionResult()
-        for post in self._service.pastes_by_user(ANALYST_USER):
+        try:
+            pastes = self._service.pastes_by_user(ANALYST_USER)
+        except (ServiceUnavailable, QuotaExhausted) as exc:
+            result.record_limitation(
+                Forum.PASTEBIN, exc,
+                posts_forgone=len(self._service),
+            )
+            return result
+        for post in pastes:
             result.posts_seen += 1
             result.reports.append(_report_from_post(post, None))
         return result
@@ -247,25 +320,60 @@ class SmishtankCollector:
     def collect(self) -> CollectionResult:
         result = CollectionResult()
         windows = self._config.windows
-        for post in self._service.list_reports(
-            since=windows.smishtank_start, until=windows.smishtank_end
-        ):
+        try:
+            posts = self._service.list_reports(
+                since=windows.smishtank_start, until=windows.smishtank_end
+            )
+        except (ServiceUnavailable, QuotaExhausted) as exc:
+            result.record_limitation(
+                Forum.SMISHTANK, exc,
+                simulated_at=windows.smishtank_end,
+                posts_forgone=len(self._service),
+            )
+            return result
+        for post in posts:
             result.posts_seen += 1
             result.reports.append(_report_from_post(post, None))
         return result
 
 
+#: Collector class per forum, in the paper's §3.1 presentation order.
+_COLLECTORS = (
+    (Forum.TWITTER, TwitterCollector),
+    (Forum.REDDIT, RedditCollector),
+    (Forum.SMISHING_EU, SmishingEuCollector),
+    (Forum.PASTEBIN, PastebinCollector),
+    (Forum.SMISHTANK, SmishtankCollector),
+)
+
+
 def collect_all(
-    forums: Dict[Forum, object], config: Optional[PipelineConfig] = None
+    forums: Dict[Forum, object],
+    config: Optional[PipelineConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> CollectionResult:
-    """Run every collector against a world's forums."""
+    """Run every collector against a world's forums.
+
+    With telemetry enabled, each forum gets one ``collect/<forum>`` span
+    plus per-forum counters (posts seen, reports kept, limitations hit).
+    """
     config = config or PipelineConfig()
+    telemetry = ensure_telemetry(telemetry)
+    tracer, metrics = telemetry.tracer, telemetry.metrics
     result = CollectionResult()
-    result.extend(TwitterCollector(forums[Forum.TWITTER], config).collect())
-    result.extend(RedditCollector(forums[Forum.REDDIT], config).collect())
-    result.extend(
-        SmishingEuCollector(forums[Forum.SMISHING_EU], config).collect()
-    )
-    result.extend(PastebinCollector(forums[Forum.PASTEBIN], config).collect())
-    result.extend(SmishtankCollector(forums[Forum.SMISHTANK], config).collect())
+    for forum, collector_cls in _COLLECTORS:
+        with tracer.span(f"collect/{forum.value}") as span:
+            sub = collector_cls(forums[forum], config).collect()
+            span.set(posts_seen=sub.posts_seen, reports=len(sub.reports),
+                     images=sub.image_count, limitations=len(sub.limitations))
+        metrics.counter("collection.posts_seen",
+                        forum=forum.value).inc(sub.posts_seen)
+        metrics.counter("collection.reports",
+                        forum=forum.value).inc(len(sub.reports))
+        for limitation in sub.limitations:
+            metrics.counter("collection.limitations", forum=forum.value,
+                            kind=limitation.kind).inc()
+            metrics.counter("collection.posts_forgone",
+                            forum=forum.value).inc(limitation.posts_forgone)
+        result.extend(sub)
     return result

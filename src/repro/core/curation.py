@@ -24,6 +24,7 @@ from ..errors import ParseError
 from ..forums.pastebin import parse_paste
 from ..imaging.vision_openai import OpenAiVisionExtractor, VisionExtraction
 from ..net.url import extract_urls, try_parse_url
+from ..obs import Telemetry, ensure_telemetry
 from ..sms.senderid import is_redacted, try_classify_sender_id
 from ..types import Forum
 from ..utils.timeutils import ParsedTimestamp, parse_screenshot_timestamp
@@ -45,12 +46,24 @@ class CurationStats:
     text_mined: int = 0
     timestamp_parse_failures: int = 0
 
+    def drop_reasons(self) -> dict:
+        """Per-reason drop accounting for the observability layer."""
+        return {
+            "image_dismissed": self.images_dismissed,
+            "timestamp_parse_failure": self.timestamp_parse_failures,
+            "no_record_produced": max(
+                0, self.reports_in - self.records_out
+            ),
+        }
+
 
 class Curator:
     """Builds the curated dataset from collected reports."""
 
-    def __init__(self, vision: OpenAiVisionExtractor):
+    def __init__(self, vision: OpenAiVisionExtractor,
+                 telemetry: Optional[Telemetry] = None):
         self._vision = vision
+        self._telemetry = ensure_telemetry(telemetry)
         self._counter = 0
         self.stats = CurationStats()
 
@@ -200,6 +213,27 @@ class Curator:
 
     def curate(self, reports: List[RawReport]) -> SmishingDataset:
         """Run curation over a collection result's reports."""
+        with self._telemetry.tracer.span("curate") as span:
+            dataset = self._curate_inner(reports)
+            span.set(reports_in=self.stats.reports_in,
+                     records_out=self.stats.records_out,
+                     images_processed=self.stats.images_processed,
+                     images_dismissed=self.stats.images_dismissed)
+        metrics = self._telemetry.metrics
+        metrics.counter("curation.reports_in").inc(self.stats.reports_in)
+        metrics.counter("curation.records_out").inc(self.stats.records_out)
+        metrics.counter("curation.images_processed").inc(
+            self.stats.images_processed
+        )
+        metrics.counter("curation.structured_used").inc(
+            self.stats.structured_used
+        )
+        metrics.counter("curation.text_mined").inc(self.stats.text_mined)
+        for reason, count in self.stats.drop_reasons().items():
+            metrics.counter("curation.drops", reason=reason).inc(count)
+        return dataset
+
+    def _curate_inner(self, reports: List[RawReport]) -> SmishingDataset:
         dataset = SmishingDataset()
         for report in reports:
             self.stats.reports_in += 1

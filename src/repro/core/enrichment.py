@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import NotFound, ValidationError
 from ..net.tld import default_registry
+from ..obs import Telemetry, ensure_telemetry
 from ..net.url import Url
 from ..services.crtsh import CertSummary, CrtShService
 from ..services.gsb import GoogleSafeBrowsingService, GsbApiResult
@@ -105,12 +106,20 @@ class EnrichmentServices:
     gsb: GoogleSafeBrowsingService
     openai: OpenAiEndpoint
 
+    def meters(self) -> Dict[str, object]:
+        """Every service's meter, keyed by its wire-level service name."""
+        members = (self.hlr, self.whois, self.crtsh, self.passivedns,
+                   self.ipinfo, self.virustotal, self.gsb, self.openai)
+        return {m.meter.service: m.meter for m in members}
+
 
 class Enricher:
     """Runs the full §3.3 measurement battery."""
 
-    def __init__(self, services: EnrichmentServices):
+    def __init__(self, services: EnrichmentServices,
+                 telemetry: Optional[Telemetry] = None):
         self._services = services
+        self._telemetry = ensure_telemetry(telemetry)
         self._tlds = default_registry()
 
     # -- senders (§3.3.1) -----------------------------------------------------
@@ -200,9 +209,55 @@ class Enricher:
 
     # -- the full battery ---------------------------------------------------------------
 
+    def _metered_stage(self, name: str, meters, stage, result) -> None:
+        """Run one stage under a span, with one ``enrich/<service>`` child
+        span per meter carrying the request/retry/backoff delta the stage
+        caused (the services themselves stay telemetry-unaware)."""
+        tracer = self._telemetry.tracer
+        metrics = self._telemetry.metrics
+        with tracer.span(name):
+            accounting = []
+            for meter in meters:
+                span = tracer.start(f"enrich/{meter.service}")
+                accounting.append((span, meter, meter.snapshot()))
+            stage(result)
+            for span, meter, before in reversed(accounting):
+                after = meter.snapshot()
+                requests = after["used"] - before["used"]
+                retries = (after["throttle_events"]
+                           - before["throttle_events"])
+                backoff = (after.get("backoff_seconds", 0.0)
+                           - before.get("backoff_seconds", 0.0))
+                span.set(requests=requests, retries=retries,
+                         backoff_seconds=round(backoff, 3))
+                tracer.end(span)
+                metrics.counter("enrichment.requests",
+                                service=meter.service).inc(requests)
+                metrics.counter("enrichment.retries",
+                                service=meter.service).inc(retries)
+                metrics.counter("enrichment.backoff_seconds",
+                                service=meter.service).inc(backoff)
+
     def run(self, dataset: SmishingDataset) -> EnrichedDataset:
         result = EnrichedDataset(dataset=dataset)
-        self.enrich_senders(result)
-        self.enrich_urls(result)
-        self.annotate(result)
+        services = self._services
+        with self._telemetry.tracer.span("enrich", records=len(dataset)) as sp:
+            self._metered_stage(
+                "enrich/senders", [services.hlr.meter],
+                self.enrich_senders, result,
+            )
+            self._metered_stage(
+                "enrich/urls",
+                [services.whois.meter, services.crtsh.meter,
+                 services.passivedns.meter, services.ipinfo.meter,
+                 services.virustotal.meter, services.gsb.meter],
+                self.enrich_urls, result,
+            )
+            self._metered_stage(
+                "enrich/annotate", [services.openai.meter],
+                self.annotate, result,
+            )
+            sp.set(unique_urls=len(result.urls),
+                   unique_senders=len(result.senders),
+                   annotations=len(result.annotations))
         return result

@@ -3,17 +3,21 @@
 This is the programmatic equivalent of everything §3 describes, wired
 against a :class:`~repro.world.scenario.World`. The result object carries
 every intermediate product so analyses, tests, and benches can introspect
-any stage.
+any stage — including, when observability is enabled, the full
+:class:`~repro.obs.Telemetry` (spans, counters, meter snapshots) of the
+run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..imaging.vision_openai import OpenAiVisionExtractor
 from ..nlp.annotator import MessageAnnotator
 from ..nlp.openai_api import OpenAiEndpoint
+from ..obs import NULL_TELEMETRY, Telemetry, ensure_telemetry
 from ..utils.rng import derive
 from ..world.scenario import World
 from .collection import CollectionResult, collect_all
@@ -33,6 +37,8 @@ class PipelineRun:
     curation_stats: CurationStats
     dataset: SmishingDataset
     enriched: EnrichedDataset
+    #: Observability for the run; NULL_TELEMETRY when tracing was off.
+    telemetry: Telemetry = field(default_factory=lambda: NULL_TELEMETRY)
 
     @property
     def annotated_dataset(self) -> SmishingDataset:
@@ -62,20 +68,65 @@ def build_enrichment_services(
     )
 
 
+@contextmanager
+def _observed_meters(telemetry: Telemetry, meters):
+    """Attach the telemetry hook to every meter for the duration of a
+    run, then detach and capture final snapshots — the world object is
+    left unmodified for other (possibly telemetry-free) runs."""
+    if not telemetry.enabled:
+        yield
+        return
+    hook = telemetry.meter_hook()
+    for meter in meters:
+        meter.observer = hook
+    try:
+        yield
+    finally:
+        for meter in meters:
+            meter.observer = None
+            telemetry.capture_meter(meter)
+
+
 def run_pipeline(
-    world: World, config: Optional[PipelineConfig] = None
+    world: World,
+    config: Optional[PipelineConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> PipelineRun:
-    """Collect from all five forums, curate, and enrich."""
+    """Collect from all five forums, curate, and enrich.
+
+    ``telemetry`` of None (the default) runs against the shared no-op
+    telemetry: no span objects are allocated and every instrumentation
+    site costs a single dispatch. Pass ``Telemetry.create(...)`` to get
+    nested spans (wall + simulated time), per-service counters, and
+    end-of-run meter snapshots on ``PipelineRun.telemetry``.
+    """
     config = config or PipelineConfig()
-    collection = collect_all(world.forums, config)
-    vision = OpenAiVisionExtractor(
-        derive(world.config.seed, "pipeline-vision"),
-        miss_rate=config.vision_miss_rate,
-    )
-    curator = Curator(vision)
-    dataset = curator.curate(collection.reports)
-    enricher = Enricher(build_enrichment_services(world))
-    enriched = enricher.run(dataset)
+    telemetry = ensure_telemetry(telemetry)
+    telemetry.tracer.bind_clock(world.clock)
+
+    services = build_enrichment_services(world)
+    forum_meters = [forum.meter for forum in world.forums.values()]
+    service_meters = list(services.meters().values())
+
+    with _observed_meters(telemetry, forum_meters + service_meters):
+        with telemetry.tracer.span(
+            "pipeline", seed=world.config.seed,
+            n_campaigns=world.config.n_campaigns,
+        ) as root:
+            with telemetry.tracer.span("collect") as collect_span:
+                collection = collect_all(world.forums, config, telemetry)
+                collect_span.set(posts_seen=collection.posts_seen,
+                                 reports=len(collection.reports),
+                                 limitations=len(collection.limitations))
+            vision = OpenAiVisionExtractor(
+                derive(world.config.seed, "pipeline-vision"),
+                miss_rate=config.vision_miss_rate,
+            )
+            curator = Curator(vision, telemetry)
+            dataset = curator.curate(collection.reports)
+            enricher = Enricher(services, telemetry)
+            enriched = enricher.run(dataset)
+            root.set(records=len(dataset))
     return PipelineRun(
         world=world,
         config=config,
@@ -83,4 +134,5 @@ def run_pipeline(
         curation_stats=curator.stats,
         dataset=dataset,
         enriched=enriched,
+        telemetry=telemetry,
     )

@@ -4,12 +4,17 @@ Forum APIs bill per request with window caps (e.g. the Twitter academic
 API's monthly tweet cap; Reddit's per-minute limits). This meter counts
 requests and enforces an optional hard cap — collectors surface the cap
 as a collection limitation rather than crashing mid-run.
+
+Like :class:`~repro.services.base.ServiceMeter`, the meter exposes a
+uniform :meth:`ForumMeter.snapshot` and an optional ``observer`` hook so
+the observability layer can account every charge and cap rejection per
+forum without the collectors knowing about telemetry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..errors import QuotaExhausted
 
@@ -20,18 +25,44 @@ class ForumMeter:
 
     service: str
     cap: Optional[int] = None
+    #: Anything with a float ``.now`` attribute (duck-typed SimClock) —
+    #: stamps ``last_charge_at`` when present.
+    clock: Optional[Any] = None
     used: int = field(default=0, init=False)
+    throttle_events: int = field(default=0, init=False)
+    last_charge_at: Optional[float] = field(default=None, init=False)
+    observer: Optional[Callable[[str, str, float], None]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _emit(self, event: str, value: float = 1.0) -> None:
+        if self.observer is not None:
+            self.observer(self.service, event, value)
 
     def charge(self, count: int = 1) -> None:
         if self.cap is not None and self.used + count > self.cap:
+            self.throttle_events += 1
+            self._emit("quota")
             raise QuotaExhausted(
                 f"{self.service}: request cap of {self.cap} reached",
                 service=self.service,
             )
         self.used += count
+        if self.clock is not None:
+            self.last_charge_at = float(self.clock.now)
+        self._emit("request", count)
 
     @property
     def remaining(self) -> Optional[int]:
         if self.cap is None:
             return None
         return max(0, self.cap - self.used)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Uniform budget-consumption report (shared with ServiceMeter)."""
+        return {
+            "used": self.used,
+            "remaining": self.remaining,
+            "throttle_events": self.throttle_events,
+            "last_charge_at": self.last_charge_at,
+        }

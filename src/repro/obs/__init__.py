@@ -1,0 +1,38 @@
+"""Observability for the reproduction pipeline (tracing + metrics).
+
+The package is deliberately zero-dependency (standard library only, plus
+the in-repo table renderer) and splits into three layers:
+
+* :mod:`repro.obs.trace` — nested spans with wall-clock and simulated
+  timestamps, and a no-op tracer for disabled runs.
+* :mod:`repro.obs.metrics` — labelled counters/histograms.
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade the
+  pipeline threads through its stages, meter event hooks, JSON export,
+  and the ``repro stats`` summary tables.
+"""
+
+from .metrics import Counter, Histogram, MetricsRegistry, NullMetrics
+from .trace import NULL_SPAN, NullTracer, Span, Tracer
+from .telemetry import (
+    NULL_TELEMETRY,
+    TRACE_FORMAT_VERSION,
+    Telemetry,
+    ensure_telemetry,
+    stderr_sink,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_SPAN",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "NULL_TELEMETRY",
+    "TRACE_FORMAT_VERSION",
+    "Telemetry",
+    "ensure_telemetry",
+    "stderr_sink",
+]

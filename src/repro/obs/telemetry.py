@@ -1,0 +1,193 @@
+"""Telemetry: one tracer + one metrics registry + meter accounting.
+
+:class:`Telemetry` is the single object the pipeline threads through its
+stages. It owns a :class:`~repro.obs.trace.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry`, subscribes to
+``ServiceMeter``/``ForumMeter`` events (every charge, throttle, and
+backoff lands in per-service counters), collects end-of-run meter
+snapshots, and exports the whole run as a JSON document or as
+human-readable summary tables.
+
+``NULL_TELEMETRY`` is the module-wide disabled instance: a
+:class:`~repro.obs.trace.NullTracer` plus :class:`NullMetrics`, so an
+uninstrumented ``run_pipeline`` allocates no span or counter objects.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Callable, Dict, List, Optional
+
+from ..utils.tables import Table
+from .metrics import MetricsRegistry, NullMetrics
+from .trace import NullTracer, Tracer
+
+#: Trace JSON schema version, bumped on incompatible layout changes.
+TRACE_FORMAT_VERSION = 1
+
+
+def stderr_sink(line: str) -> None:
+    """Progress sink writing one line per span event to stderr."""
+    print(line, file=sys.stderr, flush=True)
+
+
+class Telemetry:
+    """Everything observed about one pipeline run."""
+
+    def __init__(self, *, tracer=None, metrics=None, enabled: bool = True):
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else (
+            Tracer() if enabled else NullTracer()
+        )
+        self.metrics = metrics if metrics is not None else (
+            MetricsRegistry() if enabled else NullMetrics()
+        )
+        #: Final ``meter.snapshot()`` per service, captured at run end.
+        self.meter_snapshots: Dict[str, Dict[str, Any]] = {}
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        clock: Optional[Any] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> "Telemetry":
+        """An enabled telemetry; ``progress`` receives span progress lines."""
+        return cls(tracer=Tracer(clock=clock, sink=progress),
+                   metrics=MetricsRegistry(), enabled=True)
+
+    # -- meter wiring ---------------------------------------------------------
+
+    def meter_hook(self) -> Callable[[str, str, float], None]:
+        """The observer callback meters call on every charge/throttle.
+
+        Events: ``request`` (successful charge), ``throttle`` (rate limit
+        raised — i.e. the caller will retry), ``backoff`` (simulated
+        seconds slept before a retry), ``quota`` (hard quota rejection).
+        """
+        metrics = self.metrics
+
+        def hook(service: str, event: str, value: float) -> None:
+            if event == "request":
+                metrics.counter("service.requests", service=service).inc()
+            elif event == "throttle":
+                metrics.counter("service.retries", service=service).inc()
+            elif event == "backoff":
+                metrics.counter(
+                    "service.backoff_seconds", service=service
+                ).inc(value)
+            elif event == "quota":
+                metrics.counter("service.quota_rejections",
+                                service=service).inc()
+
+        return hook
+
+    def capture_meter(self, meter: Any) -> None:
+        """Store a meter's final ``snapshot()`` under its service name."""
+        if not self.enabled:
+            return
+        self.meter_snapshots[meter.service] = meter.snapshot()
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": TRACE_FORMAT_VERSION,
+            "spans": self.tracer.to_dicts(),
+            "metrics": self.metrics.to_dict(),
+            "meters": {name: dict(snap)
+                       for name, snap in self.meter_snapshots.items()},
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def write_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    # -- human-readable summaries ---------------------------------------------
+
+    def span_table(self) -> Table:
+        """Stage timings: wall-clock and simulated seconds per span."""
+        table = Table(title="Pipeline stages",
+                      columns=["Stage", "Wall (s)", "Sim (s)", "Detail"])
+        for span in self.tracer.spans:
+            interesting = {
+                k: v for k, v in span.attributes.items()
+                if isinstance(v, (int, float, str)) and k != "error"
+            }
+            detail = ", ".join(f"{k}={v}" for k, v in
+                               sorted(interesting.items())[:4])
+            table.add_row(
+                span.name,
+                round(span.wall_seconds, 4)
+                if span.wall_seconds is not None else None,
+                round(span.sim_seconds, 1)
+                if span.sim_seconds is not None else None,
+                detail or None,
+            )
+        return table
+
+    def service_table(self) -> Table:
+        """Per-service request/retry/backoff accounting from counters."""
+        services: Dict[str, Dict[str, float]] = {}
+        for counter in self.metrics.counters():
+            service = counter.labels.get("service")
+            if service is None or not counter.name.startswith("service."):
+                continue
+            field = counter.name.split(".", 1)[1]
+            services.setdefault(service, {})[field] = counter.value
+        table = Table(
+            title="Service telemetry",
+            columns=["Service", "Requests", "Retries", "Backoff (sim s)",
+                     "Quota hits", "Remaining"],
+        )
+        for service in sorted(services):
+            fields = services[service]
+            snapshot = self.meter_snapshots.get(service, {})
+            remaining = snapshot.get("remaining")
+            table.add_row(
+                service,
+                int(fields.get("requests", 0)),
+                int(fields.get("retries", 0)),
+                round(fields.get("backoff_seconds", 0.0), 1),
+                int(fields.get("quota_rejections", 0)),
+                "∞" if remaining is None else int(remaining),
+            )
+        return table
+
+    def counter_table(self) -> Table:
+        """Every non-service counter (collection, curation, drops...)."""
+        table = Table(title="Run counters",
+                      columns=["Counter", "Labels", "Value"])
+        for counter in sorted(self.metrics.counters(),
+                              key=lambda c: (c.name, sorted(c.labels.items()))):
+            if counter.name.startswith("service."):
+                continue
+            labels = ", ".join(f"{k}={v}" for k, v in
+                               sorted(counter.labels.items()))
+            value = counter.value
+            table.add_row(counter.name, labels or None,
+                          int(value) if value == int(value) else value)
+        return table
+
+    def summary(self) -> str:
+        """The full human-readable stats report."""
+        parts = [self.span_table().to_text(),
+                 self.service_table().to_text(),
+                 self.counter_table().to_text()]
+        return "\n\n".join(parts)
+
+
+#: Shared disabled telemetry: no spans, no counters, near-zero overhead.
+NULL_TELEMETRY = Telemetry(tracer=NullTracer(), metrics=NullMetrics(),
+                           enabled=False)
+
+
+def ensure_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Normalise an optional telemetry argument to a usable instance."""
+    return NULL_TELEMETRY if telemetry is None else telemetry

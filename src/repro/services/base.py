@@ -11,9 +11,13 @@ nothing in the library sleeps on wall-clock time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..errors import QuotaExhausted, RateLimitExceeded
+
+#: Observer signature: ``(service, event, value)`` where event is one of
+#: ``request`` / ``throttle`` / ``backoff`` / ``quota``.
+MeterObserver = Callable[[str, str, float], None]
 
 
 class SimClock:
@@ -50,6 +54,13 @@ class ServiceMeter:
     _tokens: float = field(default=0.0, init=False)
     _last_refill: float = field(default=0.0, init=False)
     _used: int = field(default=0, init=False)
+    _throttle_events: int = field(default=0, init=False)
+    _backoff_seconds: float = field(default=0.0, init=False)
+    _last_charge_at: Optional[float] = field(default=None, init=False)
+    #: Optional telemetry hook; see :data:`MeterObserver`. Set by the
+    #: pipeline when observability is enabled, left None otherwise.
+    observer: Optional[MeterObserver] = field(default=None, init=False,
+                                              repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._tokens = self.burst
@@ -60,10 +71,41 @@ class ServiceMeter:
         return self._used
 
     @property
+    def throttle_events(self) -> int:
+        return self._throttle_events
+
+    @property
+    def backoff_seconds(self) -> float:
+        return self._backoff_seconds
+
+    @property
+    def last_charge_at(self) -> Optional[float]:
+        return self._last_charge_at
+
+    @property
     def remaining_quota(self) -> Optional[int]:
         if self.quota is None:
             return None
         return max(0, self.quota - self._used)
+
+    def _emit(self, event: str, value: float = 1.0) -> None:
+        if self.observer is not None:
+            self.observer(self.service, event, value)
+
+    def note_backoff(self, seconds: float) -> None:
+        """Record simulated seconds a client slept before retrying."""
+        self._backoff_seconds += seconds
+        self._emit("backoff", seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Uniform budget-consumption report (shared with ForumMeter)."""
+        return {
+            "used": self._used,
+            "remaining": self.remaining_quota,
+            "throttle_events": self._throttle_events,
+            "last_charge_at": self._last_charge_at,
+            "backoff_seconds": self._backoff_seconds,
+        }
 
     def _refill(self) -> None:
         elapsed = self.clock.now - self._last_refill
@@ -74,6 +116,7 @@ class ServiceMeter:
     def charge(self, cost: float = 1.0) -> None:
         """Consume tokens or raise RateLimitExceeded / QuotaExhausted."""
         if self.quota is not None and self._used >= self.quota:
+            self._emit("quota")
             raise QuotaExhausted(
                 f"{self.service}: quota of {self.quota} requests exhausted",
                 service=self.service,
@@ -81,6 +124,8 @@ class ServiceMeter:
         self._refill()
         if self._tokens + 1e-9 < cost:
             deficit = cost - self._tokens
+            self._throttle_events += 1
+            self._emit("throttle")
             # Floor the backoff so repeated waits always move the clock by
             # a representable amount (guards against float absorption when
             # the simulated clock has grown large).
@@ -91,6 +136,8 @@ class ServiceMeter:
             )
         self._tokens = max(0.0, self._tokens - cost)
         self._used += 1
+        self._last_charge_at = self.clock.now
+        self._emit("request", cost)
 
 
 def wait_and_charge(meter: ServiceMeter, cost: float = 1.0) -> float:
@@ -103,6 +150,7 @@ def wait_and_charge(meter: ServiceMeter, cost: float = 1.0) -> float:
             return waited
         except RateLimitExceeded as exc:
             meter.clock.advance(exc.retry_after)
+            meter.note_backoff(exc.retry_after)
             waited += exc.retry_after
 
 

@@ -51,3 +51,32 @@ class TestCommands:
         assert main(self.ARGS + ["figures", str(out_dir)]) == 0
         assert (out_dir / "figure2.csv").exists()
         assert (out_dir / "figure3.csv").exists()
+
+    def test_stats(self, capsys):
+        assert main(self.ARGS + ["stats", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline stages" in out
+        assert "Service telemetry" in out
+        assert "collect/Twitter" in out
+        assert "enrich/openai" in out
+
+    def test_stats_flags_after_subcommand(self, capsys):
+        # The acceptance shape: run-shaping flags given after `stats`.
+        assert main(["stats", "--seed", "3", "--campaigns", "25",
+                     "--quiet"]) == 0
+        assert "seed=3 campaigns=25" in capsys.readouterr().out
+
+    def test_trace_out_writes_json(self, tmp_path, capsys):
+        import json
+        trace_path = tmp_path / "trace.json"
+        assert main(self.ARGS + ["stats", "--quiet",
+                                 "--trace-out", str(trace_path)]) == 0
+        trace = json.loads(trace_path.read_text())
+        names = {span["name"] for span in trace["spans"]}
+        assert {"pipeline", "collect", "curate", "enrich"} <= names
+
+    def test_progress_lines_on_stderr(self, capsys):
+        assert main(self.ARGS + ["report"]) == 0
+        err = capsys.readouterr().err
+        assert "✓ pipeline" in err
+        assert "✓ collect/Twitter" in err
