@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests plus an observability smoke test.
+# CI gate: tier-1 tests, an observability smoke test, and a chaos smoke
+# test.
 #
 # Usage: scripts/ci.sh
-# The smoke test runs the full pipeline at the default scale with
-# telemetry enabled and asserts the trace JSON carries spans for every
-# forum and enrichment service.
+# The observability smoke test runs the full pipeline at the default
+# scale with telemetry enabled and asserts the trace JSON carries spans
+# for every forum and enrichment service. The chaos smoke test re-runs
+# the pipeline under the `flaky` fault profile and asserts it exits 0
+# with a non-empty enrichment-gap report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -33,5 +36,23 @@ assert {"service.requests", "service.retries",
         "service.backoff_seconds"} <= counters, sorted(counters)
 print(f"smoke ok: {len(trace['spans'])} spans, "
       f"{len(trace['metrics']['counters'])} counters")
+PY
+
+echo "== chaos smoke test (flaky fault profile) =="
+chaos_out="$(mktemp -t repro-chaos-XXXXXX.txt)"
+trap 'rm -f "$trace" "$chaos_out"' EXIT
+python -m repro stats --seed 7 --quiet --faults flaky > "$chaos_out"
+python - "$chaos_out" <<'PY'
+import re, sys
+
+out = open(sys.argv[1]).read()
+header = re.search(r"gaps=(\d+)", out)
+assert header, "stats header carries no gap count"
+assert int(header.group(1)) > 0, "flaky profile produced zero gaps"
+assert "Enrichment gaps:" in out, "missing per-service gap report"
+assert "Resilience" in out, "missing retry/breaker table"
+retries = re.search(r"faults=flaky", out)
+assert retries, "stats header does not echo the fault profile"
+print(f"chaos ok: {header.group(1)} gaps under the flaky profile")
 PY
 echo "ci ok"

@@ -32,6 +32,7 @@ from .analysis.report import generate_paper_report
 from .core.active import run_case_study
 from .core.anonymize import build_release, save_release
 from .core.pipeline import PipelineRun, run_pipeline
+from .faults import FAULT_PROFILES, build_fault_plan
 from .obs import Telemetry, stderr_sink
 from .world.scenario import ScenarioConfig, build_world
 
@@ -41,7 +42,8 @@ def _build_run(args: argparse.Namespace) -> PipelineRun:
                                        n_campaigns=args.campaigns))
     progress = None if args.quiet else stderr_sink
     telemetry = Telemetry.create(clock=world.clock, progress=progress)
-    return run_pipeline(world, telemetry=telemetry)
+    fault_plan = build_fault_plan(args.faults, seed=args.seed)
+    return run_pipeline(world, telemetry=telemetry, fault_plan=fault_plan)
 
 
 def _write_trace(args: argparse.Namespace, run: PipelineRun) -> int:
@@ -107,10 +109,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     run = _build_run(args)
     dataset = run.dataset
     print(f"seed={args.seed} campaigns={args.campaigns} "
+          f"faults={args.faults} "
           f"reports={len(run.collection.reports)} records={len(dataset)} "
-          f"limitations={len(run.collection.limitations)}")
+          f"limitations={len(run.collection.limitations)} "
+          f"gaps={len(run.enriched.gaps)}")
     print()
     print(run.telemetry.summary())
+    gapped = run.enriched.gaps_by_service()
+    if gapped:
+        print()
+        print("Enrichment gaps:")
+        for service in sorted(gapped):
+            kinds: dict = {}
+            for gap in gapped[service]:
+                kinds[gap.kind] = kinds.get(gap.kind, 0) + 1
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+            print(f"  {service}: {len(gapped[service])} ({detail})")
     return _write_trace(args, run)
 
 
@@ -126,6 +140,9 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--quiet", action="store_true",
                      default=argparse.SUPPRESS,
                      help="suppress stage progress lines on stderr")
+    sub.add_argument("--faults", choices=FAULT_PROFILES,
+                     default=argparse.SUPPRESS,
+                     help="chaos profile to inject during the run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the run's trace + metrics JSON here")
     parser.add_argument("--quiet", action="store_true", default=False,
                         help="suppress stage progress lines on stderr")
+    parser.add_argument("--faults", choices=FAULT_PROFILES, default="none",
+                        help="chaos profile to inject during the run "
+                             "(default: none)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser("report", help="regenerate all tables/figures")

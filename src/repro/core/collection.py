@@ -201,7 +201,7 @@ class TwitterCollector:
             # tweet and its image attachment (§3.1.1).
             try:
                 original = self._service.fetch_original(post)
-            except QuotaExhausted as exc:
+            except (ServiceUnavailable, QuotaExhausted) as exc:
                 result.record_limitation(
                     Forum.TWITTER, exc,
                     simulated_at=getattr(self._service, "query_time", None),
@@ -232,7 +232,7 @@ class RedditCollector:
                     keyword, since=windows.reddit_start,
                     until=windows.reddit_end,
                 )
-            except QuotaExhausted as exc:
+            except (ServiceUnavailable, QuotaExhausted) as exc:
                 result.record_limitation(
                     Forum.REDDIT, exc,
                     simulated_at=windows.reddit_end,

@@ -5,6 +5,14 @@ Runs, in the paper's order: sender-ID classification + HLR lookups
 certificates, passive DNS + ASNs (§3.3.3), antivirus detection (§3.3.4),
 and GPT-4o-style text annotation (§3.3.6). Results land in an
 :class:`EnrichedDataset` the analysis builders consume.
+
+Every external-service call runs under a
+:class:`~repro.resilience.RetryPolicy` and a per-service
+:class:`~repro.resilience.CircuitBreaker`, and *degrades per field*
+instead of crashing the run: a service failure that survives its retries
+becomes a structured :class:`EnrichmentGap` on the result (mirroring
+:class:`~repro.core.collection.CollectionLimitation` on the collection
+side) while every other field of every other record keeps its data.
 """
 
 from __future__ import annotations
@@ -13,10 +21,19 @@ import datetime as dt
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import NotFound, ValidationError
+from ..errors import (
+    CircuitOpen,
+    NotFound,
+    QuotaExhausted,
+    RateLimitExceeded,
+    ServiceError,
+    ServiceUnavailable,
+    ValidationError,
+)
 from ..net.tld import default_registry
 from ..obs import Telemetry, ensure_telemetry
 from ..net.url import Url
+from ..resilience import CircuitBreaker, RetryPolicy, call_with_policy
 from ..services.crtsh import CertSummary, CrtShService
 from ..services.gsb import GoogleSafeBrowsingService, GsbApiResult
 from ..services.hlr import HlrLookupService, HlrRecord
@@ -63,6 +80,39 @@ class SenderEnrichment:
     hlr: Optional[HlrRecord] = None
 
 
+@dataclass(frozen=True)
+class EnrichmentGap:
+    """One enrichment field a service failure left empty.
+
+    The enrichment analogue of
+    :class:`~repro.core.collection.CollectionLimitation`: instead of
+    crashing the run (and discarding every record already enriched), a
+    service call that exhausts its retries files one of these. ``kind``
+    classifies the terminal failure: ``unavailable`` / ``quota`` /
+    ``rate_limit`` / ``circuit_open`` / ``error``.
+    """
+
+    service: str
+    field: str  # which UrlEnrichment/SenderEnrichment field went unfilled
+    subject: str  # the URL, sender, or record id that missed out
+    kind: str
+    detail: str
+    attempts: int = 1
+    simulated_at: float = 0.0
+
+
+def _gap_kind(exc: ServiceError) -> str:
+    if isinstance(exc, CircuitOpen):
+        return "circuit_open"
+    if isinstance(exc, QuotaExhausted):
+        return "quota"
+    if isinstance(exc, RateLimitExceeded):
+        return "rate_limit"
+    if isinstance(exc, ServiceUnavailable):
+        return "unavailable"
+    return "error"
+
+
 @dataclass
 class EnrichedDataset:
     """The curated dataset plus all measurement results."""
@@ -72,6 +122,8 @@ class EnrichedDataset:
     senders: Dict[str, SenderEnrichment] = field(default_factory=dict)
     annotations: Dict[str, AnnotationLabels] = field(default_factory=dict)
     raw_annotations: Dict[str, Annotation] = field(default_factory=dict)
+    #: Structured record of every field a service failure left empty.
+    gaps: List[EnrichmentGap] = field(default_factory=list)
 
     def url_enrichment_for(self, record: SmishingRecord) -> Optional[UrlEnrichment]:
         if record.url is None:
@@ -91,6 +143,12 @@ class EnrichedDataset:
     def annotated_dataset(self) -> SmishingDataset:
         """The dataset with annotation labels attached to records."""
         return self.dataset.with_annotations(self.annotations)
+
+    def gaps_by_service(self) -> Dict[str, List[EnrichmentGap]]:
+        grouped: Dict[str, List[EnrichmentGap]] = {}
+        for gap in self.gaps:
+            grouped.setdefault(gap.service, []).append(gap)
+        return grouped
 
 
 @dataclass
@@ -114,13 +172,74 @@ class EnrichmentServices:
 
 
 class Enricher:
-    """Runs the full §3.3 measurement battery."""
+    """Runs the full §3.3 measurement battery with per-field degradation."""
 
     def __init__(self, services: EnrichmentServices,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 *,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 breakers: Optional[Dict[str, CircuitBreaker]] = None):
         self._services = services
         self._telemetry = ensure_telemetry(telemetry)
         self._tlds = default_registry()
+        self._policy = retry_policy or RetryPolicy()
+        # Retries and breakers advance/read the shared simulated clock —
+        # the same one every service meter charges against.
+        self._clock = services.hlr.meter.clock
+        self.breakers: Dict[str, CircuitBreaker] = breakers if breakers is not None else {}
+
+    # -- resilience plumbing --------------------------------------------------
+
+    def _breaker(self, service: str) -> CircuitBreaker:
+        breaker = self.breakers.get(service)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                service, self._clock,
+                observer=self._telemetry.breaker_hook(),
+            )
+            self.breakers[service] = breaker
+        return breaker
+
+    def _on_retry(self, service: str, attempt: int, delay: float,
+                  exc: ServiceError) -> None:
+        metrics = self._telemetry.metrics
+        metrics.counter("resilience.retries", service=service).inc()
+        metrics.counter("resilience.backoff_seconds",
+                        service=service).inc(delay)
+
+    def _guarded(self, sink: EnrichedDataset, service: str, field_name: str,
+                 subject: str, fn, default=None):
+        """Run one service call under policy + breaker; failure ⇒ gap.
+
+        Returns the call's result, or ``default`` after filing an
+        :class:`EnrichmentGap` when the call's retries are exhausted (or
+        its breaker is open). The rest of the record keeps enriching.
+        """
+        try:
+            return call_with_policy(
+                fn,
+                policy=self._policy,
+                clock=self._clock,
+                service=service,
+                key=f"{service}:{subject}",
+                breaker=self._breaker(service),
+                on_retry=self._on_retry,
+            )
+        except ServiceError as exc:
+            kind = _gap_kind(exc)
+            sink.gaps.append(EnrichmentGap(
+                service=service,
+                field=field_name,
+                subject=subject,
+                kind=kind,
+                detail=str(exc),
+                attempts=getattr(exc, "resilience_attempts", 1),
+                simulated_at=self._clock.now,
+            ))
+            self._telemetry.metrics.counter(
+                "enrichment.gaps", service=service, kind=kind
+            ).inc()
+            return default
 
     # -- senders (§3.3.1) -----------------------------------------------------
 
@@ -135,7 +254,11 @@ class Enricher:
             enrichment = SenderEnrichment(normalized=key,
                                           kind=record.sender.kind)
             if record.sender.kind is SenderIdKind.PHONE_NUMBER:
-                enrichment.hlr = self._services.hlr.lookup(record.sender.digits)
+                digits = record.sender.digits
+                enrichment.hlr = self._guarded(
+                    result, "hlr", "hlr", key,
+                    lambda: self._services.hlr.lookup(digits),
+                )
             unique[key] = enrichment
         result.senders = unique
 
@@ -149,10 +272,12 @@ class Enricher:
             key = str(record.url)
             if key in unique:
                 continue
-            unique[key] = self._enrich_one_url(record.url)
+            unique[key] = self._enrich_one_url(record.url, result)
         result.urls = unique
 
-    def _enrich_one_url(self, url: Url) -> UrlEnrichment:
+    def _enrich_one_url(self, url: Url, sink: EnrichedDataset) -> UrlEnrichment:
+        services = self._services
+        subject = str(url)
         enrichment = UrlEnrichment(url=url)
         enrichment.shortener = shortener_for_url(url)
         enrichment.is_whatsapp = url.host == WHATSAPP_HOST
@@ -167,28 +292,48 @@ class Enricher:
         # The paper skips WHOIS / TLS / pDNS for shortener hosts: the
         # shortener's own infrastructure is not the scammer's.
         if enrichment.shortener is None and not enrichment.is_whatsapp:
-            try:
-                enrichment.whois = self._services.whois.query(
-                    enrichment.registered_domain or url.host
-                )
-            except NotFound:
-                enrichment.whois = None
-            enrichment.certificates = self._services.crtsh.summary_for(url.host)
-            answer = self._services.passivedns.query(url.host)
-            enrichment.pdns_addresses = answer.addresses
-            if answer.resolved:
-                enrichment.ip_info = self._services.ipinfo.lookup_batch(
-                    answer.addresses
-                )
-        enrichment.vt_report = self._services.virustotal.scan_url(str(url))
-        enrichment.gsb_api = self._services.gsb.query_api(str(url))
-        enrichment.gsb_on_vt = self._services.gsb.verdict_on_virustotal(str(url))
-        try:
-            enrichment.gsb_transparency = self._services.gsb.query_transparency(
-                str(url)
-            )
-        except Exception:
-            enrichment.gsb_transparency = GsbStatus.NOT_QUERIED
+            whois_name = enrichment.registered_domain or url.host
+
+            def _whois() -> Optional[WhoisRecord]:
+                # "No record" is an answer, not a failure.
+                try:
+                    return services.whois.query(whois_name)
+                except NotFound:
+                    return None
+
+            enrichment.whois = self._guarded(
+                sink, "whois", "whois", subject, _whois)
+            enrichment.certificates = self._guarded(
+                sink, "crtsh", "certificates", subject,
+                lambda: services.crtsh.summary_for(url.host))
+            answer = self._guarded(
+                sink, services.passivedns.meter.service, "pdns_addresses",
+                subject, lambda: services.passivedns.query(url.host))
+            if answer is not None:
+                enrichment.pdns_addresses = answer.addresses
+                if answer.resolved:
+                    enrichment.ip_info = self._guarded(
+                        sink, "ipinfo", "ip_info", subject,
+                        lambda: services.ipinfo.lookup_batch(answer.addresses),
+                        default=[])
+        enrichment.vt_report = self._guarded(
+            sink, "virustotal", "vt_report", subject,
+            lambda: services.virustotal.scan_url(subject))
+        enrichment.gsb_api = self._guarded(
+            sink, "gsb", "gsb_api", subject,
+            lambda: services.gsb.query_api(subject))
+        enrichment.gsb_on_vt = self._guarded(
+            sink, "gsb", "gsb_on_vt", subject,
+            lambda: services.gsb.verdict_on_virustotal(subject))
+        # The transparency report blocks ~half of automated queries
+        # (deterministically per URL). The block is permanent and
+        # non-retryable, so it files a gap and leaves NOT_QUERIED —
+        # never a silent swallow, never a wasted retry.
+        status = self._guarded(
+            sink, "gsb-transparency", "gsb_transparency", subject,
+            lambda: services.gsb.query_transparency(subject))
+        if status is not None:
+            enrichment.gsb_transparency = status
         return enrichment
 
     # -- annotations (§3.3.6) ----------------------------------------------------------
@@ -197,10 +342,14 @@ class Enricher:
         annotations: Dict[str, AnnotationLabels] = {}
         raw: Dict[str, Annotation] = {}
         for record in result.dataset:
-            response = self._services.openai.annotate_message(
-                ANNOTATION_PROMPT,
-                {"id": record.record_id, "message": record.text},
+            payload = {"id": record.record_id, "message": record.text}
+            response = self._guarded(
+                result, "openai", "annotation", record.record_id,
+                lambda: self._services.openai.annotate_message(
+                    ANNOTATION_PROMPT, payload),
             )
+            if response is None:
+                continue
             annotation = Annotation.from_json(response.content)
             annotations[record.record_id] = annotation.labels
             raw[record.record_id] = annotation
@@ -259,5 +408,6 @@ class Enricher:
             )
             sp.set(unique_urls=len(result.urls),
                    unique_senders=len(result.senders),
-                   annotations=len(result.annotations))
+                   annotations=len(result.annotations),
+                   gaps=len(result.gaps))
         return result

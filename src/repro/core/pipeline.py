@@ -14,10 +14,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..faults import FaultPlan, inject_faults
 from ..imaging.vision_openai import OpenAiVisionExtractor
 from ..nlp.annotator import MessageAnnotator
 from ..nlp.openai_api import OpenAiEndpoint
 from ..obs import NULL_TELEMETRY, Telemetry, ensure_telemetry
+from ..resilience import RetryPolicy
 from ..utils.rng import derive
 from ..world.scenario import World
 from .collection import CollectionResult, collect_all
@@ -91,6 +93,7 @@ def run_pipeline(
     world: World,
     config: Optional[PipelineConfig] = None,
     telemetry: Optional[Telemetry] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> PipelineRun:
     """Collect from all five forums, curate, and enrich.
 
@@ -99,22 +102,35 @@ def run_pipeline(
     site costs a single dispatch. Pass ``Telemetry.create(...)`` to get
     nested spans (wall + simulated time), per-service counters, and
     end-of-run meter snapshots on ``PipelineRun.telemetry``.
+
+    ``fault_plan`` of None (or an empty plan) runs against the world's
+    services directly. A non-empty plan wraps every targeted forum and
+    enrichment service in a :class:`~repro.faults.FaultProxy` for this
+    run only — the world object is never mutated — and the run completes
+    anyway: collection failures become ``CollectionLimitation`` records,
+    enrichment failures become ``EnrichmentGap`` records.
     """
     config = config or PipelineConfig()
     telemetry = ensure_telemetry(telemetry)
     telemetry.tracer.bind_clock(world.clock)
 
     services = build_enrichment_services(world)
-    forum_meters = [forum.meter for forum in world.forums.values()]
+    forums = world.forums
+    if fault_plan is not None and not fault_plan.is_empty:
+        services, forums = inject_faults(services, forums, fault_plan,
+                                         clock=world.clock)
+    forum_meters = [forum.meter for forum in forums.values()]
     service_meters = list(services.meters().values())
 
     with _observed_meters(telemetry, forum_meters + service_meters):
         with telemetry.tracer.span(
             "pipeline", seed=world.config.seed,
             n_campaigns=world.config.n_campaigns,
+            faults=(fault_plan.describe() if fault_plan is not None
+                    else "none"),
         ) as root:
             with telemetry.tracer.span("collect") as collect_span:
-                collection = collect_all(world.forums, config, telemetry)
+                collection = collect_all(forums, config, telemetry)
                 collect_span.set(posts_seen=collection.posts_seen,
                                  reports=len(collection.reports),
                                  limitations=len(collection.limitations))
@@ -124,9 +140,14 @@ def run_pipeline(
             )
             curator = Curator(vision, telemetry)
             dataset = curator.curate(collection.reports)
-            enricher = Enricher(services, telemetry)
+            enricher = Enricher(
+                services, telemetry,
+                retry_policy=RetryPolicy(seed=world.config.seed),
+            )
             enriched = enricher.run(dataset)
-            root.set(records=len(dataset))
+            root.set(records=len(dataset), gaps=len(enriched.gaps))
+    for breaker in enricher.breakers.values():
+        telemetry.capture_breaker(breaker)
     return PipelineRun(
         world=world,
         config=config,

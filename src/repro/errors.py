@@ -58,6 +58,20 @@ class AuthenticationError(ServiceError):
     """The API credential was missing, malformed, or revoked."""
 
 
+class CircuitOpen(ServiceError):
+    """A circuit breaker rejected the call before it reached the service.
+
+    Raised by :func:`repro.resilience.call_with_policy` when the
+    service's breaker is open: the service failed repeatedly and the
+    caller is in its cool-down window. The call never touched the
+    service (no request was charged), so retrying immediately is
+    pointless — hence ``retryable=False``.
+    """
+
+    def __init__(self, message: str, *, service: str = ""):
+        super().__init__(message, service=service, retryable=False)
+
+
 class QuotaExhausted(ServiceError):
     """A hard API quota was exhausted (no amount of waiting helps)."""
 

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+The paper's collection survived real infrastructure failures by luck and
+careful coding (§3.1); this package makes those failures *reproducible*
+so the resilience layer (:mod:`repro.resilience`) is tested engineering,
+not hope. It splits into two layers:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded immutable set
+  of rules (transient bursts, sim-clock outage windows, per-call error
+  rates, injected latency) plus the named CLI profiles
+  (``none`` / ``flaky`` / ``outage``).
+* :mod:`repro.faults.proxy` — :class:`FaultProxy`, the transparent
+  wrapper that injects a plan's faults in front of any forum or
+  enrichment service without the service knowing.
+
+Same seed + same plan ⇒ byte-identical fault sequences.
+"""
+
+from .plan import (
+    FAULT_PROFILES,
+    ErrorRate,
+    FaultPlan,
+    InjectedLatency,
+    OutageWindow,
+    TransientBurst,
+    build_fault_plan,
+)
+from .proxy import DEFAULT_EXCLUDE, FaultProxy, inject_faults, wrap_if_planned
+
+__all__ = [
+    "FAULT_PROFILES",
+    "DEFAULT_EXCLUDE",
+    "ErrorRate",
+    "FaultPlan",
+    "FaultProxy",
+    "InjectedLatency",
+    "OutageWindow",
+    "TransientBurst",
+    "build_fault_plan",
+    "inject_faults",
+    "wrap_if_planned",
+]

@@ -45,6 +45,8 @@ class Telemetry:
         )
         #: Final ``meter.snapshot()`` per service, captured at run end.
         self.meter_snapshots: Dict[str, Dict[str, Any]] = {}
+        #: Final ``breaker.snapshot()`` per service, captured at run end.
+        self.breaker_snapshots: Dict[str, Dict[str, Any]] = {}
 
     # -- constructors ---------------------------------------------------------
 
@@ -91,6 +93,29 @@ class Telemetry:
             return
         self.meter_snapshots[meter.service] = meter.snapshot()
 
+    # -- breaker wiring -------------------------------------------------------
+
+    def breaker_hook(self) -> Callable[[str, str, float], None]:
+        """The observer circuit breakers call on every state transition.
+
+        Events: ``open`` (the breaker tripped), ``half_open`` (cool-down
+        elapsed, probing), ``close`` (probe succeeded), ``fast_fail``
+        (a call rejected while open).
+        """
+        metrics = self.metrics
+
+        def hook(service: str, event: str, value: float) -> None:
+            metrics.counter(f"resilience.breaker_{event}s",
+                            service=service).inc(value)
+
+        return hook
+
+    def capture_breaker(self, breaker: Any) -> None:
+        """Store a breaker's final ``snapshot()`` under its service name."""
+        if not self.enabled:
+            return
+        self.breaker_snapshots[breaker.service] = breaker.snapshot()
+
     # -- export ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -100,6 +125,8 @@ class Telemetry:
             "metrics": self.metrics.to_dict(),
             "meters": {name: dict(snap)
                        for name, snap in self.meter_snapshots.items()},
+            "breakers": {name: dict(snap)
+                         for name, snap in self.breaker_snapshots.items()},
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -160,13 +187,43 @@ class Telemetry:
             )
         return table
 
+    def resilience_table(self) -> Table:
+        """Per-service retry/breaker accounting from the resilience layer."""
+        services: Dict[str, Dict[str, float]] = {}
+        for counter in self.metrics.counters():
+            service = counter.labels.get("service")
+            if service is None or not counter.name.startswith("resilience."):
+                continue
+            field = counter.name.split(".", 1)[1]
+            services.setdefault(service, {})[field] = counter.value
+        for service in self.breaker_snapshots:
+            services.setdefault(service, {})
+        table = Table(
+            title="Resilience",
+            columns=["Service", "Retries", "Backoff (sim s)", "Breaker",
+                     "Opens", "Fast fails"],
+        )
+        for service in sorted(services):
+            fields = services[service]
+            snapshot = self.breaker_snapshots.get(service, {})
+            table.add_row(
+                service,
+                int(fields.get("retries", 0)),
+                round(fields.get("backoff_seconds", 0.0), 1),
+                snapshot.get("state", "-"),
+                int(snapshot.get("opens", fields.get("breaker_opens", 0))),
+                int(snapshot.get("fast_fails",
+                                 fields.get("breaker_fast_fails", 0))),
+            )
+        return table
+
     def counter_table(self) -> Table:
         """Every non-service counter (collection, curation, drops...)."""
         table = Table(title="Run counters",
                       columns=["Counter", "Labels", "Value"])
         for counter in sorted(self.metrics.counters(),
                               key=lambda c: (c.name, sorted(c.labels.items()))):
-            if counter.name.startswith("service."):
+            if counter.name.startswith(("service.", "resilience.")):
                 continue
             labels = ", ".join(f"{k}={v}" for k, v in
                                sorted(counter.labels.items()))
@@ -178,8 +235,11 @@ class Telemetry:
     def summary(self) -> str:
         """The full human-readable stats report."""
         parts = [self.span_table().to_text(),
-                 self.service_table().to_text(),
-                 self.counter_table().to_text()]
+                 self.service_table().to_text()]
+        resilience = self.resilience_table()
+        if resilience.rows:
+            parts.append(resilience.to_text())
+        parts.append(self.counter_table().to_text())
         return "\n\n".join(parts)
 
 

@@ -1,0 +1,141 @@
+"""Retry policies: capped exponential backoff on simulated time.
+
+:class:`RetryPolicy` decides *whether* and *how long* to wait between
+attempts; :func:`call_with_policy` is the execution loop that applies a
+policy (and optionally a :class:`~repro.resilience.breaker.CircuitBreaker`)
+to any zero-argument callable. Backoff jitter is derived from a stable
+hash of ``(seed, key, attempt)``, so two runs with the same seed produce
+byte-identical retry schedules — the property every deterministic fault
+test in ``tests/test_failure_injection.py`` relies on.
+
+All waiting happens on the caller's :class:`~repro.services.base.SimClock`
+(duck-typed: anything with ``now`` and ``advance``); nothing here sleeps
+on wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from ..errors import CircuitOpen, NotFound, QuotaExhausted, ServiceError
+from ..utils.rng import stable_hash
+from .breaker import CircuitBreaker
+
+T = TypeVar("T")
+
+#: Callback fired before each backoff wait: ``(service, attempt, delay,
+#: exc)`` where ``attempt`` is the 1-based attempt that just failed.
+RetryObserver = Callable[[str, int, float, ServiceError], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay_for`` computes the wait after the ``attempt``-th failure
+    (1-based): ``base_delay * multiplier**(attempt-1)`` capped at
+    ``max_delay``, spread by ``±jitter`` (a fraction, e.g. 0.1 = ±10%)
+    derived deterministically from ``(seed, key, attempt)``. A server's
+    explicit ``retry_after`` hint always wins when it is longer.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays cannot be negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1)")
+
+    def should_retry(self, attempt: int, exc: ServiceError) -> bool:
+        """True when the ``attempt``-th failure (1-based) may be retried."""
+        return exc.retryable and attempt < self.max_attempts
+
+    def delay_for(self, attempt: int, *, key: str = "",
+                  retry_after: Optional[float] = None) -> float:
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            unit = stable_hash(f"retry:{self.seed}:{key}:{attempt}") / 2 ** 32
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
+
+
+def breaker_counts(exc: ServiceError) -> bool:
+    """Whether a failure should count toward tripping a breaker.
+
+    Infrastructure failures count: transient/retryable errors and hard
+    quota exhaustion. Semantic answers do not: :class:`NotFound` ("no
+    such record") and permanent per-item rejections (e.g. the GSB
+    transparency report's anti-automation block, which is deterministic
+    per URL and says nothing about the service's health).
+    """
+    if isinstance(exc, NotFound):
+        return False
+    return exc.retryable or isinstance(exc, QuotaExhausted)
+
+
+def call_with_policy(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    clock,
+    service: str = "",
+    key: str = "",
+    breaker: Optional[CircuitBreaker] = None,
+    on_retry: Optional[RetryObserver] = None,
+) -> T:
+    """Run ``fn`` under a retry policy and an optional circuit breaker.
+
+    Replaces ad-hoc ``wait_and_charge``-style loops at call sites: on a
+    retryable :class:`ServiceError` the simulated clock advances by the
+    policy's backoff (honoring ``retry_after`` hints) and the call is
+    re-attempted, up to ``policy.max_attempts`` total attempts. The
+    exception that finally escapes carries the number of attempts made
+    in ``exc.resilience_attempts``, so callers can file accurate
+    :class:`~repro.core.enrichment.EnrichmentGap` records.
+
+    With a breaker, every attempt first asks :meth:`CircuitBreaker.allow`;
+    an open breaker raises :class:`~repro.errors.CircuitOpen` without
+    touching the service.
+    """
+    attempt = 0
+    while True:
+        if breaker is not None and not breaker.allow():
+            exc = CircuitOpen(
+                f"{service or breaker.service}: circuit open "
+                f"(cooling down until t={breaker.retry_at:.1f})",
+                service=service or breaker.service,
+            )
+            exc.resilience_attempts = attempt
+            raise exc
+        attempt += 1
+        try:
+            result = fn()
+        except ServiceError as exc:
+            if breaker is not None and breaker_counts(exc):
+                breaker.record_failure()
+            if not policy.should_retry(attempt, exc):
+                exc.resilience_attempts = attempt
+                raise
+            delay = policy.delay_for(
+                attempt, key=key or service,
+                retry_after=getattr(exc, "retry_after", None),
+            )
+            if on_retry is not None:
+                on_retry(service or exc.service, attempt, delay, exc)
+            clock.advance(delay)
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return result

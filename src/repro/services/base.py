@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
-from ..errors import QuotaExhausted, RateLimitExceeded
+from ..errors import ConfigurationError, QuotaExhausted, RateLimitExceeded
 
 #: Observer signature: ``(service, event, value)`` where event is one of
 #: ``request`` / ``throttle`` / ``backoff`` / ``quota``.
@@ -123,6 +123,13 @@ class ServiceMeter:
             )
         self._refill()
         if self._tokens + 1e-9 < cost:
+            if self.rate <= 0:
+                # A zero/negative rate can never refill the deficit;
+                # waiting would loop forever (and divide by zero below).
+                raise ConfigurationError(
+                    f"{self.service}: meter rate {self.rate} cannot refill "
+                    f"a deficit of {cost - self._tokens:.3f} tokens"
+                )
             deficit = cost - self._tokens
             self._throttle_events += 1
             self._emit("throttle")
@@ -140,15 +147,29 @@ class ServiceMeter:
         self._emit("request", cost)
 
 
-def wait_and_charge(meter: ServiceMeter, cost: float = 1.0) -> float:
+def wait_and_charge(meter: ServiceMeter, cost: float = 1.0,
+                    max_total_wait: float = 3600.0) -> float:
     """Helper for well-behaved clients: advance the clock past any rate
-    limit, then charge. Returns simulated seconds waited."""
+    limit, then charge. Returns simulated seconds waited.
+
+    ``max_total_wait`` bounds the cumulative simulated wait for one
+    charge; a meter that still throttles after that long cannot be
+    satisfied by waiting (in practice: a mis-configured rate/burst) and
+    raises :class:`~repro.errors.ConfigurationError` instead of looping
+    forever.
+    """
     waited = 0.0
     while True:
         try:
             meter.charge(cost)
             return waited
         except RateLimitExceeded as exc:
+            if waited + exc.retry_after > max_total_wait:
+                raise ConfigurationError(
+                    f"{meter.service}: waited {waited:.1f}s (sim) without "
+                    f"satisfying a charge of {cost}; check the meter's "
+                    f"rate ({meter.rate}/s) and burst ({meter.burst})"
+                )
             meter.clock.advance(exc.retry_after)
             meter.note_backoff(exc.retry_after)
             waited += exc.retry_after

@@ -108,9 +108,12 @@ class GoogleSafeBrowsingService:
         wait_and_charge(self.meter)
         gate = stable_hash("gsb-automation:" + url) / 2**32
         if gate < self.AUTOMATION_BLOCK_RATE:
+            # The block is deterministic per URL: waiting and retrying
+            # never helps, so mark it permanent (non-retryable).
             raise ServiceUnavailable(
                 "transparency report blocked automated query",
                 service="gsb-transparency",
+                permanent=True,
             )
         badness = self._badness(url)
         if badness > 0.92:

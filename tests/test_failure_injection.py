@@ -10,11 +10,30 @@ from repro.core.collection import (
     collect_all,
 )
 from repro.core.config import CollectionWindows, PipelineConfig
+from repro.core.pipeline import run_pipeline
+from repro.errors import ConfigurationError, ServiceUnavailable
+from repro.faults import (
+    ErrorRate,
+    FaultPlan,
+    FaultProxy,
+    InjectedLatency,
+    OutageWindow,
+    TransientBurst,
+    build_fault_plan,
+)
 from repro.forums.base import Post
 from repro.forums.base_meter import ForumMeter
 from repro.forums.reddit import RedditService
 from repro.forums.twitter import ACADEMIC_API_SHUTDOWN, TwitterService
+from repro.obs import Telemetry
+from repro.resilience import BreakerState, CircuitBreaker, RetryPolicy, call_with_policy
+from repro.services.base import ServiceMeter, SimClock
 from repro.types import Forum
+from repro.world.scenario import ScenarioConfig, build_world
+
+
+def _small_world(seed=31):
+    return build_world(ScenarioConfig(seed=seed, n_campaigns=15))
 
 
 def _tweet(post_id, when, body="smishing report"):
@@ -120,3 +139,312 @@ class TestWorldScaleResilience:
         with pytest.raises(QuotaExhausted):
             endpoint.annotate_message(ANNOTATION_PROMPT,
                                       {"id": "3", "message": "c"})
+
+
+class _PingService:
+    """A minimal metered service for proxy-level tests."""
+
+    def __init__(self, clock=None):
+        self.meter = ServiceMeter(service="ping", clock=clock or SimClock(),
+                                  rate=1000.0, burst=2000.0)
+
+    def ping(self):
+        self.meter.charge()
+        return "pong"
+
+    def add_post(self):  # excluded by default: never draws faults
+        return "ingested"
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan(seed=1)
+        assert plan.is_empty
+        assert not plan.affects("ping")
+        assert plan.describe() == "none"
+
+    def test_error_rate_deterministic(self):
+        plan = FaultPlan(seed=9, rules=(ErrorRate("ping", 0.5),))
+        clock = SimClock()
+
+        def fate(index):
+            try:
+                plan.apply("ping", index, clock)
+                return True
+            except ServiceUnavailable:
+                return False
+
+        first = [fate(i) for i in range(200)]
+        second = [fate(i) for i in range(200)]
+        assert first == second
+        assert 60 < sum(first) < 140  # roughly half succeed
+
+    def test_error_rate_varies_with_seed(self):
+        clock = SimClock()
+
+        def fates(seed):
+            plan = FaultPlan(seed=seed, rules=(ErrorRate("ping", 0.5),))
+            out = []
+            for i in range(100):
+                try:
+                    plan.apply("ping", i, clock)
+                    out.append(True)
+                except ServiceUnavailable:
+                    out.append(False)
+            return out
+
+        assert fates(1) != fates(2)
+
+    def test_burst_covers_exact_call_range(self):
+        plan = FaultPlan(rules=(TransientBurst("ping", after_calls=2,
+                                               count=3),))
+        clock = SimClock()
+        outcomes = []
+        for i in range(7):
+            try:
+                plan.apply("ping", i, clock)
+                outcomes.append("ok")
+            except ServiceUnavailable as exc:
+                assert exc.retryable
+                outcomes.append("fail")
+        assert outcomes == ["ok", "ok", "fail", "fail", "fail", "ok", "ok"]
+
+    def test_outage_window_follows_clock(self):
+        plan = FaultPlan(rules=(OutageWindow("ping", start=10.0, end=20.0),))
+        clock = SimClock()
+        plan.apply("ping", 0, clock)  # t=0: fine
+        clock.advance(15.0)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            plan.apply("ping", 1, clock)
+        assert excinfo.value.retryable
+        clock.advance(5.0)
+        plan.apply("ping", 2, clock)  # t=20: window is half-open
+
+    def test_permanent_outage_not_retryable(self):
+        plan = FaultPlan(rules=(OutageWindow("ping", start=0.0, end=1e9,
+                                             permanent=True),))
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            plan.apply("ping", 0, SimClock())
+        assert not excinfo.value.retryable
+
+    def test_latency_advances_clock(self):
+        plan = FaultPlan(rules=(InjectedLatency("ping", 2.5),))
+        clock = SimClock()
+        plan.apply("ping", 0, clock)
+        assert clock.now == pytest.approx(2.5)
+
+    def test_profiles_build(self):
+        assert build_fault_plan("none", seed=1).is_empty
+        assert build_fault_plan(None, seed=1).is_empty
+        assert not build_fault_plan("flaky", seed=1).is_empty
+        assert not build_fault_plan("outage", seed=1).is_empty
+        with pytest.raises(ConfigurationError):
+            build_fault_plan("mayhem", seed=1)
+
+    def test_rejects_non_rules(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(rules=("not a rule",))
+
+
+class TestFaultProxy:
+    def test_passthrough_when_service_unaffected(self):
+        service = _PingService()
+        proxy = FaultProxy(service, FaultPlan(rules=(ErrorRate("other",
+                                                               1.0),)))
+        assert proxy.ping() == "pong"
+        assert proxy.fault_calls == 1
+
+    def test_injects_before_the_meter_charges(self):
+        service = _PingService()
+        proxy = FaultProxy(service, FaultPlan(rules=(ErrorRate("ping",
+                                                               1.0),)))
+        with pytest.raises(ServiceUnavailable):
+            proxy.ping()
+        assert service.meter.used == 0  # the request never went out
+
+    def test_attribute_reads_writes_and_len_forward(self):
+        meter = ForumMeter(service="tw", cap=3)
+        service = _populated_twitter(meter=meter, n=4)
+        proxy = FaultProxy(service, FaultPlan(), service="Twitter",
+                           clock=SimClock())
+        proxy.page_size = 2
+        assert service.page_size == 2
+        assert proxy.meter is meter
+        assert len(proxy) == 4
+
+    def test_excluded_methods_draw_no_faults(self):
+        service = _PingService()
+        proxy = FaultProxy(service, FaultPlan(rules=(ErrorRate("ping",
+                                                               1.0),)))
+        assert proxy.add_post() == "ingested"
+        assert proxy.fault_calls == 0
+
+    def test_call_counter_is_per_instance(self):
+        plan = FaultPlan(rules=(TransientBurst("ping", after_calls=1,
+                                               count=1),))
+        a = FaultProxy(_PingService(), plan)
+        b = FaultProxy(_PingService(), plan)
+        assert a.ping() == "pong"
+        with pytest.raises(ServiceUnavailable):
+            a.ping()
+        assert b.ping() == "pong"  # b's counter is its own
+
+
+class TestBreakerTripAndRecover:
+    def test_outage_trips_breaker_then_recovery_closes_it(self):
+        clock = SimClock()
+        service = _PingService(clock=clock)
+        proxy = FaultProxy(
+            service, FaultPlan(rules=(OutageWindow("ping", 0.0, 50.0),)),
+        )
+        breaker = CircuitBreaker("ping", clock, failure_threshold=3,
+                                 cooldown=20.0)
+        policy = RetryPolicy(max_attempts=1, jitter=0.0)
+        for _ in range(3):
+            with pytest.raises(ServiceUnavailable):
+                call_with_policy(proxy.ping, policy=policy, clock=clock,
+                                 breaker=breaker)
+        assert breaker.state is BreakerState.OPEN
+        from repro.errors import CircuitOpen
+        with pytest.raises(CircuitOpen):
+            call_with_policy(proxy.ping, policy=policy, clock=clock,
+                             breaker=breaker)
+        # The outage ends and the cool-down elapses: the half-open probe
+        # succeeds and the breaker closes again.
+        clock.advance(60.0)
+        assert call_with_policy(proxy.ping, policy=policy, clock=clock,
+                                breaker=breaker) == "pong"
+        assert breaker.state is BreakerState.CLOSED
+        assert service.meter.used == 1  # only the probe reached the service
+
+
+class TestCollectionUnderInjectedFaults:
+    def test_reddit_outage_filed_as_limitation(self):
+        # Satellite fix: a Reddit outage must not crash collect(); it is
+        # filed as a limitation like the other four forums.
+        service = RedditService()
+        base = dt.datetime(2020, 6, 1)
+        for i in range(5):
+            service.add_post(Post(
+                post_id=f"r{i}", forum=Forum.REDDIT, author="u",
+                created_at=base, body="smishing here", subreddit="Scams",
+            ))
+        proxy = FaultProxy(
+            service, FaultPlan(rules=(ErrorRate("Reddit", 1.0),)),
+            service="Reddit", clock=SimClock(),
+        )
+        result = RedditCollector(proxy, PipelineConfig()).collect()
+        assert result.limitations
+        assert result.limitations[0].kind == "unavailable"
+        assert result.reports == []
+
+    def test_collect_all_survives_forum_chaos(self, world):
+        plan = FaultPlan(seed=5, rules=(ErrorRate("Reddit", 1.0),
+                                        ErrorRate("Twitter", 0.5)))
+        forums = {
+            forum: FaultProxy(svc, plan, service=forum.value,
+                              clock=world.clock)
+            for forum, svc in world.forums.items()
+        }
+        result = collect_all(forums, PipelineConfig())
+        assert result.limitations
+        by_forum = result.by_forum()
+        assert by_forum.get(Forum.SMISHTANK)
+        assert by_forum.get(Forum.PASTEBIN)
+
+
+class TestEnrichmentUnderInjectedFaults:
+    def test_midrun_outage_preserves_partial_enrichment(self):
+        # VirusTotal is down for the whole enrichment run: the pipeline
+        # completes, every other field keeps its data, and every missing
+        # vt_report is accounted for by a structured gap.
+        world = _small_world()
+        telemetry = Telemetry.create(clock=world.clock)
+        plan = FaultPlan(seed=31, rules=(OutageWindow("virustotal", 0.0,
+                                                      1e9),))
+        run = run_pipeline(world, telemetry=telemetry, fault_plan=plan)
+        assert len(run.dataset) > 0
+        urls = run.enriched.urls
+        assert urls
+        assert all(e.vt_report is None for e in urls.values())
+        assert all(e.gsb_api is not None for e in urls.values())
+        assert any(e.whois is not None for e in urls.values())
+        vt_gaps = [g for g in run.enriched.gaps if g.service == "virustotal"]
+        assert len(vt_gaps) == len(urls)
+        assert {g.kind for g in vt_gaps} <= {"unavailable", "circuit_open"}
+        assert all(g.field == "vt_report" for g in vt_gaps)
+        # Retry/breaker counters are visible in the run's telemetry.
+        metrics = telemetry.metrics
+        assert metrics.value("resilience.retries", service="virustotal") > 0
+        assert metrics.value("resilience.breaker_opens",
+                             service="virustotal") >= 1
+        assert telemetry.breaker_snapshots["virustotal"]["opens"] >= 1
+        assert "Resilience" in telemetry.summary()
+
+    def test_short_outage_ridden_out_by_retries(self):
+        # A blip shorter than the retry budget: backoff rides it out, so
+        # every record still gets its annotation — retries, zero gaps.
+        world = _small_world()
+        telemetry = Telemetry.create(clock=world.clock)
+        plan = FaultPlan(seed=31, rules=(
+            TransientBurst("openai", after_calls=0, count=3),
+        ))
+        run = run_pipeline(world, telemetry=telemetry, fault_plan=plan)
+        assert all(run.enriched.labels_for(r) is not None
+                   for r in run.dataset)
+        assert not [g for g in run.enriched.gaps if g.service == "openai"]
+        assert telemetry.metrics.value("resilience.retries",
+                                       service="openai") > 0
+
+    def test_same_seed_and_plan_identical_gap_lists(self):
+        runs = []
+        for _ in range(2):
+            world = _small_world(seed=47)
+            plan = build_fault_plan("flaky", seed=47)
+            runs.append(run_pipeline(world, fault_plan=plan))
+        gaps_a, gaps_b = runs[0].enriched.gaps, runs[1].enriched.gaps
+        assert gaps_a  # the flaky profile does leave gaps
+        assert gaps_a == gaps_b
+        assert repr(gaps_a) == repr(gaps_b)  # byte-identical
+
+    def test_different_seed_changes_gaps(self):
+        def gaps_for(seed):
+            world = _small_world(seed=seed)
+            return run_pipeline(
+                world, fault_plan=build_fault_plan("flaky", seed=seed)
+            ).enriched.gaps
+
+        assert gaps_for(3) != gaps_for(4)
+
+    def test_clean_run_has_no_infrastructure_gaps(self, pipeline_run):
+        # Without injected faults the only gaps are the GSB transparency
+        # report's deterministic anti-automation blocks (§3.3.4) — now
+        # recorded instead of silently swallowed.
+        services = {g.service for g in pipeline_run.enriched.gaps}
+        assert services <= {"gsb-transparency"}
+        assert all(g.kind == "unavailable"
+                   for g in pipeline_run.enriched.gaps)
+        # ...and they agree exactly with the NOT_QUERIED statuses.
+        blocked = sum(1 for e in pipeline_run.enriched.urls.values()
+                      if e.gsb_transparency.name == "NOT_QUERIED")
+        assert len(pipeline_run.enriched.gaps) == blocked
+
+
+class TestCliChaos:
+    def test_stats_under_flaky_profile(self, capsys):
+        from repro.cli import main
+        assert main(["--campaigns", "10", "--seed", "3", "stats",
+                     "--quiet", "--faults", "flaky"]) == 0
+        out = capsys.readouterr().out
+        assert "faults=flaky" in out
+        assert "gaps=" in out
+        assert "Enrichment gaps:" in out
+
+    def test_faults_flag_accepted_after_subcommand(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["stats", "--faults", "outage"])
+        assert args.faults == "outage"
+
+    def test_default_profile_is_none(self):
+        from repro.cli import build_parser
+        assert build_parser().parse_args(["stats"]).faults == "none"
