@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests, an observability smoke test, and a chaos smoke
-# test.
+# CI gate: tier-1 tests, a coverage gate, an observability smoke test,
+# a chaos smoke test, and a parallel-execution smoke test.
 #
 # Usage: scripts/ci.sh
-# The observability smoke test runs the full pipeline at the default
+# The coverage gate (scripts/coverage_gate.py) fails the build when
+# repro coverage drops below its pinned threshold (pytest-cov when
+# available, stdlib function-coverage tracer otherwise). The
+# observability smoke test runs the full pipeline at the default
 # scale with telemetry enabled and asserts the trace JSON carries spans
 # for every forum and enrichment service. The chaos smoke test re-runs
 # the pipeline under the `flaky` fault profile and asserts it exits 0
-# with a non-empty enrichment-gap report.
+# with a non-empty enrichment-gap report. The parallel smoke test runs
+# with --workers 4 and asserts a clean exit with a non-zero enrichment
+# cache hit rate in the stats output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
+
+echo "== coverage gate =="
+python scripts/coverage_gate.py
 
 echo "== observability smoke test =="
 trace="$(mktemp -t repro-trace-XXXXXX.json)"
@@ -54,5 +62,23 @@ assert "Resilience" in out, "missing retry/breaker table"
 retries = re.search(r"faults=flaky", out)
 assert retries, "stats header does not echo the fault profile"
 print(f"chaos ok: {header.group(1)} gaps under the flaky profile")
+PY
+
+echo "== parallel smoke test (--workers 4) =="
+par_out="$(mktemp -t repro-par-XXXXXX.txt)"
+trap 'rm -f "$trace" "$chaos_out" "$par_out"' EXIT
+python -m repro stats --seed 7 --quiet --workers 4 > "$par_out"
+python - "$par_out" <<'PY'
+import re, sys
+
+out = open(sys.argv[1]).read()
+assert "workers=4" in out, "stats header does not echo the worker count"
+assert "cache=on" in out, "stats header does not echo the cache state"
+assert "Cache" in out and "Hit rate" in out, "missing cache table"
+total = re.search(r"\(total\)\s+([\d,]+)", out)
+row = re.search(r"openai\s+([\d,]+)", out)
+hits = int((total or row).group(1).replace(",", ""))
+assert hits > 0, "parallel run recorded zero cache hits"
+print(f"parallel ok: workers=4 run exited 0 with {hits} cache hits")
 PY
 echo "ci ok"

@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Coverage gate for CI: fail when ``repro`` coverage drops below a pin.
+
+Preferred path: if ``pytest-cov`` is importable, delegate to
+``pytest --cov=repro --cov-fail-under=<line threshold>`` over the full
+tier-1 suite.
+
+Fallback path (this container ships no coverage tooling and CI may not
+install any): measure **function coverage** with a stdlib
+``sys.settrace`` hook. The tracer records every ``call`` event whose
+code object lives under ``src/repro`` while an in-process pytest run
+exercises a fast, pipeline-spanning test subset; the denominator is
+every code object (functions, methods, lambdas, comprehensions)
+compiled from the package sources. Function coverage is coarser than
+line coverage, so each mode carries its own pinned threshold —
+measured at the time the pin was set, minus a small buffer for noise.
+
+Run it the way CI does::
+
+    PYTHONPATH=src python scripts/coverage_gate.py
+
+``--report`` additionally prints the least-covered modules, which is
+how to find dead spots when raising the pin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import threading
+import types
+from pathlib import Path
+from typing import Dict, Set, Tuple
+
+REPO = Path(__file__).resolve().parents[1]
+PACKAGE_ROOT = REPO / "src" / "repro"
+
+# Function-coverage pin for the stdlib fallback. Measured 85.4% on the
+# subset below when introduced; the buffer absorbs platform jitter
+# (e.g. comprehension inlining differences across CPython versions).
+FUNCTION_THRESHOLD = 80.0
+
+# Line-coverage pin used only when pytest-cov is available.
+LINE_THRESHOLD = 85
+
+# Fast subset (~15 s untraced) that spans the whole pipeline: CLI
+# end-to-end (golden stats), execution engine, enrichment, resilience,
+# telemetry — plus unit files for subsystems the end-to-end path skips
+# (detection, imaging, mitigation, SMS encoding, analysis quality).
+TEST_SUBSET = [
+    "tests/test_stats_golden.py",
+    "tests/test_exec_engine.py",
+    "tests/test_core_enrichment_pipeline.py",
+    "tests/test_resilience.py",
+    "tests/test_obs.py",
+    "tests/test_cli.py",
+    "tests/test_detect.py",
+    "tests/test_imaging.py",
+    "tests/test_mitigation_delivery.py",
+    "tests/test_sms_gsm.py",
+    "tests/test_analysis_quality.py",
+]
+
+FuncKey = Tuple[str, str, int]  # (abs filename, qualname-ish, firstlineno)
+
+
+def defined_functions() -> Set[FuncKey]:
+    """Every code object compiled from the package sources."""
+    funcs: Set[FuncKey] = set()
+    for path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        filename = str(path)
+        code = compile(path.read_text(encoding="utf-8"), filename, "exec")
+        stack = [code]
+        while stack:
+            obj = stack.pop()
+            for const in obj.co_consts:
+                if isinstance(const, types.CodeType):
+                    stack.append(const)
+            if obj.co_name != "<module>":
+                funcs.add((filename, obj.co_name, obj.co_firstlineno))
+    return funcs
+
+
+def run_subset_traced() -> Set[FuncKey]:
+    """Run the test subset in-process, recording called repro functions."""
+    import pytest
+
+    prefix = str(PACKAGE_ROOT) + os.sep
+    executed: Set[FuncKey] = set()
+
+    def tracer(frame, event, arg):
+        if event == "call":
+            code = frame.f_code
+            filename = code.co_filename
+            if not os.path.isabs(filename):
+                filename = os.path.abspath(filename)
+            if filename.startswith(prefix):
+                executed.add((filename, code.co_name, code.co_firstlineno))
+        return None  # call events only: no per-line tracing overhead
+
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        rc = pytest.main(
+            ["-q", "-p", "no:cacheprovider", *TEST_SUBSET]
+        )
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if rc != 0:
+        print(f"coverage gate: test subset failed (pytest exit {rc})",
+              file=sys.stderr)
+        sys.exit(rc)
+    return executed
+
+
+def report_gaps(defined: Set[FuncKey], executed: Set[FuncKey]) -> None:
+    per_module: Dict[str, Tuple[int, int]] = {}
+    for key in defined:
+        rel = os.path.relpath(key[0], REPO)
+        total, hit = per_module.get(rel, (0, 0))
+        per_module[rel] = (total + 1, hit + (key in executed))
+    rows = sorted(per_module.items(),
+                  key=lambda kv: kv[1][1] / kv[1][0])
+    print("\nLeast-covered modules (functions hit/total):")
+    for rel, (total, hit) in rows[:15]:
+        print(f"  {hit:4d}/{total:<4d} {hit / total:6.1%}  {rel}")
+
+
+def run_with_pytest_cov() -> int:
+    cmd = [
+        sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+        f"--cov=repro", f"--cov-fail-under={LINE_THRESHOLD}", "tests",
+    ]
+    print("coverage gate: pytest-cov available; running", " ".join(cmd))
+    return subprocess.call(cmd, cwd=REPO)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", action="store_true",
+                        help="print least-covered modules")
+    parser.add_argument("--threshold", type=float,
+                        default=FUNCTION_THRESHOLD,
+                        help="function-coverage %% pin for the fallback")
+    args = parser.parse_args(argv)
+
+    try:
+        import pytest_cov  # noqa: F401
+    except ImportError:
+        pass
+    else:
+        return run_with_pytest_cov()
+
+    defined = defined_functions()
+    executed = run_subset_traced()
+    covered = defined & executed
+    pct = 100.0 * len(covered) / len(defined) if defined else 100.0
+    print(f"\ncoverage gate (function coverage, stdlib tracer): "
+          f"{len(covered)}/{len(defined)} = {pct:.1f}% "
+          f"(threshold {args.threshold:.1f}%)")
+    if args.report:
+        report_gaps(defined, executed)
+    if pct < args.threshold:
+        print("coverage gate: FAIL — coverage dropped below the pin; "
+              "add tests or consciously lower the pin in "
+              "scripts/coverage_gate.py", file=sys.stderr)
+        return 1
+    print("coverage gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO / "src"))
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from .analysis.report import generate_paper_report
 from .core.active import run_case_study
 from .core.anonymize import build_release, save_release
 from .core.pipeline import PipelineRun, run_pipeline
+from .exec import ExecutionPolicy
 from .faults import FAULT_PROFILES, build_fault_plan
 from .obs import Telemetry, stderr_sink
 from .world.scenario import ScenarioConfig, build_world
@@ -43,7 +44,10 @@ def _build_run(args: argparse.Namespace) -> PipelineRun:
     progress = None if args.quiet else stderr_sink
     telemetry = Telemetry.create(clock=world.clock, progress=progress)
     fault_plan = build_fault_plan(args.faults, seed=args.seed)
-    return run_pipeline(world, telemetry=telemetry, fault_plan=fault_plan)
+    execution = ExecutionPolicy(workers=args.workers,
+                                cache=not args.no_cache)
+    return run_pipeline(world, telemetry=telemetry, fault_plan=fault_plan,
+                        execution=execution)
 
 
 def _write_trace(args: argparse.Namespace, run: PipelineRun) -> int:
@@ -110,6 +114,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     dataset = run.dataset
     print(f"seed={args.seed} campaigns={args.campaigns} "
           f"faults={args.faults} "
+          f"workers={args.workers} "
+          f"cache={'off' if args.no_cache else 'on'} "
           f"reports={len(run.collection.reports)} records={len(dataset)} "
           f"limitations={len(run.collection.limitations)} "
           f"gaps={len(run.enriched.gaps)}")
@@ -143,6 +149,12 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--faults", choices=FAULT_PROFILES,
                      default=argparse.SUPPRESS,
                      help="chaos profile to inject during the run")
+    sub.add_argument("--workers", type=int, default=argparse.SUPPRESS,
+                     help="worker count for the parallel execution phases")
+    sub.add_argument("--no-cache", action="store_true",
+                     default=argparse.SUPPRESS,
+                     help="disable the per-(service, subject) "
+                          "enrichment cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,6 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--faults", choices=FAULT_PROFILES, default="none",
                         help="chaos profile to inject during the run "
                              "(default: none)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker count for the parallel execution "
+                             "phases (default 1; any count is "
+                             "byte-identical to serial)")
+    parser.add_argument("--no-cache", action="store_true", default=False,
+                        help="disable the per-(service, subject) "
+                             "enrichment cache (on by default; caching "
+                             "never changes results)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser("report", help="regenerate all tables/figures")

@@ -30,6 +30,8 @@ from ..errors import (
     ServiceUnavailable,
     ValidationError,
 )
+from ..exec.cache import EnrichmentCache
+from ..exec.pool import SerialPool, WorkerPool, shard
 from ..net.tld import default_registry
 from ..obs import Telemetry, ensure_telemetry
 from ..net.url import Url
@@ -178,7 +180,9 @@ class Enricher:
                  telemetry: Optional[Telemetry] = None,
                  *,
                  retry_policy: Optional[RetryPolicy] = None,
-                 breakers: Optional[Dict[str, CircuitBreaker]] = None):
+                 breakers: Optional[Dict[str, CircuitBreaker]] = None,
+                 cache: Optional[EnrichmentCache] = None,
+                 pool: Optional[WorkerPool] = None):
         self._services = services
         self._telemetry = ensure_telemetry(telemetry)
         self._tlds = default_registry()
@@ -187,6 +191,13 @@ class Enricher:
         # the same one every service meter charges against.
         self._clock = services.hlr.meter.clock
         self.breakers: Dict[str, CircuitBreaker] = breakers if breakers is not None else {}
+        # Optional execution-engine resources (see repro.exec): a
+        # per-(service, subject) memo filled by the pure precompute phase
+        # and consulted during the serial effects replay, plus the pool
+        # the precompute shards fan out on. None/None is the classic
+        # fully-sequential, uncached enricher.
+        self._cache = cache
+        self._pool = pool
 
     # -- resilience plumbing --------------------------------------------------
 
@@ -240,6 +251,64 @@ class Enricher:
                 "enrichment.gaps", service=service, kind=kind
             ).inc()
             return default
+
+    # -- precompute (the engine's pure, parallel phase) -----------------------
+
+    def _cached_value(self, service: str, subject: str):
+        """A memoised value for one lookup, or None (miss / non-value)."""
+        if self._cache is None:
+            return None
+        entry = self._cache.get(service, subject)
+        if entry is not None and entry.is_value:
+            return entry.value
+        return None
+
+    def _precompute(self, dataset: SmishingDataset) -> None:
+        """Fill the cache with every expensive pure compute, sharded
+        per-unique-subject over the worker pool.
+
+        Only side-effect-free paths run here: the annotator directly
+        (reached via ``_annotator``, below the fault proxy and the
+        meter) and VirusTotal's uncharged scan. No meter is charged, no
+        fault rule consulted, no clock advanced — so any worker
+        schedule fills the cache with identical values, and the serial
+        effects replay that follows is byte-identical to an uncached
+        run. Annotations are keyed by message *text* (they are pure in
+        it); the replay rebinds each record's id.
+        """
+        if self._cache is None:
+            return
+        cache, services = self._cache, self._services
+        pool = self._pool or SerialPool()
+        texts = list(dict.fromkeys(r.text for r in dataset))
+        urls = list(dict.fromkeys(
+            str(r.url) for r in dataset if r.url is not None
+        ))
+        annotator = services.openai._annotator
+
+        def _fill_texts(chunk) -> None:
+            for text in chunk:
+                cache.lookup("openai", text,
+                             lambda t=text: annotator.annotate("", t))
+
+        def _fill_urls(chunk) -> None:
+            for url in chunk:
+                cache.lookup(
+                    "virustotal", url,
+                    lambda u=url: services.virustotal._scan_url_uncharged(u),
+                )
+
+        # One chunk per worker, not one future per subject: the tasks
+        # are sub-millisecond and executor overhead would otherwise eat
+        # into the dedup savings.
+        with self._telemetry.tracer.span(
+            "enrich/precompute", unique_texts=len(texts),
+            unique_urls=len(urls), workers=pool.workers,
+        ):
+            if texts:
+                pool.map(_fill_texts, shard(texts, pool.workers))
+            if urls:
+                pool.map(_fill_urls, shard(urls, pool.workers))
 
     # -- senders (§3.3.1) -----------------------------------------------------
 
@@ -316,9 +385,11 @@ class Enricher:
                         sink, "ipinfo", "ip_info", subject,
                         lambda: services.ipinfo.lookup_batch(answer.addresses),
                         default=[])
+        vt_memo = self._cached_value("virustotal", subject)
         enrichment.vt_report = self._guarded(
             sink, "virustotal", "vt_report", subject,
-            lambda: services.virustotal.scan_url(subject))
+            lambda: services.virustotal.scan_url(subject,
+                                                 precomputed=vt_memo))
         enrichment.gsb_api = self._guarded(
             sink, "gsb", "gsb_api", subject,
             lambda: services.gsb.query_api(subject))
@@ -343,10 +414,11 @@ class Enricher:
         raw: Dict[str, Annotation] = {}
         for record in result.dataset:
             payload = {"id": record.record_id, "message": record.text}
+            memo = self._cached_value("openai", record.text)
             response = self._guarded(
                 result, "openai", "annotation", record.record_id,
                 lambda: self._services.openai.annotate_message(
-                    ANNOTATION_PROMPT, payload),
+                    ANNOTATION_PROMPT, payload, precomputed=memo),
             )
             if response is None:
                 continue
@@ -391,6 +463,7 @@ class Enricher:
         result = EnrichedDataset(dataset=dataset)
         services = self._services
         with self._telemetry.tracer.span("enrich", records=len(dataset)) as sp:
+            self._precompute(dataset)
             self._metered_stage(
                 "enrich/senders", [services.hlr.meter],
                 self.enrich_senders, result,

@@ -14,6 +14,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..exec import ExecutionEngine, ExecutionPolicy
 from ..faults import FaultPlan, inject_faults
 from ..imaging.vision_openai import OpenAiVisionExtractor
 from ..nlp.annotator import MessageAnnotator
@@ -94,6 +95,7 @@ def run_pipeline(
     config: Optional[PipelineConfig] = None,
     telemetry: Optional[Telemetry] = None,
     fault_plan: Optional[FaultPlan] = None,
+    execution: Optional[ExecutionPolicy] = None,
 ) -> PipelineRun:
     """Collect from all five forums, curate, and enrich.
 
@@ -109,10 +111,17 @@ def run_pipeline(
     run only — the world object is never mutated — and the run completes
     anyway: collection failures become ``CollectionLimitation`` records,
     enrichment failures become ``EnrichmentGap`` records.
+
+    ``execution`` of None runs the default
+    :class:`~repro.exec.ExecutionPolicy` (one worker, enrichment cache
+    on). Any policy — any worker count, cache on or off — produces a
+    byte-identical ``PipelineRun``; see :mod:`repro.exec.engine` for the
+    argument and ``tests/test_exec_equivalence.py`` for the proof.
     """
     config = config or PipelineConfig()
     telemetry = ensure_telemetry(telemetry)
     telemetry.tracer.bind_clock(world.clock)
+    policy = execution or ExecutionPolicy()
 
     services = build_enrichment_services(world)
     forums = world.forums
@@ -122,32 +131,50 @@ def run_pipeline(
     forum_meters = [forum.meter for forum in forums.values()]
     service_meters = list(services.meters().values())
 
-    with _observed_meters(telemetry, forum_meters + service_meters):
-        with telemetry.tracer.span(
-            "pipeline", seed=world.config.seed,
-            n_campaigns=world.config.n_campaigns,
-            faults=(fault_plan.describe() if fault_plan is not None
-                    else "none"),
-        ) as root:
-            with telemetry.tracer.span("collect") as collect_span:
-                collection = collect_all(forums, config, telemetry)
-                collect_span.set(posts_seen=collection.posts_seen,
-                                 reports=len(collection.reports),
-                                 limitations=len(collection.limitations))
-            vision = OpenAiVisionExtractor(
-                derive(world.config.seed, "pipeline-vision"),
-                miss_rate=config.vision_miss_rate,
-            )
-            curator = Curator(vision, telemetry)
-            dataset = curator.curate(collection.reports)
-            enricher = Enricher(
-                services, telemetry,
-                retry_policy=RetryPolicy(seed=world.config.seed),
-            )
-            enriched = enricher.run(dataset)
-            root.set(records=len(dataset), gaps=len(enriched.gaps))
-    for breaker in enricher.breakers.values():
-        telemetry.capture_breaker(breaker)
+    engine = ExecutionEngine(policy)
+    cache = engine.build_cache()
+    enricher = Enricher(
+        services, telemetry,
+        retry_policy=RetryPolicy(seed=world.config.seed),
+        cache=cache,
+        pool=engine.enrichment_pool(),
+    )
+    try:
+        with engine, _observed_meters(telemetry,
+                                      forum_meters + service_meters):
+            with telemetry.tracer.span(
+                "pipeline", seed=world.config.seed,
+                n_campaigns=world.config.n_campaigns,
+                faults=(fault_plan.describe() if fault_plan is not None
+                        else "none"),
+                workers=policy.workers,
+                cache="on" if policy.cache else "off",
+            ) as root:
+                with telemetry.tracer.span("collect") as collect_span:
+                    collection = collect_all(
+                        forums, config, telemetry,
+                        pool=engine.collection_pool(
+                            fault_plan, [f.value for f in forums]),
+                    )
+                    collect_span.set(posts_seen=collection.posts_seen,
+                                     reports=len(collection.reports),
+                                     limitations=len(collection.limitations))
+                vision = OpenAiVisionExtractor(
+                    derive(world.config.seed, "pipeline-vision"),
+                    miss_rate=config.vision_miss_rate,
+                )
+                curator = Curator(vision, telemetry)
+                dataset = curator.curate(collection.reports)
+                enriched = enricher.run(dataset)
+                root.set(records=len(dataset), gaps=len(enriched.gaps))
+    finally:
+        # Snapshots must survive partially-failed runs too: a crashed
+        # enrichment stage still leaves breaker state worth recording
+        # (meters are captured by _observed_meters' own finally).
+        for breaker in enricher.breakers.values():
+            telemetry.capture_breaker(breaker)
+        if cache is not None:
+            telemetry.capture_cache(cache)
     return PipelineRun(
         world=world,
         config=config,

@@ -1,0 +1,36 @@
+"""Deterministic parallel execution: pools, memoisation, and the engine.
+
+``repro.exec`` lets the pipeline shard collection per-forum and
+enrichment per-unique-subject across a :class:`WorkerPool`, and memoise
+per-(service, subject) lookups in an :class:`EnrichmentCache`, while
+guaranteeing the resulting :class:`~repro.core.pipeline.PipelineRun`
+is byte-identical to the sequential uncached run — the argument lives
+in :mod:`repro.exec.engine`'s docstring and is enforced by
+``tests/test_exec_equivalence.py``.
+"""
+
+from .cache import CacheEntry, EnrichmentCache, EntryKind
+from .engine import SEQUENTIAL, ExecutionEngine, ExecutionPolicy
+from .pool import (
+    SerialPool,
+    ThreadPool,
+    WorkerPool,
+    canonical_merge,
+    make_pool,
+    shard,
+)
+
+__all__ = [
+    "CacheEntry",
+    "EnrichmentCache",
+    "EntryKind",
+    "ExecutionEngine",
+    "ExecutionPolicy",
+    "SEQUENTIAL",
+    "SerialPool",
+    "ThreadPool",
+    "WorkerPool",
+    "canonical_merge",
+    "make_pool",
+    "shard",
+]

@@ -1,0 +1,150 @@
+"""The deterministic execution engine: policy, pools, and the cache.
+
+:class:`ExecutionPolicy` is the user-facing knob (``--workers N``,
+``--no-cache``); :class:`ExecutionEngine` turns it into concrete
+resources for one pipeline run — worker pools for the parallel phases
+and an :class:`~repro.exec.cache.EnrichmentCache` for memoisation — and
+owns their lifecycle (the engine is a context manager; pools it built
+are shut down on exit).
+
+The equivalence argument, stated once
+=====================================
+
+The headline guarantee is that for any seed, fault plan, and worker
+count, the :class:`~repro.core.pipeline.PipelineRun` is byte-identical
+to the sequential uncached run. The engine earns that by splitting work
+into two phases with very different rules:
+
+* **Parallel phases are pure.** Collection shards per-forum: each forum
+  is an independent simulator with its own meter, its own fault-proxy
+  call counter, and a clock it only *reads* (forum meters never advance
+  the shared :class:`~repro.services.base.SimClock`), so forum order
+  cannot leak between shards; results merge in the fixed ``_COLLECTORS``
+  order regardless of completion order. Enrichment precompute shards
+  per-unique-subject and calls only the *uncharged, unfaulted* compute
+  paths of the deterministic simulators — no meter, no clock, no fault
+  proxy, no retries — filling the cache with values any schedule would
+  produce identically.
+* **Effectful phases are serial.** Everything that charges a meter,
+  consults a fault rule, advances the clock, retries, or trips a
+  breaker runs on the main thread in exactly the order the sequential
+  pipeline uses. A cached value changes *what is computed* inside a
+  service call, never whether the call happens, so call indices, meter
+  charges, backoff, and gap timestamps are untouched.
+
+The one scheduling hazard is an :class:`~repro.faults.InjectedLatency`
+rule targeting a *forum*: it advances the shared clock from inside a
+collection shard, so worker interleaving would change the clock
+trajectory other rules observe. :meth:`ExecutionEngine.collection_pool`
+detects that case and degrades collection to the serial pool (the run
+stays correct, just unsharded); enrichment precompute is unaffected
+because it never touches the clock at all.
+
+Locks live here (well, in the cache the engine builds) — the simulated
+services themselves stay lock-free and concurrency-unaware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..errors import ConfigurationError
+from ..faults.plan import FaultPlan, InjectedLatency
+from .cache import EnrichmentCache
+from .pool import SerialPool, WorkerPool, make_pool
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How one pipeline run schedules and memoises its work.
+
+    The default — one worker, cache on — is safe everywhere: the cache
+    only deduplicates pure compute, so enabling it never changes a run's
+    outputs (that is the engine's proven guarantee, not an aspiration).
+    """
+
+    #: Maximum concurrent tasks per parallel phase; 1 means fully serial.
+    workers: int = 1
+    #: Memoise per-(service, subject) enrichment lookups.
+    cache: bool = True
+    #: Optional cache bound (oldest-first eviction); None = unbounded.
+    cache_max_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ConfigurationError(
+                f"cache_max_entries must be >= 1 or None, "
+                f"got {self.cache_max_entries}"
+            )
+
+
+#: The reference semantics every other policy must be equivalent to.
+SEQUENTIAL = ExecutionPolicy(workers=1, cache=False)
+
+
+class ExecutionEngine:
+    """Builds and owns the pools + cache for one pipeline run."""
+
+    def __init__(self, policy: Optional[ExecutionPolicy] = None):
+        self.policy = policy or ExecutionPolicy()
+        self._pools: List[WorkerPool] = []
+
+    # -- resources ------------------------------------------------------------
+
+    def build_cache(self) -> Optional[EnrichmentCache]:
+        """A fresh cache per run, or None when the policy disables it."""
+        if not self.policy.cache:
+            return None
+        return EnrichmentCache(max_entries=self.policy.cache_max_entries)
+
+    def _pool(self, workers: int) -> WorkerPool:
+        pool = make_pool(workers)
+        self._pools.append(pool)
+        return pool
+
+    def collection_pool(self, fault_plan: Optional[FaultPlan],
+                        forum_names: Iterable[str]) -> WorkerPool:
+        """The pool for the per-forum collection shards.
+
+        Degrades to serial when the fault plan injects latency into a
+        forum — that rule advances the shared clock from inside a shard,
+        and a deterministic clock trajectory requires the shards to run
+        in canonical order (see the module docstring).
+        """
+        workers = self.policy.workers
+        if workers > 1 and fault_plan is not None:
+            names = set(forum_names)
+            if any(isinstance(rule, InjectedLatency) and rule.service in names
+                   for rule in fault_plan.rules):
+                workers = 1
+        return self._pool(workers)
+
+    def enrichment_pool(self) -> WorkerPool:
+        """The pool for the per-unique-subject precompute shards."""
+        return self._pool(self.policy.workers)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.close()
+        self._pools.clear()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExecutionEngine(workers={self.policy.workers}, "
+                f"cache={self.policy.cache})")
+
+
+__all__ = ["ExecutionPolicy", "ExecutionEngine", "SEQUENTIAL"]

@@ -1,0 +1,125 @@
+"""Worker pools with a canonical-merge guarantee.
+
+A :class:`WorkerPool` runs a batch of independent tasks and returns the
+results **in task-submission order**, no matter which worker finished
+first. That canonical merge is the property the deterministic execution
+engine (:mod:`repro.exec.engine`) builds on: as long as each task is a
+pure function of its input (no shared mutable state), the merged output
+of ``ThreadPool(4)`` is byte-identical to :class:`SerialPool`.
+
+Two implementations share the interface:
+
+* :class:`SerialPool` — runs tasks inline, one after another. The
+  reference semantics; zero overhead, zero concurrency.
+* :class:`ThreadPool` — a ``concurrent.futures`` thread pool. Results
+  are gathered by submission index; a task that raises re-raises the
+  exception of the *lowest-indexed* failing task (again independent of
+  completion order, so failures are deterministic too).
+
+Note on the GIL: CPython threads do not speed up pure-Python compute;
+the engine's wall-time wins come from the
+:class:`~repro.exec.cache.EnrichmentCache` deduplicating work, while the
+pool provides the sharding/merge structure (and genuine parallelism on
+GIL-free builds).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class WorkerPool:
+    """Interface: run tasks, merge results in canonical (input) order."""
+
+    #: How many tasks may run concurrently (1 for serial pools).
+    workers: int = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (no-op for serial pools)."""
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialPool(WorkerPool):
+    """Inline execution in submission order — the reference semantics."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadPool(WorkerPool):
+    """Thread-backed pool whose merge order ignores completion order."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-exec"
+        )
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        futures = [self._executor.submit(fn, item) for item in items]
+        # Gather in submission order. Waiting on futures[0] first is fine:
+        # every future completes regardless of which we await, and
+        # .result() re-raises the lowest-indexed failure deterministically.
+        results: List[R] = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                error = error or exc
+        if error is not None:
+            raise error
+        return results
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+def make_pool(workers: int) -> WorkerPool:
+    """``workers <= 1`` → :class:`SerialPool`, else :class:`ThreadPool`."""
+    if workers <= 1:
+        return SerialPool()
+    return ThreadPool(workers)
+
+
+def canonical_merge(chunks: Sequence[Sequence[R]]) -> List[R]:
+    """Flatten per-shard result lists in shard order (helper for tests)."""
+    merged: List[R] = []
+    for chunk in chunks:
+        merged.extend(chunk)
+    return merged
+
+
+def shard(items: Sequence[T], shards: int) -> List[List[T]]:
+    """Split ``items`` into at most ``shards`` balanced round-robin chunks.
+
+    Submitting one *chunk* per worker instead of one future per item
+    keeps executor overhead negligible when items are many and cheap
+    (the enrichment precompute has thousands of sub-millisecond tasks).
+    Round-robin keeps the chunks within one item of each other in size.
+    Order within and across chunks is deterministic, so any consumer
+    that merges canonically is unaffected by the chunking.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    return [list(items[i::shards]) for i in range(min(shards, len(items)))]

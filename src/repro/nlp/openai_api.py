@@ -10,6 +10,7 @@ requests-per-second).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -17,7 +18,7 @@ from typing import Dict, List, Optional
 from ..errors import ValidationError
 from ..imaging.screenshot import Screenshot
 from ..imaging.vision_openai import OpenAiVisionExtractor, VISION_PROMPT
-from .annotator import MessageAnnotator
+from .annotator import Annotation, MessageAnnotator
 from ..services.base import ServiceMeter, SimClock, wait_and_charge
 
 #: The Appendix D.2 annotation prompt, abridged to its binding clauses.
@@ -77,9 +78,18 @@ class OpenAiEndpoint:
         self.requests += 1
 
     def annotate_message(
-        self, prompt: str, payload: Dict[str, str]
+        self, prompt: str, payload: Dict[str, str],
+        precomputed: Optional[Annotation] = None,
     ) -> ChatResponse:
-        """Annotation call (Appendix D.2)."""
+        """Annotation call (Appendix D.2).
+
+        ``precomputed`` lets a caller supply an annotation it already
+        derived for this exact message text (annotations are pure in the
+        text, bar the echoed id): validation and request metering happen
+        exactly as for a computed call — only the annotator compute is
+        skipped, with the annotation rebound to this payload's id. This
+        is the replay half of :class:`repro.exec.EnrichmentCache`.
+        """
         missing = [clause for clause in _REQUIRED_CLAUSES if clause not in prompt]
         if missing:
             raise ValidationError(
@@ -88,9 +98,14 @@ class OpenAiEndpoint:
         if "id" not in payload or "message" not in payload:
             raise ValidationError("payload must carry 'id' and 'message'")
         self._charge()
-        annotation = self._annotator.annotate(
-            str(payload["id"]), payload["message"]
-        )
+        if precomputed is not None:
+            annotation = dataclasses.replace(
+                precomputed, message_id=str(payload["id"])
+            )
+        else:
+            annotation = self._annotator.annotate(
+                str(payload["id"]), payload["message"]
+            )
         content = annotation.to_json()
         return ChatResponse(
             content=content,

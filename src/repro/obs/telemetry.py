@@ -47,6 +47,8 @@ class Telemetry:
         self.meter_snapshots: Dict[str, Dict[str, Any]] = {}
         #: Final ``breaker.snapshot()`` per service, captured at run end.
         self.breaker_snapshots: Dict[str, Dict[str, Any]] = {}
+        #: Final ``cache.stats()`` of the enrichment cache, when one ran.
+        self.cache_snapshot: Dict[str, Any] = {}
 
     # -- constructors ---------------------------------------------------------
 
@@ -116,6 +118,22 @@ class Telemetry:
             return
         self.breaker_snapshots[breaker.service] = breaker.snapshot()
 
+    # -- cache wiring ---------------------------------------------------------
+
+    def capture_cache(self, cache: Any) -> None:
+        """Store the enrichment cache's final ``stats()`` and mirror its
+        per-service hit/miss/eviction counts into the metrics registry
+        (``cache.hits``/``cache.misses``/``cache.evictions``)."""
+        if not self.enabled:
+            return
+        stats = cache.stats()
+        self.cache_snapshot = stats
+        for service, counters in stats.get("services", {}).items():
+            for event in ("hits", "misses", "evictions"):
+                if counters.get(event):
+                    self.metrics.counter(f"cache.{event}",
+                                         service=service).inc(counters[event])
+
     # -- export ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -127,6 +145,7 @@ class Telemetry:
                        for name, snap in self.meter_snapshots.items()},
             "breakers": {name: dict(snap)
                          for name, snap in self.breaker_snapshots.items()},
+            "cache": dict(self.cache_snapshot),
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -217,13 +236,45 @@ class Telemetry:
             )
         return table
 
+    def cache_table(self) -> Table:
+        """Per-service enrichment-cache accounting (hits, misses, ...)."""
+        table = Table(
+            title="Cache",
+            columns=["Service", "Hits", "Misses", "Hit rate", "Stores",
+                     "Evictions"],
+        )
+        services = self.cache_snapshot.get("services", {})
+        for service in sorted(services):
+            counters = services[service]
+            lookups = counters["hits"] + counters["misses"]
+            rate = counters["hits"] / lookups if lookups else 0.0
+            table.add_row(
+                service,
+                counters["hits"],
+                counters["misses"],
+                f"{rate:.1%}",
+                counters["stores"],
+                counters["evictions"],
+            )
+        if len(services) > 1:
+            totals = self.cache_snapshot.get("totals", {})
+            table.add_row(
+                "(total)",
+                totals.get("hits", 0),
+                totals.get("misses", 0),
+                f"{self.cache_snapshot.get('hit_rate', 0.0):.1%}",
+                totals.get("stores", 0),
+                totals.get("evictions", 0),
+            )
+        return table
+
     def counter_table(self) -> Table:
         """Every non-service counter (collection, curation, drops...)."""
         table = Table(title="Run counters",
                       columns=["Counter", "Labels", "Value"])
         for counter in sorted(self.metrics.counters(),
                               key=lambda c: (c.name, sorted(c.labels.items()))):
-            if counter.name.startswith(("service.", "resilience.")):
+            if counter.name.startswith(("service.", "resilience.", "cache.")):
                 continue
             labels = ", ".join(f"{k}={v}" for k, v in
                                sorted(counter.labels.items()))
@@ -239,6 +290,8 @@ class Telemetry:
         resilience = self.resilience_table()
         if resilience.rows:
             parts.append(resilience.to_text())
+        if self.cache_snapshot:
+            parts.append(self.cache_table().to_text())
         parts.append(self.counter_table().to_text())
         return "\n\n".join(parts)
 

@@ -142,9 +142,19 @@ class VirusTotalService:
             previous = ceiling
         return bands[-1][2]
 
-    def scan_url(self, url: str) -> UrlScanReport:
-        """Scan one URL (charges one request; results cached by nature)."""
+    def scan_url(self, url: str,
+                 precomputed: Optional[UrlScanReport] = None) -> UrlScanReport:
+        """Scan one URL (charges one request; results cached by nature).
+
+        ``precomputed`` lets a caller supply a report it already derived
+        for this URL via :meth:`_scan_url_uncharged` (scans are pure in
+        the URL): the request is metered exactly as usual — only the
+        verdict compute is skipped. The replay half of
+        :class:`repro.exec.EnrichmentCache`.
+        """
         wait_and_charge(self.meter)
+        if precomputed is not None:
+            return precomputed
         return self._scan_url_uncharged(url)
 
     def _scan_url_uncharged(self, url: str) -> UrlScanReport:

@@ -1,0 +1,298 @@
+"""Unit tests for ``repro.exec``: pools, the enrichment cache, the
+engine's policy handling, and the telemetry capture of cache stats."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    NotFound,
+    RateLimitExceeded,
+    ServiceUnavailable,
+)
+from repro.exec import (
+    SEQUENTIAL,
+    EnrichmentCache,
+    EntryKind,
+    ExecutionEngine,
+    ExecutionPolicy,
+    SerialPool,
+    ThreadPool,
+    WorkerPool,
+    canonical_merge,
+    make_pool,
+)
+from repro.faults import FaultPlan
+from repro.faults.plan import ErrorRate, InjectedLatency
+from repro.obs import Telemetry
+
+
+class TestPools:
+    def test_serial_pool_preserves_order(self):
+        pool = SerialPool()
+        assert pool.map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+        assert pool.workers == 1
+
+    def test_thread_pool_preserves_order(self):
+        with ThreadPool(4) as pool:
+            assert pool.map(lambda x: x * 2, range(50)) == \
+                [x * 2 for x in range(50)]
+
+    def test_thread_pool_merge_ignores_completion_order(self):
+        # Later-submitted tasks finish first (they wait on earlier ones
+        # via events), yet the merged result stays in submission order.
+        events = [threading.Event() for _ in range(4)]
+
+        def task(i):
+            if i < 3:
+                events[i + 1].wait(timeout=5)
+            events[i].set()
+            return i
+
+        with ThreadPool(4) as pool:
+            events[3].set()
+            assert pool.map(task, [0, 1, 2, 3]) == [0, 1, 2, 3]
+
+    def test_thread_pool_raises_lowest_indexed_failure(self):
+        def task(i):
+            if i in (1, 3):
+                raise ValueError(f"boom {i}")
+            return i
+
+        with ThreadPool(2) as pool:
+            with pytest.raises(ValueError, match="boom 1"):
+                pool.map(task, range(5))
+
+    def test_make_pool_picks_implementation(self):
+        assert isinstance(make_pool(1), SerialPool)
+        assert isinstance(make_pool(0), SerialPool)
+        pool = make_pool(3)
+        assert isinstance(pool, ThreadPool)
+        assert pool.workers == 3
+        pool.close()
+
+    def test_thread_pool_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ThreadPool(0)
+
+    def test_canonical_merge_flattens_in_shard_order(self):
+        assert canonical_merge([[1, 2], [], [3], [4, 5]]) == [1, 2, 3, 4, 5]
+
+    def test_worker_pool_interface_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            WorkerPool().map(lambda x: x, [1])
+
+
+class TestEnrichmentCache:
+    def test_value_round_trip_counts_hit_and_miss(self):
+        cache = EnrichmentCache()
+        assert cache.get("whois", "a.com") is None
+        cache.put_value("whois", "a.com", {"registrar": "x"})
+        entry = cache.get("whois", "a.com")
+        assert entry.is_value and entry.value == {"registrar": "x"}
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_peek_does_not_touch_counters(self):
+        cache = EnrichmentCache()
+        cache.put_value("hlr", "123", "rec")
+        assert cache.peek("hlr", "123").is_value
+        assert cache.peek("hlr", "456") is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_not_found_is_cached_as_an_answer(self):
+        cache = EnrichmentCache()
+        cache.put_not_found("whois", "ghost.com")
+        entry = cache.get("whois", "ghost.com")
+        assert entry.is_not_found and not entry.is_value
+
+    def test_failure_entry_carries_gap_classification(self):
+        cache = EnrichmentCache()
+        cache.put_failure("gsb-transparency", "https://x.test",
+                          kind="error", detail="blocked", attempts=3)
+        entry = cache.get("gsb-transparency", "https://x.test")
+        assert entry.is_failure
+        assert entry.failure_kind == "error"
+        assert entry.failure_detail == "blocked"
+        assert entry.failure_attempts == 3
+
+    def test_lookup_memoises_compute(self):
+        cache = EnrichmentCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        first = cache.lookup("vt", "u", compute)
+        second = cache.lookup("vt", "u", compute)
+        assert first.value == second.value == "value"
+        assert len(calls) == 1
+
+    def test_lookup_caches_not_found(self):
+        cache = EnrichmentCache()
+
+        def compute():
+            raise NotFound("nope", service="whois")
+
+        entry = cache.lookup("whois", "gone.com", compute)
+        assert entry.is_not_found
+        # Second lookup never re-runs compute (which would raise).
+        assert cache.lookup("whois", "gone.com",
+                            lambda: 1 / 0).is_not_found
+
+    def test_lookup_caches_permanent_failure_and_reraises(self):
+        cache = EnrichmentCache()
+
+        def compute():
+            raise ServiceUnavailable("dead", service="twitter",
+                                     permanent=True)
+
+        with pytest.raises(ServiceUnavailable):
+            cache.lookup("twitter", "k", compute)
+        entry = cache.peek("twitter", "k")
+        assert entry.is_failure
+        assert entry.failure_kind == "ServiceUnavailable"
+
+    def test_lookup_never_caches_transient_failure(self):
+        cache = EnrichmentCache()
+
+        with pytest.raises(RateLimitExceeded):
+            cache.lookup("vt", "k",
+                         lambda: (_ for _ in ()).throw(
+                             RateLimitExceeded("slow down", service="vt")))
+        assert cache.peek("vt", "k") is None
+
+    def test_eviction_is_oldest_first_and_counted(self):
+        cache = EnrichmentCache(max_entries=2)
+        cache.put_value("s", "a", 1)
+        cache.put_value("s", "b", 2)
+        cache.put_value("s", "c", 3)
+        assert len(cache) == 2
+        assert cache.peek("s", "a") is None
+        assert cache.peek("s", "c").value == 3
+        assert cache.evictions == 1
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            EnrichmentCache(max_entries=0)
+
+    def test_stats_shape(self):
+        cache = EnrichmentCache()
+        cache.put_value("openai", "hello", "ann")
+        cache.get("openai", "hello")
+        cache.get("vt", "u")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["services"]["openai"]["hits"] == 1
+        assert stats["services"]["vt"]["misses"] == 1
+        assert stats["totals"]["stores"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_concurrent_lookups_converge_on_one_entry(self):
+        cache = EnrichmentCache()
+        results = []
+
+        def compute_factory(i):
+            return lambda: f"value-{i}"
+
+        def worker(i):
+            results.append(
+                cache.lookup("svc", "subject", compute_factory(i)).value
+            )
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Whichever compute won, every caller saw the same value.
+        assert len(set(results)) == 1
+        assert len(cache) == 1
+
+
+class TestExecutionPolicy:
+    def test_defaults_are_serial_with_cache(self):
+        policy = ExecutionPolicy()
+        assert policy.workers == 1 and policy.cache
+
+    def test_sequential_reference_policy(self):
+        assert SEQUENTIAL.workers == 1 and not SEQUENTIAL.cache
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(workers=0)
+
+    def test_rejects_bad_cache_bound(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(cache_max_entries=0)
+
+
+class TestExecutionEngine:
+    def test_build_cache_honours_policy(self):
+        assert ExecutionEngine(SEQUENTIAL).build_cache() is None
+        cache = ExecutionEngine(ExecutionPolicy(cache=True)).build_cache()
+        assert isinstance(cache, EnrichmentCache)
+
+    def test_pools_match_worker_count(self):
+        with ExecutionEngine(ExecutionPolicy(workers=4)) as engine:
+            assert engine.enrichment_pool().workers == 4
+            assert engine.collection_pool(None, ["Twitter"]).workers == 4
+
+    def test_collection_degrades_on_forum_latency_injection(self):
+        plan = FaultPlan(seed=1, rules=(InjectedLatency("Reddit", 0.5),))
+        with ExecutionEngine(ExecutionPolicy(workers=4)) as engine:
+            pool = engine.collection_pool(plan, ["Twitter", "Reddit"])
+            assert pool.workers == 1
+            # Enrichment precompute never touches the clock: unaffected.
+            assert engine.enrichment_pool().workers == 4
+
+    def test_collection_keeps_workers_for_service_latency(self):
+        plan = FaultPlan(seed=1, rules=(InjectedLatency("openai", 0.5),
+                                        ErrorRate("Reddit", 0.5)))
+        with ExecutionEngine(ExecutionPolicy(workers=4)) as engine:
+            pool = engine.collection_pool(plan, ["Twitter", "Reddit"])
+            assert pool.workers == 4
+
+    def test_close_shuts_down_pools(self):
+        engine = ExecutionEngine(ExecutionPolicy(workers=2))
+        pool = engine.enrichment_pool()
+        engine.close()
+        with pytest.raises(RuntimeError):
+            pool.map(lambda x: x, [1])  # executor already shut down
+
+
+class TestTelemetryCacheCapture:
+    def test_capture_cache_snapshots_and_counts(self):
+        telemetry = Telemetry.create()
+        cache = EnrichmentCache()
+        cache.put_value("openai", "text", "ann")
+        cache.get("openai", "text")
+        cache.get("openai", "other")
+        telemetry.capture_cache(cache)
+        assert telemetry.cache_snapshot["totals"]["hits"] == 1
+        counters = {(c.name, c.labels.get("service")): c.value
+                    for c in telemetry.metrics.counters()}
+        assert counters[("cache.hits", "openai")] == 1
+        assert counters[("cache.misses", "openai")] == 1
+        table = telemetry.cache_table().to_text()
+        assert "openai" in table and "50.0%" in table
+        assert "Cache" in telemetry.summary()
+
+    def test_disabled_telemetry_ignores_capture(self):
+        telemetry = Telemetry(enabled=False)
+        cache = EnrichmentCache()
+        cache.put_value("s", "k", 1)
+        telemetry.capture_cache(cache)
+        assert telemetry.cache_snapshot == {}
+
+    def test_trace_json_carries_cache_section(self):
+        telemetry = Telemetry.create()
+        cache = EnrichmentCache()
+        cache.put_value("s", "k", 1)
+        cache.get("s", "k")
+        telemetry.capture_cache(cache)
+        payload = telemetry.to_dict()
+        assert payload["cache"]["totals"]["hits"] == 1

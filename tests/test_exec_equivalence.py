@@ -1,0 +1,120 @@
+"""Differential harness for the execution engine's headline guarantee.
+
+For any seed, fault profile, worker count, and cache setting, a
+pipeline run must be *byte-identical* to the sequential uncached run:
+same serialized dataset rows, same enrichment gaps, same collection
+limitations, same §4–§6 analysis tables, same meter charges, and the
+same final simulated-clock position. These tests run the full pipeline
+grid (3 seeds × {none, flaky, outage} × serial/workers∈{2,4} ×
+cache-on/off) on a small world and compare fingerprints.
+
+The fingerprint deliberately covers more than the run's outputs: meter
+snapshots and ``clock.now`` prove the *effects* (charges, backoff,
+retries) were replayed identically, not just that the answers agree.
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.analysis.report import generate_paper_report
+from repro.core.pipeline import run_pipeline
+from repro.exec import SEQUENTIAL, ExecutionPolicy
+from repro.faults import build_fault_plan
+from repro.world.scenario import ScenarioConfig, build_world
+
+SEEDS = (3, 11, 1042)
+PROFILES = ("none", "flaky", "outage")
+#: Every policy that must reproduce SEQUENTIAL byte-for-byte.
+POLICIES = (
+    ExecutionPolicy(workers=1, cache=True),
+    ExecutionPolicy(workers=2, cache=True),
+    ExecutionPolicy(workers=4, cache=True),
+    ExecutionPolicy(workers=4, cache=False),
+)
+_CAMPAIGNS = 6
+
+
+def run_fingerprint(seed: int, profile: str, policy: ExecutionPolicy,
+                    campaigns: int = _CAMPAIGNS) -> str:
+    """One pipeline run, serialized down to every observable byte."""
+    world = build_world(ScenarioConfig(seed=seed, n_campaigns=campaigns))
+    plan = build_fault_plan(profile, seed=seed)
+    run = run_pipeline(world, fault_plan=plan, execution=policy)
+
+    service_meters = {
+        name: meter.snapshot()
+        for name, meter in (
+            ("hlr", world.hlr.meter), ("whois", world.whois.meter),
+            ("crtsh", world.crtsh.meter),
+            ("passivedns", world.passivedns.meter),
+            ("ipinfo", world.ipinfo.meter),
+            ("virustotal", world.virustotal.meter),
+            ("gsb", world.gsb.meter),
+        )
+    }
+    forum_meters = {
+        forum.value: service.meter.snapshot()
+        for forum, service in world.forums.items()
+    }
+    payload = {
+        "rows": [record.to_json_dict() for record in run.annotated_dataset],
+        "gaps": [asdict(gap) for gap in run.enriched.gaps],
+        "limitations": [asdict(lim) for lim in run.collection.limitations],
+        "report": generate_paper_report(run).render(),
+        "posts_seen": run.collection.posts_seen,
+        "api_errors": list(run.collection.api_errors),
+        "service_meters": service_meters,
+        "forum_meters": forum_meters,
+        "clock_now": world.clock.now,
+    }
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_grid_equivalent_to_sequential(seed, profile):
+    baseline = run_fingerprint(seed, profile, SEQUENTIAL)
+    for policy in POLICIES:
+        candidate = run_fingerprint(seed, profile, policy)
+        assert candidate == baseline, (
+            f"seed={seed} faults={profile} workers={policy.workers} "
+            f"cache={policy.cache} diverged from the sequential run"
+        )
+
+
+def test_rerun_of_same_policy_is_deterministic():
+    policy = ExecutionPolicy(workers=4, cache=True)
+    first = run_fingerprint(11, "flaky", policy)
+    second = run_fingerprint(11, "flaky", policy)
+    assert first == second
+
+
+def test_cached_run_reports_hits_without_changing_outputs():
+    """The cache must *measure* its savings while changing nothing."""
+    world = build_world(ScenarioConfig(seed=5, n_campaigns=_CAMPAIGNS))
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.create(clock=world.clock)
+    run = run_pipeline(world, telemetry=telemetry,
+                       execution=ExecutionPolicy(workers=2, cache=True))
+    snapshot = telemetry.cache_snapshot
+    assert snapshot, "cached run captured no cache stats"
+    assert snapshot["totals"]["hits"] > 0
+    assert snapshot["hit_rate"] > 0.0
+    # Precompute fills one entry per unique text (a miss + store each);
+    # the replay then looks up once per record, and every lookup hits.
+    openai = snapshot["services"]["openai"]
+    assert openai["hits"] == len(run.dataset)
+    assert openai["misses"] == openai["stores"]
+    assert openai["stores"] == len({r.text for r in run.dataset})
+
+
+def test_uncached_run_captures_no_cache_stats():
+    world = build_world(ScenarioConfig(seed=5, n_campaigns=_CAMPAIGNS))
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.create(clock=world.clock)
+    run_pipeline(world, telemetry=telemetry, execution=SEQUENTIAL)
+    assert telemetry.cache_snapshot == {}

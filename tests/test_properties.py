@@ -3,10 +3,12 @@
 import datetime as dt
 import random
 import string
+import threading
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.exec import EnrichmentCache, SerialPool, ThreadPool
 from repro.imaging.screenshot import word_wrap
 from repro.net.ipaddr import IPv4
 from repro.net.url import Url, defang, parse_url, refang
@@ -198,6 +200,82 @@ class TestAnonymizationProperties:
     @given(st.text(alphabet=string.ascii_lowercase + " ", max_size=100))
     def test_scrub_preserves_plain_words(self, text):
         assert scrub_text(text) == text
+
+
+class TestExecutionEngineProperties:
+    """The engine's invariants: stable cache keys, canonical merges,
+    and idempotent (zero-recompute) second passes."""
+
+    subjects = st.lists(st.text(min_size=1, max_size=20), min_size=1,
+                        max_size=30, unique=True)
+    services = st.sampled_from(["openai", "virustotal", "whois", "hlr"])
+
+    @given(subjects, services)
+    def test_cache_key_stability_and_isolation(self, subjects, service):
+        # Same (service, subject) always lands on the same entry;
+        # distinct subjects never collide — each gets its own value back.
+        cache = EnrichmentCache()
+        for index, subject in enumerate(subjects):
+            cache.put_value(service, subject, index)
+        for index, subject in enumerate(subjects):
+            assert cache.get(service, subject).value == index
+            assert cache.peek(service, subject).value == index
+
+    @given(subjects)
+    def test_cache_keys_do_not_collide_across_services(self, subjects):
+        cache = EnrichmentCache()
+        for subject in subjects:
+            cache.put_value("whois", subject, "w:" + subject)
+            cache.put_value("hlr", subject, "h:" + subject)
+        for subject in subjects:
+            assert cache.get("whois", subject).value == "w:" + subject
+            assert cache.get("hlr", subject).value == "h:" + subject
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=12, deadline=None)
+    def test_merge_order_canonical_under_shuffled_completion(self, order):
+        # Tasks are *released* in an arbitrary permutation (so they
+        # complete in that order), yet the merged result must always be
+        # in submission order.
+        events = [threading.Event() for _ in range(len(order))]
+
+        def task(i):
+            assert events[i].wait(timeout=10)
+            return i
+
+        with ThreadPool(len(order)) as pool:
+            releaser = threading.Thread(
+                target=lambda: [events[i].set() for i in order])
+            releaser.start()
+            merged = pool.map(task, range(len(order)))
+            releaser.join()
+        assert merged == list(range(len(order)))
+
+    @given(st.lists(st.integers(), max_size=40),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_thread_pool_equals_serial_pool(self, items, workers):
+        serial = SerialPool().map(lambda x: x * 31 + 7, items)
+        with ThreadPool(workers) as pool:
+            threaded = pool.map(lambda x: x * 31 + 7, items)
+        assert threaded == serial
+
+    @given(st.lists(st.tuples(services, st.text(min_size=1, max_size=12)),
+                    min_size=1, max_size=40))
+    def test_cache_idempotence_second_pass_computes_nothing(self, batch):
+        cache = EnrichmentCache()
+        computes = []
+
+        def run_batch():
+            for service, subject in batch:
+                cache.lookup(service, subject,
+                             lambda: computes.append((service, subject)))
+
+        run_batch()
+        first_pass = len(computes)
+        assert first_pass == len(set(batch))  # one compute per unique key
+        run_batch()
+        assert len(computes) == first_pass  # second pass: zero computes
 
 
 class TestDatasetKeyProperties:

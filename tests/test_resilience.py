@@ -274,3 +274,36 @@ class TestMeterGuards:
         waited = wait_and_charge(meter)
         assert waited > 0
         assert meter.used == 2
+
+
+class TestBreakerSnapshotsOnFailedRuns:
+    """Regression: breaker snapshots must survive a run that crashes.
+
+    ``run_pipeline`` used to capture breaker state only on the success
+    path, so a partially-failed run (an unexpected non-ServiceError
+    escaping a stage) returned telemetry with no breaker snapshots. The
+    capture now lives in a ``finally``.
+    """
+
+    def test_snapshots_captured_when_enrichment_crashes(self, monkeypatch):
+        from repro.core.pipeline import run_pipeline
+        from repro.obs import Telemetry
+        from repro.services.virustotal import VirusTotalService
+        from repro.world.scenario import ScenarioConfig, build_world
+
+        world = build_world(ScenarioConfig(seed=13, n_campaigns=4))
+        telemetry = Telemetry.create(clock=world.clock)
+
+        def explode(self, url, precomputed=None):
+            raise RuntimeError("simulated operator error")
+
+        # A non-ServiceError escapes _guarded and aborts the run after
+        # the sender stage already built (and exercised) breakers.
+        monkeypatch.setattr(VirusTotalService, "scan_url", explode)
+        with pytest.raises(RuntimeError, match="operator error"):
+            run_pipeline(world, telemetry=telemetry)
+        assert telemetry.breaker_snapshots, \
+            "crashed run lost its breaker snapshots"
+        assert "hlr" in telemetry.breaker_snapshots
+        # Meters were captured by the same crash path too.
+        assert telemetry.meter_snapshots

@@ -1,0 +1,88 @@
+"""Golden-snapshot tests for the ``repro stats`` CLI surface.
+
+The full stdout of ``python -m repro stats`` at a fixed seed — header
+line, Pipeline stages, Service telemetry, Resilience, Cache, and Run
+counters tables, plus the per-service gap report — is checked in under
+``tests/golden/`` and compared byte-for-byte. Wall-clock span timings
+are the one nondeterministic ingredient, so the tests freeze the
+tracer's time source at 0.0 (every "Wall (s)" cell renders as 0.0);
+everything else is a pure function of the seed and the sim clock.
+
+Regenerating after an intentional output change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest -q tests/test_stats_golden.py
+
+then review the golden diff like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+import repro.cli as cli
+import repro.obs.telemetry as telemetry_mod
+from repro.obs.trace import Tracer
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = {
+    "stats_seed7_none.txt": ["--seed", "7", "--campaigns", "10",
+                             "--quiet", "stats"],
+    "stats_seed7_flaky.txt": ["--seed", "7", "--campaigns", "10",
+                              "--quiet", "--faults", "flaky", "stats"],
+    "stats_seed7_workers4.txt": ["--seed", "7", "--campaigns", "10",
+                                 "--quiet", "--workers", "4", "stats"],
+    "stats_seed7_nocache.txt": ["--seed", "7", "--campaigns", "10",
+                                "--quiet", "--no-cache", "stats"],
+}
+
+
+@pytest.fixture
+def frozen_wall_clock(monkeypatch):
+    """Pin every tracer's wall-time source so span timings are bytes."""
+
+    def frozen_tracer(**kwargs):
+        kwargs["time_source"] = lambda: 0.0
+        return Tracer(**kwargs)
+
+    monkeypatch.setattr(telemetry_mod, "Tracer", frozen_tracer)
+
+
+@pytest.mark.parametrize("golden_name", sorted(CASES))
+def test_stats_output_matches_golden(golden_name, frozen_wall_clock,
+                                     capsys):
+    argv = CASES[golden_name]
+    assert cli.main(list(argv)) == 0
+    output = capsys.readouterr().out
+    golden_path = GOLDEN_DIR / golden_name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(output, encoding="utf-8")
+        pytest.skip(f"updated golden {golden_name}")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1 (see module docstring)"
+    )
+    expected = golden_path.read_text(encoding="utf-8")
+    assert output == expected, (
+        f"`repro stats` output diverged from {golden_name}; if the "
+        f"change is intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+def test_goldens_cover_cache_and_resilience_tables():
+    """The checked-in snapshots really exercise the new surfaces."""
+    cached = (GOLDEN_DIR / "stats_seed7_none.txt").read_text()
+    assert "Cache" in cached and "Hit rate" in cached
+    assert "Resilience" in cached
+    uncached = (GOLDEN_DIR / "stats_seed7_nocache.txt").read_text()
+    assert "cache=off" in uncached
+    assert "Hit rate" not in uncached
+    flaky = (GOLDEN_DIR / "stats_seed7_flaky.txt").read_text()
+    assert "Enrichment gaps:" in flaky
+    # Parallel and serial runs print byte-identical stats apart from the
+    # header's workers field and the precompute span's workers attr —
+    # the golden twins are themselves an equivalence check.
+    parallel = (GOLDEN_DIR / "stats_seed7_workers4.txt").read_text()
+    assert parallel == cached.replace("workers=1", "workers=4")
