@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, a coverage gate, an observability smoke test,
-# a chaos smoke test, and a parallel-execution smoke test.
+# a chaos smoke test, a parallel-execution smoke test, and a
+# crash-resume smoke test.
 #
 # Usage: scripts/ci.sh
 # The coverage gate (scripts/coverage_gate.py) fails the build when
@@ -12,7 +13,10 @@
 # the pipeline under the `flaky` fault profile and asserts it exits 0
 # with a non-empty enrichment-gap report. The parallel smoke test runs
 # with --workers 4 and asserts a clean exit with a non-zero enrichment
-# cache hit rate in the stats output.
+# cache hit rate in the stats output. The crash-resume smoke test kills
+# a checkpointed flaky run mid-enrichment (--crash-at), resumes it with
+# `repro resume`, and diffs the resumed report against an uninterrupted
+# run's — they must be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -81,4 +85,27 @@ hits = int((total or row).group(1).replace(",", ""))
 assert hits > 0, "parallel run recorded zero cache hits"
 print(f"parallel ok: workers=4 run exited 0 with {hits} cache hits")
 PY
+
+echo "== crash-resume smoke test (checkpoint journal) =="
+ck_dir="$(mktemp -d -t repro-ck-XXXXXX)"
+resumed_out="$(mktemp -t repro-resumed-XXXXXX.txt)"
+full_out="$(mktemp -t repro-full-XXXXXX.txt)"
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out"' EXIT
+rmdir "$ck_dir"   # the CLI wants to create it empty itself
+crash_rc=0
+python -m repro --seed 7 --campaigns 40 --quiet --faults flaky \
+  --checkpoint-dir "$ck_dir" --crash-at whois:5 report \
+  > /dev/null 2>&1 || crash_rc=$?
+if [ "$crash_rc" -ne 75 ]; then
+  echo "crash-resume FAILED: expected exit 75 from the killed run, got $crash_rc" >&2
+  exit 1
+fi
+python -m repro resume --checkpoint-dir "$ck_dir" --quiet > "$resumed_out"
+python -m repro --seed 7 --campaigns 40 --quiet --faults flaky report > "$full_out"
+if ! diff -q "$resumed_out" "$full_out" > /dev/null; then
+  echo "crash-resume FAILED: resumed report differs from uninterrupted run" >&2
+  diff "$resumed_out" "$full_out" | head -20 >&2
+  exit 1
+fi
+echo "crash-resume ok: resumed report byte-identical to uninterrupted run"
 echo "ci ok"

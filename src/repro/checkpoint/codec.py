@@ -1,0 +1,112 @@
+"""Serialisation for the run journal: values, exceptions, fingerprints.
+
+The journal stores three shapes of data and each gets the narrowest
+codec that round-trips it exactly:
+
+* **Lookup values** — arbitrary service results (records, scan reports,
+  enums, dataclasses). Pickled and base64-wrapped so they embed in a
+  JSONL record. Pickle is safe here because a journal is a local file
+  the same code version wrote (the manifest's code fingerprint rejects
+  anything else before a value is ever decoded).
+* **Service exceptions** — stored *structurally* as ``(type, message,
+  service, flags)`` records rather than pickled, so a journal remains
+  greppable and a restored exception is rebuilt through the real
+  :mod:`repro.errors` constructors (equivalent, not merely equal-ish).
+* **Fingerprints** — SHA-256 over canonical JSON; used by the manifest
+  to detect config drift between a crashed run and its resume.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from typing import Any, Dict
+
+from .. import errors
+from ..errors import (
+    CheckpointError,
+    CircuitOpen,
+    RateLimitExceeded,
+    ServiceError,
+    ServiceUnavailable,
+)
+
+# -- canonical JSON + fingerprints --------------------------------------------
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, str() fallback
+    for non-JSON leaves (dates, paths, enums)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+# -- lookup values ------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Dict[str, str]:
+    """A JSON-embeddable envelope for one lookup result."""
+    raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return {"pickle": base64.b64encode(raw).decode("ascii")}
+
+
+def decode_value(envelope: Dict[str, str]) -> Any:
+    try:
+        raw = base64.b64decode(envelope["pickle"])
+        return pickle.loads(raw)
+    except (KeyError, TypeError, ValueError, pickle.UnpicklingError) as exc:
+        raise CheckpointError(f"journal value cannot be decoded: {exc}")
+
+
+# -- service exceptions -------------------------------------------------------
+
+
+def encode_exception(exc: ServiceError) -> Dict[str, Any]:
+    """Structured ``(type, message, ...)`` record for one failure."""
+    record: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "service": exc.service,
+        "retryable": exc.retryable,
+    }
+    if isinstance(exc, ServiceUnavailable):
+        record["permanent"] = exc.permanent
+    if isinstance(exc, RateLimitExceeded):
+        record["retry_after"] = exc.retry_after
+    return record
+
+
+def decode_exception(record: Dict[str, Any]) -> ServiceError:
+    """Rebuild an equivalent exception through the real constructors.
+
+    An unknown type name degrades to plain :class:`ServiceError` (same
+    message/service/retryable) rather than failing the resume: the
+    exception's *classification* is what downstream gap handling keys
+    on, and that is carried by the flags.
+    """
+    cls = getattr(errors, str(record.get("type", "")), None)
+    if not (isinstance(cls, type) and issubclass(cls, ServiceError)):
+        cls = ServiceError
+    message = str(record.get("message", ""))
+    service = str(record.get("service", ""))
+    try:
+        if issubclass(cls, RateLimitExceeded):
+            return cls(message, service=service,
+                       retry_after=float(record.get("retry_after", 1.0)))
+        if issubclass(cls, ServiceUnavailable):
+            return cls(message, service=service,
+                       permanent=bool(record.get("permanent", False)))
+        if issubclass(cls, CircuitOpen):
+            return cls(message, service=service)
+        return cls(message, service=service,
+                   retryable=bool(record.get("retryable", False)))
+    except TypeError:
+        return ServiceError(message, service=service,
+                            retryable=bool(record.get("retryable", False)))

@@ -1,0 +1,110 @@
+"""Resuming a crashed run from its journal: ``resume_pipeline``.
+
+A resume rebuilds the run's inputs *from the manifest* — the world from
+its scenario (world construction is a pure function of the scenario
+config), the fault plan from its recorded profile, the execution policy
+from its recorded knobs — then hands a resume-mode
+:class:`~repro.checkpoint.session.CheckpointSession` to the ordinary
+:func:`~repro.core.pipeline.run_pipeline`. Nothing about the pipeline's
+control flow is forked for resumption; the session supplies restored
+stage payloads and replayed lookups where the journal has them and lets
+the run continue live where it does not.
+
+Crash points are deliberately stripped: the resumed plan is the crashed
+plan minus :class:`~repro.faults.CrashPoint` rules, so the run does not
+re-crash at the same call index (and the manifest fingerprint, computed
+over the crash-free plan, still matches).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import CheckpointError
+from ..exec import ExecutionPolicy
+from ..faults import FaultPlan, build_fault_plan
+from ..world.scenario import ScenarioConfig, build_world
+from .session import CheckpointSession
+
+
+def scenario_from_manifest(scenario: Dict[str, Any]) -> ScenarioConfig:
+    """Rebuild the exact scenario the crashed run was measuring."""
+    try:
+        return ScenarioConfig(
+            seed=int(scenario["seed"]),
+            n_campaigns=int(scenario["n_campaigns"]),
+            mean_campaign_volume=float(scenario["mean_campaign_volume"]),
+            timeline_start=dt.date.fromisoformat(scenario["timeline_start"]),
+            timeline_end=dt.date.fromisoformat(scenario["timeline_end"]),
+            include_sbi_burst=bool(scenario["include_sbi_burst"]),
+            sbi_burst_volume=int(scenario["sbi_burst_volume"]),
+            apk_campaign_fraction=float(scenario["apk_campaign_fraction"]),
+            androzoo_corpus_size=int(scenario["androzoo_corpus_size"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"manifest scenario is unusable: {exc}")
+
+
+def plan_from_manifest(manifest: Dict[str, Any],
+                       fault_plan: Optional[FaultPlan]) -> FaultPlan:
+    """The survivable fault plan the resumed run must replay under."""
+    if fault_plan is not None:
+        return fault_plan.without_crash_points()
+    faults = manifest.get("faults", {})
+    profile = faults.get("profile")
+    if profile is None:
+        raise CheckpointError(
+            "the crashed run used a hand-built fault plan the manifest "
+            "cannot reconstruct; pass the same plan via fault_plan="
+        )
+    return build_fault_plan(profile, seed=int(faults.get("seed", 0)))
+
+
+def policy_from_manifest(manifest: Dict[str, Any]) -> ExecutionPolicy:
+    execution = manifest.get("execution", {})
+    max_entries = execution.get("cache_max_entries")
+    return ExecutionPolicy(
+        workers=int(execution.get("workers", 1)),
+        cache=bool(execution.get("cache", True)),
+        cache_max_entries=None if max_entries is None else int(max_entries),
+    )
+
+
+def resume_pipeline(
+    checkpoint_dir,
+    *,
+    config=None,
+    telemetry=None,
+    telemetry_factory: Optional[Callable[[Any], Any]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    execution: Optional[ExecutionPolicy] = None,
+):
+    """Resume a crashed checkpointed run; returns the completed
+    :class:`~repro.core.pipeline.PipelineRun`.
+
+    ``config``/``fault_plan``/``execution`` default to the manifest's
+    own values and, when passed explicitly, are still validated against
+    the manifest fingerprints (a mismatch raises
+    :class:`~repro.errors.CheckpointMismatch`). ``telemetry_factory``
+    lets a caller build telemetry against the *rebuilt* world's clock
+    (the CLI does); it is ignored when ``telemetry`` is given directly.
+    """
+    from ..core.pipeline import run_pipeline  # local: breaks import cycle
+
+    session = CheckpointSession.resume(checkpoint_dir)
+    manifest = session.manifest
+    world = build_world(scenario_from_manifest(manifest.get("scenario", {})))
+    plan = plan_from_manifest(manifest, fault_plan)
+    policy = execution if execution is not None \
+        else policy_from_manifest(manifest)
+    if telemetry is None and telemetry_factory is not None:
+        telemetry = telemetry_factory(world)
+    return run_pipeline(
+        world,
+        config=config,
+        telemetry=telemetry,
+        fault_plan=plan,
+        execution=policy,
+        checkpoint=session,
+    )

@@ -9,18 +9,22 @@ Commands mirror the library's main workflows:
 * ``figures``  — export plot-ready CSVs for the figures.
 * ``stats``    — run the pipeline and print its telemetry (spans,
   per-service request/retry/backoff counters, run counters).
+* ``resume``   — finish a crashed checkpointed run from its journal.
 
 Every command accepts ``--trace-out PATH`` to dump the run's full trace
 and metrics as JSON, and emits stage-level progress lines on stderr
-(suppress with ``--quiet``) so long runs are not mute.
+(suppress with ``--quiet``) so long runs are not mute. Pass
+``--checkpoint-dir DIR`` to journal the run for crash recovery (and
+``--crash-at SERVICE:INDEX`` to inject a hard crash for testing it).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .analysis.campaign_mining import (
     campaign_summary_table,
@@ -29,25 +33,85 @@ from .analysis.campaign_mining import (
 from .analysis.figures import export_all_figures
 from .analysis.malware import build_table19, family_distribution_table
 from .analysis.report import generate_paper_report
+from .checkpoint import (
+    MANIFEST_NAME,
+    CheckpointSession,
+    RunJournal,
+    policy_from_manifest,
+    resume_pipeline,
+)
 from .core.active import run_case_study
 from .core.anonymize import build_release, save_release
 from .core.pipeline import PipelineRun, run_pipeline
+from .errors import CheckpointError, ConfigurationError, SimulatedCrash
 from .exec import ExecutionPolicy
-from .faults import FAULT_PROFILES, build_fault_plan
+from .faults import FAULT_PROFILES, CrashPoint, build_fault_plan
 from .obs import Telemetry, stderr_sink
 from .world.scenario import ScenarioConfig, build_world
 
 
+def _parse_crash_at(spec: str) -> Tuple[str, int]:
+    service, sep, index = spec.partition(":")
+    if not sep or not service or not index:
+        raise ConfigurationError(
+            f"--crash-at wants SERVICE:CALL_INDEX (e.g. whois:5), "
+            f"got {spec!r}"
+        )
+    try:
+        at_call = int(index)
+    except ValueError:
+        raise ConfigurationError(
+            f"--crash-at call index must be an integer, got {index!r}"
+        )
+    if at_call < 0:
+        raise ConfigurationError(
+            f"--crash-at call index must be >= 0, got {at_call}"
+        )
+    return service, at_call
+
+
+def _manifest_argv(args: argparse.Namespace) -> List[str]:
+    """The argv `repro resume` replays to rebuild this exact command."""
+    argv = ["--seed", str(args.seed), "--campaigns", str(args.campaigns),
+            "--faults", args.faults, "--workers", str(args.workers)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.quiet:
+        argv.append("--quiet")
+    argv.append(args.command)
+    if args.command in ("release", "figures"):
+        argv.append(str(args.output))
+    elif args.command == "casestudy":
+        argv += ["--sample", str(args.sample)]
+    elif args.command == "mine":
+        argv += ["--threshold", str(args.threshold), "--top", str(args.top)]
+    return argv
+
+
 def _build_run(args: argparse.Namespace) -> PipelineRun:
+    progress = None if args.quiet else stderr_sink
+    resume_dir = getattr(args, "_resume_dir", None)
+    if resume_dir is not None:
+        return resume_pipeline(
+            resume_dir,
+            telemetry_factory=lambda world: Telemetry.create(
+                clock=world.clock, progress=progress),
+        )
     world = build_world(ScenarioConfig(seed=args.seed,
                                        n_campaigns=args.campaigns))
-    progress = None if args.quiet else stderr_sink
     telemetry = Telemetry.create(clock=world.clock, progress=progress)
     fault_plan = build_fault_plan(args.faults, seed=args.seed)
+    if args.crash_at is not None:
+        service, at_call = _parse_crash_at(args.crash_at)
+        fault_plan = fault_plan.extended(CrashPoint(service, at_call))
     execution = ExecutionPolicy(workers=args.workers,
                                 cache=not args.no_cache)
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        checkpoint = CheckpointSession.record(
+            args.checkpoint_dir, cli={"argv": _manifest_argv(args)})
     return run_pipeline(world, telemetry=telemetry, fault_plan=fault_plan,
-                        execution=execution)
+                        execution=execution, checkpoint=checkpoint)
 
 
 def _write_trace(args: argparse.Namespace, run: PipelineRun) -> int:
@@ -155,6 +219,13 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
                      default=argparse.SUPPRESS,
                      help="disable the per-(service, subject) "
                           "enrichment cache")
+    sub.add_argument("--checkpoint-dir", type=Path,
+                     default=argparse.SUPPRESS,
+                     help="journal the run here for crash recovery")
+    sub.add_argument("--crash-at", metavar="SERVICE:CALL_INDEX",
+                     default=argparse.SUPPRESS,
+                     help="inject a hard crash at the Nth call to a "
+                          "service (testing aid for checkpointing)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -181,6 +252,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the per-(service, subject) "
                              "enrichment cache (on by default; caching "
                              "never changes results)")
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="journal the run here for crash recovery "
+                             "(resume with `repro resume`)")
+    parser.add_argument("--crash-at", metavar="SERVICE:CALL_INDEX",
+                        default=None,
+                        help="inject a hard crash at the Nth call to a "
+                             "service (testing aid for checkpointing)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser("report", help="regenerate all tables/figures")
@@ -216,13 +294,114 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.set_defaults(func=_cmd_stats)
     _add_run_options(stats)
+
+    resume = sub.add_parser(
+        "resume", help="finish a crashed checkpointed run"
+    )
+    resume.add_argument("--checkpoint-dir", type=Path, required=True,
+                        help="the journal directory of the crashed run")
+    resume.add_argument("--trace-out", type=Path, default=argparse.SUPPRESS,
+                        help="write the resumed run's trace JSON here")
+    resume.add_argument("--quiet", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="suppress stage progress lines on stderr")
+    resume.set_defaults(func=_cmd_resume)
     return parser
+
+
+def _writable_dir(path: Path) -> bool:
+    """Is ``path`` (or its nearest existing ancestor) writable?"""
+    probe = path
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            break
+        probe = parent
+    return os.access(probe, os.W_OK)
+
+
+def _validate_args(args: argparse.Namespace) -> None:
+    """Fail fast on bad run-shaping inputs, before any work starts."""
+    if getattr(args, "workers", 1) < 1:
+        raise ConfigurationError(
+            f"--workers must be >= 1, got {args.workers}"
+        )
+    if getattr(args, "crash_at", None) is not None:
+        _parse_crash_at(args.crash_at)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if checkpoint_dir is None:
+        return
+    if args.command == "resume":
+        if not checkpoint_dir.is_dir():
+            raise ConfigurationError(
+                f"--checkpoint-dir {checkpoint_dir} is not a directory"
+            )
+        if not (checkpoint_dir / MANIFEST_NAME).is_file():
+            raise ConfigurationError(
+                f"--checkpoint-dir {checkpoint_dir} has no {MANIFEST_NAME}; "
+                f"nothing to resume"
+            )
+        return
+    if checkpoint_dir.exists() and not checkpoint_dir.is_dir():
+        raise ConfigurationError(
+            f"--checkpoint-dir {checkpoint_dir} exists and is not "
+            f"a directory"
+        )
+    if not _writable_dir(checkpoint_dir):
+        raise ConfigurationError(
+            f"--checkpoint-dir {checkpoint_dir} is not writable"
+        )
+    if checkpoint_dir.is_dir() and any(checkpoint_dir.iterdir()):
+        if (checkpoint_dir / MANIFEST_NAME).is_file():
+            raise ConfigurationError(
+                f"--checkpoint-dir {checkpoint_dir} already contains a "
+                f"run journal; use `repro resume --checkpoint-dir "
+                f"{checkpoint_dir}` to finish it"
+            )
+        raise ConfigurationError(
+            f"--checkpoint-dir {checkpoint_dir} is not empty"
+        )
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    manifest = RunJournal.read_manifest(args.checkpoint_dir)
+    cli = manifest.get("cli") or {}
+    argv = cli.get("argv")
+    if not argv:
+        raise ConfigurationError(
+            f"journal at {args.checkpoint_dir} was not recorded by the "
+            f"CLI; resume it with repro.checkpoint.resume_pipeline()"
+        )
+    new_args = build_parser().parse_args([str(a) for a in argv])
+    _validate_args(new_args)
+    new_args._resume_dir = args.checkpoint_dir
+    if getattr(args, "quiet", False):
+        new_args.quiet = True
+    if getattr(args, "trace_out", None) is not None:
+        new_args.trace_out = args.trace_out
+    if not new_args.quiet:
+        policy = policy_from_manifest(manifest)
+        print(f"resuming run from {args.checkpoint_dir} "
+              f"({policy.describe()})", file=sys.stderr)
+    return new_args.func(new_args)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        _validate_args(args)
+        return args.func(args)
+    except (ConfigurationError, CheckpointError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except SimulatedCrash as exc:
+        print(f"repro: crashed: {exc}", file=sys.stderr)
+        checkpoint_dir = getattr(args, "checkpoint_dir", None)
+        if checkpoint_dir is not None and args.command != "resume":
+            print(f"repro: resume with: repro resume --checkpoint-dir "
+                  f"{checkpoint_dir}", file=sys.stderr)
+        return 75
 
 
 if __name__ == "__main__":  # pragma: no cover

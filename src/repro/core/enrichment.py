@@ -18,7 +18,7 @@ side) while every other field of every other record keeps its data.
 from __future__ import annotations
 
 import datetime as dt
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import (
@@ -182,7 +182,8 @@ class Enricher:
                  retry_policy: Optional[RetryPolicy] = None,
                  breakers: Optional[Dict[str, CircuitBreaker]] = None,
                  cache: Optional[EnrichmentCache] = None,
-                 pool: Optional[WorkerPool] = None):
+                 pool: Optional[WorkerPool] = None,
+                 journal=None):
         self._services = services
         self._telemetry = ensure_telemetry(telemetry)
         self._tlds = default_registry()
@@ -198,6 +199,10 @@ class Enricher:
         # fully-sequential, uncached enricher.
         self._cache = cache
         self._pool = pool
+        # Optional checkpoint journal (see repro.checkpoint.session):
+        # duck-typed replay_lookup/record_lookup. None (the default, and
+        # every un-checkpointed run) keeps _guarded's hot path intact.
+        self._journal = journal
 
     # -- resilience plumbing --------------------------------------------------
 
@@ -225,9 +230,27 @@ class Enricher:
         Returns the call's result, or ``default`` after filing an
         :class:`EnrichmentGap` when the call's retries are exhausted (or
         its breaker is open). The rest of the record keeps enriching.
+
+        Under a checkpoint journal, every guarded call is one replay
+        unit: a journaled outcome (value or gap) is returned without
+        touching the service — the effects the original call had on
+        meters/clock/breakers were already restored wholesale — and a
+        live outcome is journaled with its state delta before returning.
         """
+        journal = self._journal
+        if journal is not None:
+            replayed = journal.replay_lookup(service, field_name, subject)
+            if replayed is not None:
+                if replayed.outcome == "gap":
+                    gap = EnrichmentGap(**replayed.gap)
+                    sink.gaps.append(gap)
+                    self._telemetry.metrics.counter(
+                        "enrichment.gaps", service=service, kind=gap.kind
+                    ).inc()
+                    return default
+                return replayed.value
         try:
-            return call_with_policy(
+            result = call_with_policy(
                 fn,
                 policy=self._policy,
                 clock=self._clock,
@@ -238,7 +261,7 @@ class Enricher:
             )
         except ServiceError as exc:
             kind = _gap_kind(exc)
-            sink.gaps.append(EnrichmentGap(
+            gap = EnrichmentGap(
                 service=service,
                 field=field_name,
                 subject=subject,
@@ -246,11 +269,18 @@ class Enricher:
                 detail=str(exc),
                 attempts=getattr(exc, "resilience_attempts", 1),
                 simulated_at=self._clock.now,
-            ))
+            )
+            sink.gaps.append(gap)
             self._telemetry.metrics.counter(
                 "enrichment.gaps", service=service, kind=kind
             ).inc()
+            if journal is not None:
+                journal.record_lookup(service, field_name, subject,
+                                      gap=asdict(gap))
             return default
+        if journal is not None:
+            journal.record_lookup(service, field_name, subject, value=result)
+        return result
 
     # -- precompute (the engine's pure, parallel phase) -----------------------
 

@@ -14,6 +14,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..checkpoint.session import NULL_CHECKPOINT
+from ..checkpoint.state import build_state_registry
 from ..exec import ExecutionEngine, ExecutionPolicy
 from ..faults import FaultPlan, inject_faults
 from ..imaging.vision_openai import OpenAiVisionExtractor
@@ -96,6 +98,7 @@ def run_pipeline(
     telemetry: Optional[Telemetry] = None,
     fault_plan: Optional[FaultPlan] = None,
     execution: Optional[ExecutionPolicy] = None,
+    checkpoint=None,
 ) -> PipelineRun:
     """Collect from all five forums, curate, and enrich.
 
@@ -117,11 +120,21 @@ def run_pipeline(
     on). Any policy — any worker count, cache on or off — produces a
     byte-identical ``PipelineRun``; see :mod:`repro.exec.engine` for the
     argument and ``tests/test_exec_equivalence.py`` for the proof.
+
+    ``checkpoint`` of None runs without durability. Pass a
+    :class:`~repro.checkpoint.CheckpointSession` to journal the run
+    (record mode) or to finish a crashed one (resume mode): completed
+    stages are restored from their barrier snapshots instead of
+    re-running, journaled enrichment lookups are replayed without
+    touching any service, and the run continues live from exactly where
+    the crash landed — byte-identical to a never-crashed run (proven by
+    ``tests/test_checkpoint_equivalence.py``).
     """
     config = config or PipelineConfig()
     telemetry = ensure_telemetry(telemetry)
     telemetry.tracer.bind_clock(world.clock)
     policy = execution or ExecutionPolicy()
+    checkpoint = checkpoint if checkpoint is not None else NULL_CHECKPOINT
 
     services = build_enrichment_services(world)
     forums = world.forums
@@ -138,7 +151,14 @@ def run_pipeline(
         retry_policy=RetryPolicy(seed=world.config.seed),
         cache=cache,
         pool=engine.enrichment_pool(),
+        journal=checkpoint.enrichment_journal(),
     )
+    if checkpoint.active:
+        checkpoint.bind(
+            registry=build_state_registry(world, services, forums, enricher),
+            scenario=world.config, config=config, fault_plan=fault_plan,
+            policy=policy,
+        )
     try:
         with engine, _observed_meters(telemetry,
                                       forum_meters + service_meters):
@@ -151,22 +171,38 @@ def run_pipeline(
                 cache="on" if policy.cache else "off",
             ) as root:
                 with telemetry.tracer.span("collect") as collect_span:
-                    collection = collect_all(
-                        forums, config, telemetry,
-                        pool=engine.collection_pool(
-                            fault_plan, [f.value for f in forums]),
-                    )
+                    collection = checkpoint.restore_stage("collection")
+                    if collection is None:
+                        collection = collect_all(
+                            forums, config, telemetry,
+                            pool=engine.collection_pool(
+                                fault_plan, [f.value for f in forums]),
+                        )
+                        checkpoint.stage_barrier("collection", collection)
+                    else:
+                        collect_span.set(resumed=1)
                     collect_span.set(posts_seen=collection.posts_seen,
                                      reports=len(collection.reports),
                                      limitations=len(collection.limitations))
-                vision = OpenAiVisionExtractor(
-                    derive(world.config.seed, "pipeline-vision"),
-                    miss_rate=config.vision_miss_rate,
-                )
-                curator = Curator(vision, telemetry)
-                dataset = curator.curate(collection.reports)
+                restored = checkpoint.restore_stage("curation")
+                if restored is None:
+                    vision = OpenAiVisionExtractor(
+                        derive(world.config.seed, "pipeline-vision"),
+                        miss_rate=config.vision_miss_rate,
+                    )
+                    curator = Curator(vision, telemetry)
+                    dataset = curator.curate(collection.reports)
+                    curation_stats = curator.stats
+                    checkpoint.stage_barrier("curation",
+                                             (dataset, curation_stats))
+                else:
+                    dataset, curation_stats = restored
+                    with telemetry.tracer.span("curate") as curate_span:
+                        curate_span.set(resumed=1, records=len(dataset))
+                checkpoint.begin_enrichment()
                 enriched = enricher.run(dataset)
                 root.set(records=len(dataset), gaps=len(enriched.gaps))
+        checkpoint.complete()
     finally:
         # Snapshots must survive partially-failed runs too: a crashed
         # enrichment stage still leaves breaker state worth recording
@@ -175,11 +211,13 @@ def run_pipeline(
             telemetry.capture_breaker(breaker)
         if cache is not None:
             telemetry.capture_cache(cache)
+        telemetry.capture_checkpoint(checkpoint.stats())
+        checkpoint.close()
     return PipelineRun(
         world=world,
         config=config,
         collection=collection,
-        curation_stats=curator.stats,
+        curation_stats=curation_stats,
         dataset=dataset,
         enriched=enriched,
         telemetry=telemetry,

@@ -80,6 +80,37 @@ class NotFound(ServiceError):
     """The requested entity does not exist in the service's records."""
 
 
+class CheckpointError(ReproError):
+    """A run journal is unusable: missing, malformed, or truncated in a
+    way that recovery could not repair."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """A run journal belongs to a *different* run than the one being
+    resumed (seed, scenario, pipeline config, fault plan, execution
+    policy, or code version changed). Resuming anyway could silently
+    produce wrong results, so the mismatch is an error, never a
+    warning."""
+
+
+class SimulatedCrash(BaseException):
+    """An injected hard process death (``repro.faults.CrashPoint`` or a
+    journal kill-point in the checkpoint test harness).
+
+    Deliberately **not** a :class:`ReproError` — not even an
+    ``Exception``: a real ``kill -9`` cannot be caught, so the simulated
+    one must sail straight through every ``except Exception`` /
+    ``except ServiceError`` recovery path the resilience layer owns and
+    abort the run. Only the outermost harness (the CLI entry point, the
+    kill-harness tests) may catch it.
+    """
+
+    def __init__(self, message: str, *, service: str = "", at_call: int = -1):
+        super().__init__(message)
+        self.service = service
+        self.at_call = at_call
+
+
 class ExtractionError(ReproError):
     """An image/text extractor could not produce a usable record."""
 

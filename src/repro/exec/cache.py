@@ -11,10 +11,12 @@ kinds cover every terminal outcome a lookup can have:
   subjects from re-asking a question whose answer is known to be empty.
 * ``FAILURE``    — a *permanent*, per-subject failure (e.g. the GSB
   transparency report's deterministic anti-automation block). The entry
-  stores the failure's gap classification (kind, detail, attempts) so
-  the engine can re-file an identical
-  :class:`~repro.core.enrichment.EnrichmentGap` for every duplicate
-  subject without touching the service again. Transient failures are
+  stores the failure's gap classification (kind, detail, attempts) and
+  the original exception instance, so the engine can re-file an
+  identical :class:`~repro.core.enrichment.EnrichmentGap` for every
+  duplicate subject without touching the service again — and the run
+  journal (:mod:`repro.checkpoint.codec`) can round-trip the failure as
+  a structured ``(type, message)`` record. Transient failures are
   **never** cached — a retryable error says nothing about the subject.
 
 The cache is the one concurrency point the execution engine shares
@@ -54,6 +56,13 @@ class CacheEntry:
     failure_kind: str = ""
     failure_detail: str = ""
     failure_attempts: int = 1
+    #: For FAILURE entries: the original exception instance, so replays
+    #: and the run journal can reconstruct an *equivalent* error (type +
+    #: message + flags) instead of only its name. Excluded from equality
+    #: — two entries for the same failure compare equal even though
+    #: exception objects never do.
+    failure_exception: Optional[ServiceError] = field(default=None,
+                                                      compare=False)
 
     @property
     def is_value(self) -> bool:
@@ -140,9 +149,11 @@ class EnrichmentCache:
         return entry
 
     def put_failure(self, service: str, subject: str, *, kind: str,
-                    detail: str, attempts: int = 1) -> CacheEntry:
+                    detail: str, attempts: int = 1,
+                    exception: Optional[ServiceError] = None) -> CacheEntry:
         entry = CacheEntry(kind=EntryKind.FAILURE, failure_kind=kind,
-                           failure_detail=detail, failure_attempts=attempts)
+                           failure_detail=detail, failure_attempts=attempts,
+                           failure_exception=exception)
         with self._lock:
             self._store(service, subject, entry)
         return entry
@@ -174,6 +185,7 @@ class EnrichmentCache:
                     failure_kind=type(exc).__name__,
                     failure_detail=str(exc),
                     failure_attempts=getattr(exc, "resilience_attempts", 1),
+                    failure_exception=exc,
                 ))
             raise
         return self._adopt(service, subject,

@@ -42,6 +42,14 @@ because it never touches the clock at all.
 
 Locks live here (well, in the cache the engine builds) — the simulated
 services themselves stay lock-free and concurrency-unaware.
+
+The same phase split is what makes checkpoint/resume exact
+(:mod:`repro.checkpoint`): the parallel phases are pure, so a resumed
+run simply re-executes them (the precompute refills an identical cache
+from the restored dataset), while the serial effects replay is the only
+place state mutates between barriers — which is why journaling one
+record per guarded lookup, with a changed-state delta, reconstructs a
+crashed run bit-for-bit under any worker count.
 """
 
 from __future__ import annotations
@@ -81,6 +89,13 @@ class ExecutionPolicy:
                 f"cache_max_entries must be >= 1 or None, "
                 f"got {self.cache_max_entries}"
             )
+
+    def describe(self) -> str:
+        """One-line summary for logs, manifests, and `repro resume`."""
+        cache = "on" if self.cache else "off"
+        if self.cache and self.cache_max_entries is not None:
+            cache = f"on(max={self.cache_max_entries})"
+        return f"workers={self.workers} cache={cache}"
 
 
 #: The reference semantics every other policy must be equivalent to.

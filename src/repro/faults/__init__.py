@@ -7,8 +7,8 @@ not hope. It splits into two layers:
 
 * :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded immutable set
   of rules (transient bursts, sim-clock outage windows, per-call error
-  rates, injected latency) plus the named CLI profiles
-  (``none`` / ``flaky`` / ``outage``).
+  rates, injected latency, hard :class:`CrashPoint` process deaths) plus
+  the named CLI profiles (``none`` / ``flaky`` / ``outage``).
 * :mod:`repro.faults.proxy` — :class:`FaultProxy`, the transparent
   wrapper that injects a plan's faults in front of any forum or
   enrichment service without the service knowing.
@@ -18,6 +18,7 @@ Same seed + same plan ⇒ byte-identical fault sequences.
 
 from .plan import (
     FAULT_PROFILES,
+    CrashPoint,
     ErrorRate,
     FaultPlan,
     InjectedLatency,
@@ -30,6 +31,7 @@ from .proxy import DEFAULT_EXCLUDE, FaultProxy, inject_faults, wrap_if_planned
 __all__ = [
     "FAULT_PROFILES",
     "DEFAULT_EXCLUDE",
+    "CrashPoint",
     "ErrorRate",
     "FaultPlan",
     "FaultProxy",

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
-from ..errors import ConfigurationError, ServiceUnavailable
+from ..errors import ConfigurationError, ServiceUnavailable, SimulatedCrash
 from ..utils.rng import stable_hash
 
 
@@ -100,7 +100,32 @@ class InjectedLatency:
         clock.advance(self.seconds)
 
 
-FaultRule = object  # any of the four rule dataclasses above
+@dataclass(frozen=True)
+class CrashPoint:
+    """Hard process death at the service's call ``at_call`` (0-based).
+
+    Unlike every other rule this raises
+    :class:`~repro.errors.SimulatedCrash` — a ``BaseException`` that no
+    retry policy, breaker, or enrichment guard catches — so the run dies
+    exactly as it would under ``kill -9``, mid-pipeline, with only the
+    checkpoint journal left behind. The proxy's call counter increments
+    *before* the plan is consulted and meter charges happen *after*, so
+    a crash never lands mid-charge: the journal is always consistent.
+    """
+
+    service: str
+    at_call: int
+
+    def check(self, plan: "FaultPlan", index: int, clock) -> None:
+        if index == self.at_call:
+            raise SimulatedCrash(
+                f"{self.service}: simulated process crash at call {index}",
+                service=self.service,
+                at_call=index,
+            )
+
+
+FaultRule = object  # any of the five rule dataclasses above
 
 
 class FaultPlan:
@@ -111,9 +136,15 @@ class FaultPlan:
     "gsb", ...) and ``Forum.value`` for forums ("Twitter", "Reddit", ...).
     """
 
-    def __init__(self, seed: int = 0, rules: Iterable[FaultRule] = ()):
+    def __init__(self, seed: int = 0, rules: Iterable[FaultRule] = (),
+                 profile: Optional[str] = None):
         self.seed = seed
         self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        #: Provenance: the named profile this plan was built from (set by
+        #: :func:`build_fault_plan`), or None for hand-built plans. The
+        #: checkpoint manifest records it so ``repro resume`` can rebuild
+        #: the same plan without re-specifying ``--faults``.
+        self.profile = profile
         for rule in self.rules:
             if not hasattr(rule, "service") or not hasattr(rule, "check"):
                 raise ConfigurationError(
@@ -131,18 +162,49 @@ class FaultPlan:
         return tuple(r for r in self.rules if r.service == service)
 
     def apply(self, service: str, index: int, clock) -> None:
-        """Consult every rule for one call; latency first, then failures.
+        """Consult every rule for one call; crashes first, then latency,
+        then failures.
 
         ``index`` is the 0-based per-instance call counter maintained by
-        the proxy. Raises the first matching failure.
+        the proxy. Raises the first matching failure. Crash points are
+        consulted before everything else: a process death at call N
+        preempts whatever soft fault the profile would have injected at
+        the same index (otherwise an ErrorRate firing at exactly N would
+        shadow the one index the crash matches and the kill would never
+        happen).
         """
         rules = self.rules_for(service)
+        for rule in rules:
+            if isinstance(rule, CrashPoint):
+                rule.check(self, index, clock)
         for rule in rules:
             if isinstance(rule, InjectedLatency):
                 rule.check(self, index, clock)
         for rule in rules:
-            if not isinstance(rule, InjectedLatency):
+            if not isinstance(rule, (CrashPoint, InjectedLatency)):
                 rule.check(self, index, clock)
+
+    def extended(self, *extra: FaultRule) -> "FaultPlan":
+        """A new plan with ``extra`` rules appended (same seed/profile).
+
+        The CLI uses this to graft a :class:`CrashPoint` onto a named
+        profile (``--crash-at``) without disturbing the profile's rules.
+        """
+        return FaultPlan(seed=self.seed, rules=self.rules + tuple(extra),
+                         profile=self.profile)
+
+    def without_crash_points(self) -> "FaultPlan":
+        """The plan minus any :class:`CrashPoint` rules.
+
+        Two uses: the checkpoint manifest fingerprints the *survivable*
+        fault plan (a crashed run and its resume intentionally differ in
+        crash points), and ``repro resume`` strips them so the resumed
+        run does not re-crash at the same call index.
+        """
+        kept = tuple(r for r in self.rules if not isinstance(r, CrashPoint))
+        if len(kept) == len(self.rules):
+            return self
+        return FaultPlan(seed=self.seed, rules=kept, profile=self.profile)
 
     def describe(self) -> str:
         """One-line summary for span attributes and logs."""
@@ -169,9 +231,9 @@ def build_fault_plan(profile: Optional[str], *, seed: int = 0) -> FaultPlan:
       window, so late URLs recover), plus a passive-DNS burst.
     """
     if profile is None or profile == "none":
-        return FaultPlan(seed=seed)
+        return FaultPlan(seed=seed, profile="none")
     if profile == "flaky":
-        return FaultPlan(seed=seed, rules=(
+        return FaultPlan(seed=seed, profile="flaky", rules=(
             ErrorRate("whois", 0.20),
             ErrorRate("gsb", 0.10),
             ErrorRate("virustotal", 0.10),
@@ -180,7 +242,7 @@ def build_fault_plan(profile: Optional[str], *, seed: int = 0) -> FaultPlan:
             ErrorRate("Reddit", 0.15),
         ))
     if profile == "outage":
-        return FaultPlan(seed=seed, rules=(
+        return FaultPlan(seed=seed, profile="outage", rules=(
             OutageWindow("virustotal", start=0.0, end=240.0),
             TransientBurst("spamhaus-pdns", after_calls=25, count=40),
         ))

@@ -70,6 +70,17 @@ class FaultProxy:
         """How many wrapped calls have been intercepted so far."""
         return self._calls
 
+    # -- checkpoint support ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"calls": self._calls}
+
+    def restore_state(self, state: dict) -> None:
+        """Jump the per-instance call counter to a journaled value so
+        call-indexed rules (bursts, error rates) resume exactly where the
+        crashed run left off."""
+        object.__setattr__(self, "_calls", int(state["calls"]))
+
     # -- transparent forwarding -----------------------------------------------
 
     def __getattr__(self, name: str):

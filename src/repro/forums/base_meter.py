@@ -66,3 +66,19 @@ class ForumMeter:
             "throttle_events": self.throttle_events,
             "last_charge_at": self.last_charge_at,
         }
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Complete internal state for the run journal."""
+        return {
+            "used": self.used,
+            "throttle_events": self.throttle_events,
+            "last_charge_at": self.last_charge_at,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore journaled state silently (no observer events — the
+        charges were already counted in the crashed run)."""
+        self.used = int(state["used"])
+        self.throttle_events = int(state["throttle_events"])
+        last = state["last_charge_at"]
+        self.last_charge_at = None if last is None else float(last)

@@ -49,6 +49,9 @@ class Telemetry:
         self.breaker_snapshots: Dict[str, Dict[str, Any]] = {}
         #: Final ``cache.stats()`` of the enrichment cache, when one ran.
         self.cache_snapshot: Dict[str, Any] = {}
+        #: Final ``session.stats()`` of the checkpoint session, when the
+        #: run was checkpointed (record or resume mode).
+        self.checkpoint_snapshot: Dict[str, Any] = {}
 
     # -- constructors ---------------------------------------------------------
 
@@ -134,6 +137,23 @@ class Telemetry:
                     self.metrics.counter(f"cache.{event}",
                                          service=service).inc(counters[event])
 
+    # -- checkpoint wiring ----------------------------------------------------
+
+    def capture_checkpoint(self, stats: Optional[Dict[str, Any]]) -> None:
+        """Store a checkpoint session's final ``stats()`` and mirror the
+        write/replay volumes into counters (``checkpoint.barriers`` /
+        ``checkpoint.lookups_recorded`` / ``checkpoint.lookups_replayed``).
+        ``stats`` of None (an un-checkpointed run) is a no-op."""
+        if not self.enabled or stats is None:
+            return
+        self.checkpoint_snapshot = dict(stats)
+        for event in ("barriers_written", "lookups_recorded",
+                      "lookups_replayed"):
+            if stats.get(event):
+                self.metrics.counter(
+                    f"checkpoint.{event}", mode=stats["mode"]
+                ).inc(stats[event])
+
     # -- export ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -146,6 +166,7 @@ class Telemetry:
             "breakers": {name: dict(snap)
                          for name, snap in self.breaker_snapshots.items()},
             "cache": dict(self.cache_snapshot),
+            "checkpoint": dict(self.checkpoint_snapshot),
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -268,13 +289,34 @@ class Telemetry:
             )
         return table
 
+    def checkpoint_table(self) -> Table:
+        """Journal accounting: mode, restored stages, replay volumes."""
+        table = Table(title="Checkpoint", columns=["Field", "Value"])
+        snapshot = self.checkpoint_snapshot
+        if not snapshot:
+            return table
+        restored = snapshot.get("stages_restored") or []
+        table.add_row("Mode", snapshot.get("mode", "-"))
+        table.add_row("Stages restored", ", ".join(restored) or "none")
+        table.add_row("Barriers written",
+                      int(snapshot.get("barriers_written", 0)))
+        table.add_row("Lookups replayed",
+                      int(snapshot.get("lookups_replayed", 0)))
+        table.add_row("Lookups recorded",
+                      int(snapshot.get("lookups_recorded", 0)))
+        table.add_row("Journal writes", int(snapshot.get("journal_writes", 0)))
+        table.add_row("Journal recovered",
+                      "yes" if snapshot.get("journal_recovered") else "no")
+        return table
+
     def counter_table(self) -> Table:
         """Every non-service counter (collection, curation, drops...)."""
         table = Table(title="Run counters",
                       columns=["Counter", "Labels", "Value"])
         for counter in sorted(self.metrics.counters(),
                               key=lambda c: (c.name, sorted(c.labels.items()))):
-            if counter.name.startswith(("service.", "resilience.", "cache.")):
+            if counter.name.startswith(("service.", "resilience.", "cache.",
+                                        "checkpoint.")):
                 continue
             labels = ", ".join(f"{k}={v}" for k, v in
                                sorted(counter.labels.items()))
@@ -292,6 +334,8 @@ class Telemetry:
             parts.append(resilience.to_text())
         if self.cache_snapshot:
             parts.append(self.cache_table().to_text())
+        if self.checkpoint_snapshot:
+            parts.append(self.checkpoint_table().to_text())
         parts.append(self.counter_table().to_text())
         return "\n\n".join(parts)
 

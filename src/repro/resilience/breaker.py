@@ -91,6 +91,26 @@ class CircuitBreaker:
             "opened_at": self._opened_at,
         }
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Complete internal state for the run journal."""
+        return {
+            "state": self._state.value,
+            "consecutive_failures": self._consecutive_failures,
+            "opened_at": self._opened_at,
+            "opens": self._opens,
+            "fast_fails": self._fast_fails,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore journaled state without emitting observer events (the
+        transitions were already counted in the crashed run)."""
+        self._state = BreakerState(state["state"])
+        self._consecutive_failures = int(state["consecutive_failures"])
+        opened = state["opened_at"]
+        self._opened_at = None if opened is None else float(opened)
+        self._opens = int(state["opens"])
+        self._fast_fails = int(state["fast_fails"])
+
     # -- state machine --------------------------------------------------------
 
     def _emit(self, event: str, value: float = 1.0) -> None:

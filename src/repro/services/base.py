@@ -36,6 +36,17 @@ class SimClock:
         self._now += seconds
         return self._now
 
+    # -- checkpoint support ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"now": self._now}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Reset to a journaled instant. Unlike :meth:`advance` this may
+        move the clock backwards: a resume rebuilds a fresh world (clock
+        at 0) and jumps it to the crash-time instant."""
+        self._now = float(state["now"])
+
 
 @dataclass
 class ServiceMeter:
@@ -106,6 +117,31 @@ class ServiceMeter:
             "last_charge_at": self._last_charge_at,
             "backoff_seconds": self._backoff_seconds,
         }
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Complete internal state for the run journal (unlike
+        :meth:`snapshot`, includes the token bucket so a restored meter
+        throttles at exactly the same future calls)."""
+        return {
+            "tokens": self._tokens,
+            "last_refill": self._last_refill,
+            "used": self._used,
+            "throttle_events": self._throttle_events,
+            "backoff_seconds": self._backoff_seconds,
+            "last_charge_at": self._last_charge_at,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore journaled state without emitting observer events —
+        the charges already happened (and were already counted) in the
+        crashed run; replaying them into telemetry would double-count."""
+        self._tokens = float(state["tokens"])
+        self._last_refill = float(state["last_refill"])
+        self._used = int(state["used"])
+        self._throttle_events = int(state["throttle_events"])
+        self._backoff_seconds = float(state["backoff_seconds"])
+        last = state["last_charge_at"]
+        self._last_charge_at = None if last is None else float(last)
 
     def _refill(self) -> None:
         elapsed = self.clock.now - self._last_refill

@@ -1,0 +1,50 @@
+"""Shared run-fingerprint helper for the equivalence test suites.
+
+``fingerprint_run`` serializes a completed
+:class:`~repro.core.pipeline.PipelineRun` down to every observable byte
+— dataset rows, gaps, limitations, the rendered paper report, meter
+snapshots, and the final sim-clock reading — so two runs are equal iff
+the JSON strings are equal. Both the worker-count equivalence proof
+(``test_exec_equivalence.py``) and the crash/resume kill harness
+(``test_checkpoint_equivalence.py``) assert against it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.analysis.report import generate_paper_report
+from repro.core.pipeline import PipelineRun
+
+
+def fingerprint_run(run: PipelineRun) -> str:
+    """Every observable byte of a completed run, as canonical JSON."""
+    world = run.world
+    service_meters = {
+        name: meter.snapshot()
+        for name, meter in (
+            ("hlr", world.hlr.meter), ("whois", world.whois.meter),
+            ("crtsh", world.crtsh.meter),
+            ("passivedns", world.passivedns.meter),
+            ("ipinfo", world.ipinfo.meter),
+            ("virustotal", world.virustotal.meter),
+            ("gsb", world.gsb.meter),
+        )
+    }
+    forum_meters = {
+        forum.value: service.meter.snapshot()
+        for forum, service in world.forums.items()
+    }
+    payload = {
+        "rows": [record.to_json_dict() for record in run.annotated_dataset],
+        "gaps": [asdict(gap) for gap in run.enriched.gaps],
+        "limitations": [asdict(lim) for lim in run.collection.limitations],
+        "report": generate_paper_report(run).render(),
+        "posts_seen": run.collection.posts_seen,
+        "api_errors": list(run.collection.api_errors),
+        "service_meters": service_meters,
+        "forum_meters": forum_meters,
+        "clock_now": world.clock.now,
+    }
+    return json.dumps(payload, sort_keys=True, default=str)

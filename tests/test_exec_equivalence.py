@@ -13,16 +13,14 @@ snapshots and ``clock.now`` prove the *effects* (charges, backoff,
 retries) were replayed identically, not just that the answers agree.
 """
 
-import json
-from dataclasses import asdict
-
 import pytest
 
-from repro.analysis.report import generate_paper_report
 from repro.core.pipeline import run_pipeline
 from repro.exec import SEQUENTIAL, ExecutionPolicy
 from repro.faults import build_fault_plan
 from repro.world.scenario import ScenarioConfig, build_world
+
+from tests.fingerprints import fingerprint_run
 
 SEEDS = (3, 11, 1042)
 PROFILES = ("none", "flaky", "outage")
@@ -42,34 +40,7 @@ def run_fingerprint(seed: int, profile: str, policy: ExecutionPolicy,
     world = build_world(ScenarioConfig(seed=seed, n_campaigns=campaigns))
     plan = build_fault_plan(profile, seed=seed)
     run = run_pipeline(world, fault_plan=plan, execution=policy)
-
-    service_meters = {
-        name: meter.snapshot()
-        for name, meter in (
-            ("hlr", world.hlr.meter), ("whois", world.whois.meter),
-            ("crtsh", world.crtsh.meter),
-            ("passivedns", world.passivedns.meter),
-            ("ipinfo", world.ipinfo.meter),
-            ("virustotal", world.virustotal.meter),
-            ("gsb", world.gsb.meter),
-        )
-    }
-    forum_meters = {
-        forum.value: service.meter.snapshot()
-        for forum, service in world.forums.items()
-    }
-    payload = {
-        "rows": [record.to_json_dict() for record in run.annotated_dataset],
-        "gaps": [asdict(gap) for gap in run.enriched.gaps],
-        "limitations": [asdict(lim) for lim in run.collection.limitations],
-        "report": generate_paper_report(run).render(),
-        "posts_seen": run.collection.posts_seen,
-        "api_errors": list(run.collection.api_errors),
-        "service_meters": service_meters,
-        "forum_meters": forum_meters,
-        "clock_now": world.clock.now,
-    }
-    return json.dumps(payload, sort_keys=True, default=str)
+    return fingerprint_run(run)
 
 
 @pytest.mark.parametrize("profile", PROFILES)

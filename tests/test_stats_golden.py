@@ -71,6 +71,48 @@ def test_stats_output_matches_golden(golden_name, frozen_wall_clock,
     )
 
 
+RESUMED_GOLDEN = "stats_seed7_flaky_resumed.txt"
+
+
+def test_resumed_stats_matches_golden(frozen_wall_clock, capsys, tmp_path):
+    """`repro resume` stats: Checkpoint table populated, same pipeline
+    numbers as the uninterrupted flaky run (resume is byte-identical),
+    and all of it golden-pinned like the other surfaces."""
+    checkpoint_dir = tmp_path / "ck"
+    crash_argv = ["--seed", "7", "--campaigns", "10", "--quiet",
+                  "--faults", "flaky", "--checkpoint-dir",
+                  str(checkpoint_dir), "--crash-at", "whois:5", "stats"]
+    assert cli.main(crash_argv) == 75
+    capsys.readouterr()
+    assert cli.main(["resume", "--checkpoint-dir",
+                     str(checkpoint_dir)]) == 0
+    output = capsys.readouterr().out
+    golden_path = GOLDEN_DIR / RESUMED_GOLDEN
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(output, encoding="utf-8")
+        pytest.skip(f"updated golden {RESUMED_GOLDEN}")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1 (see module docstring)"
+    )
+    assert output == golden_path.read_text(encoding="utf-8"), (
+        f"resumed `repro stats` output diverged from {RESUMED_GOLDEN}; "
+        f"if intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+def test_resumed_golden_covers_the_checkpoint_table():
+    resumed = (GOLDEN_DIR / RESUMED_GOLDEN).read_text()
+    assert "Checkpoint" in resumed
+    assert "resume" in resumed
+    assert "Stages restored" in resumed
+    # The resumed run reports the same pipeline results as the
+    # uninterrupted flaky golden: same header counts, same gap report.
+    flaky = (GOLDEN_DIR / "stats_seed7_flaky.txt").read_text()
+    assert resumed.splitlines()[0] == flaky.splitlines()[0]
+
+
 def test_goldens_cover_cache_and_resilience_tables():
     """The checked-in snapshots really exercise the new surfaces."""
     cached = (GOLDEN_DIR / "stats_seed7_none.txt").read_text()
