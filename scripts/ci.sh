@@ -16,7 +16,10 @@
 # cache hit rate in the stats output. The crash-resume smoke test kills
 # a checkpointed flaky run mid-enrichment (--crash-at), resumes it with
 # `repro resume`, and diffs the resumed report against an uninterrupted
-# run's — they must be byte-identical.
+# run's — they must be byte-identical. The watch smoke test runs a
+# 2-epoch incremental ingest (`repro watch`), crashes a second copy
+# mid-epoch-2, resumes it from its stream directory, and compares the
+# stream fingerprints — crash/resume must not change what was ingested.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -108,4 +111,36 @@ if ! diff -q "$resumed_out" "$full_out" > /dev/null; then
   exit 1
 fi
 echo "crash-resume ok: resumed report byte-identical to uninterrupted run"
+
+echo "== watch smoke test (incremental ingestion) =="
+clean_dir="$(mktemp -d -t repro-stream-clean-XXXXXX)"
+crash_dir="$(mktemp -d -t repro-stream-crash-XXXXXX)"
+watch_out="$(mktemp -t repro-watch-XXXXXX.txt)"
+resume_stream_out="$(mktemp -t repro-watch-resumed-XXXXXX.txt)"
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out"' EXIT
+rmdir "$clean_dir" "$crash_dir"   # the CLI wants to create them itself
+python -m repro --seed 7 --campaigns 40 --quiet watch --epochs 2 \
+  --stream-dir "$clean_dir" > "$watch_out"
+grep -q "^stream fingerprint=" "$watch_out" || {
+  echo "watch FAILED: no stream fingerprint in watch output" >&2; exit 1; }
+grep -q "(ledger)" "$watch_out" || {
+  echo "watch FAILED: no ledger row in the Stream table" >&2; exit 1; }
+watch_rc=0
+python -m repro --seed 7 --campaigns 40 --quiet --crash-at whois:5 \
+  watch --epochs 2 --crash-epoch 1 --stream-dir "$crash_dir" \
+  > /dev/null 2>&1 || watch_rc=$?
+if [ "$watch_rc" -ne 75 ]; then
+  echo "watch FAILED: expected exit 75 from the mid-epoch crash, got $watch_rc" >&2
+  exit 1
+fi
+python -m repro --quiet resume --stream-dir "$crash_dir" > "$resume_stream_out"
+clean_fp="$(grep "^stream fingerprint=" "$watch_out")"
+resumed_fp="$(grep "^stream fingerprint=" "$resume_stream_out")"
+if [ "$clean_fp" != "$resumed_fp" ]; then
+  echo "watch FAILED: resumed stream fingerprint differs from clean run" >&2
+  echo "  clean:   $clean_fp" >&2
+  echo "  resumed: $resumed_fp" >&2
+  exit 1
+fi
+echo "watch ok: crash/resume stream fingerprint matches the clean 2-epoch run"
 echo "ci ok"

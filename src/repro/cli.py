@@ -8,8 +8,16 @@ Commands mirror the library's main workflows:
 * ``mine``     — cluster the dataset back into campaigns.
 * ``figures``  — export plot-ready CSVs for the figures.
 * ``stats``    — run the pipeline and print its telemetry (spans,
-  per-service request/retry/backoff counters, run counters).
-* ``resume``   — finish a crashed checkpointed run from its journal.
+  per-service request/retry/backoff counters, run counters). With
+  ``--epochs``/``--epoch-hours`` the run is an in-memory incremental
+  ingestion and the summary gains the per-epoch Stream table.
+* ``watch``    — continuous incremental ingestion: run N epochs over a
+  durable stream directory (``repro.stream``), printing the per-epoch
+  table and a final stream fingerprint.
+* ``ingest``   — run one (or more) follow-on epochs against an existing
+  stream directory.
+* ``resume``   — finish a crashed run: ``--checkpoint-dir`` for a batch
+  journal, ``--stream-dir`` for a stream session.
 
 Every command accepts ``--trace-out PATH`` to dump the run's full trace
 and metrics as JSON, and emits stage-level progress lines on stderr
@@ -47,6 +55,7 @@ from .errors import CheckpointError, ConfigurationError, SimulatedCrash
 from .exec import ExecutionPolicy
 from .faults import FAULT_PROFILES, CrashPoint, build_fault_plan
 from .obs import Telemetry, stderr_sink
+from .stream import STREAM_MANIFEST_NAME, StreamSession
 from .world.scenario import ScenarioConfig, build_world
 
 
@@ -174,12 +183,21 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    run = _build_run(args)
+    if (getattr(args, "epochs", None) is not None
+            or getattr(args, "epoch_hours", None) is not None):
+        session = _build_stream_session(args, stream_dir=None)
+        session.run()
+        run = session.as_pipeline_run()
+        epochs = f" epochs={session.state.committed_epochs}"
+    else:
+        run = _build_run(args)
+        epochs = ""
     dataset = run.dataset
     print(f"seed={args.seed} campaigns={args.campaigns} "
           f"faults={args.faults} "
           f"workers={args.workers} "
-          f"cache={'off' if args.no_cache else 'on'} "
+          f"cache={'off' if args.no_cache else 'on'}"
+          f"{epochs} "
           f"reports={len(run.collection.reports)} records={len(dataset)} "
           f"limitations={len(run.collection.limitations)} "
           f"gaps={len(run.enriched.gaps)}")
@@ -196,6 +214,106 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
             print(f"  {service}: {len(gapped[service])} ({detail})")
     return _write_trace(args, run)
+
+
+def _stream_argv(args: argparse.Namespace) -> List[str]:
+    """Provenance argv recorded in STREAM.json (resume rebuilds the
+    session from the manifest itself, not from this)."""
+    argv = ["--seed", str(args.seed), "--campaigns", str(args.campaigns),
+            "--faults", args.faults, "--workers", str(args.workers)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    argv.append(args.command)
+    if getattr(args, "epochs", None) is not None:
+        argv += ["--epochs", str(args.epochs)]
+    if getattr(args, "epoch_hours", None) is not None:
+        argv += ["--epoch-hours", str(args.epoch_hours)]
+    if getattr(args, "stream_dir", None) is not None:
+        argv += ["--stream-dir", str(args.stream_dir)]
+    return argv
+
+
+def _telemetry_factory(args: argparse.Namespace):
+    progress = None if args.quiet else stderr_sink
+    return lambda world: Telemetry.create(clock=world.clock,
+                                          progress=progress)
+
+
+def _build_stream_session(args: argparse.Namespace,
+                          stream_dir: Optional[Path]) -> StreamSession:
+    crash = (_parse_crash_at(args.crash_at)
+             if getattr(args, "crash_at", None) is not None else None)
+    epochs = getattr(args, "epochs", None)
+    epoch_hours = getattr(args, "epoch_hours", None)
+    if epochs is None and epoch_hours is None:
+        epochs = 4
+    return StreamSession.create(
+        ScenarioConfig(seed=args.seed, n_campaigns=args.campaigns),
+        epochs=epochs,
+        epoch_hours=epoch_hours,
+        fault_plan=build_fault_plan(args.faults, seed=args.seed),
+        execution=ExecutionPolicy(workers=args.workers,
+                                  cache=not args.no_cache),
+        telemetry_factory=_telemetry_factory(args),
+        stream_dir=stream_dir,
+        crash_at=crash,
+        crash_epoch=getattr(args, "crash_epoch", None),
+        cli={"argv": _stream_argv(args)},
+    )
+
+
+def _print_stream(args: argparse.Namespace,
+                  session: StreamSession) -> int:
+    state = session.state
+    scenario = session.world.config
+    print(f"seed={scenario.seed} campaigns={scenario.n_campaigns} "
+          f"faults={session.fault_profile} "
+          f"workers={session.policy.workers} "
+          f"cache={'on' if session.policy.cache else 'off'} "
+          f"epochs={state.committed_epochs}/{session.scheduler.target} "
+          f"reports={len(state.collection.reports)} "
+          f"records={len(state.dataset)} "
+          f"limitations={len(state.collection.limitations)} "
+          f"gaps={len(state.gaps)}")
+    print()
+    print(session.telemetry.summary())
+    print()
+    print(f"stream fingerprint={state.fingerprint()}")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        try:
+            session.telemetry.write_json(trace_out)
+        except OSError as exc:
+            print(f"repro: error: cannot write trace to {trace_out}: "
+                  f"{exc}", file=sys.stderr)
+            return 1
+        print(f"wrote trace to {trace_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    session = _build_stream_session(args, stream_dir=args.stream_dir)
+    session.run()
+    return _print_stream(args, session)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    session = StreamSession.load(
+        args.stream_dir, telemetry_factory=_telemetry_factory(args))
+    session.ingest(args.epochs)
+    return _print_stream(args, session)
+
+
+def _cmd_stream_resume(args: argparse.Namespace) -> int:
+    session = StreamSession.load(
+        args.stream_dir, telemetry_factory=_telemetry_factory(args))
+    if not args.quiet:
+        pending = session.scheduler.target - session.state.committed_epochs
+        print(f"resuming stream from {args.stream_dir} "
+              f"({pending} epoch(s) pending, "
+              f"{session.policy.describe()})", file=sys.stderr)
+    session.run()
+    return _print_stream(args, session)
 
 
 def _add_run_options(sub: argparse.ArgumentParser) -> None:
@@ -292,14 +410,56 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats", help="run the pipeline and print its telemetry"
     )
+    stats.add_argument("--epochs", type=int, default=None,
+                       help="run an in-memory incremental ingestion over "
+                            "this many epochs instead of one batch run")
+    stats.add_argument("--epoch-hours", type=float, default=None,
+                       help="epoch window width in hours (with --epochs)")
     stats.set_defaults(func=_cmd_stats)
     _add_run_options(stats)
 
-    resume = sub.add_parser(
-        "resume", help="finish a crashed checkpointed run"
+    watch = sub.add_parser(
+        "watch", help="continuous incremental ingestion over epochs"
     )
-    resume.add_argument("--checkpoint-dir", type=Path, required=True,
-                        help="the journal directory of the crashed run")
+    watch.add_argument("--epochs", type=int, default=None,
+                       help="how many epochs to run (default 4, or the "
+                            "full plan when --epoch-hours is given)")
+    watch.add_argument("--epoch-hours", type=float, default=None,
+                       help="epoch window width in hours (default: divide "
+                            "the global window into --epochs equal slices)")
+    watch.add_argument("--stream-dir", type=Path, default=None,
+                       help="persist watermarks, dedup ledger, and merged "
+                            "state here (resumable with `repro resume "
+                            "--stream-dir`)")
+    watch.add_argument("--crash-epoch", type=int, default=None,
+                       help="which epoch --crash-at applies to (default 0)")
+    watch.set_defaults(func=_cmd_watch)
+    _add_run_options(watch)
+
+    ingest = sub.add_parser(
+        "ingest", help="run follow-on epochs against a stream directory"
+    )
+    ingest.add_argument("--stream-dir", type=Path, required=True,
+                        help="an existing stream directory (`repro watch "
+                             "--stream-dir`)")
+    ingest.add_argument("--epochs", type=int, default=1,
+                        help="how many additional epochs to ingest "
+                             "(default 1)")
+    ingest.add_argument("--trace-out", type=Path, default=argparse.SUPPRESS,
+                        help="write the run's trace + metrics JSON here")
+    ingest.add_argument("--quiet", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="suppress stage progress lines on stderr")
+    ingest.set_defaults(func=_cmd_ingest)
+
+    resume = sub.add_parser(
+        "resume", help="finish a crashed checkpointed or stream run"
+    )
+    resume.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="the journal directory of a crashed batch run")
+    resume.add_argument("--stream-dir", type=Path, default=None,
+                        help="the stream directory of a crashed "
+                             "`repro watch` run")
     resume.add_argument("--trace-out", type=Path, default=argparse.SUPPRESS,
                         help="write the resumed run's trace JSON here")
     resume.add_argument("--quiet", action="store_true",
@@ -328,7 +488,33 @@ def _validate_args(args: argparse.Namespace) -> None:
         )
     if getattr(args, "crash_at", None) is not None:
         _parse_crash_at(args.crash_at)
+    if getattr(args, "epochs", None) is not None and args.epochs < 1:
+        raise ConfigurationError(f"--epochs must be >= 1, got {args.epochs}")
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    stream_dir = getattr(args, "stream_dir", None)
+    if args.command == "resume":
+        if (checkpoint_dir is None) == (stream_dir is None):
+            raise ConfigurationError(
+                "resume wants exactly one of --checkpoint-dir (batch "
+                "journal) or --stream-dir (stream session)"
+            )
+    if args.command in ("watch", "ingest") and checkpoint_dir is not None:
+        raise ConfigurationError(
+            f"`repro {args.command}` journals per-epoch under its "
+            f"--stream-dir; --checkpoint-dir does not apply"
+        )
+    if stream_dir is not None:
+        if args.command in ("ingest", "resume"):
+            if not (stream_dir / STREAM_MANIFEST_NAME).is_file():
+                raise ConfigurationError(
+                    f"--stream-dir {stream_dir} has no "
+                    f"{STREAM_MANIFEST_NAME}; start one with `repro watch "
+                    f"--stream-dir {stream_dir}`"
+                )
+        elif not _writable_dir(stream_dir):
+            raise ConfigurationError(
+                f"--stream-dir {stream_dir} is not writable"
+            )
     if checkpoint_dir is None:
         return
     if args.command == "resume":
@@ -364,6 +550,8 @@ def _validate_args(args: argparse.Namespace) -> None:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
+    if getattr(args, "stream_dir", None) is not None:
+        return _cmd_stream_resume(args)
     manifest = RunJournal.read_manifest(args.checkpoint_dir)
     cli = manifest.get("cli") or {}
     argv = cli.get("argv")
@@ -397,8 +585,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     except SimulatedCrash as exc:
         print(f"repro: crashed: {exc}", file=sys.stderr)
+        stream_dir = getattr(args, "stream_dir", None)
         checkpoint_dir = getattr(args, "checkpoint_dir", None)
-        if checkpoint_dir is not None and args.command != "resume":
+        if stream_dir is not None and args.command != "resume":
+            print(f"repro: resume with: repro resume --stream-dir "
+                  f"{stream_dir}", file=sys.stderr)
+        elif checkpoint_dir is not None and args.command != "resume":
             print(f"repro: resume with: repro resume --checkpoint-dir "
                   f"{checkpoint_dir}", file=sys.stderr)
         return 75

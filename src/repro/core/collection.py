@@ -65,6 +65,10 @@ class CollectionLimitation:
     detail: str
     simulated_at: Optional[dt.datetime] = None
     posts_forgone: int = 0
+    #: Which ingestion epoch filed this entry. ``None`` for batch runs;
+    #: :mod:`repro.stream` stamps the epoch index before merging so
+    #: cross-epoch merges stay additive and attributable.
+    epoch: Optional[int] = None
 
 
 @dataclass
@@ -140,19 +144,29 @@ class TwitterCollector:
         windows = self._config.windows
         seen: set = set()
         # Historical sweep runs while the academic API is still alive.
-        self._service.query_time = windows.twitter_realtime_start
-        for keyword in self._config.keywords:
-            posts = self._drain(keyword, windows.twitter_historical_start,
-                                windows.twitter_realtime_start,
-                                realtime=False, result=result)
-            self._ingest(posts, keyword, seen, result)
-        # Real-time collection until the shutdown moment.
-        self._service.query_time = windows.twitter_realtime_start
-        for keyword in self._config.keywords:
-            posts = self._drain(keyword, windows.twitter_realtime_start,
-                                ACADEMIC_API_SHUTDOWN,
-                                realtime=True, result=result)
-            self._ingest(posts, keyword, seen, result)
+        # Empty windows (possible when the stream layer clamps the
+        # timeline to an epoch that misses a phase) skip the sweep
+        # entirely: issuing a zero-width search would still move
+        # query_time and could file a shutdown limitation that a
+        # full-window run never sees.
+        if windows.twitter_historical_start < windows.twitter_realtime_start:
+            self._service.query_time = windows.twitter_realtime_start
+            for keyword in self._config.keywords:
+                posts = self._drain(keyword,
+                                    windows.twitter_historical_start,
+                                    windows.twitter_realtime_start,
+                                    realtime=False, result=result)
+                self._ingest(posts, keyword, seen, result)
+        # Real-time collection until the shutdown moment (or the
+        # configured end of the Twitter window, whichever comes first).
+        realtime_until = min(ACADEMIC_API_SHUTDOWN, windows.twitter_end)
+        if windows.twitter_realtime_start < realtime_until:
+            self._service.query_time = windows.twitter_realtime_start
+            for keyword in self._config.keywords:
+                posts = self._drain(keyword, windows.twitter_realtime_start,
+                                    realtime_until,
+                                    realtime=True, result=result)
+                self._ingest(posts, keyword, seen, result)
         return result
 
     def _drain(self, keyword: str, since: dt.datetime, until: dt.datetime,
@@ -226,6 +240,8 @@ class RedditCollector:
     def collect(self) -> CollectionResult:
         result = CollectionResult()
         windows = self._config.windows
+        if windows.reddit_start >= windows.reddit_end:
+            return result
         seen: set = set()
         for keyword in self._config.keywords:
             try:
@@ -321,6 +337,8 @@ class SmishtankCollector:
     def collect(self) -> CollectionResult:
         result = CollectionResult()
         windows = self._config.windows
+        if windows.smishtank_start >= windows.smishtank_end:
+            return result
         try:
             posts = self._service.list_reports(
                 since=windows.smishtank_start, until=windows.smishtank_end

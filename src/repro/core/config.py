@@ -33,6 +33,14 @@ class PipelineConfig:
     windows: CollectionWindows = field(default_factory=CollectionWindows)
     #: Residual field-miss rate of the vision extractor.
     vision_miss_rate: float = 0.015
+    #: Draw the vision extractor's per-image misses from a stable
+    #: per-image stream instead of one shared positional stream. The
+    #: positional default keeps historical runs byte-identical; the
+    #: stable mode makes each image's extraction independent of how the
+    #: curation batch was sliced, which is what lets the incremental
+    #: ingester (:mod:`repro.stream`) curate epoch-by-epoch and still
+    #: match a single full-window run image-for-image.
+    stable_vision: bool = False
     #: Sample size for the §3.4 annotation evaluation.
     evaluation_sample_size: int = 150
     #: Sample size for the §6 active case study.

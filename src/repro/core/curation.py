@@ -46,6 +46,17 @@ class CurationStats:
     text_mined: int = 0
     timestamp_parse_failures: int = 0
 
+    def merge(self, other: "CurationStats") -> None:
+        """Accumulate another run's counters (epoch merging in
+        :mod:`repro.stream` — every field is additive)."""
+        self.reports_in += other.reports_in
+        self.images_processed += other.images_processed
+        self.images_dismissed += other.images_dismissed
+        self.records_out += other.records_out
+        self.structured_used += other.structured_used
+        self.text_mined += other.text_mined
+        self.timestamp_parse_failures += other.timestamp_parse_failures
+
     def drop_reasons(self) -> dict:
         """Per-reason drop accounting for the observability layer."""
         return {
@@ -61,11 +72,17 @@ class Curator:
     """Builds the curated dataset from collected reports."""
 
     def __init__(self, vision: OpenAiVisionExtractor,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 *, record_id_start: int = 0):
         self._vision = vision
         self._telemetry = ensure_telemetry(telemetry)
-        self._counter = 0
+        self._counter = record_id_start
         self.stats = CurationStats()
+
+    @property
+    def record_counter(self) -> int:
+        """Records issued so far (including any ``record_id_start``)."""
+        return self._counter
 
     def _next_record_id(self) -> str:
         self._counter += 1

@@ -101,6 +101,10 @@ class EnrichmentGap:
     detail: str
     attempts: int = 1
     simulated_at: float = 0.0
+    #: Which ingestion epoch filed this gap. ``None`` for batch runs;
+    #: :mod:`repro.stream` stamps the epoch index before merging so
+    #: cross-epoch merges stay additive and attributable.
+    epoch: Optional[int] = None
 
 
 def _gap_kind(exc: ServiceError) -> str:
@@ -183,7 +187,9 @@ class Enricher:
                  breakers: Optional[Dict[str, CircuitBreaker]] = None,
                  cache: Optional[EnrichmentCache] = None,
                  pool: Optional[WorkerPool] = None,
-                 journal=None):
+                 journal=None,
+                 known_senders: Optional[Set[str]] = None,
+                 known_urls: Optional[Set[str]] = None):
         self._services = services
         self._telemetry = ensure_telemetry(telemetry)
         self._tlds = default_registry()
@@ -203,6 +209,12 @@ class Enricher:
         # duck-typed replay_lookup/record_lookup. None (the default, and
         # every un-checkpointed run) keeps _guarded's hot path intact.
         self._journal = journal
+        # Subjects already fully enriched by earlier stream epochs: the
+        # delta-enrichment skip sets. A known subject is never looked up
+        # again (the stream layer merges its prior enrichment into the
+        # growing state), so re-charging its services is impossible.
+        self._known_senders = known_senders or set()
+        self._known_urls = known_urls or set()
 
     # -- resilience plumbing --------------------------------------------------
 
@@ -348,7 +360,7 @@ class Enricher:
             if record.sender is None:
                 continue
             key = record.sender.normalized
-            if key in unique:
+            if key in unique or key in self._known_senders:
                 continue
             enrichment = SenderEnrichment(normalized=key,
                                           kind=record.sender.kind)
@@ -369,7 +381,7 @@ class Enricher:
             if record.url is None:
                 continue
             key = str(record.url)
-            if key in unique:
+            if key in unique or key in self._known_urls:
                 continue
             unique[key] = self._enrich_one_url(record.url, result)
         result.urls = unique

@@ -189,6 +189,8 @@ def run_pipeline(
                     vision = OpenAiVisionExtractor(
                         derive(world.config.seed, "pipeline-vision"),
                         miss_rate=config.vision_miss_rate,
+                        stable_seed=(world.config.seed
+                                     if config.stable_vision else None),
                     )
                     curator = Curator(vision, telemetry)
                     dataset = curator.curate(collection.reports)

@@ -83,10 +83,15 @@ class _ServiceCounters:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Entries adopted from a prior epoch's persisted cache (see
+    #: :meth:`EnrichmentCache.seed`) — reuse, not work, so kept apart
+    #: from ``stores``.
+    seeded: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "evictions": self.evictions}
+                "stores": self.stores, "evictions": self.evictions,
+                "seeded": self.seeded}
 
 
 class EnrichmentCache:
@@ -201,6 +206,48 @@ class EnrichmentCache:
             self._store(service, subject, entry)
             return entry
 
+    # -- cross-run seeding (repro.stream delta enrichment) --------------------
+
+    def export_entries(self) -> Tuple[Tuple[str, str, CacheEntry], ...]:
+        """Every persistable entry as ``(service, subject, entry)``.
+
+        Only VALUE and NOT_FOUND entries export: both are durable facts
+        about their subject. FAILURE entries never cross a run boundary —
+        a failure says what *this* run's faults did, not what the subject
+        is, and replaying it would poison a later epoch that could have
+        succeeded.
+        """
+        with self._lock:
+            return tuple(
+                (service, subject, entry)
+                for (service, subject), entry in self._entries.items()
+                if entry.kind is not EntryKind.FAILURE
+            )
+
+    def seed(self, entries) -> int:
+        """Adopt prior-epoch entries without counting them as stores.
+
+        Skips FAILURE entries and subjects already present (the current
+        run's own computes win), respects ``max_entries``, and counts
+        each adoption on the per-service ``seeded`` counter. Returns how
+        many entries were adopted.
+        """
+        adopted = 0
+        with self._lock:
+            for service, subject, entry in entries:
+                if entry.kind is EntryKind.FAILURE:
+                    continue
+                key = (service, subject)
+                if key in self._entries:
+                    continue
+                if (self._max_entries is not None
+                        and len(self._entries) >= self._max_entries):
+                    break
+                self._entries[key] = entry
+                self._counter(service).seeded += 1
+                adopted += 1
+        return adopted
+
     # -- introspection --------------------------------------------------------
 
     def __len__(self) -> int:
@@ -240,7 +287,8 @@ class EnrichmentCache:
         totals = {"hits": sum(c["hits"] for c in per_service.values()),
                   "misses": sum(c["misses"] for c in per_service.values()),
                   "stores": sum(c["stores"] for c in per_service.values()),
-                  "evictions": sum(c["evictions"] for c in per_service.values())}
+                  "evictions": sum(c["evictions"] for c in per_service.values()),
+                  "seeded": sum(c["seeded"] for c in per_service.values())}
         total_lookups = totals["hits"] + totals["misses"]
         return {
             "entries": entries,

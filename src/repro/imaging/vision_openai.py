@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from ..errors import ExtractionError
 from ..net.url import extract_urls
+from ..utils.rng import stable_hash
 from .screenshot import ImageKind, Screenshot
 
 #: The extraction prompt of Appendix D.1 (verbatim contract).
@@ -88,6 +89,13 @@ class OpenAiVisionExtractor:
     itself succeeds on every SMS screenshot, matching §3.2 ("we
     successfully extract the text from all the collected SMS-resembling
     images").
+
+    The miss draws come from the shared positional ``rng`` by default,
+    so the outcome for one image depends on how many images were
+    processed before it. Passing ``stable_seed`` switches to one derived
+    generator per image (hashed from the seed and the image id), making
+    each extraction a pure function of the image — required by the
+    incremental ingester, whose epoch slicing reorders the batch.
     """
 
     def __init__(
@@ -96,14 +104,24 @@ class OpenAiVisionExtractor:
         *,
         prompt: str = VISION_PROMPT,
         miss_rate: float = 0.015,
+        stable_seed: Optional[int] = None,
     ):
         if "json" not in prompt.lower():
             raise ExtractionError("vision prompt must request a JSON response")
         self._rng = rng
         self._miss_rate = miss_rate
+        self._stable_seed = stable_seed
         self.prompt = prompt
         self.processed = 0
         self.dismissed = 0
+
+    def _draws_for(self, screenshot: Screenshot) -> random.Random:
+        """The generator feeding one image's miss draws."""
+        if self._stable_seed is None:
+            return self._rng
+        return random.Random(stable_hash(
+            f"vision:{self._stable_seed}:{screenshot.image_id}", 2 ** 62
+        ))
 
     def extract(self, screenshot: Screenshot) -> VisionExtraction:
         """Process one image per the Appendix D.1 contract."""
@@ -112,15 +130,16 @@ class OpenAiVisionExtractor:
             self.dismissed += 1
             return VisionExtraction("", "", "", "", dismissed=True)
 
+        draws = self._draws_for(screenshot)
         text = self._reconstruct_body(screenshot)
         sender = ""
         header = screenshot.header_line
         if header is not None and not screenshot.sender_redacted:
-            if self._rng.random() >= self._miss_rate:
+            if draws.random() >= self._miss_rate:
                 sender = header.text
         timestamp = ""
         ts_line = screenshot.timestamp_line
-        if ts_line is not None and self._rng.random() >= self._miss_rate:
+        if ts_line is not None and draws.random() >= self._miss_rate:
             timestamp = ts_line.text
         url = ""
         if not screenshot.url_redacted:

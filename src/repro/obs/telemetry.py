@@ -52,6 +52,9 @@ class Telemetry:
         #: Final ``session.stats()`` of the checkpoint session, when the
         #: run was checkpointed (record or resume mode).
         self.checkpoint_snapshot: Dict[str, Any] = {}
+        #: Final stream-ingestion stats (epochs, ledger, cache reuse),
+        #: when the run was a :mod:`repro.stream` session.
+        self.stream_snapshot: Dict[str, Any] = {}
 
     # -- constructors ---------------------------------------------------------
 
@@ -154,6 +157,24 @@ class Telemetry:
                     f"checkpoint.{event}", mode=stats["mode"]
                 ).inc(stats[event])
 
+    # -- stream wiring --------------------------------------------------------
+
+    def capture_stream(self, stats: Optional[Dict[str, Any]]) -> None:
+        """Store a stream session's final stats (see
+        :meth:`repro.stream.StreamState.stats`) and mirror the dedup
+        ledger's hit/miss volumes into counters
+        (``stream.ledger_hits`` / ``stream.ledger_misses``).
+        ``stats`` of None (a batch run) is a no-op."""
+        if not self.enabled or stats is None:
+            return
+        self.stream_snapshot = dict(stats)
+        ledger = stats.get("ledger", {})
+        for event in ("hits", "misses"):
+            if ledger.get(event):
+                self.metrics.counter(
+                    f"stream.ledger_{event}"
+                ).inc(ledger[event])
+
     # -- export ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -167,6 +188,7 @@ class Telemetry:
                          for name, snap in self.breaker_snapshots.items()},
             "cache": dict(self.cache_snapshot),
             "checkpoint": dict(self.checkpoint_snapshot),
+            "stream": dict(self.stream_snapshot),
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -309,6 +331,38 @@ class Telemetry:
                       "yes" if snapshot.get("journal_recovered") else "no")
         return table
 
+    def stream_table(self) -> Table:
+        """Per-epoch ingestion accounting for stream sessions."""
+        table = Table(
+            title="Stream",
+            columns=["Epoch", "Window", "Posts", "New reports", "Records",
+                     "Deduped", "Gaps", "Cache reuse"],
+        )
+        snapshot = self.stream_snapshot
+        for epoch in snapshot.get("epochs", []):
+            table.add_row(
+                epoch["index"],
+                epoch.get("window", "-"),
+                epoch.get("posts_seen", 0),
+                epoch.get("new_reports", 0),
+                epoch.get("records", 0),
+                epoch.get("deduped", 0),
+                epoch.get("gaps", 0) + epoch.get("limitations", 0),
+                epoch.get("cache_reuse", 0),
+            )
+        ledger = snapshot.get("ledger", {})
+        table.add_row(
+            "(ledger)",
+            f"hit rate {ledger.get('hit_rate', 0.0):.1%}",
+            None,
+            None,
+            ledger.get("entries", 0),
+            ledger.get("hits", 0),
+            None,
+            snapshot.get("cache_reuse", 0),
+        )
+        return table
+
     def counter_table(self) -> Table:
         """Every non-service counter (collection, curation, drops...)."""
         table = Table(title="Run counters",
@@ -316,7 +370,7 @@ class Telemetry:
         for counter in sorted(self.metrics.counters(),
                               key=lambda c: (c.name, sorted(c.labels.items()))):
             if counter.name.startswith(("service.", "resilience.", "cache.",
-                                        "checkpoint.")):
+                                        "checkpoint.", "stream.")):
                 continue
             labels = ", ".join(f"{k}={v}" for k, v in
                                sorted(counter.labels.items()))
@@ -336,6 +390,8 @@ class Telemetry:
             parts.append(self.cache_table().to_text())
         if self.checkpoint_snapshot:
             parts.append(self.checkpoint_table().to_text())
+        if self.stream_snapshot:
+            parts.append(self.stream_table().to_text())
         parts.append(self.counter_table().to_text())
         return "\n\n".join(parts)
 

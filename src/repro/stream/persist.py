@@ -1,0 +1,78 @@
+"""Crash-safe file writes for the stream layer's durable artefacts.
+
+Every stream artefact — the ``STREAM.json`` session manifest, the
+watermark/ledger JSON, the pickled merged state — is written with the
+same discipline the run journal uses: write to a temp file in the same
+directory, ``fsync`` the file, atomically rename over the target, then
+``fsync`` the directory so the rename itself is durable. A crash at any
+instant leaves either the old artefact or the new one, never a torn
+mixture.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+
+def _fsync_dir(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def atomic_write_json(path: Path, payload: Any) -> None:
+    """Durably replace ``path`` with ``payload`` rendered as JSON."""
+    rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    _atomic_write_bytes(Path(path), rendered.encode("utf-8"))
+
+
+def atomic_write_pickle(path: Path, payload: Any) -> str:
+    """Durably replace ``path`` with pickled ``payload``.
+
+    Returns the payload's SHA-256 hex digest so the caller can bind the
+    pickle to its manifest (a half-written or swapped state file is
+    detected at load time, not silently trusted).
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    _atomic_write_bytes(Path(path), blob)
+    return hashlib.sha256(blob).hexdigest()
+
+
+def read_json(path: Path) -> Any:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def read_pickle(path: Path, *, expected_sha256: str = "") -> Any:
+    """Load a pickled artefact, verifying its digest when one is given."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if expected_sha256:
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != expected_sha256:
+            from ..errors import CheckpointError
+
+            raise CheckpointError(
+                f"stream state file {path} does not match its manifest "
+                f"digest (expected {expected_sha256[:12]}…, got "
+                f"{digest[:12]}…); the stream directory is corrupt"
+            )
+    return pickle.loads(blob)

@@ -1,0 +1,605 @@
+"""The stream session: multi-epoch ingestion over one simulated world.
+
+A :class:`StreamSession` turns the batch pipeline into a resumable
+incremental ingester. One session owns one world, one enrichment-service
+battery, one memo cache, one breaker set, and one telemetry sink; each
+*epoch* then runs the familiar collect → curate → enrich sequence over a
+clamped slice of the collection timeline and folds its products into the
+growing :class:`~repro.stream.state.StreamState`:
+
+* the **epoch plan** (:mod:`repro.stream.epochs`) partitions the global
+  window, so windowed forums contribute each post to exactly one epoch;
+* the **watermark store** (:mod:`repro.stream.watermarks`) drops
+  re-sightings from the cumulative sources and defers future-dated
+  posts to the epoch that owns them;
+* the **dedup ledger** (:mod:`repro.stream.ledger`) removes records
+  whose content a prior epoch already enriched — the duplicate record
+  stays in the dataset but inherits its canonical twin's annotation
+  (rebound to its own record id, exactly the service's echo semantics);
+* **delta enrichment** passes the merged state's url/sender subjects to
+  the :class:`~repro.core.enrichment.Enricher` as known sets and keeps
+  the session-wide cache warm, so epoch N+1 charges only for what epoch
+  N has never answered.
+
+With a ``stream_dir``, every epoch runs under its own
+:class:`~repro.checkpoint.CheckpointSession` (journal + barriers under
+``<stream_dir>/epochs/epoch-NNNN/``) and each commit durably rewrites
+``state.pkl`` + ``STREAM.json``. A crash mid-epoch resumes *that* epoch
+from its journal without disturbing committed ones; a crash between
+epochs resumes from the committed state alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as dt
+import shutil
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from ..checkpoint import MANIFEST_NAME, CheckpointSession
+from ..checkpoint.session import NULL_CHECKPOINT
+from ..checkpoint.state import (
+    BREAKER_PREFIX,
+    CLOCK_KEY,
+    FORUM_METER_PREFIX,
+    METER_PREFIX,
+    PROXY_PREFIX,
+    build_state_registry,
+)
+from ..core.collection import CollectionResult, collect_all
+from ..core.config import PipelineConfig
+from ..core.curation import Curator
+from ..core.enrichment import EnrichedDataset, Enricher
+from ..core.dataset import SmishingDataset
+from ..core.pipeline import _observed_meters, build_enrichment_services
+from ..errors import CheckpointError, ConfigurationError
+from ..exec import ExecutionEngine, ExecutionPolicy
+from ..faults import CrashPoint, FaultPlan, build_fault_plan, inject_faults
+from ..imaging.vision_openai import OpenAiVisionExtractor
+from ..obs import Telemetry, ensure_telemetry
+from ..resilience import CircuitBreaker, RetryPolicy
+from ..types import Forum
+from ..utils.rng import derive
+from ..world.scenario import ScenarioConfig, World, build_world
+from .epochs import EpochScheduler, EpochWindow, clamp_windows, plan_epochs
+from .ledger import DedupLedger
+from .persist import atomic_write_json, atomic_write_pickle, read_json, \
+    read_pickle
+from .state import EpochStats, StreamState
+from .watermarks import WatermarkStore
+
+#: The stream directory's manifest file name.
+STREAM_MANIFEST_NAME = "STREAM.json"
+STREAM_STATE_NAME = "state.pkl"
+STREAM_FORMAT_VERSION = 1
+
+
+def _scenario_to_dict(scenario: ScenarioConfig) -> Dict[str, Any]:
+    payload = dataclasses.asdict(scenario)
+    payload["timeline_start"] = scenario.timeline_start.isoformat()
+    payload["timeline_end"] = scenario.timeline_end.isoformat()
+    return payload
+
+
+def _scenario_from_dict(payload: Dict[str, Any]) -> ScenarioConfig:
+    data = dict(payload)
+    data["timeline_start"] = dt.date.fromisoformat(data["timeline_start"])
+    data["timeline_end"] = dt.date.fromisoformat(data["timeline_end"])
+    return ScenarioConfig(**data)
+
+
+class StreamSession:
+    """One continuous-ingestion run: a world plus its growing state."""
+
+    def __init__(self, world: World, *, scheduler: EpochScheduler,
+                 config: Optional[PipelineConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 execution: Optional[ExecutionPolicy] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 stream_dir: Optional[Path] = None,
+                 crash_at: Optional[tuple] = None,
+                 crash_epoch: Optional[int] = None,
+                 cli: Optional[Dict[str, Any]] = None):
+        self.world = world
+        self.scheduler = scheduler
+        base = config or PipelineConfig()
+        #: Epoch-sliced curation requires per-image vision draws — the
+        #: positional RNG would make an image's extraction depend on how
+        #: many images preceded it across *all* epochs.
+        self.config = replace(base, stable_vision=True)
+        self._survivable = (fault_plan.without_crash_points()
+                            if fault_plan is not None else None)
+        self._crash_at = crash_at
+        self._crash_epoch = crash_epoch if crash_epoch is not None else 0
+        self.policy = execution or ExecutionPolicy()
+        self.telemetry = ensure_telemetry(telemetry)
+        self.telemetry.tracer.bind_clock(world.clock)
+        self.stream_dir = Path(stream_dir) if stream_dir is not None else None
+        self._cli = dict(cli) if cli else {}
+
+        if (self.stream_dir is not None and self._survivable is not None
+                and not self._survivable.is_empty
+                and self._survivable.profile is None):
+            raise ConfigurationError(
+                "a durable stream session needs a *named* fault profile "
+                "(hand-built plans cannot be rebuilt at resume time)"
+            )
+
+        #: Session-wide resources: one service battery (one OpenAI
+        #: endpoint, so annotation memoisation spans epochs), one cache,
+        #: one breaker set. Fault proxies are rebuilt per epoch.
+        self.services = build_enrichment_services(world)
+        self._engine = ExecutionEngine(self.policy)
+        self.cache = self._engine.build_cache()
+        self.breakers: Dict[str, CircuitBreaker] = {}
+
+        self.state = StreamState()
+        self.watermarks = WatermarkStore()
+        self.ledger = DedupLedger()
+        self._cache_seeded = 0
+        self._checkpoint_totals: Dict[str, Any] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, scenario: Optional[ScenarioConfig] = None, *,
+               epochs: Optional[int] = None,
+               epoch_hours: Optional[float] = None,
+               config: Optional[PipelineConfig] = None,
+               fault_plan: Optional[FaultPlan] = None,
+               execution: Optional[ExecutionPolicy] = None,
+               telemetry_factory: Optional[Callable[[World], Telemetry]] = None,
+               stream_dir: Optional[Path] = None,
+               idle_seconds: float = 0.0,
+               crash_at: Optional[tuple] = None,
+               crash_epoch: Optional[int] = None,
+               cli: Optional[Dict[str, Any]] = None) -> "StreamSession":
+        """Start a fresh session (``repro watch``).
+
+        With a ``stream_dir``, the directory must not already hold a
+        stream; the session manifest is persisted immediately so even a
+        crash inside epoch 0 leaves a resumable directory behind.
+        """
+        scenario = scenario or ScenarioConfig()
+        world = build_world(scenario)
+        base = config or PipelineConfig()
+        plan = plan_epochs(base.windows, epochs=epochs,
+                           epoch_hours=epoch_hours)
+        target = epochs if epochs is not None else len(plan)
+        scheduler = EpochScheduler(plan, target=target,
+                                   idle_seconds=idle_seconds)
+        telemetry = (telemetry_factory(world) if telemetry_factory is not None
+                     else None)
+        session = cls(world, scheduler=scheduler, config=base,
+                      fault_plan=fault_plan, execution=execution,
+                      telemetry=telemetry, stream_dir=stream_dir,
+                      crash_at=crash_at, crash_epoch=crash_epoch, cli=cli)
+        if session.stream_dir is not None:
+            manifest = session.stream_dir / STREAM_MANIFEST_NAME
+            if manifest.exists():
+                raise ConfigurationError(
+                    f"{session.stream_dir} already holds a stream session; "
+                    f"continue it with `repro resume --stream-dir "
+                    f"{session.stream_dir}` or `repro ingest`"
+                )
+            session.stream_dir.mkdir(parents=True, exist_ok=True)
+            session._persist_manifest(state_ref=None)
+        return session
+
+    @classmethod
+    def load(cls, stream_dir: Path, *,
+             telemetry_factory: Optional[Callable[[World], Telemetry]] = None,
+             crash_at: Optional[tuple] = None,
+             crash_epoch: Optional[int] = None) -> "StreamSession":
+        """Reopen a durable session (``repro resume`` / ``repro ingest``).
+
+        Rebuilds the world from the persisted scenario, reloads the
+        merged state, watermarks, and ledger, seeds the enrichment cache
+        from the prior epochs' exported entries, and restores the
+        registry state (clock, meters, breakers) captured at the last
+        commit — fault-proxy counters excepted, since proxies are
+        rebuilt fresh for every epoch.
+        """
+        stream_dir = Path(stream_dir)
+        manifest_path = stream_dir / STREAM_MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ConfigurationError(
+                f"{stream_dir} holds no {STREAM_MANIFEST_NAME}; nothing "
+                f"to resume"
+            )
+        manifest = read_json(manifest_path)
+        if manifest.get("version") != STREAM_FORMAT_VERSION:
+            raise CheckpointError(
+                f"stream manifest version {manifest.get('version')!r} is "
+                f"not supported (want {STREAM_FORMAT_VERSION})"
+            )
+        scenario = _scenario_from_dict(manifest["scenario"])
+        world = build_world(scenario)
+        faults = manifest.get("faults") or {}
+        fault_plan = None
+        if faults.get("profile"):
+            fault_plan = build_fault_plan(faults["profile"],
+                                          seed=int(faults["seed"]))
+        execution = ExecutionPolicy(**manifest["execution"])
+        plan = [EpochWindow(index=i,
+                            start=dt.datetime.fromisoformat(start),
+                            end=dt.datetime.fromisoformat(end))
+                for i, (start, end) in enumerate(manifest["plan"])]
+        scheduler = EpochScheduler(plan, target=int(manifest["target_epochs"]),
+                                   idle_seconds=float(
+                                       manifest.get("idle_seconds", 0.0)))
+        telemetry = (telemetry_factory(world) if telemetry_factory is not None
+                     else None)
+        session = cls(world, scheduler=scheduler,
+                      fault_plan=fault_plan, execution=execution,
+                      telemetry=telemetry, stream_dir=stream_dir,
+                      crash_at=crash_at, crash_epoch=crash_epoch,
+                      cli=manifest.get("cli") or {})
+        if manifest.get("state_file"):
+            payload = read_pickle(
+                stream_dir / manifest["state_file"],
+                expected_sha256=manifest.get("state_sha256", ""),
+            )
+            session.state = StreamState.from_payload(payload)
+            if session.cache is not None:
+                session._cache_seeded = session.cache.seed(
+                    payload.get("cache_entries", ()))
+            session._restore_registry_state(
+                payload.get("registry_state", {}))
+        session.watermarks = WatermarkStore.from_dict(
+            manifest.get("watermarks", {}))
+        session.ledger = DedupLedger.from_dict(manifest.get("ledger", {}))
+        return session
+
+    def _restore_registry_state(self, state: Dict[str, Dict[str, Any]]) -> None:
+        """Put the last commit's clock/meter/breaker state back.
+
+        ``proxy:`` keys are dropped: fault proxies are per-epoch objects
+        whose call counters start at zero each epoch, exactly as they do
+        in an uninterrupted in-process session.
+        """
+        meters = self.services.meters()
+        for key, value in state.items():
+            if key == CLOCK_KEY:
+                self.world.clock.restore_state(value)
+            elif key.startswith(METER_PREFIX):
+                meters[key[len(METER_PREFIX):]].restore_state(value)
+            elif key.startswith(FORUM_METER_PREFIX):
+                forum = Forum(key[len(FORUM_METER_PREFIX):])
+                self.world.forums[forum].meter.restore_state(value)
+            elif key.startswith(BREAKER_PREFIX):
+                name = key[len(BREAKER_PREFIX):]
+                breaker = CircuitBreaker(
+                    name, self.world.clock,
+                    observer=self.telemetry.breaker_hook(),
+                )
+                breaker.restore_state(value)
+                self.breakers[name] = breaker
+            elif key.startswith(PROXY_PREFIX):
+                continue
+            else:
+                raise CheckpointError(
+                    f"stream state carries unknown registry key {key!r}")
+
+    # -- the epoch loop -------------------------------------------------------
+
+    def run(self) -> StreamState:
+        """Run every pending epoch up to the scheduler's target."""
+        meters = ([f.meter for f in self.world.forums.values()]
+                  + list(self.services.meters().values()))
+        try:
+            with self._engine, _observed_meters(self.telemetry, meters):
+                for epoch in self.scheduler.pending(
+                        self.state.committed_epochs):
+                    if epoch.index > 0 and self.scheduler.idle_seconds:
+                        self.world.clock.advance(self.scheduler.idle_seconds)
+                    self._run_epoch(epoch)
+        finally:
+            self._finalise_telemetry()
+        return self.state
+
+    def ingest(self, epochs: int = 1) -> StreamState:
+        """Run ``epochs`` additional epochs beyond the current target.
+
+        The raised target is persisted *before* the new epoch starts, so
+        a crash mid-ingest resumes into the new epoch rather than
+        concluding there is nothing left to do.
+        """
+        if self.state.committed_epochs < self.scheduler.target:
+            raise ConfigurationError(
+                f"cannot ingest: {self.scheduler.target - self.state.committed_epochs} "
+                f"planned epoch(s) still pending — run `repro resume` first"
+            )
+        self.scheduler.extend(epochs)
+        if self.stream_dir is not None:
+            self._persist_manifest(state_ref=self._last_state_ref)
+        return self.run()
+
+    def _run_epoch(self, epoch: EpochWindow) -> None:
+        config = self._epoch_config(epoch)
+        plan = self._plan_for_epoch(epoch)
+        services, forums = self.services, self.world.forums
+        if plan is not None and not plan.is_empty:
+            services, forums = inject_faults(self.services, self.world.forums,
+                                             plan, clock=self.world.clock)
+        checkpoint = self._open_epoch_checkpoint(epoch)
+        enricher = Enricher(
+            services, self.telemetry,
+            retry_policy=RetryPolicy(seed=self.world.config.seed),
+            breakers=self.breakers,
+            cache=self.cache,
+            pool=self._engine.enrichment_pool(),
+            journal=checkpoint.enrichment_journal(),
+            known_senders=set(self.state.senders),
+            known_urls=set(self.state.urls),
+        )
+        registry = build_state_registry(self.world, services, forums,
+                                        enricher)
+        charged_before = self._charged_now()
+        try:
+            if checkpoint.active:
+                checkpoint.bind(registry=registry, scenario=self.world.config,
+                                config=config, fault_plan=plan,
+                                policy=self.policy)
+                # The epoch-start barrier pins the pre-epoch cumulative
+                # state (clock, meters, breakers); resuming this epoch
+                # restores it before replaying anything.
+                if checkpoint.restore_stage("epoch-start") is None:
+                    checkpoint.stage_barrier("epoch-start",
+                                             {"epoch": epoch.index})
+            with self.telemetry.tracer.span(
+                "stream/epoch", epoch=epoch.index, window=epoch.label,
+            ) as span:
+                collection = checkpoint.restore_stage("collection")
+                if collection is None:
+                    collection = collect_all(
+                        forums, config, self.telemetry,
+                        pool=self._engine.collection_pool(
+                            plan, [f.value for f in forums]),
+                    )
+                    checkpoint.stage_barrier("collection", collection)
+                filtered = self.watermarks.filter_epoch(collection, epoch)
+                restored = checkpoint.restore_stage("curation")
+                if restored is None:
+                    vision = OpenAiVisionExtractor(
+                        derive(self.world.config.seed, "pipeline-vision"),
+                        miss_rate=config.vision_miss_rate,
+                        stable_seed=self.world.config.seed,
+                    )
+                    curator = Curator(
+                        vision, self.telemetry,
+                        record_id_start=self.state.next_record_index)
+                    dataset = curator.curate(filtered.result.reports)
+                    curation_stats = curator.stats
+                    next_index = curator.record_counter
+                    checkpoint.stage_barrier(
+                        "curation", (dataset, curation_stats, next_index))
+                else:
+                    dataset, curation_stats, next_index = restored
+                division = self.ledger.divide(dataset)
+                delta = SmishingDataset(division.delta)
+                cache_reuse = self._cache_reuse(delta)
+                checkpoint.begin_enrichment()
+                enriched = enricher.run(delta)
+                span.set(reports=len(filtered.result.reports),
+                         records=len(dataset), deduped=len(division.duplicate_of),
+                         gaps=len(enriched.gaps))
+            checkpoint.complete()
+            self._commit_epoch(
+                epoch=epoch, collection=collection, filtered=filtered,
+                dataset=dataset, curation_stats=curation_stats,
+                next_index=next_index, division=division, enriched=enriched,
+                registry=registry, cache_reuse=cache_reuse,
+                charged_before=charged_before,
+            )
+        finally:
+            if checkpoint.active:
+                self._accumulate_checkpoint(checkpoint.stats())
+            checkpoint.close()
+
+    def _commit_epoch(self, *, epoch, collection, filtered, dataset,
+                      curation_stats, next_index, division, enriched,
+                      registry, cache_reuse, charged_before) -> None:
+        """Fold one finished epoch into the state and make it durable."""
+        kept = filtered.result
+        kept.limitations = [replace(l, epoch=epoch.index)
+                            for l in kept.limitations]
+        enriched.gaps = [replace(g, epoch=epoch.index)
+                         for g in enriched.gaps]
+        annotations = dict(enriched.annotations)
+        raw = dict(enriched.raw_annotations)
+        # Duplicates inherit their canonical twin's annotation, rebound
+        # to their own record id — byte-for-byte what the annotation
+        # service itself does for a repeated text (it echoes the id and
+        # is otherwise pure in the text).
+        lookup = {**self.state.raw_annotations, **raw}
+        for dup_id, canon_id in division.duplicate_of.items():
+            canonical = lookup.get(canon_id)
+            if canonical is None:  # canonical's annotation gapped
+                continue
+            rebound = dataclasses.replace(canonical, message_id=dup_id)
+            raw[dup_id] = rebound
+            annotations[dup_id] = rebound.labels
+        charged_after = self._charged_now()
+        stats = EpochStats(
+            index=epoch.index,
+            window=epoch.label,
+            start=epoch.start.isoformat(),
+            end=epoch.end.isoformat(),
+            posts_seen=collection.posts_seen,
+            collected=len(collection.reports),
+            new_reports=len(kept.reports),
+            seen_dropped=filtered.seen_dropped,
+            deferred=filtered.deferred,
+            records=len(dataset),
+            deduped=len(division.duplicate_of),
+            delta_records=len(division.delta),
+            gaps=len(enriched.gaps),
+            limitations=len(kept.limitations),
+            cache_reuse=cache_reuse,
+            ledger_hits=len(division.duplicate_of),
+            ledger_misses=len(division.delta),
+            charged={name: charged_after[name] - charged_before.get(name, 0)
+                     for name in charged_after},
+        )
+        self.state.merge_epoch(
+            stats=stats, collection=kept, dataset=dataset,
+            curation_stats=curation_stats, enriched=enriched,
+            annotations=annotations, raw_annotations=raw,
+            next_record_index=next_index,
+        )
+        self.watermarks.commit(filtered, epoch)
+        self.ledger.commit(division.new_hashes)
+        if self.stream_dir is not None:
+            self._persist(registry)
+
+    # -- per-epoch helpers ----------------------------------------------------
+
+    def _epoch_config(self, epoch: EpochWindow) -> PipelineConfig:
+        return replace(self.config,
+                       windows=clamp_windows(self.config.windows,
+                                             epoch.start, epoch.end))
+
+    def _plan_for_epoch(self, epoch: EpochWindow) -> Optional[FaultPlan]:
+        plan = self._survivable
+        if self._crash_at is not None and epoch.index == self._crash_epoch:
+            service, at_call = self._crash_at
+            base = plan if plan is not None else FaultPlan(
+                seed=self.world.config.seed)
+            plan = base.extended(CrashPoint(service, at_call))
+        return plan
+
+    def _open_epoch_checkpoint(self, epoch: EpochWindow):
+        if self.stream_dir is None:
+            return NULL_CHECKPOINT
+        epoch_dir = self.stream_dir / "epochs" / f"epoch-{epoch.index:04d}"
+        if (epoch_dir / MANIFEST_NAME).is_file():
+            return CheckpointSession.resume(epoch_dir)
+        if epoch_dir.exists():
+            # A directory without a manifest died before its first
+            # barrier; nothing in it is durable, so start clean.
+            shutil.rmtree(epoch_dir)
+        epoch_dir.mkdir(parents=True, exist_ok=True)
+        return CheckpointSession.record(epoch_dir)
+
+    def _charged_now(self) -> Dict[str, int]:
+        return {name: int(meter.snapshot()["used"])
+                for name, meter in self.services.meters().items()}
+
+    def _cache_reuse(self, delta: SmishingDataset) -> int:
+        """Delta subjects already answered by a prior epoch's entries."""
+        if self.cache is None:
+            return 0
+        texts = {record.text for record in delta}
+        urls = {str(record.url) for record in delta if record.url}
+        return (
+            sum(1 for text in texts
+                if self.cache.peek("openai", text) is not None)
+            + sum(1 for url in urls
+                  if self.cache.peek("virustotal", url) is not None)
+        )
+
+    def _accumulate_checkpoint(self, stats: Dict[str, Any]) -> None:
+        totals = self._checkpoint_totals
+        if not totals:
+            totals.update({"mode": stats["mode"], "stages_restored": [],
+                           "barriers_written": 0, "lookups_replayed": 0,
+                           "lookups_recorded": 0, "journal_writes": 0,
+                           "journal_recovered": False})
+        totals["mode"] = stats["mode"]
+        totals["stages_restored"].extend(stats["stages_restored"])
+        for key in ("barriers_written", "lookups_replayed",
+                    "lookups_recorded", "journal_writes"):
+            totals[key] += stats[key]
+        totals["journal_recovered"] = (totals["journal_recovered"]
+                                       or stats["journal_recovered"])
+
+    # -- persistence ----------------------------------------------------------
+
+    @property
+    def _last_state_ref(self) -> Optional[Dict[str, str]]:
+        if self.stream_dir is None:
+            return None
+        manifest_path = self.stream_dir / STREAM_MANIFEST_NAME
+        if not manifest_path.is_file():
+            return None
+        manifest = read_json(manifest_path)
+        if not manifest.get("state_file"):
+            return None
+        return {"state_file": manifest["state_file"],
+                "state_sha256": manifest.get("state_sha256", "")}
+
+    def _persist(self, registry) -> None:
+        registry_state = {key: value
+                          for key, value in registry.capture().items()
+                          if not key.startswith(PROXY_PREFIX)}
+        payload = self.state.to_payload()
+        payload["cache_entries"] = (self.cache.export_entries()
+                                    if self.cache is not None else ())
+        payload["registry_state"] = registry_state
+        digest = atomic_write_pickle(self.stream_dir / STREAM_STATE_NAME,
+                                     payload)
+        self._persist_manifest(state_ref={"state_file": STREAM_STATE_NAME,
+                                          "state_sha256": digest})
+
+    def _persist_manifest(self, *, state_ref: Optional[Dict[str, str]]) -> None:
+        faults = {"profile": (self._survivable.profile
+                              if self._survivable is not None else None),
+                  "seed": (self._survivable.seed
+                           if self._survivable is not None
+                           else self.world.config.seed)}
+        manifest: Dict[str, Any] = {
+            "version": STREAM_FORMAT_VERSION,
+            "scenario": _scenario_to_dict(self.world.config),
+            "faults": faults,
+            "execution": {"workers": self.policy.workers,
+                          "cache": self.policy.cache,
+                          "cache_max_entries": self.policy.cache_max_entries},
+            "plan": [[w.start.isoformat(), w.end.isoformat()]
+                     for w in self.scheduler.plan],
+            "idle_seconds": self.scheduler.idle_seconds,
+            "target_epochs": self.scheduler.target,
+            "committed": self.state.committed_epochs,
+            "next_record_index": self.state.next_record_index,
+            "watermarks": self.watermarks.to_dict(),
+            "ledger": self.ledger.to_dict(),
+            "epoch_stats": [stats.to_dict()
+                            for stats in self.state.epoch_stats],
+            "state_file": state_ref["state_file"] if state_ref else None,
+            "state_sha256": state_ref["state_sha256"] if state_ref else None,
+            "cli": self._cli,
+        }
+        atomic_write_json(self.stream_dir / STREAM_MANIFEST_NAME, manifest)
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def fault_profile(self) -> str:
+        """The named chaos profile this session runs under."""
+        if self._survivable is None or self._survivable.is_empty:
+            return "none"
+        return self._survivable.profile or "custom"
+
+    def stats(self) -> Dict[str, Any]:
+        return self.state.stats(
+            target_epochs=self.scheduler.target,
+            ledger_stats=self.ledger.stats(),
+            watermark_stats=self.watermarks.stats(),
+            cache_seeded=self._cache_seeded,
+        )
+
+    def _finalise_telemetry(self) -> None:
+        for breaker in self.breakers.values():
+            self.telemetry.capture_breaker(breaker)
+        if self.cache is not None:
+            self.telemetry.capture_cache(self.cache)
+        if self._checkpoint_totals:
+            self.telemetry.capture_checkpoint(dict(self._checkpoint_totals))
+        self.telemetry.capture_stream(self.stats())
+
+    def as_pipeline_run(self):
+        """The merged state viewed as a batch-style run (for reports)."""
+        return self.state.as_pipeline_run(self.world, self.config,
+                                          self.telemetry)

@@ -22,7 +22,15 @@ from repro.sms.gsm import (
 )
 from repro.sms.senderid import normalize_phone, try_classify_sender_id
 from repro.core.anonymize import scrub_text
-from repro.core.dataset import normalise_message_key
+from repro.core.collection import CollectionResult, RawReport
+from repro.core.dataset import SmishingRecord, normalise_message_key
+from repro.stream import (
+    DedupLedger,
+    EpochWindow,
+    WatermarkStore,
+    content_hash,
+)
+from repro.types import Forum
 from repro.utils.rng import WeightedSampler, partition_count, stable_hash
 from repro.utils.stats import cohens_kappa, ks_two_sample, median
 
@@ -291,3 +299,138 @@ class TestDatasetKeyProperties:
         # mappings (Turkish dotless i) are out of scope for dedup keys.
         assert normalise_message_key(text.upper()) == \
             normalise_message_key(text.lower())
+
+
+class TestStreamWatermarkProperties:
+    """Re-presenting already-ingested material must be a no-op."""
+
+    reports = st.lists(
+        st.tuples(
+            st.sampled_from(list(Forum)),
+            st.from_regex(r"p[0-9]{1,4}", fullmatch=True),
+            st.integers(min_value=0, max_value=120),  # days into window
+        ),
+        min_size=1, max_size=40,
+    )
+
+    @staticmethod
+    def _collection(entries):
+        # A post id names one post: re-sightings of the same (forum, id)
+        # must carry the same timestamp, as real collectors guarantee.
+        base = dt.datetime(2020, 1, 1)
+        canonical_days = {}
+        for forum, pid, days in entries:
+            canonical_days.setdefault((forum, pid), days)
+        result = CollectionResult()
+        result.reports = [
+            RawReport(forum=forum, post_id=pid, author="u",
+                      posted_at=base + dt.timedelta(
+                          days=canonical_days[(forum, pid)]),
+                      body=f"report {pid}")
+            for forum, pid, _ in entries
+        ]
+        return result
+
+    @given(reports)
+    @settings(max_examples=40, deadline=None)
+    def test_unchanged_watermark_reingest_is_noop(self, entries):
+        epoch = EpochWindow(index=0, start=dt.datetime(2020, 1, 1),
+                            end=dt.datetime(2020, 3, 1))
+        store = WatermarkStore()
+        collection = self._collection(entries)
+        first = store.filter_epoch(collection, epoch)
+        store.commit(first, epoch)
+        before = store.to_dict()
+
+        again = store.filter_epoch(collection, epoch)
+        assert again.result.reports == []
+        # Every previously-kept report now reads as seen, and so do the
+        # within-collection duplicates that were dropped the first time.
+        assert again.seen_dropped == (len(first.result.reports)
+                                      + first.seen_dropped)
+        assert again.deferred == first.deferred
+        # And committing the empty re-ingest changes nothing durable.
+        store.commit(again, epoch)
+        assert store.to_dict() == before
+
+    @given(reports)
+    @settings(max_examples=40, deadline=None)
+    def test_filter_never_duplicates_a_post_id(self, entries):
+        epoch = EpochWindow(index=0, start=dt.datetime(2020, 1, 1),
+                            end=dt.datetime(2020, 3, 1))
+        store = WatermarkStore()
+        filtered = store.filter_epoch(self._collection(entries), epoch)
+        keyed = [(r.forum, r.post_id) for r in filtered.result.reports]
+        assert len(keyed) == len(set(keyed))
+
+
+class TestStreamLedgerProperties:
+    """The dedup division's *content* is order-insensitive: however the
+    forums interleave their records, the same delta contents come out."""
+
+    texts = st.lists(
+        st.sampled_from(["msg alpha", "msg beta", "msg gamma",
+                         "msg ALPHA", "msg  beta", "msg delta"]),
+        min_size=1, max_size=25,
+    )
+
+    @staticmethod
+    def _records(texts):
+        forums = list(Forum)
+        return [
+            SmishingRecord(record_id=f"r{i:07d}",
+                           forum=forums[i % len(forums)],
+                           source_post_id=f"p{i}", text=text)
+            for i, text in enumerate(texts)
+        ]
+
+    @given(texts, st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_division_content_is_permutation_invariant(self, texts, rng):
+        records = self._records(texts)
+        shuffled = list(records)
+        rng.shuffle(shuffled)
+
+        base = DedupLedger().divide(records)
+        other = DedupLedger().divide(shuffled)
+
+        hashes = lambda division: {content_hash(r) for r in division.delta}
+        assert hashes(base) == hashes(other)
+        assert len(base.delta) == len(other.delta)
+        assert len(base.duplicate_of) == len(other.duplicate_of)
+        # Every duplicate points at a record carrying the same content.
+        by_id = {r.record_id: r for r in records}
+        for division in (base, other):
+            for dup_id, canon_id in division.duplicate_of.items():
+                assert content_hash(by_id[dup_id]) \
+                    == content_hash(by_id[canon_id])
+
+    @given(texts)
+    @settings(max_examples=40, deadline=None)
+    def test_commit_then_divide_finds_every_prior_sighting(self, texts):
+        records = self._records(texts)
+        ledger = DedupLedger()
+        ledger.commit(ledger.divide(records).new_hashes)
+        replay = ledger.divide(records)
+        assert replay.delta == []
+        assert set(replay.duplicate_of) == {r.record_id for r in records}
+
+
+class TestStreamSessionNoopProperty:
+    def test_rerun_of_caught_up_session_charges_nothing(self):
+        """`run()` on a session with no pending epochs is a no-op:
+        identical fingerprint, zero new charged calls on any service."""
+        from repro.stream import StreamSession
+        from repro.world.scenario import ScenarioConfig
+
+        session = StreamSession.create(
+            ScenarioConfig(seed=13, n_campaigns=4), epochs=2)
+        first = session.run().fingerprint()
+        charged = {name: meter.snapshot()["used"]
+                   for name, meter in session.services.meters().items()}
+
+        second = session.run().fingerprint()
+        recharged = {name: meter.snapshot()["used"]
+                     for name, meter in session.services.meters().items()}
+        assert second == first
+        assert recharged == charged

@@ -35,6 +35,8 @@ CASES = {
                                  "--quiet", "--workers", "4", "stats"],
     "stats_seed7_nocache.txt": ["--seed", "7", "--campaigns", "10",
                                 "--quiet", "--no-cache", "stats"],
+    "stats_seed7_epochs3.txt": ["--seed", "7", "--campaigns", "10",
+                                "--quiet", "stats", "--epochs", "3"],
 }
 
 
@@ -128,3 +130,17 @@ def test_goldens_cover_cache_and_resilience_tables():
     # the golden twins are themselves an equivalence check.
     parallel = (GOLDEN_DIR / "stats_seed7_workers4.txt").read_text()
     assert parallel == cached.replace("workers=1", "workers=4")
+
+
+def test_stream_golden_covers_the_epoch_table():
+    """`repro stats --epochs 3` pins the Stream/Epoch surface: one row
+    per epoch, the ledger summary line, and the stream fingerprint."""
+    streamed = (GOLDEN_DIR / "stats_seed7_epochs3.txt").read_text()
+    assert "epochs=3" in streamed.splitlines()[0]
+    assert "Stream" in streamed
+    assert "(ledger)" in streamed
+    assert "stream/epoch" in streamed  # per-epoch spans in the stage table
+    for epoch_index in ("0", "1", "2"):
+        assert any(line.strip().startswith(epoch_index)
+                   for line in streamed.splitlines()), (
+            f"no Stream-table row for epoch {epoch_index}")
