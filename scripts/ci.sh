@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, a coverage gate, an observability smoke test,
-# a chaos smoke test, a parallel-execution smoke test, and a
-# crash-resume smoke test.
+# a chaos smoke test, a parallel-execution smoke test, a crash-resume
+# smoke test, a Chrome trace-export smoke test, and a perf-gate smoke
+# test.
 #
 # Usage: scripts/ci.sh
 # The coverage gate (scripts/coverage_gate.py) fails the build when
@@ -143,4 +144,56 @@ if [ "$clean_fp" != "$resumed_fp" ]; then
   exit 1
 fi
 echo "watch ok: crash/resume stream fingerprint matches the clean 2-epoch run"
+
+echo "== trace-export smoke test (--trace-format chrome) =="
+chrome_trace="$(mktemp -t repro-chrome-XXXXXX.json)"
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$chrome_trace"' EXIT
+python -m repro stats --seed 7 --quiet \
+  --trace-out "$chrome_trace" --trace-format chrome > /dev/null
+python - "$chrome_trace" <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "chrome trace carries no complete (ph=X) events"
+required = {"name", "cat", "ph", "pid", "tid", "ts", "dur", "args"}
+for event in spans:
+    missing = required - set(event)
+    assert not missing, f"event {event.get('name')} missing {sorted(missing)}"
+    assert isinstance(event["ts"], (int, float)), "ts must be numeric (us)"
+    assert isinstance(event["dur"], (int, float)), "dur must be numeric (us)"
+names = {e["name"] for e in spans}
+assert "pipeline" in names and "enrich" in names, sorted(names)
+assert doc.get("displayTimeUnit") == "ms", "missing displayTimeUnit"
+print(f"trace-export ok: {len(spans)} chrome events, fields validated")
+PY
+
+echo "== perf-gate smoke test (baseline pin + tampered baseline) =="
+perf_dir="$(mktemp -d -t repro-perf-XXXXXX)"
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$chrome_trace" "$perf_dir"' EXIT
+python -m repro stats --seed 7 --quiet --history-dir "$perf_dir" > /dev/null
+python scripts/perf_gate.py --history-dir "$perf_dir" \
+  --baseline "$perf_dir/BASELINE.json" --update-baseline > /dev/null
+python -m repro stats --seed 7 --quiet --history-dir "$perf_dir" > /dev/null
+python scripts/perf_gate.py --history-dir "$perf_dir" \
+  --baseline "$perf_dir/BASELINE.json" --max-slowdown 100.0
+python - "$perf_dir/BASELINE.json" <<'PY'
+import json, sys
+
+path = sys.argv[1]
+baseline = json.load(open(path))
+baseline["charged"] = {name: 0 for name in baseline["charged"]}
+baseline["charged_total"] = 0
+json.dump(baseline, open(path, "w"), sort_keys=True)
+PY
+gate_rc=0
+python scripts/perf_gate.py --history-dir "$perf_dir" \
+  --baseline "$perf_dir/BASELINE.json" --max-slowdown 100.0 \
+  > /dev/null || gate_rc=$?
+if [ "$gate_rc" -ne 1 ]; then
+  echo "perf-gate FAILED: tampered baseline should exit 1, got $gate_rc" >&2
+  exit 1
+fi
+echo "perf-gate ok: clean baseline passes, tampered baseline fails"
 echo "ci ok"

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Perf regression gate: judge a run against a pinned baseline.
+
+Compares the newest record in a run-history directory (``--history-dir``,
+written by ``repro ... --history-dir DIR``) — or an explicit record file
+(``--current``) — against a baseline artifact, and exits non-zero when
+the run regressed:
+
+* a stage's cumulative wall time grew beyond ``--max-slowdown`` (and the
+  ``--min-wall-floor`` absolute floor, so microsecond stages can't trip
+  the ratio),
+* charged service calls increased beyond ``--max-charged-increase``
+  (default 0: the simulators are deterministic, any growth is a real
+  behaviour change),
+* the enrichment-cache hit rate dropped more than ``--max-hit-rate-drop``,
+* or the config digests differ (the runs aren't comparable; re-baseline
+  or pass ``--allow-config-drift``).
+
+Typical CI flow::
+
+    python -m repro stats --quiet --history-dir perf/
+    python scripts/perf_gate.py --history-dir perf/ --baseline perf/BASELINE.json
+    # first run: pin the baseline instead of comparing
+    python scripts/perf_gate.py --history-dir perf/ --baseline perf/BASELINE.json --update-baseline
+
+Exit codes: 0 gate passed (or baseline written), 1 regression findings,
+2 usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.history import (  # noqa: E402
+    GateThresholds,
+    RunHistory,
+    compare_runs,
+)
+
+
+def _load_record(path: Path) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"perf_gate: cannot read record {path}: {exc}")
+    if not isinstance(record, dict):
+        raise SystemExit(f"perf_gate: {path} is not a run record object")
+    return record
+
+
+def _current_record(args: argparse.Namespace) -> dict:
+    if args.current is not None:
+        return _load_record(args.current)
+    latest = RunHistory(args.history_dir).latest()
+    if latest is None:
+        raise SystemExit(
+            f"perf_gate: no run history under {args.history_dir}; "
+            f"record one with `repro ... --history-dir {args.history_dir}`"
+        )
+    return latest
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_gate",
+        description="fail CI when the latest run regressed vs a baseline",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--history-dir", type=Path,
+                        help="run-history directory; the newest RUNS.jsonl "
+                             "record is the run under judgement")
+    source.add_argument("--current", type=Path,
+                        help="explicit run-record JSON file to judge")
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="baseline run-record JSON artifact")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the current record as the new baseline "
+                             "and exit 0 (no comparison)")
+    parser.add_argument("--max-slowdown", type=float, default=1.50,
+                        help="max allowed per-stage wall-time growth factor "
+                             "(default 1.50)")
+    parser.add_argument("--min-wall-floor", type=float, default=0.05,
+                        help="ignore stages under this many seconds "
+                             "(default 0.05)")
+    parser.add_argument("--max-charged-increase", type=int, default=0,
+                        help="allowed growth in charged service calls "
+                             "(default 0)")
+    parser.add_argument("--max-hit-rate-drop", type=float, default=0.05,
+                        help="allowed absolute cache hit-rate drop "
+                             "(default 0.05)")
+    parser.add_argument("--allow-config-drift", action="store_true",
+                        help="compare even when config digests differ")
+    args = parser.parse_args(argv)
+
+    current = _current_record(args)
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"perf_gate: baseline pinned to run "
+              f"{current.get('sequence')} ({args.baseline})")
+        return 0
+
+    if not args.baseline.is_file():
+        raise SystemExit(
+            f"perf_gate: no baseline at {args.baseline}; pin one with "
+            f"--update-baseline"
+        )
+    baseline = _load_record(args.baseline)
+
+    thresholds = GateThresholds(
+        max_slowdown=args.max_slowdown,
+        min_wall_floor=args.min_wall_floor,
+        max_charged_increase=args.max_charged_increase,
+        max_hit_rate_drop=args.max_hit_rate_drop,
+    )
+    findings = compare_runs(current, baseline, thresholds,
+                            check_config=not args.allow_config_drift)
+    label = (f"run {current.get('sequence')} vs baseline run "
+             f"{baseline.get('sequence')}")
+    if findings:
+        print(f"perf_gate: FAILED ({label}): "
+              f"{len(findings)} regression finding(s)")
+        for finding in findings:
+            print(f"  - {finding}")
+        return 1
+    print(f"perf_gate: ok ({label}): no regressions "
+          f"(wall {current.get('wall_seconds', 0.0):.3f}s, "
+          f"charged {current.get('charged_total', 0)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

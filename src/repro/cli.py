@@ -20,10 +20,20 @@ Commands mirror the library's main workflows:
   journal, ``--stream-dir`` for a stream session.
 
 Every command accepts ``--trace-out PATH`` to dump the run's full trace
-and metrics as JSON, and emits stage-level progress lines on stderr
-(suppress with ``--quiet``) so long runs are not mute. Pass
-``--checkpoint-dir DIR`` to journal the run for crash recovery (and
-``--crash-at SERVICE:INDEX`` to inject a hard crash for testing it).
+and metrics as JSON (``--trace-format chrome`` writes Chrome
+trace-event JSON instead, openable in Perfetto), and emits stage-level
+progress lines on stderr (suppress with ``--quiet``) so long runs are
+not mute. Pass ``--checkpoint-dir DIR`` to journal the run for crash
+recovery (and ``--crash-at SERVICE:INDEX`` to inject a hard crash for
+testing it).
+
+The performance observatory rides on two more flags: ``--profile``
+adds function-level profiling (cProfile + tracemalloc, observation
+only — profiled runs are byte-identical to unprofiled ones) and
+``--history-dir DIR`` appends a summarized record of every run to
+``DIR/RUNS.jsonl``; ``repro stats --history --history-dir DIR`` then
+renders the run-over-run trend tables, and ``scripts/perf_gate.py``
+gates CI on them.
 """
 
 from __future__ import annotations
@@ -54,7 +64,14 @@ from .core.pipeline import PipelineRun, run_pipeline
 from .errors import CheckpointError, ConfigurationError, SimulatedCrash
 from .exec import ExecutionPolicy
 from .faults import FAULT_PROFILES, CrashPoint, build_fault_plan
-from .obs import Telemetry, stderr_sink
+from .obs import (
+    FunctionProfiler,
+    RunHistory,
+    Telemetry,
+    build_run_record,
+    render_history,
+    stderr_sink,
+)
 from .stream import STREAM_MANIFEST_NAME, StreamSession
 from .world.scenario import ScenarioConfig, build_world
 
@@ -87,6 +104,10 @@ def _manifest_argv(args: argparse.Namespace) -> List[str]:
         argv.append("--no-cache")
     if args.quiet:
         argv.append("--quiet")
+    if getattr(args, "profile", False):
+        argv.append("--profile")
+    if getattr(args, "history_dir", None) is not None:
+        argv += ["--history-dir", str(args.history_dir)]
     argv.append(args.command)
     if args.command in ("release", "figures"):
         argv.append(str(args.output))
@@ -100,44 +121,122 @@ def _manifest_argv(args: argparse.Namespace) -> List[str]:
 def _build_run(args: argparse.Namespace) -> PipelineRun:
     progress = None if args.quiet else stderr_sink
     resume_dir = getattr(args, "_resume_dir", None)
-    if resume_dir is not None:
-        return resume_pipeline(
-            resume_dir,
-            telemetry_factory=lambda world: Telemetry.create(
-                clock=world.clock, progress=progress),
-        )
-    world = build_world(ScenarioConfig(seed=args.seed,
-                                       n_campaigns=args.campaigns))
-    telemetry = Telemetry.create(clock=world.clock, progress=progress)
-    fault_plan = build_fault_plan(args.faults, seed=args.seed)
-    if args.crash_at is not None:
-        service, at_call = _parse_crash_at(args.crash_at)
-        fault_plan = fault_plan.extended(CrashPoint(service, at_call))
-    execution = ExecutionPolicy(workers=args.workers,
-                                cache=not args.no_cache)
-    checkpoint = None
-    if args.checkpoint_dir is not None:
-        checkpoint = CheckpointSession.record(
-            args.checkpoint_dir, cli={"argv": _manifest_argv(args)})
-    return run_pipeline(world, telemetry=telemetry, fault_plan=fault_plan,
-                        execution=execution, checkpoint=checkpoint)
+
+    def _execute() -> PipelineRun:
+        if resume_dir is not None:
+            return resume_pipeline(
+                resume_dir,
+                telemetry_factory=lambda world: Telemetry.create(
+                    clock=world.clock, progress=progress),
+            )
+        world = build_world(ScenarioConfig(seed=args.seed,
+                                           n_campaigns=args.campaigns))
+        telemetry = Telemetry.create(clock=world.clock, progress=progress)
+        fault_plan = build_fault_plan(args.faults, seed=args.seed)
+        if args.crash_at is not None:
+            service, at_call = _parse_crash_at(args.crash_at)
+            fault_plan = fault_plan.extended(CrashPoint(service, at_call))
+        execution = ExecutionPolicy(workers=args.workers,
+                                    cache=not args.no_cache)
+        checkpoint = None
+        if args.checkpoint_dir is not None:
+            checkpoint = CheckpointSession.record(
+                args.checkpoint_dir, cli={"argv": _manifest_argv(args)})
+        return run_pipeline(world, telemetry=telemetry,
+                            fault_plan=fault_plan,
+                            execution=execution, checkpoint=checkpoint)
+
+    if not getattr(args, "profile", False):
+        return _execute()
+    profiler = FunctionProfiler()
+    with profiler:
+        run = _execute()
+    run.telemetry.capture_function_profile(profiler.snapshot())
+    return run
 
 
-def _write_trace(args: argparse.Namespace, run: PipelineRun) -> int:
-    """Dump the run's trace + metrics JSON when ``--trace-out`` was given.
+def _profiled_session_run(args: argparse.Namespace,
+                          session: StreamSession,
+                          action) -> None:
+    """Run one stream action, function-profiled when ``--profile``."""
+    if not getattr(args, "profile", False):
+        action()
+        return
+    profiler = FunctionProfiler()
+    with profiler:
+        action()
+    session.telemetry.capture_function_profile(profiler.snapshot())
+
+
+def _run_config(args: argparse.Namespace) -> dict:
+    """The run-shaping knobs whose digest decides comparability."""
+    config = {
+        "seed": args.seed,
+        "campaigns": args.campaigns,
+        "faults": args.faults,
+        "workers": args.workers,
+        "cache": not args.no_cache,
+    }
+    epochs = getattr(args, "epochs", None)
+    if epochs is not None:
+        config["epochs"] = epochs
+    epoch_hours = getattr(args, "epoch_hours", None)
+    if epoch_hours is not None:
+        config["epoch_hours"] = epoch_hours
+    return config
+
+
+def _append_history(args: argparse.Namespace, *, telemetry,
+                    counts: dict) -> None:
+    """Record the finished run in ``--history-dir``/RUNS.jsonl."""
+    history_dir = getattr(args, "history_dir", None)
+    if history_dir is None:
+        return
+    record = build_run_record(command=args.command,
+                              config=_run_config(args),
+                              telemetry=telemetry, counts=counts)
+    stored = RunHistory(history_dir).append(record)
+    if not getattr(args, "quiet", False):
+        print(f"history: recorded run {stored['sequence']} in "
+              f"{Path(history_dir) / 'RUNS.jsonl'}", file=sys.stderr)
+
+
+def _dump_trace(args: argparse.Namespace, telemetry) -> int:
+    """Write the trace when ``--trace-out`` was given (JSON or Chrome).
 
     Returns the command exit code: 0 normally, 1 when the dump path is
     unwritable (the run itself already succeeded, so fail cleanly)."""
-    if args.trace_out is None:
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
         return 0
+    trace_format = getattr(args, "trace_format", "json")
     try:
-        run.telemetry.write_json(args.trace_out)
+        if trace_format == "chrome":
+            telemetry.write_chrome_trace(trace_out)
+        else:
+            telemetry.write_json(trace_out)
     except OSError as exc:
-        print(f"repro: error: cannot write trace to {args.trace_out}: {exc}",
+        print(f"repro: error: cannot write trace to {trace_out}: {exc}",
               file=sys.stderr)
         return 1
-    print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    print(f"wrote {trace_format} trace to {trace_out}", file=sys.stderr)
     return 0
+
+
+def _run_counts(run: PipelineRun) -> dict:
+    return {
+        "posts_seen": run.collection.posts_seen,
+        "reports": len(run.collection.reports),
+        "records": len(run.dataset),
+        "gaps": len(run.enriched.gaps),
+        "limitations": len(run.collection.limitations),
+    }
+
+
+def _write_trace(args: argparse.Namespace, run: PipelineRun) -> int:
+    """Finish a batch command: history record, then the trace dump."""
+    _append_history(args, telemetry=run.telemetry, counts=_run_counts(run))
+    return _dump_trace(args, run.telemetry)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -183,10 +282,18 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if getattr(args, "history", False):
+        records = RunHistory(args.history_dir).load()
+        if not records:
+            print(f"no run history in "
+                  f"{Path(args.history_dir) / 'RUNS.jsonl'}")
+            return 0
+        print(render_history(records))
+        return 0
     if (getattr(args, "epochs", None) is not None
             or getattr(args, "epoch_hours", None) is not None):
         session = _build_stream_session(args, stream_dir=None)
-        session.run()
+        _profiled_session_run(args, session, session.run)
         run = session.as_pipeline_run()
         epochs = f" epochs={session.state.committed_epochs}"
     else:
@@ -230,6 +337,10 @@ def _stream_argv(args: argparse.Namespace) -> List[str]:
         argv += ["--epoch-hours", str(args.epoch_hours)]
     if getattr(args, "stream_dir", None) is not None:
         argv += ["--stream-dir", str(args.stream_dir)]
+    if getattr(args, "profile", False):
+        argv.append("--profile")
+    if getattr(args, "history_dir", None) is not None:
+        argv += ["--history-dir", str(args.history_dir)]
     return argv
 
 
@@ -279,28 +390,28 @@ def _print_stream(args: argparse.Namespace,
     print(session.telemetry.summary())
     print()
     print(f"stream fingerprint={state.fingerprint()}")
-    trace_out = getattr(args, "trace_out", None)
-    if trace_out is not None:
-        try:
-            session.telemetry.write_json(trace_out)
-        except OSError as exc:
-            print(f"repro: error: cannot write trace to {trace_out}: "
-                  f"{exc}", file=sys.stderr)
-            return 1
-        print(f"wrote trace to {trace_out}", file=sys.stderr)
-    return 0
+    counts = {
+        "posts_seen": getattr(state.collection, "posts_seen", 0),
+        "reports": len(state.collection.reports),
+        "records": len(state.dataset),
+        "gaps": len(state.gaps),
+        "limitations": len(state.collection.limitations),
+    }
+    _append_history(args, telemetry=session.telemetry, counts=counts)
+    return _dump_trace(args, session.telemetry)
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
     session = _build_stream_session(args, stream_dir=args.stream_dir)
-    session.run()
+    _profiled_session_run(args, session, session.run)
     return _print_stream(args, session)
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
     session = StreamSession.load(
         args.stream_dir, telemetry_factory=_telemetry_factory(args))
-    session.ingest(args.epochs)
+    _profiled_session_run(args, session,
+                          lambda: session.ingest(args.epochs))
     return _print_stream(args, session)
 
 
@@ -312,7 +423,7 @@ def _cmd_stream_resume(args: argparse.Namespace) -> int:
         print(f"resuming stream from {args.stream_dir} "
               f"({pending} epoch(s) pending, "
               f"{session.policy.describe()})", file=sys.stderr)
-    session.run()
+    _profiled_session_run(args, session, session.run)
     return _print_stream(args, session)
 
 
@@ -344,6 +455,19 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
                      default=argparse.SUPPRESS,
                      help="inject a hard crash at the Nth call to a "
                           "service (testing aid for checkpointing)")
+    sub.add_argument("--trace-format", choices=("json", "chrome"),
+                     default=argparse.SUPPRESS,
+                     help="format for --trace-out (chrome = Chrome "
+                          "trace-event JSON, openable in Perfetto)")
+    sub.add_argument("--profile", action="store_true",
+                     default=argparse.SUPPRESS,
+                     help="add function-level profiling (cProfile + "
+                          "tracemalloc); observation only, results are "
+                          "byte-identical")
+    sub.add_argument("--history-dir", type=Path,
+                     default=argparse.SUPPRESS,
+                     help="append a summarized run record to "
+                          "DIR/RUNS.jsonl for trend tracking")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -377,6 +501,19 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="inject a hard crash at the Nth call to a "
                              "service (testing aid for checkpointing)")
+    parser.add_argument("--trace-format", choices=("json", "chrome"),
+                        default="json",
+                        help="format for --trace-out (default json; "
+                             "chrome = Chrome trace-event JSON, openable "
+                             "in Perfetto / chrome://tracing)")
+    parser.add_argument("--profile", action="store_true", default=False,
+                        help="add function-level profiling (cProfile + "
+                             "tracemalloc) to the telemetry; observation "
+                             "only — profiled runs are byte-identical")
+    parser.add_argument("--history-dir", type=Path, default=None,
+                        help="append a summarized record of the run to "
+                             "DIR/RUNS.jsonl (view trends with "
+                             "`repro stats --history`)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser("report", help="regenerate all tables/figures")
@@ -415,6 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "this many epochs instead of one batch run")
     stats.add_argument("--epoch-hours", type=float, default=None,
                        help="epoch window width in hours (with --epochs)")
+    stats.add_argument("--history", action="store_true", default=False,
+                       help="render the run-history trend tables from "
+                            "--history-dir instead of running the pipeline")
     stats.set_defaults(func=_cmd_stats)
     _add_run_options(stats)
 
@@ -447,9 +587,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 1)")
     ingest.add_argument("--trace-out", type=Path, default=argparse.SUPPRESS,
                         help="write the run's trace + metrics JSON here")
+    ingest.add_argument("--trace-format", choices=("json", "chrome"),
+                        default=argparse.SUPPRESS,
+                        help="format for --trace-out")
     ingest.add_argument("--quiet", action="store_true",
                         default=argparse.SUPPRESS,
                         help="suppress stage progress lines on stderr")
+    ingest.add_argument("--profile", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="add function-level profiling to the epochs")
+    ingest.add_argument("--history-dir", type=Path,
+                        default=argparse.SUPPRESS,
+                        help="append a summarized run record to "
+                             "DIR/RUNS.jsonl")
     ingest.set_defaults(func=_cmd_ingest)
 
     resume = sub.add_parser(
@@ -462,9 +612,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "`repro watch` run")
     resume.add_argument("--trace-out", type=Path, default=argparse.SUPPRESS,
                         help="write the resumed run's trace JSON here")
+    resume.add_argument("--trace-format", choices=("json", "chrome"),
+                        default=argparse.SUPPRESS,
+                        help="format for --trace-out")
     resume.add_argument("--quiet", action="store_true",
                         default=argparse.SUPPRESS,
                         help="suppress stage progress lines on stderr")
+    resume.add_argument("--profile", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="add function-level profiling to the "
+                             "resumed run")
+    resume.add_argument("--history-dir", type=Path,
+                        default=argparse.SUPPRESS,
+                        help="append a summarized run record to "
+                             "DIR/RUNS.jsonl")
     resume.set_defaults(func=_cmd_resume)
     return parser
 
@@ -490,6 +651,26 @@ def _validate_args(args: argparse.Namespace) -> None:
         _parse_crash_at(args.crash_at)
     if getattr(args, "epochs", None) is not None and args.epochs < 1:
         raise ConfigurationError(f"--epochs must be >= 1, got {args.epochs}")
+    if (getattr(args, "trace_format", "json") == "chrome"
+            and getattr(args, "trace_out", None) is None):
+        raise ConfigurationError(
+            "--trace-format chrome needs --trace-out PATH to write to"
+        )
+    history_dir = getattr(args, "history_dir", None)
+    if getattr(args, "history", False) and history_dir is None:
+        raise ConfigurationError(
+            "stats --history wants --history-dir DIR to read from"
+        )
+    if history_dir is not None:
+        if history_dir.exists() and not history_dir.is_dir():
+            raise ConfigurationError(
+                f"--history-dir {history_dir} exists and is not a directory"
+            )
+        if not getattr(args, "history", False) \
+                and not _writable_dir(history_dir):
+            raise ConfigurationError(
+                f"--history-dir {history_dir} is not writable"
+            )
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     stream_dir = getattr(args, "stream_dir", None)
     if args.command == "resume":
@@ -567,6 +748,12 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         new_args.quiet = True
     if getattr(args, "trace_out", None) is not None:
         new_args.trace_out = args.trace_out
+    if getattr(args, "trace_format", "json") != "json":
+        new_args.trace_format = args.trace_format
+    if getattr(args, "profile", False):
+        new_args.profile = True
+    if getattr(args, "history_dir", None) is not None:
+        new_args.history_dir = args.history_dir
     if not new_args.quiet:
         policy = policy_from_manifest(manifest)
         print(f"resuming run from {args.checkpoint_dir} "

@@ -483,23 +483,30 @@ class Enricher:
             for meter in meters:
                 span = tracer.start(f"enrich/{meter.service}")
                 accounting.append((span, meter, meter.snapshot()))
-            stage(result)
-            for span, meter, before in reversed(accounting):
-                after = meter.snapshot()
-                requests = after["used"] - before["used"]
-                retries = (after["throttle_events"]
-                           - before["throttle_events"])
-                backoff = (after.get("backoff_seconds", 0.0)
-                           - before.get("backoff_seconds", 0.0))
-                span.set(requests=requests, retries=retries,
-                         backoff_seconds=round(backoff, 3))
-                tracer.end(span)
-                metrics.counter("enrichment.requests",
-                                service=meter.service).inc(requests)
-                metrics.counter("enrichment.retries",
-                                service=meter.service).inc(retries)
-                metrics.counter("enrichment.backoff_seconds",
-                                service=meter.service).inc(backoff)
+            try:
+                stage(result)
+            finally:
+                # Close the accounting spans even when the stage dies
+                # (a SimulatedCrash mid-enrichment): a crashed run's
+                # trace still attributes whatever the stage charged
+                # before it went down, and no span is left open on the
+                # tracer stack to corrupt later nesting.
+                for span, meter, before in reversed(accounting):
+                    after = meter.snapshot()
+                    requests = after["used"] - before["used"]
+                    retries = (after["throttle_events"]
+                               - before["throttle_events"])
+                    backoff = (after.get("backoff_seconds", 0.0)
+                               - before.get("backoff_seconds", 0.0))
+                    span.set(requests=requests, retries=retries,
+                             backoff_seconds=round(backoff, 3))
+                    tracer.end(span)
+                    metrics.counter("enrichment.requests",
+                                    service=meter.service).inc(requests)
+                    metrics.counter("enrichment.retries",
+                                    service=meter.service).inc(retries)
+                    metrics.counter("enrichment.backoff_seconds",
+                                    service=meter.service).inc(backoff)
 
     def run(self, dataset: SmishingDataset) -> EnrichedDataset:
         result = EnrichedDataset(dataset=dataset)

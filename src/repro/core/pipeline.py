@@ -208,12 +208,16 @@ def run_pipeline(
     finally:
         # Snapshots must survive partially-failed runs too: a crashed
         # enrichment stage still leaves breaker state worth recording
-        # (meters are captured by _observed_meters' own finally).
+        # (meters are captured by _observed_meters' own finally). Any
+        # span still open here (a crash escaped the context managers)
+        # is closed and flagged, so the trace always serialises.
+        telemetry.tracer.abandon_open()
         for breaker in enricher.breakers.values():
             telemetry.capture_breaker(breaker)
         if cache is not None:
             telemetry.capture_cache(cache)
         telemetry.capture_checkpoint(checkpoint.stats())
+        telemetry.capture_exec(engine.stats())
         checkpoint.close()
     return PipelineRun(
         world=world,

@@ -55,7 +55,7 @@ crashed run bit-for-bit under any worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..errors import ConfigurationError
 from ..faults.plan import FaultPlan, InjectedLatency
@@ -108,6 +108,9 @@ class ExecutionEngine:
     def __init__(self, policy: Optional[ExecutionPolicy] = None):
         self.policy = policy or ExecutionPolicy()
         self._pools: List[WorkerPool] = []
+        #: Task accounting of pools already closed — :meth:`stats` keeps
+        #: reporting them after the engine context exits.
+        self._retired_stats: List[Dict[str, Any]] = []
 
     # -- resources ------------------------------------------------------------
 
@@ -117,8 +120,9 @@ class ExecutionEngine:
             return None
         return EnrichmentCache(max_entries=self.policy.cache_max_entries)
 
-    def _pool(self, workers: int) -> WorkerPool:
+    def _pool(self, workers: int, label: str) -> WorkerPool:
         pool = make_pool(workers)
+        pool.label = label
         self._pools.append(pool)
         return pool
 
@@ -137,16 +141,30 @@ class ExecutionEngine:
             if any(isinstance(rule, InjectedLatency) and rule.service in names
                    for rule in fault_plan.rules):
                 workers = 1
-        return self._pool(workers)
+        return self._pool(workers, "collection")
 
     def enrichment_pool(self) -> WorkerPool:
         """The pool for the per-unique-subject precompute shards."""
-        return self._pool(self.policy.workers)
+        return self._pool(self.policy.workers, "enrichment")
+
+    # -- observability --------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-pool task/busy accounting (live and retired pools)."""
+        pools = self._retired_stats + [pool.stats()
+                                       for pool in self._pools]
+        return {
+            "policy": self.policy.describe(),
+            "pools": pools,
+            "tasks": sum(int(p["tasks"]) for p in pools),
+            "busy_seconds": sum(float(p["busy_seconds"]) for p in pools),
+        }
 
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
         for pool in self._pools:
+            self._retired_stats.append(pool.stats())
             pool.close()
         self._pools.clear()
 

@@ -25,18 +25,56 @@ GIL-free builds).
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
 class WorkerPool:
-    """Interface: run tasks, merge results in canonical (input) order."""
+    """Interface: run tasks, merge results in canonical (input) order.
+
+    Pools also keep per-worker task accounting (task count, busy wall
+    seconds) for the performance observatory — timing is observational
+    only and never feeds back into scheduling, so it cannot perturb the
+    canonical merge.
+    """
 
     #: How many tasks may run concurrently (1 for serial pools).
     workers: int = 1
+    #: Display label set by the engine ("collection", "enrichment", ...).
+    label: str = "pool"
+
+    def __init__(self) -> None:
+        self.tasks = 0
+        self.busy_seconds = 0.0
+        self._per_worker: Dict[str, Dict[str, float]] = {}
+        self._stats_lock = threading.Lock()
+
+    def _record_task(self, worker: str, seconds: float) -> None:
+        with self._stats_lock:
+            self.tasks += 1
+            self.busy_seconds += seconds
+            slot = self._per_worker.setdefault(
+                worker, {"tasks": 0, "busy_seconds": 0.0})
+            slot["tasks"] += 1
+            slot["busy_seconds"] += seconds
+
+    def stats(self) -> Dict[str, object]:
+        """Task accounting for the observatory's exec snapshot."""
+        with self._stats_lock:
+            return {
+                "label": self.label,
+                "kind": type(self).__name__,
+                "workers": self.workers,
+                "tasks": self.tasks,
+                "busy_seconds": self.busy_seconds,
+                "per_worker": {name: dict(slot) for name, slot
+                               in sorted(self._per_worker.items())},
+            }
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         raise NotImplementedError
@@ -61,13 +99,22 @@ class SerialPool(WorkerPool):
     workers = 1
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
-        return [fn(item) for item in items]
+        results: List[R] = []
+        for item in items:
+            started = time.perf_counter()
+            try:
+                results.append(fn(item))
+            finally:
+                self._record_task("worker-0",
+                                  time.perf_counter() - started)
+        return results
 
 
 class ThreadPool(WorkerPool):
     """Thread-backed pool whose merge order ignores completion order."""
 
     def __init__(self, workers: int):
+        super().__init__()
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
         self.workers = workers
@@ -75,8 +122,17 @@ class ThreadPool(WorkerPool):
             max_workers=workers, thread_name_prefix="repro-exec"
         )
 
+    def _timed(self, fn: Callable[[T], R], item: T) -> R:
+        started = time.perf_counter()
+        try:
+            return fn(item)
+        finally:
+            self._record_task(threading.current_thread().name,
+                              time.perf_counter() - started)
+
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
-        futures = [self._executor.submit(fn, item) for item in items]
+        futures = [self._executor.submit(self._timed, fn, item)
+                   for item in items]
         # Gather in submission order. Waiting on futures[0] first is fine:
         # every future completes regardless of which we await, and
         # .result() re-raises the lowest-indexed failure deterministically.

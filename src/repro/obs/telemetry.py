@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..utils.tables import Table
 from .metrics import MetricsRegistry, NullMetrics
+from .profile import Profile, build_profile, chrome_trace, function_table
 from .trace import NullTracer, Tracer
 
 #: Trace JSON schema version, bumped on incompatible layout changes.
@@ -55,6 +56,11 @@ class Telemetry:
         #: Final stream-ingestion stats (epochs, ledger, cache reuse),
         #: when the run was a :mod:`repro.stream` session.
         self.stream_snapshot: Dict[str, Any] = {}
+        #: Final per-pool execution stats (tasks, busy seconds per
+        #: worker), captured from the :class:`~repro.exec.ExecutionEngine`.
+        self.exec_snapshot: Dict[str, Any] = {}
+        #: ``FunctionProfiler.snapshot()`` of a ``--profile`` run.
+        self.function_snapshot: Dict[str, Any] = {}
 
     # -- constructors ---------------------------------------------------------
 
@@ -175,6 +181,25 @@ class Telemetry:
                     f"stream.ledger_{event}"
                 ).inc(ledger[event])
 
+    # -- profiling wiring -----------------------------------------------------
+
+    def capture_exec(self, stats: Optional[Dict[str, Any]]) -> None:
+        """Store the execution engine's final per-pool task accounting."""
+        if not self.enabled or not stats:
+            return
+        self.exec_snapshot = dict(stats)
+
+    def capture_function_profile(
+            self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Store a ``--profile`` run's FunctionProfiler snapshot."""
+        if not self.enabled or not snapshot:
+            return
+        self.function_snapshot = dict(snapshot)
+
+    def profile(self) -> Profile:
+        """Hot-path attribution built from this run's spans."""
+        return build_profile(self.tracer.spans)
+
     # -- export ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -182,6 +207,7 @@ class Telemetry:
             "format": TRACE_FORMAT_VERSION,
             "spans": self.tracer.to_dicts(),
             "metrics": self.metrics.to_dict(),
+            "profile": self.profile().to_dict(),
             "meters": {name: dict(snap)
                        for name, snap in self.meter_snapshots.items()},
             "breakers": {name: dict(snap)
@@ -189,6 +215,8 @@ class Telemetry:
             "cache": dict(self.cache_snapshot),
             "checkpoint": dict(self.checkpoint_snapshot),
             "stream": dict(self.stream_snapshot),
+            "exec": dict(self.exec_snapshot),
+            "functions": dict(self.function_snapshot),
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -197,6 +225,14 @@ class Telemetry:
     def write_json(self, path) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The run's spans as a Chrome trace-event document."""
+        return chrome_trace(self.tracer.spans)
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=2, default=str)
 
     # -- human-readable summaries ---------------------------------------------
 
@@ -220,6 +256,14 @@ class Telemetry:
                 detail or None,
             )
         return table
+
+    def profile_table(self) -> Table:
+        """Hot-path attribution: self/cum wall, latency digests, rec/s."""
+        return self.profile().table()
+
+    def function_table(self) -> Table:
+        """Function-level hot spots from a ``--profile`` run."""
+        return function_table(self.function_snapshot)
 
     def service_table(self) -> Table:
         """Per-service request/retry/backoff accounting from counters."""
@@ -382,7 +426,10 @@ class Telemetry:
     def summary(self) -> str:
         """The full human-readable stats report."""
         parts = [self.span_table().to_text(),
+                 self.profile_table().to_text(),
                  self.service_table().to_text()]
+        if self.function_snapshot:
+            parts.insert(2, self.function_table().to_text())
         resilience = self.resilience_table()
         if resilience.rows:
             parts.append(resilience.to_text())

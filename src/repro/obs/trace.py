@@ -170,6 +170,30 @@ class Tracer:
         """``with tracer.span("stage") as sp: ...`` — opens and auto-ends."""
         return _SpanContext(self, self.start(name, **attributes))
 
+    def open_spans(self) -> List[Span]:
+        """Spans started but not yet ended, outermost first."""
+        return list(self._stack)
+
+    def abandon_open(self, error: Optional[str] = None) -> List[Span]:
+        """End every still-open span, flagging it ``abandoned``.
+
+        Called from run teardown (a ``finally``) so a crashed run's
+        trace is coherent: every span either finished normally or is
+        explicitly marked. Spans that escaped the stack entirely (an
+        unclosed child popped by an ancestor's :meth:`end`) keep
+        ``end_wall=None`` — serialisation and profiling treat a None
+        duration as "unfinished", never as zero.
+        """
+        abandoned = []
+        while self._stack:
+            span = self._stack[-1]
+            span.set(abandoned=1)
+            if error is not None:
+                span.set(error=error)
+            self.end(span)
+            abandoned.append(span)
+        return abandoned
+
     # -- introspection --------------------------------------------------------
 
     def find(self, name: str) -> List[Span]:
@@ -210,6 +234,12 @@ class NullTracer:
 
     def bind_clock(self, clock: Any) -> None:
         pass
+
+    def open_spans(self) -> List[Span]:
+        return []
+
+    def abandon_open(self, error: Optional[str] = None) -> List[Span]:
+        return []
 
     def start(self, name: str, **attributes: Any) -> _NullSpan:
         return NULL_SPAN

@@ -591,12 +591,14 @@ class StreamSession:
         )
 
     def _finalise_telemetry(self) -> None:
+        self.telemetry.tracer.abandon_open()
         for breaker in self.breakers.values():
             self.telemetry.capture_breaker(breaker)
         if self.cache is not None:
             self.telemetry.capture_cache(self.cache)
         if self._checkpoint_totals:
             self.telemetry.capture_checkpoint(dict(self._checkpoint_totals))
+        self.telemetry.capture_exec(self._engine.stats())
         self.telemetry.capture_stream(self.stats())
 
     def as_pipeline_run(self):

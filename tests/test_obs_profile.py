@@ -1,0 +1,459 @@
+"""Unit tests for the performance observatory: profile + history layers.
+
+Covers the percentile digest, self/cumulative hot-path attribution,
+Chrome trace export, the function profiler, the run-history store, the
+trend tables, and the regression-gate comparison logic.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.history import (
+    GateThresholds,
+    RunHistory,
+    build_run_record,
+    compare_runs,
+    history_table,
+    previous_comparable,
+    render_history,
+    stage_trend_table,
+)
+from repro.obs.profile import (
+    FunctionProfiler,
+    PercentileDigest,
+    build_profile,
+    chrome_trace,
+    function_table,
+)
+from repro.obs.trace import Tracer
+
+
+def _fake_clock():
+    """A controllable time source: returns, then advances."""
+    state = {"now": 0.0}
+
+    def advance(seconds):
+        state["now"] += seconds
+
+    return (lambda: state["now"]), advance
+
+
+class TestPercentileDigest:
+    def test_empty_digest_answers_none(self):
+        digest = PercentileDigest()
+        assert digest.count == 0
+        assert digest.p50 is None and digest.p90 is None
+        assert digest.min is None and digest.mean is None
+
+    def test_single_value_is_every_quantile(self):
+        digest = PercentileDigest([3.5])
+        assert digest.p50 == digest.p90 == digest.p99 == 3.5
+
+    def test_median_interpolates(self):
+        digest = PercentileDigest([1.0, 2.0, 3.0, 4.0])
+        assert digest.p50 == pytest.approx(2.5)
+
+    def test_quantiles_match_known_sample(self):
+        digest = PercentileDigest(range(101))  # 0..100
+        assert digest.quantile(0.0) == 0
+        assert digest.p50 == pytest.approx(50.0)
+        assert digest.p90 == pytest.approx(90.0)
+        assert digest.p99 == pytest.approx(99.0)
+        assert digest.quantile(1.0) == 100
+
+    def test_add_after_query_resorts(self):
+        digest = PercentileDigest([5.0, 1.0])
+        assert digest.p50 == pytest.approx(3.0)
+        digest.add(0.0)
+        assert digest.p50 == pytest.approx(1.0)
+
+    def test_merge_combines_samples(self):
+        left = PercentileDigest([1.0, 2.0])
+        right = PercentileDigest([3.0, 4.0])
+        left.merge(right)
+        assert left.count == 4
+        assert left.p50 == pytest.approx(2.5)
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            PercentileDigest([1.0]).quantile(1.5)
+
+
+class TestBuildProfile:
+    def test_self_time_excludes_direct_children(self):
+        now, advance = _fake_clock()
+        tracer = Tracer(time_source=now)
+        parent = tracer.start("enrich")
+        advance(1.0)                     # parent-only work
+        child = tracer.start("enrich/urls")
+        advance(3.0)                     # child work
+        tracer.end(child)
+        advance(0.5)                     # more parent-only work
+        tracer.end(parent)
+
+        profile = build_profile(tracer.spans)
+        enrich = profile.stages["enrich"]
+        urls = profile.stages["enrich/urls"]
+        assert enrich.cum_seconds == pytest.approx(4.5)
+        assert enrich.self_seconds == pytest.approx(1.5)
+        assert urls.self_seconds == pytest.approx(3.0)
+        assert profile.total_seconds == pytest.approx(4.5)
+
+    def test_stages_aggregate_by_name(self):
+        now, advance = _fake_clock()
+        tracer = Tracer(time_source=now)
+        for seconds in (1.0, 2.0, 3.0):
+            span = tracer.start("collect/Twitter")
+            advance(seconds)
+            tracer.end(span)
+        profile = build_profile(tracer.spans)
+        stage = profile.stages["collect/Twitter"]
+        assert stage.count == 3
+        assert stage.cum_seconds == pytest.approx(6.0)
+        assert stage.durations.p50 == pytest.approx(2.0)
+
+    def test_throughput_off_records_attribute(self):
+        now, advance = _fake_clock()
+        tracer = Tracer(time_source=now)
+        span = tracer.start("curate")
+        span.set(records_out=300)
+        advance(2.0)
+        tracer.end(span)
+        profile = build_profile(tracer.spans)
+        assert profile.stages["curate"].records_per_sec \
+            == pytest.approx(150.0)
+
+    def test_unfinished_span_counted_not_timed(self):
+        now, advance = _fake_clock()
+        tracer = Tracer(time_source=now)
+        parent = tracer.start("pipeline")
+        tracer.start("enrich")           # never ended by its owner...
+        advance(1.0)
+        tracer.end(parent)               # ...pops it without a timestamp
+        profile = build_profile(tracer.spans)
+        enrich = profile.stages["enrich"]
+        assert enrich.unfinished == 1
+        assert enrich.cum_seconds == 0.0
+        assert enrich.durations.count == 0
+        # The unfinished row is visible in the table, not dropped.
+        text = profile.table().to_text()
+        assert "1 unfinished" in text
+
+    def test_hot_paths_orders_by_self_time(self):
+        now, advance = _fake_clock()
+        tracer = Tracer(time_source=now)
+        for name, seconds in (("fast", 1.0), ("slow", 5.0), ("mid", 2.0)):
+            span = tracer.start(name)
+            advance(seconds)
+            tracer.end(span)
+        names = [s.name for s in build_profile(tracer.spans).hot_paths()]
+        assert names == ["slow", "mid", "fast"]
+
+
+class TestChromeTrace:
+    def _trace(self):
+        now, advance = _fake_clock()
+        tracer = Tracer(time_source=now)
+        parent = tracer.start("pipeline")
+        child = tracer.start("collect", posts_seen=10)
+        advance(2.0)
+        tracer.end(child)
+        tracer.end(parent)
+        return chrome_trace(tracer.spans)
+
+    def test_complete_events_have_required_fields(self):
+        doc = self._trace()
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(spans) == 2
+        for event in spans:
+            assert {"name", "cat", "ph", "pid", "tid",
+                    "ts", "dur", "args"} <= set(event)
+
+    def test_microsecond_units_and_parent_links(self):
+        doc = self._trace()
+        collect = next(e for e in doc["traceEvents"]
+                       if e["name"] == "collect")
+        assert collect["dur"] == pytest.approx(2_000_000.0)
+        assert collect["args"]["parent_id"] == 1
+        assert collect["args"]["posts_seen"] == 10
+
+    def test_document_is_json_serialisable(self):
+        json.dumps(self._trace())
+
+    def test_unfinished_span_becomes_flagged_instant(self):
+        now, _ = _fake_clock()
+        tracer = Tracer(time_source=now)
+        parent = tracer.start("pipeline")
+        tracer.start("enrich")
+        tracer.end(parent)
+        doc = chrome_trace(tracer.spans)
+        enrich = next(e for e in doc["traceEvents"]
+                      if e["name"] == "enrich")
+        assert enrich["dur"] == 0.0
+        assert enrich["args"]["unfinished"] is True
+
+
+class TestFunctionProfiler:
+    def test_snapshot_reports_profiled_functions(self):
+        profiler = FunctionProfiler(top=5, trace_memory=False)
+
+        def busy():
+            return sum(i * i for i in range(5000))
+
+        with profiler:
+            busy()
+        snapshot = profiler.snapshot()
+        assert len(snapshot["top_functions"]) <= 5
+        assert snapshot["top_functions"], "no functions recorded"
+        row = snapshot["top_functions"][0]
+        assert {"function", "calls", "self_seconds",
+                "cum_seconds"} <= set(row)
+        assert snapshot["memory_peak_bytes"] is None
+
+    def test_memory_peak_captured_when_enabled(self):
+        profiler = FunctionProfiler(trace_memory=True)
+        with profiler:
+            blob = [bytes(1024) for _ in range(100)]
+            del blob
+        assert profiler.snapshot()["memory_peak_bytes"] > 0
+
+    def test_table_renders_peak_note(self):
+        profiler = FunctionProfiler(trace_memory=True)
+        with profiler:
+            sum(range(1000))
+        text = function_table(profiler.snapshot()).to_text()
+        assert "Function hot spots" in text
+        assert "tracemalloc peak" in text
+
+    def test_rejects_nonpositive_top(self):
+        with pytest.raises(ValueError):
+            FunctionProfiler(top=0)
+
+
+def _telemetry_with_spans(*stage_seconds, charged=None, hit_rate=0.5):
+    """A minimal telemetry carrying synthetic spans + snapshots."""
+    now, advance = _fake_clock()
+    telemetry = Telemetry(tracer=Tracer(time_source=now))
+    for name, seconds in stage_seconds:
+        span = telemetry.tracer.start(name)
+        advance(seconds)
+        telemetry.tracer.end(span)
+    for service, used in (charged or {}).items():
+        telemetry.meter_snapshots[service] = {"used": used, "remaining": 10}
+    telemetry.cache_snapshot = {
+        "totals": {"hits": 10, "misses": 10},
+        "hit_rate": hit_rate,
+    }
+    return telemetry
+
+
+def _record(tmp_path=None, *, command="stats", config=None, stages=(),
+            charged=None, hit_rate=0.5, counts=None):
+    telemetry = _telemetry_with_spans(*stages, charged=charged,
+                                      hit_rate=hit_rate)
+    return build_run_record(
+        command=command,
+        config=config or {"seed": 7, "workers": 1},
+        telemetry=telemetry,
+        counts=counts or {"records": 100, "gaps": 2},
+    )
+
+
+class TestRunRecord:
+    def test_record_shape(self):
+        record = _record(stages=[("pipeline", 2.0), ("enrich", 1.5)],
+                         charged={"whois": 22, "gsb": 62})
+        assert record["command"] == "stats"
+        # Both spans are roots, so total wall is their sum.
+        assert record["wall_seconds"] == pytest.approx(3.5)
+        assert set(record["stages"]) == {"pipeline", "enrich"}
+        assert record["charged_total"] == 84
+        assert record["cache"]["hit_rate"] == 0.5
+        assert record["counts"]["records"] == 100
+        json.dumps(record)  # must be a plain JSON document
+
+    def test_config_digest_distinguishes_configs(self):
+        one = _record(config={"seed": 7, "workers": 1})
+        four = _record(config={"seed": 7, "workers": 4})
+        same = _record(config={"seed": 7, "workers": 1})
+        assert one["config_digest"] == same["config_digest"]
+        assert one["config_digest"] != four["config_digest"]
+
+
+class TestRunHistory:
+    def test_append_assigns_monotonic_sequence(self, tmp_path):
+        history = RunHistory(tmp_path)
+        first = history.append(_record())
+        second = history.append(_record())
+        assert first["sequence"] == 0
+        assert second["sequence"] == 1
+        assert [r["sequence"] for r in history.load()] == [0, 1]
+
+    def test_latest_returns_newest(self, tmp_path):
+        history = RunHistory(tmp_path)
+        assert history.latest() is None
+        history.append(_record())
+        history.append(_record(command="report"))
+        assert history.latest()["command"] == "report"
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append(_record())
+        with open(history.path, "a", encoding="utf-8") as handle:
+            handle.write('{"sequence": 1, "torn...')
+        assert len(history.load()) == 1
+        # And appending afterwards continues cleanly.
+        stored = history.append(_record())
+        assert stored["sequence"] == 1
+
+    def test_previous_comparable_matches_config_digest(self, tmp_path):
+        history = RunHistory(tmp_path)
+        a = history.append(_record(config={"seed": 7, "workers": 1}))
+        history.append(_record(config={"seed": 7, "workers": 4}))
+        c = history.append(_record(config={"seed": 7, "workers": 1}))
+        records = history.load()
+        previous = previous_comparable(records, records[-1])
+        assert previous["sequence"] == a["sequence"]
+        assert c["config_digest"] == previous["config_digest"]
+
+    def test_previous_comparable_none_for_first_of_kind(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append(_record(config={"seed": 1}))
+        history.append(_record(config={"seed": 2}))
+        records = history.load()
+        assert previous_comparable(records, records[-1]) is None
+
+
+class TestHistoryRendering:
+    def test_history_table_has_delta_columns(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append(_record(stages=[("pipeline", 1.0)]))
+        history.append(_record(stages=[("pipeline", 3.0)]))
+        text = history_table(history.load()).to_text()
+        assert "Δ wall (s)" in text and "Δ charged" in text
+        assert "+2" in text  # the wall delta of run 1 vs run 0
+
+    def test_stage_trend_table_shows_cum_delta(self):
+        current = _record(stages=[("enrich", 3.0)])
+        current["sequence"] = 1
+        previous = _record(stages=[("enrich", 1.0)])
+        previous["sequence"] = 0
+        text = stage_trend_table(current, previous).to_text()
+        assert "run 1 vs run 0" in text
+        assert "+2" in text
+
+    def test_render_history_empty(self):
+        assert "empty" in render_history([])
+
+    def test_render_history_combines_tables(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append(_record(stages=[("pipeline", 1.0)]))
+        text = render_history(history.load())
+        assert "Run history" in text and "Stage trends" in text
+
+
+class TestCompareRuns:
+    def _pair(self, **current_kwargs):
+        baseline = _record(stages=[("enrich", 1.0)],
+                           charged={"whois": 22}, hit_rate=0.6)
+        current = _record(**{"stages": [("enrich", 1.0)],
+                             "charged": {"whois": 22},
+                             "hit_rate": 0.6, **current_kwargs})
+        return current, baseline
+
+    def test_identical_runs_pass(self):
+        current, baseline = self._pair()
+        assert compare_runs(current, baseline) == []
+
+    def test_stage_slowdown_detected(self):
+        current, baseline = self._pair(stages=[("enrich", 2.0)])
+        findings = compare_runs(current, baseline)
+        assert any("slowed 2.00x" in f for f in findings)
+
+    def test_sub_floor_stage_noise_ignored(self):
+        baseline = _record(stages=[("tiny", 0.001)])
+        current = _record(stages=[("tiny", 0.004)])  # 4x but microscopic
+        assert compare_runs(current, baseline) == []
+
+    def test_charged_increase_detected_exactly(self):
+        current, baseline = self._pair(charged={"whois": 23})
+        findings = compare_runs(current, baseline)
+        assert any("whois grew 22 -> 23" in f for f in findings)
+        assert any("total charged calls grew" in f for f in findings)
+
+    def test_charged_increase_within_allowance_passes(self):
+        current, baseline = self._pair(charged={"whois": 23})
+        thresholds = GateThresholds(max_charged_increase=5)
+        assert compare_runs(current, baseline, thresholds) == []
+
+    def test_hit_rate_drop_detected(self):
+        current, baseline = self._pair(hit_rate=0.2)
+        findings = compare_runs(current, baseline)
+        assert any("hit rate dropped" in f for f in findings)
+
+    def test_config_drift_short_circuits(self):
+        baseline = _record(config={"seed": 7})
+        current = _record(config={"seed": 8}, charged={"whois": 99})
+        findings = compare_runs(current, baseline)
+        assert len(findings) == 1
+        assert "config drift" in findings[0]
+
+    def test_config_drift_can_be_waived(self):
+        baseline = _record(config={"seed": 7})
+        current = _record(config={"seed": 8})
+        assert compare_runs(current, baseline, check_config=False) == []
+
+    def test_new_stage_flagged_when_significant(self):
+        baseline = _record(stages=[("enrich", 1.0)])
+        current = _record(stages=[("enrich", 1.0), ("mystery", 0.5)])
+        findings = compare_runs(current, baseline)
+        assert any("new stage mystery" in f for f in findings)
+
+
+class TestPerfGateScript:
+    """End-to-end: the CI gate script over real history artifacts."""
+
+    SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / \
+        "perf_gate.py"
+
+    def _gate(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), *argv],
+            capture_output=True, text=True)
+
+    def test_pin_then_pass_then_tamper(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append(_record(stages=[("enrich", 1.0)],
+                               charged={"whois": 22}))
+        baseline = tmp_path / "BASELINE.json"
+
+        pinned = self._gate("--history-dir", str(tmp_path),
+                            "--baseline", str(baseline),
+                            "--update-baseline")
+        assert pinned.returncode == 0, pinned.stderr
+        assert baseline.is_file()
+
+        passed = self._gate("--history-dir", str(tmp_path),
+                            "--baseline", str(baseline))
+        assert passed.returncode == 0, passed.stdout + passed.stderr
+        assert "no regressions" in passed.stdout
+
+        doc = json.loads(baseline.read_text())
+        doc["charged"] = {"whois": 0}
+        doc["charged_total"] = 0
+        baseline.write_text(json.dumps(doc))
+        failed = self._gate("--history-dir", str(tmp_path),
+                            "--baseline", str(baseline))
+        assert failed.returncode == 1
+        assert "charged calls" in failed.stdout
+
+    def test_missing_history_is_usage_error(self, tmp_path):
+        result = self._gate("--history-dir", str(tmp_path),
+                            "--baseline", str(tmp_path / "B.json"))
+        assert result.returncode != 0
+        assert "no run history" in result.stderr

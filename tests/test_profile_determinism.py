@@ -1,0 +1,88 @@
+"""The profiling determinism guard: observation never touches results.
+
+``--profile`` (cProfile + tracemalloc) and ``--history-dir`` are pure
+observers — they read the interpreter and the finished telemetry, never
+the RNG, the simulated clock, or a meter. These tests pin that as a
+byte-level guarantee: the full run fingerprint (dataset rows, gaps,
+limitations, rendered report, meter snapshots, clock reading) is
+identical with profiling on vs off, across worker counts, and writing a
+history record changes nothing either.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.pipeline import run_pipeline
+from repro.exec import ExecutionPolicy
+from repro.obs import RunHistory, Telemetry, build_run_record
+from repro.world.scenario import ScenarioConfig, build_world
+
+from .fingerprints import profiled_fingerprint
+
+SEED = 13
+CAMPAIGNS = 6
+
+
+def _run_factory(workers):
+    def factory():
+        world = build_world(ScenarioConfig(seed=SEED,
+                                           n_campaigns=CAMPAIGNS))
+        telemetry = Telemetry.create(clock=world.clock)
+        return run_pipeline(world, telemetry=telemetry,
+                            execution=ExecutionPolicy(workers=workers))
+
+    return factory
+
+
+class TestProfilingNeverLeaksIntoFingerprints:
+    @pytest.fixture(scope="class")
+    def fingerprints(self):
+        """One fingerprint per (workers, profile) cell of the matrix."""
+        return {
+            (workers, profile): profiled_fingerprint(
+                _run_factory(workers), profile=profile)
+            for workers, profile in itertools.product((1, 4),
+                                                      (False, True))
+        }
+
+    def test_profile_on_equals_profile_off_serial(self, fingerprints):
+        assert fingerprints[(1, True)] == fingerprints[(1, False)]
+
+    def test_profile_on_equals_profile_off_parallel(self, fingerprints):
+        assert fingerprints[(4, True)] == fingerprints[(4, False)]
+
+    def test_workers_equivalence_holds_under_profiling(self, fingerprints):
+        assert fingerprints[(4, True)] == fingerprints[(1, False)]
+
+    def test_profiled_run_actually_profiled(self):
+        """The guard is vacuous if the profiler never engaged."""
+        from repro.obs import FunctionProfiler
+
+        profiler = FunctionProfiler()
+        with profiler:
+            run = _run_factory(1)()
+        run.telemetry.capture_function_profile(profiler.snapshot())
+        snapshot = run.telemetry.function_snapshot
+        assert snapshot["top_functions"], "profiler captured nothing"
+        assert snapshot["memory_peak_bytes"] > 0
+
+
+class TestHistoryNeverLeaksIntoFingerprints:
+    def test_history_record_leaves_results_identical(self, tmp_path):
+        baseline = profiled_fingerprint(_run_factory(1), profile=False)
+
+        run = _run_factory(1)()
+        record = build_run_record(
+            command="stats",
+            config={"seed": SEED, "campaigns": CAMPAIGNS, "workers": 1},
+            telemetry=run.telemetry,
+            counts={"records": len(run.dataset)},
+        )
+        RunHistory(tmp_path).append(record)
+        from .fingerprints import fingerprint_run
+
+        assert fingerprint_run(run) == baseline
+        # The record made it to disk — the observation happened.
+        assert RunHistory(tmp_path).latest()["counts"]["records"] \
+            == len(run.dataset)

@@ -416,6 +416,94 @@ class TestStreamLedgerProperties:
         assert set(replay.duplicate_of) == {r.record_id for r in records}
 
 
+class TestPercentileDigestProperties:
+    samples = st.lists(
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=200,
+    )
+
+    @given(samples, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_quantiles_are_permutation_invariant(self, values, rng):
+        from repro.obs.profile import PercentileDigest
+
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        base, other = PercentileDigest(values), PercentileDigest(shuffled)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert base.quantile(q) == other.quantile(q)
+
+    @given(samples)
+    @settings(max_examples=60, deadline=None)
+    def test_quantiles_are_monotone_and_bounded(self, values):
+        from repro.obs.profile import PercentileDigest
+
+        digest = PercentileDigest(values)
+        qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0]
+        answers = [digest.quantile(q) for q in qs]
+        for lower, upper in zip(answers, answers[1:]):
+            assert lower <= upper
+        assert answers[0] == min(values)
+        assert answers[-1] == max(values)
+        assert all(digest.min <= a <= digest.max for a in answers)
+
+    @given(samples, samples)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_concatenation(self, left_values, right_values):
+        from repro.obs.profile import PercentileDigest
+
+        merged = PercentileDigest(left_values)
+        merged.merge(PercentileDigest(right_values))
+        combined = PercentileDigest(left_values + right_values)
+        assert merged.count == combined.count
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert merged.quantile(q) == combined.quantile(q)
+
+
+class TestRunHistoryProperties:
+    @staticmethod
+    def _record(tag):
+        return {"command": "stats", "config_digest": "abc",
+                "wall_seconds": float(tag), "tag": tag}
+
+    @given(max_entries=st.integers(min_value=1, max_value=12),
+           appended=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_growth_is_bounded_and_newest_retained(self, tmp_path_factory,
+                                                   max_entries, appended):
+        from repro.obs.history import RunHistory
+
+        directory = tmp_path_factory.mktemp("history")
+        history = RunHistory(directory, max_entries=max_entries)
+        for tag in range(appended):
+            history.append(self._record(tag))
+        records = history.load()
+        # Bounded growth: never more than max_entries on disk.
+        assert len(records) == min(appended, max_entries)
+        # Last-N retention: exactly the newest appends, in order.
+        kept = [record["tag"] for record in records]
+        assert kept == list(range(appended))[-max_entries:]
+        # Sequences stay monotonically increasing across rotations.
+        sequences = [record["sequence"] for record in records]
+        assert sequences == sorted(sequences)
+        assert sequences[-1] == appended - 1
+
+    @given(appended=st.integers(min_value=2, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_reopened_store_continues_sequence(self, tmp_path_factory,
+                                               appended):
+        from repro.obs.history import RunHistory
+
+        directory = tmp_path_factory.mktemp("history")
+        for tag in range(appended):
+            # A fresh handle per append: the sequence is a property of
+            # the ledger on disk, not of the Python object.
+            RunHistory(directory, max_entries=5).append(self._record(tag))
+        latest = RunHistory(directory, max_entries=5).latest()
+        assert latest["sequence"] == appended - 1
+
+
 class TestStreamSessionNoopProperty:
     def test_rerun_of_caught_up_session_charges_nothing(self):
         """`run()` on a session with no pending epochs is a no-op:

@@ -307,3 +307,79 @@ class TestBreakerSnapshotsOnFailedRuns:
         assert "hlr" in telemetry.breaker_snapshots
         # Meters were captured by the same crash path too.
         assert telemetry.meter_snapshots
+
+
+class TestSpansSurviveCrashes:
+    """Regression: a crashed run's trace must still serialise coherently.
+
+    Stage accounting spans are closed in a ``finally``
+    (``Enricher._metered_stage``) and any span the crash left open on
+    the tracer stack is flagged + ended by ``Tracer.abandon_open`` in
+    ``run_pipeline``'s own ``finally`` — so a partial trace always
+    exports, and unfinished spans serialise with ``wall_seconds=None``
+    rather than a bogus zero.
+    """
+
+    def _crash_run(self):
+        import json
+
+        from repro.core.pipeline import run_pipeline
+        from repro.errors import SimulatedCrash
+        from repro.faults import CrashPoint, FaultPlan
+        from repro.obs import Telemetry
+        from repro.world.scenario import ScenarioConfig, build_world
+
+        world = build_world(ScenarioConfig(seed=13, n_campaigns=4))
+        telemetry = Telemetry.create(clock=world.clock)
+        plan = FaultPlan(rules=[CrashPoint("whois", 2)], profile="crash")
+        with pytest.raises(SimulatedCrash):
+            run_pipeline(world, telemetry=telemetry, fault_plan=plan)
+        return telemetry, json
+
+    def test_partial_spans_captured_and_serialisable(self):
+        telemetry, json_mod = self._crash_run()
+        spans = {span.name: span for span in telemetry.tracer.spans}
+        # The stage that died still has its accounting span, closed by
+        # the finally with the requests it charged before the crash.
+        assert "enrich/whois" in spans
+        assert spans["enrich/whois"].finished
+        assert spans["enrich/whois"].attributes["requests"] >= 1
+        # Ancestor spans saw the crash propagate: each context manager
+        # closed its span on the way out, stamping the error.
+        assert spans["pipeline"].finished
+        assert "SimulatedCrash" in spans["pipeline"].attributes["error"]
+        assert "SimulatedCrash" in spans["enrich"].attributes["error"]
+        # Nothing is left open, and the whole trace exports as JSON —
+        # including the profile built over the partial span set.
+        assert telemetry.tracer.open_spans() == []
+        document = json_mod.loads(telemetry.to_json())
+        assert document["spans"], "crashed run serialised no spans"
+        assert document["profile"]["stages"], "crashed run lost profile"
+
+    def test_unfinished_spans_serialise_as_none_not_zero(self):
+        from repro.obs.profile import build_profile
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(time_source=lambda: 0.0)
+        parent = tracer.start("pipeline")
+        tracer.start("enrich")   # popped unfinished by the parent's end
+        tracer.end(parent)
+        dumped = {span["name"]: span for span in tracer.to_dicts()}
+        assert dumped["enrich"]["wall_seconds"] is None
+        profile = build_profile(tracer.spans)
+        assert profile.stages["enrich"].unfinished == 1
+        assert profile.stages["enrich"].durations.count == 0
+
+    def test_abandon_open_flags_error_and_empties_stack(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(time_source=lambda: 0.0)
+        tracer.start("pipeline")
+        tracer.start("enrich")
+        abandoned = tracer.abandon_open(error="SimulatedCrash: boom")
+        assert [span.name for span in abandoned] == ["enrich", "pipeline"]
+        assert all(span.finished for span in abandoned)
+        assert all(span.attributes["abandoned"] == 1 for span in abandoned)
+        assert all("SimulatedCrash" in span.attributes["error"]
+                   for span in abandoned)
+        assert tracer.open_spans() == []
