@@ -145,9 +145,62 @@ if [ "$clean_fp" != "$resumed_fp" ]; then
 fi
 echo "watch ok: crash/resume stream fingerprint matches the clean 2-epoch run"
 
+echo "== serve smoke test (burst load + kill-and-resume) =="
+serve_out="$(mktemp -t repro-serve-XXXXXX.txt)"
+serve_dir="$(mktemp -d -t repro-serve-dir-XXXXXX)"
+serve_resumed_out="$(mktemp -t repro-serve-resumed-XXXXXX.txt)"
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out"' EXIT
+rmdir "$serve_dir"   # the CLI wants to create it itself
+serve_args=(--seed 7 --campaigns 20 --quiet serve --load-profile burst
+  --requests 10000 --reporters 2000 --queue-capacity 40)
+python -m repro "${serve_args[@]}" > "$serve_out"
+python - "$serve_out" <<'PY'
+import re, sys
+
+out = open(sys.argv[1]).read()
+header = out.splitlines()[0]
+submitted = int(re.search(r"submitted=(\d+)", header).group(1))
+assert submitted >= 10_000, f"burst smoke submitted only {submitted}"
+depth = re.search(r"queue depth max=(\d+)/(\d+)", out)
+assert depth, "no queue-depth line in serve output"
+assert int(depth.group(1)) <= int(depth.group(2)), \
+    f"queue depth {depth.group(1)} exceeded bound {depth.group(2)}"
+assert re.search(r"healthy\s+shedding", out), "service never shed load"
+assert "mode=healthy" in header, "service did not recover to healthy"
+latency = re.search(r"intake latency sim-seconds p50=([\d.]+) p99=([\d.]+)",
+                    out)
+assert latency, "no intake latency percentiles in serve output"
+print(f"serve ok: {submitted} submitted, depth {depth.group(1)}/"
+      f"{depth.group(2)}, shed and recovered, "
+      f"p50/p99={latency.group(1)}/{latency.group(2)}s")
+PY
+serve_rc=0
+python -m repro "${serve_args[@]}" --serve-dir "$serve_dir" \
+  --kill-at 5000 > /dev/null 2>&1 || serve_rc=$?
+if [ "$serve_rc" -ne 75 ]; then
+  echo "serve FAILED: expected exit 75 from the killed run, got $serve_rc" >&2
+  exit 1
+fi
+python -m repro --quiet serve --resume --serve-dir "$serve_dir" \
+  > "$serve_resumed_out"
+serve_fp="$(grep '^serve fingerprint=' "$serve_out")"
+resumed_serve_fp="$(grep '^serve fingerprint=' "$serve_resumed_out")"
+if [ -z "$serve_fp" ] || [ "$serve_fp" != "$resumed_serve_fp" ]; then
+  echo "serve FAILED: resumed fingerprint differs from uninterrupted run" >&2
+  echo "  clean:   $serve_fp" >&2
+  echo "  resumed: $resumed_serve_fp" >&2
+  exit 1
+fi
+if [ "$(head -n 1 "$serve_out")" != "$(head -n 1 "$serve_resumed_out")" ]; then
+  echo "serve FAILED: resumed header counts differ from uninterrupted run" >&2
+  diff <(head -n 1 "$serve_out") <(head -n 1 "$serve_resumed_out") >&2
+  exit 1
+fi
+echo "serve ok: kill-and-resume fingerprint matches the uninterrupted run"
+
 echo "== trace-export smoke test (--trace-format chrome) =="
 chrome_trace="$(mktemp -t repro-chrome-XXXXXX.json)"
-trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$chrome_trace"' EXIT
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out" "$chrome_trace"' EXIT
 python -m repro stats --seed 7 --quiet \
   --trace-out "$chrome_trace" --trace-format chrome > /dev/null
 python - "$chrome_trace" <<'PY'
@@ -171,7 +224,7 @@ PY
 
 echo "== perf-gate smoke test (baseline pin + tampered baseline) =="
 perf_dir="$(mktemp -d -t repro-perf-XXXXXX)"
-trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$chrome_trace" "$perf_dir"' EXIT
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out" "$chrome_trace" "$perf_dir"' EXIT
 python -m repro stats --seed 7 --quiet --history-dir "$perf_dir" > /dev/null
 python scripts/perf_gate.py --history-dir "$perf_dir" \
   --baseline "$perf_dir/BASELINE.json" --update-baseline > /dev/null

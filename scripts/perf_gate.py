@@ -13,6 +13,10 @@ the run regressed:
   (default 0: the simulators are deterministic, any growth is a real
   behaviour change),
 * the enrichment-cache hit rate dropped more than ``--max-hit-rate-drop``,
+* the intake service's sim-time p99 latency grew beyond
+  ``--max-serve-p99-growth`` or its processed-report throughput fell
+  below ``--min-serve-processed-ratio`` of baseline (judged only when
+  both records carry a ``serve`` block, i.e. came from ``repro serve``),
 * or the config digests differ (the runs aren't comparable; re-baseline
   or pass ``--allow-config-drift``).
 
@@ -94,6 +98,13 @@ def main(argv=None) -> int:
     parser.add_argument("--max-hit-rate-drop", type=float, default=0.05,
                         help="allowed absolute cache hit-rate drop "
                              "(default 0.05)")
+    parser.add_argument("--max-serve-p99-growth", type=float, default=1.25,
+                        help="max allowed growth factor for the intake "
+                             "service's p99 sim-time latency (default 1.25)")
+    parser.add_argument("--min-serve-processed-ratio", type=float,
+                        default=1.0,
+                        help="serve throughput floor as a fraction of the "
+                             "baseline's processed reports (default 1.0)")
     parser.add_argument("--allow-config-drift", action="store_true",
                         help="compare even when config digests differ")
     args = parser.parse_args(argv)
@@ -121,6 +132,8 @@ def main(argv=None) -> int:
         min_wall_floor=args.min_wall_floor,
         max_charged_increase=args.max_charged_increase,
         max_hit_rate_drop=args.max_hit_rate_drop,
+        max_serve_p99_growth=args.max_serve_p99_growth,
+        min_serve_processed_ratio=args.min_serve_processed_ratio,
     )
     findings = compare_runs(current, baseline, thresholds,
                             check_config=not args.allow_config_drift)

@@ -16,6 +16,11 @@ Commands mirror the library's main workflows:
   table and a final stream fingerprint.
 * ``ingest``   — run one (or more) follow-on epochs against an existing
   stream directory.
+* ``serve``    — drive the overload-safe report-intake service
+  (``repro.serve``) under a deterministic simulated load: bounded
+  queue, per-reporter rate limits, load shedding, degraded modes, and
+  (with ``--serve-dir``) a durable exactly-once session resumable via
+  ``repro serve --resume``.
 * ``resume``   — finish a crashed run: ``--checkpoint-dir`` for a batch
   journal, ``--stream-dir`` for a stream session.
 
@@ -39,6 +44,7 @@ gates CI on them.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import os
 import sys
 from pathlib import Path
@@ -71,6 +77,14 @@ from .obs import (
     build_run_record,
     render_history,
     stderr_sink,
+)
+from .serve import (
+    LOAD_PROFILES,
+    SERVE_MANIFEST_NAME,
+    IntakeService,
+    LoadSpec,
+    ServeConfig,
+    serve_fingerprint,
 )
 from .stream import STREAM_MANIFEST_NAME, StreamSession
 from .world.scenario import ScenarioConfig, build_world
@@ -183,6 +197,13 @@ def _run_config(args: argparse.Namespace) -> dict:
     epoch_hours = getattr(args, "epoch_hours", None)
     if epoch_hours is not None:
         config["epoch_hours"] = epoch_hours
+    if getattr(args, "load_profile", None) is not None:
+        config["load_profile"] = args.load_profile
+        config["requests"] = args.requests
+        config["reporters"] = args.reporters
+        config["queue_capacity"] = args.queue_capacity
+        config["batch_size"] = args.batch_size
+        config["drain_interval"] = args.drain_interval
     return config
 
 
@@ -427,6 +448,92 @@ def _cmd_stream_resume(args: argparse.Namespace) -> int:
     return _print_stream(args, session)
 
 
+def _serve_argv(args: argparse.Namespace) -> List[str]:
+    """Provenance argv recorded in SERVE.json (resume rebuilds the
+    service from the manifest itself, not from this)."""
+    argv = ["--seed", str(args.seed), "--campaigns", str(args.campaigns),
+            "--faults", args.faults, "--workers", str(args.workers)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    argv += ["serve", "--load-profile", args.load_profile,
+             "--requests", str(args.requests),
+             "--reporters", str(args.reporters),
+             "--queue-capacity", str(args.queue_capacity),
+             "--batch-size", str(args.batch_size),
+             "--drain-interval", str(args.drain_interval),
+             "--commit-every", str(args.commit_every)]
+    if getattr(args, "serve_dir", None) is not None:
+        argv += ["--serve-dir", str(args.serve_dir)]
+    return argv
+
+
+def _build_serve(args: argparse.Namespace) -> IntakeService:
+    if getattr(args, "resume", False):
+        return IntakeService.load(
+            args.serve_dir,
+            telemetry_factory=_telemetry_factory(args),
+            kill_at=getattr(args, "kill_at", None),
+        )
+    return IntakeService.create(
+        ScenarioConfig(seed=args.seed, n_campaigns=args.campaigns),
+        load=LoadSpec(profile=args.load_profile, requests=args.requests,
+                      reporters=args.reporters, seed=args.seed),
+        config=ServeConfig(queue_capacity=args.queue_capacity,
+                           batch_size=args.batch_size,
+                           drain_interval=args.drain_interval,
+                           commit_every=args.commit_every),
+        fault_plan=build_fault_plan(args.faults, seed=args.seed),
+        execution=ExecutionPolicy(workers=args.workers,
+                                  cache=not args.no_cache),
+        telemetry_factory=_telemetry_factory(args),
+        serve_dir=getattr(args, "serve_dir", None),
+        kill_at=getattr(args, "kill_at", None),
+        cli={"argv": _serve_argv(args)},
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = _build_serve(args)
+    service.run()
+    stats = service.stats()
+    load = stats["load"]
+    queue = stats["queue"]
+    latency = stats["latency"]
+    print(f"seed={service.world.config.seed} "
+          f"campaigns={service.world.config.n_campaigns} "
+          f"faults={service.fault_profile} "
+          f"workers={service.policy.workers} "
+          f"profile={load['profile']} "
+          f"submitted={stats['submitted']} accepted={stats['accepted']} "
+          f"shed={stats['shed']} processed={stats['processed']} "
+          f"timed_out={stats['timed_out']} records={stats['records']} "
+          f"mode={stats['mode']}")
+    print()
+    print(service.telemetry.summary())
+    print()
+    print(f"queue depth max={queue['max_depth']}/{queue['capacity']} "
+          f"p50={queue.get('p50')} p99={queue.get('p99')}")
+    p50 = latency.get("p50")
+    p99 = latency.get("p99")
+    print(f"intake latency sim-seconds "
+          f"p50={p50 if p50 is None else round(p50, 3)} "
+          f"p99={p99 if p99 is None else round(p99, 3)}")
+    digest = hashlib.sha256(
+        serve_fingerprint(service).encode("utf-8")).hexdigest()
+    print(f"serve fingerprint={digest}")
+    counts = {
+        "submitted": stats["submitted"],
+        "accepted": stats["accepted"],
+        "shed": stats["shed"],
+        "processed": stats["processed"],
+        "timed_out": stats["timed_out"],
+        "records": stats["records"],
+        "gaps": stats["gaps"],
+    }
+    _append_history(args, telemetry=service.telemetry, counts=counts)
+    return _dump_trace(args, service.telemetry)
+
+
 def _add_run_options(sub: argparse.ArgumentParser) -> None:
     """Run-shaping flags accepted after the subcommand too (``repro stats
     --seed 7``); SUPPRESS keeps root-level values when absent."""
@@ -602,6 +709,42 @@ def build_parser() -> argparse.ArgumentParser:
                              "DIR/RUNS.jsonl")
     ingest.set_defaults(func=_cmd_ingest)
 
+    serve = sub.add_parser(
+        "serve",
+        help="drive the overload-safe intake service under simulated load",
+    )
+    serve.add_argument("--load-profile", choices=LOAD_PROFILES,
+                       default="burst",
+                       help="arrival pattern for the simulated reporters "
+                            "(default burst)")
+    serve.add_argument("--requests", type=int, default=2000,
+                       help="how many report submissions to simulate "
+                            "(default 2000)")
+    serve.add_argument("--reporters", type=int, default=500,
+                       help="distinct reporter population, Pareto-skewed "
+                            "(default 500)")
+    serve.add_argument("--queue-capacity", type=int, default=512,
+                       help="bounded ingest queue capacity (default 512)")
+    serve.add_argument("--batch-size", type=int, default=32,
+                       help="reports drained per processing batch "
+                            "(default 32)")
+    serve.add_argument("--drain-interval", type=float, default=20.0,
+                       help="sim-seconds between batch drains (default 20)")
+    serve.add_argument("--commit-every", type=int, default=500,
+                       help="arrivals between durable commits with "
+                            "--serve-dir (default 500)")
+    serve.add_argument("--serve-dir", type=Path, default=None,
+                       help="persist the session here (resumable with "
+                            "`repro serve --resume --serve-dir DIR`)")
+    serve.add_argument("--resume", action="store_true", default=False,
+                       help="reopen an existing --serve-dir and finish its "
+                            "schedule from the last commit")
+    serve.add_argument("--kill-at", type=int, default=None,
+                       help="inject a hard crash before this arrival index "
+                            "(testing aid for the resume protocol)")
+    serve.set_defaults(func=_cmd_serve)
+    _add_run_options(serve)
+
     resume = sub.add_parser(
         "resume", help="finish a crashed checkpointed or stream run"
     )
@@ -673,6 +816,34 @@ def _validate_args(args: argparse.Namespace) -> None:
             )
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     stream_dir = getattr(args, "stream_dir", None)
+    if args.command == "serve":
+        serve_dir = getattr(args, "serve_dir", None)
+        if getattr(args, "resume", False):
+            if serve_dir is None:
+                raise ConfigurationError(
+                    "serve --resume wants --serve-dir DIR to reopen"
+                )
+            if not (serve_dir / SERVE_MANIFEST_NAME).is_file():
+                raise ConfigurationError(
+                    f"--serve-dir {serve_dir} has no {SERVE_MANIFEST_NAME}; "
+                    f"start one with `repro serve --serve-dir {serve_dir}`"
+                )
+        elif serve_dir is not None:
+            if (serve_dir / SERVE_MANIFEST_NAME).is_file():
+                raise ConfigurationError(
+                    f"--serve-dir {serve_dir} already holds a serve "
+                    f"session; finish it with `repro serve --resume "
+                    f"--serve-dir {serve_dir}`"
+                )
+            if not _writable_dir(serve_dir):
+                raise ConfigurationError(
+                    f"--serve-dir {serve_dir} is not writable"
+                )
+        if getattr(args, "kill_at", None) is not None and serve_dir is None:
+            raise ConfigurationError(
+                "serve --kill-at wants --serve-dir DIR (a kill without a "
+                "durable session loses the run)"
+            )
     if args.command == "resume":
         if (checkpoint_dir is None) == (stream_dir is None):
             raise ConfigurationError(
@@ -774,7 +945,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro: crashed: {exc}", file=sys.stderr)
         stream_dir = getattr(args, "stream_dir", None)
         checkpoint_dir = getattr(args, "checkpoint_dir", None)
-        if stream_dir is not None and args.command != "resume":
+        serve_dir = getattr(args, "serve_dir", None)
+        if serve_dir is not None and args.command == "serve":
+            print(f"repro: resume with: repro serve --resume --serve-dir "
+                  f"{serve_dir}", file=sys.stderr)
+        elif stream_dir is not None and args.command != "resume":
             print(f"repro: resume with: repro resume --stream-dir "
                   f"{stream_dir}", file=sys.stderr)
         elif checkpoint_dir is not None and args.command != "resume":

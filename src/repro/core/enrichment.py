@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import (
     CircuitOpen,
+    DeadlineExceeded,
     NotFound,
     QuotaExhausted,
     RateLimitExceeded,
@@ -110,6 +111,8 @@ class EnrichmentGap:
 def _gap_kind(exc: ServiceError) -> str:
     if isinstance(exc, CircuitOpen):
         return "circuit_open"
+    if isinstance(exc, DeadlineExceeded):
+        return "deadline"
     if isinstance(exc, QuotaExhausted):
         return "quota"
     if isinstance(exc, RateLimitExceeded):
@@ -189,7 +192,8 @@ class Enricher:
                  pool: Optional[WorkerPool] = None,
                  journal=None,
                  known_senders: Optional[Set[str]] = None,
-                 known_urls: Optional[Set[str]] = None):
+                 known_urls: Optional[Set[str]] = None,
+                 deadline: Optional[float] = None):
         self._services = services
         self._telemetry = ensure_telemetry(telemetry)
         self._tlds = default_registry()
@@ -215,6 +219,12 @@ class Enricher:
         # growing state), so re-charging its services is impossible.
         self._known_senders = known_senders or set()
         self._known_urls = known_urls or set()
+        # Optional absolute sim-time deadline propagated into every
+        # guarded call (see repro.resilience.call_with_policy): the
+        # serve layer sets it from the oldest queued request's budget so
+        # a backlogged batch cannot retry past its callers' patience.
+        # None (every batch run) keeps the unbounded classic behaviour.
+        self.deadline = deadline
 
     # -- resilience plumbing --------------------------------------------------
 
@@ -270,6 +280,7 @@ class Enricher:
                 key=f"{service}:{subject}",
                 breaker=self._breaker(service),
                 on_retry=self._on_retry,
+                deadline=self.deadline,
             )
         except ServiceError as exc:
             kind = _gap_kind(exc)
@@ -508,22 +519,33 @@ class Enricher:
                     metrics.counter("enrichment.backoff_seconds",
                                     service=meter.service).inc(backoff)
 
-    def run(self, dataset: SmishingDataset) -> EnrichedDataset:
+    def run(self, dataset: SmishingDataset, *,
+            annotate_only: bool = False) -> EnrichedDataset:
+        """Run the measurement battery over ``dataset``.
+
+        ``annotate_only`` is the degraded-mode contract the serve layer
+        relies on when the enrichment tier is under pressure (open
+        breakers, near-exhausted quotas): skip the expensive per-sender
+        and per-URL lookups entirely and keep only the cheap,
+        cache-friendly annotation pass, so accepted reports still gain
+        labels without burning a failing tier's budget.
+        """
         result = EnrichedDataset(dataset=dataset)
         services = self._services
         with self._telemetry.tracer.span("enrich", records=len(dataset)) as sp:
             self._precompute(dataset)
-            self._metered_stage(
-                "enrich/senders", [services.hlr.meter],
-                self.enrich_senders, result,
-            )
-            self._metered_stage(
-                "enrich/urls",
-                [services.whois.meter, services.crtsh.meter,
-                 services.passivedns.meter, services.ipinfo.meter,
-                 services.virustotal.meter, services.gsb.meter],
-                self.enrich_urls, result,
-            )
+            if not annotate_only:
+                self._metered_stage(
+                    "enrich/senders", [services.hlr.meter],
+                    self.enrich_senders, result,
+                )
+                self._metered_stage(
+                    "enrich/urls",
+                    [services.whois.meter, services.crtsh.meter,
+                     services.passivedns.meter, services.ipinfo.meter,
+                     services.virustotal.meter, services.gsb.meter],
+                    self.enrich_urls, result,
+                )
             self._metered_stage(
                 "enrich/annotate", [services.openai.meter],
                 self.annotate, result,

@@ -76,6 +76,24 @@ class QuotaExhausted(ServiceError):
     """A hard API quota was exhausted (no amount of waiting helps)."""
 
 
+class DeadlineExceeded(ServiceError):
+    """A caller's time budget ran out before the call could succeed.
+
+    Raised by :func:`repro.resilience.call_with_policy` when a deadline
+    is in force and either the deadline has already passed or the next
+    backoff sleep would overshoot it. Waiting longer is exactly what the
+    caller cannot afford, so ``retryable=False``. ``deadline`` is the
+    absolute simulated instant the budget expired at; ``remaining`` is
+    the (non-negative) budget left when the decision was made.
+    """
+
+    def __init__(self, message: str, *, service: str = "",
+                 deadline: float = 0.0, remaining: float = 0.0):
+        super().__init__(message, service=service, retryable=False)
+        self.deadline = deadline
+        self.remaining = remaining
+
+
 class NotFound(ServiceError):
     """The requested entity does not exist in the service's records."""
 

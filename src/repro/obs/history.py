@@ -86,6 +86,20 @@ def build_run_record(*, command: str, config: Dict[str, Any],
         },
         "exec": dict(telemetry.exec_snapshot),
     }
+    serve = getattr(telemetry, "serve_snapshot", None) or {}
+    if serve:
+        latency = serve.get("latency", {})
+        queue = serve.get("queue", {})
+        # Sim-time SLOs: deterministic for a given (seed, load, config),
+        # so the gate can hold them to exact-ish thresholds.
+        record["serve"] = {
+            "p50_latency": float(latency.get("p50") or 0.0),
+            "p99_latency": float(latency.get("p99") or 0.0),
+            "submitted": int(serve.get("submitted", 0)),
+            "processed": int(serve.get("processed", 0)),
+            "shed": int(serve.get("shed", 0)),
+            "max_queue_depth": int(queue.get("max_depth", 0)),
+        }
     return record
 
 
@@ -295,6 +309,13 @@ class GateThresholds:
     max_charged_increase: int = 0
     #: Allowed drop in enrichment-cache hit rate (absolute).
     max_hit_rate_drop: float = 0.05
+    #: Serve p99 intake latency (sim seconds) may grow at most this
+    #: factor vs baseline. Sim-time, so growth is real queueing-behaviour
+    #: drift, not machine jitter; the factor only absorbs rounding.
+    max_serve_p99_growth: float = 1.25
+    #: Serve throughput (reports processed) may not drop below this
+    #: fraction of baseline.
+    min_serve_processed_ratio: float = 1.0
 
 
 def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
@@ -350,6 +371,28 @@ def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
             f"total charged calls grew {base_total} -> {current_total} "
             f"(allowed increase {thresholds.max_charged_increase})"
         )
+
+    base_serve = baseline.get("serve")
+    cur_serve = current.get("serve")
+    if base_serve and cur_serve:
+        base_p99 = float(base_serve.get("p99_latency", 0.0))
+        cur_p99 = float(cur_serve.get("p99_latency", 0.0))
+        if base_p99 > 0 and cur_p99 > base_p99 * thresholds.max_serve_p99_growth:
+            findings.append(
+                f"serve p99 intake latency grew {cur_p99 / base_p99:.2f}x: "
+                f"{base_p99:.2f}s -> {cur_p99:.2f}s sim "
+                f"(threshold {thresholds.max_serve_p99_growth:.2f}x)"
+            )
+        base_processed = int(base_serve.get("processed", 0))
+        cur_processed = int(cur_serve.get("processed", 0))
+        floor = base_processed * thresholds.min_serve_processed_ratio
+        if base_processed > 0 and cur_processed < floor:
+            findings.append(
+                f"serve throughput dropped: processed "
+                f"{base_processed} -> {cur_processed} reports "
+                f"(floor {thresholds.min_serve_processed_ratio:.0%} "
+                f"of baseline)"
+            )
 
     base_rate = float(baseline.get("cache", {}).get("hit_rate", 0.0))
     current_rate = float(current.get("cache", {}).get("hit_rate", 0.0))

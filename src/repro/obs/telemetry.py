@@ -56,6 +56,9 @@ class Telemetry:
         #: Final stream-ingestion stats (epochs, ledger, cache reuse),
         #: when the run was a :mod:`repro.stream` session.
         self.stream_snapshot: Dict[str, Any] = {}
+        #: Final intake-service stats (queue digests, shed counts, mode
+        #: transitions), when the run was a :mod:`repro.serve` session.
+        self.serve_snapshot: Dict[str, Any] = {}
         #: Final per-pool execution stats (tasks, busy seconds per
         #: worker), captured from the :class:`~repro.exec.ExecutionEngine`.
         self.exec_snapshot: Dict[str, Any] = {}
@@ -181,6 +184,16 @@ class Telemetry:
                     f"stream.ledger_{event}"
                 ).inc(ledger[event])
 
+    # -- serve wiring ---------------------------------------------------------
+
+    def capture_serve(self, stats: Optional[Dict[str, Any]]) -> None:
+        """Store an intake service's final ``stats()`` (see
+        :meth:`repro.serve.IntakeService.stats`). ``stats`` of None (a
+        non-serve run) is a no-op."""
+        if not self.enabled or stats is None:
+            return
+        self.serve_snapshot = dict(stats)
+
     # -- profiling wiring -----------------------------------------------------
 
     def capture_exec(self, stats: Optional[Dict[str, Any]]) -> None:
@@ -215,6 +228,7 @@ class Telemetry:
             "cache": dict(self.cache_snapshot),
             "checkpoint": dict(self.checkpoint_snapshot),
             "stream": dict(self.stream_snapshot),
+            "serve": dict(self.serve_snapshot),
             "exec": dict(self.exec_snapshot),
             "functions": dict(self.function_snapshot),
         }
@@ -407,6 +421,62 @@ class Telemetry:
         )
         return table
 
+    def serve_table(self) -> Table:
+        """Intake-service accounting: admission, queue, latency SLOs."""
+        table = Table(title="Serve", columns=["Field", "Value"])
+        snapshot = self.serve_snapshot
+        if not snapshot:
+            return table
+        load = snapshot.get("load", {})
+        table.add_row("Load profile",
+                      f"{load.get('profile', '-')} "
+                      f"({load.get('requests', 0)} requests, "
+                      f"{load.get('reporters', 0)} reporters)")
+        table.add_row("Submitted", int(snapshot.get("submitted", 0)))
+        table.add_row("Accepted", int(snapshot.get("accepted", 0)))
+        shed = snapshot.get("rejected_by_reason", {})
+        shed_detail = ", ".join(f"{reason}={count}"
+                                for reason, count in sorted(shed.items()))
+        table.add_row("Shed", f"{snapshot.get('shed', 0)}"
+                              + (f" ({shed_detail})" if shed_detail else ""))
+        table.add_row("Processed", int(snapshot.get("processed", 0)))
+        table.add_row("Timed out in queue", int(snapshot.get("timed_out", 0)))
+        table.add_row("Records (deduped)",
+                      f"{snapshot.get('records', 0)} "
+                      f"({snapshot.get('deduped', 0)} dupes)")
+        table.add_row("Batches (degraded)",
+                      f"{snapshot.get('batches', 0)} "
+                      f"({snapshot.get('degraded_batches', 0)} annotate-only)")
+        queue = snapshot.get("queue", {})
+        table.add_row(
+            "Queue depth p50/p90/p99/max",
+            "/".join(str(int(queue.get(key) or 0))
+                     for key in ("p50", "p90", "p99"))
+            + f"/{int(queue.get('max_depth', 0))}"
+            + f" (cap {int(queue.get('capacity', 0))})",
+        )
+        latency = snapshot.get("latency", {})
+        table.add_row(
+            "Intake latency p50/p99 (sim s)",
+            f"{(latency.get('p50') or 0.0):.1f}/"
+            f"{(latency.get('p99') or 0.0):.1f}",
+        )
+        table.add_row("Final mode", snapshot.get("mode", "-"))
+        return table
+
+    def serve_transition_table(self) -> Table:
+        """The degradation controller's mode history."""
+        table = Table(title="Serve mode transitions",
+                      columns=["Sim t (s)", "From", "To", "Reason"])
+        for transition in self.serve_snapshot.get("transitions", []):
+            table.add_row(
+                transition["at"],
+                transition["from_mode"],
+                transition["to_mode"],
+                transition["reason"],
+            )
+        return table
+
     def counter_table(self) -> Table:
         """Every non-service counter (collection, curation, drops...)."""
         table = Table(title="Run counters",
@@ -439,6 +509,11 @@ class Telemetry:
             parts.append(self.checkpoint_table().to_text())
         if self.stream_snapshot:
             parts.append(self.stream_table().to_text())
+        if self.serve_snapshot:
+            parts.append(self.serve_table().to_text())
+            transitions = self.serve_transition_table()
+            if transitions.rows:
+                parts.append(transitions.to_text())
         parts.append(self.counter_table().to_text())
         return "\n\n".join(parts)
 

@@ -58,6 +58,8 @@ class CircuitBreaker:
         self._opened_at: Optional[float] = None
         self._opens = 0
         self._fast_fails = 0
+        self._half_open_probes = 0
+        self._half_open_successes = 0
 
     # -- introspection --------------------------------------------------------
 
@@ -76,6 +78,16 @@ class CircuitBreaker:
         return self._fast_fails
 
     @property
+    def half_open_probes(self) -> int:
+        """Probe calls allowed through a half-open breaker."""
+        return self._half_open_probes
+
+    @property
+    def half_open_successes(self) -> int:
+        """Probes that succeeded and closed the breaker."""
+        return self._half_open_successes
+
+    @property
     def retry_at(self) -> float:
         """Simulated time at which an open breaker will half-open."""
         if self._opened_at is None:
@@ -89,6 +101,8 @@ class CircuitBreaker:
             "fast_fails": self._fast_fails,
             "consecutive_failures": self._consecutive_failures,
             "opened_at": self._opened_at,
+            "half_open_probes": self._half_open_probes,
+            "half_open_successes": self._half_open_successes,
         }
 
     def state_dict(self) -> Dict[str, Any]:
@@ -99,6 +113,8 @@ class CircuitBreaker:
             "opened_at": self._opened_at,
             "opens": self._opens,
             "fast_fails": self._fast_fails,
+            "half_open_probes": self._half_open_probes,
+            "half_open_successes": self._half_open_successes,
         }
 
     def restore_state(self, state: Dict[str, Any]) -> None:
@@ -110,6 +126,9 @@ class CircuitBreaker:
         self._opened_at = None if opened is None else float(opened)
         self._opens = int(state["opens"])
         self._fast_fails = int(state["fast_fails"])
+        # Journals written before probe accounting existed lack these.
+        self._half_open_probes = int(state.get("half_open_probes", 0))
+        self._half_open_successes = int(state.get("half_open_successes", 0))
 
     # -- state machine --------------------------------------------------------
 
@@ -127,9 +146,16 @@ class CircuitBreaker:
                 self._fast_fails += 1
                 self._emit("fast_fail")
                 return False
+        if self._state is BreakerState.HALF_OPEN:
+            # Every call allowed while half-open is one recovery probe;
+            # the probe/success ratio is how the serve degradation
+            # controller tells "recovering" from "still failing".
+            self._half_open_probes += 1
         return True
 
     def record_success(self) -> None:
+        if self._state is BreakerState.HALF_OPEN:
+            self._half_open_successes += 1
         if self._state is not BreakerState.CLOSED:
             self._state = BreakerState.CLOSED
             self._emit("close")

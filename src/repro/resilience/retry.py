@@ -18,7 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, TypeVar
 
-from ..errors import CircuitOpen, NotFound, QuotaExhausted, ServiceError
+from ..errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    NotFound,
+    QuotaExhausted,
+    ServiceError,
+)
 from ..utils.rng import stable_hash
 from .breaker import CircuitBreaker
 
@@ -94,6 +100,7 @@ def call_with_policy(
     key: str = "",
     breaker: Optional[CircuitBreaker] = None,
     on_retry: Optional[RetryObserver] = None,
+    deadline: Optional[float] = None,
 ) -> T:
     """Run ``fn`` under a retry policy and an optional circuit breaker.
 
@@ -108,9 +115,33 @@ def call_with_policy(
     With a breaker, every attempt first asks :meth:`CircuitBreaker.allow`;
     an open breaker raises :class:`~repro.errors.CircuitOpen` without
     touching the service.
+
+    ``deadline`` is an absolute simulated instant bounding the caller's
+    patience. A call that starts past its deadline, or whose next
+    backoff sleep would land past it, raises a structured
+    :class:`~repro.errors.DeadlineExceeded` instead of sleeping — the
+    remaining budget could never cover the wait, so burning it on
+    backoff would only make the caller later. The deadline bounds
+    *waiting*, not the attempt itself (service simulators do not
+    advance the clock mid-call), which keeps the check side-effect-free:
+    no partial backoff is ever burned on an abandoned retry.
     """
+
+    def _expired(now: float) -> DeadlineExceeded:
+        return DeadlineExceeded(
+            f"{service or key}: deadline exceeded "
+            f"(t={now:.1f} past deadline {deadline:.1f})",
+            service=service,
+            deadline=deadline,
+            remaining=max(0.0, deadline - now),
+        )
+
     attempt = 0
     while True:
+        if deadline is not None and clock.now >= deadline:
+            exc = _expired(clock.now)
+            exc.resilience_attempts = attempt
+            raise exc
         if breaker is not None and not breaker.allow():
             exc = CircuitOpen(
                 f"{service or breaker.service}: circuit open "
@@ -132,6 +163,11 @@ def call_with_policy(
                 attempt, key=key or service,
                 retry_after=getattr(exc, "retry_after", None),
             )
+            if deadline is not None and clock.now + delay > deadline:
+                timeout = _expired(clock.now)
+                timeout.resilience_attempts = attempt
+                timeout.__cause__ = exc
+                raise timeout
             if on_retry is not None:
                 on_retry(service or exc.service, attempt, delay, exc)
             clock.advance(delay)

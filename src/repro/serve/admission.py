@@ -1,0 +1,198 @@
+"""Admission control: who gets into the intake queue, and who is told
+to come back later.
+
+Overload safety starts at the front door. Every submission passes three
+gates, in order:
+
+1. **Service mode** — a draining or shedding service rejects new work
+   outright (with a retry-after hint sized from the queue backlog), so
+   backlog can never grow without bound.
+2. **Per-reporter rate limit** — a :class:`ReporterBucket` token bucket
+   per reporter id, refilled on simulated time. A single hyperactive
+   reporter (or a spamming script) cannot crowd out the long tail.
+3. **Queue capacity** — the bounded queue itself; a full queue is a
+   hard reject even below the shedding watermark (belt and braces: the
+   shed watermark normally fires first).
+
+Every rejection is a structured :class:`AdmissionRejection` — the serve
+analogue of :class:`~repro.core.collection.CollectionLimitation` and
+:class:`~repro.core.enrichment.EnrichmentGap`: shed load is a research
+result, not a log line. Accepted + rejected always equals submitted
+(``tests/test_properties.py`` pins it), and every decision is a pure
+function of (seed, arrival order, simulated clock), so two identical
+runs — or a killed run and its resume — decide identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Rejection reasons, mirroring the gap/limitation ``kind`` vocabulary.
+REJECTION_REASONS = ("rate_limited", "queue_full", "shedding", "draining",
+                    "deadline")
+
+
+@dataclass(frozen=True)
+class AdmissionRejection:
+    """One submission the service refused (or abandoned) — structurally.
+
+    ``reason`` is one of :data:`REJECTION_REASONS`; the first four are
+    front-door rejections, ``deadline`` marks an *accepted* request
+    whose time budget expired while it waited in the queue (dropped at
+    dequeue, before any service was charged for it). ``retry_after`` is
+    the hint surfaced to the caller: simulated seconds until a retry has
+    a realistic chance (None when retrying is pointless, e.g. drain).
+    """
+
+    request_id: str
+    reporter: str
+    reason: str
+    detail: str
+    mode: str
+    simulated_at: float
+    retry_after: Optional[float] = None
+
+
+class ReporterBucket:
+    """A per-reporter token bucket on simulated time.
+
+    Deliberately simpler than :class:`~repro.services.base.ServiceMeter`
+    (no quota, no observer): tens of thousands of reporters each get one
+    of these, so it stays two floats and refills lazily on read.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_refilled_at")
+
+    def __init__(self, rate: float, burst: float,
+                 *, now: float = 0.0, tokens: Optional[float] = None):
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst if tokens is None else tokens
+        self._refilled_at = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    def try_take(self, now: float) -> bool:
+        """Spend one token if available; never blocks, never throttles."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Simulated seconds until the next token exists."""
+        self._refill(now)
+        missing = max(0.0, 1.0 - self._tokens)
+        return missing / self.rate if self.rate > 0 else float("inf")
+
+    def state_dict(self) -> Dict[str, float]:
+        return {"tokens": self._tokens, "refilled_at": self._refilled_at}
+
+
+@dataclass
+class AdmissionPolicy:
+    """The front door's knobs (one immutable bundle per service run)."""
+
+    #: Per-reporter refill rate (tokens per simulated second).
+    reporter_rate: float = 1.0 / 30.0
+    #: Per-reporter burst allowance.
+    reporter_burst: float = 4.0
+
+
+class AdmissionController:
+    """Applies the admission gates and keeps the structured ledger."""
+
+    def __init__(self, policy: AdmissionPolicy, clock):
+        self.policy = policy
+        self.clock = clock
+        self.buckets: Dict[str, ReporterBucket] = {}
+        self.rejections: List[AdmissionRejection] = []
+        self.accepted = 0
+        self.rejected_by_reason: Dict[str, int] = {}
+
+    # -- the decision ---------------------------------------------------------
+
+    def bucket_for(self, reporter: str) -> ReporterBucket:
+        bucket = self.buckets.get(reporter)
+        if bucket is None:
+            bucket = ReporterBucket(self.policy.reporter_rate,
+                                    self.policy.reporter_burst,
+                                    now=self.clock.now)
+            self.buckets[reporter] = bucket
+        return bucket
+
+    def reject(self, request_id: str, reporter: str, reason: str,
+               detail: str, *, mode: str,
+               retry_after: Optional[float] = None) -> AdmissionRejection:
+        """File one structured rejection and return it."""
+        rejection = AdmissionRejection(
+            request_id=request_id,
+            reporter=reporter,
+            reason=reason,
+            detail=detail,
+            mode=mode,
+            simulated_at=self.clock.now,
+            retry_after=(round(retry_after, 3)
+                         if retry_after is not None else None),
+        )
+        self.rejections.append(rejection)
+        self.rejected_by_reason[reason] = (
+            self.rejected_by_reason.get(reason, 0) + 1)
+        return rejection
+
+    def admit_reporter(self, reporter: str) -> Optional[float]:
+        """None when the reporter's bucket has a token; otherwise the
+        retry-after hint for the rate-limit rejection."""
+        bucket = self.bucket_for(reporter)
+        if bucket.try_take(self.clock.now):
+            return None
+        return bucket.retry_after(self.clock.now)
+
+    def record_accept(self) -> None:
+        self.accepted += 1
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    @property
+    def rejected(self) -> int:
+        return len(self.rejections)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "rejected_by_reason": dict(sorted(
+                self.rejected_by_reason.items())),
+        }
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "accepted": self.accepted,
+            "rejected_by_reason": dict(self.rejected_by_reason),
+            "buckets": {name: bucket.state_dict()
+                        for name, bucket in self.buckets.items()},
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Put a committed snapshot's bucket/counter state back. The
+        rejection *records* are restored separately (they live in the
+        durable serve state, not here)."""
+        self.accepted = int(state["accepted"])
+        self.rejected_by_reason = {
+            str(k): int(v)
+            for k, v in state["rejected_by_reason"].items()
+        }
+        self.buckets = {
+            name: ReporterBucket(
+                self.policy.reporter_rate, self.policy.reporter_burst,
+                now=payload["refilled_at"], tokens=payload["tokens"],
+            )
+            for name, payload in state["buckets"].items()
+        }

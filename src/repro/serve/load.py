@@ -1,0 +1,140 @@
+"""The seeded load generator: tens of thousands of bursty reporters.
+
+The paper's intake channels (7726 forwarding, forum posts, web forms)
+see traffic that is anything but uniform: a flash campaign produces a
+wall of near-simultaneous reports, then hours of quiet. The generator
+reproduces that shape *deterministically*: the full arrival schedule —
+who submits, when, with how much patience — is a pure function of
+``(seed, profile, requests, reporters)``, so a killed server can rebuild
+the exact remaining schedule at resume time, and two runs with the same
+spec are byte-identical end to end.
+
+Reporter identity follows a Pareto draw (a hot head of prolific
+reporters over a long quiet tail), which is what gives the per-reporter
+token buckets something to push back on. Submitted posts cycle the
+world's reporter output with wrap-around, so a long run re-submits
+content it has already seen — deliberate stress on the dedup ledger's
+exactly-once-per-content guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..utils.rng import derive
+
+#: The named arrival shapes behind ``repro serve --load-profile``.
+LOAD_PROFILES = ("steady", "burst", "spike")
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One deterministic load scenario (persisted in the serve manifest)."""
+
+    profile: str = "burst"
+    requests: int = 2000
+    reporters: int = 500
+    seed: int = 7726
+    #: Reporter patience (min, max) in simulated seconds; a report not
+    #: processed within its drawn budget times out in the queue.
+    budget_range: Tuple[float, float] = (180.0, 900.0)
+
+    def __post_init__(self) -> None:
+        if self.profile not in LOAD_PROFILES:
+            raise ConfigurationError(
+                f"unknown load profile {self.profile!r}; choose from "
+                f"{LOAD_PROFILES}"
+            )
+        if self.requests < 1 or self.reporters < 1:
+            raise ConfigurationError(
+                "load spec needs at least one request and one reporter"
+            )
+        low, high = self.budget_range
+        if low <= 0 or high < low:
+            raise ConfigurationError(
+                f"budget_range wants 0 < min <= max, got {self.budget_range}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["budget_range"] = list(self.budget_range)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LoadSpec":
+        budget = payload.get("budget_range", (180.0, 900.0))
+        return cls(profile=str(payload["profile"]),
+                   requests=int(payload["requests"]),
+                   reporters=int(payload["reporters"]),
+                   seed=int(payload["seed"]),
+                   budget_range=(float(budget[0]), float(budget[1])))
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled submission."""
+
+    index: int
+    at: float  # absolute simulated seconds
+    reporter: str
+    post_index: int
+    budget: Optional[float]  # reporter patience in simulated seconds
+
+    @property
+    def request_id(self) -> str:
+        return f"q{self.index:07d}"
+
+
+def _reporter_index(rng, reporters: int) -> int:
+    """Pareto-shaped reporter choice: low indices are hot."""
+    draw = int(rng.paretovariate(1.3)) - 1
+    return draw % reporters
+
+
+def generate_schedule(spec: LoadSpec, *, n_posts: int) -> List[Arrival]:
+    """The full arrival schedule for one load spec.
+
+    * ``steady`` — Poisson arrivals, mean 5 s apart: the calm baseline
+      a healthy service never sheds under.
+    * ``burst``  — alternating dense runs (50–200 arrivals ~0.05–0.2 s
+      apart) and 40–90 s quiet gaps: sustained bursts outrun the drain
+      rate and exercise the full shed-and-recover cycle.
+    * ``spike``  — steady traffic with one wall of arrivals in the
+      middle fifth of the run: a single flash campaign.
+    """
+    if n_posts < 1:
+        raise ConfigurationError("cannot generate load over an empty world")
+    rng = derive(spec.seed,
+                 f"serve-load:{spec.profile}:{spec.requests}:{spec.reporters}")
+    arrivals: List[Arrival] = []
+    now = 0.0
+    burst_left = 0
+    spike_start = spec.requests * 2 // 5
+    spike_end = spec.requests * 3 // 5
+    for index in range(spec.requests):
+        if spec.profile == "steady":
+            now += rng.expovariate(1.0 / 5.0)
+        elif spec.profile == "burst":
+            if burst_left <= 0:
+                now += rng.uniform(40.0, 90.0)
+                burst_left = rng.randint(50, 200)
+            else:
+                now += rng.uniform(0.05, 0.2)
+            burst_left -= 1
+        else:  # spike
+            if spike_start <= index < spike_end:
+                now += rng.uniform(0.01, 0.05)
+            else:
+                now += rng.expovariate(1.0 / 8.0)
+        reporter = f"rep-{_reporter_index(rng, spec.reporters):05d}"
+        budget = round(rng.uniform(*spec.budget_range), 3)
+        arrivals.append(Arrival(
+            index=index,
+            at=round(now, 3),
+            reporter=reporter,
+            post_index=index % n_posts,
+            budget=budget,
+        ))
+    return arrivals

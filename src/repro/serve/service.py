@@ -1,0 +1,713 @@
+"""The intake service: a long-running, request-driven pipeline front end.
+
+:class:`IntakeService` turns the batch/stream machinery into a server
+that stays correct when demand exceeds capacity. The request surface is
+HTTP-shaped (method + path + JSON body, 202/404/429/503 + Retry-After)
+but driven deterministically in-process: the seeded load generator
+builds :class:`~repro.serve.load.Arrival` schedules and pushes them
+through :meth:`dispatch`, so tens of thousands of bursty reporters cost
+no sockets and reproduce byte-for-byte.
+
+The lifecycle of one submission::
+
+    POST /v1/reports ── admission ──> bounded queue ── batch drain ──>
+      curate -> dedup ledger -> enrich (deadline-capped, mode-aware)
+        -> ServeState (records, annotations, gaps, statuses, digests)
+
+Overload changes behaviour through the
+:class:`~repro.serve.degrade.DegradationController`: open breakers or
+near-exhausted meter quotas put the service in *degraded* (annotate-only
+enrichment); queue watermarks latch *shedding* (reject + retry-after)
+until the backlog clears; *draining* finishes queued work and rejects
+everything new.
+
+Durability follows the stream layer's commit discipline: every
+``commit_every`` arrivals (and at drain), the full service state —
+dataset, queue contents, admission buckets, controller history, dedup
+ledger, and the clock/meter/breaker/fault-proxy registry — is pickled
+under a sha-bound ``SERVE.json`` manifest. A killed server resumes from
+the last commit and *replays* the deterministic schedule from there:
+in-memory effects past the commit died with the process, the restored
+meters re-charge identically, and the final state is byte-equal to an
+uninterrupted run — no accepted report lost, none double-processed,
+zero duplicate charges (``tests/test_serve_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..checkpoint.state import (
+    BREAKER_PREFIX,
+    CLOCK_KEY,
+    METER_PREFIX,
+    PROXY_PREFIX,
+)
+from ..core.collection import _report_from_post
+from ..core.config import PipelineConfig
+from ..core.curation import Curator
+from ..core.dataset import SmishingDataset
+from ..core.enrichment import Enricher, EnrichedDataset
+from ..core.pipeline import _observed_meters, build_enrichment_services
+from ..errors import CheckpointError, ConfigurationError, SimulatedCrash
+from ..exec import ExecutionEngine, ExecutionPolicy
+from ..faults import FaultPlan, FaultProxy, build_fault_plan, inject_faults
+from ..imaging.vision_openai import OpenAiVisionExtractor
+from ..obs import Telemetry, ensure_telemetry
+from ..resilience import CircuitBreaker, RetryPolicy
+from ..stream.ledger import DedupLedger
+from ..stream.persist import atomic_write_json, atomic_write_pickle, \
+    read_json, read_pickle
+from ..stream.runner import _scenario_from_dict, _scenario_to_dict
+from ..utils.rng import derive
+from ..world.scenario import ScenarioConfig, World, build_world
+from .admission import AdmissionController, AdmissionPolicy
+from .degrade import DegradationController, ServeMode
+from .load import Arrival, LoadSpec, generate_schedule
+from .queue import BoundedQueue, QueueItem
+from .state import ServeState
+
+#: The serve directory's manifest file name.
+SERVE_MANIFEST_NAME = "SERVE.json"
+SERVE_STATE_NAME = "state.pkl"
+SERVE_FORMAT_VERSION = 1
+
+#: Front-door rejection reasons (vs ``deadline``, which is post-accept).
+FRONT_DOOR_REASONS = ("rate_limited", "queue_full", "shedding", "draining")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The service's capacity and cadence knobs."""
+
+    queue_capacity: int = 512
+    batch_size: int = 32
+    #: Simulated seconds between batch drains.
+    drain_interval: float = 20.0
+    #: Shed latch engages at ``high`` × capacity, releases at ``low`` ×.
+    shed_high_fraction: float = 0.9
+    shed_low_fraction: float = 0.5
+    #: Arrivals between durable commits (with a ``serve_dir``).
+    commit_every: int = 500
+    #: Degrade when a metered service's remaining quota fraction dips
+    #: under this floor.
+    quota_floor: float = 0.1
+    #: Per-reporter token bucket (see AdmissionPolicy).
+    reporter_rate: float = 1.0 / 30.0
+    reporter_burst: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError("batch size must be at least 1")
+        if self.drain_interval <= 0:
+            raise ConfigurationError("drain interval must be positive")
+        if not 0.0 < self.shed_low_fraction < self.shed_high_fraction <= 1.0:
+            raise ConfigurationError(
+                "need 0 < shed_low_fraction < shed_high_fraction <= 1"
+            )
+        if self.commit_every < 1:
+            raise ConfigurationError("commit_every must be at least 1")
+
+    @property
+    def high_watermark(self) -> int:
+        return max(2, int(self.queue_capacity * self.shed_high_fraction))
+
+    @property
+    def low_watermark(self) -> int:
+        return max(1, min(self.high_watermark - 1,
+                          int(self.queue_capacity * self.shed_low_fraction)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ServeConfig":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One HTTP-shaped request (no sockets; the load generator builds
+    these in-process)."""
+
+    method: str
+    path: str
+    body: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class Response:
+    """The service's answer: status code, JSON body, headers."""
+
+    status: int
+    body: Dict[str, Any]
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+class IntakeService:
+    """One overload-safe report-intake service over one world."""
+
+    def __init__(self, world: World, *, load: LoadSpec,
+                 config: Optional[ServeConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 execution: Optional[ExecutionPolicy] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 serve_dir: Optional[Path] = None,
+                 kill_at: Optional[int] = None,
+                 cli: Optional[Dict[str, Any]] = None):
+        self.world = world
+        self.clock = world.clock
+        self.load = load
+        self.config = config or ServeConfig()
+        self.policy = execution or ExecutionPolicy()
+        self.telemetry = ensure_telemetry(telemetry)
+        self.telemetry.tracer.bind_clock(world.clock)
+        self.serve_dir = Path(serve_dir) if serve_dir is not None else None
+        self._kill_at = kill_at
+        self._cli = dict(cli) if cli else {}
+        self._plan = (fault_plan.without_crash_points()
+                      if fault_plan is not None else None)
+        if (self.serve_dir is not None and self._plan is not None
+                and not self._plan.is_empty and self._plan.profile is None):
+            raise ConfigurationError(
+                "a durable serve session needs a *named* fault profile "
+                "(hand-built plans cannot be rebuilt at resume time)"
+            )
+
+        #: Session-wide resources (one battery, one cache, one breaker
+        #: set), fault-wrapped once for the whole service lifetime so
+        #: call-indexed fault rules see a single continuous counter.
+        services = build_enrichment_services(world)
+        if self._plan is not None and not self._plan.is_empty:
+            services, _ = inject_faults(services, world.forums, self._plan,
+                                        clock=world.clock)
+        self.services = services
+        self._engine = ExecutionEngine(self.policy)
+        self.cache = self._engine.build_cache()
+        self.breakers: Dict[str, CircuitBreaker] = {}
+
+        #: Deterministic submission material: the world's posts in their
+        #: canonical order, cycled by the load schedule.
+        self._posts = world.reporter_output.all_posts()
+        self._schedule: List[Arrival] = generate_schedule(
+            load, n_posts=len(self._posts))
+
+        self.state = ServeState()
+        self.ledger = DedupLedger()
+        self.queue = BoundedQueue(self.config.queue_capacity)
+        self.admission = AdmissionController(
+            AdmissionPolicy(reporter_rate=self.config.reporter_rate,
+                            reporter_burst=self.config.reporter_burst),
+            self.clock,
+        )
+        # Single source of truth for the rejection ledger: the durable
+        # state owns the list, the admission controller appends to it.
+        self.admission.rejections = self.state.rejections
+        self.controller = DegradationController(
+            self.clock,
+            high_watermark=self.config.high_watermark,
+            low_watermark=self.config.low_watermark,
+            breakers=self.breakers,
+            meters=self.services.meters(),
+            quota_floor=self.config.quota_floor,
+        )
+        seed = world.config.seed
+        self._vision = OpenAiVisionExtractor(
+            derive(seed, "pipeline-vision"),
+            miss_rate=PipelineConfig().vision_miss_rate,
+            stable_seed=seed,
+        )
+        self._retry_policy = RetryPolicy(seed=seed)
+        #: Absolute sim time of the next scheduled batch drain (None
+        #: while the queue is empty). Part of the committed state.
+        self._next_due: Optional[float] = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, scenario: Optional[ScenarioConfig] = None, *,
+               load: Optional[LoadSpec] = None,
+               config: Optional[ServeConfig] = None,
+               fault_plan: Optional[FaultPlan] = None,
+               execution: Optional[ExecutionPolicy] = None,
+               telemetry_factory=None,
+               serve_dir: Optional[Path] = None,
+               kill_at: Optional[int] = None,
+               cli: Optional[Dict[str, Any]] = None) -> "IntakeService":
+        """Start a fresh service (``repro serve``).
+
+        With a ``serve_dir`` the directory must not already hold a
+        session; the manifest is persisted before the first arrival so
+        even an immediate crash leaves a resumable directory.
+        """
+        scenario = scenario or ScenarioConfig()
+        world = build_world(scenario)
+        spec = load or LoadSpec(seed=scenario.seed)
+        telemetry = (telemetry_factory(world) if telemetry_factory is not None
+                     else None)
+        service = cls(world, load=spec, config=config, fault_plan=fault_plan,
+                      execution=execution, telemetry=telemetry,
+                      serve_dir=serve_dir, kill_at=kill_at, cli=cli)
+        if service.serve_dir is not None:
+            manifest = service.serve_dir / SERVE_MANIFEST_NAME
+            if manifest.exists():
+                raise ConfigurationError(
+                    f"{service.serve_dir} already holds a serve session; "
+                    f"continue it with `repro serve --resume --serve-dir "
+                    f"{service.serve_dir}`"
+                )
+            service.serve_dir.mkdir(parents=True, exist_ok=True)
+            service._persist_manifest(state_ref=None)
+        return service
+
+    @classmethod
+    def load(cls, serve_dir: Path, *, telemetry_factory=None,
+             kill_at: Optional[int] = None) -> "IntakeService":
+        """Reopen a killed (or drained) service from its last commit.
+
+        Rebuilds the world and the deterministic load schedule from the
+        manifest, restores the committed state — queue contents,
+        admission buckets, controller history, dedup ledger, and the
+        clock/meter/breaker/fault-proxy registry — and is then ready to
+        continue from ``arrival_index + 1``. Injected kills are never
+        inherited: a resume only crashes again if *this* call asks to.
+        """
+        serve_dir = Path(serve_dir)
+        manifest_path = serve_dir / SERVE_MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ConfigurationError(
+                f"{serve_dir} holds no {SERVE_MANIFEST_NAME}; nothing to "
+                f"resume"
+            )
+        manifest = read_json(manifest_path)
+        if manifest.get("version") != SERVE_FORMAT_VERSION:
+            raise CheckpointError(
+                f"serve manifest version {manifest.get('version')!r} is "
+                f"not supported (want {SERVE_FORMAT_VERSION})"
+            )
+        scenario = _scenario_from_dict(manifest["scenario"])
+        world = build_world(scenario)
+        faults = manifest.get("faults") or {}
+        fault_plan = None
+        if faults.get("profile"):
+            fault_plan = build_fault_plan(faults["profile"],
+                                          seed=int(faults["seed"]))
+        telemetry = (telemetry_factory(world) if telemetry_factory is not None
+                     else None)
+        service = cls(
+            world,
+            load=LoadSpec.from_dict(manifest["load"]),
+            config=ServeConfig.from_dict(manifest["config"]),
+            fault_plan=fault_plan,
+            execution=ExecutionPolicy(**manifest["execution"]),
+            telemetry=telemetry,
+            serve_dir=serve_dir,
+            kill_at=kill_at,
+            cli=manifest.get("cli") or {},
+        )
+        if manifest.get("state_file"):
+            payload = read_pickle(
+                serve_dir / manifest["state_file"],
+                expected_sha256=manifest.get("state_sha256", ""),
+            )
+            service.state = ServeState.from_payload(payload["state"])
+            service.admission.rejections = service.state.rejections
+            service.admission.restore_state(payload["admission"])
+            service.controller.restore_state(payload["controller"])
+            service.queue.restore_state(payload["queue"])
+            service.ledger = DedupLedger.from_dict(payload["ledger"])
+            service._next_due = payload["next_due"]
+            if service.cache is not None:
+                service.cache.seed(payload.get("cache_entries", ()))
+            service._restore_registry(payload.get("registry_state", {}))
+        return service
+
+    # -- the registry: clock, meters, breakers, fault proxies -----------------
+
+    def _registry_objects(self) -> Dict[str, Any]:
+        objects: Dict[str, Any] = {CLOCK_KEY: self.clock}
+        for name, meter in self.services.meters().items():
+            objects[METER_PREFIX + name] = meter
+        for name, breaker in self.breakers.items():
+            objects[BREAKER_PREFIX + name] = breaker
+        # Serve wraps services once for its whole lifetime, so proxy
+        # call counters are continuous session state (unlike stream's
+        # per-epoch proxies) and must survive a resume for call-indexed
+        # fault rules to fire at the same calls.
+        for field_name in ("hlr", "whois", "crtsh", "passivedns", "ipinfo",
+                           "virustotal", "gsb", "openai"):
+            service_obj = getattr(self.services, field_name)
+            if isinstance(service_obj, FaultProxy):
+                objects[PROXY_PREFIX + service_obj.meter.service] = service_obj
+        return objects
+
+    def _capture_registry(self) -> Dict[str, Dict[str, Any]]:
+        return {key: obj.state_dict()
+                for key, obj in self._registry_objects().items()}
+
+    def _restore_registry(self, state: Dict[str, Dict[str, Any]]) -> None:
+        objects = self._registry_objects()
+        for key, value in state.items():
+            obj = objects.get(key)
+            if obj is not None:
+                obj.restore_state(value)
+            elif key.startswith(BREAKER_PREFIX):
+                name = key[len(BREAKER_PREFIX):]
+                breaker = CircuitBreaker(
+                    name, self.clock,
+                    observer=self.telemetry.breaker_hook(),
+                )
+                breaker.restore_state(value)
+                self.breakers[name] = breaker
+            else:
+                raise CheckpointError(
+                    f"serve state carries unknown registry key {key!r}")
+
+    # -- the HTTP-shaped surface ----------------------------------------------
+
+    def dispatch(self, request: Request) -> Response:
+        """Route one request. Unknown paths get a 404, like any server."""
+        if request.method == "POST" and request.path == "/v1/reports":
+            return self._submit(request.body or {})
+        if request.method == "GET" and request.path.startswith("/v1/reports/"):
+            request_id = request.path[len("/v1/reports/"):]
+            status = self.state.statuses.get(request_id)
+            if status is None:
+                return Response(404, {"error": "unknown request id",
+                                      "request_id": request_id})
+            return Response(200, {"request_id": request_id,
+                                  "status": status})
+        if request.method == "GET" and request.path == "/v1/stats":
+            return Response(200, self.stats())
+        if request.method == "GET" and request.path == "/v1/health":
+            degraded = self.controller.mode is not ServeMode.HEALTHY
+            return Response(503 if degraded else 200, {
+                "mode": self.controller.mode.value,
+                "queue_depth": self.queue.depth,
+                "queue_capacity": self.queue.capacity,
+            })
+        return Response(404, {"error": f"no route for "
+                                       f"{request.method} {request.path}"})
+
+    def _shed_retry_after(self) -> float:
+        """How long until the backlog has drained to the low watermark."""
+        drain_rate = self.config.batch_size / self.config.drain_interval
+        backlog = max(0, self.queue.depth - self.config.low_watermark)
+        return round(max(self.config.drain_interval, backlog / drain_rate), 3)
+
+    def _rejected(self, request_id: str, reporter: str, reason: str,
+                  detail: str, *, status: int,
+                  retry_after: Optional[float]) -> Response:
+        rejection = self.admission.reject(
+            request_id, reporter, reason, detail,
+            mode=self.controller.mode.value, retry_after=retry_after)
+        self.state.statuses[request_id] = "rejected"
+        headers = {}
+        if rejection.retry_after is not None:
+            headers["Retry-After"] = f"{rejection.retry_after:g}"
+        return Response(status, {"error": reason, "detail": detail,
+                                 "request_id": request_id}, headers)
+
+    def _submit(self, body: Dict[str, Any]) -> Response:
+        self.state.submitted += 1
+        request_id = str(body["request_id"])
+        reporter = str(body["reporter"])
+        mode = self.controller.refresh(self.queue.depth)
+        if mode is ServeMode.DRAINING:
+            return self._rejected(
+                request_id, reporter, "draining",
+                "service is draining; submissions are closed",
+                status=503, retry_after=None)
+        if mode is ServeMode.SHEDDING:
+            return self._rejected(
+                request_id, reporter, "shedding",
+                f"backlog at {self.queue.depth}/{self.queue.capacity}; "
+                f"shedding until it clears {self.controller.low_watermark}",
+                status=503, retry_after=self._shed_retry_after())
+        hint = self.admission.admit_reporter(reporter)
+        if hint is not None:
+            return self._rejected(
+                request_id, reporter, "rate_limited",
+                f"reporter {reporter} exceeded "
+                f"{self.admission.policy.reporter_rate:g}/s "
+                f"(burst {self.admission.policy.reporter_burst:g})",
+                status=429, retry_after=hint)
+        budget = body.get("budget")
+        item = QueueItem(
+            index=int(body["index"]),
+            request_id=request_id,
+            reporter=reporter,
+            post_index=int(body["post_index"]),
+            enqueued_at=self.clock.now,
+            deadline=(self.clock.now + float(budget)
+                      if budget is not None else None),
+        )
+        if not self.queue.offer(item):
+            return self._rejected(
+                request_id, reporter, "queue_full",
+                f"queue at capacity {self.queue.capacity}",
+                status=503, retry_after=self._shed_retry_after())
+        self.admission.record_accept()
+        self.state.statuses[request_id] = "queued"
+        if self._next_due is None:
+            self._next_due = self.clock.now + self.config.drain_interval
+        # The enqueue itself may breach the high watermark.
+        self.controller.refresh(self.queue.depth)
+        return Response(202, {"request_id": request_id, "status": "queued"},
+                        {"Location": f"/v1/reports/{request_id}"})
+
+    # -- the run loop ---------------------------------------------------------
+
+    def run(self) -> ServeState:
+        """Play the load schedule, then drain gracefully."""
+        meters = list(self.services.meters().values())
+        try:
+            with self._engine, _observed_meters(self.telemetry, meters):
+                with self.telemetry.tracer.span(
+                    "serve", requests=self.load.requests,
+                    profile=self.load.profile,
+                ):
+                    self._play_schedule()
+                    self._drain()
+        finally:
+            self._finalise_telemetry()
+        return self.state
+
+    def _play_schedule(self) -> None:
+        for arrival in self._schedule:
+            if arrival.index <= self.state.arrival_index:
+                continue  # committed by a previous life of this service
+            if self._kill_at is not None and arrival.index == self._kill_at:
+                raise SimulatedCrash(
+                    f"serve: injected kill before arrival {arrival.index}",
+                    service="serve", at_call=arrival.index)
+            if arrival.at > self.clock.now:
+                self.clock.advance(arrival.at - self.clock.now)
+            self._drain_due()
+            self.dispatch(Request("POST", "/v1/reports", {
+                "index": arrival.index,
+                "request_id": arrival.request_id,
+                "reporter": arrival.reporter,
+                "post_index": arrival.post_index,
+                "budget": arrival.budget,
+            }))
+            self.state.arrival_index = arrival.index
+            self.state.queue_depths.add(self.queue.depth)
+            if (self.serve_dir is not None
+                    and (arrival.index + 1) % self.config.commit_every == 0):
+                self._commit()
+        if self.serve_dir is not None:
+            self._commit()
+
+    def _drain_due(self) -> None:
+        """Catch-up batch processing on an absolute drain schedule.
+
+        The next-due instant advances by fixed intervals rather than
+        resetting from "now", so a long quiet gap drains as many batches
+        as the elapsed time owes — the queue empties during lulls
+        instead of leaking one batch per arrival.
+        """
+        if self.queue.depth == 0:
+            self._next_due = None
+            return
+        while (self.queue.depth and self._next_due is not None
+               and self._next_due <= self.clock.now):
+            self._process_batch()
+            self._next_due += self.config.drain_interval
+        if self.queue.depth == 0:
+            self._next_due = None
+
+    def _drain(self) -> None:
+        """Graceful shutdown: reject new work, finish everything queued."""
+        self.controller.begin_drain(self.queue.depth)
+        while self.queue.depth:
+            self.clock.advance(self.config.drain_interval)
+            self._process_batch()
+        self.controller.end_drain()
+        self._next_due = None
+        if self.serve_dir is not None:
+            self._commit()
+
+    # -- batch processing -----------------------------------------------------
+
+    def _process_batch(self) -> None:
+        items = self.queue.take(self.config.batch_size)
+        batch: List[QueueItem] = []
+        for item in items:
+            if item.deadline is not None and self.clock.now > item.deadline:
+                waited = self.clock.now - item.enqueued_at
+                self.admission.reject(
+                    item.request_id, item.reporter, "deadline",
+                    f"expired in queue after {waited:.0f}s (budget "
+                    f"{item.deadline - item.enqueued_at:.0f}s)",
+                    mode=self.controller.mode.value, retry_after=None)
+                self.state.statuses[item.request_id] = "timed_out"
+                self.state.timed_out += 1
+                continue
+            batch.append(item)
+        self.controller.refresh(self.queue.depth)
+        if not batch:
+            return
+        mode = self.controller.mode
+        annotate_only = mode in (ServeMode.DEGRADED, ServeMode.SHEDDING)
+        with self.telemetry.tracer.span(
+            "serve/batch", items=len(batch), mode=mode.value,
+        ):
+            reports = [
+                _report_from_post(self._posts[item.post_index], None)
+                for item in batch
+            ]
+            curator = Curator(self._vision, self.telemetry,
+                              record_id_start=self.state.next_record_index)
+            dataset = curator.curate(reports)
+            self.state.next_record_index = curator.record_counter
+            division = self.ledger.divide(dataset)
+            delta = SmishingDataset(division.delta)
+            deadlines = [item.deadline for item in batch
+                         if item.deadline is not None]
+            enricher = Enricher(
+                self.services, self.telemetry,
+                retry_policy=self._retry_policy,
+                breakers=self.breakers,
+                cache=self.cache,
+                pool=self._engine.enrichment_pool(),
+                known_senders=set(self.state.senders),
+                known_urls=set(self.state.urls),
+                # The oldest queued request's patience caps every retry
+                # in the batch: backlogged work must not back off past
+                # the deadline of the caller still waiting on it.
+                deadline=min(deadlines) if deadlines else None,
+            )
+            enriched = enricher.run(delta, annotate_only=annotate_only)
+        self.ledger.commit(division.new_hashes)
+        self._merge_batch(dataset, division, enriched)
+        for item in batch:
+            self.state.statuses[item.request_id] = "done"
+            self.state.latencies.add(
+                round(self.clock.now - item.enqueued_at, 6))
+        self.state.processed += len(batch)
+        self.state.batches += 1
+        if annotate_only:
+            self.state.degraded_batches += 1
+
+    def _merge_batch(self, dataset: SmishingDataset, division,
+                     enriched: EnrichedDataset) -> None:
+        state = self.state
+        state.records.extend(dataset)
+        state.urls.update(enriched.urls)
+        state.senders.update(enriched.senders)
+        annotations = dict(enriched.annotations)
+        raw = dict(enriched.raw_annotations)
+        # Duplicates inherit their canonical twin's annotation, rebound
+        # to their own record id — the annotation service's own echo
+        # semantics for a repeated text.
+        lookup = {**state.raw_annotations, **raw}
+        for dup_id, canon_id in division.duplicate_of.items():
+            canonical = lookup.get(canon_id)
+            if canonical is None:  # canonical's annotation gapped
+                continue
+            rebound = dataclasses.replace(canonical, message_id=dup_id)
+            raw[dup_id] = rebound
+            annotations[dup_id] = rebound.labels
+        state.annotations.update(annotations)
+        state.raw_annotations.update(raw)
+        state.duplicate_of.update(division.duplicate_of)
+        state.gaps.extend(enriched.gaps)
+
+    # -- durability -----------------------------------------------------------
+
+    def _commit(self) -> None:
+        """Make everything up to the last handled arrival durable."""
+        self.state.commits += 1
+        payload = {
+            "state": self.state.to_payload(),
+            "admission": self.admission.state_dict(),
+            "controller": self.controller.state_dict(),
+            "queue": self.queue.state_dict(),
+            "ledger": self.ledger.to_dict(),
+            "next_due": self._next_due,
+            "registry_state": self._capture_registry(),
+            "cache_entries": (self.cache.export_entries()
+                              if self.cache is not None else ()),
+        }
+        digest = atomic_write_pickle(self.serve_dir / SERVE_STATE_NAME,
+                                     payload)
+        self._persist_manifest(state_ref={"state_file": SERVE_STATE_NAME,
+                                          "state_sha256": digest})
+
+    def _persist_manifest(self, *,
+                          state_ref: Optional[Dict[str, str]]) -> None:
+        faults = {"profile": (self._plan.profile
+                              if self._plan is not None else None),
+                  "seed": (self._plan.seed if self._plan is not None
+                           else self.world.config.seed)}
+        manifest: Dict[str, Any] = {
+            "version": SERVE_FORMAT_VERSION,
+            "scenario": _scenario_to_dict(self.world.config),
+            "load": self.load.to_dict(),
+            "config": self.config.to_dict(),
+            "faults": faults,
+            "execution": {"workers": self.policy.workers,
+                          "cache": self.policy.cache,
+                          "cache_max_entries": self.policy.cache_max_entries},
+            "committed_arrival": self.state.arrival_index,
+            "commits": self.state.commits,
+            "state_file": state_ref["state_file"] if state_ref else None,
+            "state_sha256": state_ref["state_sha256"] if state_ref else None,
+            "cli": self._cli,
+        }
+        atomic_write_json(self.serve_dir / SERVE_MANIFEST_NAME, manifest)
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def fault_profile(self) -> str:
+        if self._plan is None or self._plan.is_empty:
+            return "none"
+        return self._plan.profile or "custom"
+
+    def shed_total(self) -> int:
+        """Front-door rejections (excludes post-accept deadline drops)."""
+        return sum(self.admission.rejected_by_reason.get(reason, 0)
+                   for reason in FRONT_DOOR_REASONS)
+
+    def stats(self) -> Dict[str, Any]:
+        state = self.state
+        return {
+            "load": self.load.to_dict(),
+            "fault_profile": self.fault_profile,
+            "mode": self.controller.mode.value,
+            "submitted": state.submitted,
+            "accepted": self.admission.accepted,
+            "shed": self.shed_total(),
+            "rejected_by_reason": dict(sorted(
+                self.admission.rejected_by_reason.items())),
+            "processed": state.processed,
+            "timed_out": state.timed_out,
+            "records": len(state.records),
+            "deduped": len(state.duplicate_of),
+            "gaps": len(state.gaps),
+            "batches": state.batches,
+            "degraded_batches": state.degraded_batches,
+            "commits": state.commits,
+            "queue": {
+                "capacity": self.queue.capacity,
+                "max_depth": self.queue.max_depth,
+                **state.queue_depths.to_dict(),
+            },
+            "latency": state.latencies.to_dict(),
+            "transitions": [t.to_dict()
+                            for t in self.controller.transitions],
+        }
+
+    def _finalise_telemetry(self) -> None:
+        self.telemetry.tracer.abandon_open()
+        for breaker in self.breakers.values():
+            self.telemetry.capture_breaker(breaker)
+        if self.cache is not None:
+            self.telemetry.capture_cache(self.cache)
+        self.telemetry.capture_exec(self._engine.stats())
+        self.telemetry.capture_serve(self.stats())

@@ -1,0 +1,122 @@
+"""The intake service's durable state: everything a resume needs.
+
+One :class:`ServeState` accumulates the products of every processed
+batch — the growing dataset, enrichment maps, structured gap/rejection
+ledgers, per-request statuses, latency/queue-depth digests — plus the
+progress cursor (``arrival_index``) a resume continues from. The commit
+protocol in :mod:`repro.serve.service` pickles the whole thing (with the
+admission/controller/queue/registry state alongside) under a sha-bound
+manifest, exactly the discipline :mod:`repro.stream` uses: a crash at
+any instant leaves either the previous commit or the new one, never a
+torn mixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
+
+from ..core.enrichment import (
+    EnrichmentGap,
+    SenderEnrichment,
+    UrlEnrichment,
+)
+from ..core.dataset import SmishingRecord
+from ..nlp.annotator import Annotation
+from ..obs.profile import PercentileDigest
+from ..sms.message import AnnotationLabels
+from .admission import AdmissionRejection
+
+
+@dataclass
+class ServeState:
+    """Accumulated products + progress cursor of one intake service."""
+
+    records: List[SmishingRecord] = field(default_factory=list)
+    urls: Dict[str, UrlEnrichment] = field(default_factory=dict)
+    senders: Dict[str, SenderEnrichment] = field(default_factory=dict)
+    annotations: Dict[str, AnnotationLabels] = field(default_factory=dict)
+    raw_annotations: Dict[str, Annotation] = field(default_factory=dict)
+    gaps: List[EnrichmentGap] = field(default_factory=list)
+    rejections: List[AdmissionRejection] = field(default_factory=list)
+    #: request id -> "queued" | "done" | "rejected" | "timed_out"
+    statuses: Dict[str, str] = field(default_factory=dict)
+    #: duplicate record id -> canonical record id (dedup inheritance)
+    duplicate_of: Dict[str, str] = field(default_factory=dict)
+
+    #: Progress cursor: the highest arrival index fully handled. A
+    #: resume continues from ``arrival_index + 1``.
+    arrival_index: int = -1
+    next_record_index: int = 0
+
+    submitted: int = 0
+    processed: int = 0
+    timed_out: int = 0
+    batches: int = 0
+    degraded_batches: int = 0
+    commits: int = 0
+
+    #: Queue depth sampled after every handled arrival.
+    queue_depths: PercentileDigest = field(default_factory=PercentileDigest)
+    #: Submit-to-processed simulated seconds, one sample per report.
+    latencies: PercentileDigest = field(default_factory=PercentileDigest)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A picklable snapshot (rich objects ride the pickle whole —
+        same trade the stream state makes; the manifest digest guards
+        integrity)."""
+        return {
+            "records": self.records,
+            "urls": self.urls,
+            "senders": self.senders,
+            "annotations": self.annotations,
+            "raw_annotations": self.raw_annotations,
+            "gaps": self.gaps,
+            "rejections": self.rejections,
+            "statuses": self.statuses,
+            "duplicate_of": self.duplicate_of,
+            "arrival_index": self.arrival_index,
+            "next_record_index": self.next_record_index,
+            "counters": {
+                "submitted": self.submitted,
+                "processed": self.processed,
+                "timed_out": self.timed_out,
+                "batches": self.batches,
+                "degraded_batches": self.degraded_batches,
+                "commits": self.commits,
+            },
+            "queue_depths": list(self.queue_depths._values),
+            "latencies": list(self.latencies._values),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ServeState":
+        counters = payload["counters"]
+        return cls(
+            records=list(payload["records"]),
+            urls=dict(payload["urls"]),
+            senders=dict(payload["senders"]),
+            annotations=dict(payload["annotations"]),
+            raw_annotations=dict(payload["raw_annotations"]),
+            gaps=list(payload["gaps"]),
+            rejections=list(payload["rejections"]),
+            statuses=dict(payload["statuses"]),
+            duplicate_of=dict(payload["duplicate_of"]),
+            arrival_index=int(payload["arrival_index"]),
+            next_record_index=int(payload["next_record_index"]),
+            submitted=int(counters["submitted"]),
+            processed=int(counters["processed"]),
+            timed_out=int(counters["timed_out"]),
+            batches=int(counters["batches"]),
+            degraded_batches=int(counters["degraded_batches"]),
+            commits=int(counters["commits"]),
+            queue_depths=PercentileDigest(payload["queue_depths"]),
+            latencies=PercentileDigest(payload["latencies"]),
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def rejection_rows(self) -> List[Dict[str, Any]]:
+        return [asdict(rejection) for rejection in self.rejections]

@@ -414,6 +414,39 @@ class TestCompareRuns:
         findings = compare_runs(current, baseline)
         assert any("new stage mystery" in f for f in findings)
 
+    def _serve_pair(self, **overrides):
+        serve = {"submitted": 800, "processed": 123, "shed": 677,
+                 "p50_latency": 70.0, "p99_latency": 100.0,
+                 "max_queue_depth": 21}
+        current, baseline = self._pair()
+        baseline["serve"] = dict(serve)
+        current["serve"] = {**serve, **overrides}
+        return current, baseline
+
+    def test_identical_serve_runs_pass(self):
+        current, baseline = self._serve_pair()
+        assert compare_runs(current, baseline) == []
+
+    def test_serve_p99_growth_detected(self):
+        current, baseline = self._serve_pair(p99_latency=140.0)
+        findings = compare_runs(current, baseline)
+        assert any("serve p99 intake latency grew 1.40x" in f
+                   for f in findings)
+
+    def test_serve_p99_growth_within_factor_passes(self):
+        current, baseline = self._serve_pair(p99_latency=120.0)  # 1.2x
+        assert compare_runs(current, baseline) == []
+
+    def test_serve_throughput_drop_detected(self):
+        current, baseline = self._serve_pair(processed=100)
+        findings = compare_runs(current, baseline)
+        assert any("serve throughput dropped" in f for f in findings)
+
+    def test_serve_block_absent_is_not_compared(self):
+        current, baseline = self._serve_pair(p99_latency=500.0)
+        del baseline["serve"]
+        assert compare_runs(current, baseline) == []
+
 
 class TestPerfGateScript:
     """End-to-end: the CI gate script over real history artifacts."""

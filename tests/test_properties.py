@@ -504,6 +504,129 @@ class TestRunHistoryProperties:
         assert latest["sequence"] == appended - 1
 
 
+class TestServeProperties:
+    """Serve-layer invariants: the bounded queue really is bounded, the
+    admission front door is a pure function of (seed, arrival order),
+    and shed + accepted always partitions submitted."""
+
+    _ops = st.lists(
+        st.one_of(
+            st.tuples(st.just("offer"), st.integers(0, 10_000)),
+            st.tuples(st.just("take"), st.integers(1, 8)),
+        ),
+        min_size=1, max_size=120,
+    )
+
+    @staticmethod
+    def _queue_item(index):
+        from repro.serve import QueueItem
+
+        return QueueItem(index=index, request_id=f"q{index:07d}",
+                         reporter=f"rep-{index % 7:05d}",
+                         post_index=index, enqueued_at=float(index),
+                         deadline=None)
+
+    @given(capacity=st.integers(min_value=1, max_value=16), ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_queue_never_exceeds_capacity(self, capacity, ops):
+        from repro.serve import BoundedQueue
+
+        queue = BoundedQueue(capacity)
+        offered = accepted = 0
+        for op, value in ops:
+            if op == "offer":
+                offered += 1
+                if queue.offer(self._queue_item(value)):
+                    accepted += 1
+            else:
+                queue.take(value)
+            assert 0 <= queue.depth <= capacity
+        assert queue.max_depth <= capacity
+        assert queue.offered == offered
+        assert queue.refused == offered - accepted
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           profile=st.sampled_from(("steady", "burst", "spike")))
+    @settings(max_examples=25, deadline=None)
+    def test_admission_is_deterministic_in_seed_and_order(self, seed,
+                                                          profile):
+        from repro.serve import (
+            AdmissionController,
+            AdmissionPolicy,
+            LoadSpec,
+            generate_schedule,
+        )
+        from repro.services.base import SimClock
+
+        spec = LoadSpec(profile=profile, requests=80, reporters=12,
+                        seed=seed)
+        schedule = generate_schedule(spec, n_posts=30)
+
+        def _decide():
+            clock = SimClock()
+            control = AdmissionController(
+                AdmissionPolicy(reporter_rate=0.1, reporter_burst=2.0),
+                clock)
+            decisions = []
+            for arrival in schedule:
+                clock.advance(max(0.0, arrival.at - clock.now))
+                hint = control.admit_reporter(arrival.reporter)
+                if hint is None:
+                    control.record_accept()
+                decisions.append(hint)
+            return decisions, control.state_dict()
+
+        first, first_state = _decide()
+        again, again_state = _decide()
+        assert first == again
+        assert first_state == again_state
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           capacity=st.integers(min_value=1, max_value=12),
+           batch=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_shed_plus_accepted_equals_submitted(self, seed, capacity,
+                                                 batch):
+        """A pure front-door replay: every arrival is either accepted
+        into the bounded queue or shed with a structured rejection —
+        no third outcome, at any capacity or drain cadence."""
+        from repro.serve import (
+            AdmissionController,
+            AdmissionPolicy,
+            BoundedQueue,
+            LoadSpec,
+            generate_schedule,
+        )
+        from repro.services.base import SimClock
+
+        spec = LoadSpec(profile="burst", requests=100, reporters=10,
+                        seed=seed)
+        clock = SimClock()
+        control = AdmissionController(
+            AdmissionPolicy(reporter_rate=0.05, reporter_burst=1.0), clock)
+        queue = BoundedQueue(capacity)
+        for arrival in generate_schedule(spec, n_posts=30):
+            clock.advance(max(0.0, arrival.at - clock.now))
+            if arrival.index % (batch + 1) == batch:
+                queue.take(batch)
+            hint = control.admit_reporter(arrival.reporter)
+            if hint is not None:
+                control.reject(arrival.request_id, arrival.reporter,
+                               "rate_limited", "over budget",
+                               mode="healthy", retry_after=hint)
+                continue
+            if not queue.offer(self._queue_item(arrival.index)):
+                control.reject(arrival.request_id, arrival.reporter,
+                               "queue_full", "bounded queue at capacity",
+                               mode="healthy")
+                continue
+            control.record_accept()
+        assert control.accepted + control.rejected == spec.requests
+        assert len(control.rejections) == control.rejected
+        assert (sum(control.rejected_by_reason.values())
+                == control.rejected)
+
+
 class TestStreamSessionNoopProperty:
     def test_rerun_of_caught_up_session_charges_nothing(self):
         """`run()` on a session with no pending epochs is a no-op:

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import (
     CircuitOpen,
     ConfigurationError,
+    DeadlineExceeded,
     NotFound,
     QuotaExhausted,
     RateLimitExceeded,
@@ -135,6 +136,49 @@ class TestCallWithPolicy:
         )
         assert [(s, a) for s, a, _ in seen] == [("svc", 1), ("svc", 2)]
 
+    def test_deadline_already_past_raises_before_any_attempt(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        probe = _Flaky(failures=0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            call_with_policy(probe, policy=RetryPolicy(), clock=clock,
+                             service="svc", deadline=50.0)
+        assert probe.calls == 0
+        assert excinfo.value.resilience_attempts == 0
+        assert excinfo.value.remaining == 0.0
+
+    def test_deadline_cuts_backoff_instead_of_sleeping_past_it(self):
+        clock = SimClock()
+        flaky = _Flaky(failures=99)
+        policy = RetryPolicy(max_attempts=10, base_delay=10.0, jitter=0.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            call_with_policy(flaky, policy=policy, clock=clock,
+                             service="svc", deadline=15.0)
+        # Attempt 1 fails, waits 10s; attempt 2's 20s backoff would land
+        # past t=15, so the loop raises instead of sleeping.
+        assert flaky.calls == 2
+        assert clock.now == pytest.approx(10.0)
+        assert isinstance(excinfo.value.__cause__, ServiceUnavailable)
+
+    def test_deadline_failure_does_not_charge_the_breaker(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        breaker = CircuitBreaker("svc", clock, failure_threshold=1)
+        with pytest.raises(DeadlineExceeded):
+            call_with_policy(_Flaky(failures=0), policy=RetryPolicy(),
+                             clock=clock, breaker=breaker, deadline=50.0)
+        # The *caller* ran out of patience; the service is not at fault.
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.snapshot()["consecutive_failures"] == 0
+
+    def test_deadline_in_the_future_is_invisible(self):
+        clock = SimClock()
+        flaky = _Flaky(failures=2)
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, jitter=0.0)
+        assert call_with_policy(flaky, policy=policy, clock=clock,
+                                deadline=1e9) == "ok"
+        assert flaky.calls == 3
+
     def test_breaker_trips_and_fails_fast(self):
         clock = SimClock()
         breaker = CircuitBreaker("svc", clock, failure_threshold=3,
@@ -237,7 +281,49 @@ class TestCircuitBreaker:
         breaker = CircuitBreaker("svc", SimClock())
         snap = breaker.snapshot()
         assert snap == {"state": "closed", "opens": 0, "fast_fails": 0,
-                        "consecutive_failures": 0, "opened_at": None}
+                        "consecutive_failures": 0, "opened_at": None,
+                        "half_open_probes": 0, "half_open_successes": 0}
+
+    def test_snapshot_counts_half_open_probes(self):
+        clock = SimClock()
+        breaker = CircuitBreaker("svc", clock, failure_threshold=1,
+                                 cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()        # probe 1...
+        breaker.record_failure()      # ...fails, re-opens
+        clock.advance(10.0)
+        assert breaker.allow()        # probe 2...
+        breaker.record_success()      # ...succeeds, closes
+        snap = breaker.snapshot()
+        assert snap["half_open_probes"] == 2
+        assert snap["half_open_successes"] == 1
+        assert snap["state"] == "closed"
+
+    def test_half_open_counts_survive_state_roundtrip(self):
+        clock = SimClock()
+        breaker = CircuitBreaker("svc", clock, failure_threshold=1,
+                                 cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        state = breaker.state_dict()
+        clone = CircuitBreaker("svc", clock, failure_threshold=1,
+                               cooldown=5.0)
+        clone.restore_state(state)
+        assert clone.snapshot() == breaker.snapshot()
+
+    def test_restore_tolerates_records_without_probe_counts(self):
+        # State dicts written before the probe counters existed must
+        # still restore (counters default to zero).
+        clock = SimClock()
+        breaker = CircuitBreaker("svc", clock)
+        state = breaker.state_dict()
+        state.pop("half_open_probes")
+        state.pop("half_open_successes")
+        breaker.restore_state(state)
+        assert breaker.snapshot()["half_open_probes"] == 0
 
 
 class TestMeterGuards:

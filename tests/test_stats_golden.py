@@ -176,6 +176,57 @@ def test_goldens_cover_cache_and_resilience_tables():
     assert parallel == cached.replace("workers=1", "workers=4")
 
 
+SERVE_ARGV = ["--seed", "7", "--campaigns", "10", "--quiet", "serve",
+              "--load-profile", "burst", "--requests", "800",
+              "--reporters", "150", "--queue-capacity", "24",
+              "--batch-size", "8"]
+
+SERVE_CASES = {
+    "serve_seed7_burst.txt": SERVE_ARGV,
+    "serve_seed7_burst_flaky.txt": (["--faults", "flaky"] + SERVE_ARGV),
+}
+
+
+@pytest.mark.parametrize("golden_name", sorted(SERVE_CASES))
+def test_serve_output_matches_golden(golden_name, frozen_wall_clock,
+                                     capsys):
+    """`repro serve` stdout — header, stage table, Serve + mode-transition
+    tables, queue/latency footers — golden-pinned like the stats surfaces."""
+    argv = SERVE_CASES[golden_name]
+    assert cli.main(list(argv)) == 0
+    output = capsys.readouterr().out
+    golden_path = GOLDEN_DIR / golden_name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(output, encoding="utf-8")
+        pytest.skip(f"updated golden {golden_name}")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1 (see module docstring)"
+    )
+    assert output == golden_path.read_text(encoding="utf-8"), (
+        f"`repro serve` output diverged from {golden_name}; if the "
+        f"change is intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+def test_serve_golden_covers_the_serve_tables():
+    """The checked-in serve snapshot really shows the overload story:
+    queue-depth percentiles, shed accounting, and the full
+    shed-and-recover mode cycle."""
+    served = (GOLDEN_DIR / "serve_seed7_burst.txt").read_text()
+    assert "Serve" in served
+    assert "Queue depth p50/p90/p99/max" in served
+    assert "Intake latency p50/p99 (sim s)" in served
+    assert "Serve mode transitions" in served
+    assert "breached high watermark" in served
+    assert "recovered: queue depth" in served
+    assert "shedding=" in served  # shed counts broken down by reason
+    # The flaky twin additionally degrades on enrichment-tier pressure.
+    flaky = (GOLDEN_DIR / "serve_seed7_burst_flaky.txt").read_text()
+    assert "degraded" in flaky
+
+
 def test_stream_golden_covers_the_epoch_table():
     """`repro stats --epochs 3` pins the Stream/Epoch surface: one row
     per epoch, the ledger summary line, and the stream fingerprint."""
