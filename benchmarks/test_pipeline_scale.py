@@ -1,33 +1,13 @@
-"""Bench: end-to-end pipeline throughput at two world scales, plus the
-execution engine's workers × cache grid on a large scenario.
+"""Bench: end-to-end pipeline throughput at two world scales.
 
 Not a paper table — an engineering benchmark that keeps the whole
-collect→curate→enrich path honest as the library evolves. The grid
-dumps ``artifacts/exec_grid.json`` (per-cell wall time, speedup over
-the sequential uncached baseline, cache hit rate) and asserts the
-engine's headline perf bar: ≥ 1.5× at ``--workers 4`` with the cache
-on. The speedup comes from the cache deduplicating annotation compute
-(duplicate message texts are ~half the corpus); under the GIL the
-thread pool contributes structure, not CPU parallelism.
+collect→curate→enrich path honest as the library evolves. The
+execution engine's pool × workers × cache grid (and its
+``exec_grid.json`` artifact) lives in ``benchmarks/test_exec_grid.py``.
 """
 
-import json
-import os
-import time
-from pathlib import Path
-
 from repro.core.pipeline import run_pipeline
-from repro.exec import ExecutionPolicy
-from repro.obs import Telemetry
 from repro.world.scenario import ScenarioConfig, build_world
-
-#: The "large scenario": heavier per-campaign volume than BENCH_CONFIG,
-#: so duplicate texts (the cache's target) carry production-like weight.
-GRID_CONFIG = ScenarioConfig(seed=7726, n_campaigns=240,
-                             mean_campaign_volume=70.0,
-                             sbi_burst_volume=150)
-
-GRID = ((1, False), (1, True), (4, False), (4, True))
 
 
 def test_pipeline_small(benchmark):
@@ -49,54 +29,3 @@ def test_pipeline_medium(benchmark):
     print(f"\nmedium world: {records} records, "
           f"{len(run.collection.reports)} reports collected")
     assert records > 300
-
-
-def test_workers_cache_grid():
-    """Run the engine grid on the large scenario and dump the artifact."""
-    cells = {}
-    for workers, cache in GRID:
-        world = build_world(GRID_CONFIG)
-        telemetry = Telemetry.create(clock=world.clock)
-        started = time.perf_counter()
-        run = run_pipeline(
-            world, telemetry=telemetry,
-            execution=ExecutionPolicy(workers=workers, cache=cache),
-        )
-        wall = time.perf_counter() - started
-        snapshot = telemetry.cache_snapshot
-        cells[f"workers={workers},cache={'on' if cache else 'off'}"] = {
-            "workers": workers,
-            "cache": cache,
-            "wall_seconds": round(wall, 3),
-            "records": len(run.dataset),
-            "gaps": len(run.enriched.gaps),
-            "cache_hit_rate": round(snapshot.get("hit_rate", 0.0), 4),
-            "cache_hits": snapshot.get("totals", {}).get("hits", 0),
-        }
-
-    baseline = cells["workers=1,cache=off"]
-    fastest = cells["workers=4,cache=on"]
-    speedup = baseline["wall_seconds"] / fastest["wall_seconds"]
-
-    out_dir = Path(os.environ.get("REPRO_BENCH_ARTIFACTS",
-                                  str(Path(__file__).parent / "artifacts")))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    artifact = {
-        "config": {"seed": GRID_CONFIG.seed,
-                   "n_campaigns": GRID_CONFIG.n_campaigns,
-                   "mean_campaign_volume": GRID_CONFIG.mean_campaign_volume},
-        "cells": cells,
-        "speedup_workers4_cached_vs_sequential": round(speedup, 3),
-    }
-    (out_dir / "exec_grid.json").write_text(
-        json.dumps(artifact, indent=2))
-    print(f"\nexec grid: speedup {speedup:.2f}x, "
-          f"hit rate {fastest['cache_hit_rate']:.1%}")
-
-    # All cells must agree on outputs (the cheap proxy here; the full
-    # byte-equivalence proof lives in tests/test_exec_equivalence.py).
-    assert len({(c["records"], c["gaps"]) for c in cells.values()}) == 1
-    assert fastest["cache_hit_rate"] > 0
-    assert speedup >= 1.5, (
-        f"workers=4 cached run is only {speedup:.2f}x over sequential"
-    )

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, a coverage gate, an observability smoke test,
-# a chaos smoke test, a parallel-execution smoke test, a crash-resume
-# smoke test, a Chrome trace-export smoke test, and a perf-gate smoke
-# test.
+# a chaos smoke test, a parallel-execution smoke test, a process-pool
+# smoke test (a `--pool process --workers 4 --columnar` report diffed
+# byte-for-byte against the serial run), a crash-resume smoke test, a
+# Chrome trace-export smoke test, and a perf-gate smoke test (which
+# also enforces the records/second floor).
 #
 # Usage: scripts/ci.sh
 # The coverage gate (scripts/coverage_gate.py) fails the build when
@@ -90,11 +92,25 @@ assert hits > 0, "parallel run recorded zero cache hits"
 print(f"parallel ok: workers=4 run exited 0 with {hits} cache hits")
 PY
 
+echo "== process-pool smoke test (--pool process --workers 4 --columnar) =="
+proc_report="$(mktemp -t repro-proc-XXXXXX.txt)"
+serial_report="$(mktemp -t repro-serial-XXXXXX.txt)"
+trap 'rm -f "$trace" "$chaos_out" "$par_out" "$proc_report" "$serial_report"' EXIT
+python -m repro --seed 7 --campaigns 20 --quiet --workers 4 \
+  --pool process --columnar report > "$proc_report"
+python -m repro --seed 7 --campaigns 20 --quiet report > "$serial_report"
+if ! diff -q "$proc_report" "$serial_report" > /dev/null; then
+  echo "process-pool FAILED: --pool process --columnar report differs from serial run" >&2
+  diff "$proc_report" "$serial_report" | head -20 >&2
+  exit 1
+fi
+echo "process-pool ok: 4-worker columnar report byte-identical to serial run"
+
 echo "== crash-resume smoke test (checkpoint journal) =="
 ck_dir="$(mktemp -d -t repro-ck-XXXXXX)"
 resumed_out="$(mktemp -t repro-resumed-XXXXXX.txt)"
 full_out="$(mktemp -t repro-full-XXXXXX.txt)"
-trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out"' EXIT
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$proc_report" "$serial_report" "$ck_dir" "$resumed_out" "$full_out"' EXIT
 rmdir "$ck_dir"   # the CLI wants to create it empty itself
 crash_rc=0
 python -m repro --seed 7 --campaigns 40 --quiet --faults flaky \
@@ -118,7 +134,7 @@ clean_dir="$(mktemp -d -t repro-stream-clean-XXXXXX)"
 crash_dir="$(mktemp -d -t repro-stream-crash-XXXXXX)"
 watch_out="$(mktemp -t repro-watch-XXXXXX.txt)"
 resume_stream_out="$(mktemp -t repro-watch-resumed-XXXXXX.txt)"
-trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out"' EXIT
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$proc_report" "$serial_report" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out"' EXIT
 rmdir "$clean_dir" "$crash_dir"   # the CLI wants to create them itself
 python -m repro --seed 7 --campaigns 40 --quiet watch --epochs 2 \
   --stream-dir "$clean_dir" > "$watch_out"
@@ -149,7 +165,7 @@ echo "== serve smoke test (burst load + kill-and-resume) =="
 serve_out="$(mktemp -t repro-serve-XXXXXX.txt)"
 serve_dir="$(mktemp -d -t repro-serve-dir-XXXXXX)"
 serve_resumed_out="$(mktemp -t repro-serve-resumed-XXXXXX.txt)"
-trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out"' EXIT
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$proc_report" "$serial_report" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out"' EXIT
 rmdir "$serve_dir"   # the CLI wants to create it itself
 serve_args=(--seed 7 --campaigns 20 --quiet serve --load-profile burst
   --requests 10000 --reporters 2000 --queue-capacity 40)
@@ -200,7 +216,7 @@ echo "serve ok: kill-and-resume fingerprint matches the uninterrupted run"
 
 echo "== trace-export smoke test (--trace-format chrome) =="
 chrome_trace="$(mktemp -t repro-chrome-XXXXXX.json)"
-trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out" "$chrome_trace"' EXIT
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$proc_report" "$serial_report" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out" "$chrome_trace"' EXIT
 python -m repro stats --seed 7 --quiet \
   --trace-out "$chrome_trace" --trace-format chrome > /dev/null
 python - "$chrome_trace" <<'PY'
@@ -224,13 +240,24 @@ PY
 
 echo "== perf-gate smoke test (baseline pin + tampered baseline) =="
 perf_dir="$(mktemp -d -t repro-perf-XXXXXX)"
-trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out" "$chrome_trace" "$perf_dir"' EXIT
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$proc_report" "$serial_report" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out" "$chrome_trace" "$perf_dir"' EXIT
 python -m repro stats --seed 7 --quiet --history-dir "$perf_dir" > /dev/null
 python scripts/perf_gate.py --history-dir "$perf_dir" \
   --baseline "$perf_dir/BASELINE.json" --update-baseline > /dev/null
 python -m repro stats --seed 7 --quiet --history-dir "$perf_dir" > /dev/null
+# The records/second floor: 1 rec/s is trivially clear on any machine —
+# the point is the plumbing (record -> threshold -> finding) stays wired.
 python scripts/perf_gate.py --history-dir "$perf_dir" \
-  --baseline "$perf_dir/BASELINE.json" --max-slowdown 100.0
+  --baseline "$perf_dir/BASELINE.json" --max-slowdown 100.0 \
+  --min-records-per-sec 1
+floor_rc=0
+python scripts/perf_gate.py --history-dir "$perf_dir" \
+  --baseline "$perf_dir/BASELINE.json" --max-slowdown 100.0 \
+  --min-records-per-sec 1000000000 > /dev/null || floor_rc=$?
+if [ "$floor_rc" -ne 1 ]; then
+  echo "perf-gate FAILED: impossible records/sec floor should exit 1, got $floor_rc" >&2
+  exit 1
+fi
 python - "$perf_dir/BASELINE.json" <<'PY'
 import json, sys
 
@@ -248,5 +275,5 @@ if [ "$gate_rc" -ne 1 ]; then
   echo "perf-gate FAILED: tampered baseline should exit 1, got $gate_rc" >&2
   exit 1
 fi
-echo "perf-gate ok: clean baseline passes, tampered baseline fails"
+echo "perf-gate ok: clean baseline passes, records/sec floor enforced, tampered baseline fails"
 echo "ci ok"

@@ -17,6 +17,9 @@ the run regressed:
   ``--max-serve-p99-growth`` or its processed-report throughput fell
   below ``--min-serve-processed-ratio`` of baseline (judged only when
   both records carry a ``serve`` block, i.e. came from ``repro serve``),
+* the run's end-to-end throughput fell below the opt-in
+  ``--min-records-per-sec`` absolute floor (skipped for records without
+  a throughput figure, e.g. frozen-clock test runs),
 * or the config digests differ (the runs aren't comparable; re-baseline
   or pass ``--allow-config-drift``).
 
@@ -105,6 +108,10 @@ def main(argv=None) -> int:
                         default=1.0,
                         help="serve throughput floor as a fraction of the "
                              "baseline's processed reports (default 1.0)")
+    parser.add_argument("--min-records-per-sec", type=float, default=None,
+                        help="absolute end-to-end records/second floor "
+                             "(default off; skipped for records without "
+                             "throughput, e.g. frozen-clock runs)")
     parser.add_argument("--allow-config-drift", action="store_true",
                         help="compare even when config digests differ")
     args = parser.parse_args(argv)
@@ -134,6 +141,7 @@ def main(argv=None) -> int:
         max_hit_rate_drop=args.max_hit_rate_drop,
         max_serve_p99_growth=args.max_serve_p99_growth,
         min_serve_processed_ratio=args.min_serve_processed_ratio,
+        min_records_per_sec=args.min_records_per_sec,
     )
     findings = compare_runs(current, baseline, thresholds,
                             check_config=not args.allow_config_drift)

@@ -1,0 +1,83 @@
+"""Columnar layout for the labelled dataset: the analysis hot path.
+
+The strategy tables (10-13) are label-counting passes. The row-oriented
+builders walk every :class:`~repro.core.dataset.SmishingRecord` and do a
+per-record ``labels_for`` dict probe — five separate full passes for the
+five analyses, plus thousands of per-record ``squash`` calls wherever
+text keys are needed. A :class:`ColumnarDataset` makes that transposition
+once: the labelled records' fields become parallel arrays (one entry per
+*labelled* record, in dataset order), and the text column is squashed in
+one batched :func:`~repro.nlp.normalize.batch_squash` pass instead of
+per-record regex churn.
+
+Byte-identity is structural, not aspirational: the arrays hold the very
+objects the row walk would have visited, in the same order (including
+each record's original ``lures`` frozenset, so even tie-breaking
+insertion order inside downstream ``Counter``\\s is preserved). The
+strategy builders accept ``columns=`` and run the same counting logic
+off the arrays; ``tests/test_exec_equivalence.py`` fingerprints the
+rendered report both ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+from ..core.enrichment import EnrichedDataset
+from ..nlp.normalize import batch_squash
+from ..types import LurePrinciple, ScamType
+
+
+@dataclass
+class ColumnarDataset:
+    """Parallel arrays over the labelled records, in dataset order."""
+
+    record_ids: List[str]
+    texts: List[str]
+    #: ``batch_squash(texts)`` — the normalised comparison keys, computed
+    #: in one pass over the joined corpus.
+    squashed: List[str]
+    scam_types: List[ScamType]
+    languages: List[str]
+    brands: List[Optional[str]]
+    #: Each labelled record's *original* lures frozenset (not a copy):
+    #: iteration order inside a set is identity-stable, and downstream
+    #: counters inherit their insertion order from it.
+    lure_sets: List[FrozenSet[LurePrinciple]]
+
+    def __len__(self) -> int:
+        return len(self.record_ids)
+
+    @classmethod
+    def from_enriched(cls, enriched: EnrichedDataset) -> "ColumnarDataset":
+        """Transpose the labelled slice of ``enriched`` into columns."""
+        record_ids: List[str] = []
+        texts: List[str] = []
+        scam_types: List[ScamType] = []
+        languages: List[str] = []
+        brands: List[Optional[str]] = []
+        lure_sets: List[FrozenSet[LurePrinciple]] = []
+        annotations = enriched.annotations
+        for record in enriched.dataset:
+            labels = annotations.get(record.record_id)
+            if labels is None:
+                continue
+            record_ids.append(record.record_id)
+            texts.append(record.text)
+            scam_types.append(labels.scam_type)
+            languages.append(labels.language)
+            brands.append(labels.brand)
+            lure_sets.append(labels.lures)
+        return cls(
+            record_ids=record_ids,
+            texts=texts,
+            squashed=batch_squash(texts),
+            scam_types=scam_types,
+            languages=languages,
+            brands=brands,
+            lure_sets=lure_sets,
+        )
+
+
+__all__ = ["ColumnarDataset"]

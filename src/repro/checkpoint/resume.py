@@ -68,6 +68,9 @@ def policy_from_manifest(manifest: Dict[str, Any]) -> ExecutionPolicy:
         workers=int(execution.get("workers", 1)),
         cache=bool(execution.get("cache", True)),
         cache_max_entries=None if max_entries is None else int(max_entries),
+        # Manifests written before the pool axis carry no "pool" key;
+        # they were all thread-pooled.
+        pool=str(execution.get("pool", "thread")),
     )
 
 

@@ -96,6 +96,7 @@ def build_manifest(scenario, config, fault_plan, policy,
             "workers": policy.workers,
             "cache": policy.cache,
             "cache_max_entries": policy.cache_max_entries,
+            "pool": policy.pool,
         },
         "code": code_fingerprint(),
     }

@@ -68,7 +68,7 @@ from .core.active import run_case_study
 from .core.anonymize import build_release, save_release
 from .core.pipeline import PipelineRun, run_pipeline
 from .errors import CheckpointError, ConfigurationError, SimulatedCrash
-from .exec import ExecutionPolicy
+from .exec import POOL_KINDS, ExecutionPolicy
 from .faults import FAULT_PROFILES, CrashPoint, build_fault_plan
 from .obs import (
     FunctionProfiler,
@@ -113,9 +113,12 @@ def _parse_crash_at(spec: str) -> Tuple[str, int]:
 def _manifest_argv(args: argparse.Namespace) -> List[str]:
     """The argv `repro resume` replays to rebuild this exact command."""
     argv = ["--seed", str(args.seed), "--campaigns", str(args.campaigns),
-            "--faults", args.faults, "--workers", str(args.workers)]
+            "--faults", args.faults, "--workers", str(args.workers),
+            "--pool", args.pool]
     if args.no_cache:
         argv.append("--no-cache")
+    if getattr(args, "columnar", False):
+        argv.append("--columnar")
     if args.quiet:
         argv.append("--quiet")
     if getattr(args, "profile", False):
@@ -151,7 +154,8 @@ def _build_run(args: argparse.Namespace) -> PipelineRun:
             service, at_call = _parse_crash_at(args.crash_at)
             fault_plan = fault_plan.extended(CrashPoint(service, at_call))
         execution = ExecutionPolicy(workers=args.workers,
-                                    cache=not args.no_cache)
+                                    cache=not args.no_cache,
+                                    pool=args.pool)
         checkpoint = None
         if args.checkpoint_dir is not None:
             checkpoint = CheckpointSession.record(
@@ -190,7 +194,10 @@ def _run_config(args: argparse.Namespace) -> dict:
         "faults": args.faults,
         "workers": args.workers,
         "cache": not args.no_cache,
+        "pool": args.pool,
     }
+    if getattr(args, "columnar", False):
+        config["columnar"] = True
     epochs = getattr(args, "epochs", None)
     if epochs is not None:
         config["epochs"] = epochs
@@ -262,7 +269,7 @@ def _write_trace(args: argparse.Namespace, run: PipelineRun) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     run = _build_run(args)
-    report = generate_paper_report(run)
+    report = generate_paper_report(run, columnar=args.columnar)
     print(report.render())
     return _write_trace(args, run)
 
@@ -324,6 +331,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"seed={args.seed} campaigns={args.campaigns} "
           f"faults={args.faults} "
           f"workers={args.workers} "
+          f"pool={args.pool} "
           f"cache={'off' if args.no_cache else 'on'}"
           f"{epochs} "
           f"reports={len(run.collection.reports)} records={len(dataset)} "
@@ -348,7 +356,8 @@ def _stream_argv(args: argparse.Namespace) -> List[str]:
     """Provenance argv recorded in STREAM.json (resume rebuilds the
     session from the manifest itself, not from this)."""
     argv = ["--seed", str(args.seed), "--campaigns", str(args.campaigns),
-            "--faults", args.faults, "--workers", str(args.workers)]
+            "--faults", args.faults, "--workers", str(args.workers),
+            "--pool", args.pool]
     if args.no_cache:
         argv.append("--no-cache")
     argv.append(args.command)
@@ -385,7 +394,8 @@ def _build_stream_session(args: argparse.Namespace,
         epoch_hours=epoch_hours,
         fault_plan=build_fault_plan(args.faults, seed=args.seed),
         execution=ExecutionPolicy(workers=args.workers,
-                                  cache=not args.no_cache),
+                                  cache=not args.no_cache,
+                                  pool=args.pool),
         telemetry_factory=_telemetry_factory(args),
         stream_dir=stream_dir,
         crash_at=crash,
@@ -401,6 +411,7 @@ def _print_stream(args: argparse.Namespace,
     print(f"seed={scenario.seed} campaigns={scenario.n_campaigns} "
           f"faults={session.fault_profile} "
           f"workers={session.policy.workers} "
+          f"pool={session.policy.pool} "
           f"cache={'on' if session.policy.cache else 'off'} "
           f"epochs={state.committed_epochs}/{session.scheduler.target} "
           f"reports={len(state.collection.reports)} "
@@ -452,7 +463,8 @@ def _serve_argv(args: argparse.Namespace) -> List[str]:
     """Provenance argv recorded in SERVE.json (resume rebuilds the
     service from the manifest itself, not from this)."""
     argv = ["--seed", str(args.seed), "--campaigns", str(args.campaigns),
-            "--faults", args.faults, "--workers", str(args.workers)]
+            "--faults", args.faults, "--workers", str(args.workers),
+            "--pool", args.pool]
     if args.no_cache:
         argv.append("--no-cache")
     argv += ["serve", "--load-profile", args.load_profile,
@@ -484,7 +496,8 @@ def _build_serve(args: argparse.Namespace) -> IntakeService:
                            commit_every=args.commit_every),
         fault_plan=build_fault_plan(args.faults, seed=args.seed),
         execution=ExecutionPolicy(workers=args.workers,
-                                  cache=not args.no_cache),
+                                  cache=not args.no_cache,
+                                  pool=args.pool),
         telemetry_factory=_telemetry_factory(args),
         serve_dir=getattr(args, "serve_dir", None),
         kill_at=getattr(args, "kill_at", None),
@@ -503,6 +516,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"campaigns={service.world.config.n_campaigns} "
           f"faults={service.fault_profile} "
           f"workers={service.policy.workers} "
+          f"pool={service.policy.pool} "
           f"profile={load['profile']} "
           f"submitted={stats['submitted']} accepted={stats['accepted']} "
           f"shed={stats['shed']} processed={stats['processed']} "
@@ -551,6 +565,14 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
                      help="chaos profile to inject during the run")
     sub.add_argument("--workers", type=int, default=argparse.SUPPRESS,
                      help="worker count for the parallel execution phases")
+    sub.add_argument("--pool", choices=POOL_KINDS,
+                     default=argparse.SUPPRESS,
+                     help="pool backend for the parallel phases (process "
+                          "= true multi-core for the pure precompute)")
+    sub.add_argument("--columnar", action="store_true",
+                     default=argparse.SUPPRESS,
+                     help="drive the strategy tables off the columnar "
+                          "dataset layout (byte-identical output)")
     sub.add_argument("--no-cache", action="store_true",
                      default=argparse.SUPPRESS,
                      help="disable the per-(service, subject) "
@@ -597,6 +619,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker count for the parallel execution "
                              "phases (default 1; any count is "
                              "byte-identical to serial)")
+    parser.add_argument("--pool", choices=POOL_KINDS, default="thread",
+                        help="pool backend for the parallel execution "
+                             "phases (default thread; process runs the "
+                             "pure precompute in multiprocessing workers "
+                             "— any choice is byte-identical)")
+    parser.add_argument("--columnar", action="store_true", default=False,
+                        help="drive the strategy tables off the columnar "
+                             "dataset layout (one batched normalisation "
+                             "pass; output is byte-identical)")
     parser.add_argument("--no-cache", action="store_true", default=False,
                         help="disable the per-(service, subject) "
                              "enrichment cache (on by default; caching "

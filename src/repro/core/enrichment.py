@@ -32,7 +32,7 @@ from ..errors import (
     ValidationError,
 )
 from ..exec.cache import EnrichmentCache
-from ..exec.pool import SerialPool, WorkerPool, shard
+from ..exec.pool import ProcessPool, SerialPool, WorkerPool, shard
 from ..net.tld import default_registry
 from ..obs import Telemetry, ensure_telemetry
 from ..net.url import Url
@@ -178,6 +178,41 @@ class EnrichmentServices:
         members = (self.hlr, self.whois, self.crtsh, self.passivedns,
                    self.ipinfo, self.virustotal, self.gsb, self.openai)
         return {m.meter.service: m.meter for m in members}
+
+
+class AnnotateShardTask:
+    """Picklable precompute task: annotate one shard of unique texts.
+
+    Carries only the :class:`~repro.nlp.annotator.MessageAnnotator`
+    (pure registries + compiled regexes — no meters, no locks) across
+    the process boundary and ships back ``(text, annotation)`` pairs in
+    shard order; the parent merges them into the cache canonically.
+    """
+
+    def __init__(self, annotator) -> None:
+        self._annotator = annotator
+
+    def __call__(self, chunk) -> List[Tuple[str, Annotation]]:
+        return [(text, self._annotator.annotate("", text))
+                for text in chunk]
+
+
+class ScanShardTask:
+    """Picklable precompute task: VT-scan one shard of unique URLs.
+
+    Carries the known-bad-host set (the only instance state the pure
+    scan reads) instead of the service itself — the service's meter
+    holds telemetry hooks and the shared clock, which must never cross
+    a process boundary.
+    """
+
+    def __init__(self, known_bad_hosts: frozenset) -> None:
+        self._known_bad_hosts = known_bad_hosts
+
+    def __call__(self, chunk) -> List[Tuple[str, UrlScanReport]]:
+        from ..services.virustotal import scan_url_uncharged
+        return [(url, scan_url_uncharged(url, self._known_bad_hosts))
+                for url in chunk]
 
 
 class Enricher:
@@ -328,6 +363,15 @@ class Enricher:
         effects replay that follows is byte-identical to an uncached
         run. Annotations are keyed by message *text* (they are pure in
         it); the replay rebinds each record's id.
+
+        Thread (and serial) pools share the parent's cache, so their
+        shard tasks fill it in place. A :class:`~repro.exec.ProcessPool`
+        cannot: its workers live in other interpreters, so they run
+        picklable tasks (:class:`AnnotateShardTask`,
+        :class:`ScanShardTask`) that carry only pure inputs and return
+        ``(subject, value)`` pairs; the parent merges them into the
+        cache in canonical shard order, one miss+store per unique
+        subject — the exact counter trajectory of the serial fill.
         """
         if self._cache is None:
             return
@@ -358,10 +402,25 @@ class Enricher:
             "enrich/precompute", unique_texts=len(texts),
             unique_urls=len(urls), workers=pool.workers,
         ):
-            if texts:
-                pool.map(_fill_texts, shard(texts, pool.workers))
-            if urls:
-                pool.map(_fill_urls, shard(urls, pool.workers))
+            if isinstance(pool, ProcessPool):
+                if texts:
+                    for chunk in pool.map(AnnotateShardTask(annotator),
+                                          shard(texts, pool.workers)):
+                        for text, annotation in chunk:
+                            cache.lookup("openai", text,
+                                         lambda a=annotation: a)
+                if urls:
+                    task = ScanShardTask(
+                        frozenset(services.virustotal._known_bad_hosts))
+                    for chunk in pool.map(task, shard(urls, pool.workers)):
+                        for url, report in chunk:
+                            cache.lookup("virustotal", url,
+                                         lambda r=report: r)
+            else:
+                if texts:
+                    pool.map(_fill_texts, shard(texts, pool.workers))
+                if urls:
+                    pool.map(_fill_urls, shard(urls, pool.workers))
 
     # -- senders (§3.3.1) -----------------------------------------------------
 

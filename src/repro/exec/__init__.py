@@ -12,6 +12,8 @@ in :mod:`repro.exec.engine`'s docstring and is enforced by
 from .cache import CacheEntry, EnrichmentCache, EntryKind
 from .engine import SEQUENTIAL, ExecutionEngine, ExecutionPolicy
 from .pool import (
+    POOL_KINDS,
+    ProcessPool,
     SerialPool,
     ThreadPool,
     WorkerPool,
@@ -26,6 +28,8 @@ __all__ = [
     "EntryKind",
     "ExecutionEngine",
     "ExecutionPolicy",
+    "POOL_KINDS",
+    "ProcessPool",
     "SEQUENTIAL",
     "SerialPool",
     "ThreadPool",

@@ -105,6 +105,23 @@ class EnrichmentCache:
         self._counters: Dict[str, _ServiceCounters] = {}
         self._lock = threading.Lock()
 
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support: the lock is process-local, so it stays behind.
+
+        A cache that crosses a ``multiprocessing`` boundary (worker
+        startup under ``spawn``) carries its entries and counters; the
+        receiving interpreter gets a fresh, unheld lock.
+        """
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # -- internals ------------------------------------------------------------
 
     def _counter(self, service: str) -> _ServiceCounters:

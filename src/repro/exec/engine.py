@@ -60,7 +60,7 @@ from typing import Any, Dict, Iterable, List, Optional
 from ..errors import ConfigurationError
 from ..faults.plan import FaultPlan, InjectedLatency
 from .cache import EnrichmentCache
-from .pool import SerialPool, WorkerPool, make_pool
+from .pool import POOL_KINDS, SerialPool, WorkerPool, make_pool
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,12 @@ class ExecutionPolicy:
     cache: bool = True
     #: Optional cache bound (oldest-first eviction); None = unbounded.
     cache_max_entries: Optional[int] = None
+    #: Which pool backs the parallel phases: ``serial`` forces inline
+    #: execution regardless of ``workers``; ``thread`` is the classic
+    #: shared-memory pool; ``process`` runs the pure enrichment
+    #: precompute in ``multiprocessing`` workers (collection stays on
+    #: threads — its shards mutate parent-side forum meters).
+    pool: str = "thread"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -89,13 +95,17 @@ class ExecutionPolicy:
                 f"cache_max_entries must be >= 1 or None, "
                 f"got {self.cache_max_entries}"
             )
+        if self.pool not in POOL_KINDS:
+            raise ConfigurationError(
+                f"pool must be one of {POOL_KINDS}, got {self.pool!r}"
+            )
 
     def describe(self) -> str:
         """One-line summary for logs, manifests, and `repro resume`."""
         cache = "on" if self.cache else "off"
         if self.cache and self.cache_max_entries is not None:
             cache = f"on(max={self.cache_max_entries})"
-        return f"workers={self.workers} cache={cache}"
+        return f"workers={self.workers} cache={cache} pool={self.pool}"
 
 
 #: The reference semantics every other policy must be equivalent to.
@@ -120,8 +130,9 @@ class ExecutionEngine:
             return None
         return EnrichmentCache(max_entries=self.policy.cache_max_entries)
 
-    def _pool(self, workers: int, label: str) -> WorkerPool:
-        pool = make_pool(workers)
+    def _pool(self, workers: int, label: str,
+              kind: Optional[str] = None) -> WorkerPool:
+        pool = make_pool(workers, kind if kind is not None else self.policy.pool)
         pool.label = label
         self._pools.append(pool)
         return pool
@@ -133,7 +144,10 @@ class ExecutionEngine:
         Degrades to serial when the fault plan injects latency into a
         forum — that rule advances the shared clock from inside a shard,
         and a deterministic clock trajectory requires the shards to run
-        in canonical order (see the module docstring).
+        in canonical order (see the module docstring). Under
+        ``pool=process`` collection runs on *threads*: each forum shard
+        mutates its parent-side forum meter and fault-proxy counters,
+        which must stay in the parent's memory.
         """
         workers = self.policy.workers
         if workers > 1 and fault_plan is not None:
@@ -141,7 +155,8 @@ class ExecutionEngine:
             if any(isinstance(rule, InjectedLatency) and rule.service in names
                    for rule in fault_plan.rules):
                 workers = 1
-        return self._pool(workers, "collection")
+        kind = "thread" if self.policy.pool == "process" else self.policy.pool
+        return self._pool(workers, "collection", kind)
 
     def enrichment_pool(self) -> WorkerPool:
         """The pool for the per-unique-subject precompute shards."""

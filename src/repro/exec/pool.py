@@ -7,7 +7,7 @@ engine (:mod:`repro.exec.engine`) builds on: as long as each task is a
 pure function of its input (no shared mutable state), the merged output
 of ``ThreadPool(4)`` is byte-identical to :class:`SerialPool`.
 
-Two implementations share the interface:
+Three implementations share the interface:
 
 * :class:`SerialPool` — runs tasks inline, one after another. The
   reference semantics; zero overhead, zero concurrency.
@@ -15,20 +15,27 @@ Two implementations share the interface:
   are gathered by submission index; a task that raises re-raises the
   exception of the *lowest-indexed* failing task (again independent of
   completion order, so failures are deterministic too).
+* :class:`ProcessPool` — a ``concurrent.futures`` process pool with the
+  same submission-order merge and lowest-indexed-failure semantics.
+  Tasks and their results cross a pickle boundary, so callers must hand
+  it module-level callables or picklable task objects — never closures
+  over live services, meters, or locks.
 
 Note on the GIL: CPython threads do not speed up pure-Python compute;
-the engine's wall-time wins come from the
+the engine's wall-time wins on thread pools come from the
 :class:`~repro.exec.cache.EnrichmentCache` deduplicating work, while the
-pool provides the sharding/merge structure (and genuine parallelism on
-GIL-free builds).
+pool provides the sharding/merge structure. :class:`ProcessPool` is the
+true multi-core path: each worker is its own interpreter, so the pure
+precompute phase scales with physical cores.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -151,10 +158,82 @@ class ThreadPool(WorkerPool):
         self._executor.shutdown(wait=True)
 
 
-def make_pool(workers: int) -> WorkerPool:
-    """``workers <= 1`` → :class:`SerialPool`, else :class:`ThreadPool`."""
-    if workers <= 1:
+def _timed_call(fn: Callable[[T], R], item: T) -> tuple:
+    """Worker-side wrapper: run one task, report who ran it for how long.
+
+    Module-level on purpose — it must be picklable for the process pool.
+    Timing happens inside the worker (the parent cannot observe a child's
+    busy time), and the accounting triple travels back with the result.
+    """
+    started = time.perf_counter()
+    result = fn(item)
+    return (result, multiprocessing.current_process().name,
+            time.perf_counter() - started)
+
+
+class ProcessPool(WorkerPool):
+    """Process-backed pool: true multi-core, same canonical merge.
+
+    ``mp_context`` selects the multiprocessing start method; the default
+    prefers ``fork`` (cheap startup) and falls back to ``spawn`` where
+    fork is unavailable. Passing ``spawn`` explicitly reproduces
+    macOS/Windows semantics on any platform — the regression tests do,
+    to prove every task survives a from-scratch interpreter.
+    """
+
+    def __init__(self, workers: int,
+                 mp_context: Optional[multiprocessing.context.BaseContext] = None):
+        super().__init__()
+        if workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        self.workers = workers
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn")
+        self._executor = ProcessPoolExecutor(max_workers=workers,
+                                             mp_context=mp_context)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        futures = [self._executor.submit(_timed_call, fn, item)
+                   for item in items]
+        # Same gather discipline as ThreadPool: submission order, with
+        # the lowest-indexed failure re-raised deterministically.
+        results: List[R] = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                result, worker, seconds = future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                error = error or exc
+            else:
+                self._record_task(worker, seconds)
+                results.append(result)
+        if error is not None:
+            raise error
+        return results
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+#: The pool kinds `--pool` accepts, in reference-semantics-first order.
+POOL_KINDS = ("serial", "thread", "process")
+
+
+def make_pool(workers: int, kind: str = "thread") -> WorkerPool:
+    """Build the pool a policy asks for.
+
+    ``serial`` (or ``workers <= 1`` under any kind) → :class:`SerialPool`;
+    ``thread`` → :class:`ThreadPool`; ``process`` → :class:`ProcessPool`.
+    """
+    if kind not in POOL_KINDS:
+        raise ValueError(
+            f"unknown pool kind {kind!r}; expected one of {POOL_KINDS}")
+    if kind == "serial" or workers <= 1:
         return SerialPool()
+    if kind == "process":
+        return ProcessPool(workers)
     return ThreadPool(workers)
 
 

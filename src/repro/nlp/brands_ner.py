@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..world.brands import BrandRegistry, default_brands
-from .normalize import normalize_text, squash
+from .normalize import batch_squash, normalize_text, squash
 from .tokenize import tokenize
 
 #: Alias keys shorter than this require an exact token match (avoid "ee"
@@ -37,8 +37,12 @@ class BrandRecognizer:
         #: squashed alias -> (canonical name, original alias, token length)
         self._lexicon: Dict[str, Tuple[str, str, int]] = {}
         self._max_tokens = 1
-        for alias, canonical in self._registry.all_alias_forms().items():
-            key = squash(alias)
+        # One batched squash pass over the whole alias lexicon instead of
+        # a per-alias call — every annotator construction pays this cost.
+        alias_forms = self._registry.all_alias_forms()
+        aliases = list(alias_forms)
+        for alias, key in zip(aliases, batch_squash(aliases)):
+            canonical = alias_forms[alias]
             if not key:
                 continue
             token_count = max(1, len(alias.split()))

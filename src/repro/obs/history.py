@@ -86,6 +86,13 @@ def build_run_record(*, command: str, config: Dict[str, Any],
         },
         "exec": dict(telemetry.exec_snapshot),
     }
+    records_n = int(counts.get("records", 0) or 0)
+    # End-to-end throughput; None when the tracer clock is frozen (tests)
+    # or the run produced no records, so gates can skip it cleanly.
+    record["records_per_sec"] = (
+        records_n / profile.total_seconds
+        if profile.total_seconds and records_n else None
+    )
     serve = getattr(telemetry, "serve_snapshot", None) or {}
     if serve:
         latency = serve.get("latency", {})
@@ -316,6 +323,10 @@ class GateThresholds:
     #: Serve throughput (reports processed) may not drop below this
     #: fraction of baseline.
     min_serve_processed_ratio: float = 1.0
+    #: Absolute end-to-end records/second floor. ``None`` disables the
+    #: check; runs whose record carries no throughput (frozen tracer
+    #: clock, zero records) are skipped rather than failed.
+    min_records_per_sec: Optional[float] = None
 
 
 def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
@@ -392,6 +403,15 @@ def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
                 f"{base_processed} -> {cur_processed} reports "
                 f"(floor {thresholds.min_serve_processed_ratio:.0%} "
                 f"of baseline)"
+            )
+
+    if thresholds.min_records_per_sec is not None:
+        throughput = current.get("records_per_sec")
+        if (throughput is not None
+                and float(throughput) < thresholds.min_records_per_sec):
+            findings.append(
+                f"throughput {float(throughput):,.1f} records/s fell below "
+                f"the {thresholds.min_records_per_sec:,.1f} records/s floor"
             )
 
     base_rate = float(baseline.get("cache", {}).get("hit_rate", 0.0))

@@ -369,6 +369,28 @@ class Telemetry:
             )
         return table
 
+    def pool_table(self) -> Table:
+        """Per-pool task accounting from the execution engine.
+
+        Only deterministic columns are rendered: busy-seconds come from
+        the unfrozen ``time.perf_counter`` and would break byte-stable
+        stats goldens, so they are exported via :meth:`to_dict` only.
+        """
+        table = Table(title="Pools",
+                      columns=["Pool", "Kind", "Workers", "Tasks"])
+        snapshot = self.exec_snapshot
+        for pool in snapshot.get("pools", []):
+            table.add_row(
+                pool.get("label", "-"),
+                pool.get("kind", "-"),
+                int(pool.get("workers", 1)),
+                int(pool.get("tasks", 0)),
+            )
+        policy = snapshot.get("policy")
+        if policy:
+            table.add_note(f"policy: {policy}")
+        return table
+
     def checkpoint_table(self) -> Table:
         """Journal accounting: mode, restored stages, replay volumes."""
         table = Table(title="Checkpoint", columns=["Field", "Value"])
@@ -505,6 +527,8 @@ class Telemetry:
             parts.append(resilience.to_text())
         if self.cache_snapshot:
             parts.append(self.cache_table().to_text())
+        if self.exec_snapshot:
+            parts.append(self.pool_table().to_text())
         if self.checkpoint_snapshot:
             parts.append(self.checkpoint_table().to_text())
         if self.stream_snapshot:

@@ -85,6 +85,79 @@ class FileScanReport:
         return len(self.labels)
 
 
+#: Cumulative bands of the malicious-count distribution *among detected
+#: URLs*, calibrated so the overall thresholds land on Table 9 (45% of
+#: URLs are detected by nobody at all).
+_MALICIOUS_BANDS: Tuple[Tuple[float, int, int], ...] = (
+    (0.098, 0, 0),
+    (0.529, 1, 2),
+    (0.704, 3, 4),
+    (0.933, 5, 9),
+    (0.9945, 10, 14),
+    (1.0001, 15, 25),
+)
+#: Same for suspicious counts among detected URLs (Table 9: 18%
+#: overall have >=1 suspicious; >=5 never happens).
+_SUSPICIOUS_BANDS: Tuple[Tuple[float, int, int], ...] = (
+    (0.673, 0, 0),
+    (0.9964, 1, 2),
+    (1.0001, 3, 4),
+)
+#: Share of URLs no scanner flags at all (Table 9: 44.9%).
+_UNDETECTED_SHARE = 0.45
+
+
+def _band_count(u: float, bands) -> int:
+    previous = 0.0
+    for ceiling, low, high in bands:
+        if u < ceiling:
+            if high == low:
+                return low
+            span = ceiling - previous
+            within = (u - previous) / span
+            return low + int(within * (high - low + 1))
+        previous = ceiling
+    return bands[-1][2]
+
+
+def scan_url_uncharged(url: str,
+                       known_bad_hosts: frozenset = frozenset()) -> UrlScanReport:
+    """The pure half of a URL scan: verdicts from stable hashes only.
+
+    A module-level function of ``(url, known_bad_hosts)`` so the
+    execution engine's process workers can compute scans without
+    pickling a live service (meters hold telemetry hooks and a shared
+    clock that must stay in the parent). :class:`VirusTotalService`
+    delegates here; the two paths are the same code by construction.
+    """
+    verdicts: Dict[str, Verdict] = {}
+    gate = stable_hash("detectability:" + url) / 2**32
+    host = url.split("://", 1)[-1].split("/", 1)[0]
+    if host in known_bad_hosts:
+        gate = min(1.0, gate * 1.25)  # widely-reported hosts detected more
+    if gate < _UNDETECTED_SHARE:
+        return UrlScanReport(url=url, verdicts=verdicts)
+    u_mal = stable_hash("vt-mal:" + url) / 2**32
+    u_susp = stable_hash("vt-susp:" + url) / 2**32
+    malicious_n = _band_count(u_mal, _MALICIOUS_BANDS)
+    suspicious_n = _band_count(u_susp, _SUSPICIOUS_BANDS)
+    # Which vendors flag: rank by a per-(vendor, URL) priority scaled
+    # by vendor sensitivity, so phishing-focused feeds flag most
+    # often across the corpus while disagreement stays deterministic.
+    ranked = sorted(
+        VENDORS,
+        key=lambda vendor: (
+            (stable_hash(f"{vendor}:{url}") / 2**32)
+            / _VENDOR_SENSITIVITY.get(vendor, _DEFAULT_SENSITIVITY)
+        ),
+    )
+    for vendor in ranked[:malicious_n]:
+        verdicts[vendor] = Verdict.MALICIOUS
+    for vendor in ranked[malicious_n:malicious_n + suspicious_n]:
+        verdicts[vendor] = Verdict.SUSPICIOUS
+    return UrlScanReport(url=url, verdicts=verdicts)
+
+
 class VirusTotalService:
     """URL and file scanning with deterministic per-URL dispersion."""
 
@@ -108,40 +181,6 @@ class VirusTotalService:
 
     # -- URL scanning --------------------------------------------------------
 
-    #: Cumulative bands of the malicious-count distribution *among
-    #: detected URLs*, calibrated so the overall thresholds land on
-    #: Table 9 (45% of URLs are detected by nobody at all).
-    _MALICIOUS_BANDS: Tuple[Tuple[float, int, int], ...] = (
-        (0.098, 0, 0),
-        (0.529, 1, 2),
-        (0.704, 3, 4),
-        (0.933, 5, 9),
-        (0.9945, 10, 14),
-        (1.0001, 15, 25),
-    )
-    #: Same for suspicious counts among detected URLs (Table 9: 18%
-    #: overall have >=1 suspicious; >=5 never happens).
-    _SUSPICIOUS_BANDS: Tuple[Tuple[float, int, int], ...] = (
-        (0.673, 0, 0),
-        (0.9964, 1, 2),
-        (1.0001, 3, 4),
-    )
-    #: Share of URLs no scanner flags at all (Table 9: 44.9%).
-    _UNDETECTED_SHARE = 0.45
-
-    @staticmethod
-    def _band_count(u: float, bands) -> int:
-        previous = 0.0
-        for ceiling, low, high in bands:
-            if u < ceiling:
-                if high == low:
-                    return low
-                span = ceiling - previous
-                within = (u - previous) / span
-                return low + int(within * (high - low + 1))
-            previous = ceiling
-        return bands[-1][2]
-
     def scan_url(self, url: str,
                  precomputed: Optional[UrlScanReport] = None) -> UrlScanReport:
         """Scan one URL (charges one request; results cached by nature).
@@ -158,32 +197,7 @@ class VirusTotalService:
         return self._scan_url_uncharged(url)
 
     def _scan_url_uncharged(self, url: str) -> UrlScanReport:
-        verdicts: Dict[str, Verdict] = {}
-        gate = stable_hash("detectability:" + url) / 2**32
-        host = url.split("://", 1)[-1].split("/", 1)[0]
-        if host in self._known_bad_hosts:
-            gate = min(1.0, gate * 1.25)  # widely-reported hosts detected more
-        if gate < self._UNDETECTED_SHARE:
-            return UrlScanReport(url=url, verdicts=verdicts)
-        u_mal = stable_hash("vt-mal:" + url) / 2**32
-        u_susp = stable_hash("vt-susp:" + url) / 2**32
-        malicious_n = self._band_count(u_mal, self._MALICIOUS_BANDS)
-        suspicious_n = self._band_count(u_susp, self._SUSPICIOUS_BANDS)
-        # Which vendors flag: rank by a per-(vendor, URL) priority scaled
-        # by vendor sensitivity, so phishing-focused feeds flag most
-        # often across the corpus while disagreement stays deterministic.
-        ranked = sorted(
-            VENDORS,
-            key=lambda vendor: (
-                (stable_hash(f"{vendor}:{url}") / 2**32)
-                / _VENDOR_SENSITIVITY.get(vendor, _DEFAULT_SENSITIVITY)
-            ),
-        )
-        for vendor in ranked[:malicious_n]:
-            verdicts[vendor] = Verdict.MALICIOUS
-        for vendor in ranked[malicious_n:malicious_n + suspicious_n]:
-            verdicts[vendor] = Verdict.SUSPICIOUS
-        return UrlScanReport(url=url, verdicts=verdicts)
+        return scan_url_uncharged(url, frozenset(self._known_bad_hosts))
 
     def scan_urls(self, urls: Iterable[str]) -> List[UrlScanReport]:
         """Scan many URLs (deduplicated)."""

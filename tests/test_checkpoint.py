@@ -413,7 +413,11 @@ def test_cli_crash_then_resume_round_trip(tmp_path, capsys):
 
 
 def test_execution_policy_describe():
-    assert ExecutionPolicy(workers=4).describe() == "workers=4 cache=on"
-    assert ExecutionPolicy(cache=False).describe() == "workers=1 cache=off"
+    assert (ExecutionPolicy(workers=4).describe()
+            == "workers=4 cache=on pool=thread")
+    assert (ExecutionPolicy(cache=False).describe()
+            == "workers=1 cache=off pool=thread")
     assert (ExecutionPolicy(cache_max_entries=9).describe()
-            == "workers=1 cache=on(max=9)")
+            == "workers=1 cache=on(max=9) pool=thread")
+    assert (ExecutionPolicy(workers=4, pool="process").describe()
+            == "workers=4 cache=on pool=process")

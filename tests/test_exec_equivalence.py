@@ -6,7 +6,10 @@ same serialized dataset rows, same enrichment gaps, same collection
 limitations, same §4–§6 analysis tables, same meter charges, and the
 same final simulated-clock position. These tests run the full pipeline
 grid (3 seeds × {none, flaky, outage} × serial/workers∈{2,4} ×
-cache-on/off) on a small world and compare fingerprints.
+cache-on/off) on a small world and compare fingerprints, plus the
+cross-pool differential matrix (2 seeds × {none, flaky} ×
+{serial, thread, process} × workers∈{1,4}), columnar-vs-row report
+identity, and crash-at-boundary resume under the process pool.
 
 The fingerprint deliberately covers more than the run's outputs: meter
 snapshots and ``clock.now`` prove the *effects* (charges, backoff,
@@ -15,8 +18,10 @@ retries) were replayed identically, not just that the answers agree.
 
 import pytest
 
+import repro.cli as cli
+from repro.analysis.report import generate_paper_report
 from repro.core.pipeline import run_pipeline
-from repro.exec import SEQUENTIAL, ExecutionPolicy
+from repro.exec import POOL_KINDS, SEQUENTIAL, ExecutionPolicy
 from repro.faults import build_fault_plan
 from repro.world.scenario import ScenarioConfig, build_world
 
@@ -53,6 +58,68 @@ def test_grid_equivalent_to_sequential(seed, profile):
             f"seed={seed} faults={profile} workers={policy.workers} "
             f"cache={policy.cache} diverged from the sequential run"
         )
+
+
+# -- the cross-pool differential matrix ---------------------------------------
+#
+# serial × thread × process backends must all reproduce the sequential
+# fingerprint — dataset rows, gaps, report, meter charges, clock — over
+# seeds × fault profiles × worker counts. The process pool runs the
+# pure precompute in real OS subprocesses, so this is the proof that
+# shipping shards across a pickle boundary and merging them back in
+# canonical order changes nothing observable.
+
+MATRIX_SEEDS = (7, 1042)
+MATRIX_PROFILES = ("none", "flaky")
+MATRIX_WORKERS = (1, 4)
+
+
+@pytest.mark.parametrize("profile", MATRIX_PROFILES)
+@pytest.mark.parametrize("seed", MATRIX_SEEDS)
+def test_pool_matrix_equivalent_to_sequential(seed, profile):
+    baseline = run_fingerprint(seed, profile, SEQUENTIAL)
+    for pool in POOL_KINDS:
+        for workers in MATRIX_WORKERS:
+            policy = ExecutionPolicy(workers=workers, cache=True, pool=pool)
+            candidate = run_fingerprint(seed, profile, policy)
+            assert candidate == baseline, (
+                f"seed={seed} faults={profile} pool={pool} "
+                f"workers={workers} diverged from the sequential run"
+            )
+
+
+@pytest.mark.parametrize("seed", MATRIX_SEEDS)
+def test_columnar_report_equivalent_to_row_report(seed):
+    """``--columnar`` table building must be byte-identical, run by run.
+
+    The case study is excluded on both sides because generating it
+    twice against the same live world would charge meters twice; the
+    columnar flag only drives tables 10-13 regardless.
+    """
+    world = build_world(ScenarioConfig(seed=seed, n_campaigns=_CAMPAIGNS))
+    run = run_pipeline(world, execution=SEQUENTIAL)
+    row = generate_paper_report(run, include_case_study=False).render()
+    columnar = generate_paper_report(
+        run, include_case_study=False, columnar=True).render()
+    assert columnar == row
+
+
+def test_process_pool_crash_resume_matches_uninterrupted(tmp_path, capsys):
+    """Crash at an enrichment boundary under ``--pool process``, resume,
+    and the resumed report must match the uninterrupted process-pool
+    run byte-for-byte (the manifest round-trips the pool kind)."""
+    base = ["--seed", "7", "--campaigns", "6", "--quiet",
+            "--faults", "flaky", "--workers", "4", "--pool", "process"]
+    checkpoint_dir = tmp_path / "ck"
+    crash = base + ["--checkpoint-dir", str(checkpoint_dir),
+                    "--crash-at", "whois:3", "report"]
+    assert cli.main(crash) == 75
+    capsys.readouterr()
+    assert cli.main(["resume", "--checkpoint-dir",
+                     str(checkpoint_dir), "--quiet"]) == 0
+    resumed_report = capsys.readouterr().out
+    assert cli.main(base + ["report"]) == 0
+    assert resumed_report == capsys.readouterr().out
 
 
 def test_rerun_of_same_policy_is_deterministic():

@@ -1,0 +1,129 @@
+"""Process-pool regression suite: pickling, spawn contexts, failures.
+
+The :class:`~repro.exec.ProcessPool` ships tasks across a pickle
+boundary, so everything the precompute phase closes over must survive
+``pickle.dumps`` — including under the ``spawn`` start method, where the
+worker is a from-scratch interpreter that re-imports ``repro`` (the
+macOS/Windows default, exercised here explicitly so a fork-only Linux
+CI cannot hide a spawn regression). The differential matrix in
+``tests/test_exec_equivalence.py`` proves whole runs byte-identical;
+this module pins the sharp edges individually.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.core.enrichment import AnnotateShardTask, ScanShardTask
+from repro.exec import (
+    EnrichmentCache,
+    ProcessPool,
+    SerialPool,
+    ThreadPool,
+    make_pool,
+    shard,
+)
+from repro.faults import build_fault_plan
+from repro.nlp.annotator import MessageAnnotator
+
+
+def _square(value):
+    """Module-level on purpose: process-pool tasks must be picklable."""
+    return value * value
+
+
+def _explode_on_odd(value):
+    if value % 2:
+        raise RuntimeError(f"task-{value}")
+    return value
+
+
+# -- pickling regressions ------------------------------------------------------
+
+
+def test_enrichment_cache_round_trips_through_pickle():
+    """The cache guards itself with a lock, which cannot be pickled;
+    ``__getstate__``/``__setstate__`` must drop and rebuild it so worker
+    startup can ship a warm cache."""
+    cache = EnrichmentCache()
+    cache.put_value("openai", "hello", {"label": 1})
+    cache.put_value("whois", "evil.test", "registrar")
+    restored = pickle.loads(pickle.dumps(cache))
+    assert restored.get("openai", "hello").value == {"label": 1}
+    assert restored.get("whois", "evil.test").value == "registrar"
+    # The rebuilt lock must actually work: a post-restore lookup takes it.
+    assert restored.lookup("openai", "hello",
+                           lambda: None).value == {"label": 1}
+    stats = restored.stats()
+    assert stats["services"]["openai"]["hits"] >= 1
+
+
+@pytest.mark.parametrize("profile", ["none", "flaky", "outage"])
+def test_fault_plan_round_trips_through_pickle(profile):
+    plan = build_fault_plan(profile, seed=7)
+    restored = pickle.loads(pickle.dumps(plan))
+    assert type(restored) is type(plan)
+    assert restored.seed == plan.seed
+    assert restored.profile == plan.profile
+    assert len(restored.rules) == len(plan.rules)
+
+
+def test_shard_tasks_are_picklable():
+    annotate = AnnotateShardTask(MessageAnnotator())
+    assert pickle.loads(pickle.dumps(annotate)) is not None
+    scan = ScanShardTask(frozenset({"evil.test"}))
+    restored = pickle.loads(pickle.dumps(scan))
+    assert restored._known_bad_hosts == frozenset({"evil.test"})
+
+
+# -- spawn-context regression --------------------------------------------------
+
+
+def test_process_pool_under_spawn_context_matches_serial():
+    """``spawn`` workers start with an empty interpreter: every task,
+    argument, and result must round-trip through pickle and re-import.
+    One pool, both shard-task kinds, results compared against inline."""
+    annotator = MessageAnnotator()
+    texts = ["Your N3tfl!x account is on hold", "URGENT: verify your bank"]
+    urls = ["http://evil.test/login", "https://short.test/x"]
+    annotate = AnnotateShardTask(annotator)
+    scan = ScanShardTask(frozenset({"evil.test"}))
+    with ProcessPool(2, mp_context=multiprocessing.get_context(
+            "spawn")) as pool:
+        annotated = pool.map(annotate, shard(texts, pool.workers))
+        scanned = pool.map(scan, shard(urls, pool.workers))
+    assert annotated == SerialPool().map(annotate, shard(texts, 2))
+    assert scanned == SerialPool().map(scan, shard(urls, 2))
+
+
+# -- merge and failure semantics -----------------------------------------------
+
+
+def test_process_pool_merges_in_submission_order():
+    with ProcessPool(4) as pool:
+        assert pool.map(_square, range(20)) == [i * i for i in range(20)]
+        stats = pool.stats()
+    assert stats["kind"] == "ProcessPool"
+    assert stats["tasks"] == 20
+
+
+def test_process_pool_reraises_lowest_indexed_failure():
+    with ProcessPool(4) as pool:
+        with pytest.raises(RuntimeError) as excinfo:
+            pool.map(_explode_on_odd, [0, 4, 7, 3, 9])
+    # Index 2 (value 7) is the first failing submission, regardless of
+    # which worker finished first.
+    assert str(excinfo.value) == "task-7"
+
+
+def test_make_pool_selects_backend_by_kind_and_width():
+    assert isinstance(make_pool(4, "process"), ProcessPool)
+    assert isinstance(make_pool(4, "thread"), ThreadPool)
+    assert isinstance(make_pool(4, "serial"), SerialPool)
+    # One worker never pays pool overhead, whatever the kind.
+    assert isinstance(make_pool(1, "process"), SerialPool)
+    with pytest.raises(ValueError):
+        make_pool(4, "greenlet")
+    with pytest.raises(ValueError):
+        ProcessPool(0)

@@ -8,7 +8,19 @@ import threading
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.exec import EnrichmentCache, SerialPool, ThreadPool
+from repro.exec import (
+    EnrichmentCache,
+    SerialPool,
+    ThreadPool,
+    canonical_merge,
+    shard,
+)
+from repro.nlp.normalize import (
+    batch_normalize,
+    batch_squash,
+    normalize_text,
+    squash,
+)
 from repro.imaging.screenshot import word_wrap
 from repro.net.ipaddr import IPv4
 from repro.net.url import Url, defang, parse_url, refang
@@ -268,6 +280,41 @@ class TestExecutionEngineProperties:
             threaded = pool.map(lambda x: x * 31 + 7, items)
         assert threaded == serial
 
+    @given(st.lists(st.integers(), max_size=60),
+           st.integers(min_value=1, max_value=9))
+    def test_shard_round_robin_order_preserving_and_loss_free(self, items,
+                                                              shards):
+        # Tag every item with its submission index so duplicates stay
+        # distinguishable, then check the partition/merge contract the
+        # process pool's precompute path relies on.
+        indexed = list(enumerate(items))
+        chunks = shard(indexed, shards)
+        assert len(chunks) == min(shards, len(indexed))
+        sizes = [len(chunk) for chunk in chunks]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1  # balanced within one
+        for chunk in chunks:
+            indices = [index for index, _ in chunk]
+            assert indices == sorted(indices)  # each shard a subsequence
+        merged = canonical_merge(chunks)
+        assert sorted(merged) == sorted(indexed)  # loss-free permutation
+        assert shard(indexed, shards) == chunks  # deterministic repartition
+
+    @given(st.sets(st.integers(min_value=0, max_value=11), min_size=1),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_pool_merge_reraises_lowest_indexed_failure(self, failures,
+                                                        workers):
+        def task(i):
+            if i in failures:
+                raise ValueError(f"task-{i}")
+            return i
+
+        with ThreadPool(workers) as pool:
+            with pytest.raises(ValueError) as excinfo:
+                pool.map(task, range(12))
+        assert str(excinfo.value) == f"task-{min(failures)}"
+
     @given(st.lists(st.tuples(services, st.text(min_size=1, max_size=12)),
                     min_size=1, max_size=40))
     def test_cache_idempotence_second_pass_computes_nothing(self, batch):
@@ -284,6 +331,39 @@ class TestExecutionEngineProperties:
         assert first_pass == len(set(batch))  # one compute per unique key
         run_batch()
         assert len(computes) == first_pass  # second pass: zero computes
+
+
+class TestBatchNormalizeProperties:
+    """The columnar hot path's one-pass normalisation must agree with
+    the per-record reference on arbitrary unicode — including inputs
+    containing the batch sentinel's record separator, which take the
+    per-record fallback."""
+
+    texts = st.lists(st.text(max_size=80), max_size=25)
+
+    @given(texts)
+    def test_batch_normalize_matches_per_record(self, texts):
+        assert batch_normalize(texts) == [normalize_text(t) for t in texts]
+
+    @given(texts)
+    def test_batch_squash_matches_per_record(self, texts):
+        assert batch_squash(texts) == [squash(t) for t in texts]
+
+    @given(st.lists(st.text(max_size=40), min_size=1, max_size=10),
+           st.data())
+    def test_sentinel_bearing_inputs_take_the_fallback(self, texts, data):
+        # Splice the record separator into a random subset of inputs;
+        # equality with the per-record path must survive regardless.
+        spiked = []
+        for text in texts:
+            if data.draw(st.booleans()):
+                cut = data.draw(st.integers(min_value=0,
+                                            max_value=len(text)))
+                text = text[:cut] + "\x1e" + text[cut:]
+            spiked.append(text)
+        assert batch_normalize(spiked) == [normalize_text(t)
+                                           for t in spiked]
+        assert batch_squash(spiked) == [squash(t) for t in spiked]
 
 
 class TestDatasetKeyProperties:

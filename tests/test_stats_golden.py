@@ -38,7 +38,22 @@ CASES = {
                                 "--quiet", "--no-cache", "stats"],
     "stats_seed7_epochs3.txt": ["--seed", "7", "--campaigns", "10",
                                 "--quiet", "stats", "--epochs", "3"],
+    "stats_seed7_process4.txt": ["--seed", "7", "--campaigns", "10",
+                                 "--quiet", "--workers", "4",
+                                 "--pool", "process", "stats"],
 }
+
+
+def _without_table(text: str, title: str) -> str:
+    """Drop one rendered table (a blank-line-separated chunk) by title.
+
+    The Pools table's task counts legitimately differ across worker
+    counts and pool kinds (shard fan-out), so cross-golden equivalence
+    checks compare everything *around* it.
+    """
+    chunks = text.split("\n\n")
+    return "\n\n".join(c for c in chunks
+                       if c.splitlines()[0:1] != [title])
 
 
 @pytest.fixture
@@ -170,10 +185,23 @@ def test_goldens_cover_cache_and_resilience_tables():
     flaky = (GOLDEN_DIR / "stats_seed7_flaky.txt").read_text()
     assert "Enrichment gaps:" in flaky
     # Parallel and serial runs print byte-identical stats apart from the
-    # header's workers field and the precompute span's workers attr —
-    # the golden twins are themselves an equivalence check.
+    # header's workers field, the precompute span's workers attr, and
+    # the Pools table's shard fan-out — the golden twins are themselves
+    # an equivalence check.
     parallel = (GOLDEN_DIR / "stats_seed7_workers4.txt").read_text()
-    assert parallel == cached.replace("workers=1", "workers=4")
+    assert "Pools" in cached and "Pools" in parallel
+    assert (_without_table(parallel, "Pools")
+            == _without_table(cached, "Pools").replace("workers=1",
+                                                       "workers=4"))
+    # The process-pool golden is the same equivalence one axis further:
+    # identical bytes outside the Pools table, with only the header's
+    # pool field (and worker count) differing from the serial twin.
+    process = (GOLDEN_DIR / "stats_seed7_process4.txt").read_text()
+    assert "pool=process" in process.splitlines()[0]
+    assert (_without_table(process, "Pools")
+            == _without_table(cached, "Pools")
+            .replace("workers=1", "workers=4")
+            .replace("pool=thread", "pool=process"))
 
 
 SERVE_ARGV = ["--seed", "7", "--campaigns", "10", "--quiet", "serve",
