@@ -3,8 +3,10 @@
 # a chaos smoke test, a parallel-execution smoke test, a process-pool
 # smoke test (a `--pool process --workers 4 --columnar` report diffed
 # byte-for-byte against the serial run), a crash-resume smoke test, a
-# Chrome trace-export smoke test, and a perf-gate smoke test (which
-# also enforces the records/second floor).
+# Chrome trace-export smoke test, a perf-gate smoke test (which
+# also enforces the records/second floor), and a hostile-input smoke
+# test (a `--hostile poison` run must quarantine with exact three-bucket
+# accounting while the clean run quarantines nothing).
 #
 # Usage: scripts/ci.sh
 # The coverage gate (scripts/coverage_gate.py) fails the build when
@@ -276,4 +278,48 @@ if [ "$gate_rc" -ne 1 ]; then
   exit 1
 fi
 echo "perf-gate ok: clean baseline passes, records/sec floor enforced, tampered baseline fails"
+
+echo "== hostile-input smoke test (--hostile poison quarantine) =="
+hostile_out="$(mktemp -t repro-hostile-XXXXXX.txt)"
+hostile_clean_out="$(mktemp -t repro-hostile-clean-XXXXXX.txt)"
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$proc_report" "$serial_report" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out" "$chrome_trace" "$perf_dir" "$hostile_out" "$hostile_clean_out"' EXIT
+python -m repro --seed 7 --campaigns 10 --quiet --hostile poison stats \
+  > "$hostile_out"
+python -m repro --seed 7 --campaigns 10 --quiet stats > "$hostile_clean_out"
+python - "$hostile_out" "$hostile_clean_out" <<'PY'
+import re, sys
+
+hostile = open(sys.argv[1]).read()
+clean = open(sys.argv[2]).read()
+quarantined = re.search(r"quarantined=(\d+)", hostile)
+assert quarantined and int(quarantined.group(1)) > 0, \
+    "poison world quarantined nothing"
+assert "hostile=poison" in hostile, "header does not echo the profile"
+assert "Quarantine" in hostile, "missing Quarantine table"
+assert "reporter_flood" in hostile, "flood reason missing from the table"
+# The clean run must not know the quarantine layer exists.
+assert "quarantined=" not in clean, "clean run reported quarantines"
+assert "Quarantine" not in clean, "clean run rendered a Quarantine table"
+# Clean-subset smoke: the curated record count is untouched by hostility.
+records = lambda out: re.search(r" records=(\d+)", out).group(1)
+assert records(hostile) == records(clean), \
+    f"hostile run changed record count {records(hostile)} != {records(clean)}"
+print(f"hostile smoke ok: {quarantined.group(1)} quarantined, "
+      f"{records(clean)} records on both arms")
+PY
+python - <<'PY'
+from repro.core.pipeline import run_pipeline
+from repro.world.scenario import ScenarioConfig, build_world
+
+run = run_pipeline(build_world(
+    ScenarioConfig(seed=7, n_campaigns=10, hostile="poison")))
+s = run.curation_stats
+assert s.reports_in == len(run.collection.reports)
+assert s.reports_curated + s.quarantined + s.reports_dropped == s.reports_in, (
+    f"accounting broke: {s.reports_curated} + {s.quarantined} + "
+    f"{s.reports_dropped} != {s.reports_in}")
+assert len(s.quarantines) == s.quarantined
+print(f"hostile accounting ok: {s.reports_curated} + {s.quarantined} + "
+      f"{s.reports_dropped} == {s.reports_in}")
+PY
 echo "ci ok"

@@ -20,6 +20,9 @@ the run regressed:
 * the run's end-to-end throughput fell below the opt-in
   ``--min-records-per-sec`` absolute floor (skipped for records without
   a throughput figure, e.g. frozen-clock test runs),
+* the sanitizer quarantined more than the opt-in
+  ``--max-quarantine-rate`` fraction of collected reports (an absolute
+  ceiling on hostile-input leakage, judged on the current run alone),
 * or the config digests differ (the runs aren't comparable; re-baseline
   or pass ``--allow-config-drift``).
 
@@ -112,6 +115,11 @@ def main(argv=None) -> int:
                         help="absolute end-to-end records/second floor "
                              "(default off; skipped for records without "
                              "throughput, e.g. frozen-clock runs)")
+    parser.add_argument("--max-quarantine-rate", type=float, default=None,
+                        help="max tolerated fraction of collected reports "
+                             "the sanitizer quarantined (default off; "
+                             "clean records without a quarantine count "
+                             "pass at rate 0)")
     parser.add_argument("--allow-config-drift", action="store_true",
                         help="compare even when config digests differ")
     args = parser.parse_args(argv)
@@ -142,6 +150,7 @@ def main(argv=None) -> int:
         max_serve_p99_growth=args.max_serve_p99_growth,
         min_serve_processed_ratio=args.min_serve_processed_ratio,
         min_records_per_sec=args.min_records_per_sec,
+        max_quarantine_rate=args.max_quarantine_rate,
     )
     findings = compare_runs(current, baseline, thresholds,
                             check_config=not args.allow_config_drift)

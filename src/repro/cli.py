@@ -87,6 +87,7 @@ from .serve import (
     serve_fingerprint,
 )
 from .stream import STREAM_MANIFEST_NAME, StreamSession
+from .world.adversarial import HOSTILE_PROFILES
 from .world.scenario import ScenarioConfig, build_world
 
 
@@ -115,6 +116,8 @@ def _manifest_argv(args: argparse.Namespace) -> List[str]:
     argv = ["--seed", str(args.seed), "--campaigns", str(args.campaigns),
             "--faults", args.faults, "--workers", str(args.workers),
             "--pool", args.pool]
+    if args.hostile != "none":
+        argv += ["--hostile", args.hostile]
     if args.no_cache:
         argv.append("--no-cache")
     if getattr(args, "columnar", False):
@@ -147,7 +150,8 @@ def _build_run(args: argparse.Namespace) -> PipelineRun:
                     clock=world.clock, progress=progress),
             )
         world = build_world(ScenarioConfig(seed=args.seed,
-                                           n_campaigns=args.campaigns))
+                                           n_campaigns=args.campaigns,
+                                           hostile=args.hostile))
         telemetry = Telemetry.create(clock=world.clock, progress=progress)
         fault_plan = build_fault_plan(args.faults, seed=args.seed)
         if args.crash_at is not None:
@@ -196,6 +200,8 @@ def _run_config(args: argparse.Namespace) -> dict:
         "cache": not args.no_cache,
         "pool": args.pool,
     }
+    if args.hostile != "none":
+        config["hostile"] = args.hostile
     if getattr(args, "columnar", False):
         config["columnar"] = True
     epochs = getattr(args, "epochs", None)
@@ -252,13 +258,16 @@ def _dump_trace(args: argparse.Namespace, telemetry) -> int:
 
 
 def _run_counts(run: PipelineRun) -> dict:
-    return {
+    counts = {
         "posts_seen": run.collection.posts_seen,
         "reports": len(run.collection.reports),
         "records": len(run.dataset),
         "gaps": len(run.enriched.gaps),
         "limitations": len(run.collection.limitations),
     }
+    if run.curation_stats.quarantined:
+        counts["quarantined"] = run.curation_stats.quarantined
+    return counts
 
 
 def _write_trace(args: argparse.Namespace, run: PipelineRun) -> int:
@@ -328,15 +337,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         run = _build_run(args)
         epochs = ""
     dataset = run.dataset
+    hostile = (f" hostile={args.hostile}" if args.hostile != "none" else "")
+    quarantined = (f" quarantined={run.curation_stats.quarantined}"
+                   if run.curation_stats.quarantined else "")
     print(f"seed={args.seed} campaigns={args.campaigns} "
           f"faults={args.faults} "
           f"workers={args.workers} "
           f"pool={args.pool} "
           f"cache={'off' if args.no_cache else 'on'}"
-          f"{epochs} "
+          f"{hostile}{epochs} "
           f"reports={len(run.collection.reports)} records={len(dataset)} "
           f"limitations={len(run.collection.limitations)} "
-          f"gaps={len(run.enriched.gaps)}")
+          f"gaps={len(run.enriched.gaps)}{quarantined}")
     print()
     print(run.telemetry.summary())
     gapped = run.enriched.gaps_by_service()
@@ -358,6 +370,8 @@ def _stream_argv(args: argparse.Namespace) -> List[str]:
     argv = ["--seed", str(args.seed), "--campaigns", str(args.campaigns),
             "--faults", args.faults, "--workers", str(args.workers),
             "--pool", args.pool]
+    if args.hostile != "none":
+        argv += ["--hostile", args.hostile]
     if args.no_cache:
         argv.append("--no-cache")
     argv.append(args.command)
@@ -389,7 +403,8 @@ def _build_stream_session(args: argparse.Namespace,
     if epochs is None and epoch_hours is None:
         epochs = 4
     return StreamSession.create(
-        ScenarioConfig(seed=args.seed, n_campaigns=args.campaigns),
+        ScenarioConfig(seed=args.seed, n_campaigns=args.campaigns,
+                       hostile=args.hostile),
         epochs=epochs,
         epoch_hours=epoch_hours,
         fault_plan=build_fault_plan(args.faults, seed=args.seed),
@@ -408,6 +423,8 @@ def _print_stream(args: argparse.Namespace,
                   session: StreamSession) -> int:
     state = session.state
     scenario = session.world.config
+    quarantined = (f" quarantined={state.curation_stats.quarantined}"
+                   if state.curation_stats.quarantined else "")
     print(f"seed={scenario.seed} campaigns={scenario.n_campaigns} "
           f"faults={session.fault_profile} "
           f"workers={session.policy.workers} "
@@ -417,7 +434,7 @@ def _print_stream(args: argparse.Namespace,
           f"reports={len(state.collection.reports)} "
           f"records={len(state.dataset)} "
           f"limitations={len(state.collection.limitations)} "
-          f"gaps={len(state.gaps)}")
+          f"gaps={len(state.gaps)}{quarantined}")
     print()
     print(session.telemetry.summary())
     print()
@@ -429,6 +446,8 @@ def _print_stream(args: argparse.Namespace,
         "gaps": len(state.gaps),
         "limitations": len(state.collection.limitations),
     }
+    if state.curation_stats.quarantined:
+        counts["quarantined"] = state.curation_stats.quarantined
     _append_history(args, telemetry=session.telemetry, counts=counts)
     return _dump_trace(args, session.telemetry)
 
@@ -465,6 +484,8 @@ def _serve_argv(args: argparse.Namespace) -> List[str]:
     argv = ["--seed", str(args.seed), "--campaigns", str(args.campaigns),
             "--faults", args.faults, "--workers", str(args.workers),
             "--pool", args.pool]
+    if args.hostile != "none":
+        argv += ["--hostile", args.hostile]
     if args.no_cache:
         argv.append("--no-cache")
     argv += ["serve", "--load-profile", args.load_profile,
@@ -487,7 +508,8 @@ def _build_serve(args: argparse.Namespace) -> IntakeService:
             kill_at=getattr(args, "kill_at", None),
         )
     return IntakeService.create(
-        ScenarioConfig(seed=args.seed, n_campaigns=args.campaigns),
+        ScenarioConfig(seed=args.seed, n_campaigns=args.campaigns,
+                       hostile=args.hostile),
         load=LoadSpec(profile=args.load_profile, requests=args.requests,
                       reporters=args.reporters, seed=args.seed),
         config=ServeConfig(queue_capacity=args.queue_capacity,
@@ -512,6 +534,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     load = stats["load"]
     queue = stats["queue"]
     latency = stats["latency"]
+    quarantined = (f" quarantined={stats['quarantined']}"
+                   if stats.get("quarantined") else "")
     print(f"seed={service.world.config.seed} "
           f"campaigns={service.world.config.n_campaigns} "
           f"faults={service.fault_profile} "
@@ -520,7 +544,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"profile={load['profile']} "
           f"submitted={stats['submitted']} accepted={stats['accepted']} "
           f"shed={stats['shed']} processed={stats['processed']} "
-          f"timed_out={stats['timed_out']} records={stats['records']} "
+          f"timed_out={stats['timed_out']} records={stats['records']}"
+          f"{quarantined} "
           f"mode={stats['mode']}")
     print()
     print(service.telemetry.summary())
@@ -544,6 +569,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "records": stats["records"],
         "gaps": stats["gaps"],
     }
+    if stats.get("quarantined"):
+        counts["quarantined"] = stats["quarantined"]
     _append_history(args, telemetry=service.telemetry, counts=counts)
     return _dump_trace(args, service.telemetry)
 
@@ -563,6 +590,9 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--faults", choices=FAULT_PROFILES,
                      default=argparse.SUPPRESS,
                      help="chaos profile to inject during the run")
+    sub.add_argument("--hostile", choices=HOSTILE_PROFILES,
+                     default=argparse.SUPPRESS,
+                     help="adversarial reporter profile for the world")
     sub.add_argument("--workers", type=int, default=argparse.SUPPRESS,
                      help="worker count for the parallel execution phases")
     sub.add_argument("--pool", choices=POOL_KINDS,
@@ -615,6 +645,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--faults", choices=FAULT_PROFILES, default="none",
                         help="chaos profile to inject during the run "
                              "(default: none)")
+    parser.add_argument("--hostile", choices=HOSTILE_PROFILES,
+                        default="none",
+                        help="adversarial reporter profile: mutate a "
+                             "seeded fraction of reports into hostile "
+                             "shapes (noisy) plus coordinated floods and "
+                             "poison clusters (poison); clean results "
+                             "are provably unaffected (default: none)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker count for the parallel execution "
                              "phases (default 1; any count is "

@@ -20,7 +20,7 @@ import re
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..errors import ParseError
+from ..errors import ParseError, ValidationError
 from ..forums.pastebin import parse_paste
 from ..imaging.vision_openai import OpenAiVisionExtractor, VisionExtraction
 from ..net.url import extract_urls, try_parse_url
@@ -30,6 +30,11 @@ from ..types import Forum
 from ..utils.timeutils import ParsedTimestamp, parse_screenshot_timestamp
 from .collection import RawReport
 from .dataset import SmishingDataset, SmishingRecord
+from .quarantine import (
+    QuarantineRecord,
+    Sanitizer,
+    quarantine_by_reason,
+)
 
 _QUOTED_TEXT_RE = re.compile(r'Text was: "(?P<text>.+?)"', re.DOTALL)
 
@@ -45,6 +50,12 @@ class CurationStats:
     structured_used: int = 0
     text_mined: int = 0
     timestamp_parse_failures: int = 0
+    #: Three-bucket report accounting (hostile-input invariant):
+    #: ``reports_curated + quarantined + reports_dropped == reports_in``.
+    reports_curated: int = 0
+    reports_dropped: int = 0
+    quarantined: int = 0
+    quarantines: List[QuarantineRecord] = field(default_factory=list)
 
     def merge(self, other: "CurationStats") -> None:
         """Accumulate another run's counters (epoch merging in
@@ -56,16 +67,23 @@ class CurationStats:
         self.structured_used += other.structured_used
         self.text_mined += other.text_mined
         self.timestamp_parse_failures += other.timestamp_parse_failures
+        self.reports_curated += other.reports_curated
+        self.reports_dropped += other.reports_dropped
+        self.quarantined += other.quarantined
+        self.quarantines.extend(other.quarantines)
 
     def drop_reasons(self) -> dict:
         """Per-reason drop accounting for the observability layer."""
-        return {
+        reasons = {
             "image_dismissed": self.images_dismissed,
             "timestamp_parse_failure": self.timestamp_parse_failures,
             "no_record_produced": max(
-                0, self.reports_in - self.records_out
+                0, self.reports_in - self.records_out - self.quarantined
             ),
         }
+        if self.quarantined:
+            reasons["quarantined"] = self.quarantined
+        return reasons
 
 
 class Curator:
@@ -73,10 +91,16 @@ class Curator:
 
     def __init__(self, vision: OpenAiVisionExtractor,
                  telemetry: Optional[Telemetry] = None,
-                 *, record_id_start: int = 0):
+                 *, record_id_start: int = 0,
+                 sanitizer: Optional[Sanitizer] = None):
         self._vision = vision
         self._telemetry = ensure_telemetry(telemetry)
         self._counter = record_id_start
+        # The sanitizer always runs — on clean input it provably
+        # quarantines nothing (the `--hostile none` zero-quarantine
+        # guarantee). Long-running services pass a shared instance so
+        # flood counters latch across batches.
+        self._sanitizer = sanitizer if sanitizer is not None else Sanitizer()
         self.stats = CurationStats()
 
     @property
@@ -103,7 +127,10 @@ class Curator:
             return None
         try:
             parsed = parse_screenshot_timestamp(raw, reference=reference)
-        except ParseError:
+        except (ParseError, ValueError, TypeError, AttributeError,
+                OverflowError):
+            # Garbage in any shape — non-string fields, numeric overflow,
+            # non-date junk — is a per-record drop, never an exception.
             self.stats.timestamp_parse_failures += 1
             return None
         if (reference is not None and parsed.has_date
@@ -112,10 +139,17 @@ class Curator:
                 flipped = parse_screenshot_timestamp(
                     raw, reference=reference, day_first=False
                 )
-            except ParseError:
-                return parsed
-            if flipped.has_date and flipped.value.date() <= reference:
-                return flipped
+            except (ParseError, ValueError, TypeError, AttributeError,
+                    OverflowError):
+                flipped = None
+            if (flipped is not None and flipped.has_date
+                    and flipped.value.date() <= reference):
+                parsed = flipped
+        if parsed.has_date and not (1990 <= parsed.value.year <= 2100):
+            # Year 0/9999-style timestamps parse but are implausible as
+            # SMS receipt times; treat them as parse failures.
+            self.stats.timestamp_parse_failures += 1
+            return None
         return parsed
 
     def _record_from_extraction(
@@ -230,6 +264,7 @@ class Curator:
 
     def curate(self, reports: List[RawReport]) -> SmishingDataset:
         """Run curation over a collection result's reports."""
+        quarantined_before = len(self.stats.quarantines)
         with self._telemetry.tracer.span("curate") as span:
             dataset = self._curate_inner(reports)
             span.set(reports_in=self.stats.reports_in,
@@ -248,36 +283,79 @@ class Curator:
         metrics.counter("curation.text_mined").inc(self.stats.text_mined)
         for reason, count in self.stats.drop_reasons().items():
             metrics.counter("curation.drops", reason=reason).inc(count)
+        # Quarantine counters exist only when something quarantined, so
+        # clean runs render byte-identically to the pre-quarantine era.
+        # Only this call's slice is counted — a shared Curator (serve)
+        # must not re-report records an earlier batch already did.
+        new_quarantines = self.stats.quarantines[quarantined_before:]
+        if new_quarantines:
+            for reason, count in quarantine_by_reason(
+                    new_quarantines).items():
+                metrics.counter("curation.quarantined",
+                                reason=reason).inc(count)
+            self._telemetry.capture_quarantine(new_quarantines)
         return dataset
+
+    def _quarantine(self, record: QuarantineRecord) -> None:
+        self.stats.quarantined += 1
+        self.stats.quarantines.append(record)
 
     def _curate_inner(self, reports: List[RawReport]) -> SmishingDataset:
         dataset = SmishingDataset()
+        # Batch-context pre-scan: flood/poison cluster membership is
+        # known before the first report is screened, so *every* member
+        # of a coordinated burst is diverted, not just the tail past
+        # the threshold.
+        self._sanitizer.observe_batch(reports)
         for report in reports:
             self.stats.reports_in += 1
+            quarantine = self._sanitizer.screen(report)
+            if quarantine is not None:
+                self._quarantine(quarantine)
+                continue
             produced = False
-            for screenshot in report.screenshots:
-                self.stats.images_processed += 1
-                extraction = self._vision.extract(screenshot)
-                if extraction.dismissed:
-                    self.stats.images_dismissed += 1
-                    continue
-                record = self._record_from_extraction(report, extraction)
-                if record is not None:
-                    dataset.add(record)
-                    produced = True
-            if not produced and report.structured:
-                record = self._record_from_structured(report)
-                if record is not None:
-                    dataset.add(record)
-                    produced = True
-            if not produced and report.forum is Forum.PASTEBIN:
-                record = self._record_from_paste(report)
-                if record is not None:
-                    dataset.add(record)
-                    produced = True
-            if not produced and report.forum in (Forum.TWITTER, Forum.REDDIT):
-                record = self._record_from_quoted_body(report)
-                if record is not None:
-                    dataset.add(record)
+            try:
+                for screenshot in report.screenshots:
+                    self.stats.images_processed += 1
+                    extraction = self._vision.extract(screenshot)
+                    if extraction.dismissed:
+                        self.stats.images_dismissed += 1
+                        continue
+                    record = self._record_from_extraction(report, extraction)
+                    if record is not None:
+                        dataset.add(record)
+                        produced = True
+                if not produced and report.structured:
+                    record = self._record_from_structured(report)
+                    if record is not None:
+                        dataset.add(record)
+                        produced = True
+                if not produced and report.forum is Forum.PASTEBIN:
+                    record = self._record_from_paste(report)
+                    if record is not None:
+                        dataset.add(record)
+                        produced = True
+                if not produced and report.forum in (Forum.TWITTER,
+                                                     Forum.REDDIT):
+                    record = self._record_from_quoted_body(report)
+                    if record is not None:
+                        dataset.add(record)
+                        produced = True
+            except ValidationError as exc:
+                # Defence in depth: a validation failure deep in record
+                # construction diverts this one report, never the run.
+                self._quarantine(QuarantineRecord(
+                    forum=report.forum,
+                    reporter=report.author,
+                    reason="invalid_record",
+                    detail=str(exc),
+                    post_id=report.post_id,
+                    simulated_at=report.posted_at,
+                ))
+                continue
+            if produced:
+                self.stats.reports_curated += 1
+            else:
+                self.stats.reports_dropped += 1
         self.stats.records_out = len(dataset)
         return dataset

@@ -18,6 +18,7 @@ Same seed + same plan ⇒ byte-identical fault sequences.
 
 from .plan import (
     FAULT_PROFILES,
+    CorruptPayload,
     CrashPoint,
     ErrorRate,
     FaultPlan,
@@ -31,6 +32,7 @@ from .proxy import DEFAULT_EXCLUDE, FaultProxy, inject_faults, wrap_if_planned
 __all__ = [
     "FAULT_PROFILES",
     "DEFAULT_EXCLUDE",
+    "CorruptPayload",
     "CrashPoint",
     "ErrorRate",
     "FaultPlan",

@@ -125,7 +125,45 @@ class CrashPoint:
             )
 
 
-FaultRule = object  # any of the five rule dataclasses above
+@dataclass(frozen=True)
+class CorruptPayload:
+    """Silently corrupt a fraction of the posts a forum call returns.
+
+    Unlike every other rule this one never *fails* the call — the
+    request succeeds, the meter charges, and the collector receives
+    mangled data without knowing: bodies truncated mid-URL with
+    replacement characters spliced in, the way real scrapes decay when
+    an upstream changes encoding. The per-post draw is a stable hash of
+    ``(seed, service, call index, position)``, so two runs with the
+    same plan corrupt byte-identical posts. The corruption happens on
+    *copies* — the world's own post objects are never touched.
+
+    Not part of any named ``--faults`` profile: pair it with the
+    ``--hostile`` world packs or hand-built plans in tests to prove the
+    quarantine layer catches corruption the collector cannot see.
+    """
+
+    service: str
+    rate: float
+    seed_salt: str = "corrupt"
+
+    def check(self, plan: "FaultPlan", index: int, clock) -> None:
+        return None  # corruption applies to results, never the call
+
+    def hits(self, plan: "FaultPlan", index: int, position: int) -> bool:
+        draw = stable_hash(
+            f"{self.seed_salt}:{plan.seed}:{self.service}:{index}:{position}"
+        ) / 2 ** 32
+        return draw < self.rate
+
+    def corrupt_body(self, body: str) -> str:
+        """Deterministic mangling: truncate at a third and splice in
+        U+FFFD replacement characters (classic encoding rot)."""
+        cut = max(1, len(body) // 3)
+        return body[:cut] + "���" + body[cut:cut + 7]
+
+
+FaultRule = object  # any of the six rule dataclasses above
 
 
 class FaultPlan:

@@ -19,8 +19,11 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
+import dataclasses
+
 from ..core.enrichment import EnrichmentServices
-from .plan import FaultPlan
+from ..forums.base import Post, SearchPage
+from .plan import CorruptPayload, FaultPlan
 
 #: Service methods that are not API requests: world-side ingestion and
 #: pure client-side planning. Injecting faults there would fail code
@@ -35,7 +38,7 @@ class FaultProxy:
     """Transparent wrapper injecting a plan's faults ahead of each call."""
 
     _INTERNAL = ("_target", "_plan", "_service", "_clock", "_exclude",
-                 "_calls")
+                 "_calls", "_corrupters")
 
     def __init__(self, target, plan: FaultPlan, *,
                  service: Optional[str] = None, clock=None,
@@ -57,6 +60,10 @@ class FaultProxy:
             DEFAULT_EXCLUDE if exclude is None else set(exclude),
         )
         object.__setattr__(self, "_calls", 0)
+        object.__setattr__(self, "_corrupters", tuple(
+            rule for rule in plan.rules_for(self._service)
+            if isinstance(rule, CorruptPayload)
+        ))
 
     # -- introspection (tests) ------------------------------------------------
 
@@ -93,10 +100,42 @@ class FaultProxy:
             index = self._calls
             object.__setattr__(self, "_calls", index + 1)
             self._plan.apply(self._service, index, self._clock)
-            return attr(*args, **kwargs)
+            result = attr(*args, **kwargs)
+            if self._corrupters:
+                result = self._corrupt_result(index, result)
+            return result
 
         wrapped.__name__ = getattr(attr, "__name__", name)
         return wrapped
+
+    # -- payload corruption (CorruptPayload rules) ----------------------------
+
+    def _corrupt_posts(self, index: int, posts):
+        corrupted = []
+        for position, post in enumerate(posts):
+            if isinstance(post, Post) and any(
+                    rule.hits(self._plan, index, position)
+                    for rule in self._corrupters):
+                # Never mutate the world's shared post objects — the
+                # collector gets a mangled *copy*, like a real bad read.
+                rule = next(r for r in self._corrupters
+                            if r.hits(self._plan, index, position))
+                post = dataclasses.replace(
+                    post, body=rule.corrupt_body(post.body))
+            corrupted.append(post)
+        return corrupted
+
+    def _corrupt_result(self, index: int, result):
+        """Apply CorruptPayload rules to any post-shaped return value."""
+        if isinstance(result, SearchPage):
+            return SearchPage(posts=self._corrupt_posts(index, result.posts),
+                              next_cursor=result.next_cursor)
+        if isinstance(result, list) and any(
+                isinstance(item, Post) for item in result):
+            return self._corrupt_posts(index, result)
+        if isinstance(result, Post):
+            return self._corrupt_posts(index, [result])[0]
+        return result
 
     def __setattr__(self, name: str, value) -> None:
         if name in self._INTERNAL:

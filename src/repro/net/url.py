@@ -53,12 +53,24 @@ class Url:
 
     @property
     def apex(self) -> str:
-        """Registered (pay-level) domain under the default TLD registry."""
-        return default_registry().split_host(self.host)[0]
+        """Registered (pay-level) domain under the default TLD registry.
+
+        Never raises: a hand-constructed ``Url`` with a host the registry
+        cannot split (hostile input that bypassed :func:`parse_url`) falls
+        back to the full host, so per-record analysis degrades instead of
+        killing the run.
+        """
+        try:
+            return default_registry().split_host(self.host)[0]
+        except ValidationError:
+            return self.host
 
     @property
     def effective_tld(self) -> str:
-        return default_registry().split_host(self.host)[1]
+        try:
+            return default_registry().split_host(self.host)[1]
+        except ValidationError:
+            return ""
 
     @property
     def is_apk_download(self) -> bool:

@@ -19,6 +19,12 @@ from .tokenize import tokenize
 #: inside other words).
 _SHORT_KEY = 4
 
+#: Pathological-input budget: the n-gram walk scans at most this many
+#: tokens. Real SMS texts are tens of tokens; a megabyte of junk that
+#: slipped past quarantine must not turn the O(tokens × max_ngram) walk
+#: into a run-stalling loop.
+_MAX_SCAN_TOKENS = 20_000
+
 
 @dataclass(frozen=True)
 class BrandMatch:
@@ -56,6 +62,8 @@ class BrandRecognizer:
         """Every brand mention, leftmost-longest, non-overlapping."""
         normalised = normalize_text(text)
         tokens = tokenize(normalised)
+        if len(tokens) > _MAX_SCAN_TOKENS:
+            tokens = tokens[:_MAX_SCAN_TOKENS]
         matches: List[BrandMatch] = []
         index = 0
         while index < len(tokens):

@@ -28,6 +28,15 @@ HOMOGLYPH_MAP: Dict[str, str] = {
 
 _TOKEN_RE = re.compile(r"\S+")
 
+#: Pathological-input budget: normalisation inspects at most this many
+#: characters per text. Real SMS bodies are under a kilobyte; anything a
+#: megabyte long is hostile, and the quarantine layer has usually
+#: diverted it already — this cap is the backstop that keeps the regex
+#: walk bounded even for inputs that reach the hot path directly. The
+#: batch variants apply the identical truncation, preserving the
+#: batch ≡ per-record equality the property tests enforce.
+MAX_NORMALIZE_CHARS = 65_536
+
 
 def strip_accents(text: str) -> str:
     """Remove combining marks: ``café`` → ``cafe``."""
@@ -62,7 +71,13 @@ def normalize_token(token: str) -> str:
 
 
 def normalize_text(text: str) -> str:
-    """Normalise every token of a text, preserving whitespace shape."""
+    """Normalise every token of a text, preserving whitespace shape.
+
+    Inputs beyond ``MAX_NORMALIZE_CHARS`` are truncated first — a
+    bounded-cost guarantee for adversarial megabyte bodies.
+    """
+    if len(text) > MAX_NORMALIZE_CHARS:
+        text = text[:MAX_NORMALIZE_CHARS]
     return _TOKEN_RE.sub(lambda m: normalize_token(m.group(0)), text)
 
 
@@ -101,6 +116,10 @@ def batch_normalize(texts: Sequence[str]) -> List[str]:
     """
     if not texts:
         return []
+    # Identical truncation to normalize_text, BEFORE the sentinel join —
+    # required for batch ≡ per-record equality on oversized inputs.
+    texts = [t if len(t) <= MAX_NORMALIZE_CHARS
+             else t[:MAX_NORMALIZE_CHARS] for t in texts]
     fallback = {i: normalize_text(t)
                 for i, t in enumerate(texts) if "\x1e" in t}
     if len(fallback) == len(texts):

@@ -327,6 +327,13 @@ class GateThresholds:
     #: check; runs whose record carries no throughput (frozen tracer
     #: clock, zero records) are skipped rather than failed.
     min_records_per_sec: Optional[float] = None
+    #: Max tolerated fraction of collected reports the sanitizer
+    #: quarantined (``counts["quarantined"] / counts["reports"]``).
+    #: ``None`` disables the check; records without a quarantine count
+    #: (clean runs omit the key) pass at rate 0. Judged against the
+    #: current run alone — hostile-input handling is an absolute
+    #: property, not a baseline-relative one.
+    max_quarantine_rate: Optional[float] = None
 
 
 def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
@@ -413,6 +420,20 @@ def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
                 f"throughput {float(throughput):,.1f} records/s fell below "
                 f"the {thresholds.min_records_per_sec:,.1f} records/s floor"
             )
+
+    if thresholds.max_quarantine_rate is not None:
+        counts = current.get("counts", {})
+        quarantined = int(counts.get("quarantined", 0) or 0)
+        denominator = int(counts.get("reports", 0)
+                          or counts.get("accepted", 0) or 0)
+        if quarantined and denominator:
+            rate = quarantined / denominator
+            if rate > thresholds.max_quarantine_rate:
+                findings.append(
+                    f"quarantine rate {rate:.1%} ({quarantined}/"
+                    f"{denominator} reports) exceeds the "
+                    f"{thresholds.max_quarantine_rate:.1%} ceiling"
+                )
 
     base_rate = float(baseline.get("cache", {}).get("hit_rate", 0.0))
     current_rate = float(current.get("cache", {}).get("hit_rate", 0.0))

@@ -64,6 +64,11 @@ class Telemetry:
         self.exec_snapshot: Dict[str, Any] = {}
         #: ``FunctionProfiler.snapshot()`` of a ``--profile`` run.
         self.function_snapshot: Dict[str, Any] = {}
+        #: Every :class:`~repro.core.quarantine.QuarantineRecord` the
+        #: sanitizer diverted this run. Empty on clean input — the
+        #: Quarantine table and export key render only when non-empty,
+        #: keeping ``--hostile none`` output byte-identical.
+        self.quarantine_records: List[Any] = []
 
     # -- constructors ---------------------------------------------------------
 
@@ -194,6 +199,32 @@ class Telemetry:
             return
         self.serve_snapshot = dict(stats)
 
+    # -- quarantine wiring ----------------------------------------------------
+
+    def capture_quarantine(self, records) -> None:
+        """Accumulate sanitizer quarantine records.
+
+        Additive on purpose: stream epochs and serve batches each run
+        their own :class:`~repro.core.curation.Curator`, and each
+        contributes only the reports *it* diverted."""
+        if not self.enabled or not records:
+            return
+        self.quarantine_records.extend(records)
+
+    def _quarantine_dict(self) -> Dict[str, Any]:
+        if not self.quarantine_records:
+            return {}
+        by_reason: Dict[str, int] = {}
+        by_stage: Dict[str, int] = {}
+        for record in self.quarantine_records:
+            by_reason[record.reason] = by_reason.get(record.reason, 0) + 1
+            by_stage[record.stage] = by_stage.get(record.stage, 0) + 1
+        return {
+            "total": len(self.quarantine_records),
+            "by_reason": by_reason,
+            "by_stage": by_stage,
+        }
+
     # -- profiling wiring -----------------------------------------------------
 
     def capture_exec(self, stats: Optional[Dict[str, Any]]) -> None:
@@ -216,6 +247,11 @@ class Telemetry:
     # -- export ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
+        # The quarantine block exists only when something was diverted:
+        # a clean run's trace export stays byte-identical to pre-hostile
+        # behaviour.
+        quarantine = self._quarantine_dict()
+        extra = {"quarantine": quarantine} if quarantine else {}
         return {
             "format": TRACE_FORMAT_VERSION,
             "spans": self.tracer.to_dicts(),
@@ -231,6 +267,7 @@ class Telemetry:
             "serve": dict(self.serve_snapshot),
             "exec": dict(self.exec_snapshot),
             "functions": dict(self.function_snapshot),
+            **extra,
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -499,6 +536,20 @@ class Telemetry:
             )
         return table
 
+    def quarantine_table(self) -> Table:
+        """Sanitizer accounting: diverted reports by reason and stage."""
+        table = Table(title="Quarantine",
+                      columns=["Reason", "Stage", "Records"])
+        groups: Dict[tuple, int] = {}
+        for record in self.quarantine_records:
+            key = (record.reason, record.stage)
+            groups[key] = groups.get(key, 0) + 1
+        for reason, stage in sorted(groups):
+            table.add_row(reason, stage, groups[(reason, stage)])
+        if len(groups) > 1:
+            table.add_row("(total)", None, len(self.quarantine_records))
+        return table
+
     def counter_table(self) -> Table:
         """Every non-service counter (collection, curation, drops...)."""
         table = Table(title="Run counters",
@@ -538,6 +589,8 @@ class Telemetry:
             transitions = self.serve_transition_table()
             if transitions.rows:
                 parts.append(transitions.to_text())
+        if self.quarantine_records:
+            parts.append(self.quarantine_table().to_text())
         parts.append(self.counter_table().to_text())
         return "\n\n".join(parts)
 

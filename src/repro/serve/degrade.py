@@ -1,7 +1,7 @@
 """The degradation controller: the service's overload state machine.
 
 Backpressure from the enrichment tier has to change the service's
-*behaviour*, not just a dashboard colour. The controller folds three
+*behaviour*, not just a dashboard colour. The controller folds four
 signals into one mode:
 
 * **queue watermarks** — depth at or above the high watermark latches
@@ -18,6 +18,11 @@ signals into one mode:
 * **meter budgets** — a metered service whose remaining lifetime quota
   falls under ``quota_floor`` would burn its last calls on a backlog;
   degrade before it hits zero.
+* **quarantine pressure** — an optional hostile-input signal from the
+  sanitizer (:mod:`repro.core.quarantine`): when a recent batch was
+  mostly diverted, the intake is likely under a coordinated poisoning
+  attempt and enrichment spend is throttled to annotate-only until the
+  stream runs clean again.
 
 Precedence: ``draining > shedding > degraded > healthy``. Every change
 is a :class:`ModeTransition` with the simulated time and the reason —
@@ -29,7 +34,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 class ServeMode(str, enum.Enum):
@@ -59,7 +64,9 @@ class DegradationController:
 
     def __init__(self, clock, *, high_watermark: int, low_watermark: int,
                  breakers: Dict[str, Any], meters: Dict[str, Any],
-                 quota_floor: float = 0.1):
+                 quota_floor: float = 0.1,
+                 quarantine_pressure: Optional[
+                     Callable[[], Optional[str]]] = None):
         if low_watermark >= high_watermark:
             raise ValueError("low watermark must sit below the high one")
         self.clock = clock
@@ -68,6 +75,10 @@ class DegradationController:
         self.quota_floor = quota_floor
         self._breakers = breakers
         self._meters = meters
+        #: Optional hostile-input signal: returns a reason string while
+        #: the sanitizer is diverting an abnormal share of accepted
+        #: reports (a poisoning attempt in progress), None when calm.
+        self._quarantine_pressure = quarantine_pressure
         self.mode = ServeMode.HEALTHY
         self.transitions: List[ModeTransition] = []
         self._shed_latched = False
@@ -92,6 +103,10 @@ class DegradationController:
             if remaining / meter.quota < self.quota_floor:
                 return (f"{name} quota nearly exhausted "
                         f"({remaining}/{meter.quota} left)")
+        if self._quarantine_pressure is not None:
+            reason = self._quarantine_pressure()
+            if reason is not None:
+                return reason
         return None
 
     def refresh(self, queue_depth: int) -> ServeMode:

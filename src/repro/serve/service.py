@@ -50,6 +50,7 @@ from ..core.collection import _report_from_post
 from ..core.config import PipelineConfig
 from ..core.curation import Curator
 from ..core.dataset import SmishingDataset
+from ..core.quarantine import Sanitizer
 from ..core.enrichment import Enricher, EnrichedDataset
 from ..core.pipeline import _observed_meters, build_enrichment_services
 from ..errors import CheckpointError, ConfigurationError, SimulatedCrash
@@ -206,6 +207,14 @@ class IntakeService:
         # Single source of truth for the rejection ledger: the durable
         # state owns the list, the admission controller appends to it.
         self.admission.rejections = self.state.rejections
+        #: One session-lifetime sanitizer: its flood/cluster counters
+        #: latch *across* batches (a reporter cannot dodge flood
+        #: detection by spreading copies over drains) and survive a
+        #: resume via the commit payload.
+        self._sanitizer = Sanitizer(stage="serve")
+        #: Sanitizer share of the most recent processed batch — the
+        #: quarantine-pressure signal the controller reads.
+        self._last_batch_quarantine_rate = 0.0
         self.controller = DegradationController(
             self.clock,
             high_watermark=self.config.high_watermark,
@@ -213,6 +222,7 @@ class IntakeService:
             breakers=self.breakers,
             meters=self.services.meters(),
             quota_floor=self.config.quota_floor,
+            quarantine_pressure=self._quarantine_pressure,
         )
         seed = world.config.seed
         self._vision = OpenAiVisionExtractor(
@@ -319,6 +329,8 @@ class IntakeService:
             service.controller.restore_state(payload["controller"])
             service.queue.restore_state(payload["queue"])
             service.ledger = DedupLedger.from_dict(payload["ledger"])
+            if payload.get("sanitizer"):
+                service._sanitizer.restore_state(payload["sanitizer"])
             service._next_due = payload["next_due"]
             if service.cache is not None:
                 service.cache.seed(payload.get("cache_entries", ()))
@@ -561,9 +573,13 @@ class IntakeService:
                 for item in batch
             ]
             curator = Curator(self._vision, self.telemetry,
-                              record_id_start=self.state.next_record_index)
+                              record_id_start=self.state.next_record_index,
+                              sanitizer=self._sanitizer)
             dataset = curator.curate(reports)
             self.state.next_record_index = curator.record_counter
+            self.state.quarantined += curator.stats.quarantined
+            self._last_batch_quarantine_rate = (
+                curator.stats.quarantined / len(reports) if reports else 0.0)
             division = self.ledger.divide(dataset)
             delta = SmishingDataset(division.delta)
             deadlines = [item.deadline for item in batch
@@ -592,6 +608,19 @@ class IntakeService:
         self.state.batches += 1
         if annotate_only:
             self.state.degraded_batches += 1
+
+    #: A batch more than half-diverted reads as an active poisoning
+    #: attempt, not background noise.
+    QUARANTINE_PRESSURE_THRESHOLD = 0.5
+
+    def _quarantine_pressure(self) -> Optional[str]:
+        """Degradation-controller signal: hostile-input spike in the
+        most recent batch. Returns None while the intake runs clean."""
+        rate = self._last_batch_quarantine_rate
+        if rate >= self.QUARANTINE_PRESSURE_THRESHOLD:
+            return (f"sanitizer quarantined {rate:.0%} of the last "
+                    f"batch (hostile-input spike)")
+        return None
 
     def _merge_batch(self, dataset: SmishingDataset, division,
                      enriched: EnrichedDataset) -> None:
@@ -628,6 +657,7 @@ class IntakeService:
             "controller": self.controller.state_dict(),
             "queue": self.queue.state_dict(),
             "ledger": self.ledger.to_dict(),
+            "sanitizer": self._sanitizer.state_dict(),
             "next_due": self._next_due,
             "registry_state": self._capture_registry(),
             "cache_entries": (self.cache.export_entries()
@@ -687,6 +717,7 @@ class IntakeService:
                 self.admission.rejected_by_reason.items())),
             "processed": state.processed,
             "timed_out": state.timed_out,
+            "quarantined": state.quarantined,
             "records": len(state.records),
             "deduped": len(state.duplicate_of),
             "gaps": len(state.gaps),

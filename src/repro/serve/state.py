@@ -52,6 +52,8 @@ class ServeState:
     submitted: int = 0
     processed: int = 0
     timed_out: int = 0
+    #: Accepted reports the sanitizer diverted at curation time.
+    quarantined: int = 0
     batches: int = 0
     degraded_batches: int = 0
     commits: int = 0
@@ -83,6 +85,7 @@ class ServeState:
                 "submitted": self.submitted,
                 "processed": self.processed,
                 "timed_out": self.timed_out,
+                "quarantined": self.quarantined,
                 "batches": self.batches,
                 "degraded_batches": self.degraded_batches,
                 "commits": self.commits,
@@ -109,6 +112,7 @@ class ServeState:
             submitted=int(counters["submitted"]),
             processed=int(counters["processed"]),
             timed_out=int(counters["timed_out"]),
+            quarantined=int(counters.get("quarantined", 0)),
             batches=int(counters["batches"]),
             degraded_batches=int(counters["degraded_batches"]),
             commits=int(counters["commits"]),

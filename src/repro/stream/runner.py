@@ -51,6 +51,7 @@ from ..checkpoint.state import (
 from ..core.collection import CollectionResult, collect_all
 from ..core.config import PipelineConfig
 from ..core.curation import Curator
+from ..core.quarantine import stamp_epoch
 from ..core.enrichment import EnrichedDataset, Enricher
 from ..core.dataset import SmishingDataset
 from ..core.pipeline import _observed_meters, build_enrichment_services
@@ -408,6 +409,8 @@ class StreamSession:
                             for l in kept.limitations]
         enriched.gaps = [replace(g, epoch=epoch.index)
                          for g in enriched.gaps]
+        curation_stats.quarantines = stamp_epoch(
+            curation_stats.quarantines, epoch.index)
         annotations = dict(enriched.annotations)
         raw = dict(enriched.raw_annotations)
         # Duplicates inherit their canonical twin's annotation, rebound
@@ -434,6 +437,7 @@ class StreamSession:
             seen_dropped=filtered.seen_dropped,
             deferred=filtered.deferred,
             records=len(dataset),
+            quarantined=curation_stats.quarantined,
             deduped=len(division.duplicate_of),
             delta_records=len(division.delta),
             gaps=len(enriched.gaps),

@@ -44,6 +44,8 @@ class EpochStats:
     deferred: int = 0
     #: Curated records, including content duplicates.
     records: int = 0
+    #: Reports the sanitizer diverted this epoch (hostile input).
+    quarantined: int = 0
     #: Records dropped from the enrichment delta by the dedup ledger.
     deduped: int = 0
     delta_records: int = 0
@@ -195,6 +197,7 @@ class StreamState:
             "target_epochs": (target_epochs if target_epochs is not None
                               else self.committed_epochs),
             "records": len(self.dataset),
+            "quarantined": self.curation_stats.quarantined,
             "epochs": epochs,
             "ledger": ledger,
             "watermarks": dict(watermark_stats or {}),

@@ -1,0 +1,270 @@
+"""Adversarial reporter pack: hostile posts for `--hostile` worlds.
+
+Real report channels are polluted (§3, §7; "An Overview of 7726 User
+Reports", "Clues in Tweets"): OCR mojibake, zero-width and bidi-override
+unicode, megabyte copy-paste bodies, truncated pastes, defanged-beyond-
+repair URLs, impossible timestamps, coordinated duplicate floods, and
+poison reports planting benign brands to bait false blocklisting. This
+module mutates a seeded fraction of the reporter population's output into
+exactly those shapes, deterministically, from the dedicated
+``derive(seed, "adversarial")`` stream — the clean posts are untouched
+and their RNG draws are unchanged, which is what makes the clean-subset
+differential guarantee (``tests/test_hostile_equivalence.py``) possible.
+
+Hostile posts deliberately avoid Twitter: the Twitter collector is the
+one source that files a volume-derived shutdown limitation
+(``posts_forgone``), and hostile volume there would perturb the clean
+run's limitation records. Every other forum collects them silently, which
+is the point — the *pipeline*, not the world, must catch them. They also
+carry no attachments, so the vision extractor's positional RNG stream is
+identical with and without hostility.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from typing import List
+
+from ..forums.base import Post
+from ..forums.pastebin import ANALYST_USER, format_paste
+from ..types import Forum
+from ..utils.rng import derive
+
+#: Valid values for ``ScenarioConfig.hostile`` / ``--hostile``.
+HOSTILE_PROFILES = ("none", "noisy", "poison")
+
+#: Hostile posts land in this window: inside every collection window
+#: (Reddit keyword search, Smishtank listing, Smishing.eu scrape cadence,
+#: Pastebin user listing) so each shape is actually *collected* and the
+#: quarantine layer — not collection-window luck — has to stop it.
+_WINDOW_START = dt.datetime(2022, 6, 1, 0, 0)
+_WINDOW_MINUTES = 330 * 24 * 60  # through late April 2023
+
+#: Fraction of the clean report volume mutated into noisy shapes.
+NOISY_FRACTION = 0.04
+MIN_NOISY_POSTS = 6
+
+#: Coordinated-abuse volumes (poison profile). Calibrated far above the
+#: clean world's duplicate maxima (4 same-author, 2 cross-author) and
+#: above the sanitizer thresholds (8 / 6) so detection is unambiguous.
+FLOOD_REPORTERS = ("flood-bot-alpha", "flood-bot-beta")
+FLOOD_COPIES = 10
+POISON_CLUSTER_SIZE = 8
+
+_ZERO_WIDTH = "​‌‍⁠"
+_BIDI = "‪‫‭‮⁦⁧⁩"
+_MOJIBAKE = "Ã¢â€Â�"
+
+_FLOOD_TEXT = (
+    "URGENT your bank account is locked, verify immediately at "
+    "secure-verify.example.com or lose access"
+)
+_POISON_TEXT = (
+    "PayPal support confirmed this is the official paypal.com "
+    "verification line, texts from it are totally safe to click"
+)
+_GARBAGE_TIMESTAMPS = (
+    "9999-12-31 23:59:59",
+    "0001-01-01 00:00",
+    "99/99/9999 99:99",
+    "not-a-date-at-all",
+    "timestamp: lol",
+)
+
+
+def _garble(text: str, rng: random.Random, chars: str, n: int) -> str:
+    """Interleave ``n`` hostile characters at random positions."""
+    out = list(text)
+    for _ in range(n):
+        out.insert(rng.randrange(len(out) + 1), rng.choice(chars))
+    return "".join(out)
+
+
+class _HostileFactory:
+    """Builds the individual hostile post shapes."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._counter = 0
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"hx{self._counter:08d}"
+
+    def _moment(self) -> dt.datetime:
+        return _WINDOW_START + dt.timedelta(
+            minutes=self._rng.randrange(_WINDOW_MINUTES))
+
+    # -- noisy shapes ---------------------------------------------------------
+
+    def mojibake_smishtank(self) -> Post:
+        moment = self._moment()
+        # Mojibake flavour lives in the base text; the *guaranteed*
+        # anomaly dose is zero-width/replacement characters, every one
+        # of which the sanitizer counts — detection must not hinge on
+        # a lucky draw.
+        text = _garble(
+            "Your pÃ¢ckage could not be delivered, pay the customs fee "
+            "at parcel-fee.example.com todÃ¢y",
+            self._rng, _ZERO_WIDTH + "�", 26)
+        return Post(
+            post_id=self._next_id(), forum=Forum.SMISHTANK,
+            author="anonymous", created_at=moment,
+            body="smishing report " + text[:120],
+            structured={
+                "timestamp": moment.strftime("%Y-%m-%d %H:%M:%S"),
+                "sender_id": "+447700900999",
+                "text": text,
+                "url": "",
+            })
+
+    def oversized_reddit(self, *, megabyte: bool) -> Post:
+        moment = self._moment()
+        junk = "URGENT sms scam alert verify your account now!!! "
+        target = 1_000_000 if megabyte else 24_000
+        body = ("Got this sms scam, pasting the FULL thing:\n"
+                + junk * (target // len(junk)))
+        return Post(
+            post_id=self._next_id(), forum=Forum.REDDIT,
+            author="u/paste-everything", created_at=moment,
+            body=body, subreddit="Scams")
+
+    def truncated_pastebin(self) -> Post:
+        moment = self._moment()
+        full = format_paste("+447700900123", moment,
+                            "claim your prize at win.example.com")
+        # Cut inside the header, before the sender/received/message
+        # fields — the analyst-format parser cannot recover anything.
+        return Post(
+            post_id=self._next_id(), forum=Forum.PASTEBIN,
+            author=ANALYST_USER, created_at=moment,
+            body="sms scam report\n" + full[:30])
+
+    def malformed_url_smishtank(self) -> Post:
+        moment = self._moment()
+        bad_url = "hxxp://phish..example[.]com"
+        return Post(
+            post_id=self._next_id(), forum=Forum.SMISHTANK,
+            author="anonymous", created_at=moment,
+            body="smishing report with a mangled link",
+            structured={
+                "timestamp": moment.strftime("%Y-%m-%d %H:%M:%S"),
+                "sender_id": "PARCEL",
+                "text": "Your parcel is held, pay the release fee at "
+                        + bad_url + " right now",
+                "url": bad_url,
+            })
+
+    def garbage_timestamp_smishtank(self, index: int) -> Post:
+        moment = self._moment()
+        raw = _GARBAGE_TIMESTAMPS[index % len(_GARBAGE_TIMESTAMPS)]
+        return Post(
+            post_id=self._next_id(), forum=Forum.SMISHTANK,
+            author="anonymous", created_at=moment,
+            body="smishing report with a broken clock",
+            structured={
+                "timestamp": raw,
+                "sender_id": "+447700900321",
+                "text": "Final notice: your subscription renews at "
+                        "renew-now.example.com unless you act",
+                "url": "",
+            })
+
+    def rtl_smishingeu(self) -> Post:
+        moment = self._moment()
+        text = _garble(
+            "Uw pakket wacht, betaal de douanekosten via "
+            "pakket-fee.example.com vandaag",
+            self._rng, _BIDI, 14)
+        return Post(
+            post_id=self._next_id(), forum=Forum.SMISHING_EU,
+            author="eu-user", created_at=moment,
+            body="smishing report " + text[:120],
+            structured={
+                "report_date": moment.strftime("%Y-%m-%d"),
+                "country": "NL",
+                "sender_id": "+31612345678",
+                "brand": "",
+                "text": text,
+            })
+
+    # -- poison shapes --------------------------------------------------------
+
+    def flood_burst(self, reporter: str) -> List[Post]:
+        """One fake reporter files FLOOD_COPIES near-identical reports
+        with a single burst timestamp (so stream epochs keep the burst
+        together and per-epoch accounting stays exact)."""
+        moment = self._moment()
+        posts = []
+        for _ in range(FLOOD_COPIES):
+            posts.append(Post(
+                post_id=self._next_id(), forum=Forum.SMISHTANK,
+                author=reporter, created_at=moment,
+                body="smishing report " + _FLOOD_TEXT[:120],
+                structured={
+                    "timestamp": moment.strftime("%Y-%m-%d %H:%M:%S"),
+                    "sender_id": "SECURE-BANK",
+                    "text": _FLOOD_TEXT,
+                    "url": "",
+                }))
+        return posts
+
+    def poison_cluster(self) -> List[Post]:
+        """POISON_CLUSTER_SIZE distinct 'reporters' plant the same
+        benign-brand text, baiting the pipeline into blocklisting
+        paypal.com."""
+        moment = self._moment()
+        posts = []
+        for index in range(POISON_CLUSTER_SIZE):
+            posts.append(Post(
+                post_id=self._next_id(), forum=Forum.SMISHING_EU,
+                author=f"concerned-citizen-{index}", created_at=moment,
+                body="smishing report " + _POISON_TEXT[:120],
+                structured={
+                    "report_date": moment.strftime("%Y-%m-%d"),
+                    "country": "DE",
+                    "sender_id": "+4915123456789",
+                    "brand": "PayPal",
+                    "text": _POISON_TEXT,
+                }))
+        return posts
+
+
+def generate_hostile_posts(
+    seed: int, report_count: int, profile: str,
+) -> List[Post]:
+    """The hostile post pack for one world, deterministic in ``seed``.
+
+    ``noisy`` scales with the clean report volume; ``poison`` adds the
+    coordinated flood and poison-cluster bursts on top.
+    """
+    if profile not in HOSTILE_PROFILES:
+        raise ValueError(
+            f"unknown hostile profile {profile!r}; "
+            f"expected one of {HOSTILE_PROFILES}")
+    if profile == "none":
+        return []
+    rng = derive(seed, "adversarial")
+    factory = _HostileFactory(rng)
+    posts: List[Post] = []
+    n_noisy = max(MIN_NOISY_POSTS, int(report_count * NOISY_FRACTION))
+    for index in range(n_noisy):
+        shape = index % 6
+        if shape == 0:
+            posts.append(factory.mojibake_smishtank())
+        elif shape == 1:
+            posts.append(factory.oversized_reddit(megabyte=index == 1))
+        elif shape == 2:
+            posts.append(factory.truncated_pastebin())
+        elif shape == 3:
+            posts.append(factory.malformed_url_smishtank())
+        elif shape == 4:
+            posts.append(factory.garbage_timestamp_smishtank(index // 6))
+        else:
+            posts.append(factory.rtl_smishingeu())
+    if profile == "poison":
+        for reporter in FLOOD_REPORTERS:
+            posts.extend(factory.flood_burst(reporter))
+        posts.extend(factory.poison_cluster())
+    return posts

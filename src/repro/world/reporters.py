@@ -70,6 +70,9 @@ class ReporterOutput:
     report_count: int = 0
     chatter_count: int = 0
     decoy_count: int = 0
+    #: Adversarial posts appended by :mod:`repro.world.adversarial`
+    #: (zero unless the scenario runs with ``hostile != "none"``).
+    hostile_count: int = 0
 
     def add(self, post: Post) -> None:
         self.posts_by_forum.setdefault(post.forum, []).append(post)

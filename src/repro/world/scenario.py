@@ -37,6 +37,7 @@ from ..services.whois import WhoisService
 from ..sms.message import SmishingEvent
 from ..types import Forum
 from ..utils.rng import derive
+from .adversarial import generate_hostile_posts
 from .brands import BrandRegistry, default_brands
 from .campaigns import Campaign, CampaignFactory
 from .geography import CountryRegistry, default_countries
@@ -65,6 +66,9 @@ class ScenarioConfig:
     sbi_burst_volume: int = 120
     apk_campaign_fraction: float = 0.06
     androzoo_corpus_size: int = 2_000
+    #: Adversarial reporter profile (:mod:`repro.world.adversarial`):
+    #: "none" (default), "noisy", or "poison".
+    hostile: str = "none"
 
     def scaled(self, factor: float) -> "ScenarioConfig":
         """A copy scaled up/down for benchmarking."""
@@ -78,6 +82,7 @@ class ScenarioConfig:
             sbi_burst_volume=max(10, int(self.sbi_burst_volume * factor)),
             apk_campaign_fraction=self.apk_campaign_fraction,
             androzoo_corpus_size=self.androzoo_corpus_size,
+            hostile=self.hostile,
         )
 
 
@@ -198,6 +203,15 @@ def build_world(config: Optional[ScenarioConfig] = None) -> World:
     renderer = ScreenshotRenderer(derive(config.seed, "renderer"))
     population = ReporterPopulation(derive(config.seed, "reporters"), renderer)
     reporter_output = population.generate(events)
+    # Hostile posts draw from their own RNG stream, after the clean
+    # population is complete — the clean posts are byte-identical with
+    # and without hostility (the differential harness's foundation).
+    hostile_posts = generate_hostile_posts(
+        config.seed, reporter_output.report_count, config.hostile
+    )
+    for post in hostile_posts:
+        reporter_output.add(post)
+    reporter_output.hostile_count = len(hostile_posts)
 
     forums: Dict[Forum, ForumService] = {
         Forum.TWITTER: TwitterService(),

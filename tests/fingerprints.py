@@ -146,6 +146,34 @@ def canonical_fingerprint(run: PipelineRun) -> str:
     return json.dumps(payload, sort_keys=True, default=str)
 
 
+def clean_subset_fingerprint(run: PipelineRun) -> str:
+    """Hostile-input differential fingerprint: what the *clean subset*
+    of a run's reports determines.
+
+    A hostile world adds reports that the quarantine layer diverts (or
+    the parsers drop) before any record is produced, so raw collection
+    volumes — and the two collection-volume tables, 1 and 15 — differ
+    legitimately. Everything downstream of curation must not: the
+    annotated rows, the gap and limitation ledgers, and every
+    dataset-derived paper artefact must be byte-identical to the
+    ``--hostile none`` run. That is the clean-subset-identical
+    guarantee of ``tests/test_hostile_equivalence.py``.
+    """
+    canon = canonicalize_run(run)
+    report = generate_paper_report(canon, include_case_study=False)
+    report.tables.pop("table1", None)
+    report.tables.pop("table15", None)
+    payload = {
+        "rows": [record.to_json_dict() for record in canon.dataset],
+        "gaps": sorted(_strip(asdict(gap), "epoch", "simulated_at")
+                       for gap in canon.enriched.gaps),
+        "limitations": sorted(_strip(asdict(lim), "epoch", "simulated_at")
+                              for lim in canon.collection.limitations),
+        "report": report.render(),
+    }
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
 def charged_calls_from_services(services) -> Dict[str, int]:
     """Per-service charged-call totals off a live service battery."""
     return {name: meter.snapshot()["used"]

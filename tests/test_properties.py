@@ -15,7 +15,9 @@ from repro.exec import (
     canonical_merge,
     shard,
 )
+from repro.nlp.brands_ner import BrandRecognizer
 from repro.nlp.normalize import (
+    MAX_NORMALIZE_CHARS,
     batch_normalize,
     batch_squash,
     normalize_text,
@@ -364,6 +366,68 @@ class TestBatchNormalizeProperties:
         assert batch_normalize(spiked) == [normalize_text(t)
                                            for t in spiked]
         assert batch_squash(spiked) == [squash(t) for t in spiked]
+
+
+class TestHostileUnicodeProperties:
+    """Quarantine-era guarantees on the NLP hot paths: the batch and
+    per-record normalisers agree on *adversarial* unicode (zero-width
+    splices, RTL overrides, replacement-char mojibake), and the length
+    budgets keep even megabyte single-token inputs bounded."""
+
+    _HOSTILE_ALPHABET = (string.ascii_letters + " .!?"
+                         + "​‌‍⁠"   # zero-width
+                         + "‪‫‭‮"   # bidi overrides
+                         + "⁦⁧⁩"         # bidi isolates
+                         + "�﻿")              # mojibake, BOM
+    hostile_texts = st.lists(
+        st.text(alphabet=_HOSTILE_ALPHABET, max_size=120), max_size=15)
+
+    @given(hostile_texts)
+    def test_batch_normalize_matches_per_record_on_hostile_unicode(
+            self, texts):
+        assert batch_normalize(texts) == [normalize_text(t) for t in texts]
+
+    @given(hostile_texts)
+    def test_batch_squash_matches_per_record_on_hostile_unicode(self, texts):
+        assert batch_squash(texts) == [squash(t) for t in texts]
+
+    @given(st.integers(min_value=MAX_NORMALIZE_CHARS - 2,
+                       max_value=MAX_NORMALIZE_CHARS + 2))
+    def test_normalize_truncates_exactly_at_the_budget(self, length):
+        text = "a" * length
+        expected = normalize_text(text[:MAX_NORMALIZE_CHARS])
+        assert normalize_text(text) == expected
+        assert batch_normalize([text]) == [expected]
+
+    def test_megabyte_single_token_is_bounded_and_consistent(self):
+        """A 1MB whitespace-free token — the classic regex-budget bomb —
+        must terminate under the truncation cap on both paths, with the
+        batch path agreeing with the reference."""
+        bomb = "x" * 1_000_000
+        texts = [bomb, "verify your account at example.com", bomb + " tail"]
+        assert batch_normalize(texts) == [normalize_text(t) for t in texts]
+        assert batch_squash(texts) == [squash(t) for t in texts]
+        assert len(normalize_text(bomb)) <= MAX_NORMALIZE_CHARS
+
+    def test_brand_scan_token_budget_is_enforced(self):
+        """`find_all` scans at most its token cap: a brand mention
+        buried beyond the budget is (deliberately) not found, and the
+        scan completes instead of blowing up combinatorially."""
+        recognizer = BrandRecognizer()
+        in_budget = "junk " * 100 + " your PayPal account is locked"
+        assert any(m.brand.lower() == "paypal"
+                   for m in recognizer.find_all(in_budget))
+        flood = "junk " * 25_000 + " your PayPal account is locked"
+        assert recognizer.find_all(flood) == []
+
+    @given(st.text(alphabet=_HOSTILE_ALPHABET, max_size=300))
+    def test_sanitizer_screen_never_raises(self, body):
+        from repro.core.quarantine import QUARANTINE_REASONS, Sanitizer
+
+        report = RawReport(forum=Forum.REDDIT, post_id="p1", author="u",
+                           posted_at=dt.datetime(2022, 9, 1), body=body)
+        verdict = Sanitizer().screen(report)
+        assert verdict is None or verdict.reason in QUARANTINE_REASONS
 
 
 class TestDatasetKeyProperties:

@@ -41,6 +41,8 @@ CASES = {
     "stats_seed7_process4.txt": ["--seed", "7", "--campaigns", "10",
                                  "--quiet", "--workers", "4",
                                  "--pool", "process", "stats"],
+    "stats_seed7_hostile.txt": ["--seed", "7", "--campaigns", "10",
+                                "--quiet", "--hostile", "poison", "stats"],
 }
 
 
@@ -204,7 +206,28 @@ def test_goldens_cover_cache_and_resilience_tables():
             .replace("pool=thread", "pool=process"))
 
 
-SERVE_ARGV = ["--seed", "7", "--campaigns", "10", "--quiet", "serve",
+def test_hostile_golden_covers_the_quarantine_table():
+    """The poison golden carries the Quarantine table and header
+    quarantine count; the clean golden must carry neither — the table
+    renders only when something was diverted."""
+    hostile = (GOLDEN_DIR / "stats_seed7_hostile.txt").read_text()
+    header = hostile.splitlines()[0]
+    assert "hostile=poison" in header
+    assert "quarantined=43" in header
+    assert "Quarantine" in hostile
+    for reason in ("reporter_flood", "poison_cluster", "oversize_body",
+                   "unicode_anomaly", "malformed_url", "invalid_timestamp"):
+        assert reason in hostile, f"golden lacks quarantine reason {reason}"
+    clean = (GOLDEN_DIR / "stats_seed7_none.txt").read_text()
+    assert "quarantined=" not in clean
+    assert "Quarantine" not in clean
+    # Clean-subset identity, visible in the goldens themselves: the
+    # record count survives hostility byte-for-byte in both headers.
+    assert " records=384 " in header and " records=384 " in \
+        clean.splitlines()[0]
+
+
+SERVE_ARGV =["--seed", "7", "--campaigns", "10", "--quiet", "serve",
               "--load-profile", "burst", "--requests", "800",
               "--reporters", "150", "--queue-capacity", "24",
               "--batch-size", "8"]
