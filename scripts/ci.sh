@@ -4,9 +4,13 @@
 # smoke test (a `--pool process --workers 4 --columnar` report diffed
 # byte-for-byte against the serial run), a crash-resume smoke test, a
 # Chrome trace-export smoke test, a perf-gate smoke test (which
-# also enforces the records/second floor), and a hostile-input smoke
+# also enforces the records/second floor), a hostile-input smoke
 # test (a `--hostile poison` run must quarantine with exact three-bucket
-# accounting while the clean run quarantines nothing).
+# accounting while the clean run quarantines nothing), and an
+# investigation smoke test (a process-pool fleet's fingerprint must
+# match the serial run's, a killed durable fleet must resume to the
+# same fingerprint, and the perf gate's investigations/second floor
+# must stay wired).
 #
 # Usage: scripts/ci.sh
 # The coverage gate (scripts/coverage_gate.py) fails the build when
@@ -322,4 +326,82 @@ assert len(s.quarantines) == s.quarantined
 print(f"hostile accounting ok: {s.reports_curated} + {s.quarantined} + "
       f"{s.reports_dropped} == {s.reports_in}")
 PY
+echo "== investigate smoke test (fleet fingerprint + kill-and-resume) =="
+invest_out="$(mktemp -t repro-invest-XXXXXX.txt)"
+invest_proc_out="$(mktemp -t repro-invest-proc-XXXXXX.txt)"
+invest_resumed_out="$(mktemp -t repro-invest-resumed-XXXXXX.txt)"
+invest_dir="$(mktemp -d -t repro-invest-dir-XXXXXX)"
+invest_perf="$(mktemp -d -t repro-invest-perf-XXXXXX)"
+trap 'rm -rf "$trace" "$chaos_out" "$par_out" "$proc_report" "$serial_report" "$ck_dir" "$resumed_out" "$full_out" "$clean_dir" "$crash_dir" "$watch_out" "$resume_stream_out" "$serve_out" "$serve_dir" "$serve_resumed_out" "$chrome_trace" "$perf_dir" "$hostile_out" "$hostile_clean_out" "$invest_out" "$invest_proc_out" "$invest_resumed_out" "$invest_dir" "$invest_perf"' EXIT
+rmdir "$invest_dir"   # the CLI wants to create it itself
+invest_root=(--seed 7 --campaigns 30 --quiet)
+invest_sub=(investigate --playbook full-funnel --sample 120)
+python -m repro "${invest_root[@]}" --history-dir "$invest_perf" \
+  "${invest_sub[@]}" > "$invest_out"
+python - "$invest_out" <<'PY'
+import re, sys
+
+out = open(sys.argv[1]).read()
+header = out.splitlines()[0]
+assert "playbook=full-funnel" in header, "header does not echo the playbook"
+investigated = int(re.search(r"investigated=(\d+)", header).group(1))
+assert investigated > 0, "fleet investigated nothing"
+scans = int(re.search(r"scans=(\d+)", header).group(1))
+assert scans > 0, "fleet charged no scans — the smoke proves nothing"
+assert "Investigations" in out, "missing Investigations table"
+assert "Evidence packages" in out, "missing evidence accounting"
+assert re.search(r"^investigate fingerprint=", out, re.M), \
+    "no fleet fingerprint line"
+print(f"investigate ok: {investigated} investigated, {scans} scans")
+PY
+python -m repro "${invest_root[@]}" --workers 4 --pool process \
+  "${invest_sub[@]}" > "$invest_proc_out"
+serial_invest_fp="$(grep '^investigate fingerprint=' "$invest_out")"
+proc_invest_fp="$(grep '^investigate fingerprint=' "$invest_proc_out")"
+if [ -z "$serial_invest_fp" ] || [ "$serial_invest_fp" != "$proc_invest_fp" ]; then
+  echo "investigate FAILED: process-pool fingerprint differs from serial run" >&2
+  echo "  serial:  $serial_invest_fp" >&2
+  echo "  process: $proc_invest_fp" >&2
+  exit 1
+fi
+invest_rc=0
+python -m repro "${invest_root[@]}" "${invest_sub[@]}" \
+  --invest-dir "$invest_dir" --kill-at 2 > /dev/null 2>&1 || invest_rc=$?
+if [ "$invest_rc" -ne 75 ]; then
+  echo "investigate FAILED: expected exit 75 from the killed fleet, got $invest_rc" >&2
+  exit 1
+fi
+python -m repro --quiet investigate --resume --invest-dir "$invest_dir" \
+  > "$invest_resumed_out"
+resumed_invest_fp="$(grep '^investigate fingerprint=' "$invest_resumed_out")"
+if [ "$serial_invest_fp" != "$resumed_invest_fp" ]; then
+  echo "investigate FAILED: resumed fingerprint differs from uninterrupted run" >&2
+  echo "  clean:   $serial_invest_fp" >&2
+  echo "  resumed: $resumed_invest_fp" >&2
+  exit 1
+fi
+if [ "$(head -n 1 "$invest_out")" != "$(head -n 1 "$invest_resumed_out")" ]; then
+  echo "investigate FAILED: resumed header counts differ from uninterrupted run" >&2
+  diff <(head -n 1 "$invest_out") <(head -n 1 "$invest_resumed_out") >&2
+  exit 1
+fi
+python scripts/perf_gate.py --history-dir "$invest_perf" \
+  --baseline "$invest_perf/BASELINE.json" --update-baseline > /dev/null
+python -m repro "${invest_root[@]}" --history-dir "$invest_perf" \
+  "${invest_sub[@]}" > /dev/null
+# The investigations/second floor: like the records/sec leg, a tiny
+# floor keeps the plumbing (record -> threshold -> finding) wired.
+python scripts/perf_gate.py --history-dir "$invest_perf" \
+  --baseline "$invest_perf/BASELINE.json" --max-slowdown 100.0 \
+  --min-investigations-per-sec 0.000001 > /dev/null
+invest_floor_rc=0
+python scripts/perf_gate.py --history-dir "$invest_perf" \
+  --baseline "$invest_perf/BASELINE.json" --max-slowdown 100.0 \
+  --min-investigations-per-sec 1000000000 > /dev/null || invest_floor_rc=$?
+if [ "$invest_floor_rc" -ne 1 ]; then
+  echo "investigate FAILED: impossible investigations/sec floor should exit 1, got $invest_floor_rc" >&2
+  exit 1
+fi
+echo "investigate ok: pool matrix + kill-and-resume fingerprints match, perf floor enforced"
+
 echo "ci ok"

@@ -20,6 +20,9 @@ the run regressed:
 * the run's end-to-end throughput fell below the opt-in
   ``--min-records-per-sec`` absolute floor (skipped for records without
   a throughput figure, e.g. frozen-clock test runs),
+* an investigation fleet's throughput fell below the opt-in
+  ``--min-investigations-per-sec`` absolute floor (skipped for records
+  without a fleet throughput figure, i.e. non-``investigate`` runs),
 * the sanitizer quarantined more than the opt-in
   ``--max-quarantine-rate`` fraction of collected reports (an absolute
   ceiling on hostile-input leakage, judged on the current run alone),
@@ -115,6 +118,11 @@ def main(argv=None) -> int:
                         help="absolute end-to-end records/second floor "
                              "(default off; skipped for records without "
                              "throughput, e.g. frozen-clock runs)")
+    parser.add_argument("--min-investigations-per-sec", type=float,
+                        default=None,
+                        help="absolute investigations/second floor for "
+                             "fleet runs (default off; skipped for "
+                             "records without a fleet throughput figure)")
     parser.add_argument("--max-quarantine-rate", type=float, default=None,
                         help="max tolerated fraction of collected reports "
                              "the sanitizer quarantined (default off; "
@@ -150,6 +158,7 @@ def main(argv=None) -> int:
         max_serve_p99_growth=args.max_serve_p99_growth,
         min_serve_processed_ratio=args.min_serve_processed_ratio,
         min_records_per_sec=args.min_records_per_sec,
+        min_investigations_per_sec=args.min_investigations_per_sec,
         max_quarantine_rate=args.max_quarantine_rate,
     )
     findings = compare_runs(current, baseline, thresholds,

@@ -21,6 +21,11 @@ Commands mirror the library's main workflows:
   queue, per-reporter rate limits, load shedding, degraded modes, and
   (with ``--serve-dir``) a durable exactly-once session resumable via
   ``repro serve --resume``.
+* ``investigate`` — run a declarative playbook over every URL-bearing
+  record as an investigation fleet (``repro.investigate``): funnel
+  navigation through the simulated web hosts, per-campaign evidence
+  packages, and (with ``--invest-dir``) a durable charged phase
+  resumable via ``repro investigate --resume``.
 * ``resume``   — finish a crashed run: ``--checkpoint-dir`` for a batch
   journal, ``--stream-dir`` for a stream session.
 
@@ -70,6 +75,13 @@ from .core.pipeline import PipelineRun, run_pipeline
 from .errors import CheckpointError, ConfigurationError, SimulatedCrash
 from .exec import POOL_KINDS, ExecutionPolicy
 from .faults import FAULT_PROFILES, CrashPoint, build_fault_plan
+from .investigate import (
+    INVESTIGATE_MANIFEST_NAME,
+    PLAYBOOKS,
+    fleet_fingerprint,
+    run_investigation,
+    write_packages,
+)
 from .obs import (
     FunctionProfiler,
     RunHistory,
@@ -210,6 +222,10 @@ def _run_config(args: argparse.Namespace) -> dict:
     epoch_hours = getattr(args, "epoch_hours", None)
     if epoch_hours is not None:
         config["epoch_hours"] = epoch_hours
+    if getattr(args, "playbook", None) is not None:
+        config["playbook"] = args.playbook
+        if getattr(args, "sample", None) is not None:
+            config["sample"] = args.sample
     if getattr(args, "load_profile", None) is not None:
         config["load_profile"] = args.load_profile
         config["requests"] = args.requests
@@ -575,6 +591,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return _dump_trace(args, service.telemetry)
 
 
+def _cmd_investigate(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else stderr_sink
+    telemetry = Telemetry.create(progress=progress)
+    outcome = run_investigation(
+        ScenarioConfig(seed=args.seed, n_campaigns=args.campaigns,
+                       hostile=args.hostile),
+        playbook=args.playbook,
+        sample=args.sample,
+        workers=args.workers,
+        pool_kind=args.pool,
+        fault_profile=args.faults,
+        fault_seed=args.seed,
+        invest_dir=getattr(args, "invest_dir", None),
+        resume=getattr(args, "resume", False),
+        kill_at=getattr(args, "kill_at", None),
+        commit_every=args.commit_every,
+        telemetry=telemetry,
+    )
+    report = outcome.report
+    world = outcome.world
+    fault_profile = (outcome.session.fault_profile
+                     if outcome.session is not None else args.faults)
+    print(f"seed={world.config.seed} campaigns={world.config.n_campaigns} "
+          f"faults={fault_profile} "
+          f"workers={args.workers} "
+          f"pool={args.pool} "
+          f"playbook={report.playbook} "
+          f"investigated={report.investigated} "
+          f"packages={len(report.packages)} "
+          f"payloads={len(report.payloads)} "
+          f"scans={len(report.verdicts)} scan_gaps={report.scan_gaps}")
+    print()
+    print(telemetry.summary())
+    evidence_dir = getattr(args, "evidence_dir", None)
+    if evidence_dir is not None:
+        manifest_path = write_packages(evidence_dir, report.packages)
+        print()
+        print(f"wrote {len(report.packages)} evidence package(s) to "
+              f"{evidence_dir} (manifest: {manifest_path})")
+    digest = hashlib.sha256(
+        fleet_fingerprint(report, world).encode("utf-8")).hexdigest()
+    print()
+    print(f"investigate fingerprint={digest}")
+    counts = {
+        "investigated": report.investigated,
+        "evidence_packages": len(report.packages),
+        "payloads": len(report.payloads),
+        "scans": len(report.verdicts),
+        "scan_gaps": report.scan_gaps,
+        "androzoo_hits": report.androzoo_hits,
+    }
+    _append_history(args, telemetry=telemetry, counts=counts)
+    return _dump_trace(args, telemetry)
+
+
 def _add_run_options(sub: argparse.ArgumentParser) -> None:
     """Run-shaping flags accepted after the subcommand too (``repro stats
     --seed 7``); SUPPRESS keeps root-level values when absent."""
@@ -813,6 +884,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=_cmd_serve)
     _add_run_options(serve)
 
+    investigate = sub.add_parser(
+        "investigate",
+        help="run a playbook-driven investigation fleet over the dataset",
+    )
+    investigate.add_argument("--playbook", choices=sorted(PLAYBOOKS),
+                             default="full-funnel",
+                             help="which playbook the fleet interprets "
+                                  "(default full-funnel; case-study is "
+                                  "the §6 protocol)")
+    investigate.add_argument("--sample", type=int, default=None,
+                             help="investigate only the first N "
+                                  "URL-bearing records (default: all)")
+    investigate.add_argument("--invest-dir", type=Path, default=None,
+                             help="persist the charged phase here "
+                                  "(resumable with `repro investigate "
+                                  "--resume --invest-dir DIR`)")
+    investigate.add_argument("--resume", action="store_true", default=False,
+                             help="reopen an existing --invest-dir and "
+                                  "finish its scans from the last commit")
+    investigate.add_argument("--kill-at", type=int, default=None,
+                             help="inject a hard crash before this scan "
+                                  "index (testing aid for the resume "
+                                  "protocol)")
+    investigate.add_argument("--commit-every", type=int, default=1,
+                             help="scans between durable commits with "
+                                  "--invest-dir (default 1)")
+    investigate.add_argument("--evidence-dir", type=Path, default=None,
+                             help="write per-campaign evidence packages "
+                                  "(content-hashed JSON) here")
+    investigate.set_defaults(func=_cmd_investigate)
+    _add_run_options(investigate)
+
     resume = sub.add_parser(
         "resume", help="finish a crashed checkpointed or stream run"
     )
@@ -911,6 +1014,49 @@ def _validate_args(args: argparse.Namespace) -> None:
             raise ConfigurationError(
                 "serve --kill-at wants --serve-dir DIR (a kill without a "
                 "durable session loses the run)"
+            )
+    if args.command == "investigate":
+        invest_dir = getattr(args, "invest_dir", None)
+        if getattr(args, "sample", None) is not None and args.sample < 1:
+            raise ConfigurationError(
+                f"investigate --sample must be >= 1, got {args.sample}"
+            )
+        if getattr(args, "commit_every", 1) < 1:
+            raise ConfigurationError(
+                f"investigate --commit-every must be >= 1, "
+                f"got {args.commit_every}"
+            )
+        if getattr(args, "resume", False):
+            if invest_dir is None:
+                raise ConfigurationError(
+                    "investigate --resume wants --invest-dir DIR to reopen"
+                )
+            if not (invest_dir / INVESTIGATE_MANIFEST_NAME).is_file():
+                raise ConfigurationError(
+                    f"--invest-dir {invest_dir} has no "
+                    f"{INVESTIGATE_MANIFEST_NAME}; start one with "
+                    f"`repro investigate --invest-dir {invest_dir}`"
+                )
+        elif invest_dir is not None:
+            if (invest_dir / INVESTIGATE_MANIFEST_NAME).is_file():
+                raise ConfigurationError(
+                    f"--invest-dir {invest_dir} already holds an "
+                    f"investigation session; finish it with `repro "
+                    f"investigate --resume --invest-dir {invest_dir}`"
+                )
+            if not _writable_dir(invest_dir):
+                raise ConfigurationError(
+                    f"--invest-dir {invest_dir} is not writable"
+                )
+        if getattr(args, "kill_at", None) is not None and invest_dir is None:
+            raise ConfigurationError(
+                "investigate --kill-at wants --invest-dir DIR (a kill "
+                "without a durable session loses the run)"
+            )
+        evidence_dir = getattr(args, "evidence_dir", None)
+        if evidence_dir is not None and not _writable_dir(evidence_dir):
+            raise ConfigurationError(
+                f"--evidence-dir {evidence_dir} is not writable"
             )
     if args.command == "resume":
         if (checkpoint_dir is None) == (stream_dir is None):
@@ -1014,9 +1160,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         stream_dir = getattr(args, "stream_dir", None)
         checkpoint_dir = getattr(args, "checkpoint_dir", None)
         serve_dir = getattr(args, "serve_dir", None)
+        invest_dir = getattr(args, "invest_dir", None)
         if serve_dir is not None and args.command == "serve":
             print(f"repro: resume with: repro serve --resume --serve-dir "
                   f"{serve_dir}", file=sys.stderr)
+        elif invest_dir is not None and args.command == "investigate":
+            print(f"repro: resume with: repro investigate --resume "
+                  f"--invest-dir {invest_dir}", file=sys.stderr)
         elif stream_dir is not None and args.command != "resume":
             print(f"repro: resume with: repro resume --stream-dir "
                   f"{stream_dir}", file=sys.stderr)

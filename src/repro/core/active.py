@@ -124,7 +124,6 @@ class ActiveCaseStudy:
 
     def run(
         self,
-        world: World,
         dataset: SmishingDataset,
         *,
         sample_posts: int = 200,
@@ -186,4 +185,4 @@ def run_case_study(
         virustotal=world.virustotal,
         dns=world.dns,
     )
-    return study.run(world, dataset, sample_posts=sample_posts, seed=seed)
+    return study.run(dataset, sample_posts=sample_posts, seed=seed)

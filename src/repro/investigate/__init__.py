@@ -1,0 +1,113 @@
+"""Playbook-driven active investigation of scam funnels (§6, fleet-scale).
+
+The paper's case study (§6) manually followed 200 sampled Twitter URLs
+into droppers and credential kits. This package turns that protocol
+into engineering:
+
+* :mod:`repro.investigate.playbook` — declarative ordered step lists
+  (``resolve_shortener`` → ``check_dns`` → ``fetch(device=…)`` → …)
+  with two shipped presets: ``case-study`` (the §6 protocol, verbatim)
+  and ``full-funnel`` (adds redirect-following and synthetic-PII form
+  submission through multi-page kits).
+* :mod:`repro.investigate.investigator` — the interpreter: one pure,
+  picklable :class:`Investigator` navigates one URL's funnel and emits
+  a :class:`FunnelProbe` (outcome, pages visited, payload, step trace).
+* :mod:`repro.investigate.evidence` — per-campaign
+  :class:`EvidencePackage`\\ s: structured findings plus a
+  chain-of-custody manifest, content-hashed for offline verification.
+* :mod:`repro.investigate.fleet` — runs a playbook over every
+  URL-bearing record through the standard :mod:`repro.exec` pools with
+  the pure-probe/serial-charged-effects split, so results are
+  byte-identical for any pool kind and worker count.
+* :mod:`repro.investigate.session` / :mod:`repro.investigate.harness`
+  — durable commit/resume for the charged phase and the differential
+  kill/resume proof kit (zero duplicate charges).
+"""
+
+from .evidence import (
+    EVIDENCE_FORMAT_VERSION,
+    UNATTRIBUTED,
+    CustodyEntry,
+    EvidencePackage,
+    verify_package,
+    verify_package_dict,
+    write_packages,
+)
+from .fleet import (
+    FleetItem,
+    FleetReport,
+    InvestigationFleet,
+    ProbeShardTask,
+    case_study_sample,
+    fleet_items,
+    run_case_study_playbook,
+    run_fleet,
+)
+from .harness import (
+    InvestigationOutcome,
+    charged_calls,
+    fleet_fingerprint,
+    run_investigation,
+    run_killed_then_resumed,
+)
+from .investigator import (
+    SYNTHETIC_PII,
+    FunnelProbe,
+    Investigator,
+    StepTrace,
+    step_latency_ms,
+    to_url_investigation,
+)
+from .playbook import (
+    PLAYBOOKS,
+    STEP_OPS,
+    Playbook,
+    PlaybookStep,
+    get_playbook,
+)
+from .session import (
+    INVESTIGATE_FORMAT_VERSION,
+    INVESTIGATE_MANIFEST_NAME,
+    INVESTIGATE_STATE_NAME,
+    InvestigationSession,
+    registry_keys,
+)
+
+__all__ = [
+    "EVIDENCE_FORMAT_VERSION",
+    "INVESTIGATE_FORMAT_VERSION",
+    "INVESTIGATE_MANIFEST_NAME",
+    "INVESTIGATE_STATE_NAME",
+    "PLAYBOOKS",
+    "STEP_OPS",
+    "SYNTHETIC_PII",
+    "UNATTRIBUTED",
+    "CustodyEntry",
+    "EvidencePackage",
+    "FleetItem",
+    "FleetReport",
+    "FunnelProbe",
+    "InvestigationFleet",
+    "InvestigationOutcome",
+    "InvestigationSession",
+    "Investigator",
+    "Playbook",
+    "PlaybookStep",
+    "ProbeShardTask",
+    "StepTrace",
+    "case_study_sample",
+    "charged_calls",
+    "fleet_fingerprint",
+    "fleet_items",
+    "get_playbook",
+    "registry_keys",
+    "run_case_study_playbook",
+    "run_fleet",
+    "run_investigation",
+    "run_killed_then_resumed",
+    "step_latency_ms",
+    "to_url_investigation",
+    "verify_package",
+    "verify_package_dict",
+    "write_packages",
+]

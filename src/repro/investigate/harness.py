@@ -1,0 +1,185 @@
+"""Investigation harness: build-run-fingerprint, plus the kill/resume kit.
+
+Everything the CLI, the equivalence suite, and the CI smoke leg share
+lives here:
+
+* :func:`run_investigation` — scenario → world → pipeline → fleet, with
+  optional durability (``invest_dir``), resume, and crash injection.
+* :func:`fleet_fingerprint` — every observable byte of a finished fleet
+  as one canonical JSON string. Two runs are equivalent iff these
+  strings are equal, which is how the pool-matrix and kill/resume
+  guarantees are stated and tested.
+* :func:`run_killed_then_resumed` — the differential harness's crashed
+  arm: run durably with an injected kill, die, reopen, finish.
+
+The enrichment pipeline always runs clean here: a ``--faults`` profile
+shapes the *investigation's* charged phase only, so the dataset under
+investigation is identical across fault arms and any fingerprint drift
+is attributable to the fleet itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..core.pipeline import run_pipeline
+from ..errors import SimulatedCrash
+from ..faults import build_fault_plan
+from ..obs import Telemetry
+from ..world.scenario import ScenarioConfig, World, build_world
+from .fleet import FleetReport, InvestigationFleet
+from .investigator import FunnelProbe
+from .playbook import get_playbook
+from .session import InvestigationSession
+
+
+@dataclasses.dataclass
+class InvestigationOutcome:
+    """One finished (or crashed-and-finished) investigation run."""
+
+    report: FleetReport
+    world: World
+    session: Optional[InvestigationSession] = None
+
+
+def charged_calls(world: World) -> Dict[str, int]:
+    """Charged-call totals for the fleet's metered services."""
+    return {"virustotal": int(world.virustotal.meter.snapshot()["used"])}
+
+
+def _probe_row(probe: FunnelProbe) -> Dict[str, Any]:
+    return {
+        "index": probe.index,
+        "record_id": probe.record_id,
+        "url": str(probe.original),
+        "resolved": str(probe.resolved) if probe.resolved else None,
+        "outcome": probe.outcome,
+        "funnel_depth": probe.funnel_depth,
+        "device_gate": probe.device_gate,
+        "pages": list(probe.pages_visited),
+        "forms": list(probe.forms_submitted),
+        "apk": probe.apk.sha256 if probe.apk else None,
+        "steps": [(s.op, s.outcome) for s in probe.steps],
+    }
+
+
+def fleet_fingerprint(report: FleetReport, world: World) -> str:
+    """Every observable byte of a finished fleet run, as canonical JSON.
+
+    Probe outcomes, evidence-package content hashes, scan verdicts and
+    gaps, AndroZoo hits, per-service charged-call totals, and the final
+    simulated clock — the full surface the pool-matrix and kill/resume
+    equivalence guarantees quantify over.
+    """
+    payload = {
+        "playbook": report.playbook,
+        "probes": [_probe_row(probe) for probe in report.probes],
+        "packages": sorted(
+            (package.campaign_id, package.content_sha256())
+            for package in report.packages
+        ),
+        "verdicts": [
+            (verdict.sha256, verdict.family, verdict.support)
+            for verdict in report.verdicts
+        ],
+        "scan_gaps": report.scan_gaps,
+        "androzoo_hits": report.androzoo_hits,
+        "charged": charged_calls(world),
+        "clock_now": world.clock.now,
+    }
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def run_investigation(
+    scenario: Optional[ScenarioConfig] = None,
+    *,
+    playbook: str = "full-funnel",
+    sample: Optional[int] = None,
+    workers: int = 1,
+    pool_kind: str = "serial",
+    fault_profile: Optional[str] = None,
+    fault_seed: int = 0,
+    invest_dir: Optional[Path] = None,
+    resume: bool = False,
+    kill_at: Optional[int] = None,
+    commit_every: int = 1,
+    telemetry: Optional[Telemetry] = None,
+) -> InvestigationOutcome:
+    """Scenario → world → pipeline → investigation fleet, end to end.
+
+    With ``invest_dir`` the charged phase commits durably; ``resume``
+    reopens a crashed directory (run parameters come from its manifest,
+    not the arguments). ``kill_at`` injects a crash before that scan
+    index — it propagates :class:`~repro.errors.SimulatedCrash` after
+    the last commit, leaving the directory resumable.
+    """
+    from ..stream.runner import _scenario_from_dict, _scenario_to_dict
+
+    session: Optional[InvestigationSession] = None
+    if resume:
+        if invest_dir is None:
+            raise ValueError("resume requires invest_dir")
+        session = InvestigationSession.load(invest_dir)
+        scenario = _scenario_from_dict(session.scenario)
+        playbook = session.playbook
+        sample = session.sample
+        fault_profile = session.fault_profile
+        fault_seed = session.fault_seed
+    else:
+        scenario = scenario or ScenarioConfig()
+        if invest_dir is not None:
+            session = InvestigationSession.create(
+                invest_dir,
+                scenario=_scenario_to_dict(scenario),
+                playbook=playbook,
+                sample=sample,
+                commit_every=commit_every,
+                fault_profile=fault_profile,
+                fault_seed=fault_seed,
+            )
+
+    plan = build_fault_plan(fault_profile or "none", seed=fault_seed)
+    world = build_world(scenario)
+    run = run_pipeline(world, telemetry=telemetry)
+    fleet = InvestigationFleet(
+        world, run.dataset,
+        playbook=get_playbook(playbook),
+        sample=sample,
+        workers=workers,
+        pool_kind=pool_kind,
+        fault_plan=plan,
+        telemetry=telemetry,
+    )
+    report = fleet.run(session=session, kill_at=kill_at)
+    return InvestigationOutcome(report=report, world=world, session=session)
+
+
+def run_killed_then_resumed(
+    invest_dir: Path,
+    *,
+    kill_at: int,
+    scenario: Optional[ScenarioConfig] = None,
+    **kwargs: Any,
+) -> InvestigationOutcome:
+    """The differential harness's crashed arm.
+
+    Runs a durable investigation with an injected kill before scan
+    ``kill_at``, lets it die, then reopens the directory and finishes.
+    Raises if the kill never fired (a harness that silently ran
+    uninterrupted proves nothing).
+    """
+    try:
+        run_investigation(scenario, invest_dir=invest_dir,
+                          kill_at=kill_at, **kwargs)
+    except SimulatedCrash:
+        pass
+    else:
+        raise AssertionError(
+            f"kill point at scan {kill_at} never fired "
+            f"(fewer payloads than the kill index?)")
+    return run_investigation(invest_dir=invest_dir, resume=True,
+                             workers=kwargs.get("workers", 1),
+                             pool_kind=kwargs.get("pool_kind", "serial"))

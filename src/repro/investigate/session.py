@@ -1,0 +1,230 @@
+"""Durable investigation sessions: kill a fleet, resume without re-charging.
+
+The charged half of a fleet run — one VirusTotal file submission per
+unique payload hash — is the only part worth journaling: probes are pure
+and free to recompute. A session directory holds:
+
+* ``INVESTIGATE.json`` — the manifest: scenario, playbook, sample,
+  fault profile, and (once the first commit lands) a digest-bound
+  reference to the state file. Written atomically before any charged
+  work, so a kill at any instant leaves a resumable directory.
+* ``state.pkl`` — the pickled state: completed scan results (hash,
+  verdict, simulated completion time) plus the restorable-state registry
+  (clock, VirusTotal meter, circuit breaker, fault-proxy counter).
+
+Resume rebuilds the world and pipeline from the manifest's scenario
+(deterministic), re-runs the free probe phase, restores the registry to
+the crash-time instant, and continues scanning from the cursor — so the
+total charges across crash + resume equal an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..checkpoint.state import (
+    BREAKER_PREFIX,
+    CLOCK_KEY,
+    METER_PREFIX,
+    PROXY_PREFIX,
+)
+from ..errors import CheckpointError, ConfigurationError
+from ..services.euphony import FamilyVerdict
+from ..stream.persist import (
+    atomic_write_json,
+    atomic_write_pickle,
+    read_json,
+    read_pickle,
+)
+
+INVESTIGATE_MANIFEST_NAME = "INVESTIGATE.json"
+INVESTIGATE_STATE_NAME = "state.pkl"
+INVESTIGATE_FORMAT_VERSION = 1
+
+#: One completed charged scan: ``(sha256, verdict-or-None, sim_time)``.
+#: ``verdict`` of None records a scan gap (the service never answered).
+ScanResult = Tuple[str, Optional[FamilyVerdict], float]
+
+
+class InvestigationSession:
+    """Create/commit/load the durable state of one fleet's charged phase."""
+
+    def __init__(
+        self,
+        directory: Path,
+        *,
+        scenario: Dict[str, Any],
+        playbook: str,
+        sample: Optional[int],
+        commit_every: int,
+        fault_profile: Optional[str],
+        fault_seed: int,
+    ):
+        self.directory = Path(directory)
+        self.scenario = scenario
+        self.playbook = playbook
+        self.sample = sample
+        self.commit_every = max(1, int(commit_every))
+        self.fault_profile = fault_profile or "none"
+        self.fault_seed = int(fault_seed)
+        self.resuming = False
+        #: Committed charged work, restored on load.
+        self.scan_results: List[ScanResult] = []
+        self._registry_state: Dict[str, Dict[str, Any]] = {}
+        self._commits = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Path,
+        *,
+        scenario: Dict[str, Any],
+        playbook: str,
+        sample: Optional[int],
+        commit_every: int = 1,
+        fault_profile: Optional[str] = None,
+        fault_seed: int = 0,
+    ) -> "InvestigationSession":
+        directory = Path(directory)
+        manifest = directory / INVESTIGATE_MANIFEST_NAME
+        if manifest.exists():
+            raise ConfigurationError(
+                f"{directory} already holds an investigation session; "
+                f"pass --resume to continue it"
+            )
+        session = cls(
+            directory,
+            scenario=scenario,
+            playbook=playbook,
+            sample=sample,
+            commit_every=commit_every,
+            fault_profile=fault_profile,
+            fault_seed=fault_seed,
+        )
+        directory.mkdir(parents=True, exist_ok=True)
+        # Persist before any charged work: a kill during the very first
+        # scan must still leave a loadable session behind.
+        session._persist_manifest(state_ref=None)
+        return session
+
+    @classmethod
+    def load(cls, directory: Path) -> "InvestigationSession":
+        directory = Path(directory)
+        manifest_path = directory / INVESTIGATE_MANIFEST_NAME
+        if not manifest_path.exists():
+            raise CheckpointError(
+                f"{directory} holds no {INVESTIGATE_MANIFEST_NAME}; "
+                f"nothing to resume"
+            )
+        manifest = read_json(manifest_path)
+        version = manifest.get("format_version")
+        if version != INVESTIGATE_FORMAT_VERSION:
+            raise CheckpointError(
+                f"investigation session format {version!r} is not "
+                f"supported (expected {INVESTIGATE_FORMAT_VERSION})"
+            )
+        faults = manifest.get("faults") or {}
+        session = cls(
+            directory,
+            scenario=manifest["scenario"],
+            playbook=manifest["playbook"],
+            sample=manifest.get("sample"),
+            commit_every=manifest.get("commit_every", 1),
+            fault_profile=faults.get("profile"),
+            fault_seed=faults.get("seed", 0),
+        )
+        session.resuming = True
+        state_ref = manifest.get("state_ref")
+        if state_ref:
+            payload = read_pickle(
+                directory / state_ref["state_file"],
+                expected_sha256=state_ref["state_sha256"],
+            )
+            session.scan_results = list(payload["scan_results"])
+            session._registry_state = dict(payload["registry"])
+        return session
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def scan_cursor(self) -> int:
+        """How many sorted payload hashes are already committed."""
+        return len(self.scan_results)
+
+    def restore(self, registry: Dict[str, Any]) -> None:
+        """Put every restorable object back to the crash-time instant.
+
+        ``registry`` maps state keys to live objects (clock, meter,
+        breaker, proxy). Journaled proxy state with no live counterpart
+        is dropped (the resumed plan may leave the service unwrapped);
+        any other unknown key means the directory does not belong to
+        this run shape.
+        """
+        for key, state in self._registry_state.items():
+            obj = registry.get(key)
+            if obj is not None:
+                obj.restore_state(state)
+            elif key.startswith(PROXY_PREFIX):
+                continue
+            else:
+                raise CheckpointError(
+                    f"investigation state carries unknown key {key!r}; "
+                    f"the session does not match this run"
+                )
+
+    def maybe_commit(self, scan_results: List[ScanResult],
+                     registry: Dict[str, Any]) -> None:
+        """Commit when the configured granularity says so."""
+        if len(scan_results) % self.commit_every == 0:
+            self.commit(scan_results, registry)
+
+    def commit(self, scan_results: List[ScanResult],
+               registry: Dict[str, Any]) -> None:
+        """Durably record completed scans plus restorable state."""
+        payload = {
+            "scan_results": list(scan_results),
+            "registry": {key: obj.state_dict()
+                         for key, obj in registry.items()},
+        }
+        digest = atomic_write_pickle(
+            self.directory / INVESTIGATE_STATE_NAME, payload
+        )
+        self._persist_manifest(state_ref={
+            "state_file": INVESTIGATE_STATE_NAME,
+            "state_sha256": digest,
+        })
+        self._commits += 1
+
+    @property
+    def commits(self) -> int:
+        return self._commits
+
+    def _persist_manifest(self,
+                          state_ref: Optional[Dict[str, str]]) -> None:
+        atomic_write_json(self.directory / INVESTIGATE_MANIFEST_NAME, {
+            "format_version": INVESTIGATE_FORMAT_VERSION,
+            "scenario": self.scenario,
+            "playbook": self.playbook,
+            "sample": self.sample,
+            "commit_every": self.commit_every,
+            "faults": {
+                "profile": self.fault_profile,
+                "seed": self.fault_seed,
+            },
+            "state_ref": state_ref,
+        })
+
+
+def registry_keys(*, proxied: bool) -> Tuple[str, ...]:
+    """The state keys an investigation fleet registers."""
+    keys = [
+        CLOCK_KEY,
+        METER_PREFIX + "virustotal",
+        BREAKER_PREFIX + "virustotal",
+    ]
+    if proxied:
+        keys.append(PROXY_PREFIX + "virustotal")
+    return tuple(keys)

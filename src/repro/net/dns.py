@@ -101,6 +101,7 @@ class DnsResolver:
 
     def __init__(self, zones: DnsZoneDatabase, *, ttl_queries: int = 50):
         self._zones = zones
+        self.zones = zones  # public: stateless probes read records directly
         self._ttl = ttl_queries
         self._cache: Dict[Tuple[str, dt.date], Tuple[int, ResolutionResult]] = {}
         self._clock = 0

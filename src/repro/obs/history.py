@@ -93,6 +93,23 @@ def build_run_record(*, command: str, config: Dict[str, Any],
         records_n / profile.total_seconds
         if profile.total_seconds and records_n else None
     )
+    investigate = getattr(telemetry, "investigate_snapshot", None) or {}
+    if investigate:
+        investigated = int(investigate.get("investigated", 0))
+        # Fleet throughput mirrors records_per_sec: None under a frozen
+        # tracer clock or an empty fleet, so gates skip it cleanly.
+        record["investigate"] = {
+            "playbook": investigate.get("playbook", "-"),
+            "investigated": investigated,
+            "evidence_packages": int(
+                investigate.get("evidence_packages", 0)),
+            "scans_completed": int(investigate.get("scans_completed", 0)),
+            "scan_gaps": int(investigate.get("scan_gaps", 0)),
+        }
+        record["investigations_per_sec"] = (
+            investigated / profile.total_seconds
+            if profile.total_seconds and investigated else None
+        )
     serve = getattr(telemetry, "serve_snapshot", None) or {}
     if serve:
         latency = serve.get("latency", {})
@@ -327,6 +344,11 @@ class GateThresholds:
     #: check; runs whose record carries no throughput (frozen tracer
     #: clock, zero records) are skipped rather than failed.
     min_records_per_sec: Optional[float] = None
+    #: Absolute investigations/second floor for fleet runs. ``None``
+    #: disables the check; runs whose record carries no fleet
+    #: throughput (non-investigate commands, frozen tracer clock) are
+    #: skipped rather than failed.
+    min_investigations_per_sec: Optional[float] = None
     #: Max tolerated fraction of collected reports the sanitizer
     #: quarantined (``counts["quarantined"] / counts["reports"]``).
     #: ``None`` disables the check; records without a quarantine count
@@ -419,6 +441,18 @@ def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
             findings.append(
                 f"throughput {float(throughput):,.1f} records/s fell below "
                 f"the {thresholds.min_records_per_sec:,.1f} records/s floor"
+            )
+
+    if thresholds.min_investigations_per_sec is not None:
+        throughput = current.get("investigations_per_sec")
+        if (throughput is not None
+                and float(throughput)
+                < thresholds.min_investigations_per_sec):
+            findings.append(
+                f"fleet throughput {float(throughput):,.1f} "
+                f"investigations/s fell below the "
+                f"{thresholds.min_investigations_per_sec:,.1f} "
+                f"investigations/s floor"
             )
 
     if thresholds.max_quarantine_rate is not None:

@@ -59,6 +59,10 @@ class Telemetry:
         #: Final intake-service stats (queue digests, shed counts, mode
         #: transitions), when the run was a :mod:`repro.serve` session.
         self.serve_snapshot: Dict[str, Any] = {}
+        #: Final investigation-fleet stats (funnel outcomes, evidence
+        #: volumes, step latency), when the run was a
+        #: :mod:`repro.investigate` fleet.
+        self.investigate_snapshot: Dict[str, Any] = {}
         #: Final per-pool execution stats (tasks, busy seconds per
         #: worker), captured from the :class:`~repro.exec.ExecutionEngine`.
         self.exec_snapshot: Dict[str, Any] = {}
@@ -199,6 +203,16 @@ class Telemetry:
             return
         self.serve_snapshot = dict(stats)
 
+    # -- investigate wiring ---------------------------------------------------
+
+    def capture_investigate(self, stats: Optional[Dict[str, Any]]) -> None:
+        """Store an investigation fleet's final ``stats()`` (see
+        :meth:`repro.investigate.FleetReport.stats`). ``stats`` of None
+        (a non-investigate run) is a no-op."""
+        if not self.enabled or stats is None:
+            return
+        self.investigate_snapshot = dict(stats)
+
     # -- quarantine wiring ----------------------------------------------------
 
     def capture_quarantine(self, records) -> None:
@@ -265,6 +279,7 @@ class Telemetry:
             "checkpoint": dict(self.checkpoint_snapshot),
             "stream": dict(self.stream_snapshot),
             "serve": dict(self.serve_snapshot),
+            "investigate": dict(self.investigate_snapshot),
             "exec": dict(self.exec_snapshot),
             "functions": dict(self.function_snapshot),
             **extra,
@@ -536,6 +551,61 @@ class Telemetry:
             )
         return table
 
+    def investigate_table(self) -> Table:
+        """Investigation-fleet accounting: funnels, evidence, latency."""
+        table = Table(title="Investigations", columns=["Field", "Value"])
+        snapshot = self.investigate_snapshot
+        if not snapshot:
+            return table
+        pool = snapshot.get("pool", {})
+        table.add_row("Playbook", snapshot.get("playbook", "-"))
+        table.add_row("Investigated URLs",
+                      int(snapshot.get("investigated", 0)))
+        outcomes = snapshot.get("outcomes", {})
+        table.add_row(
+            "Outcomes",
+            ", ".join(f"{kind}={count}"
+                      for kind, count in sorted(outcomes.items())) or "none",
+        )
+        depths = snapshot.get("funnel_depths", {})
+        table.add_row(
+            "Funnel depth distribution",
+            ", ".join(f"{depth}:{count}"
+                      for depth, count in sorted(depths.items())) or "none",
+        )
+        table.add_row(
+            "Evidence packages",
+            f"{snapshot.get('evidence_packages', 0)} "
+            f"({snapshot.get('custody_entries', 0)} custody entries)",
+        )
+        table.add_row(
+            "Payloads",
+            f"{snapshot.get('payloads', 0)} "
+            f"({snapshot.get('androzoo_hits', 0)} known to AndroZoo)",
+        )
+        table.add_row(
+            "Scans (gaps)",
+            f"{snapshot.get('scans_completed', 0)} "
+            f"({snapshot.get('scan_gaps', 0)} gaps)",
+        )
+        families = snapshot.get("families", {})
+        table.add_row(
+            "Families",
+            ", ".join(f"{family}={count}"
+                      for family, count in sorted(families.items())) or "none",
+        )
+        for op, digest in sorted(
+                snapshot.get("step_latency_ms", {}).items()):
+            table.add_row(
+                f"Step {op} p50/p99 (ms)",
+                f"{digest.get('p50', 0.0):.1f}/{digest.get('p99', 0.0):.1f}"
+                f" (n={int(digest.get('count', 0))})",
+            )
+        table.add_row("Pool",
+                      f"{pool.get('kind', 'serial')} "
+                      f"× {int(pool.get('workers', 1))}")
+        return table
+
     def quarantine_table(self) -> Table:
         """Sanitizer accounting: diverted reports by reason and stage."""
         table = Table(title="Quarantine",
@@ -589,6 +659,8 @@ class Telemetry:
             transitions = self.serve_transition_table()
             if transitions.rows:
                 parts.append(transitions.to_text())
+        if self.investigate_snapshot:
+            parts.append(self.investigate_table().to_text())
         if self.quarantine_records:
             parts.append(self.quarantine_table().to_text())
         parts.append(self.counter_table().to_text())

@@ -19,7 +19,13 @@ from ..errors import NotFound
 from ..net.url import RedirectChain, Url
 from ..types import DeviceProfile
 from ..utils.rng import WeightedSampler, stable_hash
-from ..world.infrastructure import DomainAsset
+from ..world.infrastructure import (
+    FUNNEL_FORM_FIELDS,
+    FUNNEL_PAGE_KINDS,
+    FUNNEL_PAGE_PATHS,
+    DomainAsset,
+    funnel_blueprint,
+)
 
 #: Malware family mix for smishing APKs (Table 19: SMSspy dominates).
 APK_FAMILY_WEIGHTS: Dict[str, float] = {
@@ -41,6 +47,33 @@ class ApkPayload:
     family: str
     file_name: str
     size_bytes: int
+
+
+@dataclass(frozen=True)
+class FunnelPage:
+    """One page of a multi-step scam funnel."""
+
+    kind: str  # one of FUNNEL_PAGE_KINDS
+    url: Url
+    form_fields: tuple  # field names the page solicits
+
+    @property
+    def has_form(self) -> bool:
+        return bool(self.form_fields)
+
+
+@dataclass(frozen=True)
+class FormSubmission:
+    """Outcome of posting (synthetic) PII into a funnel page's form."""
+
+    page_kind: str
+    accepted: bool
+    fields: tuple
+    next_page: Optional[FunnelPage] = None
+
+    @property
+    def funnel_complete(self) -> bool:
+        return self.accepted and self.next_page is None
 
 
 @dataclass(frozen=True)
@@ -86,17 +119,26 @@ class WebHostService:
     def __init__(self, assets: Iterable[DomainAsset]):
         self._by_fqdn: Dict[str, DomainAsset] = {}
         self._apk_by_fqdn: Dict[str, ApkPayload] = {}
+        self._takedown_by_fqdn: Dict[str, dt.date] = {}
         for asset in assets:
             self._by_fqdn[asset.fqdn] = asset
             if asset.serves_apk:
                 self._apk_by_fqdn[asset.fqdn] = _apk_for_host(asset.fqdn)
+            lifetime = (stable_hash("host-life:" + asset.fqdn)
+                        % _MAX_HOST_LIFETIME_DAYS)
+            self._takedown_by_fqdn[asset.fqdn] = (
+                asset.created_at + dt.timedelta(days=lifetime)
+            )
 
     def host_alive_on(self, fqdn: str, day: dt.date) -> bool:
         asset = self._by_fqdn.get(fqdn)
         if asset is None:
             return False
-        lifetime = stable_hash("host-life:" + fqdn) % _MAX_HOST_LIFETIME_DAYS
-        return asset.created_at <= day <= asset.created_at + dt.timedelta(days=lifetime)
+        return asset.created_at <= day <= self._takedown_by_fqdn[fqdn]
+
+    def asset(self, fqdn: str) -> Optional[DomainAsset]:
+        """The ground-truth asset behind a hostname, if we host it."""
+        return self._by_fqdn.get(fqdn)
 
     def apk_payloads(self) -> List[ApkPayload]:
         """All payloads any dropper serves (world-side enumeration)."""
@@ -130,6 +172,80 @@ class WebHostService:
                 chain=chain, status=200, content_kind="apk_download", apk=apk
             )
         return FetchResult(chain=chain, status=200, content_kind="phishing_page")
+
+    # -- multi-step funnels (§6 active investigation) -------------------------
+
+    def funnel_depth(self, fqdn: str) -> int:
+        """How many pages this host's scam kit deploys (0 if unknown)."""
+        if fqdn not in self._by_fqdn:
+            return 0
+        depth, _ = funnel_blueprint(fqdn)
+        return depth
+
+    def funnel_gate(self, fqdn: str) -> str:
+        """Device class the pages beyond the landing are served to."""
+        _, gate = funnel_blueprint(fqdn)
+        return gate
+
+    def funnel_page(self, fqdn: str, index: int) -> Optional[FunnelPage]:
+        """The ``index``-th page of a host's funnel, or None past the end.
+
+        Purely structural — liveness and device gating are the caller's
+        (or :meth:`submit_form`'s) concern, like fetching a known path on
+        a dead host still names a real page.
+        """
+        asset = self._by_fqdn.get(fqdn)
+        if asset is None:
+            return None
+        depth, _ = funnel_blueprint(fqdn)
+        if not 0 <= index < depth:
+            return None
+        kind = FUNNEL_PAGE_KINDS[index]
+        if kind == "landing":
+            url = asset.landing_url
+        else:
+            url = asset.landing_url.with_path(FUNNEL_PAGE_PATHS[kind])
+        return FunnelPage(kind=kind, url=url,
+                          form_fields=FUNNEL_FORM_FIELDS[kind])
+
+    def submit_form(
+        self,
+        fqdn: str,
+        page_index: int,
+        fields: Dict[str, str],
+        device: DeviceProfile,
+        on: dt.date,
+    ) -> FormSubmission:
+        """Post (synthetic) PII into a funnel page's form.
+
+        A live, un-gated host accepts the submission and serves the next
+        funnel page — or nothing, when the victim just handed over the
+        last thing the kit wanted. Dead hosts and device-gated clients
+        are rejected, exactly like the fetch path.
+        """
+        page = self.funnel_page(fqdn, page_index)
+        if page is None or not page.has_form:
+            raise NotFound(
+                f"{fqdn}: no form at funnel page {page_index}",
+                service="webhost",
+            )
+        submitted = tuple(sorted(fields))
+        if not self.host_alive_on(fqdn, on):
+            return FormSubmission(page_kind=page.kind, accepted=False,
+                                  fields=submitted)
+        _, gate = funnel_blueprint(fqdn)
+        if gate == "android" and device is not DeviceProfile.ANDROID:
+            return FormSubmission(page_kind=page.kind, accepted=False,
+                                  fields=submitted)
+        if gate == "desktop" and device is not DeviceProfile.DESKTOP:
+            return FormSubmission(page_kind=page.kind, accepted=False,
+                                  fields=submitted)
+        return FormSubmission(
+            page_kind=page.kind,
+            accepted=True,
+            fields=submitted,
+            next_page=self.funnel_page(fqdn, page_index + 1),
+        )
 
     def __contains__(self, fqdn: str) -> bool:
         return fqdn in self._by_fqdn

@@ -24,7 +24,7 @@ from ..net.ipaddr import IPv4
 from ..net.tld import TldRegistry, default_registry
 from ..net.url import Url
 from ..types import ScamType
-from ..utils.rng import WeightedSampler
+from ..utils.rng import WeightedSampler, stable_hash
 
 # ---------------------------------------------------------------------------
 # Calibrated catalogues (Tables 5, 6, 7, 17).
@@ -148,6 +148,48 @@ _WORDS = (
     "track", "parcel", "post", "refund", "tax", "gov", "mobile", "net",
     "user", "page", "id", "help", "team", "bank",
 )
+
+# ---------------------------------------------------------------------------
+# Multi-step funnel blueprints (§6 active investigation).
+# ---------------------------------------------------------------------------
+
+#: Page kinds a scam funnel walks through, in order. Depth-1 funnels stop
+#: at the landing page; depth-3 funnels harvest credentials and then ask
+#: for payment/OTP confirmation (the full kit the case study navigated).
+FUNNEL_PAGE_KINDS: Tuple[str, ...] = (
+    "landing", "credential_form", "payment_otp",
+)
+
+#: Form fields each funnel page solicits (what a playbook's
+#: ``submit_form`` step fills with synthetic PII).
+FUNNEL_FORM_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "landing": (),
+    "credential_form": ("full_name", "username", "password"),
+    "payment_otp": ("card_number", "card_expiry", "otp_code"),
+}
+
+#: URL paths the non-landing funnel pages live on.
+FUNNEL_PAGE_PATHS: Dict[str, str] = {
+    "credential_form": "/verify",
+    "payment_otp": "/confirm",
+}
+
+
+def funnel_blueprint(fqdn: str) -> Tuple[int, str]:
+    """Deterministic funnel shape for one host: ``(depth, device_gate)``.
+
+    ``depth`` is how many of :data:`FUNNEL_PAGE_KINDS` the kit deploys
+    (1–3); ``device_gate`` is which device class the pages beyond the
+    landing are served to (``"any"``, ``"android"`` or ``"desktop"`` —
+    real kits fingerprint clients, §6). Derived purely from a stable
+    hash of the hostname so the builder's RNG streams — and therefore
+    every previously generated world — are untouched.
+    """
+    depth = 1 + stable_hash("funnel-depth:" + fqdn) % len(FUNNEL_PAGE_KINDS)
+    gate = ("any", "android", "desktop", "any")[
+        stable_hash("funnel-gate:" + fqdn) % 4
+    ]
+    return depth, gate
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,357 @@
+"""Tests for the playbook-driven investigation engine (repro.investigate).
+
+Covers the acceptance guarantees end to end:
+
+* playbook validation and the shipped presets,
+* §6 byte-identity: the ``case-study`` preset reproduces
+  ``run_case_study`` field-for-field (and table-for-table),
+* pool-matrix equivalence: serial/thread/process fleets produce the
+  same fingerprint, with and without fault profiles,
+* evidence-package integrity (verification, tamper detection, on-disk
+  round trips),
+* durable sessions: kill/resume with zero duplicate charges.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.malware import build_table19, family_distribution_table
+from repro.core.active import run_case_study
+from repro.core.pipeline import run_pipeline
+from repro.errors import CheckpointError, ConfigurationError
+from repro.investigate import (
+    EvidencePackage,
+    InvestigationSession,
+    Playbook,
+    PlaybookStep,
+    PLAYBOOKS,
+    case_study_sample,
+    charged_calls,
+    fleet_fingerprint,
+    fleet_items,
+    get_playbook,
+    registry_keys,
+    run_case_study_playbook,
+    run_fleet,
+    run_investigation,
+    run_killed_then_resumed,
+    verify_package,
+    verify_package_dict,
+    write_packages,
+)
+from repro.world.scenario import ScenarioConfig, build_world
+
+#: A small scenario with enough droppers that the charged scan phase
+#: actually runs (several unique APK payloads in the §6 sample window).
+FLEET_SCENARIO = dict(seed=7, n_campaigns=12, apk_campaign_fraction=0.5)
+FLEET_SAMPLE = 80
+
+
+def _fleet_scenario() -> ScenarioConfig:
+    return ScenarioConfig(**FLEET_SCENARIO)
+
+
+def _fresh_world_and_dataset(config: ScenarioConfig):
+    world = build_world(config)
+    run = run_pipeline(world)
+    return world, run.dataset
+
+
+def _fleet_run(**kwargs):
+    world, dataset = _fresh_world_and_dataset(_fleet_scenario())
+    report = run_fleet(world, dataset, sample=FLEET_SAMPLE, **kwargs)
+    return report, world
+
+
+@pytest.fixture(scope="module")
+def serial_fleet():
+    """One serial full-funnel fleet, shared by the read-only tests."""
+    return _fleet_run()
+
+
+class TestPlaybooks:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlaybookStep.make("steal_cookies")
+
+    def test_empty_playbook_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Playbook(name="hollow", description="no steps")
+
+    def test_unknown_preset_lists_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_playbook("no-such-playbook")
+        for name in sorted(PLAYBOOKS):
+            assert name in str(excinfo.value)
+
+    def test_case_study_preset_is_the_section6_protocol(self):
+        steps = get_playbook("case-study").steps
+        assert [s.op for s in steps] == [
+            "resolve_shortener", "check_dns", "fetch", "fetch",
+            "download_payload", "hash_and_scan",
+        ]
+        assert steps[2].param("device") == "desktop"
+        assert steps[3].param("device") == "android"
+
+    def test_full_funnel_preset_adds_funnel_navigation(self):
+        playbook = get_playbook("full-funnel")
+        assert playbook.has_op("follow_redirects")
+        assert playbook.has_op("submit_form")
+        submit = next(s for s in playbook.steps if s.op == "submit_form")
+        assert submit.param("pii") == "synthetic"
+
+    def test_step_and_playbook_round_trip(self):
+        step = PlaybookStep.make("fetch", device="android")
+        assert step.param("device") == "android"
+        assert step.param("missing", "fallback") == "fallback"
+        assert PlaybookStep.from_dict(step.to_dict()) == step
+        playbook = get_playbook("full-funnel")
+        assert Playbook.from_dict(playbook.to_dict()) == playbook
+
+    def test_describe_renders_params(self):
+        step = PlaybookStep.make("fetch", device="desktop")
+        assert step.describe() == "fetch(device=desktop)"
+        assert "->" in get_playbook("case-study").describe()
+
+
+class TestCaseStudyIdentity:
+    """The §6 preset must be byte-identical to ``run_case_study``."""
+
+    CONFIG = ScenarioConfig(seed=7, n_campaigns=10)
+    SAMPLE_POSTS = 50
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        # Two independently built worlds: each arm charges its own
+        # meters, so they cannot share one.
+        world_a, dataset_a = _fresh_world_and_dataset(self.CONFIG)
+        world_b, dataset_b = _fresh_world_and_dataset(self.CONFIG)
+        base = run_case_study(world_a, dataset_a,
+                              sample_posts=self.SAMPLE_POSTS)
+        preset = run_case_study_playbook(world_b, dataset_b,
+                                         sample_posts=self.SAMPLE_POSTS)
+        return base, preset, world_a, world_b
+
+    def test_scalar_fields_match(self, reports):
+        base, preset, _, _ = reports
+        assert preset.sampled_reports == base.sampled_reports
+        assert preset.investigated_urls == base.investigated_urls
+        assert preset.dead_short_links == base.dead_short_links
+        assert preset.apk_downloads == base.apk_downloads
+        assert preset.androzoo_hits == base.androzoo_hits
+
+    def test_verdicts_and_investigations_match(self, reports):
+        base, preset, _, _ = reports
+        assert preset.family_verdicts == base.family_verdicts
+        assert preset.investigations == base.investigations
+
+    def test_tables_render_identically(self, reports):
+        base, preset, _, _ = reports
+        assert build_table19(preset).to_text() == \
+            build_table19(base).to_text()
+        assert family_distribution_table(preset).to_text() == \
+            family_distribution_table(base).to_text()
+
+    def test_charged_calls_match(self, reports):
+        _, _, world_a, world_b = reports
+        assert charged_calls(world_b) == charged_calls(world_a)
+
+    def test_sampling_protocol_is_exact(self, reports):
+        base, _, world_a, _ = reports
+        # The shared sampler must pick the same records §6's own
+        # sampling does (seeded Random(6) over dated Twitter records).
+        _, dataset_a = _fresh_world_and_dataset(self.CONFIG)
+        sample = case_study_sample(dataset_a,
+                                   sample_posts=self.SAMPLE_POSTS)
+        assert len(sample) == base.sampled_reports
+
+
+class TestFleetItems:
+    def test_items_are_url_bearing_and_dated(self, serial_fleet):
+        report, world = serial_fleet
+        _, dataset = _fresh_world_and_dataset(_fleet_scenario())
+        items = fleet_items(dataset)
+        assert items, "scenario produced no investigable records"
+        assert [item.index for item in items] == list(range(len(items)))
+        by_id = {record.record_id: record for record in dataset.records}
+        for item in items:
+            record = by_id[item.record_id]
+            assert record.url is not None
+            assert isinstance(item.on, dt.date)
+
+    def test_sample_keeps_a_prefix(self):
+        _, dataset = _fresh_world_and_dataset(_fleet_scenario())
+        full = fleet_items(dataset)
+        sampled = fleet_items(dataset, sample=5)
+        assert sampled == full[:5]
+
+
+class TestFleetEquivalence:
+    """Fingerprints must not depend on pool kind or worker count."""
+
+    def test_serial_fleet_exercises_the_charged_phase(self, serial_fleet):
+        report, world = serial_fleet
+        assert report.payloads, (
+            "fleet scenario must yield payloads or the equivalence "
+            "tests prove nothing about the charged phase"
+        )
+        assert charged_calls(world)["virustotal"] > 0
+        assert len(report.verdicts) + report.scan_gaps == \
+            len(report.payloads)
+
+    @pytest.mark.parametrize("pool_kind,workers", [
+        ("thread", 4),
+        ("process", 4),
+    ])
+    def test_pool_matrix_matches_serial(self, serial_fleet,
+                                        pool_kind, workers):
+        base_report, base_world = serial_fleet
+        report, world = _fleet_run(pool_kind=pool_kind, workers=workers)
+        assert fleet_fingerprint(report, world) == \
+            fleet_fingerprint(base_report, base_world)
+
+    def test_fault_profile_matches_across_pools(self):
+        from repro.faults import build_fault_plan
+        plans = [build_fault_plan("flaky", seed=0) for _ in range(2)]
+        serial_report, serial_world = _fleet_run(fault_plan=plans[0])
+        pooled_report, pooled_world = _fleet_run(
+            fault_plan=plans[1], pool_kind="process", workers=4)
+        assert fleet_fingerprint(serial_report, serial_world) == \
+            fleet_fingerprint(pooled_report, pooled_world)
+
+    def test_report_stats_snapshot_shape(self, serial_fleet):
+        report, _ = serial_fleet
+        stats = report.stats()
+        assert stats["playbook"] == "full-funnel"
+        assert stats["investigated"] == len(report.probes)
+        assert stats["evidence_packages"] == len(report.packages)
+        assert stats["scans_completed"] == len(report.verdicts)
+        assert stats["pool"] == {"kind": "serial", "workers": 1}
+        assert sum(stats["outcomes"].values()) == stats["investigated"]
+        for digest in stats["step_latency_ms"].values():
+            assert digest["count"] > 0
+            assert digest["p50"] <= digest["p99"]
+
+    def test_every_probe_outcome_is_classified(self, serial_fleet):
+        report, _ = serial_fleet
+        known = {
+            "shortener_dead", "nxdomain", "dead_host", "apk_download",
+            "pii_harvested", "credentials_harvested", "device_gated",
+            "phishing_page",
+        }
+        assert set(report.outcomes) <= known
+
+
+class TestEvidencePackages:
+    def test_all_packages_verify(self, serial_fleet):
+        report, _ = serial_fleet
+        assert report.packages
+        for package in report.packages:
+            assert verify_package(package)
+            assert verify_package_dict(package.to_dict())
+
+    def test_custody_sequences_are_gapless(self, serial_fleet):
+        report, _ = serial_fleet
+        for package in report.packages:
+            sequences = [entry.sequence for entry in package.custody]
+            assert sequences == list(range(len(sequences)))
+
+    def test_charged_steps_are_flagged_in_custody(self, serial_fleet):
+        report, world = serial_fleet
+        charged = sum(
+            1 for package in report.packages
+            for entry in package.custody if entry.charged_service
+        )
+        assert charged == len(report.verdicts)
+
+    def test_tampered_finding_is_detected(self, serial_fleet):
+        report, _ = serial_fleet
+        source = next(p for p in report.packages if p.findings)
+        package = EvidencePackage(
+            campaign_id=source.campaign_id,
+            findings=[dict(f) for f in source.findings],
+            custody=list(source.custody),
+        )
+        manifest = package.manifest()
+        assert verify_package(package, manifest)
+        package.findings[0]["type"] = "doctored"
+        assert not verify_package(package, manifest)
+
+    def test_tampered_serialised_body_is_detected(self, serial_fleet):
+        report, _ = serial_fleet
+        data = next(p for p in report.packages if p.findings).to_dict()
+        assert verify_package_dict(data)
+        data["body"]["campaign_id"] = "someone-else"
+        assert not verify_package_dict(data)
+        assert not verify_package_dict({"manifest": {}, "body": None})
+
+    def test_write_packages_round_trips(self, serial_fleet, tmp_path):
+        import json
+
+        report, _ = serial_fleet
+        manifest_path = write_packages(tmp_path, report.packages)
+        index = json.loads(manifest_path.read_text())
+        assert len(index["packages"]) == len(report.packages)
+        for entry in index["packages"]:
+            data = json.loads((tmp_path / entry["file"]).read_text())
+            assert verify_package_dict(data)
+            assert data["manifest"]["content_sha256"] == \
+                entry["content_sha256"]
+
+
+class TestDurableSessions:
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path):
+        base = run_investigation(_fleet_scenario(), sample=FLEET_SAMPLE)
+        assert len(base.report.payloads) >= 2, (
+            "need at least two payloads so a kill can land between scans"
+        )
+        resumed = run_killed_then_resumed(
+            tmp_path / "sess", kill_at=1,
+            scenario=_fleet_scenario(), sample=FLEET_SAMPLE,
+        )
+        assert fleet_fingerprint(resumed.report, resumed.world) == \
+            fleet_fingerprint(base.report, base.world)
+        # Zero duplicate charges: crash + resume spend exactly what one
+        # uninterrupted run spends.
+        assert charged_calls(resumed.world) == charged_calls(base.world)
+        assert resumed.session is not None
+        assert resumed.session.resuming
+
+    def test_kill_that_never_fires_is_an_error(self, tmp_path):
+        with pytest.raises(AssertionError):
+            run_killed_then_resumed(
+                tmp_path / "sess", kill_at=10_000,
+                scenario=_fleet_scenario(), sample=FLEET_SAMPLE,
+            )
+
+    def test_create_refuses_existing_session(self, tmp_path):
+        directory = tmp_path / "sess"
+        InvestigationSession.create(
+            directory, scenario={}, playbook="full-funnel", sample=None)
+        with pytest.raises(ConfigurationError):
+            InvestigationSession.create(
+                directory, scenario={}, playbook="full-funnel",
+                sample=None)
+
+    def test_load_requires_a_manifest(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            InvestigationSession.load(tmp_path / "nothing-here")
+
+    def test_resume_requires_a_directory(self):
+        with pytest.raises(ValueError):
+            run_investigation(resume=True)
+
+    def test_restore_rejects_foreign_state(self, tmp_path):
+        session = InvestigationSession.create(
+            tmp_path / "sess", scenario={}, playbook="full-funnel",
+            sample=None)
+        session._registry_state = {"meter:weird-service": {}}
+        with pytest.raises(CheckpointError):
+            session.restore({})
+
+    def test_registry_keys_cover_both_shapes(self):
+        plain = registry_keys(proxied=False)
+        proxied = registry_keys(proxied=True)
+        assert set(plain) < set(proxied)
+        assert any(key.startswith("proxy:") for key in proxied)

@@ -17,8 +17,12 @@ from repro.services.shorteners import (
 )
 from repro.services.webhost import WebHostService
 from repro.types import DeviceProfile, ScamType
-from repro.utils.rng import derive
-from repro.world.infrastructure import InfrastructureBuilder
+from repro.utils.rng import derive, stable_hash
+from repro.world.infrastructure import (
+    FUNNEL_PAGE_KINDS,
+    InfrastructureBuilder,
+    funnel_blueprint,
+)
 
 START = dt.date(2022, 6, 1)
 
@@ -221,6 +225,57 @@ class TestWebHost:
             assert len(sha) == 64
             assert family in ("SMSspy", "HQWar", "Rewardsteal", "Artemis")
 
+    def test_takedown_window_boundaries(self, infra, webhost):
+        _, _, assets, _ = infra
+        asset = assets[0]
+        lifetime = stable_hash("host-life:" + asset.fqdn) % 45
+        takedown = asset.created_at + dt.timedelta(days=lifetime)
+        before = asset.created_at - dt.timedelta(days=1)
+        assert not webhost.host_alive_on(asset.fqdn, before)
+        assert webhost.host_alive_on(asset.fqdn, asset.created_at)
+        assert webhost.host_alive_on(asset.fqdn, takedown)
+        assert not webhost.host_alive_on(asset.fqdn,
+                                         takedown + dt.timedelta(days=1))
+
+    def test_unknown_host_never_alive(self, webhost):
+        assert not webhost.host_alive_on("unknown.example.com", START)
+
+    def test_non_dropper_serves_page_to_both_devices(self, infra, webhost):
+        _, _, assets, _ = infra
+        asset = next(a for a in assets
+                     if not a.serves_apk
+                     and webhost.host_alive_on(a.fqdn, a.created_at))
+        for device in (DeviceProfile.DESKTOP, DeviceProfile.ANDROID):
+            result = webhost.fetch(asset.landing_url, device,
+                                   asset.created_at)
+            assert result.content_kind == "phishing_page"
+            assert result.apk is None
+
+    def test_direct_apk_path_on_non_dropper_is_a_page(self, infra,
+                                                      webhost):
+        # Asking a plain phishing host for s1.apk must not conjure a
+        # payload out of nowhere — there is no APK behind that host.
+        _, _, assets, _ = infra
+        asset = next(a for a in assets
+                     if not a.serves_apk
+                     and webhost.host_alive_on(a.fqdn, a.created_at))
+        url = asset.landing_url.with_path("/s1.apk")
+        result = webhost.fetch(url, DeviceProfile.DESKTOP,
+                               asset.created_at)
+        assert result.content_kind == "phishing_page"
+        assert result.apk is None
+
+    def test_dead_dropper_serves_nothing_to_android(self, infra, webhost):
+        _, _, assets, _ = infra
+        asset = next(a for a in assets if a.serves_apk)
+        later = asset.created_at + dt.timedelta(days=300)
+        for url in (asset.landing_url,
+                    asset.landing_url.with_path("/s1.apk")):
+            result = webhost.fetch(url, DeviceProfile.ANDROID, later)
+            assert result.status == 404
+            assert result.content_kind == "dead"
+            assert result.apk is None
+
     def test_smsspy_dominates(self, infra):
         # Over a large pool of droppers the family mix favours SMSspy
         # (Table 19: 15 of 18 samples).
@@ -236,3 +291,101 @@ class TestWebHost:
         webhost = WebHostService(assets)
         families = [a.family for a in webhost.apk_payloads()]
         assert families.count("SMSspy") > len(families) * 0.6
+
+
+class TestFunnels:
+    @pytest.fixture(scope="class")
+    def webhost(self, infra):
+        _, _, assets, _ = infra
+        return WebHostService(assets)
+
+    def _deep_asset(self, infra, webhost, *, gate=None, min_depth=2):
+        """A live host whose kit deploys at least ``min_depth`` pages."""
+        _, _, assets, _ = infra
+        for asset in assets:
+            depth, asset_gate = funnel_blueprint(asset.fqdn)
+            if depth < min_depth:
+                continue
+            if gate is not None and asset_gate != gate:
+                continue
+            if webhost.host_alive_on(asset.fqdn, asset.created_at):
+                return asset
+        pytest.skip("no matching funnel host in this draw")
+
+    def _gate_device(self, fqdn):
+        _, gate = funnel_blueprint(fqdn)
+        return (DeviceProfile.DESKTOP if gate == "desktop"
+                else DeviceProfile.ANDROID)
+
+    def test_depth_bounds_and_blueprint_agreement(self, infra, webhost):
+        _, _, assets, _ = infra
+        for asset in assets:
+            depth = webhost.funnel_depth(asset.fqdn)
+            assert 1 <= depth <= len(FUNNEL_PAGE_KINDS)
+            assert (depth, webhost.funnel_gate(asset.fqdn)) == \
+                funnel_blueprint(asset.fqdn)
+        assert webhost.funnel_depth("unknown.example.com") == 0
+
+    def test_pages_are_structural(self, infra, webhost):
+        asset = self._deep_asset(infra, webhost, min_depth=3)
+        landing = webhost.funnel_page(asset.fqdn, 0)
+        assert landing.kind == "landing"
+        assert not landing.has_form
+        assert landing.url == asset.landing_url
+        credential = webhost.funnel_page(asset.fqdn, 1)
+        assert credential.kind == "credential_form"
+        assert credential.url.path == "/verify"
+        assert "password" in credential.form_fields
+        payment = webhost.funnel_page(asset.fqdn, 2)
+        assert payment.kind == "payment_otp"
+        assert payment.url.path == "/confirm"
+        assert "otp_code" in payment.form_fields
+        assert webhost.funnel_page(asset.fqdn, 3) is None
+        assert webhost.funnel_page(asset.fqdn, -1) is None
+        assert webhost.funnel_page("unknown.example.com", 0) is None
+
+    def test_landing_has_no_form_to_submit(self, infra, webhost):
+        asset = self._deep_asset(infra, webhost)
+        with pytest.raises(NotFound):
+            webhost.submit_form(asset.fqdn, 0, {},
+                                DeviceProfile.ANDROID, asset.created_at)
+
+    def test_dead_host_rejects_submissions(self, infra, webhost):
+        asset = self._deep_asset(infra, webhost)
+        later = asset.created_at + dt.timedelta(days=300)
+        submission = webhost.submit_form(
+            asset.fqdn, 1, {"username": "x"},
+            self._gate_device(asset.fqdn), later)
+        assert not submission.accepted
+        assert submission.next_page is None
+
+    def test_device_gate_enforced(self, infra, webhost):
+        asset = self._deep_asset(infra, webhost, gate="android")
+        rejected = webhost.submit_form(
+            asset.fqdn, 1, {"username": "x"},
+            DeviceProfile.DESKTOP, asset.created_at)
+        assert not rejected.accepted
+        accepted = webhost.submit_form(
+            asset.fqdn, 1, {"username": "x"},
+            DeviceProfile.ANDROID, asset.created_at)
+        assert accepted.accepted
+
+    def test_submissions_chain_to_completion(self, infra, webhost):
+        asset = self._deep_asset(infra, webhost)
+        depth = webhost.funnel_depth(asset.fqdn)
+        device = self._gate_device(asset.fqdn)
+        for index in range(1, depth):
+            page = webhost.funnel_page(asset.fqdn, index)
+            submission = webhost.submit_form(
+                asset.fqdn, index,
+                {name: "synthetic" for name in page.form_fields},
+                device, asset.created_at)
+            assert submission.accepted
+            assert submission.page_kind == page.kind
+            assert submission.fields == tuple(sorted(page.form_fields))
+            if index < depth - 1:
+                assert submission.next_page is not None
+                assert submission.next_page.kind == \
+                    FUNNEL_PAGE_KINDS[index + 1]
+            else:
+                assert submission.funnel_complete

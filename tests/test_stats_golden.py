@@ -278,6 +278,67 @@ def test_serve_golden_covers_the_serve_tables():
     assert "degraded" in flaky
 
 
+INVESTIGATE_BASE = ["--seed", "7", "--campaigns", "30", "--quiet"]
+INVESTIGATE_SUB = ["investigate", "--playbook", "full-funnel",
+                   "--sample", "120"]
+
+INVESTIGATE_CASES = {
+    "investigate_seed7_full.txt": INVESTIGATE_BASE + INVESTIGATE_SUB,
+    "investigate_seed7_process4.txt": (
+        INVESTIGATE_BASE + ["--workers", "4", "--pool", "process"]
+        + INVESTIGATE_SUB),
+}
+
+
+@pytest.mark.parametrize("golden_name", sorted(INVESTIGATE_CASES))
+def test_investigate_output_matches_golden(golden_name, frozen_wall_clock,
+                                           capsys):
+    """`repro investigate` stdout — header, stage table, Investigations
+    table, fleet fingerprint — golden-pinned like the other surfaces."""
+    argv = INVESTIGATE_CASES[golden_name]
+    assert cli.main(list(argv)) == 0
+    output = capsys.readouterr().out
+    golden_path = GOLDEN_DIR / golden_name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(output, encoding="utf-8")
+        pytest.skip(f"updated golden {golden_name}")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1 (see module docstring)"
+    )
+    assert output == golden_path.read_text(encoding="utf-8"), (
+        f"`repro investigate` output diverged from {golden_name}; if the "
+        f"change is intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+def test_investigate_golden_covers_the_investigations_table():
+    """The checked-in investigate snapshot really shows the fleet story:
+    funnel outcomes, evidence accounting, step latencies, and — across
+    the serial/process twins — the pool-equivalence fingerprint."""
+    full = (GOLDEN_DIR / "investigate_seed7_full.txt").read_text()
+    header = full.splitlines()[0]
+    assert "playbook=full-funnel" in header
+    assert "scans=" in header and "scan_gaps=" in header
+    assert "Investigations" in full
+    assert "Funnel depth distribution" in full
+    assert "Evidence packages" in full
+    assert "Step hash_and_scan p50/p99 (ms)" in full
+    assert "investigate fingerprint=" in full
+
+    def fingerprint(text):
+        return next(line for line in text.splitlines()
+                    if line.startswith("investigate fingerprint="))
+
+    # The process-pool twin is the pool-matrix equivalence guarantee,
+    # visible in the goldens themselves: same fleet fingerprint, only
+    # the header's workers/pool fields and the Pool row differ.
+    process = (GOLDEN_DIR / "investigate_seed7_process4.txt").read_text()
+    assert "pool=process" in process.splitlines()[0]
+    assert fingerprint(process) == fingerprint(full)
+
+
 def test_stream_golden_covers_the_epoch_table():
     """`repro stats --epochs 3` pins the Stream/Epoch surface: one row
     per epoch, the ledger summary line, and the stream fingerprint."""
